@@ -1,0 +1,23 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Populated catalogs are cached per database size (see
+``repro.bench.sweeps.get_environment``) so the whole suite pays each
+population exactly once.  Scale everything with ``MCS_BENCH_SCALE``
+(e.g. ``MCS_BENCH_SCALE=5`` for databases 5× larger).
+"""
+
+import pytest
+
+from repro.bench import BenchConfig
+from repro.bench.sweeps import clear_environments
+
+
+@pytest.fixture(scope="session")
+def config():
+    return BenchConfig()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _teardown_environments():
+    yield
+    clear_environments()

@@ -1,0 +1,77 @@
+"""Ablation: decompose the web-service penalty.
+
+The paper attributes the MCS slowdown to "web service overhead" as one
+lump.  Our transport stack lets us split it:
+
+* direct          — no protocol work at all;
+* loopback codec  — full SOAP XML encode/decode, no socket;
+* soap (HTTP)     — codec plus a real TCP round trip and HTTP framing.
+
+codec/direct shows the serialization share; soap/codec the socket share.
+"""
+
+from repro.bench.driver import BenchEnvironment, run_closed_loop
+from repro.bench.sweeps import get_environment
+from repro.core.client import MCSClient
+from repro.soap.transport import LoopbackCodecTransport
+
+
+def _run_codec_mode(env: BenchEnvironment, op_name: str, threads: int, duration: float):
+    from repro.bench.timing import count_until_stopped, run_workers
+
+    clients = [
+        MCSClient(LoopbackCodecTransport(env.service.handle), caller="bench")
+        for _ in range(threads)
+    ]
+    factory = getattr(env, op_name)
+    worker_fns = []
+    for idx, client in enumerate(clients):
+        op = factory(client, f"codec{idx}")
+        worker_fns.append(lambda stop, op=op: count_until_stopped(op, stop))
+    return run_workers(worker_fns, duration)
+
+
+def _run_raw_http(env: BenchEnvironment, op_name: str, threads: int, duration: float):
+    """HTTP without the simulated WAN latency: the true socket cost."""
+    from repro.bench.timing import count_until_stopped, run_workers
+    from repro.soap.transport import HttpTransport
+
+    host, port = env.server.endpoint
+    clients = [
+        MCSClient(HttpTransport(host, port, simulated_latency_s=0.0), caller="bench")
+        for _ in range(threads)
+    ]
+    factory = getattr(env, op_name)
+    worker_fns = []
+    for idx, client in enumerate(clients):
+        op = factory(client, f"raw{idx}")
+        worker_fns.append(lambda stop, op=op: count_until_stopped(op, stop))
+    try:
+        return run_workers(worker_fns, duration)
+    finally:
+        for client in clients:
+            client.close()
+
+
+def test_ablation_soap_overhead_decomposition(benchmark, config):
+    env = get_environment(config, config.db_sizes[0])
+    threads, duration = 4, config.duration
+
+    def sweep():
+        rates = {}
+        rates["direct"] = run_closed_loop(
+            env, "direct", env.simple_query_op, threads, duration
+        ).rate
+        rates["codec"] = _run_codec_mode(env, "simple_query_op", threads, duration).rate
+        rates["soap"] = _run_raw_http(env, "simple_query_op", threads, duration).rate
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n== Ablation: web-service overhead decomposition (simple queries) ==")
+    for mode in ("direct", "codec", "soap"):
+        print(f"  {mode:>6}: {rates[mode]:10.1f} q/s")
+    codec_share = rates["direct"] / rates["codec"] if rates["codec"] else 0
+    socket_share = rates["codec"] / rates["soap"] if rates["soap"] else 0
+    print(f"  codec penalty:  {codec_share:.2f}x   socket penalty: {socket_share:.2f}x")
+    assert rates["direct"] > rates["codec"] > 0
+    assert rates["codec"] > rates["soap"] > 0

@@ -1,0 +1,28 @@
+"""Figure 10: complex query rate vs number of client hosts.
+
+Paper: best rates at the smallest database (100 k); performance degrades
+with database size because of the attribute-space search, mirroring the
+single-host complex-query behaviour.
+"""
+
+from repro.bench import print_series, sweep_figure10
+
+
+def test_figure10_complex_query_rate_vs_hosts(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: sweep_figure10(config), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 10: Complex Query Rate with Varying Number of Hosts",
+        "hosts",
+        rows,
+    )
+    assert all(r["rate"] > 0 for r in rows)
+
+    # Shape: at every host count, the smallest database is fastest for
+    # direct complex queries (compare peaks to tolerate noise).
+    direct = [r for r in rows if r["mode"] == "direct"]
+    sizes = sorted({r["db_size"] for r in direct})
+    small_peak = max(r["rate"] for r in direct if r["db_size"] == sizes[0])
+    large_peak = max(r["rate"] for r in direct if r["db_size"] == sizes[-1])
+    assert small_peak > large_peak

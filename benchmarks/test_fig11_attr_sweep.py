@@ -1,0 +1,32 @@
+"""Figure 11: complex query rate (direct) vs number of attributes.
+
+Paper: as the number of matched attributes rises from 1 to 10, the MySQL
+rate drops by ~3× for the 100 k database and ~4× for the larger ones.
+"""
+
+from repro.bench import print_series, sweep_figure11
+
+
+def test_figure11_complex_query_vs_attribute_count(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: sweep_figure11(config), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 11: Complex Query Rate as the Number of Attributes Varies "
+        "(no web service)",
+        "attributes",
+        rows,
+    )
+    assert all(r["rate"] > 0 for r in rows)
+
+    for size in sorted({r["db_size"] for r in rows}):
+        series = sorted(
+            (r["x"], r["rate"]) for r in rows if r["db_size"] == size
+        )
+        one_attr = series[0][1]
+        ten_attr = series[-1][1]
+        print(f"db={size}: 1-attr {one_attr:.0f}/s -> 10-attr {ten_attr:.0f}/s "
+              f"({one_attr / ten_attr:.1f}x drop; paper: 3-4x)")
+        assert ten_attr < one_attr, (
+            f"db={size}: rate must fall as attribute count rises"
+        )

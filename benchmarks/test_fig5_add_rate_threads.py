@@ -1,0 +1,27 @@
+"""Figure 5: add rate vs number of threads on a single client host.
+
+Paper series: three database sizes, with and without the web service.
+Expected shape: direct adds roughly flat in DB size (mild decline at the
+largest size); web-service adds several times lower and flat in DB size.
+"""
+
+from repro.bench import print_series, sweep_figure5
+from repro.bench.report import shape_checks
+
+
+def test_figure5_add_rate_vs_threads(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: sweep_figure5(config), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 5: Add Rate on MCS with Varying Threads (Single Client Host)",
+        "threads",
+        rows,
+    )
+    checks = shape_checks(rows)
+    print(f"direct/soap peak-rate ratio: {checks.get('direct_over_soap_peak', 0):.1f}x "
+          "(paper: ~4.8x)")
+    assert rows, "sweep produced no data"
+    assert all(r["rate"] > 0 for r in rows)
+    # Core claim of the figure: the web-service stack is the bottleneck.
+    assert checks.get("direct_over_soap_peak", 0) > 1.5

@@ -1,0 +1,39 @@
+"""Figure 6: simple query rate vs number of threads (single host).
+
+Paper: MySQL-direct peaks over 2300 q/s; through the web service the rate
+drops roughly an order of magnitude; database size has little effect.
+"""
+
+from repro.bench import print_series, sweep_figure6
+from repro.bench.report import shape_checks
+
+
+def test_figure6_simple_query_rate_vs_threads(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: sweep_figure6(config), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 6: Simple Query Rate with Varying Threads (Single Client Host)",
+        "threads",
+        rows,
+    )
+    checks = shape_checks(rows)
+    print(f"direct/soap peak ratio: {checks.get('direct_over_soap_peak', 0):.1f}x "
+          "(paper: ~19x)")
+    assert all(r["rate"] > 0 for r in rows)
+    assert checks.get("direct_over_soap_peak", 0) > 2.0
+
+    # DB size has little effect on simple (indexed) queries: for each
+    # mode the largest DB achieves at least a third of the smallest's rate.
+    for mode in ("direct", "soap"):
+        by_size = {}
+        for row in rows:
+            if row["mode"] == mode:
+                by_size.setdefault(row["db_size"], []).append(row["rate"])
+        sizes = sorted(by_size)
+        small_peak = max(by_size[sizes[0]])
+        large_peak = max(by_size[sizes[-1]])
+        assert large_peak > small_peak / 3, (
+            f"{mode}: simple queries should be ~flat in DB size "
+            f"({small_peak:.0f} -> {large_peak:.0f})"
+        )

@@ -1,0 +1,35 @@
+"""Figure 7: complex (10-attribute) query rate vs threads (single host).
+
+Paper: direct rates fall ~10× from the 100 k database to the 1 M / 5 M
+databases; through the web service the drop is >50% for larger sizes.
+The mechanism is the cost of matching all ten user-defined attributes —
+candidate sets grow with database size.
+"""
+
+from repro.bench import print_series, sweep_figure7
+
+
+def test_figure7_complex_query_rate_vs_threads(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: sweep_figure7(config), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 7: Complex Query Rate with Varying Threads (Single Client Host)",
+        "threads",
+        rows,
+    )
+    assert all(r["rate"] > 0 for r in rows)
+
+    # Core shape: complex-query throughput degrades with database size.
+    by_size = {}
+    for row in rows:
+        if row["mode"] == "direct":
+            by_size.setdefault(row["db_size"], []).append(row["rate"])
+    sizes = sorted(by_size)
+    small_peak = max(by_size[sizes[0]])
+    large_peak = max(by_size[sizes[-1]])
+    print(f"direct complex-query degradation small->large: "
+          f"{small_peak / large_peak:.1f}x (paper: ~10x)")
+    assert large_peak < small_peak, (
+        "complex queries must slow down as the database grows"
+    )

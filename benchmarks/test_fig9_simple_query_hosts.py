@@ -1,0 +1,29 @@
+"""Figure 9: simple query rate vs number of client hosts.
+
+Paper: direct rate rises strongly with hosts (≈2000 → ≈6800 q/s at 6
+hosts); the web-service rate rises from ~40 to ~280 q/s at 10 hosts;
+database size does not affect simple queries.
+"""
+
+from repro.bench import print_series, sweep_figure9
+
+
+def test_figure9_simple_query_rate_vs_hosts(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: sweep_figure9(config), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 9: Simple Query Rate with Varying Number of Client Hosts",
+        "hosts",
+        rows,
+    )
+    assert all(r["rate"] > 0 for r in rows)
+
+    # Shape: soap rate grows with hosts before any plateau.
+    soap = [r for r in rows if r["mode"] == "soap"]
+    for size in {r["db_size"] for r in soap}:
+        series = sorted((r["x"], r["rate"]) for r in soap if r["db_size"] == size)
+        assert max(rate for _, rate in series) >= series[0][1], (
+            "aggregate simple-query rate should not fall below the "
+            "single-host rate"
+        )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The §9 future-work design: federated metadata catalogs.
+
+Several self-consistent local MCS instances push periodic soft-state
+summaries to an aggregating index node; clients query the index to find
+candidate catalogs, then issue subqueries only to those — the same
+pattern Giggle uses for replica location.
+
+    python examples/federated_mcs.py
+"""
+
+from repro.federation import FederatedMCS, LocalMCS, MCSIndexNode
+from repro.ligo import generate_products, register_ligo_attributes
+
+
+def main() -> None:
+    # -- Three sites, each with its own complete MCS -------------------------
+    members = {}
+    for site, seed in (("caltech", 1), ("mit", 2), ("uwm", 3)):
+        member = LocalMCS(site)
+        register_ligo_attributes(member.client)
+        for product in generate_products(50, seed=seed):
+            member.client.create_logical_file(
+                f"{site}.{product.logical_name}",
+                data_type="gwf",
+                attributes=product.attributes,
+            )
+        members[site] = member
+        print(f"{site}: {member.client.stats()['files']} files published locally")
+
+    # -- Index node + federation client ----------------------------------------
+    index = MCSIndexNode(timeout=300.0)
+    federation = FederatedMCS(index, members)
+    federation.refresh_all()
+    print(f"index node aggregates {index.total_files()} files "
+          f"from {len(index.known_catalogs())} catalogs")
+
+    # -- Federated discovery -----------------------------------------------------
+    for request in (
+        {"interferometer": "H1", "data_product": "pulsar_search"},
+        {"interferometer": "L1", "run": "S1"},
+        {"data_product": "frequency_spectrum"},
+    ):
+        before = federation.subqueries_issued
+        results = federation.query_files_by_attributes(request)
+        issued = federation.subqueries_issued - before
+        total = sum(len(v) for v in results.values())
+        print(
+            f"query {request}: {total} files from {sorted(results)} "
+            f"({issued} subqueries — index pruned "
+            f"{len(members) - issued} catalog(s))" if issued < len(members)
+            else f"query {request}: {total} files from {sorted(results)} "
+                 f"({issued} subqueries)"
+        )
+
+    # -- Soft state: an unrefreshed catalog ages out ------------------------------
+    fast_index = MCSIndexNode(timeout=0.0)  # everything expires immediately
+    stale_fed = FederatedMCS(fast_index, members)
+    stale_fed.refresh_all()
+    results = stale_fed.query_files_by_attributes({"interferometer": "H1"})
+    print(f"with expired soft state the index returns no candidates: {results}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: publish metadata, discover data, annotate, trace provenance.
+
+Runs a Metadata Catalog Service fully in-process, then the same operations
+over SOAP/HTTP, demonstrating the whole public API surface in one script.
+
+    python examples/quickstart.py
+"""
+
+import datetime as dt
+
+from repro.core import MCSClient, MCSService, ObjectQuery
+from repro.soap import SoapServer
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Stand up an MCS and a client (in-process: no SOAP, no sockets).
+    # ------------------------------------------------------------------
+    service = MCSService()
+    client = MCSClient.in_process(service, caller="/O=Grid/OU=Demo/CN=Alice")
+
+    # ------------------------------------------------------------------
+    # 2. Extend the schema with application attributes (§5 extensibility).
+    # ------------------------------------------------------------------
+    client.define_attribute("experiment", "string", description="campaign name")
+    client.define_attribute("temperature_k", "float")
+    client.define_attribute("run_number", "int")
+    client.define_attribute("observed_on", "date")
+
+    # ------------------------------------------------------------------
+    # 3. Publish: collections group files and carry authorization scope.
+    # ------------------------------------------------------------------
+    client.create_collection("demo-2003", description="demo campaign")
+    for run in range(1, 6):
+        client.create_logical_file(
+            f"sensor-run{run:03d}.dat",
+            data_type="binary",
+            collection="demo-2003",
+            attributes={
+                "experiment": "calibration" if run % 2 else "science",
+                "temperature_k": 270.0 + run,
+                "run_number": run,
+                "observed_on": dt.date(2003, 11, run),
+            },
+        )
+    print("published:", client.list_collection("demo-2003"))
+
+    # ------------------------------------------------------------------
+    # 4. Discover by attributes — the core MCS operation.
+    # ------------------------------------------------------------------
+    science = client.query_files_by_attributes({"experiment": "science"})
+    print("science runs:", science)
+
+    warm = client.query(ObjectQuery().where("temperature_k", ">", 272.5))
+    print("warm runs:", warm)
+
+    ranged = client.query(
+        ObjectQuery()
+        .where("observed_on", "between", (dt.date(2003, 11, 2), dt.date(2003, 11, 4)))
+        .where_field("data_type", "=", "binary")
+    )
+    print("observed Nov 2-4:", ranged)
+
+    # ------------------------------------------------------------------
+    # 5. Views: personal groupings without authorization effect.
+    # ------------------------------------------------------------------
+    client.create_view("alice-favourites", description="runs worth a second look")
+    client.add_to_view("alice-favourites", files=science[:2])
+    print("view members:", [m["name"] for m in client.list_view("alice-favourites")])
+
+    # ------------------------------------------------------------------
+    # 6. Annotations and provenance.
+    # ------------------------------------------------------------------
+    target = science[0]
+    client.annotate("file", target, "spike at t=120s — check the sensor")
+    client.add_transformation(target, "calibrated with pipeline v2.1")
+    print("annotations:", [a["text"] for a in client.get_annotations("file", target)])
+    print("history:", [t["description"] for t in client.get_transformations(target)])
+
+    # ------------------------------------------------------------------
+    # 7. Versioning and the valid flag.
+    # ------------------------------------------------------------------
+    client.create_logical_file(target, version=2, data_type="binary")
+    print("versions of", target, "->", client.list_versions(target))
+    client.modify_logical_file(target, version=1, valid=False)
+    print("v1 valid?", client.get_logical_file(target, version=1)["valid"])
+
+    # ------------------------------------------------------------------
+    # 8. The same service over SOAP/HTTP (the paper's deployment model).
+    # ------------------------------------------------------------------
+    with SoapServer(service.handle, fault_mapper=service.fault_mapper) as server:
+        remote = MCSClient.connect(*server.endpoint, caller="/O=Grid/CN=Bob")
+        print("over SOAP:", remote.query_files_by_attributes({"experiment": "science"}))
+        print("stats:", remote.stats())
+        remote.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "A Metadata Catalog Service for Data Intensive
+Applications" (Singh et al., SC 2003).
+
+Subpackages
+-----------
+
+``repro.core``
+    The Metadata Catalog Service itself: data model, schema, catalog
+    operations, attribute-query translation, policy-enforcing service and
+    the synchronous client API.
+``repro.db``
+    The embedded relational database engine backing the catalog.
+``repro.soap``
+    The SOAP-over-HTTP web service stack (and in-process transports).
+``repro.security``
+    Simulated GSI (CAs, proxies, signed request tokens), CAS capability
+    assertions, and the MCS authorization model.
+``repro.rls`` / ``repro.gridftp`` / ``repro.pegasus``
+    The surrounding Grid data-management substrate: replica location,
+    data transfer, and workflow planning.
+``repro.esg`` / ``repro.ligo``
+    The paper's two application integrations.
+``repro.federation``
+    The §9 future-work federated-catalog design.
+``repro.workloads`` / ``repro.bench``
+    The §7 scalability-study workloads and measurement harness.
+
+Quickest start::
+
+    from repro.core import MCSService, MCSClient
+
+    client = MCSClient.in_process(MCSService(), caller="/O=Grid/CN=You")
+    client.define_attribute("experiment", "string")
+    client.create_logical_file("f1", attributes={"experiment": "pulsar"})
+    client.query_files_by_attributes({"experiment": "pulsar"})
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Singh, Bharathi, Chervenak, Deelman, Kesselman, Manohar, Patil, "
+    "Pearlman. A Metadata Catalog Service for Data Intensive Applications. "
+    "SC'03, Phoenix, AZ, 2003."
+)

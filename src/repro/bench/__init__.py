@@ -1,0 +1,37 @@
+"""Benchmark harness for the §7 scalability study.
+
+* :mod:`repro.bench.timing` — closed-loop rate measurement;
+* :mod:`repro.bench.driver` — multi-threaded client drivers over the
+  direct and SOAP transports;
+* :mod:`repro.bench.hosts` — multi-"host" (client-group) drivers;
+* :mod:`repro.bench.sweeps` — one runner per paper figure (5–11);
+* :mod:`repro.bench.report` — series printing in the paper's format.
+"""
+
+from repro.bench.driver import BenchEnvironment, run_closed_loop
+from repro.bench.report import format_series, print_series
+from repro.bench.sweeps import (
+    BenchConfig,
+    sweep_figure5,
+    sweep_figure6,
+    sweep_figure7,
+    sweep_figure8,
+    sweep_figure9,
+    sweep_figure10,
+    sweep_figure11,
+)
+
+__all__ = [
+    "BenchEnvironment",
+    "run_closed_loop",
+    "BenchConfig",
+    "sweep_figure5",
+    "sweep_figure6",
+    "sweep_figure7",
+    "sweep_figure8",
+    "sweep_figure9",
+    "sweep_figure10",
+    "sweep_figure11",
+    "format_series",
+    "print_series",
+]

@@ -1,0 +1,128 @@
+"""Client drivers: threads of closed-loop MCS clients, two transports.
+
+``BenchEnvironment`` owns one populated catalog, its service, and a
+running SOAP server; drivers then spawn client threads over either
+transport.  The two modes reproduce the paper's comparison:
+
+* ``mode="direct"`` — clients call the service in-process ("MySQL
+  without web service" in §7: database access plus the request→SQL
+  conversion overhead);
+* ``mode="soap"`` — clients speak SOAP over a real TCP connection ("MCS
+  with web service").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.bench.timing import RateResult, count_until_stopped, run_workers
+from repro.core.catalog import MetadataCatalog
+from repro.core.client import MCSClient
+from repro.core.service import MCSService
+from repro.soap.server import SoapServer
+from repro.workloads.population import PopulationSpec, populate_catalog
+from repro.workloads.queries import QueryWorkload
+
+OpFactory = Callable[[MCSClient, str], Callable[[int], None]]
+
+
+class BenchEnvironment:
+    """One populated MCS instance plus transports for benchmarking."""
+
+    def __init__(self, spec: PopulationSpec, soap_latency_s: float = 0.015) -> None:
+        self.spec = spec
+        # Simulated client↔server network distance for SOAP clients; see
+        # HttpTransport.simulated_latency_s and DESIGN.md (substitutions).
+        self.soap_latency_s = soap_latency_s
+        self.catalog = MetadataCatalog()
+        populate_catalog(self.catalog, spec)
+        self.service = MCSService(self.catalog)
+        self._server: Optional[SoapServer] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def server(self) -> SoapServer:
+        if self._server is None:
+            self._server = SoapServer(
+                self.service.handle, fault_mapper=self.service.fault_mapper
+            ).start()
+        return self._server
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
+    # -- clients ---------------------------------------------------------------
+
+    def make_client(self, mode: str) -> MCSClient:
+        if mode == "direct":
+            return MCSClient.in_process(self.service, caller="bench")
+        if mode == "soap":
+            from repro.soap.transport import HttpTransport
+
+            host, port = self.server.endpoint
+            transport = HttpTransport(
+                host, port, simulated_latency_s=self.soap_latency_s
+            )
+            return MCSClient(transport, caller="bench")
+        raise ValueError(f"unknown mode {mode!r}")
+
+    # -- operation factories ------------------------------------------------------
+
+    def add_delete_op(self, client: MCSClient, worker_id: str) -> Callable[[int], None]:
+        """The §7 add operation: add a file with 10 attributes, then
+        delete it to keep the database size constant."""
+        workload = QueryWorkload(self.spec, seed=hash(worker_id) & 0xFFFF)
+
+        def op(_: int) -> None:
+            name, attributes = workload.add_args(worker_id)
+            client.create_logical_file(name, attributes=attributes)
+            client.delete_logical_file(name)
+
+        return op
+
+    def simple_query_op(self, client: MCSClient, worker_id: str) -> Callable[[int], None]:
+        workload = QueryWorkload(self.spec, seed=hash(worker_id) & 0xFFFF)
+
+        def op(_: int) -> None:
+            field, value = workload.simple_query_args()
+            client.simple_query(field, value)
+
+        return op
+
+    def complex_query_op(
+        self, client: MCSClient, worker_id: str, num_attributes: int = 10
+    ) -> Callable[[int], None]:
+        workload = QueryWorkload(self.spec, seed=hash(worker_id) & 0xFFFF)
+
+        def op(_: int) -> None:
+            conditions = workload.complex_query_conditions(num_attributes)
+            client.query_files_by_attributes(conditions)
+
+        return op
+
+
+def run_closed_loop(
+    env: BenchEnvironment,
+    mode: str,
+    op_factory: OpFactory,
+    threads: int,
+    duration: float,
+    worker_prefix: str = "w",
+) -> RateResult:
+    """Measure ops/second with *threads* closed-loop clients."""
+    clients = [env.make_client(mode) for _ in range(threads)]
+    try:
+        worker_fns = []
+        for idx, client in enumerate(clients):
+            op = op_factory(client, f"{worker_prefix}{idx}")
+            worker_fns.append(
+                lambda stop, op=op: count_until_stopped(op, stop)
+            )
+        return run_workers(worker_fns, duration)
+    finally:
+        for client in clients:
+            client.close()

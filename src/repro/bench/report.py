@@ -1,0 +1,68 @@
+"""Formatting benchmark series in the paper's figure layout."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    rows: Sequence[dict[str, Any]],
+    series_keys: Sequence[str] = ("db_size", "mode"),
+    x_key: str = "x",
+    rate_key: str = "rate",
+) -> str:
+    """Render sweep rows as one table: x values down, series across.
+
+    ``rows`` are dicts with at least x_key, rate_key and the series keys.
+    """
+    def series_of(row: dict[str, Any]) -> tuple:
+        return tuple(row[k] for k in series_keys)
+
+    series = sorted({series_of(r) for r in rows})
+    xs = sorted({r[x_key] for r in rows})
+    headers = [x_label] + [
+        "/".join(str(part) for part in s) for s in series
+    ]
+    table: list[list[str]] = [headers]
+    for x in xs:
+        line = [str(x)]
+        for s in series:
+            match = [
+                r
+                for r in rows
+                if r[x_key] == x and series_of(r) == s
+            ]
+            line.append(f"{match[0][rate_key]:.1f}" if match else "-")
+        table.append(line)
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = [f"== {title} (rates in operations/second) =="]
+    for row_idx, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if row_idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    rows: Sequence[dict[str, Any]],
+    **kwargs: Any,
+) -> None:
+    print("\n" + format_series(title, x_label, rows, **kwargs) + "\n", flush=True)
+
+
+def shape_checks(rows: Sequence[dict[str, Any]]) -> dict[str, float]:
+    """Summary ratios used by EXPERIMENTS.md (direct/soap gap etc.)."""
+    by_mode: dict[str, list[float]] = {}
+    for row in rows:
+        by_mode.setdefault(row.get("mode", "?"), []).append(row["rate"])
+    out: dict[str, float] = {}
+    if "direct" in by_mode and "soap" in by_mode:
+        direct_peak = max(by_mode["direct"])
+        soap_peak = max(by_mode["soap"])
+        if soap_peak > 0:
+            out["direct_over_soap_peak"] = direct_peak / soap_peak
+    return out

@@ -1,0 +1,199 @@
+"""Per-figure sweep runners (Figures 5–11 of the paper).
+
+Database sizes are scaled-down versions of the paper's 100 k / 1 M / 5 M
+logical files, preserving the 1 : 10 : 50 ratio; the ``MCS_BENCH_SCALE``
+environment variable multiplies the defaults.  Populated environments are
+cached per size so the whole suite pays each population once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.bench.driver import BenchEnvironment, run_closed_loop
+from repro.bench.hosts import run_host_groups
+from repro.workloads.population import PopulationSpec
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("MCS_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+@dataclass
+class BenchConfig:
+    """Sweep parameters; defaults reproduce every series at small scale."""
+
+    db_sizes: tuple[int, ...] = ()
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8, 12)
+    host_counts: tuple[int, ...] = (1, 2, 4, 6)
+    duration: float = 0.4
+    files_per_collection: int = 100
+    value_cardinality: int = 50
+    soap_latency_s: float = 0.015
+    """Simulated client<->server network latency for SOAP clients (the
+    multi-host substitution documented in DESIGN.md)."""
+
+    def __post_init__(self) -> None:
+        if not self.db_sizes:
+            scale = _scale()
+            base = (400, 4000, 20000)  # 1 : 10 : 50, like 100k/1M/5M
+            self.db_sizes = tuple(max(100, int(b * scale)) for b in base)
+
+    def spec(self, size: int) -> PopulationSpec:
+        return PopulationSpec(
+            total_files=size,
+            files_per_collection=self.files_per_collection,
+            value_cardinality=self.value_cardinality,
+        )
+
+
+_ENV_CACHE: dict[tuple, BenchEnvironment] = {}
+
+
+def get_environment(config: BenchConfig, size: int) -> BenchEnvironment:
+    """Shared populated environment per (size, layout) tuple."""
+    key = (size, config.files_per_collection, config.value_cardinality)
+    env = _ENV_CACHE.get(key)
+    if env is None:
+        env = BenchEnvironment(config.spec(size), soap_latency_s=config.soap_latency_s)
+        _ENV_CACHE[key] = env
+    return env
+
+
+def clear_environments() -> None:
+    for env in _ENV_CACHE.values():
+        env.close()
+    _ENV_CACHE.clear()
+
+
+# --------------------------------------------------------------------------
+# Single-host thread sweeps (Figures 5, 6, 7)
+# --------------------------------------------------------------------------
+
+
+def _thread_sweep(
+    config: BenchConfig,
+    op_name: str,
+    modes: tuple[str, ...] = ("direct", "soap"),
+    db_sizes: Optional[tuple[int, ...]] = None,
+) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    for size in db_sizes or config.db_sizes:
+        env = get_environment(config, size)
+        factory = getattr(env, op_name)
+        for mode in modes:
+            for threads in config.thread_counts:
+                result = run_closed_loop(
+                    env, mode, factory, threads, config.duration,
+                    worker_prefix=f"{mode}-{size}-",
+                )
+                rows.append(
+                    {
+                        "db_size": size,
+                        "mode": mode,
+                        "x": threads,
+                        "rate": result.rate,
+                        "operations": result.operations,
+                    }
+                )
+    return rows
+
+
+def sweep_figure5(config: BenchConfig) -> list[dict[str, Any]]:
+    """Figure 5: add rate vs #threads (single host), direct vs soap."""
+    return _thread_sweep(config, "add_delete_op")
+
+
+def sweep_figure6(config: BenchConfig) -> list[dict[str, Any]]:
+    """Figure 6: simple query rate vs #threads, direct vs soap."""
+    return _thread_sweep(config, "simple_query_op")
+
+
+def sweep_figure7(config: BenchConfig) -> list[dict[str, Any]]:
+    """Figure 7: complex (10-attribute) query rate vs #threads."""
+    return _thread_sweep(config, "complex_query_op")
+
+
+# --------------------------------------------------------------------------
+# Multi-host sweeps (Figures 8, 9, 10)
+# --------------------------------------------------------------------------
+
+
+def _host_sweep(
+    config: BenchConfig,
+    op_name: str,
+    modes: tuple[str, ...] = ("direct", "soap"),
+    host_counts: Optional[tuple[int, ...]] = None,
+) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    for size in config.db_sizes:
+        env = get_environment(config, size)
+        factory = getattr(env, op_name)
+        for mode in modes:
+            for hosts in host_counts or config.host_counts:
+                result = run_host_groups(
+                    env, mode, factory, hosts, duration=config.duration
+                )
+                rows.append(
+                    {
+                        "db_size": size,
+                        "mode": mode,
+                        "x": hosts,
+                        "rate": result.rate,
+                        "operations": result.operations,
+                    }
+                )
+    return rows
+
+
+def sweep_figure8(config: BenchConfig) -> list[dict[str, Any]]:
+    """Figure 8: add rate vs #hosts (4 threads each)."""
+    return _host_sweep(config, "add_delete_op")
+
+
+def sweep_figure9(config: BenchConfig) -> list[dict[str, Any]]:
+    """Figure 9: simple query rate vs #hosts (sweeps up to 10 hosts)."""
+    extended = tuple(sorted(set(config.host_counts) | {8, 10}))
+    return _host_sweep(config, "simple_query_op", host_counts=extended)
+
+
+def sweep_figure10(config: BenchConfig) -> list[dict[str, Any]]:
+    """Figure 10: complex query rate vs #hosts."""
+    return _host_sweep(config, "complex_query_op")
+
+
+# --------------------------------------------------------------------------
+# Attribute-count sweep (Figure 11)
+# --------------------------------------------------------------------------
+
+
+def sweep_figure11(
+    config: BenchConfig,
+    attribute_counts: tuple[int, ...] = (1, 2, 4, 6, 8, 10),
+) -> list[dict[str, Any]]:
+    """Figure 11: direct complex-query rate vs number of attributes."""
+    rows: list[dict[str, Any]] = []
+    for size in config.db_sizes:
+        env = get_environment(config, size)
+        for count in attribute_counts:
+            def factory(client, worker_id, count=count):
+                return env.complex_query_op(client, worker_id, num_attributes=count)
+
+            result = run_closed_loop(
+                env, "direct", factory, threads=4, duration=config.duration
+            )
+            rows.append(
+                {
+                    "db_size": size,
+                    "mode": "direct",
+                    "x": count,
+                    "rate": result.rate,
+                    "operations": result.operations,
+                }
+            )
+    return rows

@@ -1,0 +1,79 @@
+"""Closed-loop rate measurement primitives."""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class RateResult:
+    """Outcome of one timed run."""
+
+    operations: int
+    seconds: float
+    workers: int
+    errors: int = 0
+
+    @property
+    def rate(self) -> float:
+        """Operations per second."""
+        return self.operations / self.seconds if self.seconds > 0 else 0.0
+
+
+def run_workers(
+    worker_fns: list[Callable[[threading.Event], int]],
+    duration: float,
+) -> RateResult:
+    """Run each callable in its own thread until the deadline.
+
+    Each worker receives a stop Event and returns its completed-operation
+    count; the measured window starts when all workers are ready (barrier)
+    and ends when the stop flag is raised.
+    """
+    counts = [0] * len(worker_fns)
+    errors = [0] * len(worker_fns)
+    stop = threading.Event()
+    start_barrier = threading.Barrier(len(worker_fns) + 1)
+
+    def runner(idx: int, fn: Callable[[threading.Event], int]) -> None:
+        try:
+            start_barrier.wait()
+        except threading.BrokenBarrierError:  # pragma: no cover
+            return
+        try:
+            counts[idx] = fn(stop)
+        except Exception:
+            errors[idx] += 1
+            raise
+
+    threads = [
+        threading.Thread(target=runner, args=(i, fn), daemon=True)
+        for i, fn in enumerate(worker_fns)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    started = time.perf_counter()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    elapsed = time.perf_counter() - started
+    return RateResult(
+        operations=sum(counts),
+        seconds=elapsed,
+        workers=len(worker_fns),
+        errors=sum(errors),
+    )
+
+
+def count_until_stopped(op: Callable[[int], None], stop: threading.Event) -> int:
+    """Loop *op* until the stop flag; returns completed iterations."""
+    done = 0
+    while not stop.is_set():
+        op(done)
+        done += 1
+    return done

@@ -1,0 +1,243 @@
+"""Command-line interface: run an MCS server and talk to it.
+
+Server::
+
+    mcs serve [--host H] [--port P] [--data-dir DIR] [--granularity G]
+
+Client (all commands take ``--host``/``--port``; default localhost:8686)::
+
+    mcs ping
+    mcs stats
+    mcs define-attribute NAME TYPE [--description TEXT]
+    mcs add-file NAME [--collection C] [--data-type T] [--attr k=v ...]
+    mcs get-file NAME
+    mcs query [--attr k=v ...] [--field k=v ...]
+    mcs create-collection NAME [--parent P]
+    mcs list-collection NAME
+    mcs annotate NAME TEXT
+    mcs annotations NAME
+
+Attribute values given as ``k=v`` are parsed against the attribute's
+declared type (ints, floats, dates as YYYY-MM-DD, etc.).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+DEFAULT_PORT = 8686
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort typed parse of a command-line attribute value."""
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            pass
+    try:
+        return _dt.date.fromisoformat(text)
+    except ValueError:
+        pass
+    try:
+        return _dt.datetime.fromisoformat(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_pairs(pairs: Optional[Sequence[str]]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"expected key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        out[key] = _parse_value(value)
+    return out
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (_dt.date, _dt.time, _dt.datetime)):
+        return value.isoformat()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _emit(value: Any) -> None:
+    print(json.dumps(_jsonable(value), indent=2, sort_keys=True))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mcs", description="Metadata Catalog Service command line"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--caller", default="/O=Grid/CN=cli")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run an MCS SOAP server")
+    serve.add_argument("--data-dir", default=None,
+                       help="durable database directory (default: in-memory)")
+    serve.add_argument("--granularity", default="none",
+                       choices=("none", "service", "object"))
+
+    sub.add_parser("ping", help="liveness check")
+    sub.add_parser("stats", help="catalog object counts")
+    sub.add_parser("list-attributes", help="defined user attributes")
+
+    define = sub.add_parser("define-attribute", help="define a user attribute")
+    define.add_argument("name")
+    define.add_argument("value_type",
+                        choices=("string", "int", "float", "date", "time", "datetime"))
+    define.add_argument("--description", default=None)
+
+    add = sub.add_parser("add-file", help="create a logical file")
+    add.add_argument("name")
+    add.add_argument("--collection", default=None)
+    add.add_argument("--data-type", default=None)
+    add.add_argument("--version", type=int, default=1)
+    add.add_argument("--attr", action="append", metavar="K=V")
+
+    get = sub.add_parser("get-file", help="static + user attributes of a file")
+    get.add_argument("name")
+    get.add_argument("--version", type=int, default=None)
+
+    delete = sub.add_parser("delete-file", help="delete a logical file")
+    delete.add_argument("name")
+    delete.add_argument("--version", type=int, default=None)
+
+    query = sub.add_parser("query", help="attribute-based discovery")
+    query.add_argument("--attr", action="append", metavar="K=V",
+                       help="user-attribute equality condition")
+    query.add_argument("--field", action="append", metavar="K=V",
+                       help="predefined-field equality condition")
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--explain", action="store_true",
+                       help="show the physical query plan instead of results")
+
+    coll = sub.add_parser("create-collection", help="create a collection")
+    coll.add_argument("name")
+    coll.add_argument("--parent", default=None)
+    coll.add_argument("--description", default=None)
+
+    lsc = sub.add_parser("list-collection", help="files in a collection")
+    lsc.add_argument("name")
+
+    ann = sub.add_parser("annotate", help="attach an annotation to a file")
+    ann.add_argument("name")
+    ann.add_argument("text")
+
+    anns = sub.add_parser("annotations", help="annotations on a file")
+    anns.add_argument("name")
+
+    return parser
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from repro.core import MCSService, MetadataCatalog
+    from repro.db import Database
+    from repro.soap import SoapServer
+
+    db = Database(directory=args.data_dir) if args.data_dir else None
+    catalog = MetadataCatalog(db) if db is not None else None
+    service = MCSService(catalog, granularity=args.granularity)
+    server = SoapServer(
+        service.handle,
+        host=args.host,
+        port=args.port,
+        description=service.description(),
+        fault_mapper=service.fault_mapper,
+    )
+    server.start()
+    print(f"MCS listening on http://{server.host}:{server.port}/soap "
+          f"(WSDL at /wsdl); Ctrl-C to stop", flush=True)
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if db is not None:
+            db.checkpoint()
+            db.close()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
+
+    from repro.core import MCSClient, ObjectQuery
+    from repro.core.errors import MCSError
+
+    client = MCSClient.connect(args.host, args.port, caller=args.caller)
+    try:
+        if args.command == "ping":
+            _emit(client.ping())
+        elif args.command == "stats":
+            _emit(client.stats())
+        elif args.command == "list-attributes":
+            _emit(client.list_attribute_defs())
+        elif args.command == "define-attribute":
+            _emit(client.define_attribute(args.name, args.value_type,
+                                          description=args.description))
+        elif args.command == "add-file":
+            attributes = _parse_pairs(args.attr) or None
+            _emit(client.create_logical_file(
+                args.name,
+                version=args.version,
+                data_type=args.data_type,
+                collection=args.collection,
+                attributes=attributes,
+            ))
+        elif args.command == "get-file":
+            record = client.get_logical_file(args.name, version=args.version)
+            record["user_attributes"] = client.get_attributes(
+                "file", args.name, version=args.version
+            )
+            _emit(record)
+        elif args.command == "delete-file":
+            _emit(client.delete_logical_file(args.name, version=args.version))
+        elif args.command == "query":
+            query = ObjectQuery(limit=args.limit)
+            for key, value in _parse_pairs(args.attr).items():
+                query.where(key, "=", value)
+            for key, value in _parse_pairs(args.field).items():
+                query.where_field(key, "=", value)
+            if args.explain:
+                _emit(client.explain_query(query))
+            else:
+                _emit(client.query(query))
+        elif args.command == "create-collection":
+            _emit(client.create_collection(args.name, parent=args.parent,
+                                           description=args.description))
+        elif args.command == "list-collection":
+            _emit(client.list_collection(args.name))
+        elif args.command == "annotate":
+            _emit(client.annotate("file", args.name, args.text))
+        elif args.command == "annotations":
+            _emit(client.get_annotations("file", args.name))
+        else:  # pragma: no cover - argparse enforces choices
+            raise SystemExit(f"unknown command {args.command!r}")
+    except MCSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Master-copy data consistency service.
+
+The MCS deliberately stores almost no physical metadata, with one
+exception (§3): "To support replica management and data consistency, the
+Metadata Service may provide support for associating a *master copy*
+attribute with metadata mappings.  A master copy is the definitive
+physical copy of a data item; typically, updates are made to the master
+copy and then propagated to other copies."
+
+:class:`~repro.consistency.manager.ConsistencyManager` is the
+"higher level data consistency service" the paper alludes to: it updates
+the master copy, bumps a version, propagates content to every replica
+registered in the RLS, and can audit replica freshness by checksum.
+"""
+
+from repro.consistency.manager import ConsistencyManager, ReplicaState
+
+__all__ = ["ConsistencyManager", "ReplicaState"]

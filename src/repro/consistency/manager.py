@@ -1,0 +1,139 @@
+"""Propagating updates from a file's master copy to its replicas."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.client import MCSClient
+from repro.gridftp.transfer import GridFTPServer, parse_gsiftp_url
+from repro.rls.client import RLSClient
+
+
+class ReplicaState(enum.Enum):
+    """Freshness of one replica relative to the master copy."""
+
+    CURRENT = "current"
+    STALE = "stale"
+    MISSING = "missing"
+    MASTER = "master"
+
+
+@dataclass(frozen=True)
+class ReplicaAudit:
+    """One replica's audit result."""
+
+    url: str
+    state: ReplicaState
+
+
+class ConsistencyManager:
+    """Keeps replicas of a logical file consistent with its master copy.
+
+    The MCS stores *which* physical copy is definitive (``master_copy``);
+    the RLS stores where the replicas are; GridFTP moves the bytes.  This
+    service glues them: ``update_master`` writes new content to the
+    master and propagates it; ``audit`` reports per-replica freshness;
+    ``repair`` re-pushes to stale replicas only.
+    """
+
+    def __init__(
+        self,
+        mcs: MCSClient,
+        rls: RLSClient,
+        gridftp: GridFTPServer,
+    ) -> None:
+        self.mcs = mcs
+        self.rls = rls
+        self.gridftp = gridftp
+
+    # -- designation ---------------------------------------------------------
+
+    def designate_master(self, logical_name: str, master_url: str) -> None:
+        """Record *master_url* as the file's definitive copy in the MCS."""
+        site, path = parse_gsiftp_url(master_url)  # validates the URL shape
+        if site not in self.gridftp.sites or not self.gridftp.sites[site].exists(path):
+            raise FileNotFoundError(f"no physical copy at {master_url}")
+        self.mcs.modify_logical_file(logical_name, master_copy=master_url)
+
+    def master_of(self, logical_name: str) -> str:
+        record = self.mcs.get_logical_file(logical_name)
+        master = record.get("master_copy")
+        if not master:
+            raise LookupError(f"{logical_name!r} has no master copy designated")
+        return master
+
+    # -- updates -----------------------------------------------------------------
+
+    def update_master(
+        self,
+        logical_name: str,
+        content: bytes,
+        propagate: bool = True,
+        note: Optional[str] = None,
+    ) -> int:
+        """Write new content to the master copy; optionally propagate.
+
+        Returns the number of replicas refreshed.  A transformation
+        record documents the update (provenance).
+        """
+        master_url = self.master_of(logical_name)
+        site_name, path = parse_gsiftp_url(master_url)
+        self.gridftp.sites[site_name].store(path, content)
+        self.mcs.add_transformation(
+            logical_name, note or "master copy updated"
+        )
+        if not propagate:
+            return 0
+        return self.propagate(logical_name)
+
+    def propagate(self, logical_name: str) -> int:
+        """Push the master's current content to every registered replica."""
+        master_url = self.master_of(logical_name)
+        refreshed = 0
+        for replica_url in self._replica_urls(logical_name):
+            if replica_url == master_url:
+                continue
+            self.gridftp.transfer(master_url, replica_url)
+            refreshed += 1
+        return refreshed
+
+    # -- auditing ------------------------------------------------------------------
+
+    def audit(self, logical_name: str) -> list[ReplicaAudit]:
+        """Compare every replica's checksum against the master's."""
+        master_url = self.master_of(logical_name)
+        master_site, master_path = parse_gsiftp_url(master_url)
+        master_sum = self.gridftp.sites[master_site].checksum(master_path)
+        out = [ReplicaAudit(master_url, ReplicaState.MASTER)]
+        for replica_url in self._replica_urls(logical_name):
+            if replica_url == master_url:
+                continue
+            site_name, path = parse_gsiftp_url(replica_url)
+            site = self.gridftp.sites.get(site_name)
+            if site is None or not site.exists(path):
+                out.append(ReplicaAudit(replica_url, ReplicaState.MISSING))
+            elif site.checksum(path) != master_sum:
+                out.append(ReplicaAudit(replica_url, ReplicaState.STALE))
+            else:
+                out.append(ReplicaAudit(replica_url, ReplicaState.CURRENT))
+        return out
+
+    def repair(self, logical_name: str) -> int:
+        """Re-push the master's content to stale or missing replicas only."""
+        master_url = self.master_of(logical_name)
+        repaired = 0
+        for entry in self.audit(logical_name):
+            if entry.state in (ReplicaState.STALE, ReplicaState.MISSING):
+                self.gridftp.transfer(master_url, entry.url)
+                repaired += 1
+        return repaired
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _replica_urls(self, logical_name: str) -> list[str]:
+        urls: list[str] = []
+        for replicas in self.rls.lookup(logical_name).values():
+            urls.extend(replicas)
+        return sorted(set(urls))

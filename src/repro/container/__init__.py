@@ -1,0 +1,25 @@
+"""External container service.
+
+The MCS schema carries ``container_id`` / ``container_service`` attributes
+pointing at "an external container service that is used to group together
+large numbers of relatively small data objects for efficient data storage
+and transfer.  The external container service is responsible for
+constructing containers and extracting individual data items from the
+container" (§3/§5).
+
+* :mod:`repro.container.format` — the on-disk container format (indexed
+  aggregate with per-member checksums);
+* :mod:`repro.container.service` — the service: build containers on
+  storage sites, extract members, register membership in the MCS.
+"""
+
+from repro.container.format import ContainerFormatError, pack_container, unpack_container, list_members
+from repro.container.service import ContainerService
+
+__all__ = [
+    "pack_container",
+    "unpack_container",
+    "list_members",
+    "ContainerFormatError",
+    "ContainerService",
+]

@@ -1,0 +1,116 @@
+"""The container file format.
+
+Layout (all integers big-endian)::
+
+    magic    4 bytes   b"MCScontain"[:4] = b"MCSc"
+    version  2 bytes   format version (1)
+    count    4 bytes   number of members
+    index    per member:
+        name_len   2 bytes
+        name       name_len bytes (UTF-8)
+        offset     8 bytes   into the data section
+        size       8 bytes
+        sha256     32 bytes
+    data     concatenated member payloads
+
+Offsets are relative to the start of the data section so the index can be
+parsed without knowing its own size in advance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable, Mapping
+
+MAGIC = b"MCSc"
+VERSION = 1
+
+_HEADER = struct.Struct(">4sHI")
+_ENTRY_FIXED = struct.Struct(">QQ32s")
+
+
+class ContainerFormatError(Exception):
+    """The blob is not a valid container."""
+
+
+def pack_container(members: Mapping[str, bytes]) -> bytes:
+    """Serialize members (name → payload) into one container blob."""
+    if not members:
+        raise ContainerFormatError("a container needs at least one member")
+    index_parts: list[bytes] = []
+    data_parts: list[bytes] = []
+    offset = 0
+    for name in sorted(members):
+        payload = members[name]
+        encoded = name.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ContainerFormatError(f"member name too long: {name[:40]}...")
+        index_parts.append(struct.pack(">H", len(encoded)))
+        index_parts.append(encoded)
+        index_parts.append(
+            _ENTRY_FIXED.pack(offset, len(payload), hashlib.sha256(payload).digest())
+        )
+        data_parts.append(payload)
+        offset += len(payload)
+    header = _HEADER.pack(MAGIC, VERSION, len(members))
+    return header + b"".join(index_parts) + b"".join(data_parts)
+
+
+def _parse_index(blob: bytes) -> tuple[dict[str, tuple[int, int, bytes]], int]:
+    """Returns ({name: (offset, size, digest)}, data_section_start)."""
+    if len(blob) < _HEADER.size:
+        raise ContainerFormatError("truncated container header")
+    magic, version, count = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise ContainerFormatError("bad magic; not a container")
+    if version != VERSION:
+        raise ContainerFormatError(f"unsupported container version {version}")
+    index: dict[str, tuple[int, int, bytes]] = {}
+    position = _HEADER.size
+    for _ in range(count):
+        if position + 2 > len(blob):
+            raise ContainerFormatError("truncated index")
+        (name_len,) = struct.unpack_from(">H", blob, position)
+        position += 2
+        name = blob[position : position + name_len].decode("utf-8")
+        position += name_len
+        if position + _ENTRY_FIXED.size > len(blob):
+            raise ContainerFormatError("truncated index entry")
+        offset, size, digest = _ENTRY_FIXED.unpack_from(blob, position)
+        position += _ENTRY_FIXED.size
+        index[name] = (offset, size, digest)
+    return index, position
+
+
+def list_members(blob: bytes) -> list[str]:
+    """Member names without extracting payloads."""
+    index, _ = _parse_index(blob)
+    return sorted(index)
+
+
+def unpack_container(blob: bytes) -> dict[str, bytes]:
+    """Extract every member, verifying checksums."""
+    index, data_start = _parse_index(blob)
+    out: dict[str, bytes] = {}
+    for name, (offset, size, digest) in index.items():
+        start = data_start + offset
+        payload = blob[start : start + size]
+        if len(payload) != size:
+            raise ContainerFormatError(f"member {name!r} truncated")
+        if hashlib.sha256(payload).digest() != digest:
+            raise ContainerFormatError(f"member {name!r} fails checksum")
+        out[name] = payload
+    return out
+
+
+def extract_member(blob: bytes, name: str) -> bytes:
+    """Extract one member, verifying its checksum."""
+    index, data_start = _parse_index(blob)
+    if name not in index:
+        raise KeyError(name)
+    offset, size, digest = index[name]
+    payload = blob[data_start + offset : data_start + offset + size]
+    if len(payload) != size or hashlib.sha256(payload).digest() != digest:
+        raise ContainerFormatError(f"member {name!r} corrupt")
+    return payload

@@ -1,0 +1,138 @@
+"""The container service: build, store, extract, and register containers."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.container.format import (
+    extract_member,
+    list_members,
+    pack_container,
+    unpack_container,
+)
+from repro.core.client import MCSClient
+from repro.gridftp.site import StorageSite
+
+
+class ContainerService:
+    """Groups small data objects into containers on storage sites.
+
+    A container lives at ``<site>:containers/<container_id>.mcsc``; member
+    logical files registered through :meth:`publish_container` carry the
+    MCS ``container_id`` and ``container_service`` attributes so clients
+    can find the service responsible for extraction.
+    """
+
+    def __init__(self, name: str = "container-svc") -> None:
+        self.name = name
+        self._sites: dict[str, StorageSite] = {}
+
+    def add_site(self, site: StorageSite) -> None:
+        self._sites[site.name] = site
+
+    @staticmethod
+    def container_path(container_id: str) -> str:
+        return f"containers/{container_id}.mcsc"
+
+    # -- construction ---------------------------------------------------------
+
+    def build_container(
+        self,
+        site_name: str,
+        container_id: str,
+        members: Mapping[str, bytes],
+    ) -> str:
+        """Pack members and store the container; returns its gsiftp URL."""
+        site = self._site(site_name)
+        blob = pack_container(members)
+        path = self.container_path(container_id)
+        site.store(path, blob)
+        return site.url_for(path)
+
+    def build_from_site_files(
+        self,
+        site_name: str,
+        container_id: str,
+        paths: list[str],
+        delete_originals: bool = True,
+    ) -> str:
+        """Containerize loose files already on the site."""
+        site = self._site(site_name)
+        members = {path: site.read(path) for path in paths}
+        url = self.build_container(site_name, container_id, members)
+        if delete_originals:
+            for path in paths:
+                site.delete(path)
+        return url
+
+    # -- access ------------------------------------------------------------------
+
+    def members(self, site_name: str, container_id: str) -> list[str]:
+        blob = self._blob(site_name, container_id)
+        return list_members(blob)
+
+    def extract(self, site_name: str, container_id: str, member: str) -> bytes:
+        """Extract one data item from a container (the service's job)."""
+        blob = self._blob(site_name, container_id)
+        return extract_member(blob, member)
+
+    def extract_all(self, site_name: str, container_id: str) -> dict[str, bytes]:
+        return unpack_container(self._blob(site_name, container_id))
+
+    def unpack_to_site(self, site_name: str, container_id: str) -> list[str]:
+        """Expand a container back into loose files on its site."""
+        site = self._site(site_name)
+        members = self.extract_all(site_name, container_id)
+        for name, payload in members.items():
+            site.store(name, payload)
+        return sorted(members)
+
+    # -- MCS integration -----------------------------------------------------------
+
+    def publish_container(
+        self,
+        mcs: MCSClient,
+        site_name: str,
+        container_id: str,
+        members: Mapping[str, bytes],
+        collection: Optional[str] = None,
+        data_type: str = "binary",
+    ) -> str:
+        """Build + store a container and register every member in the MCS
+        with container_id / container_service attributes."""
+        url = self.build_container(site_name, container_id, members)
+        for logical_name in members:
+            mcs.create_logical_file(
+                logical_name,
+                data_type=data_type,
+                collection=collection,
+                container_id=container_id,
+                container_service=self.name,
+            )
+        return url
+
+    def fetch_logical_file(
+        self, mcs: MCSClient, site_name: str, logical_name: str
+    ) -> bytes:
+        """Resolve a containerized logical file via its MCS record."""
+        record = mcs.get_logical_file(logical_name)
+        container_id = record.get("container_id")
+        if not container_id:
+            raise LookupError(f"{logical_name!r} is not containerized")
+        if record.get("container_service") not in (None, self.name):
+            raise LookupError(
+                f"{logical_name!r} belongs to service "
+                f"{record['container_service']!r}, not {self.name!r}"
+            )
+        return self.extract(site_name, container_id, logical_name)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _site(self, name: str) -> StorageSite:
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise LookupError(f"unknown site {name!r}") from None
+
+    def _blob(self, site_name: str, container_id: str) -> bytes:
+        return self._site(site_name).read(self.container_path(container_id))

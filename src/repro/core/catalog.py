@@ -1,0 +1,1030 @@
+"""MetadataCatalog: storage-level MCS operations.
+
+All operations the paper's client API lists (§5) are implemented here
+against the embedded relational engine; :class:`repro.core.service.MCSService`
+layers authentication, authorization and auditing on top.
+
+Thread model: one MetadataCatalog per server, safe for concurrent use —
+each public method uses a connection from a per-thread pool, and the
+underlying engine provides table-level locking.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import threading
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.core.errors import (
+    CycleError,
+    DuplicateObjectError,
+    InvalidAttributeError,
+    ObjectInUseError,
+    ObjectNotFoundError,
+)
+from repro.core.model import (
+    Annotation,
+    AttributeDef,
+    AttributeType,
+    AuditRecord,
+    ExternalCatalog,
+    LogicalCollection,
+    LogicalFile,
+    LogicalView,
+    ObjectType,
+    TransformationRecord,
+    UserInfo,
+    ViewMember,
+)
+from repro.core.query import ObjectQuery
+from repro.core.schema_def import install_schema
+from repro.db import Database, IntegrityError
+from repro.db.engine import Connection
+from repro.security.acl import AccessControlList, Permission
+
+
+def _now() -> _dt.datetime:
+    return _dt.datetime.now()
+
+
+_FILE_COLUMNS = (
+    "id, name, version, data_type, valid, collection_id, container_id, "
+    "container_service, master_copy, creator, created, last_modifier, "
+    "modified, audit_enabled"
+)
+
+
+class MetadataCatalog:
+    """The MCS storage layer over an embedded relational database."""
+
+    def __init__(self, db: Optional[Database] = None, install: bool = True) -> None:
+        self.db = db if db is not None else Database()
+        if install:
+            install_schema(self.db)
+        self._local = threading.local()
+        self._attr_cache: dict[str, AttributeDef] = {}
+        self._attr_cache_lock = threading.Lock()
+
+    # -- connection pooling ------------------------------------------------
+
+    @property
+    def _conn(self) -> Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self.db.connect()
+            self._local.conn = conn
+        return conn
+
+    # ======================================================================
+    # Logical files
+    # ======================================================================
+
+    def create_file(
+        self,
+        name: str,
+        version: int = 1,
+        data_type: Optional[str] = None,
+        collection: Optional[str] = None,
+        container_id: Optional[str] = None,
+        container_service: Optional[str] = None,
+        master_copy: Optional[str] = None,
+        creator: Optional[str] = None,
+        audit_enabled: bool = False,
+        attributes: Optional[dict[str, Any]] = None,
+    ) -> int:
+        """Create a logical file; returns its database id.
+
+        ``attributes`` maps user-defined attribute names (which must be
+        defined first via :meth:`define_attribute`) to values.
+        """
+        conn = self._conn
+        collection_id = None
+        if collection is not None:
+            collection_id = self._collection_id(conn, collection)
+        now = _now()
+        try:
+            result = conn.execute(
+                "INSERT INTO logical_file (name, version, data_type, valid, "
+                "collection_id, container_id, container_service, master_copy, "
+                "creator, created, last_modifier, modified, audit_enabled) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    name,
+                    version,
+                    data_type,
+                    True,
+                    collection_id,
+                    container_id,
+                    container_service,
+                    master_copy,
+                    creator,
+                    now,
+                    creator,
+                    now,
+                    audit_enabled,
+                ),
+            )
+        except IntegrityError as exc:
+            raise DuplicateObjectError(
+                f"logical file {name!r} version {version} already exists"
+            ) from exc
+        file_id = result.lastrowid
+        if attributes:
+            self._set_attributes(conn, ObjectType.FILE, file_id, attributes)
+        return file_id
+
+    def get_file(self, name: str, version: Optional[int] = None) -> LogicalFile:
+        """Static (predefined) attributes of a logical file.
+
+        When multiple versions exist, ``version`` must be supplied (paper
+        rule: name + version identify the data item uniquely).
+        """
+        conn = self._conn
+        if version is not None:
+            rows = conn.execute(
+                f"SELECT {_FILE_COLUMNS} FROM logical_file "
+                "WHERE name = ? AND version = ?",
+                (name, version),
+            ).fetchall()
+        else:
+            rows = conn.execute(
+                f"SELECT {_FILE_COLUMNS} FROM logical_file WHERE name = ?",
+                (name,),
+            ).fetchall()
+            if len(rows) > 1:
+                raise InvalidAttributeError(
+                    f"logical file {name!r} has {len(rows)} versions; "
+                    "specify one explicitly"
+                )
+        if not rows:
+            raise ObjectNotFoundError(f"no logical file {name!r}")
+        return _file_from_row(rows[0])
+
+    def file_exists(self, name: str, version: Optional[int] = None) -> bool:
+        try:
+            self.get_file(name, version)
+            return True
+        except ObjectNotFoundError:
+            return False
+
+    def list_versions(self, name: str) -> list[int]:
+        rows = self._conn.execute(
+            "SELECT version FROM logical_file WHERE name = ? ORDER BY version",
+            (name,),
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def update_file(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        modifier: Optional[str] = None,
+        **changes: Any,
+    ) -> None:
+        """Modify predefined attributes (data_type, valid, master_copy,
+        container_id, container_service, audit_enabled)."""
+        allowed = {
+            "data_type",
+            "valid",
+            "master_copy",
+            "container_id",
+            "container_service",
+            "audit_enabled",
+        }
+        bad = set(changes) - allowed
+        if bad:
+            raise InvalidAttributeError(f"cannot update fields {sorted(bad)}")
+        if not changes:
+            return
+        file = self.get_file(name, version)
+        conn = self._conn
+        sets = ", ".join(f"{col} = ?" for col in changes)
+        conn.execute(
+            f"UPDATE logical_file SET {sets}, last_modifier = ?, modified = ? "
+            "WHERE id = ?",
+            (*changes.values(), modifier, _now(), file.id),
+        )
+
+    def invalidate_file(self, name: str, version: Optional[int] = None,
+                        modifier: Optional[str] = None) -> None:
+        """Quickly mark a logical file's data as invalid (paper §5)."""
+        self.update_file(name, version, modifier=modifier, valid=False)
+
+    def move_file_to_collection(
+        self, name: str, collection: Optional[str],
+        version: Optional[int] = None, modifier: Optional[str] = None
+    ) -> None:
+        """Reassign the file's (single) enclosing collection."""
+        file = self.get_file(name, version)
+        conn = self._conn
+        collection_id = (
+            None if collection is None else self._collection_id(conn, collection)
+        )
+        conn.execute(
+            "UPDATE logical_file SET collection_id = ?, last_modifier = ?, "
+            "modified = ? WHERE id = ?",
+            (collection_id, modifier, _now(), file.id),
+        )
+
+    def delete_file(self, name: str, version: Optional[int] = None) -> None:
+        """Delete a logical file and its dependent metadata."""
+        file = self.get_file(name, version)
+        conn = self._conn
+        conn.execute(
+            "DELETE FROM attribute_value WHERE object_type = 'file' AND object_id = ?",
+            (file.id,),
+        )
+        conn.execute(
+            "DELETE FROM annotation WHERE object_type = 'file' AND object_id = ?",
+            (file.id,),
+        )
+        conn.execute("DELETE FROM transformation WHERE file_id = ?", (file.id,))
+        conn.execute(
+            "DELETE FROM view_member WHERE member_type = 'file' AND member_id = ?",
+            (file.id,),
+        )
+        conn.execute(
+            "DELETE FROM acl_entry WHERE object_type = 'file' AND object_id = ?",
+            (file.id,),
+        )
+        conn.execute("DELETE FROM logical_file WHERE id = ?", (file.id,))
+
+    # ======================================================================
+    # Logical collections
+    # ======================================================================
+
+    def create_collection(
+        self,
+        name: str,
+        parent: Optional[str] = None,
+        description: Optional[str] = None,
+        creator: Optional[str] = None,
+        audit_enabled: bool = False,
+        attributes: Optional[dict[str, Any]] = None,
+    ) -> int:
+        conn = self._conn
+        parent_id = None if parent is None else self._collection_id(conn, parent)
+        now = _now()
+        try:
+            result = conn.execute(
+                "INSERT INTO logical_collection (name, description, parent_id, "
+                "creator, created, last_modifier, modified, audit_enabled) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (name, description, parent_id, creator, now, creator, now, audit_enabled),
+            )
+        except IntegrityError as exc:
+            raise DuplicateObjectError(f"collection {name!r} already exists") from exc
+        collection_id = result.lastrowid
+        if attributes:
+            self._set_attributes(conn, ObjectType.COLLECTION, collection_id, attributes)
+        return collection_id
+
+    def get_collection(self, name: str) -> LogicalCollection:
+        row = self._conn.execute(
+            "SELECT id, name, description, parent_id, creator, created, "
+            "last_modifier, modified, audit_enabled "
+            "FROM logical_collection WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            raise ObjectNotFoundError(f"no logical collection {name!r}")
+        return LogicalCollection(*row)
+
+    def set_collection_parent(self, name: str, parent: Optional[str]) -> None:
+        """Re-parent a collection, preserving acyclicity."""
+        conn = self._conn
+        collection = self.get_collection(name)
+        if parent is None:
+            conn.execute(
+                "UPDATE logical_collection SET parent_id = ? WHERE id = ?",
+                (None, collection.id),
+            )
+            return
+        parent_obj = self.get_collection(parent)
+        # Walk up from the proposed parent; hitting `collection` is a cycle.
+        cursor: Optional[int] = parent_obj.id
+        while cursor is not None:
+            if cursor == collection.id:
+                raise CycleError(
+                    f"making {parent!r} the parent of {name!r} creates a cycle"
+                )
+            cursor = conn.execute(
+                "SELECT parent_id FROM logical_collection WHERE id = ?", (cursor,)
+            ).scalar()
+        conn.execute(
+            "UPDATE logical_collection SET parent_id = ? WHERE id = ?",
+            (parent_obj.id, collection.id),
+        )
+
+    def delete_collection(self, name: str) -> None:
+        collection = self.get_collection(name)
+        conn = self._conn
+        n_files = conn.execute(
+            "SELECT COUNT(*) FROM logical_file WHERE collection_id = ?",
+            (collection.id,),
+        ).scalar()
+        n_children = conn.execute(
+            "SELECT COUNT(*) FROM logical_collection WHERE parent_id = ?",
+            (collection.id,),
+        ).scalar()
+        if n_files or n_children:
+            raise ObjectInUseError(
+                f"collection {name!r} still has {n_files} files and "
+                f"{n_children} subcollections"
+            )
+        for table in ("attribute_value", "annotation", "acl_entry"):
+            conn.execute(
+                f"DELETE FROM {table} WHERE object_type = 'collection' AND object_id = ?",
+                (collection.id,),
+            )
+        conn.execute(
+            "DELETE FROM view_member WHERE member_type = 'collection' AND member_id = ?",
+            (collection.id,),
+        )
+        conn.execute("DELETE FROM logical_collection WHERE id = ?", (collection.id,))
+
+    def list_collection(self, name: str) -> list[str]:
+        """Logical file names directly inside a collection."""
+        collection = self.get_collection(name)
+        rows = self._conn.execute(
+            "SELECT name FROM logical_file WHERE collection_id = ? ORDER BY name",
+            (collection.id,),
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def list_subcollections(self, name: str) -> list[str]:
+        collection = self.get_collection(name)
+        rows = self._conn.execute(
+            "SELECT name FROM logical_collection WHERE parent_id = ? ORDER BY name",
+            (collection.id,),
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def collection_chain(self, name: str) -> list[str]:
+        """The collection and its ancestors, nearest first."""
+        conn = self._conn
+        chain: list[str] = []
+        current: Optional[str] = name
+        while current is not None:
+            collection = self.get_collection(current)
+            chain.append(collection.name)
+            if collection.parent_id is None:
+                break
+            current = conn.execute(
+                "SELECT name FROM logical_collection WHERE id = ?",
+                (collection.parent_id,),
+            ).scalar()
+        return chain
+
+    def file_collection_chain(self, name: str, version: Optional[int] = None) -> list[str]:
+        """Enclosing collection chain of a file (may be empty)."""
+        file = self.get_file(name, version)
+        if file.collection_id is None:
+            return []
+        coll_name = self._conn.execute(
+            "SELECT name FROM logical_collection WHERE id = ?",
+            (file.collection_id,),
+        ).scalar()
+        return self.collection_chain(coll_name)
+
+    # ======================================================================
+    # Logical views
+    # ======================================================================
+
+    def create_view(
+        self,
+        name: str,
+        description: Optional[str] = None,
+        creator: Optional[str] = None,
+        audit_enabled: bool = False,
+        attributes: Optional[dict[str, Any]] = None,
+    ) -> int:
+        conn = self._conn
+        now = _now()
+        try:
+            result = conn.execute(
+                "INSERT INTO logical_view (name, description, creator, created, "
+                "last_modifier, modified, audit_enabled) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (name, description, creator, now, creator, now, audit_enabled),
+            )
+        except IntegrityError as exc:
+            raise DuplicateObjectError(f"view {name!r} already exists") from exc
+        view_id = result.lastrowid
+        if attributes:
+            self._set_attributes(conn, ObjectType.VIEW, view_id, attributes)
+        return view_id
+
+    def get_view(self, name: str) -> LogicalView:
+        row = self._conn.execute(
+            "SELECT id, name, description, creator, created, last_modifier, "
+            "modified, audit_enabled FROM logical_view WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            raise ObjectNotFoundError(f"no logical view {name!r}")
+        return LogicalView(*row)
+
+    def add_to_view(
+        self,
+        view: str,
+        files: Iterable[str] = (),
+        collections: Iterable[str] = (),
+        views: Iterable[str] = (),
+    ) -> None:
+        """Add members to a view.  View membership must stay acyclic."""
+        conn = self._conn
+        view_obj = self.get_view(view)
+        for member_view in views:
+            member = self.get_view(member_view)
+            if self._view_reaches(conn, member.id, view_obj.id):
+                raise CycleError(
+                    f"adding view {member_view!r} to {view!r} creates a cycle"
+                )
+        for file_name in files:
+            file = self.get_file(file_name)
+            self._add_view_member(conn, view_obj.id, ObjectType.FILE, file.id)
+        for coll_name in collections:
+            collection = self.get_collection(coll_name)
+            self._add_view_member(conn, view_obj.id, ObjectType.COLLECTION, collection.id)
+        for view_name in views:
+            member = self.get_view(view_name)
+            self._add_view_member(conn, view_obj.id, ObjectType.VIEW, member.id)
+
+    @staticmethod
+    def _add_view_member(conn: Connection, view_id: int, mtype: ObjectType, mid: int) -> None:
+        try:
+            conn.execute(
+                "INSERT INTO view_member (view_id, member_type, member_id) "
+                "VALUES (?, ?, ?)",
+                (view_id, mtype.value, mid),
+            )
+        except IntegrityError:
+            pass  # membership is a set; re-adding is a no-op
+
+    def _view_reaches(self, conn: Connection, start_view: int, target_view: int) -> bool:
+        """True when `target_view` is reachable from `start_view` via
+        view-in-view membership (or they are the same)."""
+        if start_view == target_view:
+            return True
+        stack = [start_view]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            rows = conn.execute(
+                "SELECT member_id FROM view_member "
+                "WHERE view_id = ? AND member_type = 'view'",
+                (current,),
+            ).fetchall()
+            for (member_id,) in rows:
+                if member_id == target_view:
+                    return True
+                stack.append(member_id)
+        return False
+
+    def remove_from_view(
+        self,
+        view: str,
+        files: Iterable[str] = (),
+        collections: Iterable[str] = (),
+        views: Iterable[str] = (),
+    ) -> None:
+        conn = self._conn
+        view_obj = self.get_view(view)
+        for file_name in files:
+            file = self.get_file(file_name)
+            conn.execute(
+                "DELETE FROM view_member WHERE view_id = ? AND member_type = 'file' "
+                "AND member_id = ?",
+                (view_obj.id, file.id),
+            )
+        for coll_name in collections:
+            collection = self.get_collection(coll_name)
+            conn.execute(
+                "DELETE FROM view_member WHERE view_id = ? AND "
+                "member_type = 'collection' AND member_id = ?",
+                (view_obj.id, collection.id),
+            )
+        for view_name in views:
+            member = self.get_view(view_name)
+            conn.execute(
+                "DELETE FROM view_member WHERE view_id = ? AND member_type = 'view' "
+                "AND member_id = ?",
+                (view_obj.id, member.id),
+            )
+
+    def list_view(self, name: str) -> list[ViewMember]:
+        """Direct members of a view, with resolved names."""
+        conn = self._conn
+        view_obj = self.get_view(name)
+        rows = conn.execute(
+            "SELECT member_type, member_id FROM view_member WHERE view_id = ?",
+            (view_obj.id,),
+        ).fetchall()
+        members: list[ViewMember] = []
+        for mtype_text, mid in rows:
+            mtype = ObjectType(mtype_text)
+            table = {
+                ObjectType.FILE: "logical_file",
+                ObjectType.COLLECTION: "logical_collection",
+                ObjectType.VIEW: "logical_view",
+            }[mtype]
+            member_name = conn.execute(
+                f"SELECT name FROM {table} WHERE id = ?", (mid,)
+            ).scalar()
+            members.append(ViewMember(mtype, mid, member_name or ""))
+        return sorted(members, key=lambda m: (m.member_type.value, m.name))
+
+    def delete_view(self, name: str) -> None:
+        view_obj = self.get_view(name)
+        conn = self._conn
+        referencing = conn.execute(
+            "SELECT COUNT(*) FROM view_member WHERE member_type = 'view' "
+            "AND member_id = ?",
+            (view_obj.id,),
+        ).scalar()
+        if referencing:
+            raise ObjectInUseError(
+                f"view {name!r} is a member of {referencing} other view(s)"
+            )
+        conn.execute("DELETE FROM view_member WHERE view_id = ?", (view_obj.id,))
+        for table in ("attribute_value", "annotation", "acl_entry"):
+            conn.execute(
+                f"DELETE FROM {table} WHERE object_type = 'view' AND object_id = ?",
+                (view_obj.id,),
+            )
+        conn.execute("DELETE FROM logical_view WHERE id = ?", (view_obj.id,))
+
+    # ======================================================================
+    # User-defined attributes
+    # ======================================================================
+
+    def define_attribute(
+        self,
+        name: str,
+        value_type: AttributeType | str,
+        object_types: Iterable[ObjectType] = (
+            ObjectType.FILE,
+            ObjectType.COLLECTION,
+            ObjectType.VIEW,
+        ),
+        description: Optional[str] = None,
+        creator: Optional[str] = None,
+    ) -> int:
+        """Register a new user-defined attribute (schema extensibility)."""
+        if isinstance(value_type, str):
+            value_type = AttributeType.parse(value_type)
+        types_text = ",".join(sorted(t.value for t in object_types))
+        conn = self._conn
+        try:
+            result = conn.execute(
+                "INSERT INTO attribute_def (name, value_type, object_types, "
+                "description, creator, created) VALUES (?, ?, ?, ?, ?, ?)",
+                (name, value_type.value, types_text, description, creator, _now()),
+            )
+        except IntegrityError as exc:
+            raise DuplicateObjectError(f"attribute {name!r} already defined") from exc
+        with self._attr_cache_lock:
+            self._attr_cache.pop(name, None)
+        return result.lastrowid
+
+    def get_attribute_def(self, name: str) -> AttributeDef:
+        with self._attr_cache_lock:
+            cached = self._attr_cache.get(name)
+        if cached is not None:
+            return cached
+        row = self._conn.execute(
+            "SELECT id, name, value_type, object_types, description, creator, "
+            "created FROM attribute_def WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            raise InvalidAttributeError(f"attribute {name!r} is not defined")
+        definition = AttributeDef(
+            id=row[0],
+            name=row[1],
+            value_type=AttributeType(row[2]),
+            object_types=frozenset(ObjectType(t) for t in row[3].split(",") if t),
+            description=row[4],
+            creator=row[5],
+            created=row[6],
+        )
+        with self._attr_cache_lock:
+            self._attr_cache[name] = definition
+        return definition
+
+    def list_attribute_defs(self) -> list[AttributeDef]:
+        rows = self._conn.execute(
+            "SELECT name FROM attribute_def ORDER BY name"
+        ).fetchall()
+        return [self.get_attribute_def(r[0]) for r in rows]
+
+    def set_attributes(
+        self,
+        object_type: ObjectType,
+        name: str,
+        attributes: dict[str, Any],
+        version: Optional[int] = None,
+    ) -> None:
+        """Set (insert or replace) user-defined attribute values."""
+        conn = self._conn
+        object_id = self._object_id(conn, object_type, name, version)
+        self._set_attributes(conn, object_type, object_id, attributes)
+
+    def _set_attributes(
+        self,
+        conn: Connection,
+        object_type: ObjectType,
+        object_id: int,
+        attributes: dict[str, Any],
+    ) -> None:
+        for attr_name, value in attributes.items():
+            definition = self.get_attribute_def(attr_name)
+            if object_type not in definition.object_types:
+                raise InvalidAttributeError(
+                    f"attribute {attr_name!r} does not apply to {object_type.value}s"
+                )
+            coerced = _coerce_attr_value(definition, value)
+            column = definition.value_type.value_column
+            updated = conn.execute(
+                f"UPDATE attribute_value SET {column} = ? WHERE attr_id = ? "
+                "AND object_type = ? AND object_id = ?",
+                (coerced, definition.id, object_type.value, object_id),
+            ).rowcount
+            if updated == 0:
+                conn.execute(
+                    f"INSERT INTO attribute_value (attr_id, object_type, "
+                    f"object_id, {column}) VALUES (?, ?, ?, ?)",
+                    (definition.id, object_type.value, object_id, coerced),
+                )
+
+    def get_attributes(
+        self,
+        object_type: ObjectType,
+        name: str,
+        version: Optional[int] = None,
+    ) -> dict[str, Any]:
+        """All user-defined attribute values on an object."""
+        conn = self._conn
+        object_id = self._object_id(conn, object_type, name, version)
+        rows = conn.execute(
+            "SELECT d.name, d.value_type, v.value_string, v.value_int, "
+            "v.value_float, v.value_date, v.value_time, v.value_datetime "
+            "FROM attribute_value v JOIN attribute_def d ON v.attr_id = d.id "
+            "WHERE v.object_type = ? AND v.object_id = ?",
+            (object_type.value, object_id),
+        ).fetchall()
+        out: dict[str, Any] = {}
+        columns = ("string", "int", "float", "date", "time", "datetime")
+        for row in rows:
+            attr_name, value_type = row[0], AttributeType(row[1])
+            out[attr_name] = row[2 + columns.index(value_type.value)]
+        return out
+
+    def remove_attribute(
+        self,
+        object_type: ObjectType,
+        name: str,
+        attr_name: str,
+        version: Optional[int] = None,
+    ) -> None:
+        conn = self._conn
+        object_id = self._object_id(conn, object_type, name, version)
+        definition = self.get_attribute_def(attr_name)
+        conn.execute(
+            "DELETE FROM attribute_value WHERE attr_id = ? AND object_type = ? "
+            "AND object_id = ?",
+            (definition.id, object_type.value, object_id),
+        )
+
+    # ======================================================================
+    # Attribute-based query (discovery)
+    # ======================================================================
+
+    def query(self, query: ObjectQuery) -> list[str]:
+        """Names of logical objects matching the query conditions."""
+        sql, params = query.to_sql(self)
+        rows = self._conn.execute(sql, params).fetchall()
+        return [r[0] for r in rows]
+
+    def explain_query(self, query: ObjectQuery) -> list[str]:
+        """Physical plan of an attribute query (EXPLAIN), for tuning."""
+        sql, params = query.to_sql(self)
+        rows = self._conn.execute("EXPLAIN " + sql, params).fetchall()
+        return [r[0] for r in rows]
+
+    def query_files_by_attributes(self, conditions: dict[str, Any]) -> list[str]:
+        """Convenience: conjunctive equality match on user attributes."""
+        from repro.core.query import AttributeCondition
+
+        query = ObjectQuery(
+            object_type=ObjectType.FILE,
+            conditions=[
+                AttributeCondition(name, "=", value)
+                for name, value in conditions.items()
+            ],
+        )
+        return self.query(query)
+
+    # ======================================================================
+    # Annotations
+    # ======================================================================
+
+    def annotate(
+        self,
+        object_type: ObjectType,
+        name: str,
+        text: str,
+        creator: str,
+        version: Optional[int] = None,
+    ) -> None:
+        conn = self._conn
+        object_id = self._object_id(conn, object_type, name, version)
+        conn.execute(
+            "INSERT INTO annotation (object_type, object_id, annotation, creator, "
+            "created) VALUES (?, ?, ?, ?, ?)",
+            (object_type.value, object_id, text, creator, _now()),
+        )
+
+    def annotations(
+        self,
+        object_type: ObjectType,
+        name: str,
+        version: Optional[int] = None,
+    ) -> list[Annotation]:
+        conn = self._conn
+        object_id = self._object_id(conn, object_type, name, version)
+        rows = conn.execute(
+            "SELECT annotation, creator, created FROM annotation "
+            "WHERE object_type = ? AND object_id = ? ORDER BY id",
+            (object_type.value, object_id),
+        ).fetchall()
+        return [
+            Annotation(object_type, name, text, creator, created)
+            for text, creator, created in rows
+        ]
+
+    # ======================================================================
+    # Provenance (creation & transformation history)
+    # ======================================================================
+
+    def add_transformation(
+        self, file_name: str, description: str, version: Optional[int] = None
+    ) -> None:
+        file = self.get_file(file_name, version)
+        self._conn.execute(
+            "INSERT INTO transformation (file_id, description, created) "
+            "VALUES (?, ?, ?)",
+            (file.id, description, _now()),
+        )
+
+    def transformations(
+        self, file_name: str, version: Optional[int] = None
+    ) -> list[TransformationRecord]:
+        file = self.get_file(file_name, version)
+        rows = self._conn.execute(
+            "SELECT description, created FROM transformation WHERE file_id = ? "
+            "ORDER BY id",
+            (file.id,),
+        ).fetchall()
+        return [TransformationRecord(file_name, d, c) for d, c in rows]
+
+    # ======================================================================
+    # Audit
+    # ======================================================================
+
+    def record_audit(
+        self,
+        object_type: ObjectType,
+        object_id: int,
+        action: str,
+        detail: str,
+        actor: str,
+    ) -> None:
+        self._conn.execute(
+            "INSERT INTO audit_record (object_type, object_id, action, detail, "
+            "actor, created) VALUES (?, ?, ?, ?, ?, ?)",
+            (object_type.value, object_id, action, detail, actor, _now()),
+        )
+
+    def audit_log(
+        self,
+        object_type: ObjectType,
+        name: str,
+        version: Optional[int] = None,
+    ) -> list[AuditRecord]:
+        conn = self._conn
+        object_id = self._object_id(conn, object_type, name, version)
+        rows = conn.execute(
+            "SELECT action, detail, actor, created FROM audit_record "
+            "WHERE object_type = ? AND object_id = ? ORDER BY id",
+            (object_type.value, object_id),
+        ).fetchall()
+        return [
+            AuditRecord(object_type, object_id, action, detail, actor, created)
+            for action, detail, actor, created in rows
+        ]
+
+    # ======================================================================
+    # Users, external catalogs
+    # ======================================================================
+
+    def register_user(self, user: UserInfo) -> None:
+        try:
+            self._conn.execute(
+                "INSERT INTO user_info (dn, description, institution, email, phone) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (user.dn, user.description, user.institution, user.email, user.phone),
+            )
+        except IntegrityError as exc:
+            raise DuplicateObjectError(f"user {user.dn!r} already registered") from exc
+
+    def get_user(self, dn: str) -> UserInfo:
+        row = self._conn.execute(
+            "SELECT dn, description, institution, email, phone FROM user_info "
+            "WHERE dn = ?",
+            (dn,),
+        ).fetchone()
+        if row is None:
+            raise ObjectNotFoundError(f"no registered user {dn!r}")
+        return UserInfo(*row)
+
+    def register_external_catalog(self, catalog: ExternalCatalog) -> None:
+        try:
+            self._conn.execute(
+                "INSERT INTO external_catalog (name, catalog_type, host, port, "
+                "description) VALUES (?, ?, ?, ?, ?)",
+                (
+                    catalog.name,
+                    catalog.catalog_type,
+                    catalog.host,
+                    catalog.port,
+                    catalog.description,
+                ),
+            )
+        except IntegrityError as exc:
+            raise DuplicateObjectError(
+                f"external catalog {catalog.name!r} already registered"
+            ) from exc
+
+    def list_external_catalogs(self) -> list[ExternalCatalog]:
+        rows = self._conn.execute(
+            "SELECT name, catalog_type, host, port, description "
+            "FROM external_catalog ORDER BY name"
+        ).fetchall()
+        return [ExternalCatalog(*row) for row in rows]
+
+    # ======================================================================
+    # Authorization storage
+    # ======================================================================
+
+    def set_permissions(
+        self,
+        object_type: ObjectType,
+        name: Optional[str],
+        principal: str,
+        permissions: Permission,
+        version: Optional[int] = None,
+    ) -> None:
+        """Store (replace) a principal's permission bits on an object.
+
+        ``object_type=SERVICE`` with ``name=None`` sets service-level
+        permissions (e.g. who may create files at all).
+        """
+        conn = self._conn
+        object_id = (
+            0
+            if object_type is ObjectType.SERVICE
+            else self._object_id(conn, object_type, name or "", version)
+        )
+        updated = conn.execute(
+            "UPDATE acl_entry SET permissions = ? WHERE object_type = ? "
+            "AND object_id = ? AND principal = ?",
+            (permissions.value, object_type.value, object_id, principal),
+        ).rowcount
+        if updated == 0:
+            conn.execute(
+                "INSERT INTO acl_entry (object_type, object_id, principal, "
+                "permissions) VALUES (?, ?, ?, ?)",
+                (object_type.value, object_id, principal, permissions.value),
+            )
+
+    def get_acl(
+        self,
+        object_type: ObjectType,
+        name: Optional[str],
+        version: Optional[int] = None,
+    ) -> AccessControlList:
+        conn = self._conn
+        object_id = (
+            0
+            if object_type is ObjectType.SERVICE
+            else self._object_id(conn, object_type, name or "", version)
+        )
+        rows = conn.execute(
+            "SELECT principal, permissions FROM acl_entry WHERE object_type = ? "
+            "AND object_id = ?",
+            (object_type.value, object_id),
+        ).fetchall()
+        acl = AccessControlList()
+        for principal, bits in rows:
+            if principal == "*":
+                acl.grant_public(Permission(bits))
+            else:
+                acl.entries[principal] = Permission(bits)
+        return acl
+
+    # ======================================================================
+    # Statistics
+    # ======================================================================
+
+    def stats(self) -> dict[str, int]:
+        conn = self._conn
+        return {
+            "files": conn.execute("SELECT COUNT(*) FROM logical_file").scalar(),
+            "collections": conn.execute(
+                "SELECT COUNT(*) FROM logical_collection"
+            ).scalar(),
+            "views": conn.execute("SELECT COUNT(*) FROM logical_view").scalar(),
+            "attributes": conn.execute(
+                "SELECT COUNT(*) FROM attribute_def"
+            ).scalar(),
+            "attribute_values": conn.execute(
+                "SELECT COUNT(*) FROM attribute_value"
+            ).scalar(),
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    def _collection_id(self, conn: Connection, name: str) -> int:
+        collection_id = conn.execute(
+            "SELECT id FROM logical_collection WHERE name = ?", (name,)
+        ).scalar()
+        if collection_id is None:
+            raise ObjectNotFoundError(f"no logical collection {name!r}")
+        return collection_id
+
+    def _object_id(
+        self,
+        conn: Connection,
+        object_type: ObjectType,
+        name: str,
+        version: Optional[int] = None,
+    ) -> int:
+        if object_type is ObjectType.FILE:
+            return self.get_file(name, version).id
+        if object_type is ObjectType.COLLECTION:
+            return self._collection_id(conn, name)
+        if object_type is ObjectType.VIEW:
+            return self.get_view(name).id
+        raise InvalidAttributeError(f"no object id for {object_type}")
+
+
+def _file_from_row(row: tuple) -> LogicalFile:
+    return LogicalFile(
+        id=row[0],
+        name=row[1],
+        version=row[2],
+        data_type=row[3],
+        valid=row[4],
+        collection_id=row[5],
+        container_id=row[6],
+        container_service=row[7],
+        master_copy=row[8],
+        creator=row[9],
+        created=row[10],
+        last_modifier=row[11],
+        modified=row[12],
+        audit_enabled=row[13],
+    )
+
+
+def _coerce_attr_value(definition: AttributeDef, value: Any) -> Any:
+    """Validate/coerce a user-attribute value against its declared type."""
+    import datetime as dt
+
+    if value is None:
+        return None
+    vt = definition.value_type
+    if vt is AttributeType.INT and isinstance(value, bool):
+        raise InvalidAttributeError(
+            f"attribute {definition.name!r} expects int, got bool"
+        )
+    if vt is AttributeType.FLOAT and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if vt is AttributeType.DATETIME and isinstance(value, dt.date) and not isinstance(
+        value, dt.datetime
+    ):
+        return dt.datetime(value.year, value.month, value.day)
+    if vt is AttributeType.DATE and isinstance(value, dt.datetime):
+        raise InvalidAttributeError(
+            f"attribute {definition.name!r} expects a date, got datetime"
+        )
+    if not isinstance(value, vt.python_type()):
+        raise InvalidAttributeError(
+            f"attribute {definition.name!r} expects {vt.value}, "
+            f"got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,430 @@
+"""MCSClient: the synchronous client API (§5).
+
+Wraps any :class:`repro.soap.transport.Transport`, so the same client code
+runs in-process (DirectTransport — the paper's "without web service"
+baseline) or over SOAP/HTTP (the full MCS configuration).
+
+Every operation the paper's API section lists is exposed:
+
+* querying the catalog for logical objects based on object attributes,
+* querying static attributes of a logical object,
+* querying user-defined attributes of a logical object,
+* querying the contents of a logical view or collection,
+* creating a logical file, collection or view,
+* modifying the attributes of a logical object,
+* deleting a logical file, view or collection,
+* annotating a logical object,
+* adding logical objects to a view.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Optional, Sequence
+
+from repro.core.errors import error_from_fault
+from repro.core.model import ObjectType
+from repro.core.query import ObjectQuery
+from repro.soap.envelope import SoapFault
+from repro.soap.transport import DirectTransport, HttpTransport, Transport
+
+
+class MCSClient:
+    """Synchronous MCS client over a pluggable transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        caller: Optional[str] = None,
+        gsi_context: Optional["object"] = None,
+        cas_assertion: Optional[dict] = None,
+    ) -> None:
+        self._transport = transport
+        self.caller = caller
+        self._gsi = gsi_context
+        self._cas = cas_assertion
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def in_process(cls, service: "object", caller: Optional[str] = None) -> "MCSClient":
+        """Bind directly to an MCSService — no SOAP, no socket."""
+        return cls(DirectTransport(service.handle), caller=caller)
+
+    @classmethod
+    def connect(cls, host: str, port: int, caller: Optional[str] = None) -> "MCSClient":
+        """Connect over SOAP/HTTP."""
+        return cls(HttpTransport(host, port), caller=caller)
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "MCSClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- call plumbing -----------------------------------------------------------
+
+    def _call(self, method: str, **args: Any) -> Any:
+        if self.caller is not None:
+            args.setdefault("caller", self.caller)
+        if self._cas is not None:
+            args.setdefault("cas", self._cas)
+        if self._gsi is not None:
+            from repro.core.service import canonical_payload, token_to_dict
+
+            token = self._gsi.sign_request(canonical_payload(method, args))
+            args["auth"] = token_to_dict(token)
+        try:
+            return self._transport.call(method, args)
+        except SoapFault as fault:
+            if fault.code.startswith("MCS."):
+                raise error_from_fault(fault.code, fault.message) from None
+            raise
+
+    # ======================================================================
+    # Files
+    # ======================================================================
+
+    def create_logical_file(
+        self,
+        name: str,
+        version: int = 1,
+        data_type: Optional[str] = None,
+        collection: Optional[str] = None,
+        container_id: Optional[str] = None,
+        container_service: Optional[str] = None,
+        master_copy: Optional[str] = None,
+        audit_enabled: bool = False,
+        attributes: Optional[dict[str, Any]] = None,
+    ) -> dict:
+        """Create a logical file, optionally with user-defined attributes."""
+        return self._call(
+            "create_logical_file",
+            name=name,
+            version=version,
+            data_type=data_type,
+            collection=collection,
+            container_id=container_id,
+            container_service=container_service,
+            master_copy=master_copy,
+            audit_enabled=audit_enabled,
+            attributes=attributes,
+        )
+
+    def get_logical_file(self, name: str, version: Optional[int] = None) -> dict:
+        """Static (predefined) attributes of a logical file."""
+        return self._call("get_logical_file", name=name, version=version)
+
+    def modify_logical_file(
+        self, name: str, version: Optional[int] = None, **changes: Any
+    ) -> bool:
+        return self._call(
+            "modify_logical_file", name=name, version=version, changes=changes
+        )
+
+    def delete_logical_file(self, name: str, version: Optional[int] = None) -> bool:
+        return self._call("delete_logical_file", name=name, version=version)
+
+    def invalidate_logical_file(self, name: str, version: Optional[int] = None) -> bool:
+        return self.modify_logical_file(name, version, valid=False)
+
+    def move_file_to_collection(
+        self, name: str, collection: Optional[str], version: Optional[int] = None
+    ) -> bool:
+        return self._call(
+            "move_file_to_collection", name=name, collection=collection, version=version
+        )
+
+    def list_versions(self, name: str) -> list[int]:
+        return self._call("list_versions", name=name)
+
+    # ======================================================================
+    # User-defined attributes
+    # ======================================================================
+
+    def define_attribute(
+        self,
+        name: str,
+        value_type: str,
+        object_types: Optional[Sequence[str]] = None,
+        description: Optional[str] = None,
+    ) -> int:
+        return self._call(
+            "define_attribute",
+            name=name,
+            value_type=value_type,
+            object_types=list(object_types) if object_types else None,
+            description=description,
+        )
+
+    def list_attribute_defs(self) -> list[dict]:
+        return self._call("list_attribute_defs")
+
+    def set_attributes(
+        self,
+        object_type: str,
+        name: str,
+        attributes: dict[str, Any],
+        version: Optional[int] = None,
+    ) -> bool:
+        return self._call(
+            "set_attributes",
+            object_type=object_type,
+            name=name,
+            attributes=attributes,
+            version=version,
+        )
+
+    def get_attributes(
+        self, object_type: str, name: str, version: Optional[int] = None
+    ) -> dict[str, Any]:
+        return self._call(
+            "get_attributes", object_type=object_type, name=name, version=version
+        )
+
+    def remove_attribute(
+        self, object_type: str, name: str, attribute: str,
+        version: Optional[int] = None,
+    ) -> bool:
+        return self._call(
+            "remove_attribute",
+            object_type=object_type,
+            name=name,
+            attribute=attribute,
+            version=version,
+        )
+
+    # ======================================================================
+    # Queries
+    # ======================================================================
+
+    def query(self, query: ObjectQuery) -> list[str]:
+        """Attribute-based discovery: returns matching logical names."""
+        return self._call("query", query=_query_to_dict(query))
+
+    def query_files_by_attributes(self, conditions: dict[str, Any]) -> list[str]:
+        """Conjunctive equality query on user-defined attributes."""
+        return self._call("query_files_by_attributes", conditions=conditions)
+
+    def simple_query(self, field: str, value: Any) -> list[str]:
+        """The paper's 'simple query': value match on one static attribute."""
+        query = ObjectQuery().where_field(field, "=", value)
+        return self.query(query)
+
+    def explain_query(self, query: ObjectQuery) -> list[str]:
+        """The physical plan the query would execute (one line per step)."""
+        return self._call("explain_query", query=_query_to_dict(query))
+
+    # ======================================================================
+    # Collections
+    # ======================================================================
+
+    def create_collection(
+        self,
+        name: str,
+        parent: Optional[str] = None,
+        description: Optional[str] = None,
+        audit_enabled: bool = False,
+        attributes: Optional[dict[str, Any]] = None,
+    ) -> int:
+        return self._call(
+            "create_collection",
+            name=name,
+            parent=parent,
+            description=description,
+            audit_enabled=audit_enabled,
+            attributes=attributes,
+        )
+
+    def delete_collection(self, name: str) -> bool:
+        return self._call("delete_collection", name=name)
+
+    def list_collection(self, name: str) -> list[str]:
+        return self._call("list_collection", name=name)
+
+    def list_subcollections(self, name: str) -> list[str]:
+        return self._call("list_subcollections", name=name)
+
+    def set_collection_parent(self, name: str, parent: Optional[str]) -> bool:
+        return self._call("set_collection_parent", name=name, parent=parent)
+
+    # ======================================================================
+    # Views
+    # ======================================================================
+
+    def create_view(
+        self,
+        name: str,
+        description: Optional[str] = None,
+        audit_enabled: bool = False,
+        attributes: Optional[dict[str, Any]] = None,
+    ) -> int:
+        return self._call(
+            "create_view",
+            name=name,
+            description=description,
+            audit_enabled=audit_enabled,
+            attributes=attributes,
+        )
+
+    def delete_view(self, name: str) -> bool:
+        return self._call("delete_view", name=name)
+
+    def add_to_view(
+        self,
+        view: str,
+        files: Sequence[str] = (),
+        collections: Sequence[str] = (),
+        views: Sequence[str] = (),
+    ) -> bool:
+        return self._call(
+            "add_to_view",
+            view=view,
+            files=list(files),
+            collections=list(collections),
+            views=list(views),
+        )
+
+    def remove_from_view(
+        self,
+        view: str,
+        files: Sequence[str] = (),
+        collections: Sequence[str] = (),
+        views: Sequence[str] = (),
+    ) -> bool:
+        return self._call(
+            "remove_from_view",
+            view=view,
+            files=list(files),
+            collections=list(collections),
+            views=list(views),
+        )
+
+    def list_view(self, name: str) -> list[dict]:
+        return self._call("list_view", name=name)
+
+    # ======================================================================
+    # Annotations, provenance, audit
+    # ======================================================================
+
+    def annotate(
+        self, object_type: str, name: str, text: str, version: Optional[int] = None
+    ) -> bool:
+        return self._call(
+            "annotate", object_type=object_type, name=name, text=text, version=version
+        )
+
+    def get_annotations(
+        self, object_type: str, name: str, version: Optional[int] = None
+    ) -> list[dict]:
+        return self._call(
+            "get_annotations", object_type=object_type, name=name, version=version
+        )
+
+    def add_transformation(
+        self, name: str, description: str, version: Optional[int] = None
+    ) -> bool:
+        return self._call(
+            "add_transformation", name=name, description=description, version=version
+        )
+
+    def get_transformations(
+        self, name: str, version: Optional[int] = None
+    ) -> list[dict]:
+        return self._call("get_transformations", name=name, version=version)
+
+    def audit_log(
+        self, object_type: str, name: str, version: Optional[int] = None
+    ) -> list[dict]:
+        return self._call(
+            "audit_log", object_type=object_type, name=name, version=version
+        )
+
+    # ======================================================================
+    # Users, catalogs, permissions, misc
+    # ======================================================================
+
+    def register_user(
+        self,
+        dn: str,
+        description: str = "",
+        institution: str = "",
+        email: str = "",
+        phone: str = "",
+    ) -> bool:
+        return self._call(
+            "register_user",
+            dn=dn,
+            description=description,
+            institution=institution,
+            email=email,
+            phone=phone,
+        )
+
+    def get_user(self, dn: str) -> dict:
+        return self._call("get_user", dn=dn)
+
+    def register_external_catalog(
+        self, name: str, catalog_type: str, host: str, port: int, description: str = ""
+    ) -> bool:
+        return self._call(
+            "register_external_catalog",
+            name=name,
+            catalog_type=catalog_type,
+            host=host,
+            port=port,
+            description=description,
+        )
+
+    def list_external_catalogs(self) -> list[dict]:
+        return self._call("list_external_catalogs")
+
+    def set_permissions(
+        self,
+        object_type: str,
+        name: Optional[str],
+        principal: str,
+        permissions: Sequence[str],
+    ) -> bool:
+        return self._call(
+            "set_permissions",
+            object_type=object_type,
+            name=name,
+            principal=principal,
+            permissions=list(permissions),
+        )
+
+    def get_permissions(self, object_type: str, name: Optional[str] = None) -> dict:
+        return self._call("get_permissions", object_type=object_type, name=name)
+
+    def stats(self) -> dict:
+        return self._call("stats")
+
+    def ping(self) -> str:
+        return self._call("ping")
+
+
+def _query_to_dict(query: ObjectQuery) -> dict:
+    return {
+        "object_type": query.object_type.value,
+        "conditions": [
+            {"attribute": c.attribute, "op": c.op, "value": _encode_cond_value(c.value)}
+            for c in query.conditions
+        ],
+        "predefined": [
+            {"attribute": c.attribute, "op": c.op, "value": _encode_cond_value(c.value)}
+            for c in query.predefined
+        ],
+        "collection": query.collection,
+        "valid_only": query.valid_only,
+        "limit": query.limit,
+    }
+
+
+def _encode_cond_value(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    return value

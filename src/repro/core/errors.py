@@ -1,0 +1,83 @@
+"""MCS error hierarchy.
+
+Every error carries a stable ``fault_code`` so the SOAP layer can map it
+across the wire and the client can re-raise the same type.
+"""
+
+from __future__ import annotations
+
+
+class MCSError(Exception):
+    """Base class for Metadata Catalog Service errors."""
+
+    fault_code = "MCS.Error"
+
+
+class ObjectNotFoundError(MCSError):
+    """The named logical file/collection/view does not exist."""
+
+    fault_code = "MCS.NotFound"
+
+
+class DuplicateObjectError(MCSError):
+    """An object with this name (and version) already exists."""
+
+    fault_code = "MCS.Duplicate"
+
+
+class InvalidAttributeError(MCSError):
+    """Unknown attribute, wrong value type, or bad attribute definition."""
+
+    fault_code = "MCS.InvalidAttribute"
+
+
+class CycleError(MCSError):
+    """The requested membership would create a collection/view cycle."""
+
+    fault_code = "MCS.Cycle"
+
+
+class ObjectInUseError(MCSError):
+    """The object cannot be deleted while it has members or references."""
+
+    fault_code = "MCS.InUse"
+
+
+class QueryError(MCSError):
+    """Malformed attribute query."""
+
+    fault_code = "MCS.Query"
+
+
+class PermissionDeniedError(MCSError):
+    """Authorization failed at the service policy layer."""
+
+    fault_code = "MCS.PermissionDenied"
+
+
+class NotAuthenticatedError(MCSError):
+    """The request carried no (or an invalid) credential."""
+
+    fault_code = "MCS.NotAuthenticated"
+
+
+FAULT_CODE_TO_ERROR = {
+    cls.fault_code: cls
+    for cls in (
+        MCSError,
+        ObjectNotFoundError,
+        DuplicateObjectError,
+        InvalidAttributeError,
+        CycleError,
+        ObjectInUseError,
+        QueryError,
+        PermissionDeniedError,
+        NotAuthenticatedError,
+    )
+}
+
+
+def error_from_fault(code: str, message: str) -> Exception:
+    """Rebuild a typed MCS error from a SOAP fault code."""
+    cls = FAULT_CODE_TO_ERROR.get(code, MCSError)
+    return cls(message)

@@ -1,0 +1,123 @@
+"""A replicated MCS deployment (§9).
+
+"Until now, we have assumed that strict consistency is required ... and
+have assumed that we would eventually replicate the MCS over a small
+number of sites to improve performance and reliability."
+
+:class:`ReplicatedMCS` is that deployment: one writable primary plus N
+read replicas fed by logical WAL shipping.  Synchronous shipping gives
+the strict consistency the paper assumes (a read issued after a write
+sees it on every replica); asynchronous shipping is the relaxed model the
+paper defers to future work, with observable, bounded staleness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.catalog import MetadataCatalog
+from repro.core.client import MCSClient
+from repro.core.service import MCSService
+from repro.db import Database
+from repro.db.replication import Replica, ReplicationPublisher, seed_replica
+
+
+class ReplicatedMCS:
+    """Primary MCS with read replicas.
+
+    Parameters
+    ----------
+    replicas:
+        Number of read replicas.
+    synchronous:
+        True (default) → strict consistency: commits apply to every
+        replica before the write returns.  False → asynchronous apply
+        with ``flush()`` to force convergence.
+    """
+
+    def __init__(self, replicas: int = 2, synchronous: bool = True) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.primary_db = Database()
+        self.publisher = ReplicationPublisher(self.primary_db)
+        # Attach replicas *before* schema installation so the DDL ships.
+        self._replicas: list[Replica] = []
+        for index in range(replicas):
+            replica = Replica(f"replica-{index}", asynchronous=not synchronous)
+            self.publisher.add_replica(replica)
+            self._replicas.append(replica)
+        self.catalog = MetadataCatalog(self.primary_db)  # installs schema
+        self.service = MCSService(self.catalog)
+        if not synchronous:
+            self.publisher.flush_all()
+        self._replica_catalogs = [
+            MetadataCatalog(replica.database, install=False)
+            for replica in self._replicas
+        ]
+        self._replica_services = [
+            MCSService(catalog) for catalog in self._replica_catalogs
+        ]
+        self._read_cycle = itertools.cycle(range(replicas))
+        self.synchronous = synchronous
+
+    # -- clients -------------------------------------------------------------
+
+    def write_client(self, caller: Optional[str] = None) -> MCSClient:
+        """A client bound to the primary (reads and writes)."""
+        return MCSClient.in_process(self.service, caller=caller)
+
+    def read_client(self, caller: Optional[str] = None) -> MCSClient:
+        """A client bound to the next read replica (round robin)."""
+        index = next(self._read_cycle)
+        return MCSClient.in_process(self._replica_services[index], caller=caller)
+
+    def replica_client(self, index: int, caller: Optional[str] = None) -> MCSClient:
+        return MCSClient.in_process(self._replica_services[index], caller=caller)
+
+    # -- management ----------------------------------------------------------------
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    def lag(self) -> list[int]:
+        """Pending commit batches per replica (always 0 when synchronous)."""
+        return [replica.lag() for replica in self._replicas]
+
+    def flush(self, timeout: float = 10.0) -> None:
+        """Force every replica to catch up (asynchronous mode)."""
+        self.publisher.flush_all(timeout)
+
+    def promote(self, index: int) -> "ReplicatedMCS":
+        """Fail over: detach a replica and make it the (new) primary.
+
+        Returns a new ReplicatedMCS-shaped handle whose primary is the
+        promoted replica (with no replicas of its own); the old primary
+        keeps its remaining replicas.  Asynchronous replicas should be
+        flushed first or the promoted copy loses in-flight commits.
+        """
+        replica = self._replicas[index]
+        replica.flush()
+        self.publisher.remove_replica(replica.name)
+        replica.stop()
+        promoted = ReplicatedMCS.__new__(ReplicatedMCS)
+        promoted.primary_db = replica.database
+        promoted.publisher = ReplicationPublisher(replica.database)
+        promoted._replicas = []
+        promoted.catalog = self._replica_catalogs[index]
+        promoted.service = self._replica_services[index]
+        promoted._replica_catalogs = []
+        promoted._replica_services = []
+        promoted._read_cycle = itertools.cycle([0])
+        promoted.synchronous = True
+        # Remove from this cluster's read rotation.
+        del self._replicas[index]
+        del self._replica_catalogs[index]
+        del self._replica_services[index]
+        if self._replicas:
+            self._read_cycle = itertools.cycle(range(len(self._replicas)))
+        return promoted
+
+    def close(self) -> None:
+        self.publisher.close()

@@ -1,0 +1,252 @@
+"""The MCS relational schema.
+
+Table layout mirrors the paper's schema categories (§5): logical file
+metadata, collection metadata, view metadata, authorization metadata,
+user metadata, audit metadata, user-defined attributes, annotations,
+transformation history and external catalog pointers.
+
+User-defined attribute values use an entity-attribute-value (EAV) table
+with one typed column per attribute type, indexed on
+``(attr_id, value_<type>)`` for attribute-match queries and on
+``(object_type, object_id, attr_id)`` for per-object lookups and join
+probes — the same physical design choices whose cost behaviour the
+paper's §7 measures.
+"""
+
+from __future__ import annotations
+
+from repro.db import Database
+from repro.db.schema import Column, ForeignKey, IndexDef, TableDef
+from repro.db.types import ColumnType
+
+SCHEMA_VERSION = 1
+
+
+def _col(name: str, ctype: ColumnType, **kwargs) -> Column:
+    return Column(name, ctype, **kwargs)
+
+
+def install_schema(db: Database) -> None:
+    """Create every MCS table and index (idempotent)."""
+    tables = [
+        TableDef(
+            "mcs_meta",
+            [
+                _col("meta_key", ColumnType.STRING, nullable=False),
+                _col("meta_value", ColumnType.STRING),
+            ],
+            primary_key=("meta_key",),
+        ),
+        TableDef(
+            "logical_collection",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("name", ColumnType.STRING, nullable=False),
+                _col("description", ColumnType.STRING),
+                _col("parent_id", ColumnType.INTEGER),
+                _col("creator", ColumnType.STRING),
+                _col("created", ColumnType.DATETIME),
+                _col("last_modifier", ColumnType.STRING),
+                _col("modified", ColumnType.DATETIME),
+                _col("audit_enabled", ColumnType.BOOLEAN, default=False),
+            ],
+            primary_key=("id",),
+            unique=[("name",)],
+            foreign_keys=[ForeignKey(("parent_id",), "logical_collection", ("id",))],
+        ),
+        TableDef(
+            "logical_file",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("name", ColumnType.STRING, nullable=False),
+                _col("version", ColumnType.INTEGER, nullable=False, default=1),
+                _col("data_type", ColumnType.STRING),
+                _col("valid", ColumnType.BOOLEAN, default=True),
+                _col("collection_id", ColumnType.INTEGER),
+                _col("container_id", ColumnType.STRING),
+                _col("container_service", ColumnType.STRING),
+                _col("master_copy", ColumnType.STRING),
+                _col("creator", ColumnType.STRING),
+                _col("created", ColumnType.DATETIME),
+                _col("last_modifier", ColumnType.STRING),
+                _col("modified", ColumnType.DATETIME),
+                _col("audit_enabled", ColumnType.BOOLEAN, default=False),
+            ],
+            primary_key=("id",),
+            unique=[("name", "version")],
+            foreign_keys=[
+                ForeignKey(("collection_id",), "logical_collection", ("id",))
+            ],
+        ),
+        TableDef(
+            "logical_view",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("name", ColumnType.STRING, nullable=False),
+                _col("description", ColumnType.STRING),
+                _col("creator", ColumnType.STRING),
+                _col("created", ColumnType.DATETIME),
+                _col("last_modifier", ColumnType.STRING),
+                _col("modified", ColumnType.DATETIME),
+                _col("audit_enabled", ColumnType.BOOLEAN, default=False),
+            ],
+            primary_key=("id",),
+            unique=[("name",)],
+        ),
+        TableDef(
+            "view_member",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("view_id", ColumnType.INTEGER, nullable=False),
+                _col("member_type", ColumnType.STRING, nullable=False),
+                _col("member_id", ColumnType.INTEGER, nullable=False),
+            ],
+            primary_key=("id",),
+            unique=[("view_id", "member_type", "member_id")],
+            foreign_keys=[ForeignKey(("view_id",), "logical_view", ("id",))],
+        ),
+        TableDef(
+            "attribute_def",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("name", ColumnType.STRING, nullable=False),
+                _col("value_type", ColumnType.STRING, nullable=False),
+                _col("object_types", ColumnType.STRING, nullable=False),
+                _col("description", ColumnType.STRING),
+                _col("creator", ColumnType.STRING),
+                _col("created", ColumnType.DATETIME),
+            ],
+            primary_key=("id",),
+            unique=[("name",)],
+        ),
+        TableDef(
+            "attribute_value",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("attr_id", ColumnType.INTEGER, nullable=False),
+                _col("object_type", ColumnType.STRING, nullable=False),
+                _col("object_id", ColumnType.INTEGER, nullable=False),
+                _col("value_string", ColumnType.STRING),
+                _col("value_int", ColumnType.INTEGER),
+                _col("value_float", ColumnType.FLOAT),
+                _col("value_date", ColumnType.DATE),
+                _col("value_time", ColumnType.TIME),
+                _col("value_datetime", ColumnType.DATETIME),
+            ],
+            primary_key=("id",),
+            unique=[("attr_id", "object_type", "object_id")],
+            foreign_keys=[ForeignKey(("attr_id",), "attribute_def", ("id",))],
+        ),
+        TableDef(
+            "annotation",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("object_type", ColumnType.STRING, nullable=False),
+                _col("object_id", ColumnType.INTEGER, nullable=False),
+                _col("annotation", ColumnType.STRING, nullable=False),
+                _col("creator", ColumnType.STRING, nullable=False),
+                _col("created", ColumnType.DATETIME, nullable=False),
+            ],
+            primary_key=("id",),
+        ),
+        TableDef(
+            "audit_record",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("object_type", ColumnType.STRING, nullable=False),
+                _col("object_id", ColumnType.INTEGER, nullable=False),
+                _col("action", ColumnType.STRING, nullable=False),
+                _col("detail", ColumnType.STRING),
+                _col("actor", ColumnType.STRING, nullable=False),
+                _col("created", ColumnType.DATETIME, nullable=False),
+            ],
+            primary_key=("id",),
+        ),
+        TableDef(
+            "transformation",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("file_id", ColumnType.INTEGER, nullable=False),
+                _col("description", ColumnType.STRING, nullable=False),
+                _col("created", ColumnType.DATETIME, nullable=False),
+            ],
+            primary_key=("id",),
+            foreign_keys=[ForeignKey(("file_id",), "logical_file", ("id",))],
+        ),
+        TableDef(
+            "user_info",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("dn", ColumnType.STRING, nullable=False),
+                _col("description", ColumnType.STRING),
+                _col("institution", ColumnType.STRING),
+                _col("email", ColumnType.STRING),
+                _col("phone", ColumnType.STRING),
+            ],
+            primary_key=("id",),
+            unique=[("dn",)],
+        ),
+        TableDef(
+            "external_catalog",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("name", ColumnType.STRING, nullable=False),
+                _col("catalog_type", ColumnType.STRING, nullable=False),
+                _col("host", ColumnType.STRING, nullable=False),
+                _col("port", ColumnType.INTEGER, nullable=False),
+                _col("description", ColumnType.STRING),
+            ],
+            primary_key=("id",),
+            unique=[("name",)],
+        ),
+        TableDef(
+            "acl_entry",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("object_type", ColumnType.STRING, nullable=False),
+                _col("object_id", ColumnType.INTEGER, nullable=False),
+                _col("principal", ColumnType.STRING, nullable=False),
+                _col("permissions", ColumnType.INTEGER, nullable=False),
+            ],
+            primary_key=("id",),
+            unique=[("object_type", "object_id", "principal")],
+        ),
+    ]
+    for definition in tables:
+        db.create_table(definition, if_not_exists=True)
+
+    indexes = [
+        # The paper builds indexes on logical file/collection/view names,
+        # on the database-assigned identifiers, and on (name, id) pairs.
+        IndexDef("lf_name", "logical_file", ("name",)),
+        IndexDef("lf_name_id", "logical_file", ("name", "id")),
+        IndexDef("lf_collection", "logical_file", ("collection_id",)),
+        IndexDef("lc_parent", "logical_collection", ("parent_id",)),
+        IndexDef("vm_view", "view_member", ("view_id",)),
+        IndexDef("vm_member", "view_member", ("member_type", "member_id")),
+        # EAV access paths: per-object probe and per-(attr, value) match.
+        IndexDef("av_object", "attribute_value", ("object_type", "object_id", "attr_id")),
+        IndexDef("av_string", "attribute_value", ("attr_id", "value_string")),
+        IndexDef("av_int", "attribute_value", ("attr_id", "value_int")),
+        IndexDef("av_float", "attribute_value", ("attr_id", "value_float")),
+        IndexDef("av_date", "attribute_value", ("attr_id", "value_date")),
+        IndexDef("av_time", "attribute_value", ("attr_id", "value_time")),
+        IndexDef("av_datetime", "attribute_value", ("attr_id", "value_datetime")),
+        IndexDef("ann_object", "annotation", ("object_type", "object_id")),
+        IndexDef("audit_object", "audit_record", ("object_type", "object_id")),
+        IndexDef("tr_file", "transformation", ("file_id",)),
+        IndexDef("acl_object", "acl_entry", ("object_type", "object_id")),
+    ]
+    for index_def in indexes:
+        db.create_index(index_def, if_not_exists=True)
+
+    conn = db.connect()
+    existing = conn.execute(
+        "SELECT meta_value FROM mcs_meta WHERE meta_key = 'schema_version'"
+    ).scalar()
+    if existing is None:
+        conn.execute(
+            "INSERT INTO mcs_meta (meta_key, meta_value) VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+    conn.close()

@@ -1,0 +1,54 @@
+"""Embedded relational database engine.
+
+This package is the reproduction's stand-in for the MySQL 4.1 backend used
+by the paper's Metadata Catalog Service.  It provides:
+
+* a typed relational schema (:mod:`repro.db.schema`),
+* B+tree secondary indexes (:mod:`repro.db.btree`),
+* a SQL subset with lexer, parser and AST (:mod:`repro.db.sql`),
+* a cost-aware planner and iterator-model executor
+  (:mod:`repro.db.planner`, :mod:`repro.db.executor`),
+* transactions with rollback and table-level read/write locking
+  (:mod:`repro.db.txn`),
+* optional durability via snapshot + write-ahead log (:mod:`repro.db.wal`).
+
+The public entry point is :class:`repro.db.engine.Database`::
+
+    from repro.db import Database
+
+    db = Database()
+    conn = db.connect()
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name STRING)")
+    conn.execute("INSERT INTO t (id, name) VALUES (?, ?)", (1, "x"))
+    rows = conn.execute("SELECT name FROM t WHERE id = ?", (1,)).fetchall()
+"""
+
+from repro.db.engine import Database, Connection, ResultSet
+from repro.db.errors import (
+    DatabaseError,
+    IntegrityError,
+    LockTimeoutError,
+    ProgrammingError,
+    SchemaError,
+    SQLSyntaxError,
+    TypeMismatchError,
+)
+from repro.db.schema import Column, IndexDef, TableDef
+from repro.db.types import ColumnType
+
+__all__ = [
+    "Database",
+    "Connection",
+    "ResultSet",
+    "DatabaseError",
+    "IntegrityError",
+    "LockTimeoutError",
+    "ProgrammingError",
+    "SchemaError",
+    "SQLSyntaxError",
+    "TypeMismatchError",
+    "Column",
+    "IndexDef",
+    "TableDef",
+    "ColumnType",
+]

@@ -1,0 +1,682 @@
+"""Database engine facade: connections, statement execution, durability.
+
+Thread model: a :class:`Database` is shared; each thread uses its own
+:class:`Connection`.  Parsed statements are cached per SQL text and shared
+(they are immutable); parameter binding produces per-execution copies.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.db import wal as walmod
+from repro.db.errors import (
+    ProgrammingError,
+    SchemaError,
+    TransactionError,
+)
+from repro.db.expr import Expr, bind_parameters, Literal
+from repro.db.executor import execute_select, select_rowids
+from repro.db.planner import plan_mutation, plan_select
+from repro.db.schema import IndexDef, TableDef
+from repro.db.sql.ast import (
+    BeginTransaction,
+    Explain,
+    CommitTransaction,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropIndex,
+    DropTable,
+    Insert,
+    Join,
+    OrderItem,
+    RollbackTransaction,
+    Select,
+    SelectItem,
+    Statement,
+    Update,
+)
+from repro.db.sql.lexer import TokenType, tokenize
+from repro.db.sql.parser import parse_statement
+from repro.db.storage import Catalog, ForeignKeyEnforcer
+from repro.db.txn import LockManager, TransactionState
+
+
+class ResultSet:
+    """Result of one statement: rows for SELECT, counters for DML."""
+
+    def __init__(
+        self,
+        columns: tuple[str, ...] = (),
+        rows: Optional[list[tuple]] = None,
+        rowcount: int = -1,
+        lastrowid: Optional[int] = None,
+    ) -> None:
+        self.columns = columns
+        self._rows = rows if rows is not None else []
+        self.rowcount = rowcount if rowcount >= 0 else len(self._rows)
+        self.lastrowid = lastrowid
+        self._cursor = 0
+
+    def fetchall(self) -> list[tuple]:
+        remaining = self._rows[self._cursor :]
+        self._cursor = len(self._rows)
+        return remaining
+
+    def fetchone(self) -> Optional[tuple]:
+        if self._cursor >= len(self._rows):
+            return None
+        row = self._rows[self._cursor]
+        self._cursor += 1
+        return row
+
+    def scalar(self) -> Any:
+        """First column of the first row, or None when empty."""
+        row = self.fetchone()
+        return None if row is None else row[0]
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self._rows]
+
+
+class Database:
+    """An embedded relational database.
+
+    Parameters
+    ----------
+    directory:
+        When given, the database is durable: a snapshot plus write-ahead
+        log live in this directory and are recovered on open.
+    lock_timeout:
+        Seconds to wait for a table lock before LockTimeoutError.
+    durable_sync:
+        fsync the WAL on every commit (slow, crash-safe).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        lock_timeout: float = 5.0,
+        durable_sync: bool = False,
+    ) -> None:
+        self.catalog = Catalog()
+        self.locks = LockManager(lock_timeout)
+        self.fk = ForeignKeyEnforcer(self.catalog)
+        self.directory = directory
+        self._stmt_cache: dict[str, Statement] = {}
+        self._stmt_cache_guard = threading.Lock()
+        self._wal_guard = threading.Lock()
+        self._wal: Optional[walmod.WriteAheadLog] = None
+        self._commit_listeners: list = []
+        if directory is not None:
+            walmod.load_snapshot(self.catalog, directory)
+            walmod.replay_wal(self.catalog, directory)
+            self._wal = walmod.WriteAheadLog(directory, sync=durable_sync)
+
+    # -- connections --------------------------------------------------------
+
+    def connect(self) -> "Connection":
+        return Connection(self)
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def checkpoint(self) -> None:
+        """Write a snapshot and truncate the WAL (quiesces all writers)."""
+        if self.directory is None:
+            return
+        owner = object()
+        self.locks.schema_lock.acquire_write(owner, self.locks.timeout)
+        try:
+            with self._wal_guard:
+                walmod.write_snapshot(self.catalog, self.directory)
+                if self._wal is not None:
+                    self._wal.truncate()
+        finally:
+            self.locks.schema_lock.release(owner, True)
+
+    # -- shared helpers --------------------------------------------------------
+
+    def parse(self, sql: str) -> Statement:
+        stmt = self._stmt_cache.get(sql)
+        if stmt is not None:
+            return stmt
+        stmt = parse_statement(sql)
+        with self._stmt_cache_guard:
+            if len(self._stmt_cache) > 4096:
+                self._stmt_cache.clear()
+            self._stmt_cache[sql] = stmt
+        return stmt
+
+    def add_commit_listener(self, listener) -> None:
+        """Register a callable invoked with every committed record batch.
+
+        Listeners receive the logical WAL records (insert/update/delete/
+        DDL) after the commit succeeds locally — the hook replication
+        (:mod:`repro.db.replication`) builds on.
+        """
+        self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener) -> None:
+        self._commit_listeners.remove(listener)
+
+    def wal_commit(self, records: list[dict]) -> None:
+        if not records:
+            return
+        if self._wal is not None:
+            with self._wal_guard:
+                self._wal.append_commit(records)
+        for listener in self._commit_listeners:
+            listener(list(records))
+
+    # -- programmatic DDL (used by schema bootstrap code) -----------------------
+
+    def create_table(self, definition: TableDef, if_not_exists: bool = False) -> None:
+        owner = object()
+        self.locks.schema_lock.acquire_write(owner, self.locks.timeout)
+        try:
+            if if_not_exists and self.catalog.has_table(definition.name):
+                return
+            self.catalog.create_table(definition)
+            self.wal_commit(
+                [{"op": "create_table", "def": walmod.table_def_to_dict(definition)}]
+            )
+        finally:
+            self.locks.schema_lock.release(owner, True)
+
+    def create_index(self, index_def: IndexDef, if_not_exists: bool = False) -> None:
+        owner = object()
+        self.locks.schema_lock.acquire_write(owner, self.locks.timeout)
+        try:
+            table = self.catalog.table(index_def.table)
+            if if_not_exists and any(
+                d.name == index_def.name for d in table.index_defs()
+            ):
+                return
+            table.create_index(index_def)
+            self.wal_commit(
+                [
+                    {
+                        "op": "create_index",
+                        "table": index_def.table,
+                        "name": index_def.name,
+                        "columns": list(index_def.columns),
+                        "unique": index_def.unique,
+                    }
+                ]
+            )
+        finally:
+            self.locks.schema_lock.release(owner, True)
+
+
+def split_statements(sql: str) -> list[str]:
+    """Split a script into statements on top-level ``;`` boundaries."""
+    tokens = tokenize(sql)
+    statements: list[str] = []
+    start = 0
+    for token in tokens:
+        if token.type is TokenType.PUNCT and token.text == ";":
+            piece = sql[start : token.position].strip()
+            if piece:
+                statements.append(piece)
+            start = token.position + 1
+        elif token.type is TokenType.EOF:
+            piece = sql[start : token.position].strip()
+            if piece:
+                statements.append(piece)
+    return statements
+
+
+class Connection:
+    """A single-threaded session against a shared :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+        self._txn = TransactionState()
+        self._closed = False
+
+    # -- public API ---------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        if self._closed:
+            raise ProgrammingError("connection is closed")
+        stmt = self._db.parse(sql)
+        return self._dispatch(stmt, tuple(params))
+
+    def executescript(self, sql: str) -> None:
+        for piece in split_statements(sql):
+            self.execute(piece)
+
+    def begin(self) -> None:
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+
+    def close(self) -> None:
+        if self._txn.explicit:
+            self._rollback_txn()
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._txn.explicit:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+        self.close()
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn.explicit
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _dispatch(self, stmt: Statement, params: tuple) -> ResultSet:
+        if isinstance(stmt, Select):
+            return self._execute_select(stmt, params)
+        if isinstance(stmt, Explain):
+            return self._execute_explain(stmt, params)
+        if isinstance(stmt, Insert):
+            return self._execute_insert(stmt, params)
+        if isinstance(stmt, Update):
+            return self._execute_update(stmt, params)
+        if isinstance(stmt, Delete):
+            return self._execute_delete(stmt, params)
+        if isinstance(stmt, BeginTransaction):
+            return self._begin_txn()
+        if isinstance(stmt, CommitTransaction):
+            return self._commit_txn()
+        if isinstance(stmt, RollbackTransaction):
+            return self._rollback_txn()
+        if isinstance(stmt, (CreateTable, CreateIndex, DropTable, DropIndex)):
+            return self._execute_ddl(stmt)
+        raise ProgrammingError(f"unsupported statement {type(stmt).__name__}")
+
+    # -- transactions ------------------------------------------------------------------
+
+    def _begin_txn(self) -> ResultSet:
+        if self._txn.explicit:
+            raise TransactionError("transaction already in progress")
+        self._txn.explicit = True
+        return ResultSet(rowcount=0)
+
+    def _commit_txn(self) -> ResultSet:
+        if not self._txn.explicit:
+            raise TransactionError("COMMIT without BEGIN")
+        self._db.wal_commit(self._txn.wal_records)
+        self._finish_txn()
+        return ResultSet(rowcount=0)
+
+    def _rollback_txn(self) -> ResultSet:
+        if not self._txn.explicit and not self._txn.held:
+            raise TransactionError("ROLLBACK without BEGIN")
+        self._txn.undo.rollback(self._db.catalog)
+        self._finish_txn()
+        return ResultSet(rowcount=0)
+
+    def _finish_txn(self) -> None:
+        LockManager.release(self._txn, self._txn.held)
+        self._txn.held.clear()
+        self._txn.undo.clear()
+        self._txn.wal_records.clear()
+        self._txn.explicit = False
+
+    # -- lock scaffolding -----------------------------------------------------------------
+
+    def _with_locks(self, read_tables: set[str], write_tables: set[str]):
+        """Acquire locks for one statement; returns a finish callback."""
+        owner = self._txn
+        self._db.locks.schema_lock.acquire_read(owner, self._db.locks.timeout)
+        try:
+            held = self._db.locks.acquire(owner, read_tables, write_tables)
+        except Exception:
+            self._db.locks.schema_lock.release(owner, False)
+            raise
+        held.insert(0, (self._db.locks.schema_lock, False))
+        return held
+
+    def _statement_done(self, held: list, success: bool) -> None:
+        """Commit or roll back the statement's effects in autocommit mode."""
+        if self._txn.explicit:
+            if success:
+                self._txn.held.extend(held)
+            else:
+                # Undo only this statement's changes is complex; roll back
+                # the whole transaction like MySQL does on statement error
+                # inside a txn would not — instead we keep the txn and its
+                # locks, and the caller decides.  Statement-local effects
+                # were already reverted by the caller before reaching here.
+                self._txn.held.extend(held)
+            return
+        if success:
+            self._db.wal_commit(self._txn.wal_records)
+        self._txn.wal_records.clear()
+        self._txn.undo.clear()
+        LockManager.release(self._txn, held)
+
+    # -- SELECT ---------------------------------------------------------------------------
+
+    def _execute_select(self, stmt: Select, params: tuple) -> ResultSet:
+        bound = _bind_select(stmt, params)
+        read_tables = set()
+        if bound.table is not None:
+            read_tables.add(bound.table.name)
+        for join in bound.joins:
+            read_tables.add(join.table.name)
+        held = self._with_locks(read_tables, set())
+        try:
+            plan = plan_select(self._db.catalog, bound)
+            names, rows = execute_select(self._db.catalog, plan)
+            return ResultSet(columns=names, rows=rows)
+        finally:
+            self._statement_done(held, True)
+
+    def _execute_explain(self, stmt: Explain, params: tuple) -> ResultSet:
+        from repro.db.planner import describe_plan
+
+        assert isinstance(stmt.inner, Select)
+        bound = _bind_select(stmt.inner, params)
+        read_tables = set()
+        if bound.table is not None:
+            read_tables.add(bound.table.name)
+        for join in bound.joins:
+            read_tables.add(join.table.name)
+        held = self._with_locks(read_tables, set())
+        try:
+            plan = plan_select(self._db.catalog, bound)
+            lines = describe_plan(plan)
+            return ResultSet(columns=("plan",), rows=[(line,) for line in lines])
+        finally:
+            self._statement_done(held, True)
+
+    # -- INSERT ---------------------------------------------------------------------------
+
+    def _execute_insert(self, stmt: Insert, params: tuple) -> ResultSet:
+        table = self._db.catalog.table(stmt.table)  # early schema check
+        read_tables = {fk.ref_table for fk in table.definition.foreign_keys}
+        held = self._with_locks(read_tables, {stmt.table})
+        success = False
+        lastrowid: Optional[int] = None
+        inserted = 0
+        undo_mark = self._txn.undo.mark()
+        wal_mark = len(self._txn.wal_records)
+        try:
+            for row_exprs in stmt.rows:
+                values: dict[str, Any] = {}
+                for col, expr in zip(stmt.columns, row_exprs):
+                    bound_expr = bind_parameters(expr, params)
+                    values[col] = bound_expr.eval({})
+                rowid, stored = table.insert(values)
+                self._txn.undo.record_insert(stmt.table, rowid)
+                self._db.fk.check_insert(table, stored)
+                self._txn.wal_records.append(
+                    {
+                        "op": "insert",
+                        "table": stmt.table,
+                        "rowid": rowid,
+                        "row": walmod.encode_row(stored),
+                    }
+                )
+                if table.definition.auto_column is not None:
+                    lastrowid = stored[
+                        table.definition.column_index(table.definition.auto_column)
+                    ]
+                inserted += 1
+            success = True
+            return ResultSet(rowcount=inserted, lastrowid=lastrowid)
+        except Exception:
+            self._txn.undo.rollback_to(self._db.catalog, undo_mark)
+            del self._txn.wal_records[wal_mark:]
+            raise
+        finally:
+            self._statement_done(held, success)
+
+    # -- UPDATE ---------------------------------------------------------------------------
+
+    def _execute_update(self, stmt: Update, params: tuple) -> ResultSet:
+        table = self._db.catalog.table(stmt.table)
+        read_tables = {fk.ref_table for fk in table.definition.foreign_keys}
+        # Children that reference this table must be visible for parent checks.
+        for other in self._db.catalog.tables.values():
+            for fk in other.definition.foreign_keys:
+                if fk.ref_table == stmt.table:
+                    read_tables.add(other.name)
+        held = self._with_locks(read_tables - {stmt.table}, {stmt.table})
+        success = False
+        count = 0
+        undo_mark = self._txn.undo.mark()
+        wal_mark = len(self._txn.wal_records)
+        try:
+            where = (
+                bind_parameters(stmt.where, params) if stmt.where is not None else None
+            )
+            assignments = [
+                (col, bind_parameters(expr, params)) for col, expr in stmt.assignments
+            ]
+            plan = plan_mutation(self._db.catalog, stmt.table, where)
+            rowids = select_rowids(self._db.catalog, plan.access)
+            names = table.definition.column_names
+            qualified = tuple(f"{stmt.table}.{c}" for c in names)
+            referenced_cols = {
+                c
+                for other in self._db.catalog.tables.values()
+                for fk in other.definition.foreign_keys
+                if fk.ref_table == stmt.table
+                for c in fk.ref_columns
+            }
+            for rowid in rowids:
+                row = table.rows[rowid]
+                scope = dict(zip(qualified, row))
+                scope.update(zip(names, row))
+                changes = {col: expr.eval(scope) for col, expr in assignments}
+                old, new = table.update(rowid, changes)
+                self._txn.undo.record_update(stmt.table, rowid, old)
+                self._db.fk.check_insert(table, new)
+                if referenced_cols & set(changes):
+                    changed_ref = any(
+                        old[table.definition.column_index(c)]
+                        != new[table.definition.column_index(c)]
+                        for c in referenced_cols
+                    )
+                    if changed_ref:
+                        self._db.fk.check_delete(table, old)
+                self._txn.wal_records.append(
+                    {
+                        "op": "update",
+                        "table": stmt.table,
+                        "rowid": rowid,
+                        "row": walmod.encode_row(new),
+                    }
+                )
+                count += 1
+            success = True
+            return ResultSet(rowcount=count)
+        except Exception:
+            self._txn.undo.rollback_to(self._db.catalog, undo_mark)
+            del self._txn.wal_records[wal_mark:]
+            raise
+        finally:
+            self._statement_done(held, success)
+
+    # -- DELETE ---------------------------------------------------------------------------
+
+    def _execute_delete(self, stmt: Delete, params: tuple) -> ResultSet:
+        table = self._db.catalog.table(stmt.table)
+        read_tables = set()
+        for other in self._db.catalog.tables.values():
+            for fk in other.definition.foreign_keys:
+                if fk.ref_table == stmt.table:
+                    read_tables.add(other.name)
+        held = self._with_locks(read_tables - {stmt.table}, {stmt.table})
+        success = False
+        count = 0
+        undo_mark = self._txn.undo.mark()
+        wal_mark = len(self._txn.wal_records)
+        try:
+            where = (
+                bind_parameters(stmt.where, params) if stmt.where is not None else None
+            )
+            plan = plan_mutation(self._db.catalog, stmt.table, where)
+            rowids = select_rowids(self._db.catalog, plan.access)
+            for rowid in rowids:
+                row = table.rows[rowid]
+                self._db.fk.check_delete(table, row)
+                table.delete(rowid)
+                self._txn.undo.record_delete(stmt.table, rowid, row)
+                self._txn.wal_records.append(
+                    {"op": "delete", "table": stmt.table, "rowid": rowid}
+                )
+                count += 1
+            success = True
+            return ResultSet(rowcount=count)
+        except Exception:
+            self._txn.undo.rollback_to(self._db.catalog, undo_mark)
+            del self._txn.wal_records[wal_mark:]
+            raise
+        finally:
+            self._statement_done(held, success)
+
+    # -- DDL ---------------------------------------------------------------------------
+
+    def _execute_ddl(self, stmt: Statement) -> ResultSet:
+        if self._txn.explicit:
+            raise TransactionError("DDL is not allowed inside an explicit transaction")
+        owner = self._txn
+        self._db.locks.schema_lock.acquire_write(owner, self._db.locks.timeout)
+        try:
+            if isinstance(stmt, CreateTable):
+                if stmt.if_not_exists and self._db.catalog.has_table(stmt.name):
+                    return ResultSet(rowcount=0)
+                definition = TableDef(
+                    name=stmt.name,
+                    columns=stmt.columns,
+                    primary_key=stmt.primary_key,
+                    unique=stmt.unique,
+                    foreign_keys=stmt.foreign_keys,
+                )
+                self._db.catalog.create_table(definition)
+                self._db.wal_commit(
+                    [
+                        {
+                            "op": "create_table",
+                            "def": walmod.table_def_to_dict(definition),
+                        }
+                    ]
+                )
+            elif isinstance(stmt, CreateIndex):
+                table = self._db.catalog.table(stmt.table)
+                if stmt.if_not_exists and any(
+                    d.name == stmt.name for d in table.index_defs()
+                ):
+                    return ResultSet(rowcount=0)
+                table.create_index(
+                    IndexDef(
+                        name=stmt.name,
+                        table=stmt.table,
+                        columns=stmt.columns,
+                        unique=stmt.unique,
+                    )
+                )
+                self._db.wal_commit(
+                    [
+                        {
+                            "op": "create_index",
+                            "table": stmt.table,
+                            "name": stmt.name,
+                            "columns": list(stmt.columns),
+                            "unique": stmt.unique,
+                        }
+                    ]
+                )
+            elif isinstance(stmt, DropTable):
+                if stmt.if_exists and not self._db.catalog.has_table(stmt.name):
+                    return ResultSet(rowcount=0)
+                self._db.catalog.drop_table(stmt.name)
+                self._db.wal_commit([{"op": "drop_table", "table": stmt.name}])
+            elif isinstance(stmt, DropIndex):
+                table_name = stmt.table
+                if table_name is None:
+                    for name in self._db.catalog.table_names():
+                        if any(
+                            d.name == stmt.name
+                            for d in self._db.catalog.table(name).index_defs()
+                        ):
+                            table_name = name
+                            break
+                if table_name is None:
+                    if stmt.if_exists:
+                        return ResultSet(rowcount=0)
+                    raise SchemaError(f"no index {stmt.name!r}")
+                self._db.catalog.table(table_name).drop_index(stmt.name)
+                self._db.wal_commit(
+                    [{"op": "drop_index", "table": table_name, "name": stmt.name}]
+                )
+            return ResultSet(rowcount=0)
+        finally:
+            self._db.locks.schema_lock.release(owner, True)
+
+
+# --------------------------------------------------------------------------
+# Parameter binding for SELECT statements
+# --------------------------------------------------------------------------
+
+
+def _bind_select(stmt: Select, params: tuple) -> Select:
+    """Produce a parameter-bound copy of a (cached, shared) Select."""
+    items = [
+        SelectItem(
+            expr=bind_parameters(i.expr, params) if i.expr is not None else None,
+            alias=i.alias,
+            star=i.star,
+            star_table=i.star_table,
+            aggregate=i.aggregate,
+            count_star=i.count_star,
+        )
+        for i in stmt.items
+    ]
+    joins = [
+        Join(
+            table=j.table,
+            kind=j.kind,
+            condition=bind_parameters(j.condition, params)
+            if j.condition is not None
+            else None,
+        )
+        for j in stmt.joins
+    ]
+    return Select(
+        items=items,
+        table=stmt.table,
+        joins=joins,
+        where=bind_parameters(stmt.where, params) if stmt.where is not None else None,
+        group_by=[bind_parameters(g, params) for g in stmt.group_by],
+        having=bind_parameters(stmt.having, params) if stmt.having is not None else None,
+        order_by=[
+            OrderItem(bind_parameters(o.expr, params), o.descending)
+            for o in stmt.order_by
+        ],
+        limit=stmt.limit,
+        offset=stmt.offset,
+        distinct=stmt.distinct,
+    )

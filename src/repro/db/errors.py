@@ -1,0 +1,45 @@
+"""Exception hierarchy for the embedded database engine."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for every error raised by :mod:`repro.db`."""
+
+
+class ProgrammingError(DatabaseError):
+    """Misuse of the API (wrong parameter counts, closed handles, ...)."""
+
+
+class SQLSyntaxError(ProgrammingError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SchemaError(DatabaseError):
+    """Reference to a missing table/column/index, or an invalid DDL request."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value could not be coerced to its column's declared type."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint (primary key, unique, not-null, foreign key) was violated."""
+
+
+class LockTimeoutError(DatabaseError):
+    """A table lock could not be acquired within the configured timeout."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction state transition (e.g. COMMIT with no BEGIN)."""
+
+
+class RecoveryError(DatabaseError):
+    """The snapshot or write-ahead log could not be replayed."""

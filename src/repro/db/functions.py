@@ -1,0 +1,197 @@
+"""Scalar and aggregate SQL functions.
+
+The scalar table backs :class:`repro.db.expr.FunctionCall`; the aggregate
+classes back ``GROUP BY`` execution in :mod:`repro.db.executor`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.db.errors import ProgrammingError
+from repro.db.types import sort_key
+
+
+def _lower(value: Any) -> Any:
+    return None if value is None else str(value).lower()
+
+
+def _upper(value: Any) -> Any:
+    return None if value is None else str(value).upper()
+
+
+def _length(value: Any) -> Any:
+    return None if value is None else len(str(value))
+
+
+def _abs(value: Any) -> Any:
+    return None if value is None else abs(value)
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _substr(value: Any, start: Any, length: Any = None) -> Any:
+    if value is None or start is None:
+        return None
+    text = str(value)
+    begin = int(start) - 1  # SQL SUBSTR is 1-based
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+def _trim(value: Any) -> Any:
+    return None if value is None else str(value).strip()
+
+
+def _concat(*args: Any) -> Any:
+    if any(a is None for a in args):
+        return None
+    return "".join(str(a) for a in args)
+
+
+def _ifnull(value: Any, fallback: Any) -> Any:
+    return fallback if value is None else value
+
+
+def _min2(*args: Any) -> Any:
+    vals = [a for a in args if a is not None]
+    return min(vals, key=sort_key) if vals else None
+
+
+def _max2(*args: Any) -> Any:
+    vals = [a for a in args if a is not None]
+    return max(vals, key=sort_key) if vals else None
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "LOWER": _lower,
+    "UPPER": _upper,
+    "LENGTH": _length,
+    "ABS": _abs,
+    "COALESCE": _coalesce,
+    "SUBSTR": _substr,
+    "SUBSTRING": _substr,
+    "TRIM": _trim,
+    "CONCAT": _concat,
+    "IFNULL": _ifnull,
+    "LEAST": _min2,
+    "GREATEST": _max2,
+}
+
+
+class Aggregate:
+    """Streaming aggregate state; one instance per (group, aggregate)."""
+
+    def add(self, value: Any) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def result(self) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CountAgg(Aggregate):
+    """COUNT(expr) — NULLs excluded; COUNT(*) counts every row."""
+
+    def __init__(self, count_star: bool = False) -> None:
+        self._count = 0
+        self._star = count_star
+
+    def add(self, value: Any) -> None:
+        if self._star or value is not None:
+            self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class SumAgg(Aggregate):
+    """SUM(expr) — NULLs skipped; empty input yields NULL."""
+
+    def __init__(self) -> None:
+        self._sum: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self._sum = value if self._sum is None else self._sum + value
+
+    def result(self) -> Any:
+        return self._sum
+
+
+class AvgAgg(Aggregate):
+    """AVG(expr) — NULLs skipped; empty input yields NULL."""
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self._sum += value
+        self._count += 1
+
+    def result(self) -> Optional[float]:
+        return None if self._count == 0 else self._sum / self._count
+
+
+class MinAgg(Aggregate):
+    """MIN(expr) under the engine total order; NULLs skipped."""
+
+    def __init__(self) -> None:
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or sort_key(value) < sort_key(self._best):
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+class MaxAgg(Aggregate):
+    """MAX(expr) under the engine total order; NULLs skipped."""
+
+    def __init__(self) -> None:
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or sort_key(value) > sort_key(self._best):
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+AGGREGATE_FUNCTIONS: dict[str, Callable[[], Aggregate]] = {
+    "COUNT": CountAgg,
+    "SUM": SumAgg,
+    "AVG": AvgAgg,
+    "MIN": MinAgg,
+    "MAX": MaxAgg,
+}
+
+
+def make_aggregate(name: str, count_star: bool = False) -> Aggregate:
+    upper = name.upper()
+    if upper == "COUNT":
+        return CountAgg(count_star=count_star)
+    factory = AGGREGATE_FUNCTIONS.get(upper)
+    if factory is None:
+        raise ProgrammingError(f"unknown aggregate function {name!r}")
+    return factory()
+
+
+def is_aggregate(name: str) -> bool:
+    return name.upper() in AGGREGATE_FUNCTIONS

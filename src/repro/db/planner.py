@@ -1,0 +1,807 @@
+"""Query planner: turns a parsed SELECT/UPDATE/DELETE into a physical plan.
+
+The planner is rule-based with a simple cost preference order:
+
+1. unique-index full-key equality lookup,
+2. longest equality prefix on any index (optionally extended by a range
+   predicate on the next index column),
+3. single-column IN on an indexed column (union of point lookups),
+4. sequential scan.
+
+Joins are executed left-deep in the order written.  For each join the
+planner prefers an index nested-loop (equi-join key covered by an index on
+the inner table), then a hash join (any equi-join), then a filtered
+nested loop.
+
+Column references are resolved during planning: every bare ``col`` is
+rewritten to ``alias.col``; ambiguous references raise ProgrammingError.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.db.errors import ProgrammingError, SchemaError
+from repro.db.expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    conjuncts,
+)
+from repro.db.sql.ast import Join, OrderItem, Select, SelectItem, TableRef
+from repro.db.storage import Catalog, Table
+
+
+# --------------------------------------------------------------------------
+# Physical plan nodes
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class AccessPath:
+    """How to produce candidate rowids for one table."""
+
+    table: str
+    alias: str
+    kind: str  # "seq" | "index_eq" | "index_range" | "index_in"
+    index: Optional[str] = None
+    eq_values: tuple = ()          # literal prefix values for index_eq / index_range
+    in_values: tuple = ()          # values for index_in (single column)
+    low: Any = None                # range bound on the column after the eq prefix
+    high: Any = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+    residual: Optional[Expr] = None  # post-access filter
+
+
+@dataclass
+class JoinStep:
+    """One join applied to the running pipeline."""
+
+    kind: str  # "index_nl" | "hash" | "nested"
+    access: AccessPath           # inner table access (seq scan for hash/nested)
+    left_outer: bool = False
+    # index_nl: values for the inner index come from outer-row expressions
+    outer_key_exprs: tuple = ()
+    # hash: equi-key expression pairs (outer_expr, inner_col_ref)
+    hash_outer: tuple = ()
+    hash_inner: tuple = ()
+    condition: Optional[Expr] = None   # residual join (ON) predicate
+    post_filter: Optional[Expr] = None  # WHERE parts applied after padding
+
+
+@dataclass
+class ProjectionItem:
+    """One output column: expression or aggregate, plus its name."""
+
+    expr: Optional[Expr]
+    name: str
+    aggregate: Optional[str] = None
+    count_star: bool = False
+
+
+@dataclass
+class SelectPlan:
+    """The full physical plan for a SELECT."""
+
+    base: AccessPath
+    joins: list[JoinStep]
+    items: list[ProjectionItem]
+    star_aliases: list[str]            # aliases whose full column set is projected
+    group_by: list[Expr]
+    having: Optional[Expr]
+    order_by: list[OrderItem]
+    order_on_output: bool              # sort projected rows (aggregate mode)
+    limit: Optional[int]
+    offset: Optional[int]
+    distinct: bool
+    column_layout: dict[str, tuple[str, ...]]  # alias -> qualified column keys
+    output_names: tuple[str, ...] = ()
+
+
+@dataclass
+class MutationPlan:
+    """Plan for UPDATE/DELETE: which rowids to touch."""
+
+    access: AccessPath
+
+
+# --------------------------------------------------------------------------
+# Name resolution
+# --------------------------------------------------------------------------
+
+
+class _Resolver:
+    """Rewrites bare column references to qualified ``alias.col`` form."""
+
+    def __init__(self, catalog: Catalog, tables: list[tuple[str, str]]) -> None:
+        # tables: list of (alias, table_name)
+        self._owners: dict[str, list[str]] = {}
+        self._aliases = {alias for alias, _ in tables}
+        for alias, table_name in tables:
+            for col in catalog.table(table_name).definition.column_names:
+                self._owners.setdefault(col, []).append(alias)
+
+    def resolve(self, expr: Expr, lenient: bool = False) -> Expr:
+        if lenient:
+            return self._resolve_inner(expr, lenient=True)
+        return self._resolve_inner(expr, lenient=False)
+
+    def _resolve_inner(self, expr: Expr, lenient: bool) -> Expr:
+        if isinstance(expr, ColumnRef):
+            if expr.table is not None:
+                if expr.table not in self._aliases:
+                    raise ProgrammingError(f"unknown table alias {expr.table!r}")
+                return expr
+            owners = self._owners.get(expr.name)
+            if not owners:
+                if lenient:
+                    # Leave bare: resolved against the output row later
+                    # (HAVING / ORDER BY on aggregate aliases).
+                    return expr
+                raise ProgrammingError(f"unknown column {expr.name!r}")
+            if len(owners) > 1:
+                raise ProgrammingError(
+                    f"ambiguous column {expr.name!r} (in {sorted(set(owners))})"
+                )
+            return ColumnRef(expr.name, table=owners[0])
+        if isinstance(expr, Comparison):
+            return Comparison(expr.op, self._resolve_inner(expr.left, lenient), self._resolve_inner(expr.right, lenient))
+        if isinstance(expr, Arithmetic):
+            return Arithmetic(expr.op, self._resolve_inner(expr.left, lenient), self._resolve_inner(expr.right, lenient))
+        if isinstance(expr, And):
+            return And(tuple(self._resolve_inner(p, lenient) for p in expr.parts))
+        if isinstance(expr, Or):
+            return Or(tuple(self._resolve_inner(p, lenient) for p in expr.parts))
+        if isinstance(expr, Not):
+            return Not(self._resolve_inner(expr.inner, lenient))
+        if isinstance(expr, IsNull):
+            return IsNull(self._resolve_inner(expr.inner, lenient), expr.negated)
+        if isinstance(expr, InList):
+            return InList(
+                self._resolve_inner(expr.inner, lenient),
+                tuple(self._resolve_inner(o, lenient) for o in expr.options),
+                expr.negated,
+            )
+        if isinstance(expr, Between):
+            return Between(
+                self._resolve_inner(expr.inner, lenient),
+                self._resolve_inner(expr.low, lenient),
+                self._resolve_inner(expr.high, lenient),
+                expr.negated,
+            )
+        if isinstance(expr, Like):
+            return Like(self._resolve_inner(expr.inner, lenient), self._resolve_inner(expr.pattern, lenient), expr.negated)
+        if isinstance(expr, FunctionCall):
+            return FunctionCall(expr.name, tuple(self._resolve_inner(a, lenient) for a in expr.args))
+        return expr
+
+
+# --------------------------------------------------------------------------
+# Sargable-predicate analysis
+# --------------------------------------------------------------------------
+
+
+def _literal_value(expr: Expr) -> tuple[bool, Any]:
+    if isinstance(expr, Literal):
+        return True, expr.value
+    return False, None
+
+
+def _split_sargable(
+    parts: list[Expr], alias: str
+) -> tuple[dict[str, Any], dict[str, dict[str, Any]], dict[str, list], list[Expr]]:
+    """Classify conjuncts touching *alias* columns against literals.
+
+    Returns (equalities, ranges, in_lists, leftovers) where equalities maps
+    column -> value, ranges maps column -> {low, high, low_inc, high_inc},
+    in_lists maps column -> list of values.
+    """
+    equalities: dict[str, Any] = {}
+    ranges: dict[str, dict[str, Any]] = {}
+    in_lists: dict[str, list] = {}
+    leftovers: list[Expr] = []
+
+    def narrow(column: str, low=None, low_inc=True, high=None, high_inc=True):
+        """Intersect new bounds into the column's running range."""
+        from repro.db.types import sort_key
+
+        bounds = ranges.setdefault(
+            column, {"low": None, "high": None, "low_inc": True, "high_inc": True}
+        )
+        if low is not None:
+            if bounds["low"] is None or sort_key(low) > sort_key(bounds["low"]):
+                bounds["low"], bounds["low_inc"] = low, low_inc
+            elif sort_key(low) == sort_key(bounds["low"]) and not low_inc:
+                bounds["low_inc"] = False
+        if high is not None:
+            if bounds["high"] is None or sort_key(high) < sort_key(bounds["high"]):
+                bounds["high"], bounds["high_inc"] = high, high_inc
+            elif sort_key(high) == sort_key(bounds["high"]) and not high_inc:
+                bounds["high_inc"] = False
+
+    for part in parts:
+        consumed = False
+        if isinstance(part, Comparison):
+            left, right, op = part.left, part.right, part.op
+            if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+                left, right = right, left
+                flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+                op = flip.get(op, op)
+            if isinstance(left, ColumnRef) and left.table == alias:
+                ok, value = _literal_value(right)
+                if ok and value is not None:
+                    if op == "=":
+                        equalities[left.name] = value
+                        consumed = True
+                    elif op in ("<", "<="):
+                        narrow(left.name, high=value, high_inc=(op == "<="))
+                        consumed = True
+                    elif op in (">", ">="):
+                        narrow(left.name, low=value, low_inc=(op == ">="))
+                        consumed = True
+        elif isinstance(part, Between) and not part.negated:
+            if isinstance(part.inner, ColumnRef) and part.inner.table == alias:
+                ok_lo, lo = _literal_value(part.low)
+                ok_hi, hi = _literal_value(part.high)
+                if ok_lo and ok_hi and lo is not None and hi is not None:
+                    narrow(part.inner.name, low=lo, high=hi)
+                    consumed = True
+        elif isinstance(part, Like) and not part.negated:
+            # LIKE 'abc%' (prefix pattern, no other wildcards) narrows to a
+            # range ['abc', 'abc￿'); the LIKE itself stays as a
+            # residual filter so '_' semantics remain exact.
+            if isinstance(part.inner, ColumnRef) and part.inner.table == alias:
+                ok, pattern = _literal_value(part.pattern)
+                if (
+                    ok
+                    and isinstance(pattern, str)
+                    and pattern.endswith("%")
+                    and "%" not in pattern[:-1]
+                    and "_" not in pattern
+                    and len(pattern) > 1
+                ):
+                    prefix = pattern[:-1]
+                    narrow(
+                        part.inner.name,
+                        low=prefix,
+                        high=prefix + "￿",
+                        high_inc=False,
+                    )
+                    # NOT consumed: the LIKE stays as a residual filter.
+        elif isinstance(part, InList) and not part.negated:
+            if isinstance(part.inner, ColumnRef) and part.inner.table == alias:
+                values = []
+                ok_all = True
+                for option in part.options:
+                    ok, value = _literal_value(option)
+                    if not ok or value is None:
+                        ok_all = False
+                        break
+                    values.append(value)
+                if ok_all and values:
+                    in_lists.setdefault(part.inner.name, []).extend(values)
+                    consumed = True
+        if not consumed:
+            leftovers.append(part)
+    return equalities, ranges, in_lists, leftovers
+
+
+def choose_access_path(
+    table: Table,
+    alias: str,
+    where_parts: list[Expr],
+) -> AccessPath:
+    """Pick the best access path for *table* given conjuncts on it."""
+    equalities, ranges, in_lists, leftovers = _split_sargable(where_parts, alias)
+
+    best: Optional[AccessPath] = None
+    best_score: tuple = ()
+    for index_def in table.index_defs():
+        cols = index_def.columns
+        prefix_len = 0
+        while prefix_len < len(cols) and cols[prefix_len] in equalities:
+            prefix_len += 1
+        full_unique = index_def.unique and prefix_len == len(cols)
+        range_col = cols[prefix_len] if prefix_len < len(cols) else None
+        has_range = range_col is not None and range_col in ranges
+        if prefix_len == 0 and not has_range:
+            # Maybe an IN on the first index column.
+            if cols[0] in in_lists:
+                score = (1, 0, 0, 0)
+                if best is None or score > best_score:
+                    best = AccessPath(
+                        table=table.name,
+                        alias=alias,
+                        kind="index_in",
+                        index=index_def.name,
+                        in_values=tuple(in_lists[cols[0]]),
+                    )
+                    best_score = score
+            continue
+        # Tie-break equal prefix lengths by whether the equality prefix
+        # covers the whole index: a fully-covered (attr, value) index is
+        # far more selective than the same-length prefix of a wider one.
+        fully_covered = 1 if prefix_len == len(cols) else 0
+        score = (
+            3 if full_unique else 2,
+            prefix_len,
+            1 if has_range else 0,
+            fully_covered,
+        )
+        if best is not None and score <= best_score:
+            continue
+        eq_values = tuple(equalities[c] for c in cols[:prefix_len])
+        if has_range:
+            bounds = ranges[range_col]
+            best = AccessPath(
+                table=table.name,
+                alias=alias,
+                kind="index_range",
+                index=index_def.name,
+                eq_values=eq_values,
+                low=bounds["low"],
+                high=bounds["high"],
+                low_inclusive=bounds["low_inc"],
+                high_inclusive=bounds["high_inc"],
+            )
+        else:
+            best = AccessPath(
+                table=table.name,
+                alias=alias,
+                kind="index_eq",
+                index=index_def.name,
+                eq_values=eq_values,
+            )
+        best_score = score
+
+    residual = _combine(where_parts) if best is None else _residual_for(best, where_parts, table)
+    if best is None:
+        return AccessPath(table=table.name, alias=alias, kind="seq", residual=residual)
+    best.residual = residual
+    return best
+
+
+def _residual_for(path: AccessPath, parts: list[Expr], table: Table) -> Optional[Expr]:
+    """Keep every conjunct not exactly consumed by the access path.
+
+    Index range bounds and IN lists fully cover their predicates, so any
+    conjunct whose effect is entirely captured can be dropped.  To stay
+    safe we re-apply range/IN predicates only when they were *not* the ones
+    encoded in the path; equality prefixes encoded in the path are exact
+    and always droppable.
+    """
+    index_def = next(d for d in table.index_defs() if d.name == path.index)
+    consumed_eq = set(index_def.columns[: len(path.eq_values)])
+    keep: list[Expr] = []
+    range_col = (
+        index_def.columns[len(path.eq_values)]
+        if path.kind == "index_range" and len(path.eq_values) < len(index_def.columns)
+        else None
+    )
+    in_col = index_def.columns[0] if path.kind == "index_in" else None
+    for part in parts:
+        if isinstance(part, Comparison) and part.op == "=":
+            left, right = part.left, part.right
+            if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+                left, right = right, left
+            if (
+                isinstance(left, ColumnRef)
+                and left.table == path.alias
+                and left.name in consumed_eq
+                and isinstance(right, Literal)
+            ):
+                continue
+        if range_col is not None:
+            if isinstance(part, Comparison) and part.op in ("<", "<=", ">", ">="):
+                left, right = part.left, part.right
+                if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+                    left, right = right, left
+                if (
+                    isinstance(left, ColumnRef)
+                    and left.table == path.alias
+                    and left.name == range_col
+                    and isinstance(right, Literal)
+                ):
+                    continue
+            if (
+                isinstance(part, Between)
+                and not part.negated
+                and isinstance(part.inner, ColumnRef)
+                and part.inner.table == path.alias
+                and part.inner.name == range_col
+                and isinstance(part.low, Literal)
+                and isinstance(part.high, Literal)
+            ):
+                continue
+        if in_col is not None:
+            if (
+                isinstance(part, InList)
+                and not part.negated
+                and isinstance(part.inner, ColumnRef)
+                and part.inner.table == path.alias
+                and part.inner.name == in_col
+                and all(isinstance(o, Literal) for o in part.options)
+            ):
+                continue
+        keep.append(part)
+    return _combine(keep)
+
+
+def _combine(parts: list[Expr]) -> Optional[Expr]:
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+# --------------------------------------------------------------------------
+# SELECT planning
+# --------------------------------------------------------------------------
+
+
+def plan_select(catalog: Catalog, stmt: Select) -> SelectPlan:
+    if stmt.table is None:
+        raise ProgrammingError("SELECT without FROM is not supported")
+    tables: list[tuple[str, str]] = [(stmt.table.effective_alias, stmt.table.name)]
+    for join in stmt.joins:
+        tables.append((join.table.effective_alias, join.table.name))
+    seen_aliases = set()
+    for alias, table_name in tables:
+        catalog.table(table_name)  # raises SchemaError on missing table
+        if alias in seen_aliases:
+            raise ProgrammingError(f"duplicate table alias {alias!r}")
+        seen_aliases.add(alias)
+
+    resolver = _Resolver(catalog, tables)
+    where = resolver.resolve(stmt.where) if stmt.where is not None else None
+    where_parts = conjuncts(where)
+
+    # Partition WHERE conjuncts by the single alias they touch; multi-alias
+    # conjuncts are applied as soon as every referenced alias is joined.
+    available = [tables[0][0]]
+    base_parts = _parts_for(where_parts, {tables[0][0]})
+    consumed = set(id(p) for p in base_parts)
+
+    base_table = catalog.table(tables[0][1])
+    base = choose_access_path(base_table, tables[0][0], base_parts)
+
+    join_steps: list[JoinStep] = []
+    for join in stmt.joins:
+        alias = join.table.effective_alias
+        inner_table = catalog.table(join.table.name)
+        condition = resolver.resolve(join.condition) if join.condition is not None else None
+        cond_parts = conjuncts(condition)
+        # WHERE conjuncts now evaluable (touch only joined aliases + this one)
+        newly = [
+            p
+            for p in where_parts
+            if id(p) not in consumed
+            and _aliases_of(p) <= set(available) | {alias}
+        ]
+        for p in newly:
+            consumed.add(id(p))
+        if join.kind == "left":
+            # WHERE predicates filter the padded result, not the match
+            # (x LEFT JOIN y ... WHERE y.c IS NULL must see the padding).
+            step = _plan_join(inner_table, alias, cond_parts, set(available), join.kind)
+            step.post_filter = _combine(newly)
+        else:
+            step = _plan_join(
+                inner_table, alias, cond_parts + newly, set(available), join.kind
+            )
+        join_steps.append(step)
+        available.append(alias)
+
+    leftover = [p for p in where_parts if id(p) not in consumed]
+    if leftover:
+        # Conjuncts referencing aliases never joined (shouldn't happen) —
+        # fold into the last step / base residual.
+        extra = _combine(leftover)
+        if join_steps:
+            join_steps[-1].condition = _combine(
+                [c for c in (join_steps[-1].condition, extra) if c is not None]
+            )
+        else:
+            base.residual = _combine(
+                [c for c in (base.residual, extra) if c is not None]
+            )
+
+    # Projection items
+    items: list[ProjectionItem] = []
+    star_aliases: list[str] = []
+    aggregate_mode = bool(stmt.group_by) or any(i.aggregate for i in stmt.items)
+    for item in stmt.items:
+        if item.star:
+            if aggregate_mode:
+                raise ProgrammingError("cannot mix * with aggregates")
+            if item.star_table is not None:
+                if item.star_table not in seen_aliases:
+                    raise ProgrammingError(f"unknown alias {item.star_table!r} in select")
+                star_aliases.append(item.star_table)
+            else:
+                star_aliases.extend(alias for alias, _ in tables)
+            continue
+        expr = resolver.resolve(item.expr) if item.expr is not None else None
+        name = item.alias or (str(expr) if expr is not None else "count")
+        if item.expr is not None and isinstance(item.expr, ColumnRef) and item.alias is None:
+            name = item.expr.name
+        if item.aggregate and item.alias is None:
+            inner = item.expr.name if isinstance(item.expr, ColumnRef) else ("*" if item.count_star else "expr")
+            name = f"{item.aggregate.lower()}({inner})"
+        items.append(
+            ProjectionItem(
+                expr=expr,
+                name=name,
+                aggregate=item.aggregate,
+                count_star=item.count_star,
+            )
+        )
+
+    group_by = [resolver.resolve(g) for g in stmt.group_by]
+    having = resolver.resolve(stmt.having, lenient=True) if stmt.having is not None else None
+    order_by = [OrderItem(_resolve_order(resolver, o.expr, items), o.descending) for o in stmt.order_by]
+
+    layout: dict[str, tuple[str, ...]] = {}
+    for alias, table_name in tables:
+        cols = catalog.table(table_name).definition.column_names
+        layout[alias] = tuple(f"{alias}.{c}" for c in cols)
+
+    output_names: list[str] = []
+    for alias in star_aliases:
+        table_name = dict(tables)[alias]
+        output_names.extend(catalog.table(table_name).definition.column_names)
+    output_names.extend(i.name for i in items)
+
+    return SelectPlan(
+        base=base,
+        joins=join_steps,
+        items=items,
+        star_aliases=star_aliases,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        order_on_output=aggregate_mode,
+        limit=stmt.limit,
+        offset=stmt.offset,
+        distinct=stmt.distinct,
+        column_layout=layout,
+        output_names=tuple(output_names),
+    )
+
+
+def _resolve_order(resolver: _Resolver, expr: Expr, items: list[ProjectionItem]) -> Expr:
+    """Resolve an ORDER BY expression; bare names may match output aliases."""
+    if isinstance(expr, ColumnRef) and expr.table is None:
+        for item in items:
+            if item.name == expr.name and item.expr is not None and item.aggregate is None:
+                return item.expr
+    return resolver.resolve(expr, lenient=True)
+
+
+def _aliases_of(expr: Expr) -> set[str]:
+    return {c.table for c in expr.columns() if c.table is not None}
+
+
+def _parts_for(parts: list[Expr], aliases: set[str]) -> list[Expr]:
+    return [p for p in parts if _aliases_of(p) <= aliases and _aliases_of(p)]
+
+
+def _plan_join(
+    inner: Table,
+    alias: str,
+    parts: list[Expr],
+    outer_aliases: set[str],
+    kind: str,
+) -> JoinStep:
+    """Plan one join of *inner* against the already-joined aliases."""
+    left_outer = kind == "left"
+    # Find equi-join conjuncts: inner.col = <expr over outer aliases>
+    equi: list[tuple[str, Expr]] = []  # (inner col, outer expr)
+    local_parts: list[Expr] = []      # touch only the inner alias
+    residual: list[Expr] = []
+    for part in parts:
+        placed = False
+        if isinstance(part, Comparison) and part.op == "=":
+            for left, right in ((part.left, part.right), (part.right, part.left)):
+                if (
+                    isinstance(left, ColumnRef)
+                    and left.table == alias
+                    and _aliases_of(right) <= outer_aliases
+                    and not (isinstance(right, ColumnRef) and right.table == alias)
+                ):
+                    # Constant right side belongs to local parts instead.
+                    if _aliases_of(right):
+                        equi.append((left.name, right))
+                        placed = True
+                        break
+        if placed:
+            continue
+        refs = _aliases_of(part)
+        if refs <= {alias}:
+            local_parts.append(part)
+        else:
+            residual.append(part)
+
+    # Try an index on the inner table covering a prefix of the equi columns
+    # (plus local equality literals).
+    local_eq, _, _, _ = _split_sargable(local_parts, alias)
+    best_index = None
+    best_exprs: list[Expr] = []
+    best_len = 0
+    best_equi_cols: set[str] = set()
+    best_local_cols: set[str] = set()
+    for index_def in inner.index_defs():
+        exprs: list[Expr] = []
+        equi_cols: set[str] = set()
+        local_cols: set[str] = set()
+        for col in index_def.columns:
+            matched = next((expr for c, expr in equi if c == col), None)
+            if matched is not None:
+                exprs.append(matched)
+                equi_cols.add(col)
+            elif col in local_eq:
+                exprs.append(Literal(local_eq[col]))
+                local_cols.add(col)
+            else:
+                break
+        # Require at least one outer-driven key, else it's not a join index.
+        if exprs and any(_aliases_of(e) for e in exprs) and len(exprs) > best_len:
+            best_index = index_def.name
+            best_exprs = exprs
+            best_len = len(exprs)
+            best_equi_cols = equi_cols
+            best_local_cols = local_cols
+
+    if best_index is not None:
+        # A predicate is dropped only when the index key consumed it from
+        # the matching source: equi column vs. local literal.
+        rest = [
+            Comparison("=", ColumnRef(c, table=alias), e)
+            for c, e in equi
+            if c not in best_equi_cols
+        ]
+        local_rest = [
+            p
+            for p in local_parts
+            if not _is_consumed_local_eq(p, alias, best_local_cols)
+        ]
+        cond = _combine(rest + local_rest + residual)
+        access = AccessPath(table=inner.name, alias=alias, kind="index_eq", index=best_index)
+        return JoinStep(
+            kind="index_nl",
+            access=access,
+            left_outer=left_outer,
+            outer_key_exprs=tuple(best_exprs),
+            condition=cond,
+        )
+
+    if equi:
+        access = choose_access_path(inner, alias, local_parts)
+        return JoinStep(
+            kind="hash",
+            access=access,
+            left_outer=left_outer,
+            hash_outer=tuple(e for _, e in equi),
+            hash_inner=tuple(ColumnRef(c, table=alias) for c, _ in equi),
+            condition=_combine(residual),
+        )
+
+    access = choose_access_path(inner, alias, local_parts)
+    return JoinStep(
+        kind="nested",
+        access=access,
+        left_outer=left_outer,
+        condition=_combine(residual),
+    )
+
+
+def _is_consumed_local_eq(part: Expr, alias: str, consumed: set[str]) -> bool:
+    if not isinstance(part, Comparison) or part.op != "=":
+        return False
+    left, right = part.left, part.right
+    if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+        left, right = right, left
+    return (
+        isinstance(left, ColumnRef)
+        and left.table == alias
+        and left.name in consumed
+        and isinstance(right, Literal)
+        and right.value is not None
+    )
+
+
+def plan_mutation(catalog: Catalog, table_name: str, where: Optional[Expr]) -> MutationPlan:
+    """Plan row selection for UPDATE/DELETE on a single table."""
+    table = catalog.table(table_name)
+    resolver = _Resolver(catalog, [(table_name, table_name)])
+    resolved = resolver.resolve(where) if where is not None else None
+    parts = conjuncts(resolved)
+    access = choose_access_path(table, table_name, parts)
+    return MutationPlan(access=access)
+
+
+# --------------------------------------------------------------------------
+# Plan description (EXPLAIN)
+# --------------------------------------------------------------------------
+
+
+def describe_access(path: AccessPath) -> str:
+    if path.kind == "seq":
+        base = f"SEQ SCAN {path.table} AS {path.alias}"
+    elif path.kind == "index_eq":
+        base = (
+            f"INDEX LOOKUP {path.table} AS {path.alias} "
+            f"USING {path.index} ON {path.eq_values!r}"
+        )
+    elif path.kind == "index_range":
+        low = "-inf" if path.low is None else repr(path.low)
+        high = "+inf" if path.high is None else repr(path.high)
+        base = (
+            f"INDEX RANGE SCAN {path.table} AS {path.alias} "
+            f"USING {path.index} PREFIX {path.eq_values!r} IN [{low}, {high}]"
+        )
+    elif path.kind == "index_in":
+        base = (
+            f"INDEX IN-LIST {path.table} AS {path.alias} "
+            f"USING {path.index} VALUES {path.in_values!r}"
+        )
+    else:  # pragma: no cover - exhaustive
+        base = f"? {path.kind}"
+    if path.residual is not None:
+        base += f" FILTER {path.residual}"
+    return base
+
+
+def describe_plan(plan: SelectPlan) -> list[str]:
+    """Human-readable physical plan, one operator per line."""
+    lines = [describe_access(plan.base)]
+    for step in plan.joins:
+        label = {
+            "index_nl": "INDEX NESTED LOOP JOIN",
+            "hash": "HASH JOIN",
+            "nested": "NESTED LOOP JOIN",
+        }[step.kind]
+        if step.left_outer:
+            label = "LEFT " + label
+        detail = describe_access(step.access)
+        if step.kind == "index_nl":
+            keys = ", ".join(str(e) for e in step.outer_key_exprs)
+            detail += f" KEYS ({keys})"
+        elif step.kind == "hash":
+            keys = ", ".join(str(e) for e in step.hash_outer)
+            detail += f" HASH ({keys})"
+        line = f"{label} -> {detail}"
+        if step.condition is not None:
+            line += f" ON {step.condition}"
+        if step.post_filter is not None:
+            line += f" POST-FILTER {step.post_filter}"
+        lines.append(line)
+    if plan.group_by or any(i.aggregate for i in plan.items):
+        group = ", ".join(str(g) for g in plan.group_by) or "<all rows>"
+        lines.append(f"AGGREGATE BY {group}")
+        if plan.having is not None:
+            lines.append(f"HAVING {plan.having}")
+    if plan.distinct:
+        lines.append("DISTINCT")
+    if plan.order_by:
+        keys = ", ".join(
+            f"{o.expr}{' DESC' if o.descending else ''}" for o in plan.order_by
+        )
+        lines.append(f"SORT BY {keys}")
+    if plan.limit is not None or plan.offset:
+        lines.append(f"LIMIT {plan.limit} OFFSET {plan.offset or 0}")
+    lines.append(f"PROJECT {', '.join(plan.output_names)}")
+    return lines

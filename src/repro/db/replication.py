@@ -1,0 +1,179 @@
+"""Primary → replica database replication via logical WAL shipping.
+
+The paper's §9: "we have assumed that we would eventually replicate the
+MCS over a small number of sites to improve performance and reliability."
+This module provides the database-level mechanism: every transaction
+committed on the primary is shipped, as its logical WAL records, to a set
+of replica databases which apply them in commit order.
+
+Two shipping modes:
+
+* **synchronous** — records applied to every replica before the commit
+  hook returns (replicas never lag; primary pays the cost);
+* **asynchronous** — records queued and applied by a background thread
+  per replica (primary unaffected; replicas exhibit bounded staleness,
+  observable via :meth:`Replica.lag` and forceable via ``flush``).
+
+Replicas are for reads; writing to a replica database directly is not
+prevented but will diverge it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Optional
+
+from repro.db.engine import Database
+from repro.db.wal import _apply_record
+
+
+class Replica:
+    """One replica database plus its apply machinery."""
+
+    def __init__(self, name: str, database: Optional[Database] = None,
+                 asynchronous: bool = False) -> None:
+        self.name = name
+        self.database = database if database is not None else Database()
+        self.asynchronous = asynchronous
+        self.applied_batches = 0
+        self._pending: "queue.Queue[Optional[list[dict]]]" = queue.Queue()
+        self._apply_lock = threading.Lock()
+        self._in_flight = 0  # dequeued but not yet applied
+        self._thread: Optional[threading.Thread] = None
+        if asynchronous:
+            self._thread = threading.Thread(target=self._apply_loop, daemon=True)
+            self._thread.start()
+
+    # -- applying ------------------------------------------------------------
+
+    def _apply_batch(self, records: list[dict]) -> None:
+        owner = object()
+        lock = self.database.locks.schema_lock
+        lock.acquire_write(owner, self.database.locks.timeout)
+        try:
+            for record in records:
+                _apply_record(self.database.catalog, record)
+        finally:
+            lock.release(owner, True)
+        with self._apply_lock:
+            self.applied_batches += 1
+
+    def _apply_loop(self) -> None:
+        while True:
+            batch = self._pending.get()
+            if batch is None:
+                return
+            with self._apply_lock:
+                self._in_flight += 1
+            try:
+                self._apply_batch(batch)
+            finally:
+                with self._apply_lock:
+                    self._in_flight -= 1
+
+    def receive(self, records: list[dict]) -> None:
+        if self.asynchronous:
+            self._pending.put(records)
+        else:
+            self._apply_batch(records)
+
+    # -- management --------------------------------------------------------------
+
+    def lag(self) -> int:
+        """Number of commit batches queued or mid-apply."""
+        with self._apply_lock:
+            return self._pending.qsize() + self._in_flight
+
+    def flush(self, timeout: float = 10.0) -> None:
+        """Block until the apply queue drains (async replicas)."""
+        if not self.asynchronous:
+            return
+        import time
+
+        deadline = time.monotonic() + timeout
+        while self.lag() > 0:
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"replica {self.name!r} did not catch up")
+            time.sleep(0.001)
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._pending.put(None)
+            self._thread.join(5)
+            self._thread = None
+
+
+class ReplicationPublisher:
+    """Attaches to a primary Database and fans commits out to replicas.
+
+    Replicas added after the primary already holds data must be seeded
+    first (see :func:`seed_replica`); the publisher only ships *new*
+    commits.
+    """
+
+    def __init__(self, primary: Database) -> None:
+        self.primary = primary
+        self.replicas: dict[str, Replica] = {}
+        self._listener = self._on_commit
+        primary.add_commit_listener(self._listener)
+        self.batches_published = 0
+
+    def _on_commit(self, records: list[dict]) -> None:
+        self.batches_published += 1
+        for replica in self.replicas.values():
+            replica.receive(records)
+
+    def add_replica(self, replica: Replica) -> None:
+        if replica.name in self.replicas:
+            raise ValueError(f"replica {replica.name!r} already attached")
+        self.replicas[replica.name] = replica
+
+    def remove_replica(self, name: str) -> Replica:
+        return self.replicas.pop(name)
+
+    def flush_all(self, timeout: float = 10.0) -> None:
+        for replica in self.replicas.values():
+            replica.flush(timeout)
+
+    def close(self) -> None:
+        self.primary.remove_commit_listener(self._listener)
+        for replica in self.replicas.values():
+            replica.stop()
+        self.replicas.clear()
+
+
+def seed_replica(primary: Database, replica: Replica) -> None:
+    """Copy the primary's current state into an empty replica.
+
+    Uses the snapshot codec (schema + raw rows) so autoincrement counters
+    and indexes come out identical.  The primary should be quiesced (no
+    concurrent writers) while seeding; the publisher ships everything
+    after.
+    """
+    from repro.db import wal as walmod
+    from repro.db.schema import IndexDef
+
+    source = primary.catalog
+    target = replica.database.catalog
+    if target.table_names():
+        raise ValueError("replica must be empty before seeding")
+    for name in source.table_names():
+        table = source.table(name)
+        target.create_table(
+            walmod.table_def_from_dict(walmod.table_def_to_dict(table.definition))
+        )
+        new_table = target.table(name)
+        for index_def in table.index_defs():
+            if index_def.name.startswith("__"):
+                continue
+            new_table.create_index(
+                IndexDef(
+                    name=index_def.name,
+                    table=name,
+                    columns=index_def.columns,
+                    unique=index_def.unique,
+                )
+            )
+        for rowid, row in table.scan():
+            new_table.insert_row_with_id(rowid, row)

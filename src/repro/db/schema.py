@@ -1,0 +1,172 @@
+"""Schema objects: columns, tables, indexes, constraints.
+
+A :class:`TableDef` is the authoritative description of a table: ordered
+columns, the primary key, unique constraints and foreign keys.  Runtime
+storage (:mod:`repro.db.storage`) and indexes (:mod:`repro.db.btree`) are
+built from these definitions by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.db.errors import SchemaError, TypeMismatchError
+from repro.db.types import ColumnType, coerce
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single table column."""
+
+    name: str
+    ctype: ColumnType
+    nullable: bool = True
+    default: Any = None
+    autoincrement: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.autoincrement and self.ctype is not ColumnType.INTEGER:
+            raise SchemaError(f"column {self.name!r}: AUTOINCREMENT requires INTEGER")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """Declarative foreign key; enforced on INSERT/UPDATE/DELETE."""
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise SchemaError("foreign key column count mismatch")
+
+
+@dataclass(frozen=True)
+class IndexDef:
+    """A named (possibly unique, possibly multi-column) index."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError(f"index {self.name!r} must cover at least one column")
+
+
+class TableDef:
+    """Immutable-ish definition of a table.
+
+    Parameters
+    ----------
+    name:
+        Table name (a valid identifier).
+    columns:
+        Ordered column definitions; names must be unique.
+    primary_key:
+        Column names forming the primary key (may be empty).
+    unique:
+        Extra unique constraints, each a tuple of column names.
+    foreign_keys:
+        Foreign-key constraints referencing other tables.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] = (),
+        unique: Iterable[Sequence[str]] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid table name {name!r}")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._by_name: dict[str, int] = {}
+        for idx, col in enumerate(self.columns):
+            if col.name in self._by_name:
+                raise SchemaError(f"duplicate column {col.name!r} in table {name!r}")
+            self._by_name[col.name] = idx
+        self.primary_key: tuple[str, ...] = tuple(primary_key)
+        for pk_col in self.primary_key:
+            if pk_col not in self._by_name:
+                raise SchemaError(f"primary key column {pk_col!r} not in table {name!r}")
+        self.unique: tuple[tuple[str, ...], ...] = tuple(tuple(u) for u in unique)
+        for constraint in self.unique:
+            for col_name in constraint:
+                if col_name not in self._by_name:
+                    raise SchemaError(f"unique column {col_name!r} not in table {name!r}")
+        self.foreign_keys: tuple[ForeignKey, ...] = tuple(foreign_keys)
+        for fk in self.foreign_keys:
+            for col_name in fk.columns:
+                if col_name not in self._by_name:
+                    raise SchemaError(f"foreign key column {col_name!r} not in table {name!r}")
+        auto_cols = [c for c in self.columns if c.autoincrement]
+        if len(auto_cols) > 1:
+            raise SchemaError(f"table {name!r}: at most one AUTOINCREMENT column")
+        self.auto_column: str | None = auto_cols[0].name if auto_cols else None
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[self._by_name[name]]
+        except KeyError:
+            raise SchemaError(f"no column {name!r} in table {self.name!r}") from None
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no column {name!r} in table {self.name!r}") from None
+
+    # -- row construction ------------------------------------------------
+
+    def coerce_row(self, values: dict[str, Any]) -> list[Any]:
+        """Build a full row (list ordered by column position) from a dict.
+
+        Missing columns get their default. Type coercion is applied;
+        NOT NULL is checked except for autoincrement columns, which the
+        storage layer fills in.
+        """
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise SchemaError(
+                f"unknown column(s) {sorted(unknown)!r} for table {self.name!r}"
+            )
+        row: list[Any] = []
+        for col in self.columns:
+            if col.name in values:
+                value = coerce(values[col.name], col.ctype)
+            elif col.default is not None:
+                value = coerce(col.default, col.ctype)
+            else:
+                value = None
+            if value is None and not col.nullable and not col.autoincrement:
+                raise TypeMismatchError(
+                    f"column {self.name}.{col.name} is NOT NULL but got NULL"
+                )
+            row.append(value)
+        return row
+
+    def coerce_value(self, column: str, value: Any) -> Any:
+        return coerce(value, self.column(column).ctype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.ctype.value}" for c in self.columns)
+        return f"TableDef({self.name}: {cols})"

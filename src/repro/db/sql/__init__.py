@@ -1,0 +1,6 @@
+"""SQL front end: lexer, statement AST and recursive-descent parser."""
+
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.db.sql.parser import parse_statement
+
+__all__ = ["Token", "TokenType", "tokenize", "parse_statement"]

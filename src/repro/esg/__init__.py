@@ -1,0 +1,26 @@
+"""Earth System Grid (ESG) integration (§6.2).
+
+ESG metadata follows the netCDF convention, is carried as XML, and is
+complemented by Dublin Core elements.  Loading it into the MCS requires
+"shredding" the XML into individual attribute values — the workflow this
+package reproduces:
+
+* :mod:`repro.esg.dublincore` — the 15 Dublin Core elements as MCS
+  user-defined attributes;
+* :mod:`repro.esg.netcdf` — netCDF-convention XML metadata documents
+  (writer, parser, synthetic generator);
+* :mod:`repro.esg.shredder` — XML → MCS attribute shredding.
+"""
+
+from repro.esg.dublincore import DUBLIN_CORE_ELEMENTS, register_dublin_core
+from repro.esg.netcdf import DatasetMetadata, VariableMetadata, generate_dataset
+from repro.esg.shredder import ESGShredder
+
+__all__ = [
+    "DUBLIN_CORE_ELEMENTS",
+    "register_dublin_core",
+    "DatasetMetadata",
+    "VariableMetadata",
+    "generate_dataset",
+    "ESGShredder",
+]

@@ -1,0 +1,62 @@
+"""Dublin Core metadata elements as MCS user-defined attributes.
+
+"ESG scientists also stored general metadata using the Dublin Core schema
+from the digital library community" (§6.2).  The 15 classic elements are
+registered with a ``dc_`` prefix.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.errors import DuplicateObjectError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import MCSClient
+
+DUBLIN_CORE_ELEMENTS = (
+    "title",
+    "creator",
+    "subject",
+    "description",
+    "publisher",
+    "contributor",
+    "date",
+    "type",
+    "format",
+    "identifier",
+    "source",
+    "language",
+    "relation",
+    "coverage",
+    "rights",
+)
+
+PREFIX = "dc_"
+
+
+def dc_attribute(element: str) -> str:
+    """MCS attribute name for a Dublin Core element."""
+    if element not in DUBLIN_CORE_ELEMENTS:
+        raise ValueError(f"not a Dublin Core element: {element!r}")
+    return PREFIX + element
+
+
+def register_dublin_core(client: "MCSClient") -> int:
+    """Define all 15 Dublin Core attributes; returns how many were new.
+
+    The ``date`` element is a date; everything else is a string.
+    """
+    created = 0
+    for element in DUBLIN_CORE_ELEMENTS:
+        value_type = "date" if element == "date" else "string"
+        try:
+            client.define_attribute(
+                dc_attribute(element),
+                value_type,
+                description=f"Dublin Core element '{element}'",
+            )
+            created += 1
+        except DuplicateObjectError:
+            pass
+    return created

@@ -1,0 +1,151 @@
+"""netCDF-convention XML metadata documents.
+
+ESG climate data carries netCDF-style metadata: global attributes about
+the dataset (model, experiment, institution, temporal coverage) plus
+per-variable attributes (standard name, units, cell methods).  This
+module models those documents, renders/parses the XML form ESG shipped,
+and generates synthetic climate-model datasets for experiments.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class VariableMetadata:
+    """One netCDF variable and its attributes."""
+
+    name: str
+    standard_name: str
+    units: str
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class DatasetMetadata:
+    """One ESG dataset: global attributes + variables."""
+
+    dataset_id: str
+    global_attributes: dict[str, Any] = field(default_factory=dict)
+    variables: list[VariableMetadata] = field(default_factory=list)
+
+    # -- XML form -----------------------------------------------------------
+
+    def to_xml(self) -> bytes:
+        root = ET.Element("dataset", {"id": self.dataset_id})
+        globals_el = ET.SubElement(root, "globalAttributes")
+        for key, value in self.global_attributes.items():
+            attr = ET.SubElement(globals_el, "attribute", {"name": key})
+            if isinstance(value, _dt.date):
+                attr.set("type", "date")
+                attr.text = value.isoformat()
+            elif isinstance(value, float):
+                attr.set("type", "float")
+                attr.text = repr(value)
+            elif isinstance(value, int):
+                attr.set("type", "int")
+                attr.text = str(value)
+            else:
+                attr.set("type", "string")
+                attr.text = str(value)
+        variables_el = ET.SubElement(root, "variables")
+        for variable in self.variables:
+            var_el = ET.SubElement(
+                variables_el,
+                "variable",
+                {
+                    "name": variable.name,
+                    "standard_name": variable.standard_name,
+                    "units": variable.units,
+                },
+            )
+            for key, value in variable.attributes.items():
+                attr = ET.SubElement(var_el, "attribute", {"name": key})
+                attr.text = value
+        return ET.tostring(root, encoding="utf-8")
+
+    @classmethod
+    def from_xml(cls, data: bytes) -> "DatasetMetadata":
+        root = ET.fromstring(data)
+        dataset = cls(dataset_id=root.get("id", ""))
+        globals_el = root.find("globalAttributes")
+        if globals_el is not None:
+            for attr in globals_el:
+                name = attr.get("name", "")
+                kind = attr.get("type", "string")
+                text = attr.text or ""
+                value: Any = text
+                if kind == "int":
+                    value = int(text)
+                elif kind == "float":
+                    value = float(text)
+                elif kind == "date":
+                    value = _dt.date.fromisoformat(text)
+                dataset.global_attributes[name] = value
+        variables_el = root.find("variables")
+        if variables_el is not None:
+            for var_el in variables_el:
+                variable = VariableMetadata(
+                    name=var_el.get("name", ""),
+                    standard_name=var_el.get("standard_name", ""),
+                    units=var_el.get("units", ""),
+                )
+                for attr in var_el:
+                    variable.attributes[attr.get("name", "")] = attr.text or ""
+                dataset.variables.append(variable)
+        return dataset
+
+
+# --------------------------------------------------------------------------
+# Synthetic ESG data
+# --------------------------------------------------------------------------
+
+_MODELS = ("CCSM2", "PCM", "CSM1", "HadCM3", "ECHAM4")
+_EXPERIMENTS = ("control", "20c3m", "a2-scenario", "b1-scenario", "spinup")
+_INSTITUTIONS = ("NCAR", "LLNL", "ORNL", "LANL", "ANL")
+_VARIABLE_POOL = (
+    VariableMetadata("TS", "surface_temperature", "K"),
+    VariableMetadata("PS", "surface_air_pressure", "Pa"),
+    VariableMetadata("PRECT", "precipitation_flux", "kg m-2 s-1"),
+    VariableMetadata("CLDTOT", "cloud_area_fraction", "1"),
+    VariableMetadata("U10", "eastward_wind", "m s-1"),
+    VariableMetadata("QFLX", "water_evaporation_flux", "kg m-2 s-1"),
+)
+
+
+def generate_dataset(index: int, seed: int = 0) -> DatasetMetadata:
+    """Deterministic synthetic ESG dataset #index."""
+    rng = random.Random((seed << 20) ^ index)
+    model = rng.choice(_MODELS)
+    experiment = rng.choice(_EXPERIMENTS)
+    year0 = rng.randrange(1870, 2000)
+    years = rng.choice((10, 25, 50, 100))
+    dataset = DatasetMetadata(
+        dataset_id=f"esg.{model}.{experiment}.run{index:05d}",
+        global_attributes={
+            "model": model,
+            "experiment": experiment,
+            "institution": rng.choice(_INSTITUTIONS),
+            "run_number": index,
+            "start_date": _dt.date(year0, 1, 1),
+            "years_simulated": years,
+            "resolution_degrees": rng.choice((0.5, 1.0, 2.0, 2.8)),
+            "calendar": "noleap",
+        },
+    )
+    n_vars = rng.randrange(2, 5)
+    for variable in rng.sample(_VARIABLE_POOL, n_vars):
+        dataset.variables.append(
+            VariableMetadata(
+                variable.name,
+                variable.standard_name,
+                variable.units,
+                attributes={"cell_methods": rng.choice(("time: mean", "time: max"))},
+            )
+        )
+    return dataset

@@ -1,0 +1,116 @@
+"""Shredding ESG XML metadata into MCS attributes.
+
+"Then we parsed or shredded the XML metadata files to extract individual
+attribute values and stored these" (§6.2).  The shredder:
+
+* auto-defines MCS user attributes for every global attribute it meets
+  (prefixed ``esg_``) plus variable presence flags (``var_<name>``),
+* optionally maps a subset onto Dublin Core elements,
+* registers one logical file per dataset, inside a per-model collection.
+
+The paper notes the mapping is "cumbersome and slow" — each previously
+unseen attribute needs a definition round trip, and each dataset expands
+into many attribute writes.  That cost structure is preserved.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Optional
+
+from repro.core.client import MCSClient
+from repro.core.errors import DuplicateObjectError
+from repro.esg.dublincore import dc_attribute, register_dublin_core
+from repro.esg.netcdf import DatasetMetadata
+
+PREFIX = "esg_"
+
+
+class ESGShredder:
+    """Loads netCDF-convention XML metadata into an MCS."""
+
+    def __init__(self, client: MCSClient, use_dublin_core: bool = True) -> None:
+        self.client = client
+        self.use_dublin_core = use_dublin_core
+        self._defined: set[str] = set()
+        if use_dublin_core:
+            register_dublin_core(client)
+
+    # -- attribute definition -------------------------------------------------
+
+    def _ensure_defined(self, name: str, value: Any) -> None:
+        if name in self._defined:
+            return
+        if isinstance(value, bool):
+            value_type = "int"
+        elif isinstance(value, int):
+            value_type = "int"
+        elif isinstance(value, float):
+            value_type = "float"
+        elif isinstance(value, _dt.datetime):
+            value_type = "datetime"
+        elif isinstance(value, _dt.date):
+            value_type = "date"
+        else:
+            value_type = "string"
+        try:
+            self.client.define_attribute(
+                name, value_type, description="shredded from ESG XML"
+            )
+        except DuplicateObjectError:
+            pass
+        self._defined.add(name)
+
+    # -- loading ---------------------------------------------------------------
+
+    def shred_xml(self, xml_data: bytes, collection: Optional[str] = None) -> str:
+        """Parse one XML document and load it; returns the logical name."""
+        return self.shred(DatasetMetadata.from_xml(xml_data), collection)
+
+    def shred(self, dataset: DatasetMetadata, collection: Optional[str] = None) -> str:
+        attributes: dict[str, Any] = {}
+        for key, value in dataset.global_attributes.items():
+            name = PREFIX + key
+            coerced = value if not isinstance(value, bool) else int(value)
+            self._ensure_defined(name, coerced)
+            attributes[name] = coerced
+        for variable in dataset.variables:
+            flag = f"var_{variable.name}"
+            self._ensure_defined(flag, 1)
+            attributes[flag] = 1
+            units_attr = f"units_{variable.name}"
+            self._ensure_defined(units_attr, variable.units)
+            attributes[units_attr] = variable.units
+        if self.use_dublin_core:
+            attributes[dc_attribute("title")] = dataset.dataset_id
+            attributes[dc_attribute("type")] = "climate-model-output"
+            publisher = dataset.global_attributes.get("institution")
+            if publisher:
+                attributes[dc_attribute("publisher")] = str(publisher)
+            start = dataset.global_attributes.get("start_date")
+            if isinstance(start, _dt.date):
+                attributes[dc_attribute("date")] = start
+
+        target_collection = collection
+        if target_collection is None:
+            model = dataset.global_attributes.get("model", "unknown")
+            target_collection = f"esg-{model}"
+        try:
+            self.client.create_collection(
+                target_collection, description="ESG datasets"
+            )
+        except DuplicateObjectError:
+            pass
+        try:
+            self.client.create_logical_file(
+                dataset.dataset_id,
+                data_type="netcdf",
+                collection=target_collection,
+                attributes=attributes,
+            )
+        except DuplicateObjectError:
+            self.client.set_attributes("file", dataset.dataset_id, attributes)
+        return dataset.dataset_id
+
+    def shred_many(self, datasets: list[DatasetMetadata]) -> list[str]:
+        return [self.shred(d) for d in datasets]

@@ -1,0 +1,21 @@
+"""Federated MCS (the paper's §9 future-work design).
+
+"Consistent local catalogs use soft state update mechanisms to send
+periodic summaries of metadata discovery information to aggregating index
+nodes.  Clients query these indexes to discover desirable data sets
+across a collection of metadata services and then issue subqueries to the
+underlying local catalogs."
+
+* :class:`~repro.federation.localcatalog.LocalMCS` — a self-consistent
+  MCS plus summary generation;
+* :class:`~repro.federation.indexnode.MCSIndexNode` — the aggregating
+  index (soft state, expiry);
+* :class:`~repro.federation.federated.FederatedMCS` — the client that
+  scatters subqueries to candidate catalogs and merges results.
+"""
+
+from repro.federation.localcatalog import CatalogSummary, LocalMCS
+from repro.federation.indexnode import MCSIndexNode
+from repro.federation.federated import FederatedMCS
+
+__all__ = ["LocalMCS", "CatalogSummary", "MCSIndexNode", "FederatedMCS"]

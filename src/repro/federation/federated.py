@@ -1,0 +1,71 @@
+"""The federated query client: index scatter + local-catalog subqueries."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.core.query import ObjectQuery
+from repro.federation.indexnode import MCSIndexNode
+from repro.federation.localcatalog import LocalMCS
+
+
+class FederatedMCS:
+    """Queries a federation of local catalogs through an index node.
+
+    The client (1) asks the index node which catalogs might match, then
+    (2) issues the full query only to those catalogs, merging the name
+    lists with catalog provenance attached.
+    """
+
+    def __init__(
+        self,
+        index: MCSIndexNode,
+        catalogs: Mapping[str, LocalMCS],
+    ) -> None:
+        self.index = index
+        self.catalogs = dict(catalogs)
+        self.subqueries_issued = 0
+
+    def refresh_all(self) -> None:
+        """Push fresh summaries from every catalog (the soft-state tick)."""
+        for member in self.catalogs.values():
+            self.index.receive_summary(member.make_summary())
+
+    def query_files_by_attributes(
+        self, conditions: dict[str, Any]
+    ) -> dict[str, list[str]]:
+        """Conjunctive equality query; returns {catalog_id: names}."""
+        cond_list = [(attr, "=", value) for attr, value in conditions.items()]
+        out: dict[str, list[str]] = {}
+        for catalog_id in self.index.candidate_catalogs(cond_list):
+            member = self.catalogs.get(catalog_id)
+            if member is None:
+                continue
+            self.subqueries_issued += 1
+            names = member.client.query_files_by_attributes(conditions)
+            if names:
+                out[catalog_id] = names
+        return out
+
+    def query(self, query: ObjectQuery) -> dict[str, list[str]]:
+        """Full ObjectQuery across the federation."""
+        cond_list = [
+            (c.attribute, c.op, c.value) for c in query.conditions
+        ]
+        out: dict[str, list[str]] = {}
+        for catalog_id in self.index.candidate_catalogs(cond_list):
+            member = self.catalogs.get(catalog_id)
+            if member is None:
+                continue
+            self.subqueries_issued += 1
+            names = member.client.query(query)
+            if names:
+                out[catalog_id] = names
+        return out
+
+    def flat_query(self, conditions: dict[str, Any]) -> list[str]:
+        """Merged, de-duplicated name list across all catalogs."""
+        merged: set[str] = set()
+        for names in self.query_files_by_attributes(conditions).values():
+            merged.update(names)
+        return sorted(merged)

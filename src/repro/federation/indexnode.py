@@ -1,0 +1,72 @@
+"""The aggregating index node of the federated MCS design."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.federation.localcatalog import CatalogSummary
+
+DEFAULT_TIMEOUT = 120.0
+
+
+class MCSIndexNode:
+    """Holds soft-state catalog summaries; answers candidate queries."""
+
+    def __init__(
+        self,
+        timeout: float = DEFAULT_TIMEOUT,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.timeout = timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state: dict[str, tuple[CatalogSummary, float]] = {}
+
+    def receive_summary(self, summary: CatalogSummary) -> bool:
+        """Accept a summary; stale sequence numbers are dropped."""
+        with self._lock:
+            current = self._state.get(summary.catalog_id)
+            if current is not None and current[0].sequence >= summary.sequence:
+                return False
+            self._state[summary.catalog_id] = (summary, self._clock())
+            return True
+
+    def candidate_catalogs(
+        self, conditions: list[tuple[str, str, Any]]
+    ) -> list[str]:
+        """Catalog ids that might satisfy *all* the (attr, op, value)
+        conditions, within the soft-state timeout."""
+        now = self._clock()
+        out: list[str] = []
+        with self._lock:
+            for catalog_id, (summary, received) in self._state.items():
+                if now - received > self.timeout:
+                    continue
+                if all(
+                    summary.might_match(attr, op, value)
+                    for attr, op, value in conditions
+                ):
+                    out.append(catalog_id)
+        return sorted(out)
+
+    def expire(self) -> int:
+        now = self._clock()
+        with self._lock:
+            stale = [
+                cid
+                for cid, (_, received) in self._state.items()
+                if now - received > self.timeout
+            ]
+            for cid in stale:
+                del self._state[cid]
+        return len(stale)
+
+    def known_catalogs(self) -> list[str]:
+        with self._lock:
+            return sorted(self._state)
+
+    def total_files(self) -> int:
+        with self._lock:
+            return sum(s.file_count for s, _ in self._state.values())

@@ -1,0 +1,12 @@
+"""GridFTP-like data transfer simulator.
+
+The paper's discovery-and-access scenario (Figure 2) ends with the client
+fetching selected replicas over GridFTP [7].  This package simulates that
+substrate: storage sites holding file content, a bandwidth/latency model
+with parallel streams, and third-party transfers between sites.
+"""
+
+from repro.gridftp.site import StorageSite
+from repro.gridftp.transfer import GridFTPServer, TransferResult, parse_gsiftp_url
+
+__all__ = ["StorageSite", "GridFTPServer", "TransferResult", "parse_gsiftp_url"]

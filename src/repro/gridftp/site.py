@@ -1,0 +1,69 @@
+"""Storage sites: named stores of file content with bandwidth properties."""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+
+class StorageSite:
+    """A storage system reachable by the transfer protocol.
+
+    Content is held in memory (bytes); ``wan_bandwidth`` / ``latency``
+    parameterize the simulated network between this site and any other.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        wan_bandwidth_mbps: float = 1000.0,
+        latency_ms: float = 20.0,
+    ) -> None:
+        if wan_bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.name = name
+        self.wan_bandwidth_mbps = wan_bandwidth_mbps
+        self.latency_ms = latency_ms
+        self._files: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    # -- content -----------------------------------------------------------
+
+    def store(self, path: str, content: bytes) -> None:
+        with self._lock:
+            self._files[path] = bytes(content)
+
+    def read(self, path: str) -> bytes:
+        with self._lock:
+            try:
+                return self._files[path]
+            except KeyError:
+                raise FileNotFoundError(f"{self.name}:{path}") from None
+
+    def delete(self, path: str) -> bool:
+        with self._lock:
+            return self._files.pop(path, None) is not None
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._files
+
+    def size(self, path: str) -> int:
+        return len(self.read(path))
+
+    def checksum(self, path: str) -> str:
+        return hashlib.sha256(self.read(path)).hexdigest()
+
+    def paths(self) -> list[str]:
+        with self._lock:
+            return sorted(self._files)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(len(c) for c in self._files.values())
+
+    def url_for(self, path: str) -> str:
+        """gsiftp:// URL naming this site + path."""
+        return f"gsiftp://{self.name}/{path.lstrip('/')}"

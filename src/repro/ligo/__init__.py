@@ -1,0 +1,19 @@
+"""LIGO integration (§6.1).
+
+"To support LIGO application-specific metadata, we added 23 user-defined
+attributes to the pre-defined attributes provided by the MCS schema."
+This package carries that ontology and a synthetic workload generator for
+LIGO-like data products (time series, frequency spectra, pulsar-search
+results).
+"""
+
+from repro.ligo.ontology import LIGO_ATTRIBUTES, register_ligo_attributes
+from repro.ligo.workload import LigoProduct, generate_products, pulsar_search_workflow
+
+__all__ = [
+    "LIGO_ATTRIBUTES",
+    "register_ligo_attributes",
+    "LigoProduct",
+    "generate_products",
+    "pulsar_search_workflow",
+]

@@ -1,0 +1,140 @@
+"""Synthetic LIGO data products and a pulsar-search workflow builder."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.ligo.ontology import LIGO_ATTRIBUTES
+from repro.pegasus.abstract import AbstractJob, AbstractWorkflow
+
+GPS_S1_START = 714150013  # LIGO S1 run start, GPS seconds (Aug 23 2002)
+_IFOS = ("H1", "H2", "L1")
+_PRODUCTS = ("time_series", "frequency_spectrum", "pulsar_search")
+
+
+@dataclass
+class LigoProduct:
+    """One LIGO data product with its full 23-attribute metadata record."""
+
+    logical_name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+def generate_products(
+    count: int,
+    seed: int = 0,
+    run: str = "S1",
+) -> list[LigoProduct]:
+    """Deterministic LIGO-like products with all 23 attributes filled."""
+    rng = random.Random(seed)
+    out: list[LigoProduct] = []
+    for index in range(count):
+        ifo = rng.choice(_IFOS)
+        product = rng.choice(_PRODUCTS)
+        start = GPS_S1_START + index * 256
+        duration = rng.choice((64, 128, 256))
+        band_low = float(rng.choice((40, 60, 100, 150)))
+        name = f"{ifo}-{product}-{start}-{duration}.gwf"
+        attributes: dict[str, Any] = {
+            "interferometer": ifo,
+            "site": "LHO" if ifo.startswith("H") else "LLO",
+            "frame_type": "RDS" if product == "time_series" else "SFT",
+            "data_product": product,
+            "channel": f"{ifo}:LSC-AS_Q",
+            "run": run,
+            "gps_start_time": start,
+            "gps_end_time": start + duration,
+            "duration": duration,
+            "frequency_band_low": band_low,
+            "frequency_band_high": band_low + 50.0,
+            "sample_rate": rng.choice((2048, 4096, 16384)),
+            "calibration_version": f"V{rng.randrange(1, 4)}",
+            "data_quality": rng.choice(("science", "injection", "noisy")),
+            "science_mode": 1 if rng.random() < 0.9 else 0,
+            "locked": 1,
+            "pipeline_version": "LDAS-0.9",
+            "analysis_group": "pulsar" if product == "pulsar_search" else "burst",
+            "pulsar_search_id": f"ps-{index:06d}" if product == "pulsar_search" else "none",
+            "snr_threshold": round(rng.uniform(5.0, 9.0), 2),
+            "template_bank": rng.choice(("tb-iso", "tb-galactic")),
+            "injection_type": rng.choice(("none", "none", "none", "software")),
+            "segment_id": index // 16,
+        }
+        assert set(attributes) == set(LIGO_ATTRIBUTES)
+        out.append(LigoProduct(name, attributes))
+    return out
+
+
+def pulsar_search_workflow(
+    raw_inputs: list[str],
+    search_id: str = "ps-000001",
+    band: tuple[float, float] = (100.0, 150.0),
+) -> AbstractWorkflow:
+    """Build the canonical LIGO analysis chain as an abstract workflow.
+
+    raw frames → (per-frame) short Fourier transform → band extraction →
+    pulsar search over all bands.  This is the workflow shape Pegasus
+    planned for LIGO in §6.1.
+    """
+    workflow = AbstractWorkflow(f"pulsar-search-{search_id}")
+    band_files: list[str] = []
+    for index, raw in enumerate(raw_inputs):
+        sft = f"{search_id}-sft-{index:04d}.sft"
+        workflow.add_job(
+            AbstractJob(
+                id=f"sft-{index:04d}",
+                transformation="ComputeSFT",
+                inputs=(raw,),
+                outputs=(sft,),
+                parameters={"window": "tukey"},
+                output_metadata={
+                    sft: {
+                        "data_product": "frequency_spectrum",
+                        "pulsar_search_id": search_id,
+                    }
+                },
+                runtime_seconds=30.0,
+            )
+        )
+        band_file = f"{search_id}-band-{index:04d}.dat"
+        band_files.append(band_file)
+        workflow.add_job(
+            AbstractJob(
+                id=f"band-{index:04d}",
+                transformation="ExtractBand",
+                inputs=(sft,),
+                outputs=(band_file,),
+                parameters={"low": band[0], "high": band[1]},
+                output_metadata={
+                    band_file: {
+                        "data_product": "frequency_spectrum",
+                        "frequency_band_low": band[0],
+                        "frequency_band_high": band[1],
+                        "pulsar_search_id": search_id,
+                    }
+                },
+                runtime_seconds=10.0,
+            )
+        )
+    result = f"{search_id}-result.xml"
+    workflow.add_job(
+        AbstractJob(
+            id="search",
+            transformation="PulsarSearch",
+            inputs=tuple(band_files),
+            outputs=(result,),
+            parameters={"search_id": search_id},
+            output_metadata={
+                result: {
+                    "data_product": "pulsar_search",
+                    "pulsar_search_id": search_id,
+                    "frequency_band_low": band[0],
+                    "frequency_band_high": band[1],
+                }
+            },
+            runtime_seconds=120.0,
+        )
+    )
+    return workflow

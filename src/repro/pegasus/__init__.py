@@ -1,0 +1,25 @@
+"""Pegasus-like workflow planning substrate.
+
+Reproduces the MCS ↔ Pegasus interaction of §6.1: the planner receives an
+abstract workflow (or a metadata request), queries the MCS to discover
+already-materialized data products, prunes the jobs that would recompute
+them (workflow *reduction*), maps the remainder onto Grid sites with
+transfer jobs, and registers newly derived products back into the MCS and
+the RLS.
+"""
+
+from repro.pegasus.dag import DAG, CycleDetectedError
+from repro.pegasus.abstract import AbstractJob, AbstractWorkflow
+from repro.pegasus.planner import ConcreteJob, ConcreteWorkflow, PegasusPlanner
+from repro.pegasus.executor import WorkflowExecutor
+
+__all__ = [
+    "DAG",
+    "CycleDetectedError",
+    "AbstractJob",
+    "AbstractWorkflow",
+    "PegasusPlanner",
+    "ConcreteJob",
+    "ConcreteWorkflow",
+    "WorkflowExecutor",
+]

@@ -1,0 +1,83 @@
+"""Abstract workflows: transformations over logical files.
+
+An abstract workflow names *what* to compute (transformations consuming
+and producing logical files) without saying *where*; the planner binds it
+to sites and data locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.pegasus.dag import DAG
+
+
+@dataclass
+class AbstractJob:
+    """One transformation: logical inputs → logical outputs."""
+
+    id: str
+    transformation: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    parameters: dict[str, Any] = field(default_factory=dict)
+    output_metadata: dict[str, dict[str, Any]] = field(default_factory=dict)
+    """Per-output user-attribute values to register in the MCS."""
+    runtime_seconds: float = 1.0
+    output_size_bytes: int = 1 << 20
+
+
+class AbstractWorkflow:
+    """A set of abstract jobs wired by logical-file data dependencies."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.jobs: dict[str, AbstractJob] = {}
+
+    def add_job(self, job: AbstractJob) -> "AbstractWorkflow":
+        if job.id in self.jobs:
+            raise ValueError(f"duplicate job id {job.id!r}")
+        for output in job.outputs:
+            existing = self.producer_of(output)
+            if existing is not None:
+                raise ValueError(
+                    f"logical file {output!r} produced by both "
+                    f"{existing.id!r} and {job.id!r}"
+                )
+        self.jobs[job.id] = job
+        return self
+
+    def producer_of(self, logical_name: str) -> Optional[AbstractJob]:
+        for job in self.jobs.values():
+            if logical_name in job.outputs:
+                return job
+        return None
+
+    def external_inputs(self) -> set[str]:
+        """Logical files consumed but not produced by any job."""
+        produced = {o for job in self.jobs.values() for o in job.outputs}
+        consumed = {i for job in self.jobs.values() for i in job.inputs}
+        return consumed - produced
+
+    def final_outputs(self) -> set[str]:
+        """Logical files produced but not consumed downstream."""
+        produced = {o for job in self.jobs.values() for o in job.outputs}
+        consumed = {i for job in self.jobs.values() for i in job.inputs}
+        return produced - consumed
+
+    def dependency_dag(self) -> DAG:
+        """Job-level DAG implied by logical-file producer/consumer pairs."""
+        dag = DAG()
+        for job in self.jobs.values():
+            dag.add_node(job.id)
+        for job in self.jobs.values():
+            for needed in job.inputs:
+                producer = self.producer_of(needed)
+                if producer is not None and producer.id != job.id:
+                    dag.add_edge(producer.id, job.id)
+        return dag
+
+    def validate(self) -> None:
+        """Raises on cyclic data dependencies."""
+        self.dependency_dag().topological_order()

@@ -1,0 +1,121 @@
+"""A small directed acyclic graph with the operations planning needs."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+
+class CycleDetectedError(Exception):
+    """An edge insertion or a topological sort found a cycle."""
+
+
+class DAG:
+    """Adjacency-set DAG over hashable node ids."""
+
+    def __init__(self) -> None:
+        self._succ: dict[Hashable, set[Hashable]] = {}
+        self._pred: dict[Hashable, set[Hashable]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, src: Hashable, dst: Hashable) -> None:
+        """Insert src → dst, rejecting edges that would close a cycle."""
+        self.add_node(src)
+        self.add_node(dst)
+        if src == dst or self.reaches(dst, src):
+            raise CycleDetectedError(f"edge {src!r} -> {dst!r} creates a cycle")
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def remove_node(self, node: Hashable) -> None:
+        for succ in self._succ.pop(node, set()):
+            self._pred[succ].discard(node)
+        for pred in self._pred.pop(node, set()):
+            self._succ[pred].discard(node)
+
+    # -- queries --------------------------------------------------------------
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def nodes(self) -> list:
+        return list(self._succ)
+
+    def successors(self, node: Hashable) -> set:
+        return set(self._succ.get(node, ()))
+
+    def predecessors(self, node: Hashable) -> set:
+        return set(self._pred.get(node, ()))
+
+    def roots(self) -> list:
+        return [n for n, preds in self._pred.items() if not preds]
+
+    def leaves(self) -> list:
+        return [n for n, succs in self._succ.items() if not succs]
+
+    def reaches(self, src: Hashable, dst: Hashable) -> bool:
+        """True when dst is reachable from src."""
+        if src not in self._succ:
+            return False
+        stack = [src]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succ.get(node, ()))
+        return False
+
+    def ancestors(self, node: Hashable) -> set:
+        out: set = set()
+        stack = list(self._pred.get(node, ()))
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._pred.get(current, ()))
+        return out
+
+    def descendants(self, node: Hashable) -> set:
+        out: set = set()
+        stack = list(self._succ.get(node, ()))
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._succ.get(current, ()))
+        return out
+
+    def topological_order(self) -> list:
+        """Kahn's algorithm; raises CycleDetectedError on residual cycles."""
+        in_degree = {node: len(preds) for node, preds in self._pred.items()}
+        ready = [node for node, deg in in_degree.items() if deg == 0]
+        out: list = []
+        while ready:
+            node = ready.pop()
+            out.append(node)
+            for succ in self._succ[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(out) != len(self._succ):
+            raise CycleDetectedError("graph contains a cycle")
+        return out
+
+    def copy(self) -> "DAG":
+        clone = DAG()
+        clone._succ = {n: set(s) for n, s in self._succ.items()}
+        clone._pred = {n: set(p) for n, p in self._pred.items()}
+        return clone

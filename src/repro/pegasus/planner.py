@@ -1,0 +1,239 @@
+"""The planner: abstract workflow → executable concrete workflow.
+
+Mirrors the Pegasus behaviour the paper describes (§6.1):
+
+1. **Discovery** — for every logical file the workflow would produce, ask
+   the MCS whether a valid materialization already exists and the RLS
+   whether a replica is reachable; if both, the producing job (and any
+   job only needed for it) is pruned — *workflow reduction*.
+2. **Site mapping** — each surviving compute job is assigned to a site
+   (round-robin by default; pluggable).
+3. **Data staging** — for every input not already at the chosen site, a
+   transfer job is inserted (replica selected through the RLS).
+4. **Registration** — each compute job is followed by a registration job
+   that publishes its outputs' metadata to the MCS and location to the RLS.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.client import MCSClient
+from repro.pegasus.abstract import AbstractJob, AbstractWorkflow
+from repro.pegasus.dag import DAG
+from repro.rls.client import RLSClient
+
+
+@dataclass
+class ConcreteJob:
+    """One schedulable job in the concrete workflow."""
+
+    id: str
+    kind: str  # "compute" | "transfer" | "register"
+    site: Optional[str] = None
+    transformation: Optional[str] = None
+    abstract_id: Optional[str] = None
+    source_url: Optional[str] = None
+    dest_url: Optional[str] = None
+    logical_outputs: tuple[str, ...] = ()
+    output_metadata: dict[str, dict[str, Any]] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    output_size_bytes: int = 0
+
+
+@dataclass
+class ConcreteWorkflow:
+    """Concrete jobs plus their execution DAG and planning statistics."""
+
+    name: str
+    jobs: dict[str, ConcreteJob]
+    dag: DAG
+    reused_files: dict[str, str]      # logical name -> chosen replica URL
+    pruned_jobs: tuple[str, ...]      # abstract job ids removed by reuse
+
+    def execution_order(self) -> list[ConcreteJob]:
+        return [self.jobs[job_id] for job_id in self.dag.topological_order()]
+
+    def counts(self) -> dict[str, int]:
+        out = {"compute": 0, "transfer": 0, "register": 0}
+        for job in self.jobs.values():
+            out[job.kind] += 1
+        return out
+
+
+class PegasusPlanner:
+    """Plans abstract workflows against an MCS + RLS + site list."""
+
+    def __init__(
+        self,
+        mcs: MCSClient,
+        rls: RLSClient,
+        sites: Sequence[str],
+        site_selector: Optional[Callable[[AbstractJob, Sequence[str]], str]] = None,
+    ) -> None:
+        if not sites:
+            raise ValueError("at least one execution site is required")
+        self.mcs = mcs
+        self.rls = rls
+        self.sites = list(sites)
+        self._site_selector = site_selector
+        self._round_robin = itertools.cycle(self.sites)
+
+    # -- discovery ----------------------------------------------------------
+
+    def discover_existing(self, workflow: AbstractWorkflow) -> dict[str, str]:
+        """Logical outputs that already exist (valid in MCS + replica in RLS).
+
+        Returns {logical name: replica URL}.
+        """
+        out: dict[str, str] = {}
+        for job in workflow.jobs.values():
+            for logical in job.outputs:
+                try:
+                    record = self.mcs.get_logical_file(logical)
+                except Exception:
+                    continue
+                if not record.get("valid", False):
+                    continue
+                replica = self.rls.best_replica(logical)
+                if replica is not None:
+                    out[logical] = replica
+        return out
+
+    def query_data_products(self, conditions: dict[str, Any]) -> list[str]:
+        """Attribute-based discovery, as Pegasus issues on user requests."""
+        return self.mcs.query_files_by_attributes(conditions)
+
+    # -- reduction -------------------------------------------------------------
+
+    @staticmethod
+    def reduce_workflow(
+        workflow: AbstractWorkflow, existing: dict[str, str]
+    ) -> tuple[set[str], set[str]]:
+        """Jobs to run and jobs pruned, given already-materialized files.
+
+        A job is prunable when *all* of its outputs already exist; pruning
+        cascades: a job needed only to feed pruned jobs is pruned too.
+        """
+        dag = workflow.dependency_dag()
+        prunable = {
+            job.id
+            for job in workflow.jobs.values()
+            if job.outputs and all(o in existing for o in job.outputs)
+        }
+        # Cascade upstream: an ancestor is pruned if every path from it
+        # leads only into pruned jobs (its outputs unused elsewhere).
+        changed = True
+        while changed:
+            changed = False
+            for job in workflow.jobs.values():
+                if job.id in prunable:
+                    continue
+                succs = dag.successors(job.id)
+                if succs and succs <= prunable:
+                    # outputs only feed pruned jobs; also not final outputs
+                    if not (set(job.outputs) & workflow.final_outputs()):
+                        prunable.add(job.id)
+                        changed = True
+        keep = set(workflow.jobs) - prunable
+        return keep, prunable
+
+    # -- full planning pass -------------------------------------------------------
+
+    def plan(self, workflow: AbstractWorkflow) -> ConcreteWorkflow:
+        workflow.validate()
+        existing = self.discover_existing(workflow)
+        keep, pruned = self.reduce_workflow(workflow, existing)
+
+        jobs: dict[str, ConcreteJob] = {}
+        dag = DAG()
+        produced_at: dict[str, tuple[str, str]] = {}  # logical -> (job id, site)
+
+        abstract_dag = workflow.dependency_dag()
+        order = [j for j in abstract_dag.topological_order() if j in keep]
+
+        for abstract_id in order:
+            job = workflow.jobs[abstract_id]
+            site = self._select_site(job)
+            compute_id = f"compute:{abstract_id}"
+            compute = ConcreteJob(
+                id=compute_id,
+                kind="compute",
+                site=site,
+                transformation=job.transformation,
+                abstract_id=abstract_id,
+                logical_outputs=job.outputs,
+                output_metadata=job.output_metadata,
+                runtime_seconds=job.runtime_seconds,
+                output_size_bytes=job.output_size_bytes,
+            )
+            jobs[compute_id] = compute
+            dag.add_node(compute_id)
+
+            for logical in job.inputs:
+                if logical in produced_at:
+                    upstream_id, upstream_site = produced_at[logical]
+                    if upstream_site == site:
+                        dag.add_edge(upstream_id, compute_id)
+                        continue
+                    transfer_id = f"transfer:{logical}->{site}"
+                    if transfer_id not in jobs:
+                        jobs[transfer_id] = ConcreteJob(
+                            id=transfer_id,
+                            kind="transfer",
+                            site=site,
+                            source_url=f"gsiftp://{upstream_site}/{logical}",
+                            dest_url=f"gsiftp://{site}/{logical}",
+                        )
+                        dag.add_edge(upstream_id, transfer_id)
+                    dag.add_edge(transfer_id, compute_id)
+                    continue
+                # External or reused input: find a replica via the RLS.
+                replica = existing.get(logical) or self.rls.best_replica(logical)
+                if replica is None:
+                    raise LookupError(
+                        f"no replica of required input {logical!r} "
+                        f"(and no job produces it)"
+                    )
+                if replica.startswith(f"gsiftp://{site}/"):
+                    continue  # already local
+                transfer_id = f"transfer:{logical}->{site}"
+                if transfer_id not in jobs:
+                    jobs[transfer_id] = ConcreteJob(
+                        id=transfer_id,
+                        kind="transfer",
+                        site=site,
+                        source_url=replica,
+                        dest_url=f"gsiftp://{site}/{logical}",
+                    )
+                    dag.add_node(transfer_id)
+                dag.add_edge(transfer_id, compute_id)
+
+            register_id = f"register:{abstract_id}"
+            jobs[register_id] = ConcreteJob(
+                id=register_id,
+                kind="register",
+                site=site,
+                abstract_id=abstract_id,
+                logical_outputs=job.outputs,
+                output_metadata=job.output_metadata,
+            )
+            dag.add_edge(compute_id, register_id)
+
+            for logical in job.outputs:
+                produced_at[logical] = (compute_id, site)
+
+        return ConcreteWorkflow(
+            name=workflow.name,
+            jobs=jobs,
+            dag=dag,
+            reused_files=existing,
+            pruned_jobs=tuple(sorted(pruned)),
+        )
+
+    def _select_site(self, job: AbstractJob) -> str:
+        if self._site_selector is not None:
+            return self._site_selector(job, self.sites)
+        return next(self._round_robin)

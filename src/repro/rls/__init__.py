@@ -1,0 +1,26 @@
+"""Replica Location Service (RLS) substrate.
+
+A faithful miniature of the Giggle framework [4] that the paper federates
+the MCS with (Figure 2):
+
+* :class:`~repro.rls.lrc.LocalReplicaCatalog` (LRC) — consistent mappings
+  from logical file names to physical file names at one site;
+* :class:`~repro.rls.rli.ReplicaLocationIndex` (RLI) — an index over many
+  LRCs, maintained by periodic *soft-state* updates (optionally
+  compressed as Bloom filters) that expire if not refreshed;
+* :class:`~repro.rls.client.RLSClient` — the two-step lookup a Grid
+  client performs: RLI → candidate LRCs → physical names.
+"""
+
+from repro.rls.lrc import LocalReplicaCatalog
+from repro.rls.rli import ReplicaLocationIndex
+from repro.rls.softstate import BloomFilter, SoftStateUpdate
+from repro.rls.client import RLSClient
+
+__all__ = [
+    "LocalReplicaCatalog",
+    "ReplicaLocationIndex",
+    "BloomFilter",
+    "SoftStateUpdate",
+    "RLSClient",
+]

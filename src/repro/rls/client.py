@@ -1,0 +1,55 @@
+"""RLS client: the two-step replica lookup of the Giggle framework."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.rls.lrc import LocalReplicaCatalog
+from repro.rls.rli import ReplicaLocationIndex
+
+
+class RLSClient:
+    """Resolves logical names to physical replicas via RLI + LRCs.
+
+    ``lrcs`` maps LRC ids to catalog handles (in a real deployment these
+    would be remote endpoints; the interface is identical).
+    """
+
+    def __init__(
+        self,
+        rli: ReplicaLocationIndex,
+        lrcs: Mapping[str, LocalReplicaCatalog],
+    ) -> None:
+        self.rli = rli
+        self.lrcs = dict(lrcs)
+
+    def lookup(self, logical_name: str) -> dict[str, list[str]]:
+        """All replicas of a logical name: {lrc_id: [pfn, ...]}.
+
+        Queries the RLI for candidates, then sub-queries each candidate
+        LRC; Bloom false positives are filtered here because the LRC
+        answers authoritatively.
+        """
+        out: dict[str, list[str]] = {}
+        for lrc_id in self.rli.candidate_lrcs(logical_name):
+            lrc = self.lrcs.get(lrc_id)
+            if lrc is None:
+                continue
+            replicas = lrc.lookup(logical_name)
+            if replicas:
+                out[lrc_id] = replicas
+        return out
+
+    def best_replica(self, logical_name: str) -> Optional[str]:
+        """A single physical name, or None when unreplicated (first by
+        sorted order — site selection policy is the caller's job)."""
+        replicas = self.lookup(logical_name)
+        for lrc_id in sorted(replicas):
+            if replicas[lrc_id]:
+                return replicas[lrc_id][0]
+        return None
+
+    def refresh_all(self) -> None:
+        """Push a fresh soft-state update from every LRC (test/demo aid)."""
+        for lrc in self.lrcs.values():
+            self.rli.receive_update(lrc.make_update())

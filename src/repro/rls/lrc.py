@@ -1,0 +1,81 @@
+"""Local Replica Catalog: consistent LFN → PFN mappings at one site."""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional
+
+from repro.rls.softstate import BloomFilter, SoftStateUpdate
+
+
+class LocalReplicaCatalog:
+    """Mappings from logical file names to physical replicas at one site.
+
+    Thread-safe; intended to be registered with one or more
+    :class:`~repro.rls.rli.ReplicaLocationIndex` instances which it feeds
+    with periodic soft-state updates.
+    """
+
+    def __init__(self, lrc_id: str, compression: bool = False) -> None:
+        self.lrc_id = lrc_id
+        self.compression = compression
+        self._mappings: dict[str, set[str]] = {}
+        self._lock = threading.Lock()
+        self._sequence = 0
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_mapping(self, logical_name: str, physical_name: str) -> None:
+        with self._lock:
+            self._mappings.setdefault(logical_name, set()).add(physical_name)
+
+    def add_mappings(self, pairs: Iterable[tuple[str, str]]) -> None:
+        with self._lock:
+            for logical_name, physical_name in pairs:
+                self._mappings.setdefault(logical_name, set()).add(physical_name)
+
+    def remove_mapping(self, logical_name: str, physical_name: str) -> bool:
+        with self._lock:
+            replicas = self._mappings.get(logical_name)
+            if replicas is None or physical_name not in replicas:
+                return False
+            replicas.discard(physical_name)
+            if not replicas:
+                del self._mappings[logical_name]
+            return True
+
+    def remove_logical(self, logical_name: str) -> bool:
+        with self._lock:
+            return self._mappings.pop(logical_name, None) is not None
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, logical_name: str) -> list[str]:
+        with self._lock:
+            return sorted(self._mappings.get(logical_name, ()))
+
+    def has(self, logical_name: str) -> bool:
+        with self._lock:
+            return logical_name in self._mappings
+
+    def logical_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._mappings)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mappings)
+
+    # -- soft state -------------------------------------------------------------
+
+    def make_update(self) -> SoftStateUpdate:
+        """Build the next soft-state update for an RLI."""
+        with self._lock:
+            names = list(self._mappings)
+            self._sequence += 1
+            sequence = self._sequence
+        if self.compression:
+            return SoftStateUpdate(
+                self.lrc_id, sequence, bloom=BloomFilter.from_items(names)
+            )
+        return SoftStateUpdate(self.lrc_id, sequence, full_list=names)

@@ -1,0 +1,72 @@
+"""Replica Location Index: soft-state index over many LRCs."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.rls.softstate import SoftStateUpdate
+
+DEFAULT_TIMEOUT = 60.0
+
+
+class ReplicaLocationIndex:
+    """Answers "which LRCs *might* hold this logical name?".
+
+    State expires ``timeout`` seconds after the last update from an LRC —
+    the Giggle soft-state design: a crashed LRC silently ages out instead
+    of serving stale mappings forever.
+    """
+
+    def __init__(
+        self,
+        rli_id: str = "rli",
+        timeout: float = DEFAULT_TIMEOUT,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rli_id = rli_id
+        self.timeout = timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        # lrc_id -> (update, received_at)
+        self._state: dict[str, tuple[SoftStateUpdate, float]] = {}
+
+    def receive_update(self, update: SoftStateUpdate) -> bool:
+        """Accept a soft-state update; stale sequence numbers are dropped."""
+        with self._lock:
+            current = self._state.get(update.lrc_id)
+            if current is not None and current[0].sequence >= update.sequence:
+                return False
+            self._state[update.lrc_id] = (update, self._clock())
+            return True
+
+    def candidate_lrcs(self, logical_name: str) -> list[str]:
+        """LRC ids that might hold the name (Bloom summaries may yield
+        false positives; never false negatives within the timeout)."""
+        now = self._clock()
+        out: list[str] = []
+        with self._lock:
+            for lrc_id, (update, received) in self._state.items():
+                if now - received > self.timeout:
+                    continue
+                if update.might_contain(logical_name):
+                    out.append(lrc_id)
+        return sorted(out)
+
+    def expire(self) -> int:
+        """Drop aged-out state; returns how many LRCs were expired."""
+        now = self._clock()
+        with self._lock:
+            stale = [
+                lrc_id
+                for lrc_id, (_, received) in self._state.items()
+                if now - received > self.timeout
+            ]
+            for lrc_id in stale:
+                del self._state[lrc_id]
+        return len(stale)
+
+    def known_lrcs(self) -> list[str]:
+        with self._lock:
+            return sorted(self._state)

@@ -1,0 +1,100 @@
+"""Soft-state update payloads for LRC → RLI propagation.
+
+Giggle [4] sends either full name lists or Bloom-filter summaries; the
+RLI treats both as soft state that expires unless refreshed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class BloomFilter:
+    """A standard k-hash Bloom filter over logical names."""
+
+    def __init__(self, capacity: int, error_rate: float = 0.01) -> None:
+        if capacity < 1:
+            capacity = 1
+        if not 0 < error_rate < 1:
+            raise ValueError("error_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.error_rate = error_rate
+        bits = int(-capacity * math.log(error_rate) / (math.log(2) ** 2))
+        self.num_bits = max(8, bits)
+        self.num_hashes = max(1, round(self.num_bits / capacity * math.log(2)))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.count = 0
+
+    def _positions(self, item: str) -> Iterable[int]:
+        digest = hashlib.sha256(item.encode()).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, item: str) -> None:
+        for pos in self._positions(item):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self.count += 1
+
+    def __contains__(self, item: str) -> bool:
+        return all(
+            self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(item)
+        )
+
+    def update(self, items: Iterable[str]) -> None:
+        for item in items:
+            self.add(item)
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of bits set (diagnostic: >0.5 means degraded accuracy)."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self.num_bits
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._bits)
+
+    @classmethod
+    def from_items(cls, items: list[str], error_rate: float = 0.01) -> "BloomFilter":
+        bloom = cls(len(items) or 1, error_rate)
+        bloom.update(items)
+        return bloom
+
+
+@dataclass
+class SoftStateUpdate:
+    """One LRC → RLI update: either a full name list or a Bloom summary."""
+
+    lrc_id: str
+    sequence: int
+    full_list: Optional[list[str]] = None
+    bloom: Optional[BloomFilter] = None
+
+    def __post_init__(self) -> None:
+        if (self.full_list is None) == (self.bloom is None):
+            raise ValueError("exactly one of full_list / bloom must be given")
+
+    def might_contain(self, logical_name: str) -> bool:
+        if self.full_list is not None:
+            return logical_name in self._as_set()
+        assert self.bloom is not None
+        return logical_name in self.bloom
+
+    def _as_set(self) -> set[str]:
+        cached = getattr(self, "_set_cache", None)
+        if cached is None:
+            cached = set(self.full_list or ())
+            object.__setattr__(self, "_set_cache", cached)
+        return cached
+
+    @property
+    def payload_size(self) -> int:
+        """Approximate wire size in bytes (for the compression trade-off)."""
+        if self.full_list is not None:
+            return sum(len(n) + 1 for n in self.full_list)
+        assert self.bloom is not None
+        return len(self.bloom.to_bytes())

@@ -1,0 +1,99 @@
+"""Periodic soft-state update scheduling.
+
+Giggle's design (and the paper's §9 federation sketch) relies on services
+sending "periodic summaries" — state that expires unless refreshed.  The
+:class:`PeriodicUpdater` runs any producer → consumer push on an interval
+in a daemon thread.  Used for LRC → RLI updates and LocalMCS → index-node
+summaries; also directly testable with manual ticks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+Producer = Callable[[], object]
+Consumer = Callable[[object], object]
+
+
+class PeriodicUpdater:
+    """Pushes ``consumer(producer())`` every *interval* seconds."""
+
+    def __init__(
+        self,
+        producer: Producer,
+        consumer: Consumer,
+        interval: float = 30.0,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.producer = producer
+        self.consumer = consumer
+        self.interval = interval
+        self.on_error = on_error
+        self.ticks = 0
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- manual operation (tests, synchronous callers) ----------------------
+
+    def tick(self) -> bool:
+        """Run one update now; returns False if the producer/consumer failed."""
+        try:
+            self.consumer(self.producer())
+        except Exception as exc:  # noqa: BLE001 - updates must not kill the loop
+            with self._lock:
+                self.errors += 1
+            if self.on_error is not None:
+                self.on_error(exc)
+            return False
+        with self._lock:
+            self.ticks += 1
+        return True
+
+    # -- background operation ------------------------------------------------
+
+    def start(self) -> "PeriodicUpdater":
+        if self._thread is not None:
+            raise RuntimeError("updater already running")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        # First update immediately, then on the interval.
+        self.tick()
+        while not self._stop.wait(self.interval):
+            self.tick()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(5)
+            self._thread = None
+
+    def __enter__(self) -> "PeriodicUpdater":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+
+def lrc_updater(lrc, rli, interval: float = 30.0) -> PeriodicUpdater:
+    """Wire one LRC's soft-state updates to an RLI."""
+    return PeriodicUpdater(lrc.make_update, rli.receive_update, interval)
+
+
+def summary_updater(local_mcs, index_node, interval: float = 60.0) -> PeriodicUpdater:
+    """Wire one LocalMCS's summaries to a federation index node."""
+    return PeriodicUpdater(
+        local_mcs.make_summary, index_node.receive_summary, interval
+    )

@@ -1,0 +1,51 @@
+"""Grid security substrate.
+
+A self-contained stand-in for the Grid Security Infrastructure (GSI) and
+the Community Authorization Service (CAS) the paper's MCS relies on:
+
+* :mod:`repro.security.rsa` — small textbook RSA (keygen/sign/verify);
+  *not* cryptographically secure, but gives real asymmetric semantics so
+  certificate chains and signed assertions verify honestly.
+* :mod:`repro.security.identity` — X.509-style distinguished names.
+* :mod:`repro.security.gsi` — certificate authorities, user certificates,
+  proxy certificates, chain verification and signed request tokens.
+* :mod:`repro.security.cas` — community membership, policies, and signed
+  capability assertions.
+* :mod:`repro.security.acl` — MCS permission model, including the paper's
+  rule that effective permissions are the union of a file's permissions
+  and those of its enclosing collection chain.
+"""
+
+from repro.security.identity import DistinguishedName
+from repro.security.gsi import (
+    Certificate,
+    CertificateAuthority,
+    GSIContext,
+    ProxyCertificate,
+    verify_chain,
+)
+from repro.security.cas import CapabilityAssertion, CommunityAuthorizationService
+from repro.security.acl import AccessControlList, Permission
+from repro.security.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    CertificateError,
+    SecurityError,
+)
+
+__all__ = [
+    "DistinguishedName",
+    "Certificate",
+    "CertificateAuthority",
+    "ProxyCertificate",
+    "GSIContext",
+    "verify_chain",
+    "CapabilityAssertion",
+    "CommunityAuthorizationService",
+    "AccessControlList",
+    "Permission",
+    "SecurityError",
+    "AuthenticationError",
+    "AuthorizationError",
+    "CertificateError",
+]

@@ -1,0 +1,96 @@
+"""MCS permission model.
+
+Permissions may be attached to the MCS itself, to a logical file, to a
+logical collection, or to a logical view (§5, "Authorization metadata").
+The effective permission set on a logical file is *the union of the
+permissions on that file and the permissions on its enclosing logical
+collection, and so on up the hierarchy of collections* — implemented by
+:func:`effective_permissions`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.security.errors import AuthorizationError
+from repro.security.identity import DistinguishedName
+
+
+class Permission(enum.Flag):
+    """Rights on MCS objects."""
+
+    NONE = 0
+    READ = enum.auto()     # query attributes / list contents
+    WRITE = enum.auto()    # modify attributes, add members
+    DELETE = enum.auto()   # remove the object
+    ANNOTATE = enum.auto() # attach annotations
+    ADMIN = enum.auto()    # change permissions / audit settings
+
+    @classmethod
+    def all(cls) -> "Permission":
+        return cls.READ | cls.WRITE | cls.DELETE | cls.ANNOTATE | cls.ADMIN
+
+
+@dataclass
+class AccessControlList:
+    """Per-object ACL: DN text -> permission flags, plus a public grant."""
+
+    entries: dict[str, Permission] = field(default_factory=dict)
+    public: Permission = Permission.NONE
+    owner: Optional[str] = None
+
+    def grant(self, user: DistinguishedName | str, permission: Permission) -> None:
+        key = str(user)
+        self.entries[key] = self.entries.get(key, Permission.NONE) | permission
+
+    def revoke(self, user: DistinguishedName | str, permission: Permission) -> None:
+        key = str(user)
+        if key in self.entries:
+            self.entries[key] &= ~permission
+            if self.entries[key] is Permission.NONE:
+                del self.entries[key]
+
+    def grant_public(self, permission: Permission) -> None:
+        self.public |= permission
+
+    def permissions_for(self, user: DistinguishedName | str) -> Permission:
+        key = str(user)
+        granted = self.entries.get(key, Permission.NONE) | self.public
+        if self.owner is not None and key == self.owner:
+            granted |= Permission.all()
+        return granted
+
+    def allows(self, user: DistinguishedName | str, permission: Permission) -> bool:
+        return permission in self.permissions_for(user)
+
+
+def effective_permissions(
+    user: DistinguishedName | str,
+    own_acl: Optional[AccessControlList],
+    collection_chain: Iterable[Optional[AccessControlList]] = (),
+) -> Permission:
+    """Union of the object's own grants and its collection chain's grants."""
+    granted = Permission.NONE
+    if own_acl is not None:
+        granted |= own_acl.permissions_for(user)
+    for acl in collection_chain:
+        if acl is not None:
+            granted |= acl.permissions_for(user)
+    return granted
+
+
+def require(
+    user: DistinguishedName | str,
+    permission: Permission,
+    own_acl: Optional[AccessControlList],
+    collection_chain: Iterable[Optional[AccessControlList]] = (),
+    what: str = "object",
+) -> None:
+    """Raise AuthorizationError unless the effective permissions suffice."""
+    granted = effective_permissions(user, own_acl, collection_chain)
+    if permission not in granted:
+        raise AuthorizationError(
+            f"{user} lacks {permission} on {what} (has {granted})"
+        )

@@ -1,0 +1,147 @@
+"""Community Authorization Service (CAS).
+
+Per Pearlman et al. [8], a CAS lets a virtual organization centralize
+authorization policy: users authenticate to the CAS, which issues signed
+capability assertions granting a subset of the community's rights; a
+resource (here, the MCS) trusts the CAS and honours presented assertions.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.security import rsa
+from repro.security.acl import Permission
+from repro.security.errors import AuthorizationError, CertificateError
+from repro.security.gsi import CertificateAuthority, Credential
+from repro.security.identity import DistinguishedName
+
+DEFAULT_ASSERTION_LIFETIME = 3600.0
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """Grants *permissions* on objects matching *object_pattern* (glob)."""
+
+    object_pattern: str
+    permissions: frozenset[Permission]
+
+
+@dataclass(frozen=True)
+class CapabilityAssertion:
+    """A signed statement: *user* may exercise *rules* until *expires*."""
+
+    community: str
+    user: DistinguishedName
+    rules: tuple[PolicyRule, ...]
+    issued: float
+    expires: float
+    signature: int = 0
+
+    def tbs_bytes(self) -> bytes:
+        rules_text = ";".join(
+            f"{r.object_pattern}:{','.join(sorted(p.name for p in r.permissions))}"
+            for r in self.rules
+        )
+        return (
+            f"{self.community}|{self.user}|{rules_text}|"
+            f"{self.issued:.3f}|{self.expires:.3f}"
+        ).encode()
+
+    def grants(self, object_name: str, permission: Permission, when: Optional[float] = None) -> bool:
+        when = time.time() if when is None else when
+        if not self.issued <= when <= self.expires:
+            return False
+        return any(
+            permission in rule.permissions
+            and fnmatch.fnmatchcase(object_name, rule.object_pattern)
+            for rule in self.rules
+        )
+
+
+class CommunityAuthorizationService:
+    """Maintains community membership and policy; issues assertions."""
+
+    def __init__(self, community: str, ca: CertificateAuthority, key_bits: int = 512) -> None:
+        self.community = community
+        self.credential: Credential = ca.issue_credential(
+            DistinguishedName.make(f"CAS {community}", org="Grid", unit="CAS")
+        )
+        self._members: set[str] = set()
+        self._group_of: dict[str, str] = {}
+        self._group_policy: dict[str, list[PolicyRule]] = {}
+
+    # -- administration -----------------------------------------------------
+
+    def add_member(self, user: DistinguishedName, group: str = "members") -> None:
+        self._members.add(str(user))
+        self._group_of[str(user)] = group
+
+    def remove_member(self, user: DistinguishedName) -> None:
+        self._members.discard(str(user))
+        self._group_of.pop(str(user), None)
+
+    def grant(self, group: str, object_pattern: str, *permissions: Permission) -> None:
+        self._group_policy.setdefault(group, []).append(
+            PolicyRule(object_pattern, frozenset(permissions))
+        )
+
+    def is_member(self, user: DistinguishedName) -> bool:
+        return str(user) in self._members
+
+    # -- assertion issuance ------------------------------------------------
+
+    def issue_assertion(
+        self,
+        user: DistinguishedName,
+        lifetime: float = DEFAULT_ASSERTION_LIFETIME,
+    ) -> CapabilityAssertion:
+        """Issue the user's full capability set as a signed assertion."""
+        if not self.is_member(user):
+            raise AuthorizationError(
+                f"{user} is not a member of community {self.community!r}"
+            )
+        group = self._group_of[str(user)]
+        rules = tuple(self._group_policy.get(group, ()))
+        now = time.time()
+        unsigned = CapabilityAssertion(
+            community=self.community,
+            user=user,
+            rules=rules,
+            issued=now - 60,
+            expires=now + lifetime,
+        )
+        signature = rsa.sign(self.credential.private_key, unsigned.tbs_bytes())
+        return CapabilityAssertion(
+            unsigned.community,
+            unsigned.user,
+            unsigned.rules,
+            unsigned.issued,
+            unsigned.expires,
+            signature,
+        )
+
+
+def verify_assertion(
+    assertion: CapabilityAssertion,
+    trusted_cas: Iterable[Credential | "object"],
+    when: Optional[float] = None,
+) -> None:
+    """Check the assertion's signature against trusted CAS certificates.
+
+    ``trusted_cas`` may contain Credential objects or bare Certificates.
+    Raises CertificateError when no trusted CAS signed it or it expired.
+    """
+    when = time.time() if when is None else when
+    if not assertion.issued <= when <= assertion.expires:
+        raise CertificateError("capability assertion expired")
+    for trusted in trusted_cas:
+        certificate = getattr(trusted, "certificate", trusted)
+        if rsa.verify(
+            certificate.public_key, assertion.tbs_bytes(), assertion.signature
+        ):
+            return
+    raise CertificateError("capability assertion not signed by a trusted CAS")

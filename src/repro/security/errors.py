@@ -1,0 +1,19 @@
+"""Security errors."""
+
+from __future__ import annotations
+
+
+class SecurityError(Exception):
+    """Base class for security failures."""
+
+
+class CertificateError(SecurityError):
+    """A certificate or chain failed verification."""
+
+
+class AuthenticationError(SecurityError):
+    """The caller's identity could not be established."""
+
+
+class AuthorizationError(SecurityError):
+    """The authenticated caller lacks the required permission."""

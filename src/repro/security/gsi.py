@@ -1,0 +1,260 @@
+"""Simulated Grid Security Infrastructure.
+
+Implements the pieces of GSI the MCS design depends on:
+
+* a certificate authority issuing identity certificates,
+* proxy certificates signed by the end entity (single sign-on),
+* chain verification back to a set of trust anchors,
+* per-request authentication tokens (signed timestamped digests), the
+  moral equivalent of a GSI-authenticated message exchange.
+
+Cryptography is the toy RSA of :mod:`repro.security.rsa`; the *protocol*
+logic (chains, proxy naming rules, expiry, replay windows) is real.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.security import rsa
+from repro.security.errors import AuthenticationError, CertificateError
+from repro.security.identity import DistinguishedName
+
+DEFAULT_CERT_LIFETIME = 365 * 24 * 3600.0
+DEFAULT_PROXY_LIFETIME = 12 * 3600.0
+AUTH_TOKEN_WINDOW = 300.0  # seconds of clock skew / replay tolerance
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject DN to a public key."""
+
+    subject: DistinguishedName
+    issuer: DistinguishedName
+    public_key: rsa.PublicKey
+    serial: int
+    not_before: float
+    not_after: float
+    is_ca: bool = False
+    is_proxy: bool = False
+    signature: int = 0
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed canonical encoding."""
+        return (
+            f"{self.subject}|{self.issuer}|{self.public_key.to_text()}|"
+            f"{self.serial}|{self.not_before:.3f}|{self.not_after:.3f}|"
+            f"{int(self.is_ca)}|{int(self.is_proxy)}"
+        ).encode()
+
+    def valid_at(self, when: float) -> bool:
+        return self.not_before <= when <= self.not_after
+
+
+@dataclass
+class Credential:
+    """A certificate plus its private key (held by the subject)."""
+
+    certificate: Certificate
+    private_key: rsa.PrivateKey
+    chain: tuple[Certificate, ...] = ()
+    """Intermediate certificates up to (excluding) the trust anchor."""
+
+    @property
+    def subject(self) -> DistinguishedName:
+        return self.certificate.subject
+
+    def full_chain(self) -> tuple[Certificate, ...]:
+        return (self.certificate,) + self.chain
+
+
+class ProxyCertificate(Certificate):
+    """Marker subclass for readability; behaviour lives in the flags."""
+
+
+class CertificateAuthority:
+    """Issues identity certificates; its self-signed cert is a trust anchor."""
+
+    def __init__(self, name: str = "Repro Grid CA", key_bits: int = 512) -> None:
+        self._keys = rsa.generate_keypair(key_bits)
+        self._serial = 0
+        subject = DistinguishedName.make(name, org="Grid", unit="CA")
+        now = time.time()
+        unsigned = Certificate(
+            subject=subject,
+            issuer=subject,
+            public_key=self._keys.public,
+            serial=self._next_serial(),
+            not_before=now - 60,
+            not_after=now + DEFAULT_CERT_LIFETIME,
+            is_ca=True,
+        )
+        self.certificate = _sign_cert(unsigned, self._keys.private)
+
+    def _next_serial(self) -> int:
+        self._serial += 1
+        return self._serial
+
+    def issue_credential(
+        self,
+        subject: DistinguishedName,
+        lifetime: float = DEFAULT_CERT_LIFETIME,
+        key_bits: int = 512,
+    ) -> Credential:
+        """Generate a keypair and an identity certificate for *subject*."""
+        keys = rsa.generate_keypair(key_bits)
+        now = time.time()
+        unsigned = Certificate(
+            subject=subject,
+            issuer=self.certificate.subject,
+            public_key=keys.public,
+            serial=self._next_serial(),
+            not_before=now - 60,
+            not_after=now + lifetime,
+        )
+        cert = _sign_cert(unsigned, self._keys.private)
+        return Credential(cert, keys.private)
+
+
+def _sign_cert(cert: Certificate, key: rsa.PrivateKey) -> Certificate:
+    signature = rsa.sign(key, cert.tbs_bytes())
+    return Certificate(
+        subject=cert.subject,
+        issuer=cert.issuer,
+        public_key=cert.public_key,
+        serial=cert.serial,
+        not_before=cert.not_before,
+        not_after=cert.not_after,
+        is_ca=cert.is_ca,
+        is_proxy=cert.is_proxy,
+        signature=signature,
+    )
+
+
+def create_proxy(
+    credential: Credential,
+    lifetime: float = DEFAULT_PROXY_LIFETIME,
+    key_bits: int = 512,
+) -> Credential:
+    """Create a short-lived proxy credential signed by *credential*.
+
+    The proxy subject is the issuer's subject plus a ``CN=proxy``
+    component, per the GSI convention.
+    """
+    keys = rsa.generate_keypair(key_bits)
+    now = time.time()
+    unsigned = Certificate(
+        subject=credential.subject.with_proxy_suffix(),
+        issuer=credential.subject,
+        public_key=keys.public,
+        serial=credential.certificate.serial * 1000 + 1,
+        not_before=now - 60,
+        not_after=min(now + lifetime, credential.certificate.not_after),
+        is_proxy=True,
+    )
+    cert = _sign_cert(unsigned, credential.private_key)
+    return Credential(cert, keys.private, chain=credential.full_chain())
+
+
+def verify_chain(
+    chain: Sequence[Certificate],
+    trust_anchors: Iterable[Certificate],
+    when: Optional[float] = None,
+) -> DistinguishedName:
+    """Verify leaf-first *chain* back to a trust anchor.
+
+    Returns the *effective identity*: the leaf subject with proxy
+    components stripped.  Raises CertificateError on any failure.
+    """
+    if not chain:
+        raise CertificateError("empty certificate chain")
+    when = time.time() if when is None else when
+    anchors = {str(a.subject): a for a in trust_anchors}
+    for cert in chain:
+        if not cert.valid_at(when):
+            raise CertificateError(
+                f"certificate for {cert.subject} expired or not yet valid"
+            )
+    for child, parent in zip(chain, chain[1:]):
+        if str(child.issuer) != str(parent.subject):
+            raise CertificateError(
+                f"broken chain: {child.subject} not issued by {parent.subject}"
+            )
+        if not rsa.verify(parent.public_key, child.tbs_bytes(), child.signature):
+            raise CertificateError(f"bad signature on certificate for {child.subject}")
+        if child.is_proxy:
+            if not child.subject.is_proxy_of(parent.subject):
+                raise CertificateError(
+                    f"proxy subject {child.subject} does not extend {parent.subject}"
+                )
+        elif not parent.is_ca:
+            raise CertificateError(
+                f"non-CA certificate {parent.subject} issued {child.subject}"
+            )
+    top = chain[-1]
+    anchor = anchors.get(str(top.issuer))
+    if anchor is None:
+        raise CertificateError(f"chain does not reach a trust anchor ({top.issuer})")
+    if not rsa.verify(anchor.public_key, top.tbs_bytes(), top.signature):
+        raise CertificateError(f"bad anchor signature on {top.subject}")
+    return chain[0].subject.base_identity()
+
+
+@dataclass(frozen=True)
+class AuthToken:
+    """A per-request proof of identity: signed timestamped digest."""
+
+    chain: tuple[Certificate, ...]
+    timestamp: float
+    payload_digest: str
+    signature: int
+
+    def signed_bytes(self) -> bytes:
+        return f"{self.timestamp:.3f}|{self.payload_digest}".encode()
+
+
+class GSIContext:
+    """Client- and server-side GSI operations bound to a credential."""
+
+    def __init__(
+        self,
+        credential: Credential,
+        trust_anchors: Iterable[Certificate] = (),
+    ) -> None:
+        self.credential = credential
+        self.trust_anchors = tuple(trust_anchors)
+
+    # -- client side -------------------------------------------------------
+
+    def sign_request(self, payload: bytes) -> AuthToken:
+        import hashlib
+
+        digest = hashlib.sha256(payload).hexdigest()
+        timestamp = time.time()
+        unsigned = AuthToken(
+            chain=self.credential.full_chain(),
+            timestamp=timestamp,
+            payload_digest=digest,
+            signature=0,
+        )
+        signature = rsa.sign(self.credential.private_key, unsigned.signed_bytes())
+        return AuthToken(unsigned.chain, timestamp, digest, signature)
+
+    # -- server side -------------------------------------------------------
+
+    def authenticate(self, token: AuthToken, payload: bytes) -> DistinguishedName:
+        """Verify a request token; returns the caller's effective identity."""
+        import hashlib
+
+        now = time.time()
+        if abs(now - token.timestamp) > AUTH_TOKEN_WINDOW:
+            raise AuthenticationError("stale authentication token")
+        if hashlib.sha256(payload).hexdigest() != token.payload_digest:
+            raise AuthenticationError("token does not match request payload")
+        identity = verify_chain(token.chain, self.trust_anchors)
+        leaf = token.chain[0]
+        if not rsa.verify(leaf.public_key, token.signed_bytes(), token.signature):
+            raise AuthenticationError("bad token signature")
+        return identity

@@ -1,0 +1,86 @@
+"""X.509-style distinguished names.
+
+The MCS schema stores user identities as distinguished names (DNs), e.g.
+``/O=Grid/OU=ISI/CN=Gurmeet Singh``.  This module parses, formats and
+compares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.security.errors import SecurityError
+
+_KNOWN_ATTRS = ("C", "O", "OU", "L", "ST", "CN", "E")
+
+
+@dataclass(frozen=True)
+class DistinguishedName:
+    """An ordered sequence of (attribute, value) pairs."""
+
+    parts: tuple[tuple[str, str], ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "DistinguishedName":
+        """Parse the slash-separated OpenSSL one-line form."""
+        if not text.startswith("/"):
+            raise SecurityError(f"DN must start with '/': {text!r}")
+        parts: list[tuple[str, str]] = []
+        for piece in text.split("/")[1:]:
+            if not piece:
+                continue
+            if "=" not in piece:
+                raise SecurityError(f"malformed DN component {piece!r}")
+            attr, value = piece.split("=", 1)
+            attr = attr.strip().upper()
+            if not attr:
+                raise SecurityError(f"empty attribute in DN component {piece!r}")
+            parts.append((attr, value.strip()))
+        if not parts:
+            raise SecurityError(f"empty DN {text!r}")
+        return cls(tuple(parts))
+
+    @classmethod
+    def make(cls, cn: str, org: str = "Grid", unit: str = "") -> "DistinguishedName":
+        parts = [("O", org)]
+        if unit:
+            parts.append(("OU", unit))
+        parts.append(("CN", cn))
+        return cls(tuple(parts))
+
+    def __str__(self) -> str:
+        return "".join(f"/{attr}={value}" for attr, value in self.parts)
+
+    @property
+    def common_name(self) -> str:
+        for attr, value in reversed(self.parts):
+            if attr == "CN":
+                return value
+        raise SecurityError(f"DN {self} has no CN component")
+
+    def get(self, attr: str) -> str | None:
+        """Last value of *attr* in the DN, or None."""
+        result = None
+        for a, value in self.parts:
+            if a == attr.upper():
+                result = value
+        return result
+
+    def with_proxy_suffix(self, label: str = "proxy") -> "DistinguishedName":
+        """GSI proxies append a CN component to the issuer's subject."""
+        return DistinguishedName(self.parts + (("CN", label),))
+
+    def is_proxy_of(self, other: "DistinguishedName") -> bool:
+        """True when this DN is *other* plus one or more CN=proxy parts."""
+        if len(self.parts) <= len(other.parts):
+            return False
+        if self.parts[: len(other.parts)] != other.parts:
+            return False
+        return all(attr == "CN" for attr, _ in self.parts[len(other.parts):])
+
+    def base_identity(self) -> "DistinguishedName":
+        """Strip trailing proxy CN components (identity of the end entity)."""
+        parts = list(self.parts)
+        while len(parts) > 1 and parts[-1][0] == "CN" and parts[-1][1] == "proxy":
+            parts.pop()
+        return DistinguishedName(tuple(parts))

@@ -1,0 +1,124 @@
+"""Textbook RSA: key generation, signing, verification.
+
+This is a *simulation-grade* implementation: small keys (512-bit modulus
+by default), no padding scheme beyond hashing, deterministic Miller-Rabin
+for the sizes used.  It exists so the GSI/CAS substrate has honest
+asymmetric semantics — a signature really can only be produced by the
+private-key holder — without external crypto dependencies.  Do not use it
+to protect anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+_E = 65537
+
+
+def _is_probable_prime(n: int, rounds: int = 24) -> bool:
+    """Miller-Rabin with random bases (plus small-prime trial division)."""
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int) -> int:
+    while True:
+        candidate = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+        if candidate % _E == 1:
+            continue  # gcd(e, p-1) must be 1; cheap pre-filter
+        if _is_probable_prime(candidate):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key (n, e)."""
+
+    n: int
+    e: int
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256(f"{self.n}:{self.e}".encode()).hexdigest()
+        return digest[:16]
+
+    def to_text(self) -> str:
+        return f"{self.n:x}:{self.e:x}"
+
+    @classmethod
+    def from_text(cls, text: str) -> "PublicKey":
+        n_hex, e_hex = text.split(":")
+        return cls(int(n_hex, 16), int(e_hex, 16))
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private key (n, d)."""
+
+    n: int
+    d: int
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A matched public/private key pair."""
+
+    public: PublicKey
+    private: PrivateKey
+
+
+def generate_keypair(bits: int = 512) -> KeyPair:
+    """Generate an RSA keypair with a *bits*-bit modulus."""
+    if bits < 128:
+        raise ValueError("modulus below 128 bits cannot hold a SHA-256 digest")
+    half = bits // 2
+    while True:
+        p = _random_prime(half)
+        q = _random_prime(bits - half)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(_E, -1, phi)
+        except ValueError:
+            continue  # e not invertible; repick primes
+        return KeyPair(PublicKey(n, _E), PrivateKey(n, d))
+
+
+def _digest_int(message: bytes, n: int) -> int:
+    return int.from_bytes(hashlib.sha256(message).digest(), "big") % n
+
+
+def sign(private: PrivateKey, message: bytes) -> int:
+    """Sign SHA-256(message) with the private exponent."""
+    return pow(_digest_int(message, private.n), private.d, private.n)
+
+
+def verify(public: PublicKey, message: bytes, signature: int) -> bool:
+    """True iff *signature* was produced by the matching private key."""
+    if not 0 <= signature < public.n:
+        return False
+    return pow(signature, public.e, public.n) == _digest_int(message, public.n)

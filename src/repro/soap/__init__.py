@@ -1,0 +1,34 @@
+"""SOAP-style web service stack.
+
+Reproduces the cost structure of the paper's Apache/Tomcat + SOAP layer:
+XML serialization of requests and responses, HTTP framing, a TCP round
+trip, and server-side thread dispatch.
+
+* :mod:`repro.soap.xmlcodec` — typed value <-> XML codec
+* :mod:`repro.soap.envelope` — SOAP envelopes and faults
+* :mod:`repro.soap.wsdl` — WSDL document generation
+* :mod:`repro.soap.server` — threaded HTTP SOAP server
+* :mod:`repro.soap.client` — HTTP SOAP client with connection reuse
+* :mod:`repro.soap.transport` — pluggable transports (HTTP, loopback,
+  in-process) so benchmarks can separate codec cost from socket cost
+"""
+
+from repro.soap.envelope import SoapFault
+from repro.soap.server import SoapServer
+from repro.soap.client import SoapClient
+from repro.soap.transport import (
+    DirectTransport,
+    HttpTransport,
+    LoopbackCodecTransport,
+    Transport,
+)
+
+__all__ = [
+    "SoapFault",
+    "SoapServer",
+    "SoapClient",
+    "Transport",
+    "DirectTransport",
+    "HttpTransport",
+    "LoopbackCodecTransport",
+]

@@ -1,0 +1,121 @@
+"""SOAP envelopes: request/response framing and faults."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Optional
+
+from repro.soap.errors import EncodingError
+from repro.soap.xmlcodec import decode_value, encode_value
+
+ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+
+class SoapFault(Exception):
+    """A SOAP fault: carries a machine-readable code and detail struct."""
+
+    def __init__(self, code: str, message: str, detail: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = detail or {}
+
+    def __repr__(self) -> str:
+        return f"SoapFault({self.code!r}, {self.message!r})"
+
+
+def build_request(method: str, args: dict[str, Any]) -> bytes:
+    """Serialize a method call to a SOAP request document."""
+    envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
+    body = ET.SubElement(envelope, "Body")
+    call = ET.SubElement(body, "Call")
+    call.set("method", method)
+    for name, value in args.items():
+        arg = ET.SubElement(call, "arg")
+        arg.set("name", name)
+        encode_value(arg, value)
+    return ET.tostring(envelope, encoding="utf-8")
+
+
+def parse_request(data: bytes) -> tuple[str, dict[str, Any]]:
+    """Parse a request document; returns (method, args)."""
+    try:
+        envelope = ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise EncodingError(f"malformed request envelope: {exc}") from exc
+    call = _find_in_body(envelope, "Call")
+    method = call.get("method")
+    if not method:
+        raise EncodingError("request missing method name")
+    args: dict[str, Any] = {}
+    for arg in call:
+        name = arg.get("name")
+        if name is None or len(arg) != 1:
+            raise EncodingError("malformed request argument")
+        args[name] = decode_value(arg[0])
+    return method, args
+
+
+def build_response(result: Any) -> bytes:
+    """Serialize a successful method result."""
+    envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
+    body = ET.SubElement(envelope, "Body")
+    response = ET.SubElement(body, "Response")
+    encode_value(response, result, "result")
+    return ET.tostring(envelope, encoding="utf-8")
+
+
+def build_fault(fault: SoapFault) -> bytes:
+    """Serialize a fault response."""
+    envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
+    body = ET.SubElement(envelope, "Body")
+    element = ET.SubElement(body, "Fault")
+    element.set("code", fault.code)
+    message = ET.SubElement(element, "message")
+    message.text = fault.message
+    encode_value(element, fault.detail, "detail")
+    return ET.tostring(envelope, encoding="utf-8")
+
+
+def parse_response(data: bytes) -> Any:
+    """Parse a response; returns the result or raises the carried fault."""
+    try:
+        envelope = ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise EncodingError(f"malformed response envelope: {exc}") from exc
+    body = _body(envelope)
+    for child in body:
+        tag = _local(child.tag)
+        if tag == "Response":
+            if len(child) != 1:
+                raise EncodingError("malformed response payload")
+            return decode_value(child[0])
+        if tag == "Fault":
+            message = ""
+            detail: dict = {}
+            for sub in child:
+                if _local(sub.tag) == "message":
+                    message = sub.text or ""
+                elif _local(sub.tag) == "detail":
+                    detail = decode_value(sub)
+            raise SoapFault(child.get("code", "Server"), message, detail)
+    raise EncodingError("response carries neither Response nor Fault")
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _body(envelope: ET.Element) -> ET.Element:
+    for child in envelope:
+        if _local(child.tag) == "Body":
+            return child
+    raise EncodingError("envelope missing Body")
+
+
+def _find_in_body(envelope: ET.Element, tag: str) -> ET.Element:
+    body = _body(envelope)
+    for child in body:
+        if _local(child.tag) == tag:
+            return child
+    raise EncodingError(f"Body missing {tag}")

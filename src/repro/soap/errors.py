@@ -1,0 +1,15 @@
+"""Errors raised by the SOAP stack."""
+
+from __future__ import annotations
+
+
+class SoapError(Exception):
+    """Base class for transport/protocol errors."""
+
+
+class EncodingError(SoapError):
+    """A value could not be encoded to (or decoded from) XML."""
+
+
+class TransportError(SoapError):
+    """The HTTP request could not be completed."""

@@ -1,0 +1,146 @@
+"""Threaded HTTP server hosting a SOAP endpoint.
+
+One handler thread per connection (ThreadingHTTPServer), like a servlet
+container's worker pool.  Application exceptions are mapped to SOAP
+faults; registered fault mappers let services expose typed errors.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional
+
+from repro.soap.envelope import (
+    SoapFault,
+    build_fault,
+    build_response,
+    parse_request,
+)
+from repro.soap.wsdl import ServiceDescription, generate_wsdl
+
+Handler = Callable[[str, dict[str, Any]], Any]
+FaultMapper = Callable[[Exception], Optional[SoapFault]]
+
+
+class SoapServer:
+    """Hosts one dispatch handler at ``POST /soap`` (WSDL at ``GET /wsdl``)."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        description: Optional[ServiceDescription] = None,
+        fault_mapper: Optional[FaultMapper] = None,
+        max_workers: int = 4,
+    ) -> None:
+        self._handler = handler
+        self._description = description
+        self._fault_mapper = fault_mapper
+        self._requests_served = 0
+        self._counter_lock = threading.Lock()
+        # Bounded worker pool, like a servlet container's maxThreads: one
+        # thread per connection still reads the request, but at most
+        # max_workers requests are *processed* concurrently.  (Unbounded
+        # concurrency degrades badly under the GIL on multicore hosts.)
+        self._worker_slots = threading.Semaphore(max_workers)
+
+        outer = self
+
+        class _RequestHandler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Small request/response pairs suffer the Nagle + delayed-ACK
+            # interaction (~40 ms/request) unless TCP_NODELAY is set.
+            disable_nagle_algorithm = True
+
+            def log_message(self, *args: Any) -> None:  # silence stderr
+                pass
+
+            def do_POST(self) -> None:
+                if self.path != "/soap":
+                    self.send_error(404)
+                    return
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = self.rfile.read(length)
+                with outer._worker_slots:
+                    try:
+                        method, args = parse_request(payload)
+                        result = outer._handler(method, args)
+                        body = build_response(result)
+                        status = 200
+                    except SoapFault as fault:
+                        body = build_fault(fault)
+                        status = 500
+                    except Exception as exc:  # noqa: BLE001 - fault boundary
+                        fault = outer._map_fault(exc)
+                        body = build_fault(fault)
+                        status = 500
+                with outer._counter_lock:
+                    outer._requests_served += 1
+                self.send_response(status)
+                self.send_header("Content-Type", "text/xml; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                if self.path != "/wsdl" or outer._description is None:
+                    self.send_error(404)
+                    return
+                body = generate_wsdl(
+                    outer._description,
+                    endpoint=f"http://{outer.host}:{outer.port}/soap",
+                )
+                self.send_response(200)
+                self.send_header("Content-Type", "text/xml; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        class _Server(ThreadingHTTPServer):
+            daemon_threads = True
+            request_queue_size = 128  # many client hosts connect at once
+
+        self._httpd = _Server((host, port), _RequestHandler)
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    def _map_fault(self, exc: Exception) -> SoapFault:
+        if self._fault_mapper is not None:
+            mapped = self._fault_mapper(exc)
+            if mapped is not None:
+                return mapped
+        return SoapFault("Server", f"{type(exc).__name__}: {exc}")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "SoapServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05}
+        )
+        self._thread.daemon = True
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5)
+            self._thread = None
+
+    def __enter__(self) -> "SoapServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    @property
+    def requests_served(self) -> int:
+        with self._counter_lock:
+            return self._requests_served
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.host, self.port

@@ -1,0 +1,143 @@
+"""Pluggable call transports.
+
+Three transports share the ``call(method, args) -> result`` interface so
+the MCS client can run over any of them.  This is what lets the benchmark
+suite reproduce the paper's "MySQL without web service" vs "MCS with web
+service" comparison, and additionally decompose the web-service penalty:
+
+================  =====================================================
+DirectTransport   in-process function call; no XML, no socket — the
+                  paper's "MySQL (no web service)" baseline
+LoopbackCodec     full SOAP encode/decode, no socket — isolates the
+                  serialization share of the penalty (ablation)
+HttpTransport     SOAP over a real TCP connection — the paper's
+                  "MCS with web service" configuration
+================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.soap.envelope import (
+    SoapFault,
+    build_request,
+    build_response,
+    build_fault,
+    parse_request,
+    parse_response,
+)
+
+Handler = Callable[[str, dict[str, Any]], Any]
+
+
+class Transport(Protocol):
+    """Anything that can invoke a remote (or local) method."""
+
+    def call(self, method: str, args: dict[str, Any]) -> Any: ...
+
+    def close(self) -> None: ...
+
+
+class DirectTransport:
+    """Dispatch straight to the handler — zero protocol overhead."""
+
+    def __init__(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def call(self, method: str, args: dict[str, Any]) -> Any:
+        return self._handler(method, args)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class LoopbackCodecTransport:
+    """Full SOAP encode/decode round trip without any socket.
+
+    The request is serialized to bytes, parsed server-side, the result
+    serialized, and parsed client-side — exactly the codec work of
+    :class:`HttpTransport` minus the TCP round trip.
+    """
+
+    def __init__(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def call(self, method: str, args: dict[str, Any]) -> Any:
+        request = build_request(method, args)
+        parsed_method, parsed_args = parse_request(request)
+        try:
+            result = self._handler(parsed_method, parsed_args)
+            response = build_response(result)
+        except SoapFault as fault:
+            response = build_fault(fault)
+        return parse_response(response)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class HttpTransport:
+    """SOAP over HTTP with a persistent connection per transport.
+
+    ``simulated_latency_s`` models the client↔server network distance:
+    each request sleeps that long before hitting the wire.  It exists for
+    the multi-host scalability experiments — on a single machine the
+    loopback RTT is effectively zero, so without it one client host
+    trivially saturates the server, hiding the paper's Figures 8–10
+    behaviour (aggregate rate growing with the number of client hosts).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        simulated_latency_s: float = 0.0,
+    ) -> None:
+        import http.client
+        import socket
+
+        class _Connection(http.client.HTTPConnection):
+            def connect(self) -> None:  # disable Nagle on the client side too
+                super().connect()
+                self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+        self.simulated_latency_s = simulated_latency_s
+        self._factory = lambda: _Connection(host, port, timeout=timeout)
+        self._conn = self._factory()
+
+    def call(self, method: str, args: dict[str, Any]) -> Any:
+        import http.client
+        import time
+
+        from repro.soap.errors import TransportError
+
+        if self.simulated_latency_s > 0:
+            time.sleep(self.simulated_latency_s)
+        payload = build_request(method, args)
+        headers = {
+            "Content-Type": "text/xml; charset=utf-8",
+            "SOAPAction": method,
+        }
+        try:
+            self._conn.request("POST", "/soap", body=payload, headers=headers)
+            response = self._conn.getresponse()
+            body = response.read()
+        except (ConnectionError, OSError, http.client.HTTPException):
+            # One reconnect attempt (the server may have recycled the
+            # keep-alive connection).
+            try:
+                self._conn.close()
+                self._conn = self._factory()
+                self._conn.request("POST", "/soap", body=payload, headers=headers)
+                response = self._conn.getresponse()
+                body = response.read()
+            except (ConnectionError, OSError, http.client.HTTPException) as exc2:
+                raise TransportError(f"HTTP request failed: {exc2}") from exc2
+        if response.status not in (200, 500):
+            raise TransportError(f"unexpected HTTP status {response.status}")
+        return parse_response(body)
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,0 +1,114 @@
+"""Typed Python value <-> XML element codec.
+
+Mirrors SOAP section-5 encoding: every element carries an ``xsi:type``-like
+``t`` attribute so values round-trip with their types::
+
+    <value t="int">42</value>
+    <value t="struct"><member name="a"><value t="string">x</value></member></value>
+
+Supported types: None, bool, int, float, str, date, time, datetime,
+list/tuple, dict (string keys).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.soap.errors import EncodingError
+
+_DATETIME_FMT = "%Y-%m-%dT%H:%M:%S.%f"
+_DATE_FMT = "%Y-%m-%d"
+_TIME_FMT = "%H:%M:%S.%f"
+
+
+def encode_value(parent: ET.Element, value: Any, tag: str = "value") -> ET.Element:
+    """Append *value* to *parent* as a typed element and return it."""
+    element = ET.SubElement(parent, tag)
+    if value is None:
+        element.set("t", "null")
+    elif isinstance(value, bool):
+        element.set("t", "boolean")
+        element.text = "1" if value else "0"
+    elif isinstance(value, int):
+        element.set("t", "int")
+        element.text = str(value)
+    elif isinstance(value, float):
+        element.set("t", "double")
+        element.text = repr(value)
+    elif isinstance(value, str):
+        element.set("t", "string")
+        element.text = value
+    elif isinstance(value, _dt.datetime):
+        element.set("t", "dateTime")
+        element.text = value.strftime(_DATETIME_FMT)
+    elif isinstance(value, _dt.date):
+        element.set("t", "date")
+        element.text = value.strftime(_DATE_FMT)
+    elif isinstance(value, _dt.time):
+        element.set("t", "time")
+        element.text = value.strftime(_TIME_FMT)
+    elif isinstance(value, (list, tuple)):
+        element.set("t", "array")
+        for item in value:
+            encode_value(element, item, "item")
+    elif isinstance(value, dict):
+        element.set("t", "struct")
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise EncodingError(f"struct keys must be strings, got {key!r}")
+            member = ET.SubElement(element, "member")
+            member.set("name", key)
+            encode_value(member, item)
+    else:
+        raise EncodingError(f"cannot encode value of type {type(value).__name__}")
+    return element
+
+
+def decode_value(element: ET.Element) -> Any:
+    """Inverse of :func:`encode_value`."""
+    kind = element.get("t")
+    text = element.text or ""
+    if kind == "null":
+        return None
+    if kind == "boolean":
+        return text == "1"
+    if kind == "int":
+        return int(text)
+    if kind == "double":
+        return float(text)
+    if kind == "string":
+        return text
+    if kind == "dateTime":
+        return _dt.datetime.strptime(text, _DATETIME_FMT)
+    if kind == "date":
+        return _dt.datetime.strptime(text, _DATE_FMT).date()
+    if kind == "time":
+        return _dt.datetime.strptime(text, _TIME_FMT).time()
+    if kind == "array":
+        return [decode_value(child) for child in element]
+    if kind == "struct":
+        out: dict[str, Any] = {}
+        for member in element:
+            name = member.get("name")
+            if name is None or len(member) != 1:
+                raise EncodingError("malformed struct member")
+            out[name] = decode_value(member[0])
+        return out
+    raise EncodingError(f"unknown encoded type {kind!r}")
+
+
+def dumps(value: Any, tag: str = "payload") -> bytes:
+    """Serialize one value to a standalone XML document."""
+    root = ET.Element("root")
+    encode_value(root, value, tag)
+    return ET.tostring(root[0], encoding="utf-8")
+
+
+def loads(data: bytes) -> Any:
+    """Parse a document produced by :func:`dumps`."""
+    try:
+        return decode_value(ET.fromstring(data))
+    except ET.ParseError as exc:
+        raise EncodingError(f"malformed XML: {exc}") from exc

@@ -1,0 +1,24 @@
+"""Workload generation for the §7 scalability study.
+
+The paper's setup: databases of 100 k / 1 M / 5 M logical files, 1000
+files per collection, 10 user-defined attributes of mixed types per file
+and per collection.  :mod:`repro.workloads.population` reproduces that
+layout at configurable scale; :mod:`repro.workloads.queries` generates
+the matching simple/complex query streams.
+"""
+
+from repro.workloads.population import (
+    STANDARD_ATTRIBUTES,
+    PopulationSpec,
+    attribute_values_for,
+    populate_catalog,
+)
+from repro.workloads.queries import QueryWorkload
+
+__all__ = [
+    "STANDARD_ATTRIBUTES",
+    "PopulationSpec",
+    "attribute_values_for",
+    "populate_catalog",
+    "QueryWorkload",
+]

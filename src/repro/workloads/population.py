@@ -1,0 +1,111 @@
+"""Deterministic catalog population (§7 experimental setup).
+
+"For each size, we created logical collections with 1000 logical files
+per collection.  With each logical file, we associated 10 user-defined
+attributes of different types (string, float, integer, date and
+datetime) ... Likewise, we associated 10 attributes with each logical
+collection."
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.catalog import MetadataCatalog
+from repro.core.errors import DuplicateObjectError
+
+#: The 10 standard workload attributes: (name, type) in the §7 mix.
+STANDARD_ATTRIBUTES: tuple[tuple[str, str], ...] = (
+    ("wl_str_a", "string"),
+    ("wl_str_b", "string"),
+    ("wl_str_c", "string"),
+    ("wl_int_a", "int"),
+    ("wl_int_b", "int"),
+    ("wl_float_a", "float"),
+    ("wl_float_b", "float"),
+    ("wl_date_a", "date"),
+    ("wl_dt_a", "datetime"),
+    ("wl_str_d", "string"),
+)
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Parameters of one populated database."""
+
+    total_files: int
+    files_per_collection: int = 1000
+    value_cardinality: int = 50
+    """Distinct values per attribute; controls complex-query selectivity."""
+    seed: int = 0
+
+    @property
+    def collections(self) -> int:
+        return max(1, -(-self.total_files // self.files_per_collection))
+
+    def file_name(self, index: int) -> str:
+        return f"lfn.{self.seed:02d}.{index:09d}"
+
+    def collection_name(self, index: int) -> str:
+        return f"coll.{self.seed:02d}.{index:06d}"
+
+
+def attribute_values_for(index: int, spec: PopulationSpec) -> dict[str, Any]:
+    """The 10 attribute values of file #index.
+
+    Values are deterministic functions of the index with period
+    ``value_cardinality``, mixed so no two attributes are perfectly
+    correlated (each uses a different multiplier).
+    """
+    card = spec.value_cardinality
+    out: dict[str, Any] = {}
+    for position, (name, value_type) in enumerate(STANDARD_ATTRIBUTES):
+        bucket = (index * (position * 2 + 3) + position) % card
+        if value_type == "string":
+            out[name] = f"v{bucket:05d}"
+        elif value_type == "int":
+            out[name] = bucket
+        elif value_type == "float":
+            out[name] = bucket + 0.5
+        elif value_type == "date":
+            out[name] = _dt.date(2003, 1, 1) + _dt.timedelta(days=bucket)
+        else:  # datetime
+            out[name] = _dt.datetime(2003, 1, 1) + _dt.timedelta(hours=bucket)
+    return out
+
+
+def define_standard_attributes(catalog: MetadataCatalog) -> None:
+    for name, value_type in STANDARD_ATTRIBUTES:
+        try:
+            catalog.define_attribute(name, value_type, description="workload attribute")
+        except DuplicateObjectError:
+            pass
+
+
+def populate_catalog(
+    catalog: MetadataCatalog,
+    spec: PopulationSpec,
+    progress: Optional[callable] = None,
+) -> None:
+    """Fill *catalog* per the spec (idempotence is not attempted)."""
+    define_standard_attributes(catalog)
+    for c in range(spec.collections):
+        catalog.create_collection(
+            spec.collection_name(c),
+            description=f"workload collection {c}",
+            attributes=attribute_values_for(c, spec),
+            creator="workload",
+        )
+    for index in range(spec.total_files):
+        collection = spec.collection_name(index // spec.files_per_collection)
+        catalog.create_file(
+            spec.file_name(index),
+            data_type="binary",
+            collection=collection,
+            attributes=attribute_values_for(index, spec),
+            creator="workload",
+        )
+        if progress is not None and index and index % 10000 == 0:
+            progress(index)

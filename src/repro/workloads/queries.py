@@ -1,0 +1,58 @@
+"""Query and operation streams for the §7 measurements."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from repro.workloads.population import (
+    STANDARD_ATTRIBUTES,
+    PopulationSpec,
+    attribute_values_for,
+)
+
+
+class QueryWorkload:
+    """Generates the paper's operation mix against a populated catalog.
+
+    * ``simple_query_args`` — "value match for a single static attribute
+      associated with a logical file" (a logical-name lookup);
+    * ``complex_query_conditions`` — "value matches for all ten
+      user-defined attributes associated with a logical file";
+    * ``add_args`` — a new logical file with ten attributes (each add is
+      paired with a delete by the driver, keeping the database size
+      constant).
+    """
+
+    def __init__(self, spec: PopulationSpec, seed: int = 12345) -> None:
+        self.spec = spec
+        self._rng = random.Random(seed)
+        self._add_counter = 0
+
+    # -- simple queries -------------------------------------------------------
+
+    def simple_query_args(self) -> tuple[str, str]:
+        """(field, value) for a static-attribute lookup."""
+        index = self._rng.randrange(self.spec.total_files)
+        return "name", self.spec.file_name(index)
+
+    # -- complex queries ---------------------------------------------------------
+
+    def complex_query_conditions(self, num_attributes: int = 10) -> dict[str, Any]:
+        """Conjunctive conditions matching the attribute vector of a
+        randomly chosen existing file, truncated to *num_attributes*."""
+        if not 1 <= num_attributes <= len(STANDARD_ATTRIBUTES):
+            raise ValueError("num_attributes must be between 1 and 10")
+        index = self._rng.randrange(self.spec.total_files)
+        values = attribute_values_for(index, self.spec)
+        names = [name for name, _ in STANDARD_ATTRIBUTES[:num_attributes]]
+        return {name: values[name] for name in names}
+
+    # -- add/delete pairs ------------------------------------------------------------
+
+    def add_args(self, worker_id: str = "w") -> tuple[str, dict[str, Any]]:
+        """(logical name, attributes) for a fresh add (unique per call)."""
+        self._add_counter += 1
+        index = self.spec.total_files + self._add_counter
+        name = f"add.{worker_id}.{self._add_counter:09d}"
+        return name, attribute_values_for(index, self.spec)

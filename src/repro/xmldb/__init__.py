@@ -1,0 +1,24 @@
+"""Native XML database substrate.
+
+The paper's §6.2/§9: ESG metadata is naturally XML, shredding it into
+relational tables proved cumbersome, and the authors were "studying
+whether a native XML database would provide better functionality than a
+relational database backend; however, the performance of open source XML
+databases is not currently sufficient to support the query rates required
+by ESG applications."
+
+This package is that alternative backend, built honestly:
+
+* :mod:`repro.xmldb.xpath` — an XPath-subset engine (steps, wildcards,
+  ``//`` descendant axis, attribute/text/position predicates);
+* :mod:`repro.xmldb.database` — a document store queried by XPath, with
+  an optional attribute index;
+* :mod:`repro.core.xmlbackend` — an MCS metadata backend over it, used by
+  the backend-comparison ablation benchmark to reproduce the paper's
+  performance conclusion.
+"""
+
+from repro.xmldb.database import XMLDatabase
+from repro.xmldb.xpath import XPath, XPathError
+
+__all__ = ["XMLDatabase", "XPath", "XPathError"]

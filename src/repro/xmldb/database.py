@@ -1,0 +1,154 @@
+"""A native XML document database queried by XPath.
+
+Documents are stored as parsed element trees keyed by name.  Queries walk
+every stored document's tree (the "native XML database" cost model the
+paper found wanting); an optional attribute index accelerates the common
+``//tag[@name='v']``-style lookup by pre-selecting candidate documents.
+"""
+
+from __future__ import annotations
+
+import threading
+import xml.etree.ElementTree as ET
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.xmldb.xpath import XPath, XPathError
+
+DocumentLike = Union[bytes, str, ET.Element]
+
+
+class XMLDatabase:
+    """Thread-safe store of named XML documents with XPath query."""
+
+    def __init__(self, index_attributes: Iterable[str] = ()) -> None:
+        self._documents: dict[str, ET.Element] = {}
+        self._lock = threading.RLock()
+        # attribute name -> value -> set of document names
+        self._indexed_attrs = tuple(index_attributes)
+        self._attr_index: dict[str, dict[str, set[str]]] = {
+            name: {} for name in self._indexed_attrs
+        }
+
+    # -- document management ------------------------------------------------
+
+    @staticmethod
+    def _to_element(document: DocumentLike) -> ET.Element:
+        if isinstance(document, ET.Element):
+            return document
+        if isinstance(document, str):
+            document = document.encode()
+        try:
+            return ET.fromstring(document)
+        except ET.ParseError as exc:
+            raise ValueError(f"malformed XML document: {exc}") from exc
+
+    def store(self, name: str, document: DocumentLike) -> None:
+        """Insert or replace a document."""
+        element = self._to_element(document)
+        with self._lock:
+            if name in self._documents:
+                self._unindex(name, self._documents[name])
+            self._documents[name] = element
+            self._index(name, element)
+
+    def get(self, name: str) -> Optional[ET.Element]:
+        with self._lock:
+            return self._documents.get(name)
+
+    def delete(self, name: str) -> bool:
+        with self._lock:
+            element = self._documents.pop(name, None)
+            if element is None:
+                return False
+            self._unindex(name, element)
+            return True
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._documents)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._documents)
+
+    # -- indexing -----------------------------------------------------------
+
+    def _walk(self, element: ET.Element) -> Iterator[ET.Element]:
+        yield element
+        for child in element:
+            yield from self._walk(child)
+
+    def _index(self, name: str, root: ET.Element) -> None:
+        if not self._indexed_attrs:
+            return
+        for element in self._walk(root):
+            for attr in self._indexed_attrs:
+                value = element.get(attr)
+                if value is not None:
+                    self._attr_index[attr].setdefault(value, set()).add(name)
+
+    def _unindex(self, name: str, root: ET.Element) -> None:
+        if not self._indexed_attrs:
+            return
+        for element in self._walk(root):
+            for attr in self._indexed_attrs:
+                value = element.get(attr)
+                if value is not None:
+                    bucket = self._attr_index[attr].get(value)
+                    if bucket is not None:
+                        bucket.discard(name)
+                        if not bucket:
+                            del self._attr_index[attr][value]
+
+    def _candidates(self, path: XPath) -> Iterable[str]:
+        """Document names possibly matching the path (index pre-filter).
+
+        Only an ``attr_eq`` predicate on an indexed attribute narrows the
+        candidate set; everything else falls back to a full scan.
+        """
+        for step in path.steps:
+            for predicate in step.predicates:
+                if (
+                    predicate.kind == "attr_eq"
+                    and predicate.name in self._attr_index
+                ):
+                    return sorted(
+                        self._attr_index[predicate.name].get(predicate.value, set())
+                    )
+        return self.names()
+
+    # -- queries ----------------------------------------------------------------
+
+    def query(self, expression: Union[str, XPath]) -> list[tuple[str, ET.Element]]:
+        """(document name, matched element) pairs across the store."""
+        path = XPath(expression) if isinstance(expression, str) else expression
+        out: list[tuple[str, ET.Element]] = []
+        with self._lock:
+            for name in self._candidates(path):
+                document = self._documents.get(name)
+                if document is None:
+                    continue
+                for element in path.select(document):
+                    out.append((name, element))
+        return out
+
+    def query_names(self, expression: Union[str, XPath]) -> list[str]:
+        """Names of documents containing at least one match."""
+        path = XPath(expression) if isinstance(expression, str) else expression
+        out: list[str] = []
+        with self._lock:
+            for name in self._candidates(path):
+                document = self._documents.get(name)
+                if document is not None and path.matches(document):
+                    out.append(name)
+        return out
+
+    def query_names_all(self, expressions: Iterable[Union[str, XPath]]) -> list[str]:
+        """Documents matching *every* expression (conjunctive query)."""
+        result: Optional[set[str]] = None
+        for expression in expressions:
+            names = set(self.query_names(expression))
+            result = names if result is None else (result & names)
+            if not result:
+                return []
+        return sorted(result or [])

@@ -1,0 +1,240 @@
+"""An XPath-subset engine over ``xml.etree`` trees.
+
+Supported grammar (a practical slice of XPath 1.0 abbreviated syntax)::
+
+    path       := ('/' | '//') step (('/' | '//') step)*
+    step       := (NAME | '*') predicate*
+    predicate  := '[' pred_expr ']'
+    pred_expr  := '@' NAME                       attribute exists
+                | '@' NAME '=' STRING            attribute equals
+                | '@' NAME '!=' STRING           attribute differs
+                | NAME '=' STRING                child element text equals
+                | 'text()' '=' STRING            own text equals
+                | NUMBER                         1-based position
+
+Examples::
+
+    /dataset/variables/variable[@name='TS']
+    //attribute[@name='model'][text()='CCSM2']
+    /file/attr[@type='int']
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+class XPathError(Exception):
+    """The expression could not be parsed."""
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One step predicate: attribute/text/position condition."""
+
+    kind: str  # "attr_exists" | "attr_eq" | "attr_ne" | "child_text" | "own_text" | "position"
+    name: str = ""
+    value: str = ""
+    position: int = 0
+
+    def matches(self, element: ET.Element, position: int) -> bool:
+        if self.kind == "attr_exists":
+            return element.get(self.name) is not None
+        if self.kind == "attr_eq":
+            return element.get(self.name) == self.value
+        if self.kind == "attr_ne":
+            got = element.get(self.name)
+            return got is not None and got != self.value
+        if self.kind == "child_text":
+            return any(
+                (child.text or "") == self.value
+                for child in element
+                if child.tag == self.name
+            )
+        if self.kind == "own_text":
+            return (element.text or "") == self.value
+        if self.kind == "position":
+            return position == self.position
+        raise XPathError(f"unknown predicate kind {self.kind!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: tag (or *), axis, and its predicates."""
+
+    tag: str  # element name or "*"
+    descendant: bool  # reached via // rather than /
+    predicates: tuple[Predicate, ...] = ()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<sep>//|/)
+  | (?P<name>[A-Za-z_][\w.\-]*(\(\))?)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<at>@)
+  | (?P<neq>!=)
+  | (?P<eq>=)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>\d+)
+    """,
+    re.VERBOSE,
+)
+
+
+class XPath:
+    """A compiled XPath expression."""
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self.steps = _parse(expression)
+
+    def __repr__(self) -> str:
+        return f"XPath({self.expression!r})"
+
+    # -- evaluation --------------------------------------------------------
+
+    def select(self, root: ET.Element) -> list[ET.Element]:
+        """All elements matched by this path, document order, de-duplicated."""
+        current: list[ET.Element] = [root_wrapper(root)]
+        for step in self.steps:
+            nxt: list[ET.Element] = []
+            seen: set[int] = set()
+            for context in current:
+                candidates = (
+                    _descendants(context) if step.descendant else list(context)
+                )
+                position = 0
+                for element in candidates:
+                    if step.tag != "*" and element.tag != step.tag:
+                        continue
+                    position += 1
+                    if all(p.matches(element, position) for p in step.predicates):
+                        if id(element) not in seen:
+                            seen.add(id(element))
+                            nxt.append(element)
+            current = nxt
+        return current
+
+    def matches(self, root: ET.Element) -> bool:
+        return bool(self.select(root))
+
+
+def root_wrapper(root: ET.Element) -> ET.Element:
+    """Wrap the document root so '/rootTag' selects it uniformly."""
+    wrapper = ET.Element("__document__")
+    wrapper.append(root)
+    return wrapper
+
+
+def _descendants(element: ET.Element) -> Iterator[ET.Element]:
+    for child in element:
+        yield child
+        yield from _descendants(child)
+
+
+def _parse(expression: str) -> tuple[Step, ...]:
+    if not expression or expression[0] != "/":
+        raise XPathError(f"path must start with '/': {expression!r}")
+    tokens = _tokenize(expression)
+    steps: list[Step] = []
+    index = 0
+    while index < len(tokens):
+        kind, text = tokens[index]
+        if kind != "sep":
+            raise XPathError(f"expected '/' or '//' before {text!r}")
+        descendant = text == "//"
+        index += 1
+        if index >= len(tokens):
+            raise XPathError("path ends after separator")
+        kind, text = tokens[index]
+        if kind == "name":
+            tag = text
+        elif kind == "star":
+            tag = "*"
+        else:
+            raise XPathError(f"expected element name, got {text!r}")
+        index += 1
+        predicates: list[Predicate] = []
+        while index < len(tokens) and tokens[index][0] == "lbracket":
+            predicate, index = _parse_predicate(tokens, index + 1)
+            predicates.append(predicate)
+        steps.append(Step(tag=tag, descendant=descendant, predicates=tuple(predicates)))
+    if not steps:
+        raise XPathError("empty path")
+    return tuple(steps)
+
+
+def _parse_predicate(tokens: list[tuple[str, str]], index: int) -> tuple[Predicate, int]:
+    def expect(kind: str) -> tuple[str, int]:
+        nonlocal index
+        if index >= len(tokens) or tokens[index][0] != kind:
+            found = tokens[index][1] if index < len(tokens) else "<end>"
+            raise XPathError(f"expected {kind} in predicate, got {found!r}")
+        text = tokens[index][1]
+        index += 1
+        return text, index
+
+    if index < len(tokens) and tokens[index][0] == "at":
+        index += 1
+        name, index = expect("name")
+        if index < len(tokens) and tokens[index][0] in ("eq", "neq"):
+            op = tokens[index][0]
+            index += 1
+            value, index = expect("string")
+            expect("rbracket")
+            kind = "attr_eq" if op == "eq" else "attr_ne"
+            return Predicate(kind=kind, name=name, value=_unquote(value)), index
+        expect("rbracket")
+        return Predicate(kind="attr_exists", name=name), index
+
+    if index < len(tokens) and tokens[index][0] == "number":
+        position = int(tokens[index][1])
+        index += 1
+        expect("rbracket")
+        return Predicate(kind="position", position=position), index
+
+    if index < len(tokens) and tokens[index][0] == "name":
+        name = tokens[index][1]
+        index += 1
+        _, index = expect("eq")
+        value, index = expect("string")
+        expect("rbracket")
+        if name == "text()":
+            return Predicate(kind="own_text", value=_unquote(value)), index
+        return Predicate(kind="child_text", name=name, value=_unquote(value)), index
+
+    found = tokens[index][1] if index < len(tokens) else "<end>"
+    raise XPathError(f"unsupported predicate starting at {found!r}")
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1]
+
+
+def _tokenize(expression: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(expression):
+        ch = expression[position]
+        if ch.isspace():
+            position += 1
+            continue
+        if ch == "*":
+            tokens.append(("star", "*"))
+            position += 1
+            continue
+        match = _TOKEN_RE.match(expression, position)
+        if match is None:
+            raise XPathError(
+                f"cannot tokenize {expression!r} at offset {position}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens

@@ -1,0 +1,118 @@
+"""Tests for the benchmark harness itself (small, fast configurations)."""
+
+import pytest
+
+from repro.bench import BenchConfig, BenchEnvironment, run_closed_loop
+from repro.bench.hosts import run_host_groups
+from repro.bench.report import format_series, shape_checks
+from repro.bench.timing import RateResult, count_until_stopped, run_workers
+from repro.workloads import PopulationSpec
+
+
+@pytest.fixture(scope="module")
+def env():
+    environment = BenchEnvironment(
+        PopulationSpec(total_files=60, files_per_collection=20, value_cardinality=5)
+    )
+    yield environment
+    environment.close()
+
+
+class TestTiming:
+    def test_run_workers_counts(self):
+        def worker(stop):
+            return count_until_stopped(lambda i: None, stop)
+
+        result = run_workers([worker, worker], duration=0.05)
+        assert result.workers == 2
+        assert result.operations > 0
+        assert result.rate > 0
+
+    def test_rate_result_zero_seconds(self):
+        assert RateResult(operations=10, seconds=0, workers=1).rate == 0.0
+
+
+class TestDrivers:
+    def test_direct_simple_queries(self, env):
+        result = run_closed_loop(
+            env, "direct", env.simple_query_op, threads=2, duration=0.05
+        )
+        assert result.operations > 0
+        assert result.errors == 0
+
+    def test_soap_simple_queries(self, env):
+        result = run_closed_loop(
+            env, "soap", env.simple_query_op, threads=2, duration=0.05
+        )
+        assert result.operations > 0
+
+    def test_add_delete_keeps_size(self, env):
+        before = env.catalog.stats()["files"]
+        run_closed_loop(env, "direct", env.add_delete_op, threads=2, duration=0.05)
+        assert env.catalog.stats()["files"] == before
+
+    def test_complex_query_op(self, env):
+        result = run_closed_loop(
+            env, "direct",
+            lambda c, w: env.complex_query_op(c, w, num_attributes=3),
+            threads=1, duration=0.05,
+        )
+        assert result.operations > 0
+
+    def test_host_groups(self, env):
+        result = run_host_groups(
+            env, "direct", env.simple_query_op, hosts=2,
+            threads_per_host=2, duration=0.05,
+        )
+        assert result.workers == 4
+        assert result.operations > 0
+
+    def test_unknown_mode(self, env):
+        with pytest.raises(ValueError):
+            env.make_client("carrier-pigeon")
+
+    def test_direct_faster_than_soap(self, env):
+        direct = run_closed_loop(
+            env, "direct", env.simple_query_op, threads=2, duration=0.1
+        )
+        soap = run_closed_loop(
+            env, "soap", env.simple_query_op, threads=2, duration=0.1
+        )
+        # The paper's central observation: the web service layer costs a
+        # large constant factor.
+        assert direct.rate > soap.rate
+
+
+class TestConfig:
+    def test_default_sizes_ratio(self):
+        config = BenchConfig()
+        a, b, c = config.db_sizes
+        assert b == 10 * a and c == 50 * a
+
+    def test_spec_layout(self):
+        config = BenchConfig()
+        spec = config.spec(400)
+        assert spec.total_files == 400
+        assert spec.files_per_collection == config.files_per_collection
+
+
+class TestReport:
+    def test_format_series(self):
+        rows = [
+            {"db_size": 100, "mode": "direct", "x": 1, "rate": 50.0},
+            {"db_size": 100, "mode": "soap", "x": 1, "rate": 10.0},
+            {"db_size": 100, "mode": "direct", "x": 2, "rate": 90.0},
+        ]
+        text = format_series("Figure X", "threads", rows)
+        assert "Figure X" in text
+        assert "100/direct" in text
+        assert "50.0" in text
+        assert "-" in text  # missing (2, soap) point
+
+    def test_shape_checks(self):
+        rows = [
+            {"mode": "direct", "rate": 100.0},
+            {"mode": "soap", "rate": 20.0},
+        ]
+        checks = shape_checks(rows)
+        assert checks["direct_over_soap_peak"] == 5.0

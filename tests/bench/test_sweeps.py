@@ -1,0 +1,88 @@
+"""Smoke tests for the per-figure sweep runners at tiny scale.
+
+The real measurements live in benchmarks/; these tests only verify that
+each sweep produces well-formed rows so a broken harness fails fast in
+the unit suite rather than midway through a long benchmark run.
+"""
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    sweep_figure5,
+    sweep_figure6,
+    sweep_figure7,
+    sweep_figure8,
+    sweep_figure9,
+    sweep_figure10,
+    sweep_figure11,
+)
+from repro.bench.report import format_series
+from repro.bench.sweeps import clear_environments, get_environment
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    config = BenchConfig(
+        db_sizes=(60,),
+        thread_counts=(1, 2),
+        host_counts=(1, 2),
+        duration=0.05,
+        files_per_collection=20,
+        value_cardinality=5,
+        soap_latency_s=0.0,
+    )
+    yield config
+    clear_environments()
+
+
+def check_rows(rows, x_values):
+    assert rows, "sweep returned nothing"
+    for row in rows:
+        assert set(row) >= {"db_size", "mode", "x", "rate", "operations"}
+        assert row["rate"] >= 0
+    assert {row["x"] for row in rows} >= set(x_values)
+
+
+class TestThreadSweeps:
+    def test_figure5(self, tiny_config):
+        check_rows(sweep_figure5(tiny_config), (1, 2))
+
+    def test_figure6(self, tiny_config):
+        rows = sweep_figure6(tiny_config)
+        check_rows(rows, (1, 2))
+        assert {row["mode"] for row in rows} == {"direct", "soap"}
+
+    def test_figure7(self, tiny_config):
+        check_rows(sweep_figure7(tiny_config), (1, 2))
+
+
+class TestHostSweeps:
+    def test_figure8(self, tiny_config):
+        check_rows(sweep_figure8(tiny_config), (1, 2))
+
+    def test_figure9_extends_host_counts(self, tiny_config):
+        rows = sweep_figure9(tiny_config)
+        assert {row["x"] for row in rows} >= {1, 2, 8, 10}
+
+    def test_figure10(self, tiny_config):
+        check_rows(sweep_figure10(tiny_config), (1, 2))
+
+
+class TestAttributeSweep:
+    def test_figure11(self, tiny_config):
+        rows = sweep_figure11(tiny_config, attribute_counts=(1, 3))
+        check_rows(rows, (1, 3))
+        assert all(row["mode"] == "direct" for row in rows)
+
+
+class TestEnvironmentCache:
+    def test_environment_reused_per_size(self, tiny_config):
+        a = get_environment(tiny_config, 60)
+        b = get_environment(tiny_config, 60)
+        assert a is b
+
+    def test_rows_render(self, tiny_config):
+        rows = sweep_figure11(tiny_config, attribute_counts=(1,))
+        text = format_series("t", "attrs", rows)
+        assert "attrs" in text

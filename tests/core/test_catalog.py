@@ -1,0 +1,359 @@
+"""Tests for MetadataCatalog storage operations."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import (
+    CycleError,
+    DuplicateObjectError,
+    InvalidAttributeError,
+    MetadataCatalog,
+    ObjectInUseError,
+    ObjectNotFoundError,
+    ObjectType,
+)
+from repro.core.model import AttributeType, ExternalCatalog, UserInfo
+from repro.security.acl import Permission
+
+
+@pytest.fixture
+def cat():
+    return MetadataCatalog()
+
+
+class TestFiles:
+    def test_create_and_get(self, cat):
+        cat.create_file("f1", data_type="binary", creator="alice")
+        file = cat.get_file("f1")
+        assert file.data_type == "binary"
+        assert file.creator == "alice"
+        assert file.valid is True
+        assert file.version == 1
+        assert file.created is not None
+
+    def test_duplicate_rejected(self, cat):
+        cat.create_file("f1")
+        with pytest.raises(DuplicateObjectError):
+            cat.create_file("f1")
+
+    def test_versions_coexist(self, cat):
+        cat.create_file("f1", version=1)
+        cat.create_file("f1", version=2, data_type="v2")
+        assert cat.get_file("f1", 2).data_type == "v2"
+        assert cat.list_versions("f1") == [1, 2]
+
+    def test_ambiguous_version_requires_explicit(self, cat):
+        cat.create_file("f1", version=1)
+        cat.create_file("f1", version=2)
+        with pytest.raises(InvalidAttributeError):
+            cat.get_file("f1")
+
+    def test_missing_file(self, cat):
+        with pytest.raises(ObjectNotFoundError):
+            cat.get_file("nope")
+        assert not cat.file_exists("nope")
+
+    def test_update_static_fields(self, cat):
+        cat.create_file("f1")
+        cat.update_file("f1", modifier="bob", data_type="xml", master_copy="gsiftp://x/y")
+        file = cat.get_file("f1")
+        assert file.data_type == "xml"
+        assert file.master_copy == "gsiftp://x/y"
+        assert file.last_modifier == "bob"
+
+    def test_update_disallowed_field(self, cat):
+        cat.create_file("f1")
+        with pytest.raises(InvalidAttributeError):
+            cat.update_file("f1", creator="other")
+
+    def test_invalidate(self, cat):
+        cat.create_file("f1")
+        cat.invalidate_file("f1")
+        assert cat.get_file("f1").valid is False
+
+    def test_delete_cleans_dependents(self, cat):
+        cat.define_attribute("a", "string")
+        cat.create_file("f1", attributes={"a": "x"})
+        cat.annotate(ObjectType.FILE, "f1", "note", "alice")
+        cat.add_transformation("f1", "created by sim")
+        cat.delete_file("f1")
+        assert not cat.file_exists("f1")
+        assert cat.stats()["attribute_values"] == 0
+
+    def test_container_fields(self, cat):
+        cat.create_file("f1", container_id="c-42", container_service="http://cont")
+        file = cat.get_file("f1")
+        assert file.container_id == "c-42"
+        assert file.container_service == "http://cont"
+
+
+class TestCollections:
+    def test_file_in_at_most_one_collection(self, cat):
+        cat.create_collection("c1")
+        cat.create_collection("c2")
+        cat.create_file("f1", collection="c1")
+        assert cat.list_collection("c1") == ["f1"]
+        cat.move_file_to_collection("f1", "c2")
+        assert cat.list_collection("c1") == []
+        assert cat.list_collection("c2") == ["f1"]
+
+    def test_hierarchy(self, cat):
+        cat.create_collection("root")
+        cat.create_collection("mid", parent="root")
+        cat.create_collection("leaf", parent="mid")
+        assert cat.collection_chain("leaf") == ["leaf", "mid", "root"]
+        assert cat.list_subcollections("root") == ["mid"]
+
+    def test_cycle_rejected(self, cat):
+        cat.create_collection("a")
+        cat.create_collection("b", parent="a")
+        with pytest.raises(CycleError):
+            cat.set_collection_parent("a", "b")
+        with pytest.raises(CycleError):
+            cat.set_collection_parent("a", "a")
+
+    def test_reparent_ok(self, cat):
+        cat.create_collection("a")
+        cat.create_collection("b")
+        cat.create_collection("c", parent="a")
+        cat.set_collection_parent("c", "b")
+        assert cat.collection_chain("c") == ["c", "b"]
+
+    def test_delete_nonempty_rejected(self, cat):
+        cat.create_collection("c1")
+        cat.create_file("f1", collection="c1")
+        with pytest.raises(ObjectInUseError):
+            cat.delete_collection("c1")
+        cat.delete_file("f1")
+        cat.delete_collection("c1")
+
+    def test_delete_with_subcollection_rejected(self, cat):
+        cat.create_collection("c1")
+        cat.create_collection("c2", parent="c1")
+        with pytest.raises(ObjectInUseError):
+            cat.delete_collection("c1")
+
+    def test_file_collection_chain(self, cat):
+        cat.create_collection("top")
+        cat.create_collection("sub", parent="top")
+        cat.create_file("f1", collection="sub")
+        assert cat.file_collection_chain("f1") == ["sub", "top"]
+        cat.create_file("f2")
+        assert cat.file_collection_chain("f2") == []
+
+    def test_duplicate_collection(self, cat):
+        cat.create_collection("c1")
+        with pytest.raises(DuplicateObjectError):
+            cat.create_collection("c1")
+
+
+class TestViews:
+    def test_members(self, cat):
+        cat.create_collection("c1")
+        cat.create_file("f1")
+        cat.create_view("v1")
+        cat.create_view("v2")
+        cat.add_to_view("v1", files=["f1"], collections=["c1"], views=["v2"])
+        members = cat.list_view("v1")
+        assert {(m.member_type, m.name) for m in members} == {
+            (ObjectType.FILE, "f1"),
+            (ObjectType.COLLECTION, "c1"),
+            (ObjectType.VIEW, "v2"),
+        }
+
+    def test_readding_member_is_noop(self, cat):
+        cat.create_file("f1")
+        cat.create_view("v1")
+        cat.add_to_view("v1", files=["f1"])
+        cat.add_to_view("v1", files=["f1"])
+        assert len(cat.list_view("v1")) == 1
+
+    def test_view_cycle_rejected(self, cat):
+        cat.create_view("v1")
+        cat.create_view("v2")
+        cat.create_view("v3")
+        cat.add_to_view("v1", views=["v2"])
+        cat.add_to_view("v2", views=["v3"])
+        with pytest.raises(CycleError):
+            cat.add_to_view("v3", views=["v1"])
+        with pytest.raises(CycleError):
+            cat.add_to_view("v1", views=["v1"])
+
+    def test_files_may_be_in_many_views(self, cat):
+        cat.create_file("f1")
+        cat.create_view("v1")
+        cat.create_view("v2")
+        cat.add_to_view("v1", files=["f1"])
+        cat.add_to_view("v2", files=["f1"])
+        assert len(cat.list_view("v1")) == 1
+        assert len(cat.list_view("v2")) == 1
+
+    def test_remove_member(self, cat):
+        cat.create_file("f1")
+        cat.create_view("v1")
+        cat.add_to_view("v1", files=["f1"])
+        cat.remove_from_view("v1", files=["f1"])
+        assert cat.list_view("v1") == []
+
+    def test_delete_view_in_use_rejected(self, cat):
+        cat.create_view("v1")
+        cat.create_view("v2")
+        cat.add_to_view("v1", views=["v2"])
+        with pytest.raises(ObjectInUseError):
+            cat.delete_view("v2")
+        cat.remove_from_view("v1", views=["v2"])
+        cat.delete_view("v2")
+
+
+class TestAttributes:
+    def test_define_and_set(self, cat):
+        cat.define_attribute("freq", "float", description="band center")
+        cat.create_file("f1", attributes={"freq": 60.0})
+        assert cat.get_attributes(ObjectType.FILE, "f1") == {"freq": 60.0}
+
+    def test_all_types_round_trip(self, cat):
+        values = {
+            "s": ("string", "text"),
+            "i": ("int", 42),
+            "f": ("float", 2.5),
+            "d": ("date", dt.date(2003, 11, 15)),
+            "t": ("time", dt.time(10, 30)),
+            "ts": ("datetime", dt.datetime(2003, 11, 15, 10, 30)),
+        }
+        for name, (vtype, _) in values.items():
+            cat.define_attribute(name, vtype)
+        cat.create_file("f1", attributes={k: v for k, (_, v) in values.items()})
+        got = cat.get_attributes(ObjectType.FILE, "f1")
+        assert got == {k: v for k, (_, v) in values.items()}
+
+    def test_undefined_attribute_rejected(self, cat):
+        with pytest.raises(InvalidAttributeError):
+            cat.create_file("f1", attributes={"nope": 1})
+
+    def test_wrong_type_rejected(self, cat):
+        cat.define_attribute("i", "int")
+        with pytest.raises(InvalidAttributeError):
+            cat.create_file("f1", attributes={"i": "not an int"})
+
+    def test_int_coerced_to_float_attr(self, cat):
+        cat.define_attribute("f", "float")
+        cat.create_file("f1", attributes={"f": 3})
+        assert cat.get_attributes(ObjectType.FILE, "f1")["f"] == 3.0
+
+    def test_set_replaces(self, cat):
+        cat.define_attribute("a", "string")
+        cat.create_file("f1", attributes={"a": "old"})
+        cat.set_attributes(ObjectType.FILE, "f1", {"a": "new"})
+        assert cat.get_attributes(ObjectType.FILE, "f1") == {"a": "new"}
+
+    def test_remove_attribute(self, cat):
+        cat.define_attribute("a", "string")
+        cat.create_file("f1", attributes={"a": "x"})
+        cat.remove_attribute(ObjectType.FILE, "f1", "a")
+        assert cat.get_attributes(ObjectType.FILE, "f1") == {}
+
+    def test_object_type_restriction(self, cat):
+        cat.define_attribute("file_only", "string", object_types=(ObjectType.FILE,))
+        cat.create_collection("c1")
+        with pytest.raises(InvalidAttributeError):
+            cat.set_attributes(ObjectType.COLLECTION, "c1", {"file_only": "x"})
+
+    def test_collection_attributes(self, cat):
+        cat.define_attribute("project", "string")
+        cat.create_collection("c1", attributes={"project": "esg"})
+        assert cat.get_attributes(ObjectType.COLLECTION, "c1") == {"project": "esg"}
+
+    def test_duplicate_definition(self, cat):
+        cat.define_attribute("a", "string")
+        with pytest.raises(DuplicateObjectError):
+            cat.define_attribute("a", "int")
+
+    def test_list_attribute_defs(self, cat):
+        cat.define_attribute("b", "int")
+        cat.define_attribute("a", "string")
+        assert [d.name for d in cat.list_attribute_defs()] == ["a", "b"]
+        assert cat.get_attribute_def("b").value_type is AttributeType.INT
+
+
+class TestAnnotationsProvenance:
+    def test_annotations_ordered(self, cat):
+        cat.create_file("f1")
+        cat.annotate(ObjectType.FILE, "f1", "first", "alice")
+        cat.annotate(ObjectType.FILE, "f1", "second", "bob")
+        notes = cat.annotations(ObjectType.FILE, "f1")
+        assert [n.text for n in notes] == ["first", "second"]
+        assert notes[0].creator == "alice"
+
+    def test_annotations_on_views_and_collections(self, cat):
+        cat.create_collection("c1")
+        cat.create_view("v1")
+        cat.annotate(ObjectType.COLLECTION, "c1", "note-c", "x")
+        cat.annotate(ObjectType.VIEW, "v1", "note-v", "x")
+        assert cat.annotations(ObjectType.COLLECTION, "c1")[0].text == "note-c"
+        assert cat.annotations(ObjectType.VIEW, "v1")[0].text == "note-v"
+
+    def test_transformations(self, cat):
+        cat.create_file("f1")
+        cat.add_transformation("f1", "raw capture")
+        cat.add_transformation("f1", "calibrated")
+        assert [t.description for t in cat.transformations("f1")] == [
+            "raw capture",
+            "calibrated",
+        ]
+
+
+class TestUsersCatalogsAcl:
+    def test_user_round_trip(self, cat):
+        cat.register_user(UserInfo("/O=G/CN=A", institution="ISI", email="a@isi.edu"))
+        user = cat.get_user("/O=G/CN=A")
+        assert user.institution == "ISI"
+        with pytest.raises(DuplicateObjectError):
+            cat.register_user(UserInfo("/O=G/CN=A"))
+
+    def test_external_catalogs(self, cat):
+        cat.register_external_catalog(
+            ExternalCatalog("rls-isi", "replica", "rls.isi.edu", 39281)
+        )
+        catalogs = cat.list_external_catalogs()
+        assert catalogs[0].catalog_type == "replica"
+
+    def test_acl_storage(self, cat):
+        cat.create_file("f1")
+        cat.set_permissions(ObjectType.FILE, "f1", "/O=G/CN=A", Permission.READ)
+        acl = cat.get_acl(ObjectType.FILE, "f1")
+        assert acl.allows("/O=G/CN=A", Permission.READ)
+        assert not acl.allows("/O=G/CN=B", Permission.READ)
+
+    def test_acl_replace(self, cat):
+        cat.create_file("f1")
+        cat.set_permissions(ObjectType.FILE, "f1", "u", Permission.READ)
+        cat.set_permissions(
+            ObjectType.FILE, "f1", "u", Permission.READ | Permission.WRITE
+        )
+        acl = cat.get_acl(ObjectType.FILE, "f1")
+        assert acl.allows("u", Permission.WRITE)
+
+    def test_public_acl(self, cat):
+        cat.create_file("f1")
+        cat.set_permissions(ObjectType.FILE, "f1", "*", Permission.READ)
+        acl = cat.get_acl(ObjectType.FILE, "f1")
+        assert acl.allows("anyone", Permission.READ)
+
+    def test_service_level_acl(self, cat):
+        cat.set_permissions(ObjectType.SERVICE, None, "u", Permission.WRITE)
+        acl = cat.get_acl(ObjectType.SERVICE, None)
+        assert acl.allows("u", Permission.WRITE)
+
+
+class TestAudit:
+    def test_audit_records(self, cat):
+        cat.create_file("f1", audit_enabled=True)
+        file = cat.get_file("f1")
+        cat.record_audit(ObjectType.FILE, file.id, "read", "", "alice")
+        cat.record_audit(ObjectType.FILE, file.id, "modify", "dt=x", "bob")
+        log = cat.audit_log(ObjectType.FILE, "f1")
+        assert [(r.action, r.actor) for r in log] == [
+            ("read", "alice"),
+            ("modify", "bob"),
+        ]

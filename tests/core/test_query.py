@@ -1,0 +1,140 @@
+"""Tests for the attribute-query model and its SQL translation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import MetadataCatalog, ObjectQuery, ObjectType
+from repro.core.errors import QueryError
+from repro.core.query import AttributeCondition
+
+
+@pytest.fixture
+def cat():
+    cat = MetadataCatalog()
+    cat.define_attribute("experiment", "string")
+    cat.define_attribute("run", "int")
+    cat.define_attribute("freq", "float")
+    cat.define_attribute("taken", "date")
+    cat.create_collection("c1")
+    cat.create_collection("c2")
+    cat.create_file(
+        "f1", data_type="binary", collection="c1",
+        attributes={"experiment": "pulsar", "run": 1, "freq": 60.0,
+                    "taken": dt.date(2003, 1, 1)},
+    )
+    cat.create_file(
+        "f2", data_type="xml", collection="c1",
+        attributes={"experiment": "pulsar", "run": 2, "freq": 120.0,
+                    "taken": dt.date(2003, 6, 1)},
+    )
+    cat.create_file(
+        "f3", data_type="binary", collection="c2",
+        attributes={"experiment": "burst", "run": 1, "freq": 60.0,
+                    "taken": dt.date(2003, 1, 15)},
+    )
+    return cat
+
+
+class TestUserAttributeQueries:
+    def test_single_equality(self, cat):
+        q = ObjectQuery().where("experiment", "=", "pulsar")
+        assert sorted(cat.query(q)) == ["f1", "f2"]
+
+    def test_conjunction(self, cat):
+        q = ObjectQuery().where("experiment", "=", "pulsar").where("run", "=", 1)
+        assert cat.query(q) == ["f1"]
+
+    def test_no_matches(self, cat):
+        q = ObjectQuery().where("experiment", "=", "none")
+        assert cat.query(q) == []
+
+    def test_range_ops(self, cat):
+        assert sorted(cat.query(ObjectQuery().where("freq", ">", 100.0))) == ["f2"]
+        assert sorted(cat.query(ObjectQuery().where("freq", "<=", 60.0))) == ["f1", "f3"]
+        assert sorted(cat.query(ObjectQuery().where("run", "!=", 1))) == ["f2"]
+
+    def test_between(self, cat):
+        q = ObjectQuery().where("taken", "between",
+                                (dt.date(2003, 1, 1), dt.date(2003, 2, 1)))
+        assert sorted(cat.query(q)) == ["f1", "f3"]
+
+    def test_like(self, cat):
+        q = ObjectQuery().where("experiment", "like", "pul%")
+        assert sorted(cat.query(q)) == ["f1", "f2"]
+
+    def test_ten_attribute_conjunction(self, cat):
+        # mimic the paper's complex query on many attributes
+        for i in range(7):
+            cat.define_attribute(f"x{i}", "int")
+        cat.create_file("big", attributes={f"x{i}": i for i in range(7)})
+        q = ObjectQuery()
+        for i in range(7):
+            q.where(f"x{i}", "=", i)
+        assert cat.query(q) == ["big"]
+
+
+class TestPredefinedQueries:
+    def test_simple_static_query(self, cat):
+        q = ObjectQuery().where_field("data_type", "=", "binary")
+        assert sorted(cat.query(q)) == ["f1", "f3"]
+
+    def test_name_lookup(self, cat):
+        q = ObjectQuery().where_field("name", "=", "f2")
+        assert cat.query(q) == ["f2"]
+
+    def test_mixed_static_and_user(self, cat):
+        q = (
+            ObjectQuery()
+            .where("experiment", "=", "pulsar")
+            .where_field("data_type", "=", "binary")
+        )
+        assert cat.query(q) == ["f1"]
+
+    def test_collection_scope(self, cat):
+        q = ObjectQuery(collection="c1").where("run", "=", 1)
+        assert cat.query(q) == ["f1"]
+
+    def test_valid_only(self, cat):
+        cat.invalidate_file("f1")
+        q = ObjectQuery(valid_only=True).where("experiment", "=", "pulsar")
+        assert cat.query(q) == ["f2"]
+
+    def test_limit(self, cat):
+        q = ObjectQuery(limit=1).where("experiment", "=", "pulsar")
+        assert len(cat.query(q)) == 1
+
+    def test_unknown_predefined_field(self, cat):
+        q = ObjectQuery().where_field("bogus", "=", 1)
+        with pytest.raises(QueryError):
+            cat.query(q)
+
+
+class TestCollectionQueries:
+    def test_query_collections_by_attribute(self, cat):
+        cat.define_attribute("project", "string")
+        cat.set_attributes(ObjectType.COLLECTION, "c1", {"project": "ligo"})
+        q = ObjectQuery(object_type=ObjectType.COLLECTION).where("project", "=", "ligo")
+        assert cat.query(q) == ["c1"]
+
+    def test_collection_filter_rejected_for_collections(self, cat):
+        q = ObjectQuery(object_type=ObjectType.COLLECTION, collection="c1")
+        q.where_field("name", "=", "x")
+        with pytest.raises(QueryError):
+            cat.query(q)
+
+
+class TestConditionValidation:
+    def test_bad_operator(self):
+        with pytest.raises(QueryError):
+            AttributeCondition("a", "~~", 1)
+
+    def test_between_needs_pair(self):
+        with pytest.raises(QueryError):
+            AttributeCondition("a", "between", 5)
+
+    def test_attribute_scope_checked(self, cat):
+        cat.define_attribute("viewattr", "string", object_types=(ObjectType.VIEW,))
+        q = ObjectQuery().where("viewattr", "=", "x")
+        with pytest.raises(QueryError):
+            cat.query(q)

@@ -1,0 +1,278 @@
+"""Tests for MCSService policy enforcement (auth, ACLs, audit, CAS)."""
+
+import pytest
+
+from repro.core import MCSClient, MCSService, MetadataCatalog, ObjectType
+from repro.core.errors import (
+    NotAuthenticatedError,
+    ObjectNotFoundError,
+    PermissionDeniedError,
+)
+from repro.core.service import (
+    assertion_from_dict,
+    assertion_to_dict,
+    canonical_payload,
+    certificate_from_dict,
+    certificate_to_dict,
+    token_from_dict,
+    token_to_dict,
+)
+from repro.security import (
+    CertificateAuthority,
+    CommunityAuthorizationService,
+    DistinguishedName,
+    GSIContext,
+    Permission,
+)
+from repro.security.gsi import create_proxy
+from repro.soap.envelope import SoapFault
+
+ALICE = "/O=Grid/OU=ISI/CN=Alice"
+BOB = "/O=Grid/OU=ISI/CN=Bob"
+
+
+class TestOpenMode:
+    def test_caller_recorded_as_creator(self):
+        service = MCSService()
+        client = MCSClient.in_process(service, caller=ALICE)
+        client.create_logical_file("f1")
+        assert client.get_logical_file("f1")["creator"] == ALICE
+
+    def test_anonymous_default(self):
+        service = MCSService()
+        client = MCSClient.in_process(service)
+        client.create_logical_file("f1")
+        assert client.get_logical_file("f1")["creator"] == "anonymous"
+
+    def test_unknown_method_faults(self):
+        service = MCSService()
+        with pytest.raises(SoapFault):
+            service.handle("no_such_op", {})
+
+    def test_typed_errors_cross_dispatch(self):
+        service = MCSService()
+        client = MCSClient.in_process(service)
+        with pytest.raises(ObjectNotFoundError):
+            client.get_logical_file("missing")
+
+
+class TestServiceGranularity:
+    def make(self):
+        service = MCSService(granularity="service")
+        service.catalog.set_permissions(
+            ObjectType.SERVICE, None, ALICE, Permission.all()
+        )
+        service.catalog.set_permissions(
+            ObjectType.SERVICE, None, BOB, Permission.READ
+        )
+        return service
+
+    def test_writer_allowed(self):
+        client = MCSClient.in_process(self.make(), caller=ALICE)
+        client.create_logical_file("f1")
+
+    def test_reader_cannot_write(self):
+        service = self.make()
+        MCSClient.in_process(service, caller=ALICE).create_logical_file("f1")
+        bob = MCSClient.in_process(service, caller=BOB)
+        assert bob.get_logical_file("f1")["name"] == "f1"
+        with pytest.raises(PermissionDeniedError):
+            bob.create_logical_file("f2")
+
+    def test_stranger_cannot_read(self):
+        service = self.make()
+        MCSClient.in_process(service, caller=ALICE).create_logical_file("f1")
+        stranger = MCSClient.in_process(service, caller="/O=G/CN=Eve")
+        with pytest.raises(PermissionDeniedError):
+            stranger.get_logical_file("f1")
+
+
+class TestObjectGranularity:
+    def make(self):
+        service = MCSService(granularity="object")
+        cat = service.catalog
+        cat.set_permissions(ObjectType.SERVICE, None, ALICE, Permission.all())
+        return service, cat
+
+    def test_per_file_grant(self):
+        service, cat = self.make()
+        alice = MCSClient.in_process(service, caller=ALICE)
+        alice.create_logical_file("f1")
+        bob = MCSClient.in_process(service, caller=BOB)
+        with pytest.raises(PermissionDeniedError):
+            bob.get_logical_file("f1")
+        cat.set_permissions(ObjectType.FILE, "f1", BOB, Permission.READ)
+        assert bob.get_logical_file("f1")["name"] == "f1"
+
+    def test_collection_permissions_union_up_the_chain(self):
+        service, cat = self.make()
+        alice = MCSClient.in_process(service, caller=ALICE)
+        alice.create_collection("top")
+        alice.create_collection("sub", parent="top")
+        alice.create_logical_file("f1", collection="sub")
+        bob = MCSClient.in_process(service, caller=BOB)
+        with pytest.raises(PermissionDeniedError):
+            bob.get_logical_file("f1")
+        # Grant on the *grandparent* collection: union rule must apply.
+        cat.set_permissions(ObjectType.COLLECTION, "top", BOB, Permission.READ)
+        assert bob.get_logical_file("f1")["name"] == "f1"
+
+    def test_write_needs_write_not_read(self):
+        service, cat = self.make()
+        alice = MCSClient.in_process(service, caller=ALICE)
+        alice.create_logical_file("f1")
+        cat.set_permissions(ObjectType.FILE, "f1", BOB, Permission.READ)
+        bob = MCSClient.in_process(service, caller=BOB)
+        with pytest.raises(PermissionDeniedError):
+            bob.modify_logical_file("f1", data_type="xml")
+
+    def test_annotate_permission(self):
+        service, cat = self.make()
+        alice = MCSClient.in_process(service, caller=ALICE)
+        alice.create_logical_file("f1")
+        bob = MCSClient.in_process(service, caller=BOB)
+        with pytest.raises(PermissionDeniedError):
+            bob.annotate("file", "f1", "hello")
+        cat.set_permissions(ObjectType.FILE, "f1", BOB, Permission.ANNOTATE)
+        bob.annotate("file", "f1", "hello")
+
+
+class TestGSIAuthentication:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        ca = CertificateAuthority(key_bits=256)
+        alice_cred = ca.issue_credential(
+            DistinguishedName.parse(ALICE), key_bits=256
+        )
+        proxy = create_proxy(alice_cred, key_bits=256)
+        server_cred = ca.issue_credential(
+            DistinguishedName.make("MCS Server"), key_bits=256
+        )
+        server_ctx = GSIContext(server_cred, trust_anchors=[ca.certificate])
+        return ca, proxy, server_ctx
+
+    def test_authenticated_identity_used(self, grid):
+        ca, proxy, server_ctx = grid
+        service = MCSService(gsi_context=server_ctx, granularity="service")
+        service.catalog.set_permissions(
+            ObjectType.SERVICE, None, ALICE, Permission.all()
+        )
+        client = MCSClient.in_process(service)
+        client._gsi = GSIContext(proxy)
+        client.create_logical_file("f1")
+        # Creator is the *authenticated* identity (proxy stripped), not a
+        # caller-supplied string.
+        assert client.get_logical_file("f1")["creator"] == ALICE
+
+    def test_unauthenticated_rejected_when_required(self, grid):
+        ca, proxy, server_ctx = grid
+        service = MCSService(gsi_context=server_ctx, granularity="service")
+        client = MCSClient.in_process(service, caller=ALICE)  # no token
+        with pytest.raises(NotAuthenticatedError):
+            client.create_logical_file("f1")
+
+    def test_forged_caller_ignored(self, grid):
+        ca, proxy, server_ctx = grid
+        service = MCSService(gsi_context=server_ctx, granularity="service")
+        service.catalog.set_permissions(
+            ObjectType.SERVICE, None, ALICE, Permission.all()
+        )
+        client = MCSClient.in_process(service, caller="/O=G/CN=Forged")
+        client._gsi = GSIContext(proxy)
+        client.create_logical_file("f1")
+        assert client.get_logical_file("f1")["creator"] == ALICE
+
+
+class TestCASIntegration:
+    def test_assertion_grants_access(self):
+        ca = CertificateAuthority(key_bits=256)
+        cas = CommunityAuthorizationService("ligo", ca, key_bits=256)
+        alice_dn = DistinguishedName.parse(ALICE)
+        cas.add_member(alice_dn, "scientists")
+        cas.grant("scientists", "ligo-*", Permission.READ, Permission.WRITE)
+        service = MCSService(granularity="object", trusted_cas=(cas.credential,))
+        # Bootstrap: an admin creates the file.
+        admin = MCSClient.in_process(service, caller="/O=G/CN=Admin")
+        service.catalog.set_permissions(
+            ObjectType.SERVICE, None, "/O=G/CN=Admin", Permission.all()
+        )
+        admin.create_logical_file("ligo-f1")
+        # Alice has no ACL entry but presents a CAS assertion.
+        assertion = cas.issue_assertion(alice_dn)
+        alice = MCSClient.in_process(service, caller=ALICE)
+        with pytest.raises(PermissionDeniedError):
+            alice.get_logical_file("ligo-f1")
+        alice._cas = assertion_to_dict(assertion)
+        assert alice.get_logical_file("ligo-f1")["name"] == "ligo-f1"
+
+    def test_tampered_assertion_rejected(self):
+        ca = CertificateAuthority(key_bits=256)
+        cas = CommunityAuthorizationService("ligo", ca, key_bits=256)
+        alice_dn = DistinguishedName.parse(ALICE)
+        cas.add_member(alice_dn)
+        cas.grant("members", "*", Permission.READ)
+        assertion = cas.issue_assertion(alice_dn)
+        data = assertion_to_dict(assertion)
+        data["rules"][0]["pattern"] = "**"  # tamper
+        service = MCSService(granularity="object", trusted_cas=(cas.credential,))
+        client = MCSClient.in_process(service, caller=ALICE)
+        client._cas = data
+        with pytest.raises((PermissionDeniedError, SoapFault)):
+            client.ping()
+
+
+class TestAuditPolicy:
+    def test_audit_rows_written_when_enabled(self):
+        service = MCSService()
+        client = MCSClient.in_process(service, caller=ALICE)
+        client.create_logical_file("f1", audit_enabled=True)
+        client.get_logical_file("f1")
+        client.modify_logical_file("f1", data_type="xml")
+        log = service.catalog.audit_log(ObjectType.FILE, "f1")
+        assert [r.action for r in log] == ["create", "read", "modify"]
+        assert all(r.actor == ALICE for r in log)
+
+    def test_no_audit_by_default(self):
+        service = MCSService()
+        client = MCSClient.in_process(service, caller=ALICE)
+        client.create_logical_file("f1")
+        client.get_logical_file("f1")
+        assert service.catalog.audit_log(ObjectType.FILE, "f1") == []
+
+
+class TestSerialization:
+    def test_certificate_round_trip(self):
+        ca = CertificateAuthority(key_bits=256)
+        cert = ca.certificate
+        restored = certificate_from_dict(certificate_to_dict(cert))
+        assert restored == cert
+
+    def test_token_round_trip(self):
+        ca = CertificateAuthority(key_bits=256)
+        cred = ca.issue_credential(DistinguishedName.make("X"), key_bits=256)
+        ctx = GSIContext(cred)
+        token = ctx.sign_request(b"payload")
+        restored = token_from_dict(token_to_dict(token))
+        assert restored.signature == token.signature
+        assert restored.chain == token.chain
+
+    def test_assertion_round_trip(self):
+        ca = CertificateAuthority(key_bits=256)
+        cas = CommunityAuthorizationService("c", ca, key_bits=256)
+        dn = DistinguishedName.make("A")
+        cas.add_member(dn)
+        cas.grant("members", "x/*", Permission.READ)
+        assertion = cas.issue_assertion(dn)
+        restored = assertion_from_dict(assertion_to_dict(assertion))
+        assert restored.tbs_bytes() == assertion.tbs_bytes()
+        assert restored.signature == assertion.signature
+
+    def test_canonical_payload_excludes_credentials(self):
+        a = canonical_payload("m", {"x": 1, "auth": {"t": 1}, "cas": {"c": 2}})
+        b = canonical_payload("m", {"x": 1})
+        assert a == b
+
+    def test_canonical_payload_order_independent(self):
+        assert canonical_payload("m", {"a": 1, "b": 2}) == canonical_payload(
+            "m", {"b": 2, "a": 1}
+        )

@@ -1,0 +1,133 @@
+"""Coverage for the remaining MCSService/MCSClient operation surface."""
+
+import pytest
+
+from repro.core import MCSClient, MCSService, ObjectQuery, ObjectType
+from repro.core.errors import (
+    ObjectNotFoundError,
+    PermissionDeniedError,
+    QueryError,
+)
+from repro.security import Permission
+from repro.soap.envelope import SoapFault
+
+
+@pytest.fixture
+def client():
+    return MCSClient.in_process(MCSService(), caller="/O=G/CN=T")
+
+
+class TestVersionsAndMoves:
+    def test_list_versions_via_client(self, client):
+        client.create_logical_file("v", version=1)
+        client.create_logical_file("v", version=3)
+        assert client.list_versions("v") == [1, 3]
+
+    def test_move_file_between_collections(self, client):
+        client.create_collection("c1")
+        client.create_collection("c2")
+        client.create_logical_file("f", collection="c1")
+        client.move_file_to_collection("f", "c2")
+        assert client.list_collection("c1") == []
+        assert client.list_collection("c2") == ["f"]
+
+    def test_move_to_none_detaches(self, client):
+        client.create_collection("c1")
+        client.create_logical_file("f", collection="c1")
+        client.move_file_to_collection("f", None)
+        assert client.list_collection("c1") == []
+
+    def test_set_collection_parent_via_client(self, client):
+        client.create_collection("top")
+        client.create_collection("sub")
+        client.set_collection_parent("sub", "top")
+        assert client.list_subcollections("top") == ["sub"]
+
+    def test_remove_attribute_via_client(self, client):
+        client.define_attribute("a", "int")
+        client.create_logical_file("f", attributes={"a": 1})
+        client.remove_attribute("file", "f", "a")
+        assert client.get_attributes("file", "f") == {}
+
+
+class TestUsersAndCatalogs:
+    def test_user_round_trip(self, client):
+        client.register_user("/O=G/CN=U", institution="ISI", email="u@isi.edu")
+        user = client.get_user("/O=G/CN=U")
+        assert user["institution"] == "ISI"
+
+    def test_external_catalog_round_trip(self, client):
+        client.register_external_catalog("rls", "replica", "rls.isi.edu", 39281,
+                                         description="prod RLS")
+        catalogs = client.list_external_catalogs()
+        assert catalogs[0]["host"] == "rls.isi.edu"
+
+
+class TestPermissionOps:
+    def test_set_and_get_permissions_via_client(self, client):
+        client.create_logical_file("f")
+        client.set_permissions("file", "f", "/O=G/CN=R", ["READ", "ANNOTATE"])
+        perms = client.get_permissions("file", "f")
+        assert sorted(perms["/O=G/CN=R"]) == ["ANNOTATE", "READ"]
+
+    def test_public_permissions_reported(self, client):
+        client.create_logical_file("f")
+        client.set_permissions("file", "f", "*", ["READ"])
+        assert client.get_permissions("file", "f")["*"] == ["READ"]
+
+    def test_object_granularity_on_views(self):
+        service = MCSService(granularity="object")
+        service.catalog.set_permissions(
+            ObjectType.SERVICE, None, "/O=G/CN=A", Permission.all()
+        )
+        alice = MCSClient.in_process(service, caller="/O=G/CN=A")
+        alice.create_view("v1")
+        bob = MCSClient.in_process(service, caller="/O=G/CN=B")
+        with pytest.raises(PermissionDeniedError):
+            bob.list_view("v1")
+        service.catalog.set_permissions(
+            ObjectType.VIEW, "v1", "/O=G/CN=B", Permission.READ
+        )
+        assert bob.list_view("v1") == []
+
+
+class TestQueryEdgeCases:
+    def test_malformed_query_dict(self, client):
+        service = client._transport._handler.__self__
+        with pytest.raises(SoapFault) as excinfo:
+            service.handle("query", {"query": {"conditions": [{"bad": 1}]}})
+        assert excinfo.value.code == "MCS.Query"
+
+    def test_unknown_object_type_in_ops(self, client):
+        service = client._transport._handler.__self__
+        with pytest.raises((SoapFault, ValueError)):
+            service.handle(
+                "get_attributes", {"object_type": "galaxy", "name": "x"}
+            )
+
+    def test_explain_via_client(self, client):
+        client.define_attribute("k", "int")
+        client.create_logical_file("f", attributes={"k": 1})
+        plan = client.explain_query(ObjectQuery().where("k", "=", 1))
+        assert any("attribute_value" in line for line in plan)
+
+    def test_empty_conditions_query_all(self, client):
+        client.create_logical_file("f1")
+        client.create_logical_file("f2")
+        assert sorted(client.query(ObjectQuery())) == ["f1", "f2"]
+
+    def test_missing_required_argument_faults(self, client):
+        service = client._transport._handler.__self__
+        with pytest.raises(SoapFault) as excinfo:
+            service.handle("get_logical_file", {})
+        assert excinfo.value.code == "MCS.BadRequest"
+
+
+class TestAuditDefault:
+    def test_audit_default_records_everything(self):
+        service = MCSService(audit_default=True)
+        client = MCSClient.in_process(service, caller="/O=G/CN=A")
+        client.create_logical_file("f1")  # audit_enabled False, but default on
+        client.get_logical_file("f1")
+        log = service.catalog.audit_log(ObjectType.FILE, "f1")
+        assert [r.action for r in log] == ["create", "read"]

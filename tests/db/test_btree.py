@@ -1,0 +1,159 @@
+"""Unit + property tests for the B+tree index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.btree import BPlusTree
+from repro.db.errors import IntegrityError
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(("x",)) == []
+        assert list(tree.range()) == []
+
+    def test_insert_get(self):
+        tree = BPlusTree()
+        tree.insert(("a",), 1)
+        tree.insert(("b",), 2)
+        assert tree.get(("a",)) == [1]
+        assert tree.get(("b",)) == [2]
+        assert tree.get(("c",)) == []
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree()
+        for rid in (3, 1, 2):
+            tree.insert(("k",), rid)
+        assert tree.get(("k",)) == [1, 2, 3]
+        assert len(tree) == 3
+
+    def test_duplicate_posting_idempotent(self):
+        tree = BPlusTree()
+        tree.insert(("k",), 1)
+        tree.insert(("k",), 1)
+        assert tree.get(("k",)) == [1]
+        assert len(tree) == 1
+
+    def test_unique_violation(self):
+        tree = BPlusTree(unique=True, name="u")
+        tree.insert(("k",), 1)
+        with pytest.raises(IntegrityError):
+            tree.insert(("k",), 2)
+
+    def test_delete(self):
+        tree = BPlusTree()
+        tree.insert(("k",), 1)
+        tree.insert(("k",), 2)
+        assert tree.delete(("k",), 1) is True
+        assert tree.get(("k",)) == [2]
+        assert tree.delete(("k",), 1) is False
+        assert tree.delete(("missing",), 9) is False
+
+    def test_clear(self):
+        tree = BPlusTree()
+        tree.insert(("a",), 1)
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.get(("a",)) == []
+
+
+class TestSplitsAndOrder:
+    def test_many_inserts_stay_sorted(self):
+        tree = BPlusTree(order=4)
+        for i in range(500):
+            tree.insert((i * 37 % 500,), i)
+        tree.check_invariants()
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(keys)
+        assert len(tree) == 500
+
+    def test_range_scan(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert((i,), i)
+        assert sorted(tree.range((10,), (20,))) == list(range(10, 21))
+        assert sorted(tree.range((10,), (20,), low_inclusive=False, high_inclusive=False)) == list(range(11, 20))
+        assert sorted(tree.range(None, (5,))) == list(range(0, 6))
+        assert sorted(tree.range((95,), None)) == list(range(95, 100))
+
+    def test_prefix_scan_composite(self):
+        tree = BPlusTree(order=4)
+        for a in range(5):
+            for b in range(10):
+                tree.insert((a, b), a * 100 + b)
+        assert sorted(tree.prefix((2,))) == [200 + b for b in range(10)]
+        assert sorted(tree.prefix((2, 3))) == [203]
+        assert list(tree.prefix((9,))) == []
+
+    def test_scan_all_in_key_order(self):
+        tree = BPlusTree(order=4)
+        import random
+
+        rng = random.Random(7)
+        values = list(range(200))
+        rng.shuffle(values)
+        for v in values:
+            tree.insert((v,), v)
+        assert list(tree.scan_all()) == sorted(values)
+
+    def test_null_keys_sort_first(self):
+        tree = BPlusTree()
+        tree.insert(("b",), 2)
+        tree.insert((None,), 1)
+        tree.insert(("a",), 3)
+        assert list(tree.scan_all()) == [1, 3, 2]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=30),  # key
+            st.integers(min_value=0, max_value=10),  # rowid
+        ),
+        max_size=300,
+    )
+)
+def test_property_matches_dict_model(ops):
+    """The tree behaves like a dict[key, set[rowid]] under random ops."""
+    tree = BPlusTree(order=4)
+    model: dict[int, set[int]] = {}
+    for op, key, rid in ops:
+        if op == "insert":
+            tree.insert((key,), rid)
+            model.setdefault(key, set()).add(rid)
+        else:
+            expected = key in model and rid in model[key]
+            assert tree.delete((key,), rid) is expected
+            if expected:
+                model[key].discard(rid)
+                if not model[key]:
+                    del model[key]
+    tree.check_invariants()
+    for key, rids in model.items():
+        assert set(tree.get((key,))) == rids
+    assert len(tree) == sum(len(v) for v in model.values())
+    assert list(tree.scan_all()) == [
+        rid for key in sorted(model) for rid in sorted(model[key])
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=200),
+    bounds=st.tuples(st.integers(-1000, 1000), st.integers(-1000, 1000)),
+)
+def test_property_range_scan_equals_filter(keys, bounds):
+    low, high = min(bounds), max(bounds)
+    tree = BPlusTree(order=4)
+    for i, key in enumerate(keys):
+        tree.insert((key,), i)
+    expected = sorted(
+        (key, i) for i, key in enumerate(keys) if low <= key <= high
+    )
+    got = list(tree.range((low,), (high,)))
+    assert [keys[rid] for rid in got] == [k for k, _ in expected]

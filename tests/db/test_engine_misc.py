@@ -1,0 +1,171 @@
+"""Engine edge cases: scripts, context managers, cache, misc paths."""
+
+import threading
+
+import pytest
+
+from repro.db import Database
+from repro.db.engine import split_statements
+from repro.db.errors import (
+    IntegrityError,
+    LockTimeoutError,
+    ProgrammingError,
+    SQLSyntaxError,
+)
+
+
+class TestSplitStatements:
+    def test_basic_split(self):
+        pieces = split_statements("SELECT 1 FROM a; SELECT 2 FROM b;")
+        assert len(pieces) == 2
+
+    def test_semicolon_in_string_not_split(self):
+        pieces = split_statements("INSERT INTO t (v) VALUES ('a;b'); SELECT v FROM t")
+        assert len(pieces) == 2
+        assert "'a;b'" in pieces[0]
+
+    def test_trailing_whitespace_and_empty(self):
+        assert split_statements("  ;; ; ") == []
+        assert split_statements("") == []
+
+    def test_comments_preserved_position(self):
+        pieces = split_statements("SELECT 1 FROM a -- note; not a split\n; SELECT 2 FROM b")
+        assert len(pieces) == 2
+
+
+class TestConnectionLifecycle:
+    def test_exit_with_exception_rolls_back(self):
+        db = Database()
+        db.connect().execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(RuntimeError):
+            with db.connect() as conn:
+                conn.execute("BEGIN")
+                conn.execute("INSERT INTO t (a) VALUES (1)")
+                raise RuntimeError("boom")
+        assert db.connect().execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_close_rolls_back_open_txn(self):
+        db = Database()
+        db.connect().execute("CREATE TABLE t (a INTEGER)")
+        conn = db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t (a) VALUES (1)")
+        conn.close()
+        assert db.connect().execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_in_transaction_property(self):
+        db = Database()
+        conn = db.connect()
+        assert not conn.in_transaction
+        conn.execute("BEGIN")
+        assert conn.in_transaction
+        conn.execute("COMMIT")
+        assert not conn.in_transaction
+
+    def test_checkpoint_noop_without_directory(self):
+        Database().checkpoint()  # must not raise
+
+
+class TestStatementCache:
+    def test_cache_shared_across_connections(self):
+        db = Database()
+        db.connect().execute("CREATE TABLE t (a INTEGER)")
+        sql = "SELECT a FROM t WHERE a = ?"
+        db.connect().execute(sql, (1,))
+        cached = db.parse(sql)
+        assert db.parse(sql) is cached
+
+    def test_cache_bounded(self):
+        db = Database()
+        db.connect().execute("CREATE TABLE t (a INTEGER)")
+        for i in range(4100):
+            db.parse(f"SELECT a FROM t WHERE a = {i}")
+        assert len(db._stmt_cache) <= 4101
+
+
+class TestLockTimeouts:
+    def test_writer_blocks_writer_with_timeout_error(self):
+        db = Database(lock_timeout=0.05)
+        conn1 = db.connect()
+        conn1.execute("CREATE TABLE t (a INTEGER)")
+        conn1.execute("BEGIN")
+        conn1.execute("INSERT INTO t (a) VALUES (1)")
+        conn2 = db.connect()
+        with pytest.raises(LockTimeoutError):
+            conn2.execute("INSERT INTO t (a) VALUES (2)")
+        conn1.execute("ROLLBACK")
+        conn2.execute("INSERT INTO t (a) VALUES (2)")  # now succeeds
+
+    def test_reader_not_blocked_by_reader(self):
+        db = Database(lock_timeout=0.2)
+        conn1 = db.connect()
+        conn1.execute("CREATE TABLE t (a INTEGER)")
+        conn1.execute("BEGIN")
+        conn1.execute("SELECT COUNT(*) FROM t")  # read lock held by txn
+        conn2 = db.connect()
+        assert conn2.execute("SELECT COUNT(*) FROM t").scalar() == 0
+        conn1.execute("COMMIT")
+
+
+class TestMultiRowAndDefaults:
+    def test_insert_with_expression_values(self):
+        db = Database()
+        conn = db.connect()
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("INSERT INTO t (a) VALUES (1 + 2 * 3)")
+        assert conn.execute("SELECT a FROM t").scalar() == 7
+
+    def test_update_without_where_touches_all(self):
+        db = Database()
+        conn = db.connect()
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert conn.execute("UPDATE t SET a = 0").rowcount == 3
+
+    def test_delete_without_where_clears(self):
+        db = Database()
+        conn = db.connect()
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("INSERT INTO t (a) VALUES (1), (2)")
+        assert conn.execute("DELETE FROM t").rowcount == 2
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_default_in_ddl(self):
+        db = Database()
+        conn = db.connect()
+        conn.execute("CREATE TABLE t (a INTEGER, b STRING DEFAULT 'dflt')")
+        conn.execute("INSERT INTO t (a) VALUES (1)")
+        assert conn.execute("SELECT b FROM t").scalar() == "dflt"
+
+    def test_negative_default(self):
+        db = Database()
+        conn = db.connect()
+        conn.execute("CREATE TABLE t (a INTEGER DEFAULT -5)")
+        conn.execute("INSERT INTO t (a) VALUES (NULL)")
+        # NULL explicitly provided stays NULL; default only fills missing
+        assert conn.execute("SELECT a FROM t").scalar() is None
+        conn.execute("INSERT INTO t (a) VALUES (-5)")
+
+
+class TestErrorMessages:
+    def test_syntax_error_carries_position(self):
+        db = Database()
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            db.connect().execute("SELECT FROM WHERE")
+        assert "offset" in str(excinfo.value)
+
+    def test_too_few_parameters(self):
+        db = Database()
+        conn = db.connect()
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(ProgrammingError):
+            conn.execute("INSERT INTO t (a) VALUES (?)")
+
+    def test_unique_violation_names_constraint(self):
+        db = Database()
+        conn = db.connect()
+        conn.execute("CREATE TABLE t (a INTEGER UNIQUE)")
+        conn.execute("INSERT INTO t (a) VALUES (1)")
+        with pytest.raises(IntegrityError) as excinfo:
+            conn.execute("INSERT INTO t (a) VALUES (1)")
+        assert "unique" in str(excinfo.value).lower()

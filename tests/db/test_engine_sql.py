@@ -1,0 +1,302 @@
+"""End-to-end SQL tests through Database/Connection."""
+
+import datetime as dt
+
+import pytest
+
+from repro.db import Database
+from repro.db.errors import (
+    IntegrityError,
+    ProgrammingError,
+    SchemaError,
+    TransactionError,
+)
+
+
+@pytest.fixture
+def conn():
+    db = Database()
+    c = db.connect()
+    c.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+        "name STRING NOT NULL, dept STRING, salary FLOAT, hired DATE)"
+    )
+    c.execute("CREATE INDEX emp_dept ON emp (dept)")
+    rows = [
+        ("ann", "eng", 100.0, "2001-01-01"),
+        ("bob", "eng", 90.0, "2002-02-02"),
+        ("cat", "ops", 80.0, "2003-03-03"),
+        ("dan", "ops", 70.0, "2003-04-04"),
+        ("eve", "hr", 60.0, "2003-05-05"),
+    ]
+    for r in rows:
+        c.execute(
+            "INSERT INTO emp (name, dept, salary, hired) VALUES (?, ?, ?, ?)", r
+        )
+    return c
+
+
+class TestSelect:
+    def test_where_eq_via_index(self, conn):
+        rows = conn.execute("SELECT name FROM emp WHERE dept = 'eng' ORDER BY name").fetchall()
+        assert rows == [("ann",), ("bob",)]
+
+    def test_where_range(self, conn):
+        rows = conn.execute("SELECT name FROM emp WHERE salary >= 80 ORDER BY salary").fetchall()
+        assert rows == [("cat",), ("bob",), ("ann",)]
+
+    def test_pk_lookup(self, conn):
+        assert conn.execute("SELECT name FROM emp WHERE id = 3").scalar() == "cat"
+
+    def test_star(self, conn):
+        result = conn.execute("SELECT * FROM emp WHERE id = 1")
+        assert result.columns == ("id", "name", "dept", "salary", "hired")
+        assert result.fetchone()[1] == "ann"
+
+    def test_date_comparison(self, conn):
+        rows = conn.execute(
+            "SELECT name FROM emp WHERE hired > ? ORDER BY name", (dt.date(2003, 1, 1),)
+        ).fetchall()
+        assert rows == [("cat",), ("dan",), ("eve",)]
+
+    def test_order_desc_limit_offset(self, conn):
+        rows = conn.execute(
+            "SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1"
+        ).fetchall()
+        assert rows == [("bob",), ("cat",)]
+
+    def test_group_by(self, conn):
+        rows = conn.execute(
+            "SELECT dept, COUNT(*) n, AVG(salary) a FROM emp GROUP BY dept ORDER BY dept"
+        ).fetchall()
+        assert rows == [("eng", 2, 95.0), ("hr", 1, 60.0), ("ops", 2, 75.0)]
+
+    def test_having(self, conn):
+        rows = conn.execute(
+            "SELECT dept, COUNT(*) n FROM emp GROUP BY dept HAVING n > 1 ORDER BY dept"
+        ).fetchall()
+        assert rows == [("eng", 2), ("ops", 2)]
+
+    def test_count_empty(self, conn):
+        assert conn.execute("SELECT COUNT(*) FROM emp WHERE dept = 'nope'").scalar() == 0
+
+    def test_distinct(self, conn):
+        rows = conn.execute("SELECT DISTINCT dept FROM emp ORDER BY dept").fetchall()
+        assert rows == [("eng",), ("hr",), ("ops",)]
+
+    def test_in_list_uses_index(self, conn):
+        rows = conn.execute(
+            "SELECT name FROM emp WHERE dept IN ('hr', 'ops') ORDER BY name"
+        ).fetchall()
+        assert rows == [("cat",), ("dan",), ("eve",)]
+
+    def test_is_null(self, conn):
+        conn.execute("INSERT INTO emp (name) VALUES ('zed')")
+        rows = conn.execute("SELECT name FROM emp WHERE dept IS NULL").fetchall()
+        assert rows == [("zed",)]
+
+    def test_like(self, conn):
+        rows = conn.execute("SELECT name FROM emp WHERE name LIKE '%a%' ORDER BY name").fetchall()
+        assert rows == [("ann",), ("cat",), ("dan",)]
+
+    def test_unknown_column(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT nope FROM emp")
+
+    def test_unknown_table(self, conn):
+        with pytest.raises(SchemaError):
+            conn.execute("SELECT a FROM missing")
+
+
+class TestJoin:
+    @pytest.fixture
+    def jconn(self, conn):
+        conn.execute(
+            "CREATE TABLE dept (code STRING PRIMARY KEY, label STRING)"
+        )
+        for code, label in [("eng", "Engineering"), ("ops", "Operations")]:
+            conn.execute("INSERT INTO dept (code, label) VALUES (?, ?)", (code, label))
+        return conn
+
+    def test_inner_join(self, jconn):
+        rows = jconn.execute(
+            "SELECT e.name, d.label FROM emp e JOIN dept d ON e.dept = d.code "
+            "WHERE d.code = 'eng' ORDER BY e.name"
+        ).fetchall()
+        assert rows == [("ann", "Engineering"), ("bob", "Engineering")]
+
+    def test_left_join_pads_nulls(self, jconn):
+        rows = jconn.execute(
+            "SELECT e.name, d.label FROM emp e LEFT JOIN dept d ON e.dept = d.code "
+            "WHERE d.label IS NULL ORDER BY e.name"
+        ).fetchall()
+        assert rows == [("eve", None)]
+
+    def test_cross_join_with_where(self, jconn):
+        rows = jconn.execute(
+            "SELECT e.name FROM emp e, dept d WHERE e.dept = d.code AND d.code = 'ops' "
+            "ORDER BY e.name"
+        ).fetchall()
+        assert rows == [("cat",), ("dan",)]
+
+    def test_ambiguous_column(self, jconn):
+        jconn.execute("CREATE TABLE emp2 (name STRING)")
+        with pytest.raises(ProgrammingError):
+            jconn.execute("SELECT name FROM emp, emp2")
+
+    def test_three_way_join(self, jconn):
+        jconn.execute("CREATE TABLE loc (dcode STRING, city STRING)")
+        jconn.execute("INSERT INTO loc (dcode, city) VALUES ('eng', 'LA')")
+        rows = jconn.execute(
+            "SELECT e.name, l.city FROM emp e "
+            "JOIN dept d ON e.dept = d.code "
+            "JOIN loc l ON l.dcode = d.code ORDER BY e.name"
+        ).fetchall()
+        assert rows == [("ann", "LA"), ("bob", "LA")]
+
+
+class TestDML:
+    def test_update_rowcount(self, conn):
+        result = conn.execute("UPDATE emp SET salary = salary * 2 WHERE dept = 'ops'")
+        assert result.rowcount == 2
+        assert conn.execute("SELECT salary FROM emp WHERE name = 'cat'").scalar() == 160.0
+
+    def test_delete_rowcount(self, conn):
+        assert conn.execute("DELETE FROM emp WHERE dept = 'hr'").rowcount == 1
+        assert conn.execute("SELECT COUNT(*) FROM emp").scalar() == 4
+
+    def test_insert_lastrowid(self, conn):
+        result = conn.execute("INSERT INTO emp (name) VALUES ('fred')")
+        assert result.lastrowid == 6
+
+    def test_unique_pk_violation(self, conn):
+        with pytest.raises(IntegrityError):
+            conn.execute("INSERT INTO emp (id, name) VALUES (1, 'dup')")
+
+    def test_multi_row_insert_atomic(self, conn):
+        # Second row violates PK; the first must be rolled back too.
+        with pytest.raises(IntegrityError):
+            conn.execute(
+                "INSERT INTO emp (id, name) VALUES (100, 'ok'), (1, 'dup')"
+            )
+        assert conn.execute("SELECT COUNT(*) FROM emp WHERE id = 100").scalar() == 0
+
+    def test_update_atomic_on_unique_violation(self, conn):
+        conn.execute("CREATE TABLE u (k INTEGER UNIQUE, v INTEGER)")
+        conn.execute("INSERT INTO u (k, v) VALUES (1, 1), (2, 2), (10, 3)")
+        with pytest.raises(IntegrityError):
+            conn.execute("UPDATE u SET k = k + 1 WHERE k < 5")  # 1->2 collides
+        assert sorted(conn.execute("SELECT k FROM u").fetchall()) == [(1,), (2,), (10,)]
+
+
+class TestTransactions:
+    def test_commit_persists(self, conn):
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO emp (name) VALUES ('tmp')")
+        conn.execute("COMMIT")
+        assert conn.execute("SELECT COUNT(*) FROM emp").scalar() == 6
+
+    def test_rollback_reverts_all(self, conn):
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO emp (name) VALUES ('tmp')")
+        conn.execute("UPDATE emp SET salary = 0 WHERE name = 'ann'")
+        conn.execute("DELETE FROM emp WHERE name = 'bob'")
+        conn.execute("ROLLBACK")
+        assert conn.execute("SELECT COUNT(*) FROM emp").scalar() == 5
+        assert conn.execute("SELECT salary FROM emp WHERE name = 'ann'").scalar() == 100.0
+        assert conn.execute("SELECT COUNT(*) FROM emp WHERE name = 'bob'").scalar() == 1
+
+    def test_nested_begin_rejected(self, conn):
+        conn.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            conn.execute("BEGIN")
+        conn.execute("ROLLBACK")
+
+    def test_commit_without_begin(self, conn):
+        with pytest.raises(TransactionError):
+            conn.execute("COMMIT")
+
+    def test_ddl_rejected_in_txn(self, conn):
+        conn.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            conn.execute("CREATE TABLE t2 (a INTEGER)")
+        conn.execute("ROLLBACK")
+
+    def test_failed_statement_inside_txn_keeps_earlier_work(self, conn):
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO emp (name) VALUES ('keep')")
+        with pytest.raises(IntegrityError):
+            conn.execute("INSERT INTO emp (id, name) VALUES (1, 'dup')")
+        conn.execute("COMMIT")
+        assert conn.execute("SELECT COUNT(*) FROM emp WHERE name = 'keep'").scalar() == 1
+
+    def test_context_manager_commits(self):
+        db = Database()
+        with db.connect() as c:
+            c.execute("CREATE TABLE t (a INTEGER)")
+            c.execute("BEGIN")
+            c.execute("INSERT INTO t (a) VALUES (1)")
+        assert db.connect().execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_closed_connection_rejects(self, conn):
+        conn.close()
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT 1 FROM emp")
+
+
+class TestDDL:
+    def test_if_not_exists(self, conn):
+        conn.execute("CREATE TABLE IF NOT EXISTS emp (x INTEGER)")  # no error
+        conn.execute("CREATE INDEX IF NOT EXISTS emp_dept ON emp (dept)")
+
+    def test_drop_table(self, conn):
+        conn.execute("CREATE TABLE scratch (a INTEGER)")
+        conn.execute("DROP TABLE scratch")
+        with pytest.raises(SchemaError):
+            conn.execute("SELECT a FROM scratch")
+
+    def test_drop_index_by_name_only(self, conn):
+        conn.execute("DROP INDEX emp_dept")
+        # Query still works, just unindexed
+        assert conn.execute("SELECT COUNT(*) FROM emp WHERE dept = 'eng'").scalar() == 2
+
+    def test_drop_missing_index(self, conn):
+        with pytest.raises(SchemaError):
+            conn.execute("DROP INDEX nope")
+        conn.execute("DROP INDEX IF EXISTS nope")
+
+
+class TestScript:
+    def test_executescript(self):
+        db = Database()
+        c = db.connect()
+        c.executescript(
+            """
+            CREATE TABLE a (x INTEGER);
+            INSERT INTO a (x) VALUES (1);
+            INSERT INTO a (x) VALUES (2);
+            """
+        )
+        assert c.execute("SELECT SUM(x) FROM a").scalar() == 3
+
+    def test_semicolon_inside_string(self):
+        db = Database()
+        c = db.connect()
+        c.executescript("CREATE TABLE a (x STRING); INSERT INTO a (x) VALUES ('a;b')")
+        assert c.execute("SELECT x FROM a").scalar() == "a;b"
+
+
+class TestResultSet:
+    def test_iteration_and_fetch(self, conn):
+        result = conn.execute("SELECT name FROM emp ORDER BY name")
+        assert result.fetchone() == ("ann",)
+        rest = list(result)
+        assert rest[0] == ("bob",) and len(rest) == 4
+        assert result.fetchone() is None
+
+    def test_as_dicts(self, conn):
+        dicts = conn.execute("SELECT name, dept FROM emp WHERE id = 1").as_dicts()
+        assert dicts == [{"name": "ann", "dept": "eng"}]
+
+    def test_len(self, conn):
+        assert len(conn.execute("SELECT name FROM emp")) == 5

@@ -1,0 +1,81 @@
+"""Tests for EXPLAIN plan descriptions."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.errors import SQLSyntaxError
+
+
+@pytest.fixture
+def conn():
+    db = Database()
+    c = db.connect()
+    c.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a STRING, b INTEGER)")
+    c.execute("CREATE INDEX t_a ON t (a)")
+    c.execute("CREATE TABLE u (tid INTEGER, v STRING)")
+    c.execute("CREATE INDEX u_tid ON u (tid)")
+    return c
+
+
+def lines(conn, sql, params=()):
+    return [row[0] for row in conn.execute(sql, params)]
+
+
+class TestExplain:
+    def test_index_lookup_shown(self, conn):
+        plan = lines(conn, "EXPLAIN SELECT b FROM t WHERE a = 'x'")
+        assert plan[0].startswith("INDEX LOOKUP t")
+        assert "t_a" in plan[0]
+
+    def test_seq_scan_shown(self, conn):
+        plan = lines(conn, "EXPLAIN SELECT a FROM t WHERE b = 1")
+        assert plan[0].startswith("SEQ SCAN t")
+        assert "FILTER" in plan[0]
+
+    def test_range_scan_shown(self, conn):
+        plan = lines(conn, "EXPLAIN SELECT a FROM t WHERE id BETWEEN 2 AND 9")
+        assert "INDEX RANGE SCAN" in plan[0]
+
+    def test_join_strategy_shown(self, conn):
+        plan = lines(
+            conn, "EXPLAIN SELECT u.v FROM t JOIN u ON u.tid = t.id"
+        )
+        assert any("INDEX NESTED LOOP JOIN" in line for line in plan)
+
+    def test_left_join_label(self, conn):
+        plan = lines(
+            conn,
+            "EXPLAIN SELECT t.a FROM t LEFT JOIN u ON u.tid = t.id "
+            "WHERE u.v IS NULL",
+        )
+        assert any(line.startswith("LEFT INDEX NESTED LOOP") for line in plan)
+        assert any("POST-FILTER" in line for line in plan)
+
+    def test_aggregate_and_sort_shown(self, conn):
+        plan = lines(
+            conn,
+            "EXPLAIN SELECT a, COUNT(*) c FROM t GROUP BY a "
+            "HAVING c > 1 ORDER BY a LIMIT 3",
+        )
+        joined = "\n".join(plan)
+        assert "AGGREGATE BY" in joined
+        assert "HAVING" in joined
+        assert "SORT BY" in joined
+        assert "LIMIT 3" in joined
+
+    def test_parameters_bound(self, conn):
+        plan = lines(conn, "EXPLAIN SELECT b FROM t WHERE a = ?", ("val",))
+        assert "'val'" in plan[0] or "val" in plan[0]
+
+    def test_projection_listed(self, conn):
+        plan = lines(conn, "EXPLAIN SELECT a, b FROM t")
+        assert plan[-1] == "PROJECT a, b"
+
+    def test_explain_non_select_rejected(self, conn):
+        with pytest.raises(SQLSyntaxError):
+            conn.execute("EXPLAIN DELETE FROM t")
+
+    def test_explain_does_not_mutate(self, conn):
+        conn.execute("INSERT INTO t (id, a, b) VALUES (1, 'x', 1)")
+        conn.execute("EXPLAIN SELECT * FROM t")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 1

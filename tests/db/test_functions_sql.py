@@ -1,0 +1,124 @@
+"""Scalar and aggregate SQL function coverage through the engine."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.errors import ProgrammingError
+from repro.db.functions import (
+    AvgAgg,
+    CountAgg,
+    MaxAgg,
+    MinAgg,
+    SumAgg,
+    make_aggregate,
+)
+
+
+@pytest.fixture
+def conn():
+    db = Database()
+    c = db.connect()
+    c.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, s STRING, n FLOAT)")
+    rows = [(1, "Alpha", 1.5), (2, "beta", -2.0), (3, None, None), (4, "Gamma", 4.0)]
+    for r in rows:
+        c.execute("INSERT INTO t (id, s, n) VALUES (?, ?, ?)", r)
+    return c
+
+
+class TestScalarFunctions:
+    def test_lower_upper(self, conn):
+        assert conn.execute("SELECT LOWER(s) FROM t WHERE id = 1").scalar() == "alpha"
+        assert conn.execute("SELECT UPPER(s) FROM t WHERE id = 2").scalar() == "BETA"
+
+    def test_null_propagation(self, conn):
+        assert conn.execute("SELECT LOWER(s) FROM t WHERE id = 3").scalar() is None
+        assert conn.execute("SELECT ABS(n) FROM t WHERE id = 3").scalar() is None
+
+    def test_length(self, conn):
+        assert conn.execute("SELECT LENGTH(s) FROM t WHERE id = 1").scalar() == 5
+
+    def test_abs(self, conn):
+        assert conn.execute("SELECT ABS(n) FROM t WHERE id = 2").scalar() == 2.0
+
+    def test_coalesce(self, conn):
+        assert conn.execute(
+            "SELECT COALESCE(s, 'fallback') FROM t WHERE id = 3"
+        ).scalar() == "fallback"
+        assert conn.execute(
+            "SELECT COALESCE(s, 'fallback') FROM t WHERE id = 1"
+        ).scalar() == "Alpha"
+
+    def test_substr_one_based(self, conn):
+        assert conn.execute("SELECT SUBSTR(s, 2, 3) FROM t WHERE id = 1").scalar() == "lph"
+        assert conn.execute("SELECT SUBSTR(s, 3) FROM t WHERE id = 1").scalar() == "pha"
+
+    def test_trim_concat(self, conn):
+        assert conn.execute("SELECT TRIM('  x  ') FROM t WHERE id = 1").scalar() == "x"
+        assert conn.execute(
+            "SELECT CONCAT(s, '-', id) FROM t WHERE id = 1"
+        ).scalar() == "Alpha-1"
+
+    def test_ifnull(self, conn):
+        assert conn.execute("SELECT IFNULL(n, 0.0) FROM t WHERE id = 3").scalar() == 0.0
+
+    def test_least_greatest(self, conn):
+        assert conn.execute("SELECT LEAST(3, 1, 2) FROM t WHERE id = 1").scalar() == 1
+        assert conn.execute("SELECT GREATEST(3, 1, 2) FROM t WHERE id = 1").scalar() == 3
+
+    def test_function_in_where(self, conn):
+        rows = conn.execute(
+            "SELECT id FROM t WHERE LOWER(s) = 'alpha'"
+        ).fetchall()
+        assert rows == [(1,)]
+
+    def test_unknown_function(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT FROBNICATE(s) FROM t")
+
+
+class TestAggregates:
+    def test_count_star_vs_column(self, conn):
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 4
+        # COUNT(col) skips NULLs
+        assert conn.execute("SELECT COUNT(s) FROM t").scalar() == 3
+
+    def test_sum_avg_skip_nulls(self, conn):
+        assert conn.execute("SELECT SUM(n) FROM t").scalar() == 3.5
+        assert conn.execute("SELECT AVG(n) FROM t").scalar() == pytest.approx(3.5 / 3)
+
+    def test_min_max(self, conn):
+        assert conn.execute("SELECT MIN(n), MAX(n) FROM t").fetchone() == (-2.0, 4.0)
+
+    def test_empty_aggregates(self, conn):
+        row = conn.execute(
+            "SELECT COUNT(*), SUM(n), MIN(n), AVG(n) FROM t WHERE id > 99"
+        ).fetchone()
+        assert row == (0, None, None, None)
+
+    def test_aggregate_over_expression(self, conn):
+        assert conn.execute("SELECT SUM(id * 2) FROM t").scalar() == 20
+
+
+class TestAggregateClasses:
+    def test_count_star_counts_nulls(self):
+        agg = CountAgg(count_star=True)
+        for v in (None, 1, None):
+            agg.add(v)
+        assert agg.result() == 3
+
+    def test_sum_empty_is_none(self):
+        assert SumAgg().result() is None
+
+    def test_avg_empty_is_none(self):
+        assert AvgAgg().result() is None
+
+    def test_min_max_ignore_nulls(self):
+        mn, mx = MinAgg(), MaxAgg()
+        for v in (None, 5, 2, None, 9):
+            mn.add(v)
+            mx.add(v)
+        assert mn.result() == 2 and mx.result() == 9
+
+    def test_make_aggregate_unknown(self):
+        with pytest.raises(ProgrammingError):
+            make_aggregate("MEDIAN")

@@ -1,0 +1,98 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.text) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert kinds("select from") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("myTable") == [(TokenType.IDENT, "myTable")]
+
+    def test_backtick_identifier_never_keyword(self):
+        assert kinds("`select`") == [(TokenType.IDENT, "select")]
+
+    def test_eof_token_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+
+class TestLiterals:
+    def test_string(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER and token.value == 42
+
+    def test_float(self):
+        assert tokenize("3.5")[0].value == 3.5
+
+    def test_scientific(self):
+        assert tokenize("1e3")[0].value == 1000.0
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].value == 0.5
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%"])
+    def test_each_operator(self, op):
+        token = tokenize(op)[0]
+        assert token.type is TokenType.OPERATOR
+
+    def test_diamond_normalized(self):
+        assert tokenize("<>")[0].text == "!="
+
+    def test_parameter(self):
+        token = tokenize("?")[0]
+        assert token.type is TokenType.PUNCT and token.text == "?"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("select -- comment\n 1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("1 /* x */ 2") == [
+            (TokenType.NUMBER, "1"),
+            (TokenType.NUMBER, "2"),
+        ]
+
+    def test_unterminated_block(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("/* forever")
+
+
+class TestErrors:
+    def test_unexpected_char(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            tokenize("select @")
+        assert exc.value.position == 7
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a = 1")
+        assert [t.position for t in tokens[:3]] == [0, 2, 4]

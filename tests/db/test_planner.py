@@ -1,0 +1,247 @@
+"""Unit tests for access-path selection and join planning."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.engine import _bind_select
+from repro.db.planner import choose_access_path, plan_select
+from repro.db.errors import ProgrammingError
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    conn = db.connect()
+    conn.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+        "a STRING, b INTEGER, c FLOAT)"
+    )
+    conn.execute("CREATE INDEX t_a ON t (a)")
+    conn.execute("CREATE INDEX t_ab ON t (a, b)")
+    conn.execute(
+        "CREATE TABLE u (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+        "tid INTEGER, label STRING)"
+    )
+    conn.execute("CREATE INDEX u_tid ON u (tid)")
+    for i in range(20):
+        conn.execute(
+            "INSERT INTO t (a, b, c) VALUES (?, ?, ?)",
+            (f"k{i % 4}", i % 5, float(i)),
+        )
+        conn.execute("INSERT INTO u (tid, label) VALUES (?, ?)", (i + 1, f"l{i}"))
+    return db
+
+
+def plan_of(db, sql, params=()):
+    stmt = db.parse(sql)
+    bound = _bind_select(stmt, tuple(params))
+    return plan_select(db.catalog, bound)
+
+
+class TestAccessPathSelection:
+    def test_pk_equality_uses_unique_index(self, db):
+        plan = plan_of(db, "SELECT a FROM t WHERE id = 5")
+        assert plan.base.kind == "index_eq"
+        assert plan.base.index == "__pk_t"
+        assert plan.base.residual is None
+
+    def test_secondary_index_equality(self, db):
+        plan = plan_of(db, "SELECT b FROM t WHERE a = 'k1'")
+        assert plan.base.kind == "index_eq"
+        assert plan.base.index in ("t_a", "t_ab")
+        assert plan.base.residual is None
+
+    def test_composite_prefix_plus_second_column(self, db):
+        plan = plan_of(db, "SELECT c FROM t WHERE a = 'k1' AND b = 2")
+        assert plan.base.kind == "index_eq"
+        assert plan.base.index == "t_ab"
+        assert plan.base.eq_values == ("k1", 2)
+        assert plan.base.residual is None
+
+    def test_fully_covered_index_preferred_over_wider_prefix(self, db):
+        # a = ? matches t_a fully and t_ab as a prefix: prefer t_a.
+        plan = plan_of(db, "SELECT b FROM t WHERE a = ?", ["k0"])
+        assert plan.base.index == "t_a"
+
+    def test_range_after_prefix(self, db):
+        plan = plan_of(db, "SELECT c FROM t WHERE a = 'k1' AND b > 1")
+        assert plan.base.kind == "index_range"
+        assert plan.base.index == "t_ab"
+        assert plan.base.low == 1 and not plan.base.low_inclusive
+
+    def test_pure_range(self, db):
+        plan = plan_of(db, "SELECT a FROM t WHERE id >= 3 AND id <= 7")
+        assert plan.base.kind == "index_range"
+        assert plan.base.low == 3 and plan.base.high == 7
+
+    def test_between_is_range(self, db):
+        plan = plan_of(db, "SELECT a FROM t WHERE id BETWEEN 3 AND 7")
+        assert plan.base.kind == "index_range"
+
+    def test_in_list_on_indexed_column(self, db):
+        plan = plan_of(db, "SELECT b FROM t WHERE a IN ('k1', 'k2')")
+        assert plan.base.kind == "index_in"
+        assert set(plan.base.in_values) == {"k1", "k2"}
+        assert plan.base.residual is None
+
+    def test_unindexed_predicate_is_seq_scan(self, db):
+        plan = plan_of(db, "SELECT a FROM t WHERE c > 5.0")
+        assert plan.base.kind == "seq"
+        assert plan.base.residual is not None
+
+    def test_residual_keeps_extra_conditions(self, db):
+        plan = plan_of(db, "SELECT a FROM t WHERE a = 'k1' AND c > 5.0")
+        assert plan.base.kind == "index_eq"
+        assert plan.base.residual is not None
+        assert "c" in str(plan.base.residual)
+
+    def test_or_disables_index(self, db):
+        plan = plan_of(db, "SELECT a FROM t WHERE a = 'k1' OR b = 2")
+        assert plan.base.kind == "seq"
+
+    def test_null_comparison_not_sargable(self, db):
+        # a = NULL can never match; must not be turned into an index probe
+        # that would bypass three-valued logic.
+        plan = plan_of(db, "SELECT a FROM t WHERE a = ?", [None])
+        assert plan.base.kind == "seq"
+
+
+class TestJoinPlanning:
+    def test_index_nested_loop_on_pk(self, db):
+        plan = plan_of(
+            db, "SELECT t.a FROM u JOIN t ON t.id = u.tid"
+        )
+        assert plan.joins[0].kind == "index_nl"
+        assert plan.joins[0].access.index == "__pk_t"
+
+    def test_index_nested_loop_on_secondary(self, db):
+        plan = plan_of(
+            db, "SELECT u.label FROM t JOIN u ON u.tid = t.id"
+        )
+        assert plan.joins[0].kind == "index_nl"
+        assert plan.joins[0].access.index == "u_tid"
+
+    def test_hash_join_without_inner_index(self, db):
+        conn = db.connect()
+        conn.execute("CREATE TABLE w (x INTEGER, y STRING)")
+        conn.execute("INSERT INTO w (x, y) VALUES (1, 'a')")
+        plan = plan_of(db, "SELECT w.y FROM t JOIN w ON w.x = t.b")
+        assert plan.joins[0].kind == "hash"
+
+    def test_cross_join_is_nested(self, db):
+        conn = db.connect()
+        conn.execute("CREATE TABLE w2 (x INTEGER)")
+        plan = plan_of(db, "SELECT t.a FROM t, w2")
+        assert plan.joins[0].kind == "nested"
+
+    def test_where_pushed_into_join(self, db):
+        plan = plan_of(
+            db,
+            "SELECT u.label FROM t JOIN u ON u.tid = t.id WHERE u.label = 'l3'",
+        )
+        step = plan.joins[0]
+        assert step.kind == "index_nl"
+        assert step.condition is not None and "label" in str(step.condition)
+
+    def test_left_join_where_becomes_post_filter(self, db):
+        plan = plan_of(
+            db,
+            "SELECT t.a FROM t LEFT JOIN u ON u.tid = t.id WHERE u.label IS NULL",
+        )
+        step = plan.joins[0]
+        assert step.left_outer
+        assert step.post_filter is not None
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(ProgrammingError):
+            plan_of(db, "SELECT 1 FROM t x JOIN u x ON x.id = x.id")
+
+
+class TestNameResolution:
+    def test_unqualified_resolution(self, db):
+        plan = plan_of(db, "SELECT a FROM t WHERE b = 1")
+        # resolved to qualified column
+        assert plan.items[0].expr.table == "t"
+
+    def test_alias_resolution(self, db):
+        plan = plan_of(db, "SELECT z.a FROM t z")
+        assert plan.items[0].expr.table == "z"
+
+    def test_unknown_alias_rejected(self, db):
+        with pytest.raises(ProgrammingError):
+            plan_of(db, "SELECT q.a FROM t")
+
+    def test_output_names(self, db):
+        plan = plan_of(db, "SELECT a, b AS bee, COUNT(*) FROM t GROUP BY a, b")
+        assert plan.output_names == ("a", "bee", "count(*)")
+
+
+class TestRangeIntersection:
+    def test_redundant_lower_bounds_intersect(self, db):
+        # Regression: a > 5 AND a > 1 must keep the *tighter* bound, and
+        # dropping both comparisons from the residual must stay correct.
+        conn = db.connect()
+        got = conn.execute(
+            "SELECT COUNT(*) FROM t WHERE id > 5 AND id > 1"
+        ).scalar()
+        want = conn.execute("SELECT COUNT(*) FROM t WHERE id > 5").scalar()
+        assert got == want
+
+    def test_reversed_order_same_result(self, db):
+        conn = db.connect()
+        a = conn.execute("SELECT COUNT(*) FROM t WHERE id > 1 AND id > 5").scalar()
+        b = conn.execute("SELECT COUNT(*) FROM t WHERE id > 5 AND id > 1").scalar()
+        assert a == b
+
+    def test_between_and_comparison_intersect(self, db):
+        conn = db.connect()
+        got = conn.execute(
+            "SELECT COUNT(*) FROM t WHERE id BETWEEN 1 AND 15 AND id <= 8"
+        ).scalar()
+        want = conn.execute(
+            "SELECT COUNT(*) FROM t WHERE id BETWEEN 1 AND 8"
+        ).scalar()
+        assert got == want
+
+    def test_contradictory_bounds_empty(self, db):
+        conn = db.connect()
+        assert conn.execute(
+            "SELECT COUNT(*) FROM t WHERE id > 10 AND id < 5"
+        ).scalar() == 0
+
+
+class TestLikePrefixOptimization:
+    def test_prefix_like_uses_index_range(self, db):
+        plan = plan_of(db, "SELECT b FROM t WHERE a LIKE 'k1%'")
+        assert plan.base.kind == "index_range"
+        assert plan.base.low == "k1"
+        # LIKE stays as residual for exactness
+        assert plan.base.residual is not None
+
+    def test_prefix_like_results_correct(self, db):
+        conn = db.connect()
+        got = sorted(conn.execute("SELECT id FROM t WHERE a LIKE 'k1%'").fetchall())
+        want = sorted(
+            (i + 1,) for i in range(20) if f"k{i % 4}".startswith("k1")
+        )
+        assert got == want
+
+    def test_wildcard_in_middle_not_optimized(self, db):
+        plan = plan_of(db, "SELECT b FROM t WHERE a LIKE 'k%1'")
+        assert plan.base.kind == "seq"
+
+    def test_underscore_not_optimized(self, db):
+        plan = plan_of(db, "SELECT b FROM t WHERE a LIKE 'k_'")
+        assert plan.base.kind == "seq"
+
+    def test_bare_percent_not_optimized(self, db):
+        plan = plan_of(db, "SELECT b FROM t WHERE a LIKE '%'")
+        assert plan.base.kind == "seq"
+
+    def test_underscore_semantics_preserved(self, db):
+        conn = db.connect()
+        conn.execute("INSERT INTO t (a, b, c) VALUES ('k1x', 99, 0.0)")
+        # 'k1_' must match exactly 3 characters even though the range scan
+        # would admit longer strings.
+        got = conn.execute("SELECT COUNT(*) FROM t WHERE a LIKE 'k1%' AND b = 99").scalar()
+        assert got == 1

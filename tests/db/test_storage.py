@@ -1,0 +1,238 @@
+"""Tests for the row heap, constraints and index maintenance."""
+
+import pytest
+
+from repro.db.errors import IntegrityError, SchemaError, TypeMismatchError
+from repro.db.schema import Column, ForeignKey, IndexDef, TableDef
+from repro.db.storage import Catalog, ForeignKeyEnforcer, Table
+from repro.db.types import ColumnType
+
+
+def users_def():
+    return TableDef(
+        "users",
+        [
+            Column("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+            Column("name", ColumnType.STRING, nullable=False),
+            Column("age", ColumnType.INTEGER),
+        ],
+        primary_key=("id",),
+        unique=[("name",)],
+    )
+
+
+class TestInsert:
+    def test_autoincrement(self):
+        table = Table(users_def())
+        rid1, row1 = table.insert({"name": "a"})
+        rid2, row2 = table.insert({"name": "b"})
+        assert row1[0] == 1 and row2[0] == 2
+
+    def test_explicit_id_advances_counter(self):
+        table = Table(users_def())
+        table.insert({"id": 10, "name": "a"})
+        _, row = table.insert({"name": "b"})
+        assert row[0] == 11
+
+    def test_not_null_enforced(self):
+        table = Table(users_def())
+        with pytest.raises(TypeMismatchError):
+            table.insert({"age": 5})
+
+    def test_unknown_column_rejected(self):
+        table = Table(users_def())
+        with pytest.raises(SchemaError):
+            table.insert({"name": "a", "oops": 1})
+
+    def test_unique_violation(self):
+        table = Table(users_def())
+        table.insert({"name": "a"})
+        with pytest.raises(IntegrityError):
+            table.insert({"name": "a"})
+
+    def test_nulls_never_collide_on_unique(self):
+        definition = TableDef(
+            "t",
+            [Column("a", ColumnType.INTEGER)],
+            unique=[("a",)],
+        )
+        table = Table(definition)
+        table.insert({"a": None})
+        table.insert({"a": None})  # allowed
+        assert len(table) == 2
+
+    def test_default_applied(self):
+        definition = TableDef(
+            "t", [Column("a", ColumnType.STRING, default="dflt")]
+        )
+        table = Table(definition)
+        _, row = table.insert({})
+        assert row[0] == "dflt"
+
+
+class TestUpdateDelete:
+    def test_update_changes_indexes(self):
+        table = Table(users_def())
+        rid, _ = table.insert({"name": "a", "age": 1})
+        table.create_index(IndexDef("by_age", "users", ("age",)))
+        table.update(rid, {"age": 2})
+        assert table.indexes["by_age"].get((2,)) == [rid]
+        assert table.indexes["by_age"].get((1,)) == []
+
+    def test_update_unique_violation(self):
+        table = Table(users_def())
+        table.insert({"name": "a"})
+        rid, _ = table.insert({"name": "b"})
+        with pytest.raises(IntegrityError):
+            table.update(rid, {"name": "a"})
+
+    def test_update_to_same_value_is_noop(self):
+        table = Table(users_def())
+        rid, _ = table.insert({"name": "a", "age": 5})
+        old, new = table.update(rid, {"age": 5})
+        assert old == new
+
+    def test_update_not_null(self):
+        table = Table(users_def())
+        rid, _ = table.insert({"name": "a"})
+        with pytest.raises(IntegrityError):
+            table.update(rid, {"name": None})
+
+    def test_delete_removes_from_indexes(self):
+        table = Table(users_def())
+        rid, _ = table.insert({"name": "a"})
+        table.delete(rid)
+        assert len(table) == 0
+        assert table.indexes[f"__uq_users_0"].get(("a",)) == []
+
+    def test_delete_missing(self):
+        table = Table(users_def())
+        with pytest.raises(IntegrityError):
+            table.delete(99)
+
+    def test_reinsert_after_delete_ok(self):
+        table = Table(users_def())
+        rid, _ = table.insert({"name": "a"})
+        table.delete(rid)
+        table.insert({"name": "a"})  # unique key free again
+
+
+class TestIndexes:
+    def test_create_index_backfills(self):
+        table = Table(users_def())
+        for name in ("x", "y", "z"):
+            table.insert({"name": name, "age": 30})
+        table.create_index(IndexDef("by_age", "users", ("age",)))
+        assert sorted(table.indexes["by_age"].get((30,))) == [1, 2, 3]
+
+    def test_duplicate_index_name(self):
+        table = Table(users_def())
+        table.create_index(IndexDef("i", "users", ("age",)))
+        with pytest.raises(SchemaError):
+            table.create_index(IndexDef("i", "users", ("age",)))
+
+    def test_index_unknown_column(self):
+        table = Table(users_def())
+        with pytest.raises(SchemaError):
+            table.create_index(IndexDef("i", "users", ("nope",)))
+
+    def test_drop_index(self):
+        table = Table(users_def())
+        table.create_index(IndexDef("i", "users", ("age",)))
+        table.drop_index("i")
+        assert "i" not in table.indexes
+
+    def test_cannot_drop_implicit(self):
+        table = Table(users_def())
+        with pytest.raises(SchemaError):
+            table.drop_index("__pk_users")
+
+    def test_find_index_on_prefix(self):
+        table = Table(users_def())
+        table.create_index(IndexDef("ab", "users", ("age", "name")))
+        assert table.find_index_on(("age",)) == "ab"
+        assert table.find_index_on(("age", "name")) == "ab"
+        assert table.find_index_on(("name", "age")) is None  # not a leading prefix of ab; __uq covers ("name",) only
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        catalog.create_table(users_def())
+        assert catalog.has_table("users")
+        assert catalog.table("users").name == "users"
+
+    def test_duplicate_table(self):
+        catalog = Catalog()
+        catalog.create_table(users_def())
+        with pytest.raises(SchemaError):
+            catalog.create_table(users_def())
+
+    def test_missing_table(self):
+        with pytest.raises(SchemaError):
+            Catalog().table("nope")
+
+    def test_fk_requires_parent(self):
+        catalog = Catalog()
+        child = TableDef(
+            "child",
+            [Column("pid", ColumnType.INTEGER)],
+            foreign_keys=[ForeignKey(("pid",), "parent", ("id",))],
+        )
+        with pytest.raises(SchemaError):
+            catalog.create_table(child)
+
+    def test_drop_blocked_by_fk(self):
+        catalog = Catalog()
+        catalog.create_table(users_def())
+        child = TableDef(
+            "child",
+            [Column("uid", ColumnType.INTEGER)],
+            foreign_keys=[ForeignKey(("uid",), "users", ("id",))],
+        )
+        catalog.create_table(child)
+        with pytest.raises(SchemaError):
+            catalog.drop_table("users")
+        catalog.drop_table("child")
+        catalog.drop_table("users")
+
+
+class TestForeignKeyEnforcer:
+    def setup_method(self):
+        self.catalog = Catalog()
+        self.users = self.catalog.create_table(users_def())
+        self.pets = self.catalog.create_table(
+            TableDef(
+                "pets",
+                [
+                    Column("id", ColumnType.INTEGER, autoincrement=True),
+                    Column("owner", ColumnType.INTEGER),
+                ],
+                primary_key=("id",),
+                foreign_keys=[ForeignKey(("owner",), "users", ("id",))],
+            )
+        )
+        self.fk = ForeignKeyEnforcer(self.catalog)
+
+    def test_insert_requires_parent(self):
+        rid, row = self.pets.insert({"owner": 1})
+        with pytest.raises(IntegrityError):
+            self.fk.check_insert(self.pets, row)
+        self.pets.delete(rid)
+        self.users.insert({"name": "a"})
+        _, row = self.pets.insert({"owner": 1})
+        self.fk.check_insert(self.pets, row)  # no raise
+
+    def test_null_fk_allowed(self):
+        _, row = self.pets.insert({"owner": None})
+        self.fk.check_insert(self.pets, row)
+
+    def test_delete_blocked_by_child(self):
+        _, urow = self.users.insert({"name": "a"})
+        self.pets.insert({"owner": 1})
+        with pytest.raises(IntegrityError):
+            self.fk.check_delete(self.users, urow)
+
+    def test_delete_ok_without_children(self):
+        _, urow = self.users.insert({"name": "a"})
+        self.fk.check_delete(self.users, urow)

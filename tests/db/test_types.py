@@ -1,0 +1,163 @@
+"""Unit tests for column types and coercion."""
+
+import datetime as dt
+
+import pytest
+
+from repro.db.errors import TypeMismatchError
+from repro.db.types import ColumnType, coerce, format_value, sort_key
+
+
+class TestFromName:
+    def test_canonical_names(self):
+        assert ColumnType.from_name("INTEGER") is ColumnType.INTEGER
+        assert ColumnType.from_name("string") is ColumnType.STRING
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("INT", ColumnType.INTEGER),
+            ("BIGINT", ColumnType.INTEGER),
+            ("DOUBLE", ColumnType.FLOAT),
+            ("REAL", ColumnType.FLOAT),
+            ("TEXT", ColumnType.STRING),
+            ("VARCHAR", ColumnType.STRING),
+            ("BOOL", ColumnType.BOOLEAN),
+            ("TIMESTAMP", ColumnType.DATETIME),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert ColumnType.from_name(alias) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.from_name("BLOB9")
+
+
+class TestCoerceInteger:
+    def test_int_passthrough(self):
+        assert coerce(5, ColumnType.INTEGER) == 5
+
+    def test_integral_float(self):
+        assert coerce(5.0, ColumnType.INTEGER) == 5
+
+    def test_nonintegral_float_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(5.5, ColumnType.INTEGER)
+
+    def test_string_parse(self):
+        assert coerce(" 42 ", ColumnType.INTEGER) == 42
+
+    def test_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("abc", ColumnType.INTEGER)
+
+    def test_bool_becomes_int(self):
+        assert coerce(True, ColumnType.INTEGER) == 1
+
+    def test_none_passthrough(self):
+        assert coerce(None, ColumnType.INTEGER) is None
+
+
+class TestCoerceFloat:
+    def test_int(self):
+        assert coerce(3, ColumnType.FLOAT) == 3.0
+
+    def test_string(self):
+        assert coerce("2.5", ColumnType.FLOAT) == 2.5
+
+    def test_bad(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("x", ColumnType.FLOAT)
+
+
+class TestCoerceString:
+    def test_passthrough(self):
+        assert coerce("hi", ColumnType.STRING) == "hi"
+
+    def test_int(self):
+        assert coerce(7, ColumnType.STRING) == "7"
+
+    def test_date(self):
+        assert coerce(dt.date(2003, 11, 15), ColumnType.STRING) == "2003-11-15"
+
+
+class TestCoerceBoolean:
+    @pytest.mark.parametrize("value", ["true", "T", "1", "yes", 1, True])
+    def test_truthy(self, value):
+        assert coerce(value, ColumnType.BOOLEAN) is True
+
+    @pytest.mark.parametrize("value", ["false", "F", "0", "no", 0, False])
+    def test_falsy(self, value):
+        assert coerce(value, ColumnType.BOOLEAN) is False
+
+    def test_bad_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(2, ColumnType.BOOLEAN)
+
+    def test_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("maybe", ColumnType.BOOLEAN)
+
+
+class TestCoerceTemporal:
+    def test_date_from_string(self):
+        assert coerce("2003-11-15", ColumnType.DATE) == dt.date(2003, 11, 15)
+
+    def test_date_from_datetime(self):
+        assert coerce(dt.datetime(2003, 11, 15, 10), ColumnType.DATE) == dt.date(2003, 11, 15)
+
+    def test_time_from_string(self):
+        assert coerce("10:30:00", ColumnType.TIME) == dt.time(10, 30)
+
+    def test_datetime_both_formats(self):
+        expected = dt.datetime(2003, 11, 15, 10, 30, 0)
+        assert coerce("2003-11-15 10:30:00", ColumnType.DATETIME) == expected
+        assert coerce("2003-11-15T10:30:00", ColumnType.DATETIME) == expected
+
+    def test_datetime_from_date(self):
+        assert coerce(dt.date(2003, 1, 2), ColumnType.DATETIME) == dt.datetime(2003, 1, 2)
+
+    def test_bad_date(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("15/11/2003", ColumnType.DATE)
+
+
+class TestFormatValue:
+    def test_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_bool(self):
+        assert format_value(True) == "true"
+
+    def test_datetime(self):
+        assert format_value(dt.datetime(2003, 11, 15, 1, 2, 3)) == "2003-11-15 01:02:03"
+
+    def test_round_trip_date(self):
+        d = dt.date(2003, 11, 15)
+        assert coerce(format_value(d), ColumnType.DATE) == d
+
+
+class TestSortKey:
+    def test_null_sorts_first(self):
+        assert sort_key(None) < sort_key(0)
+        assert sort_key(None) < sort_key("")
+
+    def test_numbers_before_strings(self):
+        assert sort_key(10**9) < sort_key("a")
+
+    def test_mixed_int_float(self):
+        assert sort_key(1) < sort_key(1.5) < sort_key(2)
+
+    def test_strings_natural(self):
+        assert sort_key("a") < sort_key("b")
+
+    def test_dates_comparable(self):
+        assert sort_key(dt.date(2003, 1, 1)) < sort_key(dt.date(2004, 1, 1))
+
+    def test_total_order_on_mixture(self):
+        values = ["z", 3, None, 2.5, dt.date(2003, 1, 1), True, "a"]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None  # NULL first
+        # Sorting must not raise and must be deterministic
+        assert sorted(values, key=sort_key) == ordered

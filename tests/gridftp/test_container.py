@@ -1,0 +1,158 @@
+"""Tests for the container format and the external container service."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.container import (
+    ContainerFormatError,
+    ContainerService,
+    list_members,
+    pack_container,
+    unpack_container,
+)
+from repro.container.format import extract_member
+from repro.core import MCSClient, MCSService
+from repro.gridftp import GridFTPServer, StorageSite
+
+
+class TestFormat:
+    def test_round_trip(self):
+        members = {"a.dat": b"alpha", "b.dat": b"beta" * 100, "empty": b""}
+        blob = pack_container(members)
+        assert unpack_container(blob) == members
+        assert list_members(blob) == ["a.dat", "b.dat", "empty"]
+
+    def test_extract_single(self):
+        blob = pack_container({"x": b"1", "y": b"2"})
+        assert extract_member(blob, "y") == b"2"
+        with pytest.raises(KeyError):
+            extract_member(blob, "z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ContainerFormatError):
+            pack_container({})
+
+    def test_bad_magic(self):
+        with pytest.raises(ContainerFormatError):
+            unpack_container(b"NOPE" + b"\0" * 64)
+
+    def test_truncated(self):
+        blob = pack_container({"a": b"payload"})
+        with pytest.raises(ContainerFormatError):
+            unpack_container(blob[:-3])
+
+    def test_corruption_detected(self):
+        blob = bytearray(pack_container({"a": b"payload-here"}))
+        blob[-1] ^= 0xFF  # flip a data byte
+        with pytest.raises(ContainerFormatError):
+            unpack_container(bytes(blob))
+
+    def test_unicode_names(self):
+        members = {"ünïcødé/ñame.dat": b"x"}
+        assert unpack_container(pack_container(members)) == members
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=30),
+            st.binary(max_size=200),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_property_round_trip(self, members):
+        assert unpack_container(pack_container(members)) == members
+
+
+class TestService:
+    @pytest.fixture
+    def world(self):
+        site = StorageSite("store")
+        service = ContainerService("cont-svc")
+        service.add_site(site)
+        mcs = MCSClient.in_process(MCSService(), caller="svc")
+        return service, site, mcs
+
+    def test_build_and_extract(self, world):
+        service, site, mcs = world
+        url = service.build_container("store", "c1", {"f1": b"one", "f2": b"two"})
+        assert url == "gsiftp://store/containers/c1.mcsc"
+        assert service.members("store", "c1") == ["f1", "f2"]
+        assert service.extract("store", "c1", "f1") == b"one"
+
+    def test_containerize_loose_files(self, world):
+        service, site, mcs = world
+        site.store("small-1", b"a")
+        site.store("small-2", b"b")
+        service.build_from_site_files("store", "c2", ["small-1", "small-2"])
+        assert not site.exists("small-1")  # originals removed
+        assert service.extract("store", "c2", "small-2") == b"b"
+
+    def test_unpack_to_site(self, world):
+        service, site, mcs = world
+        service.build_container("store", "c3", {"x": b"1", "y": b"2"})
+        names = service.unpack_to_site("store", "c3")
+        assert names == ["x", "y"]
+        assert site.read("x") == b"1"
+
+    def test_publish_registers_mcs_attributes(self, world):
+        service, site, mcs = world
+        service.publish_container(
+            mcs, "store", "c4", {"lf-1": b"a", "lf-2": b"b"}
+        )
+        record = mcs.get_logical_file("lf-1")
+        assert record["container_id"] == "c4"
+        assert record["container_service"] == "cont-svc"
+
+    def test_fetch_via_mcs_record(self, world):
+        service, site, mcs = world
+        service.publish_container(mcs, "store", "c5", {"lf-9": b"payload"})
+        assert service.fetch_logical_file(mcs, "store", "lf-9") == b"payload"
+
+    def test_fetch_noncontainerized_rejected(self, world):
+        service, site, mcs = world
+        mcs.create_logical_file("loose")
+        with pytest.raises(LookupError):
+            service.fetch_logical_file(mcs, "store", "loose")
+
+    def test_fetch_wrong_service_rejected(self, world):
+        service, site, mcs = world
+        mcs.create_logical_file(
+            "other", container_id="cX", container_service="someone-else"
+        )
+        with pytest.raises(LookupError):
+            service.fetch_logical_file(mcs, "store", "other")
+
+    def test_unknown_site(self, world):
+        service, site, mcs = world
+        with pytest.raises(LookupError):
+            service.members("nowhere", "c1")
+
+    def test_container_transfer_is_single_gridftp_op(self, world):
+        """The motivation: ship one container instead of many small files."""
+        service, site, mcs = world
+        remote = StorageSite("remote", wan_bandwidth_mbps=100, latency_ms=40)
+        gridftp = GridFTPServer({"store": site, "remote": remote})
+        members = {f"tiny-{i}": bytes([i]) * 100 for i in range(50)}
+
+        # individually: 50 transfers, 50 handshakes
+        for name, payload in members.items():
+            site.store(name, payload)
+        individual = sum(
+            gridftp.transfer(f"gsiftp://store/{n}", f"gsiftp://remote/{n}").simulated_seconds
+            for n in members
+        )
+
+        # containerized: one transfer
+        service.build_container("store", "bulk", members)
+        packed = gridftp.transfer(
+            "gsiftp://store/containers/bulk.mcsc",
+            "gsiftp://remote/containers/bulk.mcsc",
+        ).simulated_seconds
+
+        assert packed < individual / 10
+        # and the remote side can extract everything
+        remote_service = ContainerService("cont-svc")
+        remote_service.add_site(remote)
+        assert remote_service.extract_all("remote", "bulk") == members

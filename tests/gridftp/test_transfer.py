@@ -1,0 +1,115 @@
+"""Tests for the GridFTP simulator."""
+
+import pytest
+
+from repro.gridftp import GridFTPServer, StorageSite, parse_gsiftp_url
+from repro.gridftp.transfer import stream_efficiency
+
+
+class TestStorageSite:
+    def test_store_read(self):
+        site = StorageSite("isi")
+        site.store("a/b.dat", b"hello")
+        assert site.read("a/b.dat") == b"hello"
+        assert site.exists("a/b.dat")
+        assert site.size("a/b.dat") == 5
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            StorageSite("isi").read("nope")
+
+    def test_delete(self):
+        site = StorageSite("isi")
+        site.store("x", b"1")
+        assert site.delete("x") is True
+        assert site.delete("x") is False
+
+    def test_checksum_stable(self):
+        site = StorageSite("isi")
+        site.store("x", b"abc")
+        assert site.checksum("x") == site.checksum("x")
+
+    def test_url(self):
+        assert StorageSite("isi").url_for("/a/b") == "gsiftp://isi/a/b"
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            StorageSite("x", wan_bandwidth_mbps=0)
+
+
+class TestUrlParsing:
+    def test_round_trip(self):
+        assert parse_gsiftp_url("gsiftp://site/a/b.dat") == ("site", "a/b.dat")
+
+    def test_rejects_other_schemes(self):
+        with pytest.raises(ValueError):
+            parse_gsiftp_url("http://x/y")
+
+
+class TestStreamEfficiency:
+    def test_monotonic_with_diminishing_returns(self):
+        effs = [stream_efficiency(n) for n in (1, 2, 4, 8, 16)]
+        assert effs == sorted(effs)
+        assert all(e <= 1.0 for e in effs)
+        gains = [b - a for a, b in zip(effs, effs[1:])]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_bad_streams(self):
+        with pytest.raises(ValueError):
+            stream_efficiency(0)
+
+
+class TestTransfers:
+    def make(self):
+        a = StorageSite("a", wan_bandwidth_mbps=1000, latency_ms=10)
+        b = StorageSite("b", wan_bandwidth_mbps=100, latency_ms=50)
+        return GridFTPServer({"a": a, "b": b}), a, b
+
+    def test_third_party_transfer_moves_content(self):
+        server, a, b = self.make()
+        a.store("f.dat", b"x" * 1000)
+        result = server.transfer("gsiftp://a/f.dat", "gsiftp://b/f.dat")
+        assert b.read("f.dat") == b"x" * 1000
+        assert result.checksum == a.checksum("f.dat")
+        assert result.simulated_seconds > 0
+
+    def test_bottleneck_is_slower_link(self):
+        server, a, b = self.make()
+        big = b"x" * 10_000_000
+        a.store("f", big)
+        slow = server.transfer("gsiftp://a/f", "gsiftp://b/f").simulated_seconds
+        a2 = StorageSite("a2", wan_bandwidth_mbps=1000, latency_ms=10)
+        server.add_site(a2)
+        fast = server.transfer("gsiftp://a/f", "gsiftp://a2/f").simulated_seconds
+        assert slow > fast
+
+    def test_more_streams_is_faster(self):
+        server, a, b = self.make()
+        a.store("f", b"x" * 10_000_000)
+        t1 = server.transfer("gsiftp://a/f", "gsiftp://b/f1", streams=1)
+        t8 = server.transfer("gsiftp://a/f", "gsiftp://b/f8", streams=8)
+        assert t8.simulated_seconds < t1.simulated_seconds
+
+    def test_fetch(self):
+        server, a, b = self.make()
+        a.store("f", b"payload")
+        content, result = server.fetch("gsiftp://a/f")
+        assert content == b"payload"
+        assert result.dest_url == "client://local"
+
+    def test_unknown_site(self):
+        server, a, b = self.make()
+        with pytest.raises(FileNotFoundError):
+            server.transfer("gsiftp://nope/f", "gsiftp://a/f")
+
+    def test_transfer_log(self):
+        server, a, b = self.make()
+        a.store("f", b"1")
+        server.transfer("gsiftp://a/f", "gsiftp://b/f")
+        assert len(server.transfer_log) == 1
+
+    def test_throughput_property(self):
+        server, a, b = self.make()
+        a.store("f", b"x" * 1_000_000)
+        result = server.transfer("gsiftp://a/f", "gsiftp://b/f")
+        assert 0 < result.throughput_mbps <= 100

@@ -1,0 +1,97 @@
+"""Tests for the DAG used by workflow planning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pegasus.dag import DAG, CycleDetectedError
+
+
+class TestConstruction:
+    def test_add_nodes_and_edges(self):
+        dag = DAG()
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        assert dag.successors("a") == {"b"}
+        assert dag.predecessors("c") == {"b"}
+        assert len(dag) == 3
+
+    def test_self_loop_rejected(self):
+        dag = DAG()
+        with pytest.raises(CycleDetectedError):
+            dag.add_edge("a", "a")
+
+    def test_cycle_rejected(self):
+        dag = DAG()
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        with pytest.raises(CycleDetectedError):
+            dag.add_edge("c", "a")
+
+    def test_remove_node(self):
+        dag = DAG()
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        dag.remove_node("b")
+        assert "b" not in dag
+        assert dag.successors("a") == set()
+        assert dag.predecessors("c") == set()
+
+
+class TestQueries:
+    def make_diamond(self):
+        dag = DAG()
+        dag.add_edge("a", "b")
+        dag.add_edge("a", "c")
+        dag.add_edge("b", "d")
+        dag.add_edge("c", "d")
+        return dag
+
+    def test_roots_leaves(self):
+        dag = self.make_diamond()
+        assert dag.roots() == ["a"]
+        assert dag.leaves() == ["d"]
+
+    def test_reachability(self):
+        dag = self.make_diamond()
+        assert dag.reaches("a", "d")
+        assert not dag.reaches("d", "a")
+        assert not dag.reaches("b", "c")
+
+    def test_ancestors_descendants(self):
+        dag = self.make_diamond()
+        assert dag.ancestors("d") == {"a", "b", "c"}
+        assert dag.descendants("a") == {"b", "c", "d"}
+
+    def test_topological_order_respects_edges(self):
+        dag = self.make_diamond()
+        order = dag.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_copy_is_independent(self):
+        dag = self.make_diamond()
+        clone = dag.copy()
+        clone.remove_node("d")
+        assert "d" in dag
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        max_size=40,
+    )
+)
+def test_property_inserted_edges_never_form_cycle(edges):
+    dag = DAG()
+    for src, dst in edges:
+        try:
+            dag.add_edge(src, dst)
+        except CycleDetectedError:
+            continue
+    order = dag.topological_order()  # must never raise
+    position = {n: i for i, n in enumerate(order)}
+    for node in dag.nodes():
+        for succ in dag.successors(node):
+            assert position[node] < position[succ]

@@ -1,0 +1,183 @@
+"""Tests for abstract workflows, the planner and the executor."""
+
+import pytest
+
+from repro.core import MCSClient, MCSService
+from repro.gridftp import GridFTPServer, StorageSite
+from repro.pegasus import (
+    AbstractJob,
+    AbstractWorkflow,
+    PegasusPlanner,
+    WorkflowExecutor,
+)
+from repro.rls import LocalReplicaCatalog, ReplicaLocationIndex, RLSClient
+
+
+@pytest.fixture
+def grid():
+    service = MCSService()
+    mcs = MCSClient.in_process(service, caller="planner")
+    sites = {name: StorageSite(name) for name in ("siteA", "siteB")}
+    gridftp = GridFTPServer(sites)
+    lrcs = {f"lrc-{n}": LocalReplicaCatalog(f"lrc-{n}") for n in sites}
+    rls = RLSClient(ReplicaLocationIndex(), lrcs)
+    return mcs, rls, gridftp, sites, lrcs
+
+
+def publish_input(mcs, rls, sites, lrcs, name, site="siteA"):
+    sites[site].store(name, b"data")
+    mcs.create_logical_file(name, data_type="raw")
+    lrcs[f"lrc-{site}"].add_mapping(name, f"gsiftp://{site}/{name}")
+    rls.refresh_all()
+
+
+def two_step_workflow():
+    wf = AbstractWorkflow("two-step")
+    wf.add_job(AbstractJob("j1", "T1", inputs=("raw.dat",), outputs=("mid.dat",)))
+    wf.add_job(AbstractJob("j2", "T2", inputs=("mid.dat",), outputs=("out.dat",)))
+    return wf
+
+
+class TestAbstractWorkflow:
+    def test_dependency_dag(self):
+        wf = two_step_workflow()
+        dag = wf.dependency_dag()
+        assert dag.successors("j1") == {"j2"}
+
+    def test_external_inputs_and_final_outputs(self):
+        wf = two_step_workflow()
+        assert wf.external_inputs() == {"raw.dat"}
+        assert wf.final_outputs() == {"out.dat"}
+
+    def test_duplicate_producer_rejected(self):
+        wf = AbstractWorkflow("w")
+        wf.add_job(AbstractJob("a", "T", outputs=("x",)))
+        with pytest.raises(ValueError):
+            wf.add_job(AbstractJob("b", "T", outputs=("x",)))
+
+    def test_duplicate_job_id_rejected(self):
+        wf = AbstractWorkflow("w")
+        wf.add_job(AbstractJob("a", "T"))
+        with pytest.raises(ValueError):
+            wf.add_job(AbstractJob("a", "T"))
+
+    def test_cyclic_workflow_rejected(self):
+        wf = AbstractWorkflow("w")
+        wf.add_job(AbstractJob("a", "T", inputs=("y",), outputs=("x",)))
+        wf.add_job(AbstractJob("b", "T", inputs=("x",), outputs=("y",)))
+        from repro.pegasus.dag import CycleDetectedError
+
+        with pytest.raises(CycleDetectedError):
+            wf.validate()
+
+
+class TestPlanner:
+    def test_plan_shape(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        publish_input(mcs, rls, sites, lrcs, "raw.dat")
+        planner = PegasusPlanner(mcs, rls, sites=["siteA"])
+        plan = planner.plan(two_step_workflow())
+        counts = plan.counts()
+        assert counts["compute"] == 2
+        assert counts["register"] == 2
+        # raw.dat already at siteA → no transfer needed
+        assert counts["transfer"] == 0
+
+    def test_transfer_inserted_for_remote_input(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        publish_input(mcs, rls, sites, lrcs, "raw.dat", site="siteB")
+        planner = PegasusPlanner(mcs, rls, sites=["siteA"])
+        plan = planner.plan(two_step_workflow())
+        assert plan.counts()["transfer"] == 1
+
+    def test_missing_input_raises(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        planner = PegasusPlanner(mcs, rls, sites=["siteA"])
+        with pytest.raises(LookupError):
+            planner.plan(two_step_workflow())
+
+    def test_cross_site_intermediate_transferred(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        publish_input(mcs, rls, sites, lrcs, "raw.dat")
+        sites_order = iter(["siteA", "siteB"])
+        planner = PegasusPlanner(
+            mcs, rls, sites=["siteA", "siteB"],
+            site_selector=lambda job, s: next(sites_order),
+        )
+        plan = planner.plan(two_step_workflow())
+        # mid.dat produced at siteA, consumed at siteB
+        assert plan.counts()["transfer"] == 1
+
+    def test_requires_sites(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        with pytest.raises(ValueError):
+            PegasusPlanner(mcs, rls, sites=[])
+
+
+class TestReduction:
+    def test_existing_outputs_prune_jobs(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        publish_input(mcs, rls, sites, lrcs, "raw.dat")
+        # mid.dat already materialized and registered
+        publish_input(mcs, rls, sites, lrcs, "mid.dat")
+        planner = PegasusPlanner(mcs, rls, sites=["siteA"])
+        plan = planner.plan(two_step_workflow())
+        assert plan.pruned_jobs == ("j1",)
+        assert plan.counts()["compute"] == 1
+
+    def test_invalid_file_not_reused(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        publish_input(mcs, rls, sites, lrcs, "raw.dat")
+        publish_input(mcs, rls, sites, lrcs, "mid.dat")
+        mcs.invalidate_logical_file("mid.dat")
+        planner = PegasusPlanner(mcs, rls, sites=["siteA"])
+        plan = planner.plan(two_step_workflow())
+        assert plan.pruned_jobs == ()
+
+    def test_registered_but_unreplicated_not_reused(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        publish_input(mcs, rls, sites, lrcs, "raw.dat")
+        mcs.create_logical_file("mid.dat")  # in MCS but no replica in RLS
+        planner = PegasusPlanner(mcs, rls, sites=["siteA"])
+        plan = planner.plan(two_step_workflow())
+        assert plan.pruned_jobs == ()
+
+
+class TestExecutor:
+    def test_execution_registers_outputs(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        publish_input(mcs, rls, sites, lrcs, "raw.dat")
+        planner = PegasusPlanner(mcs, rls, sites=["siteA"])
+        plan = planner.plan(two_step_workflow())
+        executor = WorkflowExecutor(
+            mcs, rls, gridftp, lrc_for_site={n: f"lrc-{n}" for n in sites}
+        )
+        report = executor.execute(plan)
+        assert sorted(report.registered_files) == ["mid.dat", "out.dat"]
+        assert mcs.get_logical_file("out.dat")["valid"] is True
+        assert rls.best_replica("out.dat") == "gsiftp://siteA/out.dat"
+        assert sites["siteA"].exists("out.dat")
+        # provenance recorded
+        assert mcs.get_transformations("out.dat")
+
+    def test_second_run_fully_reused(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        publish_input(mcs, rls, sites, lrcs, "raw.dat")
+        planner = PegasusPlanner(mcs, rls, sites=["siteA"])
+        executor = WorkflowExecutor(
+            mcs, rls, gridftp, lrc_for_site={n: f"lrc-{n}" for n in sites}
+        )
+        executor.execute(planner.plan(two_step_workflow()))
+        second = planner.plan(two_step_workflow())
+        assert len(second.jobs) == 0
+        assert set(second.pruned_jobs) == {"j1", "j2"}
+
+    def test_simulated_time_accumulates(self, grid):
+        mcs, rls, gridftp, sites, lrcs = grid
+        publish_input(mcs, rls, sites, lrcs, "raw.dat", site="siteB")
+        planner = PegasusPlanner(mcs, rls, sites=["siteA"])
+        plan = planner.plan(two_step_workflow())
+        executor = WorkflowExecutor(mcs, rls, gridftp)
+        report = executor.execute(plan)
+        assert report.simulated_seconds > 0
+        assert report.bytes_transferred > 0

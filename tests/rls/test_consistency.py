@@ -1,0 +1,101 @@
+"""Tests for the master-copy consistency service."""
+
+import pytest
+
+from repro.consistency import ConsistencyManager, ReplicaState
+from repro.core import MCSClient, MCSService
+from repro.gridftp import GridFTPServer, StorageSite
+from repro.rls import LocalReplicaCatalog, ReplicaLocationIndex, RLSClient
+
+
+@pytest.fixture
+def world():
+    mcs = MCSClient.in_process(MCSService(), caller="consistency-svc")
+    sites = {n: StorageSite(n) for n in ("master-site", "mirror-a", "mirror-b")}
+    gridftp = GridFTPServer(sites)
+    lrcs = {f"lrc-{n}": LocalReplicaCatalog(f"lrc-{n}") for n in sites}
+    rls = RLSClient(ReplicaLocationIndex(), lrcs)
+    manager = ConsistencyManager(mcs, rls, gridftp)
+
+    # One logical file replicated at three sites; master at master-site.
+    content = b"version-1"
+    mcs.create_logical_file("data.v")
+    for name, site in sites.items():
+        site.store("data.v", content)
+        lrcs[f"lrc-{name}"].add_mapping("data.v", site.url_for("data.v"))
+    rls.refresh_all()
+    manager.designate_master("data.v", "gsiftp://master-site/data.v")
+    return manager, mcs, sites, lrcs, rls
+
+
+class TestDesignation:
+    def test_master_recorded_in_mcs(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        assert mcs.get_logical_file("data.v")["master_copy"] == \
+               "gsiftp://master-site/data.v"
+        assert manager.master_of("data.v") == "gsiftp://master-site/data.v"
+
+    def test_designate_requires_physical_copy(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        with pytest.raises(FileNotFoundError):
+            manager.designate_master("data.v", "gsiftp://mirror-a/ghost")
+
+    def test_no_master_raises(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        mcs.create_logical_file("unmastered")
+        with pytest.raises(LookupError):
+            manager.master_of("unmastered")
+
+
+class TestUpdatePropagation:
+    def test_update_propagates_everywhere(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        refreshed = manager.update_master("data.v", b"version-2")
+        assert refreshed == 2
+        for site in sites.values():
+            assert site.read("data.v") == b"version-2"
+
+    def test_update_without_propagation_leaves_replicas(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        manager.update_master("data.v", b"version-2", propagate=False)
+        assert sites["master-site"].read("data.v") == b"version-2"
+        assert sites["mirror-a"].read("data.v") == b"version-1"
+
+    def test_update_records_provenance(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        manager.update_master("data.v", b"v2", note="recalibration")
+        history = mcs.get_transformations("data.v")
+        assert history[-1]["description"] == "recalibration"
+
+
+class TestAuditAndRepair:
+    def test_audit_all_current(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        states = {a.url: a.state for a in manager.audit("data.v")}
+        assert states["gsiftp://master-site/data.v"] is ReplicaState.MASTER
+        assert states["gsiftp://mirror-a/data.v"] is ReplicaState.CURRENT
+        assert states["gsiftp://mirror-b/data.v"] is ReplicaState.CURRENT
+
+    def test_audit_detects_stale(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        manager.update_master("data.v", b"version-2", propagate=False)
+        states = {a.url: a.state for a in manager.audit("data.v")}
+        assert states["gsiftp://mirror-a/data.v"] is ReplicaState.STALE
+
+    def test_audit_detects_missing(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        sites["mirror-b"].delete("data.v")
+        states = {a.url: a.state for a in manager.audit("data.v")}
+        assert states["gsiftp://mirror-b/data.v"] is ReplicaState.MISSING
+
+    def test_repair_fixes_only_bad_replicas(self, world):
+        manager, mcs, sites, lrcs, rls = world
+        manager.update_master("data.v", b"version-2", propagate=False)
+        sites["mirror-b"].delete("data.v")
+        before = len(world[3]["lrc-mirror-a"].lookup("data.v"))
+        repaired = manager.repair("data.v")
+        assert repaired == 2
+        assert sites["mirror-a"].read("data.v") == b"version-2"
+        assert sites["mirror-b"].read("data.v") == b"version-2"
+        # A second repair is a no-op.
+        assert manager.repair("data.v") == 0

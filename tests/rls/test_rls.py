@@ -1,0 +1,161 @@
+"""Tests for the Replica Location Service (LRC, RLI, soft state, client)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rls import (
+    BloomFilter,
+    LocalReplicaCatalog,
+    ReplicaLocationIndex,
+    RLSClient,
+    SoftStateUpdate,
+)
+
+
+class TestLRC:
+    def test_add_and_lookup(self):
+        lrc = LocalReplicaCatalog("lrc1")
+        lrc.add_mapping("lfn1", "gsiftp://a/x")
+        lrc.add_mapping("lfn1", "gsiftp://b/x")
+        assert lrc.lookup("lfn1") == ["gsiftp://a/x", "gsiftp://b/x"]
+        assert lrc.lookup("other") == []
+
+    def test_remove(self):
+        lrc = LocalReplicaCatalog("lrc1")
+        lrc.add_mapping("lfn1", "p1")
+        assert lrc.remove_mapping("lfn1", "p1") is True
+        assert lrc.remove_mapping("lfn1", "p1") is False
+        assert not lrc.has("lfn1")
+
+    def test_remove_logical(self):
+        lrc = LocalReplicaCatalog("lrc1")
+        lrc.add_mapping("lfn1", "p1")
+        lrc.add_mapping("lfn1", "p2")
+        assert lrc.remove_logical("lfn1") is True
+        assert len(lrc) == 0
+
+    def test_update_sequence_increases(self):
+        lrc = LocalReplicaCatalog("lrc1")
+        u1 = lrc.make_update()
+        u2 = lrc.make_update()
+        assert u2.sequence > u1.sequence
+
+    def test_compressed_update_uses_bloom(self):
+        lrc = LocalReplicaCatalog("lrc1", compression=True)
+        lrc.add_mapping("lfn1", "p1")
+        update = lrc.make_update()
+        assert update.bloom is not None
+        assert update.might_contain("lfn1")
+
+
+class TestBloomFilter:
+    def test_membership(self):
+        bloom = BloomFilter.from_items([f"lfn{i}" for i in range(100)])
+        assert all(f"lfn{i}" in bloom for i in range(100))
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter.from_items([f"in{i}" for i in range(1000)], error_rate=0.01)
+        false_hits = sum(1 for i in range(10000) if f"out{i}" in bloom)
+        assert false_hits < 300  # ~1% target, generous bound
+
+    def test_smaller_than_full_list(self):
+        names = [f"a-very-long-logical-file-name-{i:08d}" for i in range(1000)]
+        full = SoftStateUpdate("l", 1, full_list=names)
+        compressed = SoftStateUpdate("l", 2, bloom=BloomFilter.from_items(names))
+        assert compressed.payload_size < full.payload_size / 10
+
+    def test_bad_error_rate(self):
+        with pytest.raises(ValueError):
+            BloomFilter(10, error_rate=1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=50))
+    def test_property_no_false_negatives(self, items):
+        bloom = BloomFilter.from_items(items)
+        assert all(item in bloom for item in items)
+
+
+class TestSoftStateUpdate:
+    def test_requires_exactly_one_payload(self):
+        with pytest.raises(ValueError):
+            SoftStateUpdate("l", 1)
+        with pytest.raises(ValueError):
+            SoftStateUpdate("l", 1, full_list=["a"], bloom=BloomFilter(1))
+
+
+class TestRLI:
+    def test_candidates(self):
+        rli = ReplicaLocationIndex()
+        rli.receive_update(SoftStateUpdate("lrc1", 1, full_list=["a", "b"]))
+        rli.receive_update(SoftStateUpdate("lrc2", 1, full_list=["b", "c"]))
+        assert rli.candidate_lrcs("a") == ["lrc1"]
+        assert rli.candidate_lrcs("b") == ["lrc1", "lrc2"]
+        assert rli.candidate_lrcs("z") == []
+
+    def test_stale_sequence_dropped(self):
+        rli = ReplicaLocationIndex()
+        assert rli.receive_update(SoftStateUpdate("lrc1", 2, full_list=["a"]))
+        assert not rli.receive_update(SoftStateUpdate("lrc1", 1, full_list=["b"]))
+        assert rli.candidate_lrcs("a") == ["lrc1"]
+
+    def test_soft_state_expires(self):
+        clock = [0.0]
+        rli = ReplicaLocationIndex(timeout=10.0, clock=lambda: clock[0])
+        rli.receive_update(SoftStateUpdate("lrc1", 1, full_list=["a"]))
+        assert rli.candidate_lrcs("a") == ["lrc1"]
+        clock[0] = 11.0
+        assert rli.candidate_lrcs("a") == []
+        assert rli.expire() == 1
+        assert rli.known_lrcs() == []
+
+    def test_refresh_resets_timer(self):
+        clock = [0.0]
+        rli = ReplicaLocationIndex(timeout=10.0, clock=lambda: clock[0])
+        rli.receive_update(SoftStateUpdate("lrc1", 1, full_list=["a"]))
+        clock[0] = 8.0
+        rli.receive_update(SoftStateUpdate("lrc1", 2, full_list=["a"]))
+        clock[0] = 15.0
+        assert rli.candidate_lrcs("a") == ["lrc1"]
+
+
+class TestRLSClient:
+    def make(self, compression=False):
+        lrcs = {
+            "lrc1": LocalReplicaCatalog("lrc1", compression=compression),
+            "lrc2": LocalReplicaCatalog("lrc2", compression=compression),
+        }
+        rli = ReplicaLocationIndex()
+        client = RLSClient(rli, lrcs)
+        return client, lrcs
+
+    def test_two_step_lookup(self):
+        client, lrcs = self.make()
+        lrcs["lrc1"].add_mapping("lfn1", "gsiftp://a/x")
+        lrcs["lrc2"].add_mapping("lfn1", "gsiftp://b/x")
+        client.refresh_all()
+        assert client.lookup("lfn1") == {
+            "lrc1": ["gsiftp://a/x"],
+            "lrc2": ["gsiftp://b/x"],
+        }
+
+    def test_best_replica(self):
+        client, lrcs = self.make()
+        lrcs["lrc2"].add_mapping("lfn1", "gsiftp://b/x")
+        client.refresh_all()
+        assert client.best_replica("lfn1") == "gsiftp://b/x"
+        assert client.best_replica("missing") is None
+
+    def test_bloom_false_positives_filtered_at_lrc(self):
+        client, lrcs = self.make(compression=True)
+        lrcs["lrc1"].add_mapping("present", "p")
+        client.refresh_all()
+        # Even if the bloom answers "maybe" for an absent name, the LRC
+        # sub-query returns nothing.
+        assert client.lookup("absent") == {}
+
+    def test_unindexed_update_needed(self):
+        client, lrcs = self.make()
+        lrcs["lrc1"].add_mapping("lfn1", "p")
+        # No refresh: index knows nothing yet.
+        assert client.lookup("lfn1") == {}

@@ -1,0 +1,102 @@
+"""Tests for the periodic soft-state updater."""
+
+import time
+
+import pytest
+
+from repro.federation import LocalMCS, MCSIndexNode
+from repro.rls import LocalReplicaCatalog, ReplicaLocationIndex
+from repro.rls.updater import PeriodicUpdater, lrc_updater, summary_updater
+
+
+class TestTick:
+    def test_manual_tick_pushes_update(self):
+        lrc = LocalReplicaCatalog("lrc1")
+        lrc.add_mapping("lfn", "pfn")
+        rli = ReplicaLocationIndex()
+        updater = lrc_updater(lrc, rli)
+        assert updater.tick()
+        assert rli.candidate_lrcs("lfn") == ["lrc1"]
+        assert updater.ticks == 1
+
+    def test_tick_reflects_new_state(self):
+        lrc = LocalReplicaCatalog("lrc1")
+        rli = ReplicaLocationIndex()
+        updater = lrc_updater(lrc, rli)
+        updater.tick()
+        assert rli.candidate_lrcs("new") == []
+        lrc.add_mapping("new", "pfn")
+        updater.tick()
+        assert rli.candidate_lrcs("new") == ["lrc1"]
+
+    def test_errors_counted_not_raised(self):
+        def boom():
+            raise RuntimeError("producer died")
+
+        seen = []
+        updater = PeriodicUpdater(boom, lambda _: None, interval=1,
+                                  on_error=seen.append)
+        assert updater.tick() is False
+        assert updater.errors == 1
+        assert updater.ticks == 0
+        assert isinstance(seen[0], RuntimeError)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            PeriodicUpdater(lambda: 1, lambda _: None, interval=0)
+
+
+class TestBackground:
+    def test_background_updates_flow(self):
+        lrc = LocalReplicaCatalog("lrc1")
+        lrc.add_mapping("lfn", "pfn")
+        rli = ReplicaLocationIndex()
+        with lrc_updater(lrc, rli, interval=0.02) as updater:
+            deadline = time.monotonic() + 2
+            while updater.ticks < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert updater.ticks >= 3
+            assert updater.running
+        assert not updater.running
+
+    def test_double_start_rejected(self):
+        updater = PeriodicUpdater(lambda: 1, lambda _: None, interval=10)
+        updater.start()
+        try:
+            with pytest.raises(RuntimeError):
+                updater.start()
+        finally:
+            updater.stop()
+
+    def test_keeps_running_after_error(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("first tick fails")
+            return len(calls)
+
+        updater = PeriodicUpdater(flaky, lambda _: None, interval=0.01)
+        updater.start()
+        try:
+            deadline = time.monotonic() + 2
+            while updater.ticks < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert updater.errors >= 1
+            assert updater.ticks >= 2
+        finally:
+            updater.stop()
+
+
+class TestFederationWiring:
+    def test_summary_updater_keeps_index_fresh(self):
+        member = LocalMCS("site")
+        member.client.define_attribute("k", "string")
+        index = MCSIndexNode(timeout=3600)
+        updater = summary_updater(member, index)
+        updater.tick()
+        assert index.candidate_catalogs([("k", "=", "v")]) == []
+        member.client.create_logical_file("f", attributes={"k": "v"})
+        updater.tick()
+        assert index.candidate_catalogs([("k", "=", "v")]) == ["site"]

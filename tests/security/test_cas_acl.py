@@ -1,0 +1,148 @@
+"""Tests for CAS assertions and the ACL model."""
+
+import time
+
+import pytest
+
+from repro.security import (
+    AccessControlList,
+    AuthorizationError,
+    CertificateAuthority,
+    CertificateError,
+    CommunityAuthorizationService,
+    DistinguishedName,
+    Permission,
+)
+from repro.security.acl import effective_permissions, require
+from repro.security.cas import verify_assertion
+
+KB = 256
+ALICE = DistinguishedName.make("Alice")
+BOB = DistinguishedName.make("Bob")
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(key_bits=KB)
+
+
+@pytest.fixture
+def cas(ca):
+    service = CommunityAuthorizationService("ligo", ca, key_bits=KB)
+    service.add_member(ALICE, "scientists")
+    service.grant("scientists", "ligo-*", Permission.READ, Permission.ANNOTATE)
+    return service
+
+
+class TestPermissionFlags:
+    def test_all_contains_each(self):
+        for p in (Permission.READ, Permission.WRITE, Permission.DELETE,
+                  Permission.ANNOTATE, Permission.ADMIN):
+            assert p in Permission.all()
+
+    def test_union(self):
+        combo = Permission.READ | Permission.WRITE
+        assert Permission.READ in combo
+        assert Permission.DELETE not in combo
+
+
+class TestACL:
+    def test_grant_and_check(self):
+        acl = AccessControlList()
+        acl.grant(ALICE, Permission.READ)
+        assert acl.allows(ALICE, Permission.READ)
+        assert not acl.allows(ALICE, Permission.WRITE)
+        assert not acl.allows(BOB, Permission.READ)
+
+    def test_grants_accumulate(self):
+        acl = AccessControlList()
+        acl.grant(ALICE, Permission.READ)
+        acl.grant(ALICE, Permission.WRITE)
+        assert acl.allows(ALICE, Permission.READ | Permission.WRITE)
+
+    def test_revoke(self):
+        acl = AccessControlList()
+        acl.grant(ALICE, Permission.READ | Permission.WRITE)
+        acl.revoke(ALICE, Permission.WRITE)
+        assert acl.allows(ALICE, Permission.READ)
+        assert not acl.allows(ALICE, Permission.WRITE)
+        acl.revoke(ALICE, Permission.READ)
+        assert str(ALICE) not in acl.entries
+
+    def test_public_grant(self):
+        acl = AccessControlList()
+        acl.grant_public(Permission.READ)
+        assert acl.allows(BOB, Permission.READ)
+
+    def test_owner_has_everything(self):
+        acl = AccessControlList(owner=str(ALICE))
+        assert acl.allows(ALICE, Permission.all())
+
+    def test_effective_union_rule(self):
+        file_acl = AccessControlList()
+        file_acl.grant(ALICE, Permission.READ)
+        parent = AccessControlList()
+        parent.grant(ALICE, Permission.WRITE)
+        grandparent = AccessControlList()
+        grandparent.grant(ALICE, Permission.ANNOTATE)
+        effective = effective_permissions(ALICE, file_acl, [parent, grandparent])
+        assert effective == Permission.READ | Permission.WRITE | Permission.ANNOTATE
+
+    def test_effective_with_missing_acls(self):
+        assert effective_permissions(ALICE, None, [None, None]) == Permission.NONE
+
+    def test_require_raises(self):
+        acl = AccessControlList()
+        with pytest.raises(AuthorizationError):
+            require(ALICE, Permission.READ, acl, what="file f1")
+        acl.grant(ALICE, Permission.READ)
+        require(ALICE, Permission.READ, acl)  # no raise
+
+
+class TestCAS:
+    def test_member_gets_assertion(self, cas):
+        assertion = cas.issue_assertion(ALICE)
+        assert assertion.grants("ligo-file-1", Permission.READ)
+        assert assertion.grants("ligo-file-1", Permission.ANNOTATE)
+        assert not assertion.grants("ligo-file-1", Permission.WRITE)
+        assert not assertion.grants("other-file", Permission.READ)
+
+    def test_non_member_rejected(self, cas):
+        with pytest.raises(AuthorizationError):
+            cas.issue_assertion(BOB)
+
+    def test_removed_member_rejected(self, cas):
+        cas.remove_member(ALICE)
+        with pytest.raises(AuthorizationError):
+            cas.issue_assertion(ALICE)
+
+    def test_assertion_expires(self, cas):
+        assertion = cas.issue_assertion(ALICE, lifetime=10.0)
+        future = time.time() + 3600
+        assert not assertion.grants("ligo-x", Permission.READ, when=future)
+
+    def test_signature_verifies(self, cas):
+        assertion = cas.issue_assertion(ALICE)
+        verify_assertion(assertion, [cas.credential])  # no raise
+
+    def test_untrusted_signer_rejected(self, ca, cas):
+        other = CommunityAuthorizationService("other", ca, key_bits=KB)
+        assertion = cas.issue_assertion(ALICE)
+        with pytest.raises(CertificateError):
+            verify_assertion(assertion, [other.credential])
+
+    def test_expired_assertion_rejected_by_verifier(self, cas):
+        assertion = cas.issue_assertion(ALICE, lifetime=1.0)
+        with pytest.raises(CertificateError):
+            verify_assertion(assertion, [cas.credential],
+                             when=time.time() + 3600)
+
+    def test_group_policies_are_separate(self, ca):
+        cas = CommunityAuthorizationService("c", ca, key_bits=KB)
+        cas.add_member(ALICE, "readers")
+        cas.add_member(BOB, "writers")
+        cas.grant("readers", "*", Permission.READ)
+        cas.grant("writers", "*", Permission.WRITE)
+        assert cas.issue_assertion(ALICE).grants("x", Permission.READ)
+        assert not cas.issue_assertion(ALICE).grants("x", Permission.WRITE)
+        assert cas.issue_assertion(BOB).grants("x", Permission.WRITE)

@@ -1,0 +1,175 @@
+"""Tests for distinguished names and the GSI simulation."""
+
+import time
+
+import pytest
+
+from repro.security import (
+    AuthenticationError,
+    CertificateAuthority,
+    CertificateError,
+    DistinguishedName,
+    GSIContext,
+    verify_chain,
+)
+from repro.security.errors import SecurityError
+from repro.security.gsi import create_proxy
+
+KB = 256  # small keys keep tests fast
+
+
+class TestDistinguishedName:
+    def test_parse_and_format(self):
+        dn = DistinguishedName.parse("/O=Grid/OU=ISI/CN=Alice")
+        assert str(dn) == "/O=Grid/OU=ISI/CN=Alice"
+        assert dn.common_name == "Alice"
+        assert dn.get("OU") == "ISI"
+        assert dn.get("C") is None
+
+    def test_make(self):
+        dn = DistinguishedName.make("Bob", org="Acme", unit="Lab")
+        assert str(dn) == "/O=Acme/OU=Lab/CN=Bob"
+
+    def test_parse_errors(self):
+        with pytest.raises(SecurityError):
+            DistinguishedName.parse("no-slash")
+        with pytest.raises(SecurityError):
+            DistinguishedName.parse("/")
+        with pytest.raises(SecurityError):
+            DistinguishedName.parse("/plaintext")
+
+    def test_proxy_suffix_and_base(self):
+        dn = DistinguishedName.make("Alice")
+        proxy = dn.with_proxy_suffix()
+        assert proxy.is_proxy_of(dn)
+        assert not dn.is_proxy_of(proxy)
+        assert str(proxy.base_identity()) == str(dn)
+
+    def test_double_proxy(self):
+        dn = DistinguishedName.make("Alice")
+        double = dn.with_proxy_suffix().with_proxy_suffix()
+        assert double.is_proxy_of(dn)
+        assert str(double.base_identity()) == str(dn)
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(key_bits=KB)
+
+
+@pytest.fixture(scope="module")
+def alice(ca):
+    return ca.issue_credential(DistinguishedName.make("Alice"), key_bits=KB)
+
+
+class TestCertificates:
+    def test_ca_self_signed(self, ca):
+        cert = ca.certificate
+        assert cert.subject == cert.issuer
+        assert cert.is_ca
+
+    def test_issue_and_verify(self, ca, alice):
+        identity = verify_chain(alice.full_chain(), [ca.certificate])
+        assert str(identity) == "/O=Grid/CN=Alice"
+
+    def test_untrusted_anchor_rejected(self, alice):
+        other_ca = CertificateAuthority("Other CA", key_bits=KB)
+        with pytest.raises(CertificateError):
+            verify_chain(alice.full_chain(), [other_ca.certificate])
+
+    def test_expired_rejected(self, ca):
+        cred = ca.issue_credential(
+            DistinguishedName.make("Shortlived"), lifetime=0.0, key_bits=KB
+        )
+        with pytest.raises(CertificateError):
+            verify_chain(cred.full_chain(), [ca.certificate],
+                         when=time.time() + 3600)
+
+    def test_empty_chain(self, ca):
+        with pytest.raises(CertificateError):
+            verify_chain([], [ca.certificate])
+
+
+class TestProxies:
+    def test_proxy_verifies_to_base_identity(self, ca, alice):
+        proxy = create_proxy(alice, key_bits=KB)
+        identity = verify_chain(proxy.full_chain(), [ca.certificate])
+        assert str(identity) == str(alice.subject)
+
+    def test_double_delegation(self, ca, alice):
+        proxy = create_proxy(alice, key_bits=KB)
+        double = create_proxy(proxy, key_bits=KB)
+        identity = verify_chain(double.full_chain(), [ca.certificate])
+        assert str(identity) == str(alice.subject)
+
+    def test_proxy_lifetime_capped_by_issuer(self, ca):
+        short = ca.issue_credential(
+            DistinguishedName.make("S"), lifetime=60.0, key_bits=KB
+        )
+        proxy = create_proxy(short, lifetime=10**9, key_bits=KB)
+        assert proxy.certificate.not_after <= short.certificate.not_after
+
+    def test_forged_proxy_rejected(self, ca, alice):
+        mallory = ca.issue_credential(DistinguishedName.make("Mallory"), key_bits=KB)
+        # Mallory signs a proxy claiming to extend Alice's identity.
+        from repro.security import rsa
+        from repro.security.gsi import Certificate, _sign_cert
+
+        now = time.time()
+        forged_keys = rsa.generate_keypair(KB)
+        forged = Certificate(
+            subject=alice.subject.with_proxy_suffix(),
+            issuer=alice.subject,
+            public_key=forged_keys.public,
+            serial=999,
+            not_before=now - 60,
+            not_after=now + 600,
+            is_proxy=True,
+        )
+        forged = _sign_cert(forged, mallory.private_key)  # wrong key!
+        with pytest.raises(CertificateError):
+            verify_chain(
+                (forged,) + alice.full_chain(), [ca.certificate]
+            )
+
+
+class TestRequestTokens:
+    def test_sign_and_authenticate(self, ca, alice):
+        client = GSIContext(create_proxy(alice, key_bits=KB))
+        server = GSIContext(alice, trust_anchors=[ca.certificate])
+        token = client.sign_request(b"payload")
+        identity = server.authenticate(token, b"payload")
+        assert str(identity) == str(alice.subject)
+
+    def test_payload_mismatch(self, ca, alice):
+        client = GSIContext(alice)
+        server = GSIContext(alice, trust_anchors=[ca.certificate])
+        token = client.sign_request(b"payload")
+        with pytest.raises(AuthenticationError):
+            server.authenticate(token, b"other payload")
+
+    def test_stale_token(self, ca, alice):
+        from repro.security.gsi import AuthToken
+
+        client = GSIContext(alice)
+        server = GSIContext(alice, trust_anchors=[ca.certificate])
+        token = client.sign_request(b"p")
+        stale = AuthToken(token.chain, token.timestamp - 3600,
+                          token.payload_digest, token.signature)
+        with pytest.raises(AuthenticationError):
+            server.authenticate(stale, b"p")
+
+    def test_signature_must_match_leaf_key(self, ca, alice):
+        mallory = ca.issue_credential(DistinguishedName.make("M"), key_bits=KB)
+        # Mallory steals Alice's chain but signs with her own key.
+        client = GSIContext(alice)
+        token = client.sign_request(b"p")
+        from repro.security import rsa
+        from repro.security.gsi import AuthToken
+
+        forged_sig = rsa.sign(mallory.private_key, token.signed_bytes())
+        forged = AuthToken(token.chain, token.timestamp,
+                           token.payload_digest, forged_sig)
+        server = GSIContext(alice, trust_anchors=[ca.certificate])
+        with pytest.raises(AuthenticationError):
+            server.authenticate(forged, b"p")

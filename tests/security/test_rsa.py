@@ -1,0 +1,78 @@
+"""Tests for the toy RSA implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security import rsa
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return rsa.generate_keypair(bits=256)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keys):
+        assert keys.public.n.bit_length() >= 250
+
+    def test_distinct_keypairs(self):
+        a = rsa.generate_keypair(bits=128)
+        b = rsa.generate_keypair(bits=128)
+        assert a.public.n != b.public.n
+
+    def test_minimum_bits_enforced(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(bits=64)
+
+    def test_fingerprint_stable(self, keys):
+        assert keys.public.fingerprint() == keys.public.fingerprint()
+        assert len(keys.public.fingerprint()) == 16
+
+    def test_public_key_text_round_trip(self, keys):
+        restored = rsa.PublicKey.from_text(keys.public.to_text())
+        assert restored == keys.public
+
+
+class TestSignVerify:
+    def test_valid_signature(self, keys):
+        sig = rsa.sign(keys.private, b"message")
+        assert rsa.verify(keys.public, b"message", sig)
+
+    def test_wrong_message_rejected(self, keys):
+        sig = rsa.sign(keys.private, b"message")
+        assert not rsa.verify(keys.public, b"other", sig)
+
+    def test_tampered_signature_rejected(self, keys):
+        sig = rsa.sign(keys.private, b"message")
+        assert not rsa.verify(keys.public, b"message", sig ^ 1)
+
+    def test_wrong_key_rejected(self, keys):
+        other = rsa.generate_keypair(bits=256)
+        sig = rsa.sign(keys.private, b"message")
+        assert not rsa.verify(other.public, b"message", sig)
+
+    def test_out_of_range_signature(self, keys):
+        assert not rsa.verify(keys.public, b"m", -1)
+        assert not rsa.verify(keys.public, b"m", keys.public.n + 5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_property_round_trip(self, keys, message):
+        sig = rsa.sign(keys.private, message)
+        assert rsa.verify(keys.public, message, sig)
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 97, 7919, 104729):
+            assert rsa._is_probable_prime(p)
+
+    def test_known_composites(self):
+        for n in (1, 0, 4, 100, 561, 7917, 104730):
+            assert not rsa._is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat pseudoprimes that Miller-Rabin must catch.
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not rsa._is_probable_prime(n)

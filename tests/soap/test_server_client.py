@@ -1,0 +1,145 @@
+"""Integration tests for the HTTP SOAP server + client + WSDL."""
+
+import threading
+
+import pytest
+
+from repro.soap import (
+    DirectTransport,
+    LoopbackCodecTransport,
+    SoapClient,
+    SoapFault,
+    SoapServer,
+)
+from repro.soap.client import fetch_wsdl, from_wsdl
+from repro.soap.wsdl import (
+    OperationDef,
+    ServiceDescription,
+    generate_client_stubs,
+    generate_wsdl,
+    parse_wsdl,
+)
+
+
+def echo_handler(method, args):
+    if method == "echo":
+        return args
+    if method == "fail":
+        raise SoapFault("Test.Fail", "requested failure", {"n": 1})
+    if method == "crash":
+        raise RuntimeError("unexpected")
+    raise SoapFault("Test.NoMethod", f"no method {method}")
+
+
+@pytest.fixture(scope="module")
+def server():
+    desc = ServiceDescription("Echo")
+    desc.add("echo", ("value",), doc="echo the arguments")
+    desc.add("fail", ())
+    with SoapServer(echo_handler, description=desc) as srv:
+        yield srv
+
+
+class TestHttpRoundTrip:
+    def test_call(self, server):
+        client = SoapClient.connect_http(*server.endpoint)
+        assert client.call("echo", value=42) == {"value": 42}
+        client.close()
+
+    def test_fault_propagates(self, server):
+        with SoapClient.connect_http(*server.endpoint) as client:
+            with pytest.raises(SoapFault) as excinfo:
+                client.call("fail")
+            assert excinfo.value.code == "Test.Fail"
+            assert excinfo.value.detail == {"n": 1}
+
+    def test_unhandled_exception_becomes_server_fault(self, server):
+        with SoapClient.connect_http(*server.endpoint) as client:
+            with pytest.raises(SoapFault) as excinfo:
+                client.call("crash")
+            assert excinfo.value.code == "Server"
+            assert "RuntimeError" in excinfo.value.message
+
+    def test_connection_reuse(self, server):
+        before = server.requests_served
+        with SoapClient.connect_http(*server.endpoint) as client:
+            for i in range(20):
+                client.call("echo", value=i)
+        assert server.requests_served == before + 20
+
+    def test_concurrent_clients(self, server):
+        errors = []
+
+        def worker(n):
+            try:
+                with SoapClient.connect_http(*server.endpoint) as client:
+                    for i in range(10):
+                        assert client.call("echo", value=n * 100 + i) == {
+                            "value": n * 100 + i
+                        }
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_404_on_wrong_path(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(*server.endpoint)
+        conn.request("POST", "/other", body=b"")
+        assert conn.getresponse().status == 404
+        conn.close()
+
+
+class TestTransports:
+    def test_direct(self):
+        client = SoapClient(DirectTransport(echo_handler))
+        assert client.call("echo", a=1) == {"a": 1}
+
+    def test_loopback_codec(self):
+        client = SoapClient(LoopbackCodecTransport(echo_handler))
+        assert client.call("echo", a=[1, None]) == {"a": [1, None]}
+
+    def test_loopback_codec_fault(self):
+        client = SoapClient(LoopbackCodecTransport(echo_handler))
+        with pytest.raises(SoapFault):
+            client.call("fail")
+
+
+class TestWsdl:
+    def test_generate_and_parse(self):
+        desc = ServiceDescription("S")
+        desc.add("op1", ("a", "b"), doc="does things")
+        desc.add("op2", ())
+        restored = parse_wsdl(generate_wsdl(desc, endpoint="http://x/soap"))
+        assert restored.name == "S"
+        assert restored.operation("op1").params == ("a", "b")
+        assert restored.operation("op1").doc == "does things"
+
+    def test_fetch_over_http(self, server):
+        data = fetch_wsdl(*server.endpoint)
+        desc = parse_wsdl(data)
+        assert desc.name == "Echo"
+        assert desc.operation("echo").params == ("value",)
+
+    def test_generated_stub(self, server):
+        stub = from_wsdl(*server.endpoint)
+        assert stub.echo(value="hi") == {"value": "hi"}
+
+    def test_stub_validates_params(self):
+        desc = ServiceDescription("S")
+        desc.add("op", ("x",))
+        stub = generate_client_stubs(desc, lambda m, a: a)
+        assert stub.op(x=1) == {"x": 1}
+        with pytest.raises(TypeError):
+            stub.op(bogus=1)
+
+    def test_unknown_operation_lookup(self):
+        desc = ServiceDescription("S")
+        with pytest.raises(KeyError):
+            desc.operation("missing")

@@ -1,0 +1,96 @@
+"""Transport failure handling: reconnects, latency knob, server restart."""
+
+import time
+
+import pytest
+
+from repro.soap import SoapClient, SoapFault, SoapServer
+from repro.soap.errors import TransportError
+from repro.soap.transport import HttpTransport
+
+
+def echo(method, args):
+    if method == "echo":
+        return args
+    raise SoapFault("NoMethod", method)
+
+
+class TestReconnect:
+    def test_survives_server_restart(self):
+        server = SoapServer(echo).start()
+        host, port = server.endpoint
+        transport = HttpTransport(host, port)
+        assert transport.call("echo", {"n": 1}) == {"n": 1}
+        # Kill the server; the client's keep-alive socket is now dead.
+        server.stop()
+        replacement = SoapServer(echo, host=host, port=port).start()
+        try:
+            # One reconnect attempt inside call() must recover.
+            assert transport.call("echo", {"n": 2}) == {"n": 2}
+        finally:
+            transport.close()
+            replacement.stop()
+
+    def test_unreachable_server_raises_transport_error(self):
+        server = SoapServer(echo).start()
+        host, port = server.endpoint
+        server.stop()
+        transport = HttpTransport(host, port, timeout=0.5)
+        with pytest.raises(TransportError):
+            transport.call("echo", {"n": 1})
+        transport.close()
+
+
+class TestSimulatedLatency:
+    def test_latency_delays_requests(self):
+        with SoapServer(echo) as server:
+            host, port = server.endpoint
+            fast = HttpTransport(host, port, simulated_latency_s=0.0)
+            slow = HttpTransport(host, port, simulated_latency_s=0.05)
+            t0 = time.perf_counter()
+            fast.call("echo", {})
+            fast_time = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            slow.call("echo", {})
+            slow_time = time.perf_counter() - t0
+            assert slow_time >= 0.05
+            assert slow_time > fast_time
+            fast.close()
+            slow.close()
+
+    def test_default_latency_zero(self):
+        with SoapServer(echo) as server:
+            transport = HttpTransport(*server.endpoint)
+            assert transport.simulated_latency_s == 0.0
+            transport.close()
+
+
+class TestWorkerPool:
+    def test_max_workers_bounds_concurrency(self):
+        import threading
+
+        active = []
+        peak = [0]
+        lock = threading.Lock()
+
+        def slow_handler(method, args):
+            with lock:
+                active.append(1)
+                peak[0] = max(peak[0], len(active))
+            time.sleep(0.05)
+            with lock:
+                active.pop()
+            return None
+
+        with SoapServer(slow_handler, max_workers=2) as server:
+            clients = [SoapClient.connect_http(*server.endpoint) for _ in range(6)]
+            threads = [
+                threading.Thread(target=c.call, args=("op",)) for c in clients
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for c in clients:
+                c.close()
+        assert peak[0] <= 2

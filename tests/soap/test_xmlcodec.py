@@ -1,0 +1,105 @@
+"""Tests for the typed XML value codec."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soap.errors import EncodingError
+from repro.soap.xmlcodec import dumps, loads
+
+
+ROUND_TRIP_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    -42,
+    10**15,
+    3.14,
+    -0.0001,
+    "",
+    "hello",
+    "unicode ✓ ümläut",
+    "<tag> & 'quotes' \"here\"",
+    dt.date(2003, 11, 15),
+    dt.time(23, 59, 59),
+    dt.datetime(2003, 11, 15, 12, 30, 45, 123456),
+    [],
+    [1, 2, 3],
+    ["mixed", 1, None, 2.5],
+    {},
+    {"a": 1, "b": [True, None]},
+    {"nested": {"deep": {"deeper": "x"}}},
+    [{"list": ["of", {"dicts": 1}]}],
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", ROUND_TRIP_VALUES, ids=repr)
+    def test_round_trip(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert loads(dumps(True)) is True
+        assert loads(dumps(1)) == 1
+        assert not isinstance(loads(dumps(1)), bool)
+
+    def test_tuple_becomes_list(self):
+        assert loads(dumps((1, 2))) == [1, 2]
+
+
+class TestErrors:
+    def test_unencodable_type(self):
+        with pytest.raises(EncodingError):
+            dumps(object())
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(EncodingError):
+            dumps({1: "x"})
+
+    def test_malformed_xml(self):
+        with pytest.raises(EncodingError):
+            loads(b"<unclosed")
+
+    def test_unknown_type_tag(self):
+        with pytest.raises(EncodingError):
+            loads(b'<value t="quux">x</value>')
+
+
+# XML 1.0 cannot carry control characters; \r is normalized by parsers.
+_xml_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=40,
+)
+
+json_like = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(10**12), max_value=10**12),
+        st.floats(allow_nan=False, allow_infinity=False),
+        _xml_text,
+        st.dates(min_value=dt.date(1900, 1, 1), max_value=dt.date(2100, 1, 1)),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+                min_size=1,
+                max_size=10,
+            ),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(json_like)
+def test_property_round_trip(value):
+    assert loads(dumps(value)) == value
