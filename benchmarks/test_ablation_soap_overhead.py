@@ -8,12 +8,29 @@ lump.  Our transport stack lets us split it:
 * soap (HTTP)     — codec plus a real TCP round trip and HTTP framing.
 
 codec/direct shows the serialization share; soap/codec the socket share.
+
+The decomposition is cross-checked against the observability layer: the
+``mcs_soap_codec_seconds`` histograms time every envelope encode/decode
+(identically on the loopback and server paths), and
+``mcs_soap_request_seconds`` times server-side processing — so the
+codec share measured by instrumentation must agree with the share the
+rate deltas imply, and server-side processing must fit strictly inside
+the measured round trip.
 """
 
 from repro.bench.driver import BenchEnvironment, run_closed_loop
+from repro.bench.report import obs_breakdown
 from repro.bench.sweeps import get_environment
 from repro.core.client import MCSClient
+from repro.obs.metrics import get_registry
 from repro.soap.transport import LoopbackCodecTransport
+
+_CODEC_OPS = (
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+)
 
 
 def _run_codec_mode(env: BenchEnvironment, op_name: str, threads: int, duration: float):
@@ -53,11 +70,24 @@ def _run_raw_http(env: BenchEnvironment, op_name: str, threads: int, duration: f
             client.close()
 
 
+def _mean(snapshot: dict, family: str, **labels) -> float:
+    """Mean of one histogram series from a registry snapshot (0 if empty)."""
+    for entry in snapshot.get(family, {}).get("series", ()):
+        if entry["labels"] == labels and entry["count"]:
+            return entry["sum"] / entry["count"]
+    return 0.0
+
+
 def test_ablation_soap_overhead_decomposition(benchmark, config):
     env = get_environment(config, config.db_sizes[0])
-    threads, duration = 4, config.duration
+    # Single-threaded on purpose: the obs cross-check compares wall-time
+    # deltas with instrumented timings, and GIL interleaving across
+    # workers would inflate the former but not the latter.
+    threads, duration = 1, config.duration
+    registry = get_registry()
 
     def sweep():
+        registry.reset()
         rates = {}
         rates["direct"] = run_closed_loop(
             env, "direct", env.simple_query_op, threads, duration
@@ -67,6 +97,10 @@ def test_ablation_soap_overhead_decomposition(benchmark, config):
         return rates
 
     rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    snapshot = registry.snapshot()
+    breakdown = obs_breakdown(snapshot)
+    benchmark.extra_info["obs_breakdown"] = breakdown
+
     print("\n== Ablation: web-service overhead decomposition (simple queries) ==")
     for mode in ("direct", "codec", "soap"):
         print(f"  {mode:>6}: {rates[mode]:10.1f} q/s")
@@ -75,3 +109,49 @@ def test_ablation_soap_overhead_decomposition(benchmark, config):
     print(f"  codec penalty:  {codec_share:.2f}x   socket penalty: {socket_share:.2f}x")
     assert rates["direct"] > rates["codec"] > 0
     assert rates["codec"] > rates["soap"] > 0
+
+    # -- obs cross-check: serialization share ------------------------------
+    # The rate delta between loopback-codec and direct is, per call, the
+    # cost of four envelope codec passes.  The codec histograms time those
+    # passes directly; both measurements must agree.
+    per_op_direct = 1.0 / rates["direct"]
+    per_op_codec = 1.0 / rates["codec"]
+    per_op_soap = 1.0 / rates["soap"]
+    delta_codec = per_op_codec - per_op_direct
+    obs_codec_per_call = sum(
+        _mean(snapshot, "mcs_soap_codec_seconds", op=op) for op in _CODEC_OPS
+    )
+    print(
+        f"  codec per call: obs {obs_codec_per_call * 1e6:8.1f}us"
+        f"   rate-delta {delta_codec * 1e6:8.1f}us"
+    )
+    assert obs_codec_per_call > 0, "codec histograms never fired"
+    ratio = obs_codec_per_call / delta_codec
+    assert 0.3 <= ratio <= 1.3, (
+        f"obs-measured codec time ({obs_codec_per_call * 1e6:.1f}us/call) "
+        f"disagrees with the codec-vs-direct rate delta "
+        f"({delta_codec * 1e6:.1f}us/call) by {ratio:.2f}x"
+    )
+
+    # -- obs cross-check: socket share -------------------------------------
+    # Server-side processing (decode + dispatch + encode, timed by
+    # mcs_soap_request_seconds) is a strict subset of the full round
+    # trip; what it leaves unexplained is HTTP framing + TCP — which must
+    # be a real, positive share and must contain at least the server's
+    # own decode/encode passes.
+    server_mean = _mean(snapshot, "mcs_soap_request_seconds", operation="query")
+    print(
+        f"  soap per call:  {per_op_soap * 1e6:8.1f}us"
+        f"   server-side obs {server_mean * 1e6:8.1f}us"
+    )
+    assert server_mean > 0, "server request histogram never fired"
+    assert server_mean < per_op_soap, (
+        "server-side processing cannot exceed the measured round trip"
+    )
+    server_codec = (
+        _mean(snapshot, "mcs_soap_codec_seconds", op="decode_request")
+        + _mean(snapshot, "mcs_soap_codec_seconds", op="encode_response")
+    )
+    assert server_mean > server_codec, (
+        "server-side request time must contain its codec passes"
+    )

@@ -54,6 +54,49 @@ def print_series(
     print("\n" + format_series(title, x_label, rows, **kwargs) + "\n", flush=True)
 
 
+#: Timing families the benchmark reports digest from a metrics snapshot —
+#: one per layer of the paper's web-service overhead decomposition.
+OBS_TIMING_FAMILIES = (
+    "mcs_soap_codec_seconds",
+    "mcs_soap_request_seconds",
+    "mcs_catalog_op_seconds",
+    "mcs_db_statement_seconds",
+)
+
+
+def obs_breakdown(
+    snapshot: dict[str, Any],
+    families: Sequence[str] = OBS_TIMING_FAMILIES,
+) -> dict[str, dict[str, float]]:
+    """Digest a ``MetricsRegistry.snapshot()`` into per-series timing rows.
+
+    Returns ``{"name{label=value}": {"count", "sum_s", "mean_us"}}`` for
+    the requested histogram families — the obs-measured share of each
+    layer, attached to benchmark ``extra_info`` and asserted against by
+    the SOAP-overhead ablation.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for name in families:
+        family = snapshot.get(name)
+        if not family:
+            continue
+        for entry in family.get("series", []):
+            labels = entry.get("labels") or {}
+            if labels:
+                rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                key = f"{name}{{{rendered}}}"
+            else:
+                key = name
+            count = entry.get("count", 0)
+            total = entry.get("sum", 0.0)
+            out[key] = {
+                "count": count,
+                "sum_s": total,
+                "mean_us": (total / count * 1e6) if count else 0.0,
+            }
+    return out
+
+
 def shape_checks(rows: Sequence[dict[str, Any]]) -> dict[str, float]:
     """Summary ratios used by EXPERIMENTS.md (direct/soap gap etc.)."""
     by_mode: dict[str, list[float]] = {}

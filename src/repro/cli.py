@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import datetime as _dt
 import json
+import os
 import sys
 from typing import Any, Optional, Sequence
 
@@ -90,7 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("none", "service", "object"))
 
     sub.add_parser("ping", help="liveness check")
-    sub.add_parser("stats", help="catalog object counts")
+    stats = sub.add_parser(
+        "stats", help="catalog object counts + server metrics snapshot"
+    )
+    stats.add_argument("--json", action="store_true",
+                       help="raw JSON instead of the pretty summary")
     sub.add_parser("list-attributes", help="defined user attributes")
 
     define = sub.add_parser("define-attribute", help="define a user attribute")
@@ -187,7 +192,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "ping":
             _emit(client.ping())
         elif args.command == "stats":
-            _emit(client.stats())
+            stats = client.stats()
+            if args.json:
+                _emit(stats)
+            else:
+                from repro.obs.metrics import format_snapshot
+
+                metrics = stats.pop("metrics", {})
+                print("catalog objects:")
+                for key in sorted(stats):
+                    print(f"  {key:<20} {stats[key]}")
+                if metrics:
+                    print()
+                    print(format_snapshot(metrics))
         elif args.command == "list-attributes":
             _emit(client.list_attribute_defs())
         elif args.command == "define-attribute":
@@ -240,4 +257,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Output piped into e.g. `head` that exited early; conventional
+        # SIGPIPE exit, with stdout redirected so the interpreter's
+        # shutdown flush doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 141
+    sys.exit(code)

@@ -25,6 +25,7 @@ from typing import Any, Optional, Sequence
 from repro.core.errors import error_from_fault
 from repro.core.model import ObjectType
 from repro.core.query import ObjectQuery
+from repro.obs.trace import span as _span
 from repro.soap.envelope import SoapFault
 from repro.soap.transport import DirectTransport, HttpTransport, Transport
 
@@ -77,12 +78,15 @@ class MCSClient:
 
             token = self._gsi.sign_request(canonical_payload(method, args))
             args["auth"] = token_to_dict(token)
-        try:
-            return self._transport.call(method, args)
-        except SoapFault as fault:
-            if fault.code.startswith("MCS."):
-                raise error_from_fault(fault.code, fault.message) from None
-            raise
+        # Root span: mints the request id that rides the SOAP header so
+        # server-side spans and logs correlate with this call.
+        with _span("client.call", method=method):
+            try:
+                return self._transport.call(method, args)
+            except SoapFault as fault:
+                if fault.code.startswith("MCS."):
+                    raise error_from_fault(fault.code, fault.message) from None
+                raise
 
     # ======================================================================
     # Files

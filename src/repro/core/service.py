@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
+import time
 from typing import Any, Callable, Optional
 
 from repro.core.catalog import MetadataCatalog
@@ -48,10 +49,49 @@ from repro.security.errors import (
 from repro.security.gsi import AuthToken, Certificate, GSIContext
 from repro.security import rsa
 from repro.security.identity import DistinguishedName
+from repro.obs import trace as _trace
+from repro.obs.metrics import (
+    OBS,
+    counter as _obs_counter,
+    get_registry,
+    histogram as _obs_histogram,
+)
 from repro.soap.envelope import SoapFault
 from repro.soap.wsdl import ServiceDescription
 
 ANONYMOUS = "anonymous"
+
+_CATALOG_CALLS = _obs_counter(
+    "mcs_catalog_calls_total",
+    "Catalog API calls dispatched, per operation and outcome",
+    labels=("operation", "status"),
+)
+_CATALOG_OP_SECONDS = _obs_histogram(
+    "mcs_catalog_op_seconds",
+    "Catalog API call latency (authn + authz + operation), per operation",
+    labels=("operation",),
+)
+_AUTHZ_SECONDS = _obs_histogram(
+    "mcs_catalog_authz_seconds",
+    "Authorization-check time (granularity != 'none' only)",
+)
+
+# Per-operation metric children + span name, resolved once per method name
+# (the dispatch path is the service's hot path).
+_OP_METRICS: dict[str, tuple] = {}
+
+
+def _op_metrics(method: str) -> tuple:
+    entry = _OP_METRICS.get(method)
+    if entry is None:
+        entry = (
+            f"catalog.{method}",
+            _CATALOG_OP_SECONDS.labels(method),
+            _CATALOG_CALLS.labels(method, "ok"),
+            _CATALOG_CALLS.labels(method, "fault"),
+        )
+        _OP_METRICS[method] = entry
+    return entry
 
 
 def canonical_payload(method: str, args: dict[str, Any]) -> bytes:
@@ -182,6 +222,43 @@ class MCSService:
 
     def handle(self, method: str, args: dict[str, Any]) -> Any:
         """Entry point for transports: authn → authz → operate → audit."""
+        span_name, op_seconds, ok_calls, fault_calls = _op_metrics(method)
+        if not OBS.enabled:
+            try:
+                result = self._dispatch(method, args)
+            except Exception:
+                fault_calls.inc()
+                raise
+            ok_calls.inc()
+            return result
+        if _trace.has_active_span():
+            # In-process caller (direct/loopback): its client.call span
+            # already traces this request — a nested span would double the
+            # hot-path cost for no extra information.  Keep the histogram.
+            start = time.perf_counter()
+            try:
+                result = self._dispatch(method, args)
+            except Exception:
+                fault_calls.inc()
+                op_seconds.observe(time.perf_counter() - start)
+                raise
+            ok_calls.inc()
+            op_seconds.observe(time.perf_counter() - start)
+            return result
+        s = _trace.span(span_name)
+        try:
+            with s:
+                result = self._dispatch(method, args)
+        except Exception:
+            fault_calls.inc()
+            if s.duration is not None:
+                op_seconds.observe(s.duration)
+            raise
+        ok_calls.inc()
+        op_seconds.observe(s.duration)
+        return result
+
+    def _dispatch(self, method: str, args: dict[str, Any]) -> Any:
         handler = self._methods.get(method)
         if handler is None:
             raise SoapFault("MCS.NoSuchMethod", f"unknown method {method!r}")
@@ -256,6 +333,24 @@ class MCSService:
     ) -> None:
         if self.granularity == "none":
             return
+        start = time.perf_counter() if OBS.enabled else 0.0
+        try:
+            self._check_inner(
+                caller, permission, object_type, name, version, assertion
+            )
+        finally:
+            if OBS.enabled:
+                _AUTHZ_SECONDS.observe(time.perf_counter() - start)
+
+    def _check_inner(
+        self,
+        caller: str,
+        permission: Permission,
+        object_type: ObjectType,
+        name: Optional[str],
+        version: Optional[int],
+        assertion: Optional[CapabilityAssertion],
+    ) -> None:
         granted = Permission.NONE
         service_acl = self.catalog.get_acl(ObjectType.SERVICE, None)
         granted |= service_acl.permissions_for(caller)
@@ -875,7 +970,9 @@ class MCSService:
         return out
 
     def op_stats(self, caller: str, assertion: Optional[CapabilityAssertion]) -> dict:
-        return self.catalog.stats()
+        stats = self.catalog.stats()
+        stats["metrics"] = get_registry().snapshot()
+        return stats
 
     def op_ping(self, caller: str, assertion: Optional[CapabilityAssertion]) -> str:
         return "pong"

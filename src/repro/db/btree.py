@@ -16,8 +16,18 @@ from typing import Any, Iterator, Optional
 
 from repro.db.errors import IntegrityError
 from repro.db.types import sort_key
+from repro.obs.metrics import counter as _obs_counter
 
 DEFAULT_ORDER = 64
+
+_PROBES = _obs_counter(
+    "mcs_db_index_probes_total",
+    "B+tree probe operations",
+    labels=("kind",),
+)
+_POINT_PROBES = _PROBES.labels("point")
+_RANGE_PROBES = _PROBES.labels("range")
+_PREFIX_PROBES = _PROBES.labels("prefix")
 
 
 def make_key(values: tuple) -> tuple:
@@ -136,6 +146,7 @@ class BPlusTree:
 
     def get(self, raw_key: tuple) -> list[int]:
         """Row ids exactly matching *raw_key* (empty list when absent)."""
+        _POINT_PROBES.inc()
         key = make_key(raw_key)
         leaf = self._find_leaf(key)
         idx = bisect.bisect_left(leaf.keys, key)
@@ -163,6 +174,16 @@ class BPlusTree:
         the same prefix as ``high`` with inclusive bounds plus a sentinel —
         see :meth:`prefix`.
         """
+        _RANGE_PROBES.inc()
+        return self._range_iter(low, high, low_inclusive, high_inclusive)
+
+    def _range_iter(
+        self,
+        low: tuple | None,
+        high: tuple | None,
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> Iterator[int]:
         low_key = make_key(low) if low is not None else None
         high_key = make_key(high) if high is not None else None
         if low_key is not None:
@@ -191,6 +212,10 @@ class BPlusTree:
 
     def prefix(self, raw_prefix: tuple) -> Iterator[int]:
         """Yield row ids for keys whose leading columns equal *raw_prefix*."""
+        _PREFIX_PROBES.inc()
+        return self._prefix_iter(raw_prefix)
+
+    def _prefix_iter(self, raw_prefix: tuple) -> Iterator[int]:
         prefix = make_key(raw_prefix)
         n = len(prefix)
         leaf = self._find_leaf(prefix)

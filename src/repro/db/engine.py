@@ -8,6 +8,7 @@ Thread model: a :class:`Database` is shared; each thread uses its own
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Iterator, Optional, Sequence
 
 from repro.db import wal as walmod
@@ -42,6 +43,49 @@ from repro.db.sql.lexer import TokenType, tokenize
 from repro.db.sql.parser import parse_statement
 from repro.db.storage import Catalog, ForeignKeyEnforcer
 from repro.db.txn import LockManager, TransactionState
+from repro.obs.metrics import OBS, counter as _obs_counter, histogram as _obs_histogram
+
+_STMT_CACHE = _obs_counter(
+    "mcs_db_stmt_cache_total",
+    "Parsed-statement cache lookups by outcome",
+    labels=("outcome",),
+)
+_STMT_CACHE_HIT = _STMT_CACHE.labels("hit")
+_STMT_CACHE_MISS = _STMT_CACHE.labels("miss")
+_PARSE_SECONDS = _obs_histogram(
+    "mcs_db_parse_seconds", "SQL text to AST parse time (cache misses only)"
+)
+_PLAN_SECONDS = _obs_histogram(
+    "mcs_db_plan_seconds", "Physical planning time per planned statement"
+)
+_STATEMENT_SECONDS = _obs_histogram(
+    "mcs_db_statement_seconds",
+    "End-to-end statement execution time (locks + plan + execute)",
+    labels=("kind",),
+)
+_STATEMENT_KINDS: dict[type, Any] = {}
+
+
+def _statement_timer(stmt: Statement):
+    child = _STATEMENT_KINDS.get(type(stmt))
+    if child is None:
+        child = _STATEMENT_SECONDS.labels(type(stmt).__name__.lower())
+        _STATEMENT_KINDS[type(stmt)] = child
+    return child
+
+
+# Statement/plan timings are sampled 1-in-8: the catalog layer already
+# times every API call exactly, so these histograms only need enough
+# observations for a faithful distribution — not one per statement.
+# (The tick is racy under threads; sampling tolerates lost updates.)
+_TIMER_MASK = 7
+_timer_tick = 0
+
+
+def _sample_tick() -> bool:
+    global _timer_tick
+    _timer_tick = (_timer_tick + 1) & _TIMER_MASK
+    return _timer_tick == 0
 
 
 class ResultSet:
@@ -154,8 +198,13 @@ class Database:
     def parse(self, sql: str) -> Statement:
         stmt = self._stmt_cache.get(sql)
         if stmt is not None:
+            _STMT_CACHE_HIT.inc()
             return stmt
+        _STMT_CACHE_MISS.inc()
+        start = time.perf_counter() if OBS.enabled else 0.0
         stmt = parse_statement(sql)
+        if OBS.enabled:
+            _PARSE_SECONDS.observe(time.perf_counter() - start)
         with self._stmt_cache_guard:
             if len(self._stmt_cache) > 4096:
                 self._stmt_cache.clear()
@@ -255,7 +304,13 @@ class Connection:
         if self._closed:
             raise ProgrammingError("connection is closed")
         stmt = self._db.parse(sql)
-        return self._dispatch(stmt, tuple(params))
+        if not OBS.enabled or not _sample_tick():
+            return self._dispatch(stmt, tuple(params))
+        start = time.perf_counter()
+        try:
+            return self._dispatch(stmt, tuple(params))
+        finally:
+            _statement_timer(stmt).observe(time.perf_counter() - start)
 
     def executescript(self, sql: str) -> None:
         for piece in split_statements(sql):
@@ -386,11 +441,20 @@ class Connection:
             read_tables.add(join.table.name)
         held = self._with_locks(read_tables, set())
         try:
-            plan = plan_select(self._db.catalog, bound)
+            plan = self._plan_timed(plan_select, bound)
             names, rows = execute_select(self._db.catalog, plan)
             return ResultSet(columns=names, rows=rows)
         finally:
             self._statement_done(held, True)
+
+    def _plan_timed(self, planner, *args):
+        if not OBS.enabled or not _sample_tick():
+            return planner(self._db.catalog, *args)
+        start = time.perf_counter()
+        try:
+            return planner(self._db.catalog, *args)
+        finally:
+            _PLAN_SECONDS.observe(time.perf_counter() - start)
 
     def _execute_explain(self, stmt: Explain, params: tuple) -> ResultSet:
         from repro.db.planner import describe_plan
@@ -474,7 +538,7 @@ class Connection:
             assignments = [
                 (col, bind_parameters(expr, params)) for col, expr in stmt.assignments
             ]
-            plan = plan_mutation(self._db.catalog, stmt.table, where)
+            plan = self._plan_timed(plan_mutation, stmt.table, where)
             rowids = select_rowids(self._db.catalog, plan.access)
             names = table.definition.column_names
             qualified = tuple(f"{stmt.table}.{c}" for c in names)
@@ -537,7 +601,7 @@ class Connection:
             where = (
                 bind_parameters(stmt.where, params) if stmt.where is not None else None
             )
-            plan = plan_mutation(self._db.catalog, stmt.table, where)
+            plan = self._plan_timed(plan_mutation, stmt.table, where)
             rowids = select_rowids(self._db.catalog, plan.access)
             for rowid in rowids:
                 row = table.rows[rowid]

@@ -22,10 +22,32 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Optional
 
 from repro.db.engine import Database
 from repro.db.wal import _apply_record
+from repro.obs.metrics import OBS, counter as _obs_counter, gauge as _obs_gauge, histogram as _obs_histogram
+
+_REPL_SHIPPED = _obs_counter(
+    "mcs_repl_batches_shipped_total",
+    "Commit batches published to the replica set",
+)
+_REPL_APPLIED = _obs_counter(
+    "mcs_repl_batches_applied_total",
+    "Commit batches applied, per replica",
+    labels=("replica",),
+)
+_REPL_LAG = _obs_gauge(
+    "mcs_repl_lag_batches",
+    "Commit batches queued or mid-apply, per replica",
+    labels=("replica",),
+)
+_REPL_APPLY_SECONDS = _obs_histogram(
+    "mcs_repl_apply_seconds",
+    "Time to apply one commit batch on a replica",
+    labels=("replica",),
+)
 
 
 class Replica:
@@ -48,6 +70,7 @@ class Replica:
     # -- applying ------------------------------------------------------------
 
     def _apply_batch(self, records: list[dict]) -> None:
+        start = time.perf_counter() if OBS.enabled else 0.0
         owner = object()
         lock = self.database.locks.schema_lock
         lock.acquire_write(owner, self.database.locks.timeout)
@@ -58,6 +81,11 @@ class Replica:
             lock.release(owner, True)
         with self._apply_lock:
             self.applied_batches += 1
+        _REPL_APPLIED.labels(self.name).inc()
+        if OBS.enabled:
+            _REPL_APPLY_SECONDS.labels(self.name).observe(
+                time.perf_counter() - start
+            )
 
     def _apply_loop(self) -> None:
         while True:
@@ -71,10 +99,12 @@ class Replica:
             finally:
                 with self._apply_lock:
                     self._in_flight -= 1
+                _REPL_LAG.labels(self.name).set(self.lag())
 
     def receive(self, records: list[dict]) -> None:
         if self.asynchronous:
             self._pending.put(records)
+            _REPL_LAG.labels(self.name).set(self.lag())
         else:
             self._apply_batch(records)
 
@@ -121,6 +151,7 @@ class ReplicationPublisher:
 
     def _on_commit(self, records: list[dict]) -> None:
         self.batches_published += 1
+        _REPL_SHIPPED.inc()
         for replica in self.replicas.values():
             replica.receive(records)
 

@@ -25,6 +25,18 @@ from typing import Any, Optional
 
 from repro.db.errors import LockTimeoutError, TransactionError
 from repro.db.storage import Catalog, Table
+from repro.obs.metrics import OBS, counter as _obs_counter, histogram as _obs_histogram
+
+_LOCK_WAIT_SECONDS = _obs_histogram(
+    "mcs_db_lock_wait_seconds",
+    "Time spent blocked waiting for a table lock (contended acquisitions only)",
+    labels=("table",),
+)
+_LOCK_TIMEOUTS = _obs_counter(
+    "mcs_db_lock_timeouts_total",
+    "Lock acquisitions abandoned after the timeout",
+    labels=("table",),
+)
 
 
 class RWLock:
@@ -43,31 +55,47 @@ class RWLock:
 
     def acquire_read(self, owner: Any, timeout: float) -> None:
         deadline = time.monotonic() + timeout
+        waited_from = 0.0
         with self._cond:
             while True:
                 if self._writer is None or self._writer == owner:
                     self._readers[owner] = self._readers.get(owner, 0) + 1
-                    return
+                    break
+                if not waited_from and OBS.enabled:
+                    waited_from = time.perf_counter()
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not self._cond.wait(remaining):
+                    _LOCK_TIMEOUTS.labels(self.name).inc()
                     raise LockTimeoutError(
                         f"timeout acquiring read lock on {self.name!r}"
                     )
+        if waited_from:
+            _LOCK_WAIT_SECONDS.labels(self.name).observe(
+                time.perf_counter() - waited_from
+            )
 
     def acquire_write(self, owner: Any, timeout: float) -> None:
         deadline = time.monotonic() + timeout
+        waited_from = 0.0
         with self._cond:
             while True:
                 others_reading = any(o != owner for o in self._readers)
                 if (self._writer is None or self._writer == owner) and not others_reading:
                     self._writer = owner
                     self._writer_depth += 1
-                    return
+                    break
+                if not waited_from and OBS.enabled:
+                    waited_from = time.perf_counter()
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not self._cond.wait(remaining):
+                    _LOCK_TIMEOUTS.labels(self.name).inc()
                     raise LockTimeoutError(
                         f"timeout acquiring write lock on {self.name!r}"
                     )
+        if waited_from:
+            _LOCK_WAIT_SECONDS.labels(self.name).observe(
+                time.perf_counter() - waited_from
+            )
 
     def release(self, owner: Any, write: bool) -> None:
         with self._cond:

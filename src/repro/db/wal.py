@@ -19,15 +19,31 @@ from __future__ import annotations
 import datetime as _dt
 import json
 import os
+import time
 from typing import Any, Optional
 
 from repro.db.errors import RecoveryError
 from repro.db.schema import Column, ForeignKey, IndexDef, TableDef
 from repro.db.storage import Catalog
 from repro.db.types import ColumnType
+from repro.obs.metrics import OBS, counter as _obs_counter, histogram as _obs_histogram
 
 SNAPSHOT_NAME = "snapshot.json"
 WAL_NAME = "wal.log"
+
+_WAL_APPENDS = _obs_counter(
+    "mcs_db_wal_appends_total", "Committed transactions appended to the WAL"
+)
+_WAL_RECORDS = _obs_counter(
+    "mcs_db_wal_records_total", "Logical records written to the WAL"
+)
+_WAL_BYTES = _obs_counter("mcs_db_wal_bytes_total", "Bytes written to the WAL")
+_WAL_FSYNCS = _obs_counter(
+    "mcs_db_wal_fsyncs_total", "fsync calls issued by the WAL (durable_sync mode)"
+)
+_WAL_APPEND_SECONDS = _obs_histogram(
+    "mcs_db_wal_append_seconds", "WAL append latency (write + flush + optional fsync)"
+)
 
 
 def encode_value(value: Any) -> Any:
@@ -195,14 +211,22 @@ class WriteAheadLog:
         """Durably append one committed transaction."""
         if not records:
             return
+        start = time.perf_counter() if OBS.enabled else 0.0
         self._txn_counter += 1
         txn_id = self._txn_counter
         lines = [json.dumps({"txn": txn_id, **rec}) for rec in records]
         lines.append(json.dumps({"txn": txn_id, "op": "commit"}))
-        self._fh.write("\n".join(lines) + "\n")
+        payload = "\n".join(lines) + "\n"
+        self._fh.write(payload)
         self._fh.flush()
         if self.sync:
             os.fsync(self._fh.fileno())
+            _WAL_FSYNCS.inc()
+        _WAL_APPENDS.inc()
+        _WAL_RECORDS.inc(len(records))
+        _WAL_BYTES.inc(len(payload))
+        if OBS.enabled:
+            _WAL_APPEND_SECONDS.observe(time.perf_counter() - start)
 
     def close(self) -> None:
         self._fh.close()

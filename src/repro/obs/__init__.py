@@ -1,0 +1,67 @@
+"""repro.obs — metrics, tracing, and structured logging.
+
+The observability substrate for every layer of the MCS reproduction:
+
+* :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms
+  (lock-free per-thread shards), a process-wide ``MetricsRegistry``,
+  Prometheus text rendering, and snapshot pretty-printing;
+* :mod:`repro.obs.trace` — nested spans with request-id propagation
+  (contextvars in-process, a SOAP header across the wire);
+* :mod:`repro.obs.log` — stdlib logging with a JSON formatter that
+  stamps the current request id on every record.
+
+Metric name convention: ``mcs_<layer>_<what>_<unit>`` with layers
+``db``, ``soap``, ``catalog``, ``repl`` — see docs/INTERNALS.md
+("Observability") for the full name and label inventory.
+
+Everything is stdlib-only and can be disabled process-wide with
+``set_enabled(False)`` or ``REPRO_OBS_DISABLED=1``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    OBS,
+    counter,
+    enabled,
+    format_snapshot,
+    gauge,
+    get_registry,
+    histogram,
+    render_prometheus,
+    set_enabled,
+)
+from repro.obs.trace import (
+    current_request_id,
+    format_trace,
+    new_request_id,
+    recent_spans,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "OBS",
+    "counter",
+    "current_request_id",
+    "enabled",
+    "format_snapshot",
+    "format_trace",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "new_request_id",
+    "recent_spans",
+    "render_prometheus",
+    "set_enabled",
+    "span",
+]

@@ -1,0 +1,91 @@
+"""Structured logging: stdlib ``logging`` with a JSON formatter.
+
+Every record formats to one JSON object per line, automatically stamped
+with the current request id (from :mod:`repro.obs.trace` contextvars) so
+log lines correlate with spans and metrics without threading ids through
+call signatures.
+
+Usage::
+
+    from repro.obs import log
+    logger = log.get_logger("repro.soap.access")
+    logger.debug("request", extra={"operation": "query", "status": 200})
+
+Handlers are opt-in: :func:`configure` attaches one JSON handler to the
+``repro`` logger hierarchy (idempotent).  Without it, records propagate
+to whatever the application configured — the library never hijacks the
+root logger.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import logging
+from typing import Any, Optional
+
+from repro.obs import trace
+
+# logging.LogRecord attributes that are bookkeeping, not user payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, request_id,
+    plus any ``extra=`` fields the call site supplied."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": _dt.datetime.fromtimestamp(record.created).isoformat(
+                timespec="microseconds"
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        request_id = trace.current_request_id()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+_configured_handler: Optional[logging.Handler] = None
+
+
+def configure(level: int = logging.INFO, stream: Any = None) -> logging.Handler:
+    """Attach one JSON handler to the ``repro`` logger (idempotent)."""
+    global _configured_handler
+    root = logging.getLogger("repro")
+    if _configured_handler is not None:
+        root.setLevel(level)
+        _configured_handler.setLevel(level)
+        return _configured_handler
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    handler.setLevel(level)
+    root.addHandler(handler)
+    root.setLevel(level)
+    _configured_handler = handler
+    return handler
+
+
+def unconfigure() -> None:
+    """Detach the handler installed by :func:`configure` (for tests)."""
+    global _configured_handler
+    if _configured_handler is not None:
+        logging.getLogger("repro").removeHandler(_configured_handler)
+        _configured_handler = None

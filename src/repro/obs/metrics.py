@@ -1,0 +1,580 @@
+"""Thread-safe, dependency-free metrics: counters, gauges, histograms.
+
+Design goals, in order: (1) negligible hot-path cost — the engine calls
+these per statement and per index probe, and the instrumentation budget
+for the Figure 6 sweep is <3%; (2) no locks on the write path; (3) a
+single process-wide registry whose snapshot can travel through the SOAP
+``stats`` call and the ``/metrics`` endpoint.
+
+The write path is lock-free via *per-thread shards*: each thread owns a
+private cell (plain Python object attributes, mutated only by that
+thread), so increments are just ``cell.value += n`` with no
+synchronization.  Readers merge all shards; a read races benignly with
+in-flight increments (it may miss the very last tick, never corrupt).
+The only lock is taken once per (thread, metric) pair, at shard creation.
+
+Metric *families* carry label names; ``family.labels(operation="query")``
+returns (and caches) the child series for those label values.  Call
+sites on hot paths should hold the child directly.
+
+Everything can be switched off: ``set_enabled(False)`` (or the
+``REPRO_OBS_DISABLED=1`` environment variable) makes timing call sites
+skip their clock reads.  Counters still count — their cost is a few
+hundred nanoseconds — but code may consult ``OBS.enabled`` to skip any
+work it considers too expensive for a disabled run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import os
+import threading
+from typing import Any, Iterable, Optional, Sequence
+
+# Latency bucket boundaries (seconds).  Chosen to resolve both the
+# microsecond-scale engine internals (index probes, parses) and the
+# millisecond-scale SOAP round trips the paper's figures measure.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.000005,
+    0.00001,
+    0.000025,
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class _Switch:
+    """Process-wide on/off flag, readable as a plain attribute."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+
+OBS = _Switch(os.environ.get("REPRO_OBS_DISABLED", "") not in ("1", "true", "yes"))
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable timing instrumentation."""
+    OBS.enabled = bool(flag)
+
+
+def enabled() -> bool:
+    return OBS.enabled
+
+
+# --------------------------------------------------------------------------
+# Series (one labeled child of a family)
+# --------------------------------------------------------------------------
+
+
+class _CounterCell:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+class Counter:
+    """Monotonic counter; lock-free per-thread shards merged on read."""
+
+    __slots__ = ("_local", "_shards", "_lock")
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._shards: list[_CounterCell] = []
+        self._lock = threading.Lock()
+
+    def _cell(self) -> _CounterCell:
+        cell = _CounterCell()
+        with self._lock:
+            self._shards.append(cell)
+        self._local.cell = cell
+        return cell
+
+    def inc(self, n: int = 1) -> None:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = self._cell()
+        cell.value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            shards = list(self._shards)
+        return sum(cell.value for cell in shards)
+
+    def reset(self) -> None:
+        with self._lock:
+            for cell in self._shards:
+                cell.value = 0
+
+    def collect(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, lag).  Writes take a lock —
+    gauges live off the hot path."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        self.set(0.0)
+
+    def collect(self) -> Any:
+        return self.value
+
+
+class _HistogramCell:
+    __slots__ = ("counts", "count", "total")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.counts = [0] * nbuckets  # per-bucket (non-cumulative)
+        self.count = 0
+        self.total = 0.0
+
+
+class Histogram:
+    """Fixed-boundary histogram; per-thread shards merged on read.
+
+    ``boundaries[i]`` is the *inclusive* upper edge of bucket ``i``; one
+    extra overflow bucket catches everything above the last edge.
+    """
+
+    __slots__ = ("boundaries", "_local", "_shards", "_lock")
+
+    def __init__(self, boundaries: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        edges = tuple(float(b) for b in boundaries)
+        if not edges or any(b <= a for b, a in zip(edges[1:], edges)):
+            raise ValueError("histogram boundaries must be strictly increasing")
+        self.boundaries = edges
+        self._local = threading.local()
+        self._shards: list[_HistogramCell] = []
+        self._lock = threading.Lock()
+
+    def _cell(self) -> _HistogramCell:
+        cell = _HistogramCell(len(self.boundaries) + 1)
+        with self._lock:
+            self._shards.append(cell)
+        self._local.cell = cell
+        return cell
+
+    def observe(self, value: float) -> None:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = self._cell()
+        idx = bisect.bisect_left(self.boundaries, value)
+        cell.counts[idx] += 1
+        cell.count += 1
+        cell.total += value
+
+    def reset(self) -> None:
+        with self._lock:
+            for cell in self._shards:
+                cell.counts = [0] * (len(self.boundaries) + 1)
+                cell.count = 0
+                cell.total = 0.0
+
+    def collect(self) -> dict[str, Any]:
+        """Merged view: {"count", "sum", "buckets": [per-bucket counts]}."""
+        with self._lock:
+            shards = list(self._shards)
+        counts = [0] * (len(self.boundaries) + 1)
+        count = 0
+        total = 0.0
+        for cell in shards:
+            snapshot = list(cell.counts)  # racy but element-atomic
+            for i, c in enumerate(snapshot):
+                counts[i] += c
+            count += cell.count
+            total += cell.total
+        return {"count": count, "sum": total, "buckets": counts}
+
+    # -- derived statistics --------------------------------------------------
+
+    def quantile(self, q: float, collected: Optional[dict] = None) -> float:
+        """Estimate the q-quantile by linear interpolation within buckets."""
+        data = collected if collected is not None else self.collect()
+        count = data["count"]
+        if count == 0:
+            return 0.0
+        target = q * count
+        edges = self.boundaries
+        seen = 0
+        for i, c in enumerate(data["buckets"]):
+            if seen + c >= target and c > 0:
+                lo = edges[i - 1] if i > 0 else 0.0
+                hi = edges[i] if i < len(edges) else edges[-1]
+                frac = (target - seen) / c
+                return lo + (hi - lo) * frac
+            seen += c
+        return edges[-1]
+
+    def mean(self, collected: Optional[dict] = None) -> float:
+        data = collected if collected is not None else self.collect()
+        return data["sum"] / data["count"] if data["count"] else 0.0
+
+
+# --------------------------------------------------------------------------
+# Families and the registry
+# --------------------------------------------------------------------------
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricFamily:
+    """A named metric plus its labeled children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets)
+        self._children: dict[tuple, Any] = {}
+        self._lock = threading.Lock()
+        if not self.label_names:
+            self._default = self._make()
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make(self) -> Any:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets)
+
+    def labels(self, *values: Any, **kwargs: Any) -> Any:
+        """Child series for the given label values (cached)."""
+        if kwargs:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            values = tuple(kwargs[name] for name in self.label_names)
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, got {key!r}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make()
+                    self._children[key] = child
+        return child
+
+    # Unlabeled convenience: family acts as its sole child.
+
+    def inc(self, n: int = 1) -> None:
+        self._default.inc(n)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def dec(self, n: float = 1) -> None:
+        self._default.dec(n)
+
+    @property
+    def value(self) -> Any:
+        return self._default.value
+
+    def mean(self) -> float:
+        return self._default.mean()
+
+    def quantile(self, q: float) -> float:
+        return self._default.quantile(q)
+
+    def series(self) -> list[tuple[tuple, Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def reset(self) -> None:
+        with self._lock:
+            children = list(self._children.values())
+        for child in children:
+            child.reset()
+
+
+class MetricsRegistry:
+    """Singleton-per-process home for metric families."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            return family
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help, label_names, buckets)
+                self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labels, buckets)
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def reset(self) -> None:
+        """Zero every series in place (cached child references stay valid)."""
+        for family in self.families():
+            family.reset()
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able view of every family, for SOAP transport and reports.
+
+        Shape::
+
+            {name: {"type": ..., "help": ..., "labels": [...],
+                    "series": [{"labels": {...}, "value": ...}  # counter/gauge
+                               {"labels": {...}, "count": N, "sum": S,
+                                "buckets": [...], "le": [...]}]}}  # histogram
+        """
+        out: dict[str, Any] = {}
+        for family in self.families():
+            series = []
+            for key, child in family.series():
+                entry: dict[str, Any] = {
+                    "labels": dict(zip(family.label_names, key))
+                }
+                if family.kind == "histogram":
+                    entry.update(child.collect())
+                    entry["le"] = list(family.buckets)
+                else:
+                    entry["value"] = child.collect()
+                series.append(entry)
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "labels": list(family.label_names),
+                "series": series,
+            }
+        return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def counter(name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+    return _REGISTRY.counter(name, help, labels)
+
+
+def gauge(name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+    return _REGISTRY.gauge(name, help, labels)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labels: Sequence[str] = (),
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> MetricFamily:
+    return _REGISTRY.histogram(name, help, labels, buckets)
+
+
+# --------------------------------------------------------------------------
+# Text rendering
+# --------------------------------------------------------------------------
+
+
+def _fmt_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(names: Iterable[str], values: Iterable[str], extra: str = "") -> str:
+    parts = [f'{n}="{_fmt_label_value(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_float(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render every family in the Prometheus text exposition format."""
+    registry = registry if registry is not None else _REGISTRY
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in family.series():
+            labels = _label_str(family.label_names, key)
+            if family.kind == "histogram":
+                data = child.collect()
+                cumulative = 0
+                for edge, bucket_count in zip(family.buckets, data["buckets"]):
+                    cumulative += bucket_count
+                    le = _label_str(
+                        family.label_names, key, f'le="{_fmt_float(edge)}"'
+                    )
+                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                le = _label_str(family.label_names, key, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{le} {data['count']}")
+                lines.append(f"{family.name}_sum{labels} {data['sum']!r}")
+                lines.append(f"{family.name}_count{labels} {data['count']}")
+            else:
+                value = child.collect()
+                lines.append(f"{family.name}{labels} {value}")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------
+# Snapshot pretty-printing (the `mcs stats` surface)
+# --------------------------------------------------------------------------
+
+
+def _series_name(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def _hist_line(entry: dict[str, Any]) -> str:
+    count = entry["count"]
+    if not count:
+        return "count=0"
+    mean = entry["sum"] / count
+    edges = entry["le"]
+    # Recompute p50/p95 from the bucket counts.
+    def quantile(q: float) -> float:
+        target = q * count
+        seen = 0
+        for i, c in enumerate(entry["buckets"]):
+            if seen + c >= target and c > 0:
+                lo = edges[i - 1] if i > 0 else 0.0
+                hi = edges[i] if i < len(edges) else edges[-1]
+                return lo + (hi - lo) * ((target - seen) / c)
+            seen += c
+        return edges[-1]
+
+    return (
+        f"count={count}  mean={mean * 1e3:.3f}ms  "
+        f"p50={quantile(0.5) * 1e3:.3f}ms  p95={quantile(0.95) * 1e3:.3f}ms"
+    )
+
+
+def format_snapshot(snapshot: dict[str, Any], include_empty: bool = False) -> str:
+    """Human-readable rendering of :meth:`MetricsRegistry.snapshot`."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        rendered: list[str] = []
+        for entry in family["series"]:
+            label = _series_name(name, entry.get("labels", {}))
+            if family["type"] == "histogram":
+                if entry["count"] or include_empty:
+                    rendered.append(f"  {label}  {_hist_line(entry)}")
+            else:
+                if entry["value"] or include_empty:
+                    value = entry["value"]
+                    if isinstance(value, float) and not value.is_integer():
+                        rendered.append(f"  {label} = {value:.6g}")
+                    else:
+                        rendered.append(f"  {label} = {int(value)}")
+        if rendered:
+            lines.append(f"{name} ({family['type']})")
+            lines.extend(rendered)
+    return "\n".join(lines)

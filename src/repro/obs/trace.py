@@ -1,0 +1,194 @@
+"""Lightweight spans and request-id propagation.
+
+A *span* times one named unit of work (``with span("db.execute",
+sql=...)``); spans nest via :mod:`contextvars`, so a span opened inside
+another records the outer span as its parent.  The *request id* is a
+correlation token minted at the outermost span (normally the client
+call) and carried:
+
+* across threads within a process by ``contextvars``;
+* across the wire in a SOAP ``<Header><RequestId>`` element
+  (see :mod:`repro.soap.envelope`), restored server-side for the
+  duration of the request so every span and log line on both sides of
+  the socket shares one id.
+
+Finished spans land in two places: a duration histogram per span name
+(``mcs_span_seconds{name=...}``), and a bounded in-memory ring readable
+via :func:`recent_spans` — enough to reconstruct a trace tree for recent
+requests without any external collector.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Optional
+
+from repro.obs.metrics import OBS, histogram
+
+_request_id: ContextVar[Optional[str]] = ContextVar("repro_obs_request_id", default=None)
+_current_span: ContextVar[Optional[int]] = ContextVar("repro_obs_span", default=None)
+
+_span_ids = itertools.count(1)
+_rid_counter = itertools.count(1)
+_rid_prefix = f"{os.getpid():x}-{threading.get_ident() & 0xFFFF:x}"
+
+SPAN_RING_SIZE = 512
+_finished: deque = deque(maxlen=SPAN_RING_SIZE)
+
+_SPAN_SECONDS = histogram(
+    "mcs_span_seconds",
+    "Duration of named spans across every instrumented layer",
+    labels=("name",),
+)
+# Per-name histogram children, resolved once — spans are hot-path.
+_span_hist: dict = {}
+
+
+def _hist_for(name: str):
+    child = _span_hist.get(name)
+    if child is None:
+        child = _span_hist[name] = _SPAN_SECONDS.labels(name)
+    return child
+
+
+def new_request_id() -> str:
+    """Mint a process-unique request id (cheap: no entropy pool)."""
+    return f"{_rid_prefix}-{next(_rid_counter):x}"
+
+
+def current_request_id() -> Optional[str]:
+    return _request_id.get()
+
+
+def has_active_span() -> bool:
+    """True when a span is already open on this thread's context."""
+    return _current_span.get() is not None
+
+
+def set_request_id(request_id: Optional[str]):
+    """Bind the contextvar; returns a token for ``reset_request_id``."""
+    return _request_id.set(request_id)
+
+
+def reset_request_id(token) -> None:
+    _request_id.reset(token)
+
+
+class span:
+    """Context manager timing one unit of work.
+
+    Class-based (not ``@contextmanager``) to keep per-entry overhead at a
+    couple of attribute writes.  When observability is disabled the
+    enter/exit pair does nothing but one flag check.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "request_id",
+        "duration",
+        "error",
+        "_start",
+        "_span_token",
+        "_rid_token",
+    )
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.request_id: Optional[str] = None
+        self.duration: Optional[float] = None
+        self.error: Optional[str] = None
+        self._rid_token = None
+
+    def __enter__(self) -> "span":
+        if not OBS.enabled:
+            self._start = None
+            return self
+        self.span_id = next(_span_ids)
+        self.parent_id = _current_span.get()
+        rid = _request_id.get()
+        if rid is None:
+            rid = new_request_id()
+            self._rid_token = _request_id.set(rid)
+        self.request_id = rid
+        self._span_token = _current_span.set(self.span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is None:
+            return
+        self.duration = time.perf_counter() - self._start
+        _current_span.reset(self._span_token)
+        if self._rid_token is not None:
+            _request_id.reset(self._rid_token)
+            self._rid_token = None
+        _hist_for(self.name).observe(self.duration)
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        # Append the span object itself; the dict view is built lazily in
+        # recent_spans() so the hot path pays one deque append, not a
+        # seven-key dict construction.
+        _finished.append(self)
+
+
+def recent_spans(
+    request_id: Optional[str] = None, name: Optional[str] = None
+) -> list[dict[str, Any]]:
+    """Finished spans from the in-memory ring, oldest first."""
+    out = [
+        {
+            "name": s.name,
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+            "request_id": s.request_id,
+            "duration": s.duration,
+            "error": s.error,
+            "attrs": s.attrs,
+        }
+        for s in list(_finished)
+    ]
+    if request_id is not None:
+        out = [s for s in out if s["request_id"] == request_id]
+    if name is not None:
+        out = [s for s in out if s["name"] == name]
+    return out
+
+
+def clear_spans() -> None:
+    _finished.clear()
+
+
+def format_trace(request_id: str) -> str:
+    """Render one request's spans as an indented tree (for debugging)."""
+    spans = recent_spans(request_id=request_id)
+    by_parent: dict[Optional[int], list[dict]] = {}
+    for s in spans:
+        by_parent.setdefault(s["parent_id"], []).append(s)
+    known_ids = {s["span_id"] for s in spans}
+    roots = [s for s in spans if s["parent_id"] not in known_ids]
+    lines = [f"trace {request_id}"]
+
+    def walk(node: dict, depth: int) -> None:
+        attrs = " ".join(f"{k}={v!r}" for k, v in node["attrs"].items())
+        mark = " !" if node["error"] else ""
+        lines.append(
+            f"{'  ' * depth}- {node['name']} {node['duration'] * 1e3:.3f}ms"
+            f"{' ' + attrs if attrs else ''}{mark}"
+        )
+        for child in by_parent.get(node["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 1)
+    return "\n".join(lines)

@@ -1,14 +1,39 @@
-"""SOAP envelopes: request/response framing and faults."""
+"""SOAP envelopes: request/response framing, headers, and faults.
+
+Requests may carry a ``<Header><RequestId>`` element: the client stamps
+its current trace request id there and the server restores it into its
+own context, so spans and log lines on both sides of the socket share
+one correlation id (see :mod:`repro.obs.trace`).
+
+Every build/parse function feeds the ``mcs_soap_codec_seconds`` timing
+histogram — the codec share of the paper's "web service overhead" — and
+is measured identically whether reached through a real socket
+(:class:`~repro.soap.transport.HttpTransport`) or the loopback codec
+ablation transport.
+"""
 
 from __future__ import annotations
 
+import time
 import xml.etree.ElementTree as ET
 from typing import Any, Optional
 
+from repro.obs.metrics import OBS, histogram as _obs_histogram
 from repro.soap.errors import EncodingError
 from repro.soap.xmlcodec import decode_value, encode_value
 
 ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+_CODEC_SECONDS = _obs_histogram(
+    "mcs_soap_codec_seconds",
+    "SOAP XML encode/decode time per envelope",
+    labels=("op",),
+)
+_ENCODE_REQUEST = _CODEC_SECONDS.labels("encode_request")
+_DECODE_REQUEST = _CODEC_SECONDS.labels("decode_request")
+_ENCODE_RESPONSE = _CODEC_SECONDS.labels("encode_response")
+_DECODE_RESPONSE = _CODEC_SECONDS.labels("decode_response")
+_ENCODE_FAULT = _CODEC_SECONDS.labels("encode_fault")
 
 
 class SoapFault(Exception):
@@ -24,9 +49,20 @@ class SoapFault(Exception):
         return f"SoapFault({self.code!r}, {self.message!r})"
 
 
-def build_request(method: str, args: dict[str, Any]) -> bytes:
-    """Serialize a method call to a SOAP request document."""
+def build_request(
+    method: str, args: dict[str, Any], request_id: Optional[str] = None
+) -> bytes:
+    """Serialize a method call to a SOAP request document.
+
+    ``request_id``, when given, travels in a ``<Header><RequestId>``
+    element for end-to-end trace correlation.
+    """
+    start = time.perf_counter() if OBS.enabled else 0.0
     envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
+    if request_id is not None:
+        header = ET.SubElement(envelope, "Header")
+        rid = ET.SubElement(header, "RequestId")
+        rid.text = request_id
     body = ET.SubElement(envelope, "Body")
     call = ET.SubElement(body, "Call")
     call.set("method", method)
@@ -34,11 +70,15 @@ def build_request(method: str, args: dict[str, Any]) -> bytes:
         arg = ET.SubElement(call, "arg")
         arg.set("name", name)
         encode_value(arg, value)
-    return ET.tostring(envelope, encoding="utf-8")
+    out = ET.tostring(envelope, encoding="utf-8")
+    if OBS.enabled:
+        _ENCODE_REQUEST.observe(time.perf_counter() - start)
+    return out
 
 
-def parse_request(data: bytes) -> tuple[str, dict[str, Any]]:
-    """Parse a request document; returns (method, args)."""
+def parse_request_full(data: bytes) -> tuple[str, dict[str, Any], Optional[str]]:
+    """Parse a request document; returns (method, args, request_id)."""
+    start = time.perf_counter() if OBS.enabled else 0.0
     try:
         envelope = ET.fromstring(data)
     except ET.ParseError as exc:
@@ -53,20 +93,34 @@ def parse_request(data: bytes) -> tuple[str, dict[str, Any]]:
         if name is None or len(arg) != 1:
             raise EncodingError("malformed request argument")
         args[name] = decode_value(arg[0])
+    request_id = _header_request_id(envelope)
+    if OBS.enabled:
+        _DECODE_REQUEST.observe(time.perf_counter() - start)
+    return method, args, request_id
+
+
+def parse_request(data: bytes) -> tuple[str, dict[str, Any]]:
+    """Parse a request document; returns (method, args)."""
+    method, args, _ = parse_request_full(data)
     return method, args
 
 
 def build_response(result: Any) -> bytes:
     """Serialize a successful method result."""
+    start = time.perf_counter() if OBS.enabled else 0.0
     envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
     body = ET.SubElement(envelope, "Body")
     response = ET.SubElement(body, "Response")
     encode_value(response, result, "result")
-    return ET.tostring(envelope, encoding="utf-8")
+    out = ET.tostring(envelope, encoding="utf-8")
+    if OBS.enabled:
+        _ENCODE_RESPONSE.observe(time.perf_counter() - start)
+    return out
 
 
 def build_fault(fault: SoapFault) -> bytes:
     """Serialize a fault response."""
+    start = time.perf_counter() if OBS.enabled else 0.0
     envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
     body = ET.SubElement(envelope, "Body")
     element = ET.SubElement(body, "Fault")
@@ -74,11 +128,24 @@ def build_fault(fault: SoapFault) -> bytes:
     message = ET.SubElement(element, "message")
     message.text = fault.message
     encode_value(element, fault.detail, "detail")
-    return ET.tostring(envelope, encoding="utf-8")
+    out = ET.tostring(envelope, encoding="utf-8")
+    if OBS.enabled:
+        _ENCODE_FAULT.observe(time.perf_counter() - start)
+    return out
 
 
 def parse_response(data: bytes) -> Any:
     """Parse a response; returns the result or raises the carried fault."""
+    if not OBS.enabled:
+        return _parse_response(data)
+    start = time.perf_counter()
+    try:
+        return _parse_response(data)
+    finally:
+        _DECODE_RESPONSE.observe(time.perf_counter() - start)
+
+
+def _parse_response(data: bytes) -> Any:
     try:
         envelope = ET.fromstring(data)
     except ET.ParseError as exc:
@@ -104,6 +171,15 @@ def parse_response(data: bytes) -> Any:
 
 def _local(tag: str) -> str:
     return tag.rsplit("}", 1)[-1]
+
+
+def _header_request_id(envelope: ET.Element) -> Optional[str]:
+    for child in envelope:
+        if _local(child.tag) == "Header":
+            for sub in child:
+                if _local(sub.tag) == "RequestId":
+                    return sub.text
+    return None
 
 
 def _body(envelope: ET.Element) -> ET.Element:

@@ -3,28 +3,71 @@
 One handler thread per connection (ThreadingHTTPServer), like a servlet
 container's worker pool.  Application exceptions are mapped to SOAP
 faults; registered fault mappers let services expose typed errors.
+
+Observability: ``GET /metrics`` renders the process metrics registry in
+Prometheus text format, every request feeds the ``mcs_soap_*`` metric
+families, and the access log is emitted as DEBUG-level structured JSON
+(see :mod:`repro.obs.log`) instead of raw stderr lines.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Optional
 
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
+from repro.obs.metrics import (
+    OBS,
+    counter as _obs_counter,
+    gauge as _obs_gauge,
+    histogram as _obs_histogram,
+    render_prometheus,
+)
 from repro.soap.envelope import (
     SoapFault,
     build_fault,
     build_response,
-    parse_request,
+    parse_request_full,
 )
 from repro.soap.wsdl import ServiceDescription, generate_wsdl
 
 Handler = Callable[[str, dict[str, Any]], Any]
 FaultMapper = Callable[[Exception], Optional[SoapFault]]
 
+_log = get_logger("soap.server")
+
+_REQUEST_SECONDS = _obs_histogram(
+    "mcs_soap_request_seconds",
+    "Server-side request latency (read to response write), per operation",
+    labels=("operation",),
+)
+_SERVER_REQUESTS = _obs_counter(
+    "mcs_soap_requests_total",
+    "Requests handled by the SOAP server, including faults",
+)
+_SERVER_FAULTS = _obs_counter(
+    "mcs_soap_faults_total", "Requests answered with a SOAP fault"
+)
+_QUEUE_DEPTH = _obs_gauge(
+    "mcs_soap_queue_depth",
+    "Requests currently waiting for a worker-pool slot",
+)
+_QUEUE_WAIT_SECONDS = _obs_histogram(
+    "mcs_soap_queue_wait_seconds",
+    "Time a request waited for a worker-pool slot (saturated pool only)",
+)
+_WORKER_SATURATION = _obs_counter(
+    "mcs_soap_worker_saturation_total",
+    "Requests that arrived while every worker-pool slot was busy",
+)
+
 
 class SoapServer:
-    """Hosts one dispatch handler at ``POST /soap`` (WSDL at ``GET /wsdl``)."""
+    """Hosts one dispatch handler at ``POST /soap`` (WSDL at ``GET /wsdl``,
+    metrics at ``GET /metrics``)."""
 
     def __init__(
         self,
@@ -39,6 +82,7 @@ class SoapServer:
         self._description = description
         self._fault_mapper = fault_mapper
         self._requests_served = 0
+        self._faults_served = 0
         self._counter_lock = threading.Lock()
         # Bounded worker pool, like a servlet container's maxThreads: one
         # thread per connection still reads the request, but at most
@@ -54,30 +98,72 @@ class SoapServer:
             # interaction (~40 ms/request) unless TCP_NODELAY is set.
             disable_nagle_algorithm = True
 
-            def log_message(self, *args: Any) -> None:  # silence stderr
-                pass
+            def log_message(self, fmt: str, *args: Any) -> None:
+                # Route the stock access log to the structured logger at
+                # DEBUG instead of silencing it (or spamming stderr).
+                _log.debug(
+                    fmt % args if args else fmt,
+                    extra={"client": self.address_string()},
+                )
 
             def do_POST(self) -> None:
                 if self.path != "/soap":
+                    outer._count_request(fault=False)
                     self.send_error(404)
                     return
+                start = time.perf_counter() if OBS.enabled else 0.0
                 length = int(self.headers.get("Content-Length", "0"))
                 payload = self.rfile.read(length)
-                with outer._worker_slots:
+                if not outer._worker_slots.acquire(blocking=False):
+                    _WORKER_SATURATION.inc()
+                    _QUEUE_DEPTH.inc()
+                    wait_start = time.perf_counter() if OBS.enabled else 0.0
+                    outer._worker_slots.acquire()
+                    _QUEUE_DEPTH.dec()
+                    if OBS.enabled:
+                        _QUEUE_WAIT_SECONDS.observe(
+                            time.perf_counter() - wait_start
+                        )
+                method = "<malformed>"
+                request_id: Optional[str] = None
+                rid_token = None
+                is_fault = False
+                try:
                     try:
-                        method, args = parse_request(payload)
+                        method, args, request_id = parse_request_full(payload)
+                        if request_id is not None:
+                            rid_token = _trace.set_request_id(request_id)
                         result = outer._handler(method, args)
                         body = build_response(result)
                         status = 200
                     except SoapFault as fault:
                         body = build_fault(fault)
                         status = 500
+                        is_fault = True
                     except Exception as exc:  # noqa: BLE001 - fault boundary
                         fault = outer._map_fault(exc)
                         body = build_fault(fault)
                         status = 500
-                with outer._counter_lock:
-                    outer._requests_served += 1
+                        is_fault = True
+                finally:
+                    if rid_token is not None:
+                        _trace.reset_request_id(rid_token)
+                    outer._worker_slots.release()
+                outer._count_request(fault=is_fault)
+                if OBS.enabled:
+                    elapsed = time.perf_counter() - start
+                    _REQUEST_SECONDS.labels(method).observe(elapsed)
+                    if _log.isEnabledFor(10):  # logging.DEBUG
+                        _log.debug(
+                            "soap.request",
+                            extra={
+                                "operation": method,
+                                "status": status,
+                                "duration_ms": round(elapsed * 1000, 3),
+                                "rid": request_id,
+                                "client": self.address_string(),
+                            },
+                        )
                 self.send_response(status)
                 self.send_header("Content-Type", "text/xml; charset=utf-8")
                 self.send_header("Content-Length", str(len(body)))
@@ -85,6 +171,16 @@ class SoapServer:
                 self.wfile.write(body)
 
             def do_GET(self) -> None:
+                if self.path == "/metrics":
+                    body = render_prometheus().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
                 if self.path != "/wsdl" or outer._description is None:
                     self.send_error(404)
                     return
@@ -105,6 +201,15 @@ class SoapServer:
         self._httpd = _Server((host, port), _RequestHandler)
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
+
+    def _count_request(self, fault: bool) -> None:
+        _SERVER_REQUESTS.inc()
+        if fault:
+            _SERVER_FAULTS.inc()
+        with self._counter_lock:
+            self._requests_served += 1
+            if fault:
+                self._faults_served += 1
 
     def _map_fault(self, exc: Exception) -> SoapFault:
         if self._fault_mapper is not None:
@@ -138,8 +243,15 @@ class SoapServer:
 
     @property
     def requests_served(self) -> int:
+        """Every request handled, successes and faults alike."""
         with self._counter_lock:
             return self._requests_served
+
+    @property
+    def faults_served(self) -> int:
+        """Requests answered with a SOAP fault (mapped or explicit)."""
+        with self._counter_lock:
+            return self._faults_served
 
     @property
     def endpoint(self) -> tuple[str, int]:

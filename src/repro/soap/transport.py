@@ -19,16 +19,30 @@ from __future__ import annotations
 
 from typing import Any, Callable, Protocol
 
+from repro.obs import trace as _trace
+from repro.obs.metrics import counter as _obs_counter
 from repro.soap.envelope import (
     SoapFault,
     build_request,
     build_response,
     build_fault,
-    parse_request,
+    parse_request_full,
     parse_response,
 )
 
 Handler = Callable[[str, dict[str, Any]], Any]
+
+_CLIENT_REQUESTS = _obs_counter(
+    "mcs_soap_client_requests_total", "Requests issued by HttpTransport"
+)
+_CLIENT_REUSE = _obs_counter(
+    "mcs_soap_client_keepalive_reuse_total",
+    "Requests that reused an existing keep-alive connection",
+)
+_CLIENT_RECONNECTS = _obs_counter(
+    "mcs_soap_client_reconnects_total",
+    "Reconnects after a dead keep-alive socket",
+)
 
 
 class Transport(Protocol):
@@ -64,8 +78,8 @@ class LoopbackCodecTransport:
         self._handler = handler
 
     def call(self, method: str, args: dict[str, Any]) -> Any:
-        request = build_request(method, args)
-        parsed_method, parsed_args = parse_request(request)
+        request = build_request(method, args, _trace.current_request_id())
+        parsed_method, parsed_args, _rid = parse_request_full(request)
         try:
             result = self._handler(parsed_method, parsed_args)
             response = build_response(result)
@@ -106,6 +120,7 @@ class HttpTransport:
         self.simulated_latency_s = simulated_latency_s
         self._factory = lambda: _Connection(host, port, timeout=timeout)
         self._conn = self._factory()
+        self._conn_used = False
 
     def call(self, method: str, args: dict[str, Any]) -> Any:
         import http.client
@@ -115,18 +130,23 @@ class HttpTransport:
 
         if self.simulated_latency_s > 0:
             time.sleep(self.simulated_latency_s)
-        payload = build_request(method, args)
+        payload = build_request(method, args, _trace.current_request_id())
         headers = {
             "Content-Type": "text/xml; charset=utf-8",
             "SOAPAction": method,
         }
+        _CLIENT_REQUESTS.inc()
+        reused = self._conn_used
         try:
             self._conn.request("POST", "/soap", body=payload, headers=headers)
             response = self._conn.getresponse()
             body = response.read()
+            if reused:
+                _CLIENT_REUSE.inc()
         except (ConnectionError, OSError, http.client.HTTPException):
             # One reconnect attempt (the server may have recycled the
             # keep-alive connection).
+            _CLIENT_RECONNECTS.inc()
             try:
                 self._conn.close()
                 self._conn = self._factory()
@@ -135,6 +155,7 @@ class HttpTransport:
                 body = response.read()
             except (ConnectionError, OSError, http.client.HTTPException) as exc2:
                 raise TransportError(f"HTTP request failed: {exc2}") from exc2
+        self._conn_used = True
         if response.status not in (200, 500):
             raise TransportError(f"unexpected HTTP status {response.status}")
         return parse_response(body)

@@ -1,0 +1,98 @@
+"""The /metrics endpoint and the server-side request/fault counters."""
+
+import http.client
+
+import pytest
+
+from repro.core.client import MCSClient
+from repro.core.errors import ObjectNotFoundError
+from repro.core.service import MCSService
+from repro.soap.server import SoapServer
+
+
+@pytest.fixture()
+def server():
+    service = MCSService()
+    srv = SoapServer(
+        service.handle,
+        description=service.description(),
+        fault_mapper=service.fault_mapper,
+    )
+    with srv:
+        yield srv
+
+
+def fetch_metrics(server) -> str:
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type", "").startswith("text/plain")
+        return response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def parse_metrics(text: str) -> dict[str, float]:
+    """Prometheus text format → {series: value}."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        out[name] = float(value)
+    return out
+
+
+class TestMetricsEndpoint:
+    def test_counters_appear_and_grow(self, server):
+        with MCSClient.connect(server.host, server.port, caller="alice") as client:
+            client.create_logical_file("m-f1")
+            client.get_logical_file("m-f1")
+        series = parse_metrics(fetch_metrics(server))
+        assert series["mcs_soap_requests_total"] >= 2
+        assert series['mcs_catalog_calls_total{operation="create_logical_file",status="ok"}'] >= 1
+        assert series['mcs_catalog_calls_total{operation="get_logical_file",status="ok"}'] >= 1
+        # request latency histogram has matching counts
+        assert series['mcs_soap_request_seconds_count{operation="get_logical_file"}'] >= 1
+
+    def test_histogram_lines_are_cumulative(self, server):
+        with MCSClient.connect(server.host, server.port, caller="alice") as client:
+            client.ping()
+        text = fetch_metrics(server)
+        buckets = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith('mcs_soap_request_seconds_bucket{operation="ping"')
+        ]
+        assert buckets, "ping histogram missing"
+        assert buckets == sorted(buckets), "bucket counts must be cumulative"
+
+
+class TestRequestAndFaultCounting:
+    def test_faults_count_as_requests_too(self, server):
+        with MCSClient.connect(server.host, server.port, caller="alice") as client:
+            before = server.requests_served
+            faults_before = server.faults_served
+            with pytest.raises(ObjectNotFoundError):
+                client.get_logical_file("definitely-not-there")
+            client.ping()
+        assert server.requests_served == before + 2
+        assert server.faults_served == faults_before + 1
+
+    def test_malformed_request_counts(self, server):
+        before = server.requests_served
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/soap", body=b"this is not xml",
+                headers={"Content-Type": "text/xml"},
+            )
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 500
+        finally:
+            conn.close()
+        assert server.requests_served == before + 1
+        assert server.faults_served >= 1

@@ -1,0 +1,49 @@
+"""Structured JSON logging: formatter output, extras, request-id context."""
+
+import io
+import json
+import logging
+
+from repro.obs import log as obslog
+from repro.obs import trace
+
+
+class TestJsonLogging:
+    def teardown_method(self):
+        obslog.unconfigure()
+
+    def _capture(self, level=logging.DEBUG):
+        stream = io.StringIO()
+        obslog.configure(level=level, stream=stream)
+        return stream
+
+    def test_lines_are_json_with_extras(self):
+        stream = self._capture()
+        obslog.get_logger("soap.server").debug(
+            "soap.request", extra={"operation": "ping", "status": 200}
+        )
+        record = json.loads(stream.getvalue().splitlines()[-1])
+        assert record["event"] == "soap.request"
+        assert record["operation"] == "ping"
+        assert record["status"] == 200
+        assert record["logger"].endswith("soap.server")
+        assert record["level"] == "DEBUG"
+
+    def test_request_id_from_trace_context(self):
+        stream = self._capture()
+        with trace.span("logged.work") as s:
+            obslog.get_logger("test").info("inside")
+        record = json.loads(stream.getvalue().splitlines()[-1])
+        assert record["request_id"] == s.request_id
+
+    def test_no_request_id_outside_span(self):
+        stream = self._capture()
+        obslog.get_logger("test").info("outside")
+        record = json.loads(stream.getvalue().splitlines()[-1])
+        assert "request_id" not in record
+
+    def test_configure_is_idempotent(self):
+        stream = self._capture()
+        obslog.configure(stream=stream)  # second call must not dup handlers
+        obslog.get_logger("test").info("once")
+        assert len(stream.getvalue().splitlines()) == 1

@@ -1,0 +1,161 @@
+"""Metrics core: counters under concurrency, histogram bucket math,
+registry semantics, and the Prometheus text rendering."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    format_snapshot,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_single_thread(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_concurrent_increments_from_8_threads(self):
+        c = Counter()
+        per_thread = 10_000
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8 * per_thread
+
+    def test_reset_keeps_shards_usable(self):
+        c = Counter()
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+        c.inc()
+        assert c.value == 1
+
+
+class TestHistogramBuckets:
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(boundaries=())
+
+    def test_bucket_assignment_inclusive_upper_edge(self):
+        h = Histogram(boundaries=(0.01, 0.1, 1.0))
+        h.observe(0.005)   # bucket 0
+        h.observe(0.01)    # still bucket 0 (inclusive upper edge)
+        h.observe(0.05)    # bucket 1
+        h.observe(0.5)     # bucket 2
+        h.observe(5.0)     # overflow bucket
+        data = h.collect()
+        assert data["buckets"] == [2, 1, 1, 1]
+        assert data["count"] == 5
+        assert data["sum"] == pytest.approx(0.005 + 0.01 + 0.05 + 0.5 + 5.0)
+
+    def test_quantiles_interpolate(self):
+        h = Histogram(boundaries=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert 0.0 < h.quantile(0.5) <= 2.0
+        assert h.quantile(0.0) >= 0.0
+        assert h.quantile(1.0) <= 4.0
+        assert h.mean() == pytest.approx(6.5 / 4)
+
+    def test_empty_histogram(self):
+        h = Histogram(boundaries=(1.0,))
+        assert h.quantile(0.5) == 0.0
+        assert h.mean() == 0.0
+
+    def test_concurrent_observes(self):
+        h = Histogram(boundaries=(0.5,))
+        per_thread = 5_000
+
+        def worker():
+            for _ in range(per_thread):
+                h.observe(0.1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        data = h.collect()
+        assert data["count"] == 8 * per_thread
+        assert data["buckets"][0] == 8 * per_thread
+
+
+class TestRegistry:
+    def test_families_and_labels(self):
+        reg = MetricsRegistry()
+        calls = reg.counter("calls_total", "calls", labels=("op",))
+        calls.labels("get").inc(2)
+        calls.labels("put").inc()
+        snap = reg.snapshot()
+        series = {
+            s["labels"]["op"]: s["value"] for s in snap["calls_total"]["series"]
+        }
+        assert series == {"get": 2, "put": 1}
+
+    def test_same_name_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "x")
+        b = reg.counter("x_total", "x")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing", "x")
+        with pytest.raises(ValueError):
+            reg.gauge("thing", "x")
+
+    def test_reset_zeroes_but_keeps_children(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("y_total", "y", labels=("k",))
+        child = fam.labels("a")
+        child.inc(7)
+        reg.reset()
+        assert child.value == 0
+        child.inc()  # cached reference still feeds the registry
+        assert fam.labels("a").value == 1
+
+
+class TestPrometheusRendering:
+    def test_render(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests", labels=("op",)).labels("q").inc(3)
+        reg.gauge("depth", "queue depth").set(2)
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        text = render_prometheus(reg)
+        assert '# TYPE req_total counter' in text
+        assert 'req_total{op="q"} 3' in text
+        assert "depth 2" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        # cumulative buckets; whole-number edges render without the ".0"
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+
+    def test_format_snapshot_pretty(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "c").inc(5)
+        h = reg.histogram("h_seconds", "h")
+        h.observe(0.001)
+        out = format_snapshot(reg.snapshot())
+        assert "c_total" in out and "5" in out
+        assert "h_seconds" in out

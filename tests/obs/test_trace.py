@@ -1,0 +1,88 @@
+"""Spans: nesting, request ids, and propagation across a real
+client → HTTP server → engine round trip."""
+
+import pytest
+
+from repro.core.client import MCSClient
+from repro.core.service import MCSService
+from repro.obs import trace
+from repro.soap.server import SoapServer
+
+
+class TestSpanBasics:
+    def setup_method(self):
+        trace.clear_spans()
+
+    def test_span_records_duration_and_name(self):
+        with trace.span("unit.work", detail="x") as s:
+            pass
+        assert s.duration is not None and s.duration >= 0
+        finished = trace.recent_spans(name="unit.work")
+        assert finished and finished[-1]["attrs"] == {"detail": "x"}
+
+    def test_root_span_mints_request_id(self):
+        assert trace.current_request_id() is None
+        with trace.span("outer") as s:
+            assert s.request_id is not None
+            assert trace.current_request_id() == s.request_id
+        # id is scoped to the span
+        assert trace.current_request_id() is None
+
+    def test_nested_spans_share_request_id_and_link_parents(self):
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                assert inner.request_id == outer.request_id
+                assert inner.parent_id == outer.span_id
+        spans = trace.recent_spans(request_id=outer.request_id)
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+
+    def test_span_records_error(self):
+        with pytest.raises(RuntimeError):
+            with trace.span("boom"):
+                raise RuntimeError("nope")
+        assert trace.recent_spans(name="boom")[-1]["error"] == "RuntimeError"
+
+    def test_format_trace_tree(self):
+        with trace.span("root") as root:
+            with trace.span("child"):
+                pass
+        text = trace.format_trace(root.request_id)
+        assert "root" in text and "child" in text
+        # child is indented one level deeper than root
+        root_line = next(line for line in text.splitlines() if "- root" in line)
+        child_line = next(line for line in text.splitlines() if "- child" in line)
+        assert len(child_line) - len(child_line.lstrip()) > \
+            len(root_line) - len(root_line.lstrip())
+
+
+class TestRoundTripPropagation:
+    @pytest.fixture()
+    def server(self):
+        service = MCSService()
+        srv = SoapServer(
+            service.handle,
+            description=service.description(),
+            fault_mapper=service.fault_mapper,
+        )
+        with srv:
+            yield srv
+
+    def test_request_id_crosses_the_socket(self, server):
+        trace.clear_spans()
+        with MCSClient.connect(server.host, server.port, caller="alice") as client:
+            client.create_logical_file("trace-f1")
+        client_spans = trace.recent_spans(name="client.call")
+        assert client_spans, "client span missing"
+        rid = client_spans[-1]["request_id"]
+        # The server-side catalog span (handled on a server thread in this
+        # same process) carries the id that crossed the wire in the header.
+        server_spans = trace.recent_spans(name="catalog.create_logical_file")
+        assert server_spans and server_spans[-1]["request_id"] == rid
+
+    def test_each_call_gets_a_fresh_id(self, server):
+        trace.clear_spans()
+        with MCSClient.connect(server.host, server.port, caller="alice") as client:
+            client.ping()
+            client.ping()
+        ids = [s["request_id"] for s in trace.recent_spans(name="client.call")]
+        assert len(ids) == 2 and ids[0] != ids[1]

@@ -97,10 +97,20 @@ class TestCommands:
         assert plan[-1].startswith("PROJECT")
 
     def test_stats_and_attributes(self, server, capsys):
-        code, stats = run_cli(server, capsys, "stats")
+        code, stats = run_cli(server, capsys, "stats", "--json")
         assert code == 0 and "files" in stats
+        assert "metrics" in stats  # registry snapshot rides along
         code, defs = run_cli(server, capsys, "list-attributes")
         assert code == 0 and isinstance(defs, list)
+
+    def test_stats_pretty(self, server, capsys):
+        code = main(
+            ["--host", server.host, "--port", str(server.port), "stats"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "catalog objects:" in out
+        assert "mcs_catalog_calls_total" in out
 
     def test_error_to_stderr(self, server, capsys):
         code = main(
