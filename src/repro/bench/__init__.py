@@ -13,9 +13,11 @@ from repro.bench.report import format_series, print_series
 from repro.bench.sweeps import (
     BenchConfig,
     sweep_figure5,
+    sweep_figure5_batched,
     sweep_figure6,
     sweep_figure7,
     sweep_figure8,
+    sweep_figure8_batched,
     sweep_figure9,
     sweep_figure10,
     sweep_figure11,
@@ -26,6 +28,8 @@ __all__ = [
     "run_closed_loop",
     "BenchConfig",
     "sweep_figure5",
+    "sweep_figure5_batched",
+    "sweep_figure8_batched",
     "sweep_figure6",
     "sweep_figure7",
     "sweep_figure8",

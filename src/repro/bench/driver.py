@@ -84,6 +84,30 @@ class BenchEnvironment:
 
         return op
 
+    def bulk_add_delete_op(
+        self, client: MCSClient, worker_id: str, batch_size: int = 32
+    ) -> Callable[[int], None]:
+        """Batched add/delete: one bulk_create_files call for
+        ``batch_size`` files (10 attributes each), then one pipelined
+        ``<BulkRequest>`` of deletes — two round trips per batch instead
+        of ``2 * batch_size``.  The returned op carries
+        ``ops_per_iteration = batch_size`` so drivers weight each
+        iteration as that many add/delete pairs.
+        """
+        workload = QueryWorkload(self.spec, seed=hash(worker_id) & 0xFFFF)
+
+        def op(_: int) -> None:
+            batch = [workload.add_args(worker_id) for _ in range(batch_size)]
+            client.bulk_create_files(
+                [{"name": name, "attributes": attrs} for name, attrs in batch]
+            )
+            with client.bulk() as deletes:
+                for name, _attrs in batch:
+                    deletes.call("delete_logical_file", name=name)
+
+        op.ops_per_iteration = batch_size  # type: ignore[attr-defined]
+        return op
+
     def simple_query_op(self, client: MCSClient, worker_id: str) -> Callable[[int], None]:
         workload = QueryWorkload(self.spec, seed=hash(worker_id) & 0xFFFF)
 
@@ -119,8 +143,11 @@ def run_closed_loop(
         worker_fns = []
         for idx, client in enumerate(clients):
             op = op_factory(client, f"{worker_prefix}{idx}")
+            weight = getattr(op, "ops_per_iteration", 1)
             worker_fns.append(
-                lambda stop, op=op: count_until_stopped(op, stop)
+                lambda stop, op=op, weight=weight: count_until_stopped(
+                    op, stop, ops_per_iteration=weight
+                )
             )
         return run_workers(worker_fns, duration)
     finally:

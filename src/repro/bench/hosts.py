@@ -35,8 +35,11 @@ def run_host_groups(
                 client = env.make_client(mode)
                 clients.append(client)
                 op = op_factory(client, f"h{host}t{thread}")
+                weight = getattr(op, "ops_per_iteration", 1)
                 worker_fns.append(
-                    lambda stop, op=op: count_until_stopped(op, stop)
+                    lambda stop, op=op, weight=weight: count_until_stopped(
+                        op, stop, ops_per_iteration=weight
+                    )
                 )
         return run_workers(worker_fns, duration)
     finally:

@@ -37,6 +37,9 @@ class BenchConfig:
     soap_latency_s: float = 0.015
     """Simulated client<->server network latency for SOAP clients (the
     multi-host substitution documented in DESIGN.md)."""
+    batch_sizes: tuple[int, ...] = (1, 8, 32)
+    """Batch-size axis for the batched add-rate sweeps (figures 5/8
+    extended with bulk operations)."""
 
     def __post_init__(self) -> None:
         if not self.db_sizes:
@@ -56,8 +59,13 @@ _ENV_CACHE: dict[tuple, BenchEnvironment] = {}
 
 
 def get_environment(config: BenchConfig, size: int) -> BenchEnvironment:
-    """Shared populated environment per (size, layout) tuple."""
-    key = (size, config.files_per_collection, config.value_cardinality)
+    """Shared populated environment per (size, layout, latency) tuple."""
+    key = (
+        size,
+        config.files_per_collection,
+        config.value_cardinality,
+        config.soap_latency_s,
+    )
     env = _ENV_CACHE.get(key)
     if env is None:
         env = BenchEnvironment(config.spec(size), soap_latency_s=config.soap_latency_s)
@@ -117,6 +125,79 @@ def sweep_figure6(config: BenchConfig) -> list[dict[str, Any]]:
 def sweep_figure7(config: BenchConfig) -> list[dict[str, Any]]:
     """Figure 7: complex (10-attribute) query rate vs #threads."""
     return _thread_sweep(config, "complex_query_op")
+
+
+# --------------------------------------------------------------------------
+# Batched add-rate sweeps (figures 5/8 with a batch-size axis)
+# --------------------------------------------------------------------------
+
+
+def sweep_figure5_batched(
+    config: BenchConfig,
+    modes: tuple[str, ...] = ("direct", "soap"),
+    threads: int = 4,
+    db_sizes: Optional[tuple[int, ...]] = None,
+) -> list[dict[str, Any]]:
+    """Add rate vs batch size (x axis), fixed thread count per mode.
+
+    Batch size 1 matches the per-call figure-5 shape; larger batches
+    amortize the SOAP round trip over many operations.
+    """
+    rows: list[dict[str, Any]] = []
+    for size in db_sizes or config.db_sizes:
+        env = get_environment(config, size)
+        for mode in modes:
+            for batch in config.batch_sizes:
+                def factory(client, worker_id, batch=batch):
+                    return env.bulk_add_delete_op(
+                        client, worker_id, batch_size=batch
+                    )
+
+                result = run_closed_loop(
+                    env, mode, factory, threads, config.duration,
+                    worker_prefix=f"{mode}-{size}-b{batch}-",
+                )
+                rows.append(
+                    {
+                        "db_size": size,
+                        "mode": mode,
+                        "x": batch,
+                        "rate": result.rate,
+                        "operations": result.operations,
+                    }
+                )
+    return rows
+
+
+def sweep_figure8_batched(
+    config: BenchConfig,
+    hosts: int = 2,
+    modes: tuple[str, ...] = ("direct", "soap"),
+) -> list[dict[str, Any]]:
+    """Aggregate add rate vs batch size with multiple client hosts."""
+    rows: list[dict[str, Any]] = []
+    for size in config.db_sizes:
+        env = get_environment(config, size)
+        for mode in modes:
+            for batch in config.batch_sizes:
+                def factory(client, worker_id, batch=batch):
+                    return env.bulk_add_delete_op(
+                        client, worker_id, batch_size=batch
+                    )
+
+                result = run_host_groups(
+                    env, mode, factory, hosts, duration=config.duration
+                )
+                rows.append(
+                    {
+                        "db_size": size,
+                        "mode": mode,
+                        "x": batch,
+                        "rate": result.rate,
+                        "operations": result.operations,
+                    }
+                )
+    return rows
 
 
 # --------------------------------------------------------------------------

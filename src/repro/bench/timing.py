@@ -70,10 +70,19 @@ def run_workers(
     )
 
 
-def count_until_stopped(op: Callable[[int], None], stop: threading.Event) -> int:
-    """Loop *op* until the stop flag; returns completed iterations."""
+def count_until_stopped(
+    op: Callable[[int], None],
+    stop: threading.Event,
+    ops_per_iteration: int = 1,
+) -> int:
+    """Loop *op* until the stop flag; returns completed operations.
+
+    ``ops_per_iteration`` weights batched ops: one iteration of a
+    batch-32 op counts as 32 operations, so rates stay comparable
+    across batch sizes.
+    """
     done = 0
     while not stop.is_set():
         op(done)
         done += 1
-    return done
+    return done * ops_per_iteration

@@ -16,7 +16,7 @@ Layers, bottom-up:
 """
 
 from repro.core.catalog import MetadataCatalog
-from repro.core.client import MCSClient
+from repro.core.client import BulkContext, BulkResult, MCSClient
 from repro.core.errors import (
     CycleError,
     DuplicateObjectError,
@@ -45,6 +45,8 @@ __all__ = [
     "MetadataCatalog",
     "MCSService",
     "MCSClient",
+    "BulkContext",
+    "BulkResult",
     "ObjectQuery",
     "AttributeCondition",
     "ObjectType",

@@ -729,6 +729,237 @@ class MetadataCatalog:
         return self.query(query)
 
     # ======================================================================
+    # Bulk operations
+    # ======================================================================
+    #
+    # Batch handlers run inside ONE explicit transaction.  ``atomic=True``
+    # is all-or-nothing (any failure rolls the whole batch back and
+    # raises); ``atomic=False`` isolates each item behind an engine
+    # savepoint — failed items are reverted and reported, survivors
+    # commit together.  Either way readers never observe a torn batch:
+    # write locks are held until commit.
+    #
+    # Every bulk transaction pre-acquires its full lock set via
+    # ``lock_tables`` (one sorted acquisition) right after BEGIN, so
+    # concurrent batches can neither deadlock on acquisition order nor
+    # on a read→write upgrade mid-transaction.
+
+    def bulk_create_files(
+        self,
+        entries: Sequence[dict[str, Any]],
+        creator: Optional[str] = None,
+        atomic: bool = True,
+    ) -> list[tuple[bool, Any]]:
+        """Create many logical files in one transaction.
+
+        Each entry is a dict with the :meth:`create_file` keyword
+        arguments (``name`` required).  Returns one ``(ok, value)`` pair
+        per entry — ``value`` is the new file id, or the exception for a
+        failed item in non-atomic mode.
+        """
+        if not entries:
+            return []
+        conn = self._conn
+        conn.begin()
+        try:
+            conn.lock_tables(
+                read=("logical_collection", "attribute_def"),
+                write=("logical_file", "attribute_value"),
+            )
+            if atomic:
+                results = self._bulk_create_files_atomic(conn, entries, creator)
+            else:
+                results = []
+                for entry in entries:
+                    token = conn.savepoint()
+                    try:
+                        file_id = self.create_file(
+                            creator=creator, **self._file_entry_kwargs(entry)
+                        )
+                        results.append((True, file_id))
+                    except Exception as exc:  # noqa: BLE001 - per-item boundary
+                        conn.rollback_to_savepoint(token)
+                        results.append((False, exc))
+            conn.commit()
+            return results
+        except Exception:
+            conn.rollback()
+            raise
+
+    def _bulk_create_files_atomic(
+        self,
+        conn: Connection,
+        entries: Sequence[dict[str, Any]],
+        creator: Optional[str],
+    ) -> list[tuple[bool, Any]]:
+        """Fast path: one multi-row executemany INSERT per table."""
+        now = _now()
+        collection_ids: dict[str, int] = {}
+        params: list[tuple] = []
+        for entry in entries:
+            kwargs = self._file_entry_kwargs(entry)
+            collection = kwargs["collection"]
+            collection_id = None
+            if collection is not None:
+                collection_id = collection_ids.get(collection)
+                if collection_id is None:
+                    collection_id = self._collection_id(conn, collection)
+                    collection_ids[collection] = collection_id
+            params.append(
+                (
+                    kwargs["name"],
+                    kwargs["version"],
+                    kwargs["data_type"],
+                    True,
+                    collection_id,
+                    kwargs["container_id"],
+                    kwargs["container_service"],
+                    kwargs["master_copy"],
+                    creator,
+                    now,
+                    creator,
+                    now,
+                    kwargs["audit_enabled"],
+                )
+            )
+        try:
+            result = conn.executemany(
+                "INSERT INTO logical_file (name, version, data_type, valid, "
+                "collection_id, container_id, container_service, master_copy, "
+                "creator, created, last_modifier, modified, audit_enabled) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                params,
+            )
+        except IntegrityError as exc:
+            raise DuplicateObjectError(
+                f"duplicate logical file in bulk batch: {exc}"
+            ) from exc
+        file_ids = result.lastrowids
+        # New files have no existing attribute rows, so a plain INSERT
+        # suffices (no UPDATE-then-INSERT); group rows per value column
+        # so each type needs only one multi-row statement.
+        attr_rows: dict[str, list[tuple]] = {}
+        for file_id, entry in zip(file_ids, entries):
+            for attr_name, value in (entry.get("attributes") or {}).items():
+                definition = self.get_attribute_def(attr_name)
+                if ObjectType.FILE not in definition.object_types:
+                    raise InvalidAttributeError(
+                        f"attribute {attr_name!r} does not apply to files"
+                    )
+                coerced = _coerce_attr_value(definition, value)
+                attr_rows.setdefault(
+                    definition.value_type.value_column, []
+                ).append(
+                    (definition.id, ObjectType.FILE.value, file_id, coerced)
+                )
+        for column, rows in attr_rows.items():
+            conn.executemany(
+                f"INSERT INTO attribute_value (attr_id, object_type, "
+                f"object_id, {column}) VALUES (?, ?, ?, ?)",
+                rows,
+            )
+        return [(True, file_id) for file_id in file_ids]
+
+    @staticmethod
+    def _file_entry_kwargs(entry: dict[str, Any]) -> dict[str, Any]:
+        if "name" not in entry:
+            raise InvalidAttributeError("bulk file entry missing 'name'")
+        unknown = set(entry) - {
+            "name",
+            "version",
+            "data_type",
+            "collection",
+            "container_id",
+            "container_service",
+            "master_copy",
+            "audit_enabled",
+            "attributes",
+        }
+        if unknown:
+            raise InvalidAttributeError(
+                f"unknown bulk file entry fields {sorted(unknown)}"
+            )
+        return {
+            "name": entry["name"],
+            "version": entry.get("version", 1),
+            "data_type": entry.get("data_type"),
+            "collection": entry.get("collection"),
+            "container_id": entry.get("container_id"),
+            "container_service": entry.get("container_service"),
+            "master_copy": entry.get("master_copy"),
+            "audit_enabled": bool(entry.get("audit_enabled", False)),
+            "attributes": entry.get("attributes"),
+        }
+
+    def bulk_set_attributes(
+        self,
+        items: Sequence[dict[str, Any]],
+        atomic: bool = True,
+    ) -> list[tuple[bool, Any]]:
+        """Set user-defined attributes on many objects in one transaction.
+
+        Each item: ``{"object_type": "file", "name": ..., "version": ...,
+        "attributes": {...}}`` (object_type defaults to file).
+        """
+        if not items:
+            return []
+        conn = self._conn
+        conn.begin()
+        try:
+            conn.lock_tables(
+                read=(
+                    "logical_collection",
+                    "logical_file",
+                    "logical_view",
+                    "attribute_def",
+                ),
+                write=("attribute_value",),
+            )
+            results: list[tuple[bool, Any]] = []
+            for item in items:
+                token = None if atomic else conn.savepoint()
+                try:
+                    raw_type = item.get("object_type", ObjectType.FILE)
+                    otype = (
+                        raw_type
+                        if isinstance(raw_type, ObjectType)
+                        else ObjectType(raw_type)
+                    )
+                    if "name" not in item:
+                        raise InvalidAttributeError(
+                            "bulk attribute item missing 'name'"
+                        )
+                    object_id = self._object_id(
+                        conn, otype, item["name"], item.get("version")
+                    )
+                    self._set_attributes(
+                        conn, otype, object_id, item.get("attributes") or {}
+                    )
+                    results.append((True, True))
+                except Exception as exc:  # noqa: BLE001 - per-item boundary
+                    if atomic:
+                        raise
+                    conn.rollback_to_savepoint(token)
+                    results.append((False, exc))
+            conn.commit()
+            return results
+        except Exception:
+            conn.rollback()
+            raise
+
+    def bulk_query(
+        self, queries: Sequence[ObjectQuery]
+    ) -> list[tuple[bool, Any]]:
+        """Run many discovery queries; per-query fault capture, no txn."""
+        results: list[tuple[bool, Any]] = []
+        for query in queries:
+            try:
+                results.append((True, self.query(query)))
+            except Exception as exc:  # noqa: BLE001 - per-item boundary
+                results.append((False, exc))
+        return results
+
+    # ======================================================================
     # Annotations
     # ======================================================================
 

@@ -26,8 +26,113 @@ from repro.core.errors import error_from_fault
 from repro.core.model import ObjectType
 from repro.core.query import ObjectQuery
 from repro.obs.trace import span as _span
-from repro.soap.envelope import SoapFault
+from repro.soap.envelope import BulkItem, SoapFault
 from repro.soap.transport import DirectTransport, HttpTransport, Transport
+
+
+class BulkResult:
+    """Deferred outcome of one operation queued on :meth:`MCSClient.bulk`.
+
+    Resolves when the pipeline flushes; until then every accessor raises.
+    """
+
+    __slots__ = ("method", "_resolved", "_result", "_error")
+
+    def __init__(self, method: str) -> None:
+        self.method = method
+        self._resolved = False
+        self._result: Any = None
+        self._error: Optional[Exception] = None
+
+    def _resolve(self, item: BulkItem) -> None:
+        self._resolved = True
+        if item.ok:
+            self._result = item.result
+        else:
+            fault = item.fault
+            assert fault is not None
+            if fault.code.startswith("MCS."):
+                self._error = error_from_fault(fault.code, fault.message)
+            else:
+                self._error = fault
+
+    def _require_resolved(self) -> None:
+        if not self._resolved:
+            raise RuntimeError(
+                f"bulk operation {self.method!r} not flushed yet; "
+                "exit the bulk() context or call flush()"
+            )
+
+    @property
+    def ok(self) -> bool:
+        self._require_resolved()
+        return self._error is None
+
+    @property
+    def error(self) -> Optional[Exception]:
+        self._require_resolved()
+        return self._error
+
+    @property
+    def result(self) -> Any:
+        return self.unwrap()
+
+    def unwrap(self) -> Any:
+        """The operation's return value; raises its error if it failed."""
+        self._require_resolved()
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class BulkContext:
+    """Pipelines queued operations into one ``<BulkRequest>`` round trip.
+
+    Usage::
+
+        with client.bulk() as batch:
+            handles = [batch.call("create_logical_file", name=n)
+                       for n in names]
+        ids = [h.result["id"] for h in handles]
+
+    Queued operations run server-side in order with per-item fault
+    isolation (one bad item does not poison the rest); atomicity across
+    items is the explicit ``bulk_*`` APIs' job, not this pipeline's.
+    """
+
+    def __init__(self, client: "MCSClient") -> None:
+        self._client = client
+        self._ops: list[tuple[str, dict[str, Any]]] = []
+        self._pending: list[BulkResult] = []
+
+    def call(self, method: str, **args: Any) -> BulkResult:
+        """Queue one operation; returns a handle resolved at flush."""
+        handle = BulkResult(method)
+        self._ops.append((method, self._client._stamp(method, args)))
+        self._pending.append(handle)
+        return handle
+
+    def flush(self) -> list[BulkResult]:
+        """Send queued operations in one round trip; resolve handles."""
+        if not self._ops:
+            return []
+        ops, handles = self._ops, self._pending
+        self._ops, self._pending = [], []
+        with _span("client.call_bulk", n=str(len(ops))):
+            items = self._client._transport.call_bulk(ops)
+        for handle, item in zip(handles, items):
+            handle._resolve(item)
+        return handles
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __enter__(self) -> "BulkContext":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None:
+            self.flush()
 
 
 class MCSClient:
@@ -68,7 +173,8 @@ class MCSClient:
 
     # -- call plumbing -----------------------------------------------------------
 
-    def _call(self, method: str, **args: Any) -> Any:
+    def _stamp(self, method: str, args: dict[str, Any]) -> dict[str, Any]:
+        """Attach caller identity / CAS / GSI credentials to a request."""
         if self.caller is not None:
             args.setdefault("caller", self.caller)
         if self._cas is not None:
@@ -78,6 +184,10 @@ class MCSClient:
 
             token = self._gsi.sign_request(canonical_payload(method, args))
             args["auth"] = token_to_dict(token)
+        return args
+
+    def _call(self, method: str, **args: Any) -> Any:
+        args = self._stamp(method, args)
         # Root span: mints the request id that rides the SOAP header so
         # server-side spans and logs correlate with this call.
         with _span("client.call", method=method):
@@ -87,6 +197,12 @@ class MCSClient:
                 if fault.code.startswith("MCS."):
                     raise error_from_fault(fault.code, fault.message) from None
                 raise
+
+    # -- bulk pipeline -----------------------------------------------------------
+
+    def bulk(self) -> BulkContext:
+        """Open a pipelined batch: queue calls, flush in one round trip."""
+        return BulkContext(self)
 
     # ======================================================================
     # Files
@@ -144,6 +260,38 @@ class MCSClient:
 
     def list_versions(self, name: str) -> list[int]:
         return self._call("list_versions", name=name)
+
+    # ======================================================================
+    # Bulk operations (single transaction server-side)
+    # ======================================================================
+
+    def bulk_create_files(
+        self, entries: Sequence[dict[str, Any]], atomic: bool = True
+    ) -> dict:
+        """Create many files in one call and one server transaction.
+
+        Each entry holds :meth:`create_logical_file` keyword arguments.
+        Returns ``{"items": [...], "ok": n}`` with one wire item per
+        entry; with ``atomic=True`` any failure raises instead (nothing
+        committed).
+        """
+        return self._call(
+            "bulk_create_files", entries=list(entries), atomic=atomic
+        )
+
+    def bulk_set_attributes(
+        self, items: Sequence[dict[str, Any]], atomic: bool = True
+    ) -> dict:
+        """Set attributes on many objects in one call and transaction."""
+        return self._call("bulk_set_attributes", items=list(items), atomic=atomic)
+
+    def bulk_query(self, queries: Sequence[ObjectQuery | dict]) -> dict:
+        """Run many discovery queries in one round trip."""
+        wire = [
+            _query_to_dict(q) if isinstance(q, ObjectQuery) else q
+            for q in queries
+        ]
+        return self._call("bulk_query", queries=wire)
 
     # ======================================================================
     # User-defined attributes

@@ -75,6 +75,23 @@ _AUTHZ_SECONDS = _obs_histogram(
     "mcs_catalog_authz_seconds",
     "Authorization-check time (granularity != 'none' only)",
 )
+_BULK_BATCH_SIZE = _obs_histogram(
+    "mcs_catalog_bulk_batch_size",
+    "Items per explicit bulk_* service call",
+    labels=("operation",),
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+)
+_BULK_ITEMS = _obs_counter(
+    "mcs_catalog_bulk_items_total",
+    "Per-item outcomes of explicit bulk_* service calls",
+    labels=("operation", "status"),
+)
+_BULK_ITEM_SECONDS = _obs_histogram(
+    "mcs_catalog_bulk_item_seconds",
+    "Batch latency divided by item count — compare against the "
+    "per-operation mcs_catalog_op_seconds to see the batching win",
+    labels=("operation",),
+)
 
 # Per-operation metric children + span name, resolved once per method name
 # (the dispatch path is the service's hot path).
@@ -643,6 +660,152 @@ class MCSService:
         """Physical plan of an attribute query — for operators/tuning."""
         self._check(caller, Permission.READ, assertion=assertion)
         return self.catalog.explain_query(_query_from_dict(query))
+
+    # ======================================================================
+    # Bulk operations
+    # ======================================================================
+    #
+    # Explicit batch handlers: authorization runs once per distinct
+    # object (single-pass), the catalog executes the batch in one
+    # transaction, and every item's outcome comes back as a wire dict —
+    # ``{"ok": True, "result": ...}`` or ``{"ok": False, "code": ...,
+    # "message": ...}``.  With ``atomic=True`` a failing item raises a
+    # single batch-level fault instead (nothing was committed).
+
+    @staticmethod
+    def _bulk_item_error(exc: Exception) -> dict:
+        if isinstance(exc, MCSError):
+            return {"ok": False, "code": exc.fault_code, "message": str(exc)}
+        if isinstance(exc, SecurityError):
+            return {
+                "ok": False,
+                "code": PermissionDeniedError.fault_code,
+                "message": str(exc),
+            }
+        return {
+            "ok": False,
+            "code": "Server",
+            "message": f"{type(exc).__name__}: {exc}",
+        }
+
+    @staticmethod
+    def _bulk_wire_items(outcomes: list[tuple[bool, Any]]) -> list[dict]:
+        return [
+            {"ok": True, "result": value}
+            if ok
+            else MCSService._bulk_item_error(value)
+            for ok, value in outcomes
+        ]
+
+    def _bulk_observe(
+        self, operation: str, n_items: int, items: list[dict], start: float
+    ) -> None:
+        if not OBS.enabled or not n_items:
+            return
+        elapsed = time.perf_counter() - start
+        _BULK_BATCH_SIZE.labels(operation).observe(n_items)
+        _BULK_ITEM_SECONDS.labels(operation).observe(elapsed / n_items)
+        ok = sum(1 for item in items if item.get("ok"))
+        if ok:
+            _BULK_ITEMS.labels(operation, "ok").inc(ok)
+        if n_items - ok:
+            _BULK_ITEMS.labels(operation, "fault").inc(n_items - ok)
+
+    def op_bulk_create_files(
+        self,
+        caller: str,
+        assertion: Optional[CapabilityAssertion],
+        entries: list[dict[str, Any]],
+        atomic: bool = True,
+    ) -> dict:
+        start = time.perf_counter() if OBS.enabled else 0.0
+        self._check(caller, Permission.WRITE, assertion=assertion)
+        if self.granularity == "object":
+            # Single-pass authz: each distinct target collection once,
+            # not once per file.
+            seen: set[str] = set()
+            for entry in entries:
+                collection = entry.get("collection")
+                if collection is not None and collection not in seen:
+                    seen.add(collection)
+                    self._check(
+                        caller,
+                        Permission.WRITE,
+                        ObjectType.COLLECTION,
+                        collection,
+                        assertion=assertion,
+                    )
+        outcomes = self.catalog.bulk_create_files(
+            entries, creator=caller, atomic=atomic
+        )
+        for (ok, value), entry in zip(outcomes, entries):
+            if ok:
+                self._audit(
+                    ObjectType.FILE,
+                    value,
+                    bool(entry.get("audit_enabled", False)),
+                    "create",
+                    f"name={entry.get('name')} (bulk)",
+                    caller,
+                )
+        items = self._bulk_wire_items(outcomes)
+        for item, (ok, value) in zip(items, outcomes):
+            if ok:
+                item["result"] = {"id": value}
+        self._bulk_observe("bulk_create_files", len(entries), items, start)
+        return {"items": items, "ok": sum(1 for i in items if i["ok"])}
+
+    def op_bulk_set_attributes(
+        self,
+        caller: str,
+        assertion: Optional[CapabilityAssertion],
+        items: list[dict[str, Any]],
+        atomic: bool = True,
+    ) -> dict:
+        start = time.perf_counter() if OBS.enabled else 0.0
+        self._check(caller, Permission.WRITE, assertion=assertion)
+        if self.granularity == "object":
+            seen: set[tuple] = set()
+            for item in items:
+                key = (
+                    item.get("object_type", "file"),
+                    item.get("name"),
+                    item.get("version"),
+                )
+                if key[1] is not None and key not in seen:
+                    seen.add(key)
+                    self._check(
+                        caller,
+                        Permission.WRITE,
+                        ObjectType(key[0]),
+                        key[1],
+                        key[2],
+                        assertion,
+                    )
+        outcomes = self.catalog.bulk_set_attributes(items, atomic=atomic)
+        wire = self._bulk_wire_items(outcomes)
+        self._bulk_observe("bulk_set_attributes", len(items), wire, start)
+        return {"items": wire, "ok": sum(1 for i in wire if i["ok"])}
+
+    def op_bulk_query(
+        self,
+        caller: str,
+        assertion: Optional[CapabilityAssertion],
+        queries: list[dict[str, Any]],
+    ) -> dict:
+        start = time.perf_counter() if OBS.enabled else 0.0
+        self._check(caller, Permission.READ, assertion=assertion)
+        outcomes: list[tuple[bool, Any]] = []
+        for data in queries:
+            try:
+                parsed = _query_from_dict(data)
+            except Exception as exc:  # noqa: BLE001 - per-item boundary
+                outcomes.append((False, exc))
+                continue
+            outcomes.extend(self.catalog.bulk_query([parsed]))
+        wire = self._bulk_wire_items(outcomes)
+        self._bulk_observe("bulk_query", len(queries), wire, start)
+        return {"items": wire, "ok": sum(1 for i in wire if i["ok"])}
 
     # ======================================================================
     # Collections

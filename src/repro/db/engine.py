@@ -97,11 +97,16 @@ class ResultSet:
         rows: Optional[list[tuple]] = None,
         rowcount: int = -1,
         lastrowid: Optional[int] = None,
+        lastrowids: Optional[list[int]] = None,
     ) -> None:
         self.columns = columns
         self._rows = rows if rows is not None else []
         self.rowcount = rowcount if rowcount >= 0 else len(self._rows)
         self.lastrowid = lastrowid
+        # Auto-increment values for every inserted row, in insertion
+        # order — the multi-row INSERT / executemany counterpart of
+        # ``lastrowid`` (which only reports the final row's value).
+        self.lastrowids = lastrowids if lastrowids is not None else []
         self._cursor = 0
 
     def fetchall(self) -> list[tuple]:
@@ -312,9 +317,55 @@ class Connection:
         finally:
             _statement_timer(stmt).observe(time.perf_counter() - start)
 
+    def executemany(
+        self, sql: str, seq_of_params: Sequence[Sequence[Any]]
+    ) -> ResultSet:
+        """Execute one INSERT for many parameter sets under one lock pass.
+
+        The batched-executor path: locks are acquired once, every row is
+        inserted, and the whole call is all-or-nothing (any failure rolls
+        back every row of this call).  Only INSERT is supported — batched
+        UPDATE/DELETE have no single-pass win in this engine.
+        """
+        if self._closed:
+            raise ProgrammingError("connection is closed")
+        stmt = self._db.parse(sql)
+        if not isinstance(stmt, Insert):
+            raise ProgrammingError("executemany supports INSERT statements only")
+        param_sets = [tuple(p) for p in seq_of_params]
+        if not param_sets:
+            return ResultSet(rowcount=0)
+        if not OBS.enabled or not _sample_tick():
+            return self._execute_insert_many(stmt, param_sets)
+        start = time.perf_counter()
+        try:
+            return self._execute_insert_many(stmt, param_sets)
+        finally:
+            _statement_timer(stmt).observe(time.perf_counter() - start)
+
     def executescript(self, sql: str) -> None:
         for piece in split_statements(sql):
             self.execute(piece)
+
+    def lock_tables(
+        self,
+        read: Sequence[str] = (),
+        write: Sequence[str] = (),
+    ) -> None:
+        """Eagerly acquire table locks for the whole transaction.
+
+        The ``LOCK TABLES`` analog: a multi-statement transaction that
+        will eventually write a table it first reads must take the write
+        lock up front, otherwise two such transactions can deadlock on
+        the read→write upgrade.  Locks taken here are held (reentrantly
+        re-granted to later statements) until COMMIT/ROLLBACK.
+        """
+        if self._closed:
+            raise ProgrammingError("connection is closed")
+        if not self._txn.explicit:
+            raise TransactionError("lock_tables requires an explicit transaction")
+        held = self._with_locks(set(read) - set(write), set(write))
+        self._txn.held.extend(held)
 
     def begin(self) -> None:
         self.execute("BEGIN")
@@ -397,6 +448,27 @@ class Connection:
         self._txn.wal_records.clear()
         self._txn.explicit = False
 
+    def savepoint(self) -> tuple[int, int]:
+        """Mark a rollback point inside an explicit transaction.
+
+        Returns an opaque token for :meth:`rollback_to_savepoint`.  Locks
+        taken after the savepoint are retained until commit/rollback (as
+        in most lock-based engines); only data changes are reverted.
+        """
+        if not self._txn.explicit:
+            raise TransactionError("savepoint requires an explicit transaction")
+        return (self._txn.undo.mark(), len(self._txn.wal_records))
+
+    def rollback_to_savepoint(self, token: tuple[int, int]) -> None:
+        """Revert every data change made since :meth:`savepoint`."""
+        if not self._txn.explicit:
+            raise TransactionError(
+                "rollback_to_savepoint requires an explicit transaction"
+            )
+        undo_mark, wal_mark = token
+        self._txn.undo.rollback_to(self._db.catalog, undo_mark)
+        del self._txn.wal_records[wal_mark:]
+
     # -- lock scaffolding -----------------------------------------------------------------
 
     def _with_locks(self, read_tables: set[str], write_tables: set[str]):
@@ -477,38 +549,52 @@ class Connection:
     # -- INSERT ---------------------------------------------------------------------------
 
     def _execute_insert(self, stmt: Insert, params: tuple) -> ResultSet:
+        return self._execute_insert_many(stmt, [params])
+
+    def _execute_insert_many(
+        self, stmt: Insert, param_sets: list[tuple]
+    ) -> ResultSet:
+        """Insert ``stmt.rows`` once per parameter set under one lock pass."""
         table = self._db.catalog.table(stmt.table)  # early schema check
         read_tables = {fk.ref_table for fk in table.definition.foreign_keys}
         held = self._with_locks(read_tables, {stmt.table})
         success = False
-        lastrowid: Optional[int] = None
+        lastrowids: list[int] = []
         inserted = 0
         undo_mark = self._txn.undo.mark()
         wal_mark = len(self._txn.wal_records)
         try:
-            for row_exprs in stmt.rows:
-                values: dict[str, Any] = {}
-                for col, expr in zip(stmt.columns, row_exprs):
-                    bound_expr = bind_parameters(expr, params)
-                    values[col] = bound_expr.eval({})
-                rowid, stored = table.insert(values)
-                self._txn.undo.record_insert(stmt.table, rowid)
-                self._db.fk.check_insert(table, stored)
-                self._txn.wal_records.append(
-                    {
-                        "op": "insert",
-                        "table": stmt.table,
-                        "rowid": rowid,
-                        "row": walmod.encode_row(stored),
-                    }
-                )
-                if table.definition.auto_column is not None:
-                    lastrowid = stored[
-                        table.definition.column_index(table.definition.auto_column)
-                    ]
-                inserted += 1
+            auto_index = (
+                table.definition.column_index(table.definition.auto_column)
+                if table.definition.auto_column is not None
+                else None
+            )
+            for params in param_sets:
+                for row_exprs in stmt.rows:
+                    values: dict[str, Any] = {}
+                    for col, expr in zip(stmt.columns, row_exprs):
+                        bound_expr = bind_parameters(expr, params)
+                        values[col] = bound_expr.eval({})
+                    rowid, stored = table.insert(values)
+                    self._txn.undo.record_insert(stmt.table, rowid)
+                    self._db.fk.check_insert(table, stored)
+                    self._txn.wal_records.append(
+                        {
+                            "op": "insert",
+                            "table": stmt.table,
+                            "rowid": rowid,
+                            "row": walmod.encode_row(stored),
+                        }
+                    )
+                    if auto_index is not None:
+                        lastrowids.append(stored[auto_index])
+                    inserted += 1
             success = True
-            return ResultSet(rowcount=inserted, lastrowid=lastrowid)
+            return ResultSet(
+                rowcount=inserted,
+                lastrowid=lastrowids[-1] if lastrowids else None,
+                lastrowids=lastrowids,
+            )
         except Exception:
             self._txn.undo.rollback_to(self._db.catalog, undo_mark)
             del self._txn.wal_records[wal_mark:]

@@ -19,6 +19,7 @@ operation, applied in reverse order on ROLLBACK.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from typing import Any, Optional
@@ -44,6 +45,14 @@ class RWLock:
 
     Supports read→write upgrade for the sole reader; concurrent upgrade
     attempts are resolved by timeout.
+
+    Fairness is arrival-ordered: a fresh reader is gated only by writers
+    that started waiting *before* it, and a waiting writer only admits
+    readers that arrived before it.  Overlapping readers therefore
+    cannot starve a writer, and a stream of back-to-back writers cannot
+    starve readers — each waiter outwaits a finite set.  Owners already
+    holding a read re-enter freely (an upgrade could otherwise deadlock
+    against its own gated peers).
     """
 
     def __init__(self, name: str = "") -> None:
@@ -52,23 +61,57 @@ class RWLock:
         self._readers: dict[Any, int] = {}
         self._writer: Any = None
         self._writer_depth = 0
+        self._ticket = itertools.count()
+        self._waiting_writers: set[int] = set()
+        self._waiting_readers: set[int] = set()
+
+    def _read_admissible(self, owner: Any, ticket: Optional[int]) -> bool:
+        if self._writer == owner:
+            return True
+        if self._writer is not None:
+            return False
+        if owner in self._readers:
+            return True  # reentrant read is never gated
+        barrier = min(self._waiting_writers, default=None)
+        return barrier is None or (ticket is not None and ticket < barrier)
+
+    def _write_admissible(self, owner: Any, ticket: int) -> bool:
+        if self._writer == owner:
+            return True  # reentrant write is never gated
+        if self._writer is not None:
+            return False
+        if any(o != owner for o in self._readers):
+            return False
+        barrier = min(self._waiting_readers, default=None)
+        return barrier is None or ticket < barrier
 
     def acquire_read(self, owner: Any, timeout: float) -> None:
         deadline = time.monotonic() + timeout
         waited_from = 0.0
         with self._cond:
-            while True:
-                if self._writer is None or self._writer == owner:
-                    self._readers[owner] = self._readers.get(owner, 0) + 1
-                    break
-                if not waited_from and OBS.enabled:
-                    waited_from = time.perf_counter()
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not self._cond.wait(remaining):
-                    _LOCK_TIMEOUTS.labels(self.name).inc()
-                    raise LockTimeoutError(
-                        f"timeout acquiring read lock on {self.name!r}"
-                    )
+            ticket: Optional[int] = None
+            try:
+                while True:
+                    if self._read_admissible(owner, ticket):
+                        self._readers[owner] = self._readers.get(owner, 0) + 1
+                        break
+                    if ticket is None:
+                        ticket = next(self._ticket)
+                        self._waiting_readers.add(ticket)
+                    if not waited_from and OBS.enabled:
+                        waited_from = time.perf_counter()
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        _LOCK_TIMEOUTS.labels(self.name).inc()
+                        raise LockTimeoutError(
+                            f"timeout acquiring read lock on {self.name!r}"
+                        )
+            finally:
+                if ticket is not None:
+                    self._waiting_readers.discard(ticket)
+                    # Writers deferring to this reader must re-check
+                    # (granted or timed out either way).
+                    self._cond.notify_all()
         if waited_from:
             _LOCK_WAIT_SECONDS.labels(self.name).observe(
                 time.perf_counter() - waited_from
@@ -78,20 +121,27 @@ class RWLock:
         deadline = time.monotonic() + timeout
         waited_from = 0.0
         with self._cond:
-            while True:
-                others_reading = any(o != owner for o in self._readers)
-                if (self._writer is None or self._writer == owner) and not others_reading:
-                    self._writer = owner
-                    self._writer_depth += 1
-                    break
-                if not waited_from and OBS.enabled:
-                    waited_from = time.perf_counter()
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not self._cond.wait(remaining):
-                    _LOCK_TIMEOUTS.labels(self.name).inc()
-                    raise LockTimeoutError(
-                        f"timeout acquiring write lock on {self.name!r}"
-                    )
+            ticket = next(self._ticket)
+            self._waiting_writers.add(ticket)
+            try:
+                while True:
+                    if self._write_admissible(owner, ticket):
+                        self._writer = owner
+                        self._writer_depth += 1
+                        break
+                    if not waited_from and OBS.enabled:
+                        waited_from = time.perf_counter()
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        _LOCK_TIMEOUTS.labels(self.name).inc()
+                        raise LockTimeoutError(
+                            f"timeout acquiring write lock on {self.name!r}"
+                        )
+            finally:
+                self._waiting_writers.discard(ticket)
+                # Readers gated behind this writer must re-check whether
+                # the gate is open (acquired or timed out either way).
+                self._cond.notify_all()
         if waited_from:
             _LOCK_WAIT_SECONDS.labels(self.name).observe(
                 time.perf_counter() - waited_from

@@ -13,7 +13,7 @@ trip, and server-side thread dispatch.
   in-process) so benchmarks can separate codec cost from socket cost
 """
 
-from repro.soap.envelope import SoapFault
+from repro.soap.envelope import BulkItem, SoapFault
 from repro.soap.server import SoapServer
 from repro.soap.client import SoapClient
 from repro.soap.transport import (
@@ -21,9 +21,11 @@ from repro.soap.transport import (
     HttpTransport,
     LoopbackCodecTransport,
     Transport,
+    execute_bulk,
 )
 
 __all__ = [
+    "BulkItem",
     "SoapFault",
     "SoapServer",
     "SoapClient",
@@ -31,4 +33,5 @@ __all__ = [
     "DirectTransport",
     "HttpTransport",
     "LoopbackCodecTransport",
+    "execute_bulk",
 ]

@@ -1,9 +1,15 @@
-"""SOAP envelopes: request/response framing, headers, and faults.
+"""SOAP envelopes: request/response framing, headers, faults, and batches.
 
 Requests may carry a ``<Header><RequestId>`` element: the client stamps
 its current trace request id there and the server restores it into its
 own context, so spans and log lines on both sides of the socket share
 one correlation id (see :mod:`repro.obs.trace`).
+
+Besides the one-call ``<Call>`` form, a request body may be a
+``<BulkRequest>`` carrying N ``<Call>`` elements — N operations in one
+HTTP round trip.  The matching ``<BulkResponse>`` carries one ``<Item>``
+per operation, each either a result or an inline fault, so one bad item
+never poisons the rest of the batch.
 
 Every build/parse function feeds the ``mcs_soap_codec_seconds`` timing
 histogram — the codec share of the paper's "web service overhead" — and
@@ -16,7 +22,8 @@ from __future__ import annotations
 
 import time
 import xml.etree.ElementTree as ET
-from typing import Any, Optional
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
 
 from repro.obs.metrics import OBS, histogram as _obs_histogram
 from repro.soap.errors import EncodingError
@@ -34,6 +41,10 @@ _DECODE_REQUEST = _CODEC_SECONDS.labels("decode_request")
 _ENCODE_RESPONSE = _CODEC_SECONDS.labels("encode_response")
 _DECODE_RESPONSE = _CODEC_SECONDS.labels("decode_response")
 _ENCODE_FAULT = _CODEC_SECONDS.labels("encode_fault")
+_ENCODE_BULK_REQUEST = _CODEC_SECONDS.labels("encode_bulk_request")
+_DECODE_BULK_REQUEST = _CODEC_SECONDS.labels("decode_bulk_request")
+_ENCODE_BULK_RESPONSE = _CODEC_SECONDS.labels("encode_bulk_response")
+_DECODE_BULK_RESPONSE = _CODEC_SECONDS.labels("decode_bulk_response")
 
 
 class SoapFault(Exception):
@@ -105,6 +116,191 @@ def parse_request(data: bytes) -> tuple[str, dict[str, Any]]:
     return method, args
 
 
+# --------------------------------------------------------------------------
+# Bulk (multi-call) envelopes
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class BulkItem:
+    """Per-operation outcome inside a bulk exchange.
+
+    Exactly one of ``result`` (when ``ok``) or ``fault`` (when not) is
+    meaningful; a failed item carries a full :class:`SoapFault` so the
+    caller can surface the same typed error a single call would raise.
+    """
+
+    ok: bool
+    result: Any = None
+    fault: Optional[SoapFault] = None
+
+    def unwrap(self) -> Any:
+        """The result, or raise the carried fault."""
+        if self.ok:
+            return self.result
+        assert self.fault is not None
+        raise self.fault
+
+
+@dataclass
+class ParsedRequest:
+    """A decoded request body: one call, or a batch of them."""
+
+    calls: list[tuple[str, dict[str, Any]]] = field(default_factory=list)
+    bulk: bool = False
+    request_id: Optional[str] = None
+
+
+def build_bulk_request(
+    operations: Sequence[tuple[str, dict[str, Any]]],
+    request_id: Optional[str] = None,
+) -> bytes:
+    """Serialize N method calls into one ``<BulkRequest>`` document."""
+    start = time.perf_counter() if OBS.enabled else 0.0
+    envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
+    if request_id is not None:
+        header = ET.SubElement(envelope, "Header")
+        rid = ET.SubElement(header, "RequestId")
+        rid.text = request_id
+    body = ET.SubElement(envelope, "Body")
+    bulk = ET.SubElement(body, "BulkRequest")
+    for method, args in operations:
+        call = ET.SubElement(bulk, "Call")
+        call.set("method", method)
+        for name, value in args.items():
+            arg = ET.SubElement(call, "arg")
+            arg.set("name", name)
+            encode_value(arg, value)
+    out = ET.tostring(envelope, encoding="utf-8")
+    if OBS.enabled:
+        _ENCODE_BULK_REQUEST.observe(time.perf_counter() - start)
+    return out
+
+
+def _parse_call(call: ET.Element) -> tuple[str, dict[str, Any]]:
+    method = call.get("method")
+    if not method:
+        raise EncodingError("request missing method name")
+    args: dict[str, Any] = {}
+    for arg in call:
+        name = arg.get("name")
+        if name is None or len(arg) != 1:
+            raise EncodingError("malformed request argument")
+        args[name] = decode_value(arg[0])
+    return method, args
+
+
+def parse_any_request(data: bytes) -> ParsedRequest:
+    """Parse a request that may be a single ``<Call>`` or a ``<BulkRequest>``."""
+    start = time.perf_counter() if OBS.enabled else 0.0
+    try:
+        envelope = ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise EncodingError(f"malformed request envelope: {exc}") from exc
+    body = _body(envelope)
+    request_id = _header_request_id(envelope)
+    for child in body:
+        tag = _local(child.tag)
+        if tag == "Call":
+            parsed = ParsedRequest(
+                calls=[_parse_call(child)], bulk=False, request_id=request_id
+            )
+            if OBS.enabled:
+                _DECODE_REQUEST.observe(time.perf_counter() - start)
+            return parsed
+        if tag == "BulkRequest":
+            calls = []
+            for sub in child:
+                if _local(sub.tag) != "Call":
+                    raise EncodingError(
+                        f"BulkRequest carries unexpected element {_local(sub.tag)!r}"
+                    )
+                calls.append(_parse_call(sub))
+            parsed = ParsedRequest(calls=calls, bulk=True, request_id=request_id)
+            if OBS.enabled:
+                _DECODE_BULK_REQUEST.observe(time.perf_counter() - start)
+            return parsed
+    raise EncodingError("Body missing Call")
+
+
+def parse_bulk_request(
+    data: bytes,
+) -> tuple[list[tuple[str, dict[str, Any]]], Optional[str]]:
+    """Parse a ``<BulkRequest>`` document; returns (operations, request_id)."""
+    parsed = parse_any_request(data)
+    if not parsed.bulk:
+        raise EncodingError("expected a BulkRequest body")
+    return parsed.calls, parsed.request_id
+
+
+def build_bulk_response(items: Sequence[BulkItem]) -> bytes:
+    """Serialize per-operation outcomes into one ``<BulkResponse>``."""
+    start = time.perf_counter() if OBS.enabled else 0.0
+    envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
+    body = ET.SubElement(envelope, "Body")
+    bulk = ET.SubElement(body, "BulkResponse")
+    for item in items:
+        element = ET.SubElement(bulk, "Item")
+        if item.ok:
+            element.set("ok", "1")
+            encode_value(element, item.result, "result")
+        else:
+            fault = item.fault if item.fault is not None else SoapFault("Server", "")
+            element.set("ok", "0")
+            element.set("code", fault.code)
+            message = ET.SubElement(element, "message")
+            message.text = fault.message
+            encode_value(element, fault.detail, "detail")
+    out = ET.tostring(envelope, encoding="utf-8")
+    if OBS.enabled:
+        _ENCODE_BULK_RESPONSE.observe(time.perf_counter() - start)
+    return out
+
+
+def parse_bulk_response(data: bytes) -> list[BulkItem]:
+    """Parse a ``<BulkResponse>``; envelope-level faults are raised,
+    per-item faults are returned inline (never raised)."""
+    start = time.perf_counter() if OBS.enabled else 0.0
+    try:
+        envelope = ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise EncodingError(f"malformed response envelope: {exc}") from exc
+    body = _body(envelope)
+    for child in body:
+        tag = _local(child.tag)
+        if tag == "BulkResponse":
+            items = [_parse_bulk_item(sub) for sub in child]
+            if OBS.enabled:
+                _DECODE_BULK_RESPONSE.observe(time.perf_counter() - start)
+            return items
+        if tag == "Fault":
+            raise _fault_from_element(child)
+    raise EncodingError("response carries neither BulkResponse nor Fault")
+
+
+def _parse_bulk_item(element: ET.Element) -> BulkItem:
+    if _local(element.tag) != "Item":
+        raise EncodingError(
+            f"BulkResponse carries unexpected element {_local(element.tag)!r}"
+        )
+    ok = element.get("ok")
+    if ok == "1":
+        if len(element) != 1:
+            raise EncodingError("malformed bulk item payload")
+        return BulkItem(ok=True, result=decode_value(element[0]))
+    if ok == "0":
+        message = ""
+        detail: dict = {}
+        for sub in element:
+            if _local(sub.tag) == "message":
+                message = sub.text or ""
+            elif _local(sub.tag) == "detail":
+                detail = decode_value(sub)
+        fault = SoapFault(element.get("code", "Server"), message, detail)
+        return BulkItem(ok=False, fault=fault)
+    raise EncodingError("bulk item missing ok flag")
+
+
 def build_response(result: Any) -> bytes:
     """Serialize a successful method result."""
     start = time.perf_counter() if OBS.enabled else 0.0
@@ -158,15 +354,19 @@ def _parse_response(data: bytes) -> Any:
                 raise EncodingError("malformed response payload")
             return decode_value(child[0])
         if tag == "Fault":
-            message = ""
-            detail: dict = {}
-            for sub in child:
-                if _local(sub.tag) == "message":
-                    message = sub.text or ""
-                elif _local(sub.tag) == "detail":
-                    detail = decode_value(sub)
-            raise SoapFault(child.get("code", "Server"), message, detail)
+            raise _fault_from_element(child)
     raise EncodingError("response carries neither Response nor Fault")
+
+
+def _fault_from_element(element: ET.Element) -> SoapFault:
+    message = ""
+    detail: dict = {}
+    for sub in element:
+        if _local(sub.tag) == "message":
+            message = sub.text or ""
+        elif _local(sub.tag) == "detail":
+            detail = decode_value(sub)
+    return SoapFault(element.get("code", "Server"), message, detail)
 
 
 def _local(tag: str) -> str:

@@ -21,6 +21,7 @@ from repro.obs import trace as _trace
 from repro.obs.log import get_logger
 from repro.obs.metrics import (
     OBS,
+    Counter,
     counter as _obs_counter,
     gauge as _obs_gauge,
     histogram as _obs_histogram,
@@ -28,10 +29,12 @@ from repro.obs.metrics import (
 )
 from repro.soap.envelope import (
     SoapFault,
+    build_bulk_response,
     build_fault,
     build_response,
-    parse_request_full,
+    parse_any_request,
 )
+from repro.soap.transport import execute_bulk
 from repro.soap.wsdl import ServiceDescription, generate_wsdl
 
 Handler = Callable[[str, dict[str, Any]], Any]
@@ -63,6 +66,17 @@ _WORKER_SATURATION = _obs_counter(
     "mcs_soap_worker_saturation_total",
     "Requests that arrived while every worker-pool slot was busy",
 )
+# Count-scale buckets: a batch-size distribution, not a latency one.
+_BULK_BATCH_SIZE = _obs_histogram(
+    "mcs_soap_bulk_batch_size",
+    "Operations carried per <BulkRequest> envelope",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+)
+_BULK_ITEMS = _obs_counter(
+    "mcs_soap_bulk_items_total",
+    "Per-item outcomes inside <BulkRequest> batches",
+    labels=("status",),
+)
 
 
 class SoapServer:
@@ -77,13 +91,16 @@ class SoapServer:
         description: Optional[ServiceDescription] = None,
         fault_mapper: Optional[FaultMapper] = None,
         max_workers: int = 4,
+        max_bulk_items: int = 1024,
     ) -> None:
         self._handler = handler
         self._description = description
         self._fault_mapper = fault_mapper
-        self._requests_served = 0
-        self._faults_served = 0
-        self._counter_lock = threading.Lock()
+        self.max_bulk_items = max_bulk_items
+        # Sharded counters (lock-free increments merged on read) so
+        # concurrent handler threads never race a shared int.
+        self._requests_served = Counter()
+        self._faults_served = Counter()
         # Bounded worker pool, like a servlet container's maxThreads: one
         # thread per connection still reads the request, but at most
         # max_workers requests are *processed* concurrently.  (Unbounded
@@ -130,11 +147,17 @@ class SoapServer:
                 is_fault = False
                 try:
                     try:
-                        method, args, request_id = parse_request_full(payload)
+                        parsed = parse_any_request(payload)
+                        request_id = parsed.request_id
                         if request_id is not None:
                             rid_token = _trace.set_request_id(request_id)
-                        result = outer._handler(method, args)
-                        body = build_response(result)
+                        if parsed.bulk:
+                            method = "<bulk>"
+                            body = outer._handle_bulk(parsed.calls)
+                        else:
+                            ((method, args),) = parsed.calls
+                            result = outer._handler(method, args)
+                            body = build_response(result)
                         status = 200
                     except SoapFault as fault:
                         body = build_fault(fault)
@@ -204,12 +227,34 @@ class SoapServer:
 
     def _count_request(self, fault: bool) -> None:
         _SERVER_REQUESTS.inc()
+        self._requests_served.inc()
         if fault:
             _SERVER_FAULTS.inc()
-        with self._counter_lock:
-            self._requests_served += 1
-            if fault:
-                self._faults_served += 1
+            self._faults_served.inc()
+
+    def _handle_bulk(self, calls: list[tuple[str, dict[str, Any]]]) -> bytes:
+        """Run a ``<BulkRequest>`` batch; per-item faults stay inline.
+
+        Raises :class:`SoapFault` (an envelope-level fault, HTTP 500) only
+        for batch-shape problems — an oversized batch — never for an
+        individual operation failing.
+        """
+        if len(calls) > self.max_bulk_items:
+            raise SoapFault(
+                "Client.BatchTooLarge",
+                f"batch of {len(calls)} operations exceeds "
+                f"max_bulk_items={self.max_bulk_items}",
+            )
+        if OBS.enabled:
+            _BULK_BATCH_SIZE.observe(len(calls))
+        items = execute_bulk(self._handler, calls, self._map_fault)
+        if OBS.enabled:
+            ok = sum(1 for item in items if item.ok)
+            if ok:
+                _BULK_ITEMS.labels("ok").inc(ok)
+            if len(items) - ok:
+                _BULK_ITEMS.labels("fault").inc(len(items) - ok)
+        return build_bulk_response(items)
 
     def _map_fault(self, exc: Exception) -> SoapFault:
         if self._fault_mapper is not None:
@@ -244,14 +289,12 @@ class SoapServer:
     @property
     def requests_served(self) -> int:
         """Every request handled, successes and faults alike."""
-        with self._counter_lock:
-            return self._requests_served
+        return self._requests_served.value
 
     @property
     def faults_served(self) -> int:
         """Requests answered with a SOAP fault (mapped or explicit)."""
-        with self._counter_lock:
-            return self._faults_served
+        return self._faults_served.value
 
     @property
     def endpoint(self) -> tuple[str, int]:

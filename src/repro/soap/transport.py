@@ -17,20 +17,54 @@ HttpTransport     SOAP over a real TCP connection — the paper's
 
 from __future__ import annotations
 
-from typing import Any, Callable, Protocol
+from typing import Any, Callable, Optional, Protocol, Sequence
 
 from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _obs_counter
 from repro.soap.envelope import (
+    BulkItem,
     SoapFault,
+    build_bulk_request,
+    build_bulk_response,
     build_request,
     build_response,
     build_fault,
+    parse_bulk_request,
+    parse_bulk_response,
     parse_request_full,
     parse_response,
 )
 
 Handler = Callable[[str, dict[str, Any]], Any]
+FaultMapperFn = Callable[[Exception], Optional[SoapFault]]
+Operations = Sequence[tuple[str, dict[str, Any]]]
+
+
+def execute_bulk(
+    handler: Handler,
+    operations: Operations,
+    fault_mapper: Optional[FaultMapperFn] = None,
+) -> list[BulkItem]:
+    """Dispatch a batch of operations with per-item fault isolation.
+
+    This is the one implementation of generic bulk semantics: every
+    transport (and the SOAP server) funnels batches through it, so a
+    batch behaves identically in-process and over the wire — each item
+    runs in order, and a failing item becomes an inline fault instead of
+    aborting its successors.
+    """
+    items: list[BulkItem] = []
+    for method, args in operations:
+        try:
+            items.append(BulkItem(ok=True, result=handler(method, args)))
+        except SoapFault as fault:
+            items.append(BulkItem(ok=False, fault=fault))
+        except Exception as exc:  # noqa: BLE001 - per-item fault boundary
+            mapped = fault_mapper(exc) if fault_mapper is not None else None
+            if mapped is None:
+                mapped = SoapFault("Server", f"{type(exc).__name__}: {exc}")
+            items.append(BulkItem(ok=False, fault=mapped))
+    return items
 
 _CLIENT_REQUESTS = _obs_counter(
     "mcs_soap_client_requests_total", "Requests issued by HttpTransport"
@@ -50,6 +84,8 @@ class Transport(Protocol):
 
     def call(self, method: str, args: dict[str, Any]) -> Any: ...
 
+    def call_bulk(self, operations: Operations) -> list[BulkItem]: ...
+
     def close(self) -> None: ...
 
 
@@ -61,6 +97,9 @@ class DirectTransport:
 
     def call(self, method: str, args: dict[str, Any]) -> Any:
         return self._handler(method, args)
+
+    def call_bulk(self, operations: Operations) -> list[BulkItem]:
+        return execute_bulk(self._handler, operations)
 
     def close(self) -> None:  # pragma: no cover - nothing to release
         pass
@@ -86,6 +125,12 @@ class LoopbackCodecTransport:
         except SoapFault as fault:
             response = build_fault(fault)
         return parse_response(response)
+
+    def call_bulk(self, operations: Operations) -> list[BulkItem]:
+        request = build_bulk_request(operations, _trace.current_request_id())
+        parsed_ops, _rid = parse_bulk_request(request)
+        response = build_bulk_response(execute_bulk(self._handler, parsed_ops))
+        return parse_bulk_response(response)
 
     def close(self) -> None:  # pragma: no cover - nothing to release
         pass
@@ -123,6 +168,15 @@ class HttpTransport:
         self._conn_used = False
 
     def call(self, method: str, args: dict[str, Any]) -> Any:
+        payload = build_request(method, args, _trace.current_request_id())
+        return parse_response(self._post(payload, method))
+
+    def call_bulk(self, operations: Operations) -> list[BulkItem]:
+        """Issue N operations in one HTTP round trip via ``<BulkRequest>``."""
+        payload = build_bulk_request(operations, _trace.current_request_id())
+        return parse_bulk_response(self._post(payload, "__bulk__"))
+
+    def _post(self, payload: bytes, soap_action: str) -> bytes:
         import http.client
         import time
 
@@ -130,10 +184,9 @@ class HttpTransport:
 
         if self.simulated_latency_s > 0:
             time.sleep(self.simulated_latency_s)
-        payload = build_request(method, args, _trace.current_request_id())
         headers = {
             "Content-Type": "text/xml; charset=utf-8",
-            "SOAPAction": method,
+            "SOAPAction": soap_action,
         }
         _CLIENT_REQUESTS.inc()
         reused = self._conn_used
@@ -158,7 +211,7 @@ class HttpTransport:
         self._conn_used = True
         if response.status not in (200, 500):
             raise TransportError(f"unexpected HTTP status {response.status}")
-        return parse_response(body)
+        return body
 
     def close(self) -> None:
         self._conn.close()

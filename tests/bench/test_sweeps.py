@@ -10,9 +10,11 @@ import pytest
 from repro.bench import (
     BenchConfig,
     sweep_figure5,
+    sweep_figure5_batched,
     sweep_figure6,
     sweep_figure7,
     sweep_figure8,
+    sweep_figure8_batched,
     sweep_figure9,
     sweep_figure10,
     sweep_figure11,
@@ -67,6 +69,45 @@ class TestHostSweeps:
 
     def test_figure10(self, tiny_config):
         check_rows(sweep_figure10(tiny_config), (1, 2))
+
+
+class TestBatchedSweeps:
+    def test_figure5_batched_covers_batch_axis(self, tiny_config):
+        rows = sweep_figure5_batched(tiny_config, modes=("direct",), threads=2)
+        check_rows(rows, tiny_config.batch_sizes)
+        # Rates are per-operation, so batch-32 iterations must report
+        # operations counts, not iteration counts.
+        for row in rows:
+            assert row["operations"] % row["x"] == 0
+
+    def test_figure8_batched_covers_batch_axis(self, tiny_config):
+        rows = sweep_figure8_batched(tiny_config, hosts=2, modes=("direct",))
+        check_rows(rows, tiny_config.batch_sizes)
+
+    def test_soap_batching_amortizes_round_trips(self):
+        # With a fixed per-round-trip latency, a batch of 32 pays one
+        # round trip where 32 single calls pay 32.  At 20 ms per round
+        # trip the wire cost dominates server-side per-item work, so the
+        # paper-style >= 3x speedup target is deterministic here.
+        config = BenchConfig(
+            db_sizes=(60,),
+            thread_counts=(1,),
+            host_counts=(1,),
+            duration=0.5,
+            files_per_collection=20,
+            value_cardinality=5,
+            soap_latency_s=0.02,
+            batch_sizes=(1, 32),
+        )
+        try:
+            rows = sweep_figure5_batched(config, modes=("soap",), threads=2)
+        finally:
+            clear_environments()
+        rate = {row["x"]: row["rate"] for row in rows}
+        assert rate[1] > 0
+        assert rate[32] >= 3 * rate[1], (
+            f"batch-32 rate {rate[32]:.1f} < 3x batch-1 rate {rate[1]:.1f}"
+        )
 
 
 class TestAttributeSweep:

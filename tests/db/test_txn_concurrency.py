@@ -28,6 +28,49 @@ class TestRWLock:
         with pytest.raises(LockTimeoutError):
             lock.acquire_read("r", 0.05)
         lock.release("w", True)
+
+    def test_waiting_writer_gates_new_readers(self):
+        """Write preference: overlapping readers cannot starve a writer."""
+        lock = RWLock("t")
+        lock.acquire_read("r1", 1)
+        writer_acquired = threading.Event()
+
+        def writer():
+            lock.acquire_write("w", 5)
+            writer_acquired.set()
+            lock.release("w", True)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)  # let the writer start waiting
+        # A fresh reader must now queue behind the waiting writer...
+        with pytest.raises(LockTimeoutError):
+            lock.acquire_read("r2", 0.05)
+        # ...but the existing holder still re-enters (upgrade safety).
+        lock.acquire_read("r1", 0.05)
+        lock.release("r1", False)
+        lock.release("r1", False)
+        thread.join(timeout=5)
+        assert writer_acquired.is_set()
+        # Once the writer is done, new readers proceed normally.
+        lock.acquire_read("r2", 1)
+        lock.release("r2", False)
+
+    def test_writer_timeout_reopens_reader_gate(self):
+        lock = RWLock("t")
+        lock.acquire_read("r1", 1)
+
+        def failing_writer():
+            with pytest.raises(LockTimeoutError):
+                lock.acquire_write("w", 0.1)
+
+        thread = threading.Thread(target=failing_writer)
+        thread.start()
+        thread.join(timeout=5)
+        # The timed-out writer must not leave new readers gated forever.
+        lock.acquire_read("r2", 0.5)
+        lock.release("r2", False)
+        lock.release("r1", False)
         lock.acquire_read("r", 1)
 
     def test_reader_excludes_writer(self):

@@ -65,6 +65,120 @@ class TestSimulatedLatency:
             transport.close()
 
 
+class TestBulkResilience:
+    """Hostile <BulkRequest> payloads must fault, never kill the server."""
+
+    @staticmethod
+    def _post_raw(host, port, payload: bytes):
+        import http.client
+
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(
+                "POST",
+                "/soap",
+                body=payload,
+                headers={"Content-Type": "text/xml; charset=utf-8"},
+            )
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"<garbage",
+            b"<Envelope><Body><BulkRequest>",
+            b"<Envelope><Body><BulkRequest><Rogue/></BulkRequest></Body>"
+            b"</Envelope>",
+            b"<Envelope><Body><BulkRequest><Call/></BulkRequest></Body>"
+            b"</Envelope>",
+        ],
+        ids=repr,
+    )
+    def test_malformed_bulk_yields_fault_and_server_survives(self, payload):
+        from repro.soap.envelope import parse_response
+
+        with SoapServer(echo) as server:
+            host, port = server.endpoint
+            status, body = self._post_raw(host, port, payload)
+            assert status == 500
+            with pytest.raises(SoapFault):  # structured fault, not a crash
+                parse_response(body)
+            # The server must still answer a well-formed request.
+            transport = HttpTransport(host, port)
+            try:
+                assert transport.call("echo", {"n": 1}) == {"n": 1}
+            finally:
+                transport.close()
+
+    def test_oversized_batch_rejected_as_batch_too_large(self):
+        with SoapServer(echo, max_bulk_items=4) as server:
+            transport = HttpTransport(*server.endpoint)
+            try:
+                with pytest.raises(SoapFault) as excinfo:
+                    transport.call_bulk([("echo", {"n": i}) for i in range(6)])
+                assert excinfo.value.code == "Client.BatchTooLarge"
+                # An in-limit batch still works on the same connection.
+                items = transport.call_bulk(
+                    [("echo", {"n": i}) for i in range(4)]
+                )
+                assert [item.unwrap() for item in items] == [
+                    {"n": i} for i in range(4)
+                ]
+            finally:
+                transport.close()
+
+    def test_bulk_item_fault_does_not_poison_batch(self):
+        with SoapServer(echo) as server:
+            transport = HttpTransport(*server.endpoint)
+            try:
+                items = transport.call_bulk(
+                    [("echo", {"n": 1}), ("bogus", {}), ("echo", {"n": 2})]
+                )
+                assert [item.ok for item in items] == [True, False, True]
+                assert items[0].unwrap() == {"n": 1}
+                assert items[2].unwrap() == {"n": 2}
+                with pytest.raises(SoapFault):
+                    items[1].unwrap()
+            finally:
+                transport.close()
+
+
+class TestCounterExactness:
+    def test_concurrent_posts_count_exactly(self):
+        """Regression: requests_served lost updates under concurrent POSTs
+        when it was a plain int behind the GIL-unsafe += pattern."""
+        import threading
+
+        per_thread = 25
+        threads_n = 8
+        with SoapServer(echo, max_workers=8) as server:
+            before = server.requests_served
+
+            def hammer():
+                transport = HttpTransport(*server.endpoint)
+                try:
+                    for i in range(per_thread):
+                        transport.call("echo", {"i": i})
+                finally:
+                    transport.close()
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(threads_n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert (
+                server.requests_served == before + per_thread * threads_n
+            )
+            assert server.faults_served == 0
+
+
 class TestWorkerPool:
     def test_max_workers_bounds_concurrency(self):
         import threading

@@ -103,3 +103,117 @@ json_like = st.recursive(
 @given(json_like)
 def test_property_round_trip(value):
     assert loads(dumps(value)) == value
+
+
+# --------------------------------------------------------------------------
+# <BulkRequest> / <BulkResponse> codec fuzzing
+# --------------------------------------------------------------------------
+
+from repro.soap.envelope import (  # noqa: E402 - grouped with their tests
+    BulkItem,
+    SoapFault,
+    build_bulk_request,
+    build_bulk_response,
+    build_request,
+    parse_any_request,
+    parse_bulk_request,
+    parse_bulk_response,
+)
+
+_method_name = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+_arg_name = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",)), min_size=1, max_size=8
+)
+_operations = st.lists(
+    st.tuples(_method_name, st.dictionaries(_arg_name, json_like, max_size=3)),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestBulkCodec:
+    @settings(max_examples=40, deadline=None)
+    @given(_operations)
+    def test_bulk_request_round_trip(self, operations):
+        data = build_bulk_request(operations, request_id="rid-1")
+        parsed, request_id = parse_bulk_request(data)
+        assert request_id == "rid-1"
+        assert [(m, a) for m, a in parsed] == [(m, a) for m, a in operations]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(
+                json_like.map(lambda v: BulkItem(ok=True, result=v)),
+                st.tuples(_method_name, _xml_text).map(
+                    lambda cm: BulkItem(
+                        ok=False, fault=SoapFault(cm[0], cm[1])
+                    )
+                ),
+            ),
+            max_size=5,
+        )
+    )
+    def test_bulk_response_round_trip(self, items):
+        parsed = parse_bulk_response(build_bulk_response(items))
+        assert len(parsed) == len(items)
+        for got, want in zip(parsed, items):
+            assert got.ok == want.ok
+            if want.ok:
+                assert got.result == want.result
+            else:
+                assert got.fault.code == want.fault.code
+                assert got.fault.message == want.fault.message
+
+    def test_parse_any_request_dispatches_single_and_bulk(self):
+        single = parse_any_request(build_request("ping", {}, "rid-9"))
+        assert not single.bulk
+        assert single.calls == [("ping", {})]
+        assert single.request_id == "rid-9"
+        bulk = parse_any_request(build_bulk_request([("ping", {})] * 3))
+        assert bulk.bulk
+        assert len(bulk.calls) == 3
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"not xml at all",
+            b"<Envelope><Body><BulkRequest>",  # truncated mid-envelope
+            b"<Envelope><Body/></Envelope>",  # no Call, no BulkRequest
+            b"<Envelope><Body><BulkRequest/></Envelope>",  # truncated close
+            b"<Envelope><Body><BulkRequest><Rogue/></BulkRequest></Body>"
+            b"</Envelope>",  # non-Call child
+            b"<Envelope><Body><BulkRequest><Call/></BulkRequest></Body>"
+            b"</Envelope>",  # Call without method
+        ],
+        ids=repr,
+    )
+    def test_malformed_bulk_request_is_structured_error(self, payload):
+        with pytest.raises(EncodingError):
+            parse_any_request(payload)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_random_bytes_never_crash_bulk_parsers(self, data):
+        for parser in (parse_any_request, parse_bulk_request,
+                       parse_bulk_response):
+            try:
+                parser(data)
+            except (EncodingError, SoapFault):
+                pass  # structured outcomes only — anything else propagates
+
+    @settings(max_examples=40, deadline=None)
+    @given(_operations, st.integers(min_value=0, max_value=60))
+    def test_truncated_bulk_request_never_crashes(self, operations, cut):
+        data = build_bulk_request(operations)
+        truncated = data[: max(0, len(data) - cut)]
+        try:
+            parsed, _rid = parse_bulk_request(truncated)
+        except EncodingError:
+            return
+        assert len(parsed) == len(operations)  # only intact payloads parse
