@@ -30,7 +30,7 @@ def main() -> None:
 
     defs = client.list_attribute_defs()
     print(f"attribute definitions now in the schema: {len(defs)} "
-          f"({sum(1 for d in defs if d['name'].startswith('dc_'))} Dublin Core)")
+          f"({sum(1 for d in defs if d.name.startswith('dc_'))} Dublin Core)")
 
     # -- Discovery the way ESG scientists used it ---------------------------
     ccsm = client.query_files_by_attributes({"esg_model": "CCSM2"})

@@ -49,7 +49,9 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 4. Discover by attributes — the core MCS operation.
     # ------------------------------------------------------------------
-    science = client.query_files_by_attributes({"experiment": "science"})
+    science = client.query(
+        ObjectQuery().where("experiment", "=", "science").order_by("name")
+    )
     print("science runs:", science)
 
     warm = client.query(ObjectQuery().where("temperature_k", ">", 272.5))
@@ -91,7 +93,8 @@ def main() -> None:
     # ------------------------------------------------------------------
     with SoapServer(service.handle, fault_mapper=service.fault_mapper) as server:
         remote = MCSClient.connect(*server.endpoint, caller="/O=Grid/CN=Bob")
-        print("over SOAP:", remote.query_files_by_attributes({"experiment": "science"}))
+        print("over SOAP:",
+              remote.query(ObjectQuery().where("experiment", "=", "science")))
         print("stats:", remote.stats())
         remote.close()
 

@@ -27,12 +27,12 @@ Subpackages
 
 Quickest start::
 
-    from repro.core import MCSService, MCSClient
+    from repro.core import MCSService, MCSClient, ObjectQuery
 
     client = MCSClient.in_process(MCSService(), caller="/O=Grid/CN=You")
     client.define_attribute("experiment", "string")
     client.create_logical_file("f1", attributes={"experiment": "pulsar"})
-    client.query_files_by_attributes({"experiment": "pulsar"})
+    client.query(ObjectQuery().where("experiment", "=", "pulsar"))
 """
 
 __version__ = "1.0.0"

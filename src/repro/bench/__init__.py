@@ -12,6 +12,7 @@ from repro.bench.driver import BenchEnvironment, run_closed_loop
 from repro.bench.report import format_series, print_series
 from repro.bench.sweeps import (
     BenchConfig,
+    sweep_cache_ablation,
     sweep_figure5,
     sweep_figure5_batched,
     sweep_figure6,
@@ -27,6 +28,7 @@ __all__ = [
     "BenchEnvironment",
     "run_closed_loop",
     "BenchConfig",
+    "sweep_cache_ablation",
     "sweep_figure5",
     "sweep_figure5_batched",
     "sweep_figure8_batched",

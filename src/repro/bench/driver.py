@@ -19,6 +19,7 @@ from typing import Callable, Optional
 from repro.bench.timing import RateResult, count_until_stopped, run_workers
 from repro.core.catalog import MetadataCatalog
 from repro.core.client import MCSClient
+from repro.core.query import ObjectQuery
 from repro.core.service import MCSService
 from repro.soap.server import SoapServer
 from repro.workloads.population import PopulationSpec, populate_catalog
@@ -113,7 +114,7 @@ class BenchEnvironment:
 
         def op(_: int) -> None:
             field, value = workload.simple_query_args()
-            client.simple_query(field, value)
+            client.query(ObjectQuery().where_field(field, "=", value))
 
         return op
 
@@ -124,7 +125,34 @@ class BenchEnvironment:
 
         def op(_: int) -> None:
             conditions = workload.complex_query_conditions(num_attributes)
-            client.query_files_by_attributes(conditions)
+            query = ObjectQuery()
+            for attr, value in conditions.items():
+                query.where(attr, "=", value)
+            client.query(query)
+
+        return op
+
+    def repeated_complex_query_op(
+        self, client: MCSClient, worker_id: str, num_attributes: int = 10,
+        distinct: int = 8,
+    ) -> Callable[[int], None]:
+        """Complex queries drawn from a small fixed pool, cycled per worker.
+
+        The repetition is what the read cache can exploit; with the cache
+        off every iteration pays the full EAV join, so this op is the
+        workload for the cache on/off ablation sweep.
+        """
+        workload = QueryWorkload(self.spec, seed=hash(worker_id) & 0xFFFF)
+        pool = [
+            workload.complex_query_conditions(num_attributes)
+            for _ in range(distinct)
+        ]
+
+        def op(i: int) -> None:
+            query = ObjectQuery()
+            for attr, value in pool[i % distinct].items():
+                query.where(attr, "=", value)
+            client.query(query)
 
         return op
 

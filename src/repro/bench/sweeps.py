@@ -127,6 +127,52 @@ def sweep_figure7(config: BenchConfig) -> list[dict[str, Any]]:
     return _thread_sweep(config, "complex_query_op")
 
 
+def sweep_cache_ablation(
+    config: BenchConfig,
+    op_name: str = "repeated_complex_query_op",
+    modes: tuple[str, ...] = ("direct",),
+    db_sizes: Optional[tuple[int, ...]] = None,
+) -> list[dict[str, Any]]:
+    """Cache on/off ablation over the repeated-query sweeps (Figures 6/7).
+
+    Runs the same thread sweep twice — read cache enabled, then disabled —
+    on a workload that cycles a small pool of queries, so the ``cache``
+    column isolates what generation-stamped caching buys on the paper's
+    query-dominated evaluation.  The cache is cleared between runs so the
+    enabled leg starts cold.
+    """
+    rows: list[dict[str, Any]] = []
+    for enabled in (True, False):
+        for size in db_sizes or config.db_sizes:
+            env = get_environment(config, size)
+            cache = env.catalog.cache
+            prior = cache.enabled
+            cache.clear()
+            cache.enabled = enabled
+            try:
+                factory = getattr(env, op_name)
+                for mode in modes:
+                    for threads in config.thread_counts:
+                        result = run_closed_loop(
+                            env, mode, factory, threads, config.duration,
+                            worker_prefix=f"{mode}-{size}-cache{enabled}-",
+                        )
+                        rows.append(
+                            {
+                                "db_size": size,
+                                "mode": mode,
+                                "cache": enabled,
+                                "x": threads,
+                                "rate": result.rate,
+                                "operations": result.operations,
+                            }
+                        )
+            finally:
+                cache.clear()
+                cache.enabled = prior
+    return rows
+
+
 # --------------------------------------------------------------------------
 # Batched add-rate sweeps (figures 5/8 with a batch-size axis)
 # --------------------------------------------------------------------------

@@ -1,0 +1,285 @@
+"""Catalog-facing cache facade: generation-stamped lookups.
+
+Three caches ride the catalog hot path:
+
+* **attr_def** — attribute-definition lookups (every ``set_attributes``
+  and every user-attribute query touches ``attribute_def``);
+* **object** — logical name → database id resolution;
+* **query** — compiled :class:`~repro.core.query.ObjectQuery` results,
+  keyed by (sql, params) in a bounded LRU.
+
+Every entry is stamped with a snapshot of the generations of the tables
+the result depends on, taken *before* the underlying read executes.  A
+lookup hits only while that snapshot is still current, so a committed
+write to any dependent table invalidates the entry atomically (the
+engine bumps generations before releasing write locks — see
+:mod:`repro.cache.generations` for the strictness argument).
+
+Mid-transaction rule: a connection inside an explicit transaction that
+has already written table T must neither hit nor populate the shared
+cache for results depending on T — its own uncommitted writes are
+visible to it but to nobody else.  Reads of tables the transaction has
+*not* written stay cacheable (e.g. ``attribute_def`` inside a bulk
+attribute load), which keeps bulk ingest fast.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Hashable, Optional, Tuple
+
+from repro.cache.generations import GenerationMap
+from repro.cache.lru import LRUCache
+from repro.obs.metrics import counter as _obs_counter, gauge as _obs_gauge
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.engine import Connection, Database
+
+_REQUESTS = _obs_counter(
+    "mcs_cache_requests_total",
+    "Cache lookups by cache and outcome (hit / miss / bypass)",
+    labels=("cache", "outcome"),
+)
+_HIT_RATIO = _obs_gauge(
+    "mcs_cache_hit_ratio",
+    "hits / (hits + misses) since process start, per cache",
+    labels=("cache",),
+)
+
+_GAUGE_REFRESH_MASK = 1023  # refresh the ratio gauge every 1024 lookups
+
+
+class _Entry:
+    """One cached value plus the generation snapshot it was read under."""
+
+    __slots__ = ("tables", "generations", "value")
+
+    def __init__(
+        self,
+        tables: Tuple[str, ...],
+        generations: Tuple[int, ...],
+        value: Any,
+    ) -> None:
+        self.tables = tables
+        self.generations = generations
+        self.value = value
+
+
+class LookupToken:
+    """Result of a cache lookup.
+
+    ``hit`` carries the value; a miss carries everything needed to
+    publish the freshly-read value with the pre-read snapshot (call
+    :meth:`store`).  A bypassed lookup stores nothing.
+    """
+
+    __slots__ = ("hit", "value", "_store", "_key", "_tables", "_generations")
+
+    def __init__(
+        self,
+        hit: bool,
+        value: Any = None,
+        store: Optional[LRUCache[Any, _Entry]] = None,
+        key: Optional[Hashable] = None,
+        tables: Tuple[str, ...] = (),
+        generations: Tuple[int, ...] = (),
+    ) -> None:
+        self.hit = hit
+        self.value = value
+        self._store = store
+        self._key = key
+        self._tables = tables
+        self._generations = generations
+
+    def store(self, value: Any) -> None:
+        """Publish *value* under the snapshot taken before the read."""
+        if self._store is None:
+            return
+        self._store.put(self._key, _Entry(self._tables, self._generations, value))
+
+
+class _CacheStats:
+    """Racy per-cache counters — lost updates only skew the ratio gauge."""
+
+    __slots__ = ("hits", "misses", "bypasses", "_hit_child", "_miss_child",
+                 "_bypass_child", "_ratio_child")
+
+    def __init__(self, name: str) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self._hit_child = _REQUESTS.labels(name, "hit")
+        self._miss_child = _REQUESTS.labels(name, "miss")
+        self._bypass_child = _REQUESTS.labels(name, "bypass")
+        self._ratio_child = _HIT_RATIO.labels(name)
+
+    def hit(self) -> None:
+        self.hits += 1
+        self._hit_child.inc()
+        self._maybe_refresh_gauge()
+
+    def miss(self) -> None:
+        self.misses += 1
+        self._miss_child.inc()
+        self._maybe_refresh_gauge()
+
+    def bypass(self) -> None:
+        self.bypasses += 1
+        self._bypass_child.inc()
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return (self.hits / total) if total else 0.0
+
+    def refresh_gauge(self) -> None:
+        self._ratio_child.set(self.hit_ratio())
+
+    def _maybe_refresh_gauge(self) -> None:
+        if (self.hits + self.misses) & _GAUGE_REFRESH_MASK == 0:
+            self.refresh_gauge()
+
+
+class CatalogCache:
+    """Generation-stamped read caches for one :class:`MetadataCatalog`.
+
+    The cache shares its :class:`GenerationMap` with the catalog's
+    :class:`~repro.db.engine.Database`, so commits on *any* connection
+    of that database (including replication apply) invalidate entries.
+    ``enabled`` may be flipped at runtime (the bench ablation axis);
+    disabling bypasses lookups and stores but keeps entries, which
+    revalidate against current generations when re-enabled.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        enabled: bool = True,
+        query_capacity: int = 1024,
+        object_capacity: int = 4096,
+        attr_capacity: int = 1024,
+    ) -> None:
+        self.enabled = enabled
+        self.generations: GenerationMap = database.generations
+        self._attr_defs: LRUCache[Any, _Entry] = LRUCache(attr_capacity)
+        self._objects: LRUCache[Any, _Entry] = LRUCache(object_capacity)
+        self._queries: LRUCache[Any, _Entry] = LRUCache(query_capacity)
+        self._stats = {
+            "attr_def": _CacheStats("attr_def"),
+            "object": _CacheStats("object"),
+            "query": _CacheStats("query"),
+        }
+        self._stats_guard = threading.Lock()
+
+    # -- generic lookup machinery -------------------------------------------
+
+    def _lookup(
+        self,
+        cache_name: str,
+        store: LRUCache[Any, _Entry],
+        conn: Optional["Connection"],
+        key: Hashable,
+        tables: Tuple[str, ...],
+        generations: Optional[Tuple[int, ...]] = None,
+    ) -> LookupToken:
+        stats = self._stats[cache_name]
+        if not self.enabled or self._must_bypass(conn, tables):
+            stats.bypass()
+            return LookupToken(hit=False)
+        if generations is None:
+            generations = self.generations.snapshot(tables)
+        try:
+            entry = store.get(key)
+        except TypeError:  # unhashable key component
+            stats.bypass()
+            return LookupToken(hit=False)
+        if (
+            entry is not None
+            and entry.tables == tables
+            and entry.generations == generations
+        ):
+            stats.hit()
+            return LookupToken(hit=True, value=entry.value)
+        stats.miss()
+        return LookupToken(
+            hit=False,
+            store=store,
+            key=key,
+            tables=tables,
+            generations=generations,
+        )
+
+    @staticmethod
+    def _must_bypass(conn: Optional["Connection"], tables: Tuple[str, ...]) -> bool:
+        """True when *conn* is mid-transaction with writes to *tables*.
+
+        Its uncommitted rows are visible to it (same connection) but must
+        not leak into — or be shadowed by — the shared cache.
+        """
+        if conn is None or not conn.in_transaction:
+            return False
+        written = conn.transaction_written_tables
+        if not written:
+            return False
+        return any(t in written for t in tables)
+
+    # -- the three caches ----------------------------------------------------
+
+    def lookup_attr_def(self, conn: Optional["Connection"], name: str) -> LookupToken:
+        return self._lookup("attr_def", self._attr_defs, conn, name, ("attribute_def",))
+
+    def lookup_object_id(
+        self,
+        conn: Optional["Connection"],
+        table: str,
+        name: str,
+        version: Optional[int],
+    ) -> LookupToken:
+        return self._lookup(
+            "object", self._objects, conn, (table, name, version), (table,)
+        )
+
+    def lookup_query(
+        self,
+        conn: Optional["Connection"],
+        key: Hashable,
+        tables: Tuple[str, ...],
+        generations: Optional[Tuple[int, ...]] = None,
+    ) -> LookupToken:
+        """Query-result lookup.
+
+        Pass ``generations`` captured *before* compiling the query when
+        compilation itself reads the catalog (it resolves collection
+        ids): a snapshot taken afterwards could stamp a result computed
+        from pre-commit state with post-commit generations.
+        """
+        return self._lookup(
+            "query", self._queries, conn, key, tables, generations=generations
+        )
+
+    # -- management ----------------------------------------------------------
+
+    def clear(self) -> None:
+        self._attr_defs.clear()
+        self._objects.clear()
+        self._queries.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Per-cache counters for ``mcs stats`` and ``op_stats``."""
+        out: dict[str, Any] = {"enabled": self.enabled}
+        sizes = {
+            "attr_def": self._attr_defs,
+            "object": self._objects,
+            "query": self._queries,
+        }
+        for name, stats in self._stats.items():
+            stats.refresh_gauge()
+            store = sizes[name]
+            out[name] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "bypasses": stats.bypasses,
+                "hit_ratio": round(stats.hit_ratio(), 4),
+                "entries": len(store),
+                "evictions": store.evictions,
+            }
+        return out

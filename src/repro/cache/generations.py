@@ -1,0 +1,70 @@
+"""Per-table generation counters: the cache invalidation primitive.
+
+Every table has a monotonically increasing generation.  Readers snapshot
+the generations of the tables a result depends on *before* executing the
+read and stamp the cached entry with that snapshot; a lookup only hits
+while the stamped snapshot still equals the current one.  The engine
+bumps generations at commit time, while the committing transaction still
+holds its write locks, so:
+
+* a write that committed can never be shadowed by a hit (the bump
+  precedes the lock release that makes the new data readable);
+* a writer racing a reader costs at most one spurious miss (the entry
+  is stored with a pre-write snapshot and never hits afterwards) —
+  never a stale hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.obs.metrics import counter as _obs_counter
+
+_INVALIDATIONS = _obs_counter(
+    "mcs_cache_invalidations_total",
+    "Generation bumps published at commit time, per table",
+    labels=("table",),
+)
+
+
+class GenerationMap:
+    """Thread-safe map of table name → generation counter.
+
+    Unknown tables implicitly have generation 0, so snapshots taken
+    before a table's first committed write validate correctly against
+    it.
+    """
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._generations: dict[str, int] = {}
+
+    def get(self, table: str) -> int:
+        with self._guard:
+            return self._generations.get(table, 0)
+
+    def snapshot(self, tables: Iterable[str]) -> tuple[int, ...]:
+        """Current generations of *tables*, in iteration order."""
+        with self._guard:
+            generations = self._generations
+            return tuple(generations.get(t, 0) for t in tables)
+
+    def bump(self, tables: Iterable[str]) -> None:
+        """Advance the generation of every table in *tables*.
+
+        Called by the engine after a commit is durable but before its
+        write locks are released (see ``Connection._commit_txn``).
+        """
+        bumped: list[str] = []
+        with self._guard:
+            generations = self._generations
+            for table in tables:
+                generations[table] = generations.get(table, 0) + 1
+                bumped.append(table)
+        for table in bumped:
+            _INVALIDATIONS.labels(table).inc()
+
+    def as_dict(self) -> dict[str, int]:
+        with self._guard:
+            return dict(self._generations)

@@ -125,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--field", action="append", metavar="K=V",
                        help="predefined-field equality condition")
     query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--offset", type=int, default=None)
+    query.add_argument("--order-by", default=None, metavar="FIELD",
+                       help="order results by a predefined field")
+    query.add_argument("--desc", action="store_true",
+                       help="descending order (with --order-by)")
     query.add_argument("--explain", action="store_true",
                        help="show the physical query plan instead of results")
 
@@ -199,14 +204,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 from repro.obs.metrics import format_snapshot
 
                 metrics = stats.pop("metrics", {})
+                cache = stats.pop("cache", {})
                 print("catalog objects:")
                 for key in sorted(stats):
                     print(f"  {key:<20} {stats[key]}")
+                if cache:
+                    print()
+                    state = "on" if cache.get("enabled") else "off"
+                    print(f"read cache ({state}):")
+                    for name in sorted(k for k in cache if k != "enabled"):
+                        c = cache[name]
+                        print(f"  {name:<10} hits={c['hits']} misses={c['misses']} "
+                              f"bypasses={c['bypasses']} entries={c['entries']} "
+                              f"evictions={c['evictions']} "
+                              f"hit_ratio={c['hit_ratio']:.3f}")
                 if metrics:
                     print()
                     print(format_snapshot(metrics))
         elif args.command == "list-attributes":
-            _emit(client.list_attribute_defs())
+            _emit([d.to_dict() for d in client.list_attribute_defs()])
         elif args.command == "define-attribute":
             _emit(client.define_attribute(args.name, args.value_type,
                                           description=args.description))
@@ -228,7 +244,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "delete-file":
             _emit(client.delete_logical_file(args.name, version=args.version))
         elif args.command == "query":
-            query = ObjectQuery(limit=args.limit)
+            query = ObjectQuery().limit(args.limit).offset(args.offset)
+            if args.order_by:
+                query.order_by(args.order_by, descending=args.desc)
             for key, value in _parse_pairs(args.attr).items():
                 query.where(key, "=", value)
             for key, value in _parse_pairs(args.field).items():

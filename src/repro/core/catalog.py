@@ -15,6 +15,7 @@ import datetime as _dt
 import threading
 from typing import Any, Iterable, Optional, Sequence
 
+from repro.cache import CatalogCache
 from repro.core.errors import (
     CycleError,
     DuplicateObjectError,
@@ -57,13 +58,21 @@ _FILE_COLUMNS = (
 class MetadataCatalog:
     """The MCS storage layer over an embedded relational database."""
 
-    def __init__(self, db: Optional[Database] = None, install: bool = True) -> None:
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        install: bool = True,
+        cache: bool = True,
+    ) -> None:
         self.db = db if db is not None else Database()
         if install:
             install_schema(self.db)
         self._local = threading.local()
-        self._attr_cache: dict[str, AttributeDef] = {}
-        self._attr_cache_lock = threading.Lock()
+        # Strict-consistency read caches (attribute defs, object ids,
+        # query results), invalidated by the engine's commit-time
+        # generation bumps.  ``cache=False`` (or flipping
+        # ``self.cache.enabled``) disables lookups — the bench ablation.
+        self.cache = CatalogCache(self.db, enabled=cache)
 
     # -- connection pooling ------------------------------------------------
 
@@ -586,16 +595,14 @@ class MetadataCatalog:
             )
         except IntegrityError as exc:
             raise DuplicateObjectError(f"attribute {name!r} already defined") from exc
-        with self._attr_cache_lock:
-            self._attr_cache.pop(name, None)
         return result.lastrowid
 
     def get_attribute_def(self, name: str) -> AttributeDef:
-        with self._attr_cache_lock:
-            cached = self._attr_cache.get(name)
-        if cached is not None:
-            return cached
-        row = self._conn.execute(
+        conn = self._conn
+        token = self.cache.lookup_attr_def(conn, name)
+        if token.hit:
+            return token.value
+        row = conn.execute(
             "SELECT id, name, value_type, object_types, description, creator, "
             "created FROM attribute_def WHERE name = ?",
             (name,),
@@ -611,8 +618,7 @@ class MetadataCatalog:
             creator=row[5],
             created=row[6],
         )
-        with self._attr_cache_lock:
-            self._attr_cache[name] = definition
+        token.store(definition)
         return definition
 
     def list_attribute_defs(self) -> list[AttributeDef]:
@@ -705,9 +711,22 @@ class MetadataCatalog:
 
     def query(self, query: ObjectQuery) -> list[str]:
         """Names of logical objects matching the query conditions."""
+        conn = self._conn
+        tables = query.touched_tables()
+        # Snapshot before compiling: to_sql itself reads the catalog
+        # (attribute defs, collection ids), so a later snapshot could
+        # stamp a pre-commit result with post-commit generations.
+        generations = self.cache.generations.snapshot(tables)
         sql, params = query.to_sql(self)
-        rows = self._conn.execute(sql, params).fetchall()
-        return [r[0] for r in rows]
+        token = self.cache.lookup_query(
+            conn, (sql, params), tables, generations=generations
+        )
+        if token.hit:
+            return list(token.value)
+        rows = conn.execute(sql, params).fetchall()
+        names = [r[0] for r in rows]
+        token.store(tuple(names))
+        return names
 
     def explain_query(self, query: ObjectQuery) -> list[str]:
         """Physical plan of an attribute query (EXPLAIN), for tuning."""
@@ -1190,11 +1209,15 @@ class MetadataCatalog:
     # -- internals -------------------------------------------------------------
 
     def _collection_id(self, conn: Connection, name: str) -> int:
+        token = self.cache.lookup_object_id(conn, "logical_collection", name, None)
+        if token.hit:
+            return token.value
         collection_id = conn.execute(
             "SELECT id FROM logical_collection WHERE name = ?", (name,)
         ).scalar()
         if collection_id is None:
             raise ObjectNotFoundError(f"no logical collection {name!r}")
+        token.store(collection_id)
         return collection_id
 
     def _object_id(
@@ -1204,13 +1227,23 @@ class MetadataCatalog:
         name: str,
         version: Optional[int] = None,
     ) -> int:
-        if object_type is ObjectType.FILE:
-            return self.get_file(name, version).id
         if object_type is ObjectType.COLLECTION:
             return self._collection_id(conn, name)
-        if object_type is ObjectType.VIEW:
-            return self.get_view(name).id
-        raise InvalidAttributeError(f"no object id for {object_type}")
+        if object_type is ObjectType.FILE:
+            table = "logical_file"
+        elif object_type is ObjectType.VIEW:
+            table = "logical_view"
+        else:
+            raise InvalidAttributeError(f"no object id for {object_type}")
+        token = self.cache.lookup_object_id(conn, table, name, version)
+        if token.hit:
+            return token.value
+        if object_type is ObjectType.FILE:
+            object_id = self.get_file(name, version).id
+        else:
+            object_id = self.get_view(name).id
+        token.store(object_id)
+        return object_id
 
 
 def _file_from_row(row: tuple) -> LogicalFile:

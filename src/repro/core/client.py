@@ -20,10 +20,11 @@ Every operation the paper's API section lists is exposed:
 from __future__ import annotations
 
 import datetime as _dt
+import warnings
 from typing import Any, Optional, Sequence
 
-from repro.core.errors import error_from_fault
-from repro.core.model import ObjectType
+from repro.core.errors import exception_from_fault
+from repro.core.model import AttributeDef, ObjectType
 from repro.core.query import ObjectQuery
 from repro.obs.trace import span as _span
 from repro.soap.envelope import BulkItem, SoapFault
@@ -51,10 +52,7 @@ class BulkResult:
         else:
             fault = item.fault
             assert fault is not None
-            if fault.code.startswith("MCS."):
-                self._error = error_from_fault(fault.code, fault.message)
-            else:
-                self._error = fault
+            self._error = exception_from_fault(fault.code, fault.message) or fault
 
     def _require_resolved(self) -> None:
         if not self._resolved:
@@ -194,8 +192,9 @@ class MCSClient:
             try:
                 return self._transport.call(method, args)
             except SoapFault as fault:
-                if fault.code.startswith("MCS."):
-                    raise error_from_fault(fault.code, fault.message) from None
+                error = exception_from_fault(fault.code, fault.message)
+                if error is not None:
+                    raise error from None
                 raise
 
     # -- bulk pipeline -----------------------------------------------------------
@@ -312,8 +311,15 @@ class MCSClient:
             description=description,
         )
 
-    def list_attribute_defs(self) -> list[dict]:
-        return self._call("list_attribute_defs")
+    def list_attribute_defs(self) -> list[AttributeDef]:
+        """All user-defined attributes, as typed :class:`AttributeDef` records.
+
+        The wire carries :meth:`AttributeDef.to_dict` dicts; this rebuilds
+        the dataclasses so callers see the same shape the catalog returns.
+        """
+        return [
+            AttributeDef.from_dict(d) for d in self._call("list_attribute_defs")
+        ]
 
     def set_attributes(
         self,
@@ -333,6 +339,12 @@ class MCSClient:
     def get_attributes(
         self, object_type: str, name: str, version: Optional[int] = None
     ) -> dict[str, Any]:
+        """Return the object's user-defined attributes as ``{name: value}``.
+
+        Values are typed per the attribute definitions (the SOAP codec
+        round-trips dates/times), so the direct and HTTP transports
+        return the same shapes.
+        """
         return self._call(
             "get_attributes", object_type=object_type, name=name, version=version
         )
@@ -358,13 +370,34 @@ class MCSClient:
         return self._call("query", query=_query_to_dict(query))
 
     def query_files_by_attributes(self, conditions: dict[str, Any]) -> list[str]:
-        """Conjunctive equality query on user-defined attributes."""
-        return self._call("query_files_by_attributes", conditions=conditions)
+        """Deprecated: conjunctive equality query on user-defined attributes.
+
+        Thin shim over :meth:`query`; build an :class:`ObjectQuery` instead.
+        """
+        warnings.warn(
+            "MCSClient.query_files_by_attributes is deprecated; build an "
+            "ObjectQuery and call query()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        query = ObjectQuery()
+        for name, value in conditions.items():
+            query.where(name, "=", value)
+        return self.query(query)
 
     def simple_query(self, field: str, value: Any) -> list[str]:
-        """The paper's 'simple query': value match on one static attribute."""
-        query = ObjectQuery().where_field(field, "=", value)
-        return self.query(query)
+        """Deprecated: the paper's 'simple query' on one static attribute.
+
+        Thin shim over :meth:`query`; use
+        ``query(ObjectQuery().where_field(field, "=", value))`` instead.
+        """
+        warnings.warn(
+            "MCSClient.simple_query is deprecated; build an ObjectQuery "
+            "and call query()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(ObjectQuery().where_field(field, "=", value))
 
     def explain_query(self, query: ObjectQuery) -> list[str]:
         """The physical plan the query would execute (one line per step)."""
@@ -572,7 +605,9 @@ def _query_to_dict(query: ObjectQuery) -> dict:
         ],
         "collection": query.collection,
         "valid_only": query.valid_only,
-        "limit": query.limit,
+        "limit": query.max_results,
+        "offset": query.skip_results,
+        "order_by": list(query.order) if query.order is not None else None,
     }
 
 

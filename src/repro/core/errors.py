@@ -1,10 +1,19 @@
-"""MCS error hierarchy.
+"""MCS error hierarchy and the fault-code mapping table.
 
 Every error carries a stable ``fault_code`` so the SOAP layer can map it
-across the wire and the client can re-raise the same type.
+across the wire and the client can re-raise the same type.  The mapping
+lives here — and only here — in :func:`fault_code_for` (server side) and
+:func:`exception_from_fault` (client side); the service dispatcher, the
+bulk executor, the SOAP server fallback and the client transports all
+consult the same table, so the translation can never drift between call
+sites.
 """
 
 from __future__ import annotations
+
+from typing import Optional
+
+from repro.security.errors import SecurityError
 
 
 class MCSError(Exception):
@@ -75,6 +84,38 @@ FAULT_CODE_TO_ERROR = {
         NotAuthenticatedError,
     )
 }
+
+
+#: Prefix that marks a wire fault as carrying a typed MCS error.
+MCS_FAULT_PREFIX = "MCS."
+
+
+def fault_code_for(exc: BaseException) -> Optional[str]:
+    """Wire fault code for ``exc``, or ``None`` when it has no MCS mapping.
+
+    ``None`` tells the caller to fall through to its own generic handling
+    (an opaque ``Server`` fault, or re-raising).  Security failures of any
+    kind deliberately collapse to ``MCS.PermissionDenied`` so the wire
+    never leaks which security check rejected the caller.
+    """
+    if isinstance(exc, MCSError):
+        return exc.fault_code
+    if isinstance(exc, SecurityError):
+        return PermissionDeniedError.fault_code
+    return None
+
+
+def exception_from_fault(code: str, message: str) -> Optional[MCSError]:
+    """Typed MCS error for a wire fault, or ``None`` for foreign faults.
+
+    Client-side half of the table: faults outside the ``MCS.`` namespace
+    belong to the transport/SOAP layer and are left for the caller to
+    raise as-is.
+    """
+    if not code.startswith(MCS_FAULT_PREFIX):
+        return None
+    cls = FAULT_CODE_TO_ERROR.get(code, MCSError)
+    return cls(message)
 
 
 def error_from_fault(code: str, message: str) -> Exception:

@@ -143,6 +143,40 @@ class AttributeDef:
     creator: Optional[str] = None
     created: Optional[_dt.datetime] = None
 
+    def to_dict(self) -> dict:
+        """Wire/JSON form; :meth:`from_dict` round-trips it exactly.
+
+        Enums flatten to their string values and ``object_types`` to a
+        sorted list, so the dict is stable and codec-friendly.
+        """
+        return {
+            "id": self.id,
+            "name": self.name,
+            "value_type": self.value_type.value,
+            "object_types": sorted(t.value for t in self.object_types),
+            "description": self.description,
+            "creator": self.creator,
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttributeDef":
+        """Rebuild from :meth:`to_dict` output (ISO strings accepted)."""
+        created = data.get("created")
+        if isinstance(created, str):
+            created = _dt.datetime.fromisoformat(created)
+        return cls(
+            id=int(data.get("id", 0)),
+            name=data["name"],
+            value_type=AttributeType(data["value_type"]),
+            object_types=frozenset(
+                ObjectType(t) for t in data.get("object_types") or ()
+            ),
+            description=data.get("description"),
+            creator=data.get("creator"),
+            created=created,
+        )
+
 
 @dataclass(frozen=True)
 class Annotation:

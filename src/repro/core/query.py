@@ -67,14 +67,26 @@ class AttributeCondition:
 
 @dataclass
 class ObjectQuery:
-    """A conjunctive attribute query over one object type."""
+    """A conjunctive attribute query over one object type.
+
+    The single client-facing query entry point.  Build it fluently::
+
+        ObjectQuery().where("experiment", "=", "pulsar") \\
+                     .where_field("data_type", "=", "binary") \\
+                     .order_by("name").limit(50).offset(100)
+
+    ``limit``/``offset``/``order_by`` thread through the SOAP envelope
+    and into the generated SQL, so pagination happens server-side.
+    """
 
     object_type: ObjectType = ObjectType.FILE
     conditions: list[AttributeCondition] = field(default_factory=list)
     predefined: list[AttributeCondition] = field(default_factory=list)
     collection: Optional[str] = None
     valid_only: bool = False
-    limit: Optional[int] = None
+    max_results: Optional[int] = None
+    skip_results: Optional[int] = None
+    order: Optional[tuple[str, bool]] = None  # (predefined field, descending)
 
     def where(self, attribute: str, op: str, value: Any) -> "ObjectQuery":
         """Fluent helper: add a user-attribute condition."""
@@ -85,6 +97,46 @@ class ObjectQuery:
         """Fluent helper: add a predefined-attribute condition."""
         self.predefined.append(AttributeCondition(fieldname, op, value))
         return self
+
+    def limit(self, n: Optional[int]) -> "ObjectQuery":
+        """Return at most *n* names (``None`` clears the limit)."""
+        if n is not None and int(n) < 0:
+            raise QueryError("limit must be non-negative")
+        self.max_results = None if n is None else int(n)
+        return self
+
+    def offset(self, n: Optional[int]) -> "ObjectQuery":
+        """Skip the first *n* names (``None`` clears the offset).
+
+        Pair with :meth:`order_by` for stable pagination — without an
+        order the engine's row order is unspecified.
+        """
+        if n is not None and int(n) < 0:
+            raise QueryError("offset must be non-negative")
+        self.skip_results = None if n is None else int(n)
+        return self
+
+    def order_by(self, fieldname: str, descending: bool = False) -> "ObjectQuery":
+        """Order results by a predefined field (e.g. ``name``)."""
+        # Validate eagerly so a bad field fails at build time, not in to_sql.
+        _predefined_column(self.object_type, fieldname)
+        self.order = (fieldname, bool(descending))
+        return self
+
+    def touched_tables(self) -> tuple[str, ...]:
+        """Tables this query's result depends on (sorted, deduplicated).
+
+        The compiled SQL embeds attribute-definition ids and the resolved
+        collection id, so those tables count as dependencies whenever the
+        query references them — the read-cache invalidation contract.
+        """
+        tables = {_OBJECT_TABLE[self.object_type]}
+        if self.conditions:
+            tables.add("attribute_value")
+            tables.add("attribute_def")
+        if self.collection is not None:
+            tables.add("logical_collection")
+        return tuple(sorted(tables))
 
     # -- SQL generation -----------------------------------------------------
 
@@ -165,8 +217,18 @@ class ObjectQuery:
         text = " ".join(sql + joins)
         if wheres:
             text += " WHERE " + " AND ".join(wheres)
-        if self.limit is not None:
-            text += f" LIMIT {int(self.limit)}"
+        if self.order is not None:
+            fieldname, descending = self.order
+            column = _predefined_column(self.object_type, fieldname)
+            text += f" ORDER BY obj.{column}{' DESC' if descending else ''}"
+        if self.max_results is not None:
+            text += f" LIMIT {int(self.max_results)}"
+        elif self.skip_results is not None:
+            # The grammar only accepts OFFSET after LIMIT; an explicit
+            # huge limit expresses "no limit, skip n".
+            text += f" LIMIT {2 ** 62}"
+        if self.skip_results is not None:
+            text += f" OFFSET {int(self.skip_results)}"
         return text, tuple(join_params + where_params)
 
 

@@ -30,6 +30,7 @@ from repro.core.errors import (
     NotAuthenticatedError,
     PermissionDeniedError,
     QueryError,
+    fault_code_for,
 )
 from repro.core.model import (
     AttributeType,
@@ -42,7 +43,6 @@ from repro.security.acl import AccessControlList, Permission, effective_permissi
 from repro.security.cas import CapabilityAssertion, PolicyRule, verify_assertion
 from repro.security.errors import (
     AuthenticationError,
-    AuthorizationError,
     CertificateError,
     SecurityError,
 )
@@ -281,26 +281,20 @@ class MCSService:
             raise SoapFault("MCS.NoSuchMethod", f"unknown method {method!r}")
         try:
             caller, assertion = self._authenticate(method, args)
-        except MCSError as exc:
-            raise SoapFault(exc.fault_code, str(exc)) from exc
-        except SecurityError as exc:
-            raise SoapFault(PermissionDeniedError.fault_code, str(exc)) from exc
+        except (MCSError, SecurityError) as exc:
+            raise SoapFault(fault_code_for(exc), str(exc)) from exc
         call_args = {k: v for k, v in args.items() if k not in ("auth", "cas", "caller")}
         try:
             return handler(caller=caller, assertion=assertion, **call_args)
-        except MCSError as exc:
-            raise SoapFault(exc.fault_code, str(exc)) from exc
-        except (AuthorizationError, CertificateError) as exc:
-            raise SoapFault(PermissionDeniedError.fault_code, str(exc)) from exc
+        except (MCSError, SecurityError) as exc:
+            raise SoapFault(fault_code_for(exc), str(exc)) from exc
         except TypeError as exc:
             raise SoapFault("MCS.BadRequest", str(exc)) from exc
 
     def fault_mapper(self, exc: Exception) -> Optional[SoapFault]:
-        if isinstance(exc, MCSError):
-            return SoapFault(exc.fault_code, str(exc))
-        if isinstance(exc, SecurityError):
-            return SoapFault(PermissionDeniedError.fault_code, str(exc))
-        return None
+        """Shared fault translation (the table in :mod:`repro.core.errors`)."""
+        code = fault_code_for(exc)
+        return SoapFault(code, str(exc)) if code is not None else None
 
     def description(self) -> ServiceDescription:
         desc = ServiceDescription("MetadataCatalogService")
@@ -579,15 +573,7 @@ class MCSService:
         self, caller: str, assertion: Optional[CapabilityAssertion]
     ) -> list[dict]:
         self._check(caller, Permission.READ, assertion=assertion)
-        return [
-            {
-                "name": d.name,
-                "value_type": d.value_type.value,
-                "object_types": sorted(t.value for t in d.object_types),
-                "description": d.description,
-            }
-            for d in self.catalog.list_attribute_defs()
-        ]
+        return [d.to_dict() for d in self.catalog.list_attribute_defs()]
 
     def op_set_attributes(
         self,
@@ -674,14 +660,9 @@ class MCSService:
 
     @staticmethod
     def _bulk_item_error(exc: Exception) -> dict:
-        if isinstance(exc, MCSError):
-            return {"ok": False, "code": exc.fault_code, "message": str(exc)}
-        if isinstance(exc, SecurityError):
-            return {
-                "ok": False,
-                "code": PermissionDeniedError.fault_code,
-                "message": str(exc),
-            }
+        code = fault_code_for(exc)
+        if code is not None:
+            return {"ok": False, "code": code, "message": str(exc)}
         return {
             "ok": False,
             "code": "Server",
@@ -1134,6 +1115,7 @@ class MCSService:
 
     def op_stats(self, caller: str, assertion: Optional[CapabilityAssertion]) -> dict:
         stats = self.catalog.stats()
+        stats["cache"] = self.catalog.cache.stats()
         stats["metrics"] = get_registry().snapshot()
         return stats
 
@@ -1147,8 +1129,15 @@ def _query_from_dict(data: dict[str, Any]) -> ObjectQuery:
             object_type=ObjectType(data.get("object_type", "file")),
             collection=data.get("collection"),
             valid_only=bool(data.get("valid_only", False)),
-            limit=data.get("limit"),
         )
+        if data.get("limit") is not None:
+            query.limit(data["limit"])
+        if data.get("offset") is not None:
+            query.offset(data["offset"])
+        order = data.get("order_by")
+        if order:
+            fieldname, descending = order
+            query.order_by(fieldname, bool(descending))
         for cond in data.get("conditions", []):
             query.where(cond["attribute"], cond["op"], cond["value"])
         for cond in data.get("predefined", []):

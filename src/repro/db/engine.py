@@ -43,6 +43,7 @@ from repro.db.sql.lexer import TokenType, tokenize
 from repro.db.sql.parser import parse_statement
 from repro.db.storage import Catalog, ForeignKeyEnforcer
 from repro.db.txn import LockManager, TransactionState
+from repro.cache.generations import GenerationMap
 from repro.obs.metrics import OBS, counter as _obs_counter, histogram as _obs_histogram
 
 _STMT_CACHE = _obs_counter(
@@ -163,6 +164,10 @@ class Database:
         self.catalog = Catalog()
         self.locks = LockManager(lock_timeout)
         self.fk = ForeignKeyEnforcer(self.catalog)
+        # Per-table commit generations: the invalidation signal for the
+        # strict-consistency read caches (repro.cache).  Bumped after a
+        # commit is durable, before its write locks are released.
+        self.generations = GenerationMap()
         self.directory = directory
         self._stmt_cache: dict[str, Statement] = {}
         self._stmt_cache_guard = threading.Lock()
@@ -249,6 +254,7 @@ class Database:
             self.wal_commit(
                 [{"op": "create_table", "def": walmod.table_def_to_dict(definition)}]
             )
+            self.generations.bump((definition.name,))
         finally:
             self.locks.schema_lock.release(owner, True)
 
@@ -273,6 +279,7 @@ class Database:
                     }
                 ]
             )
+            self.generations.bump((index_def.table,))
         finally:
             self.locks.schema_lock.release(owner, True)
 
@@ -396,6 +403,16 @@ class Connection:
     def in_transaction(self) -> bool:
         return self._txn.explicit
 
+    @property
+    def transaction_written_tables(self) -> frozenset[str]:
+        """Tables this connection's open transaction has written so far.
+
+        Conservative: a table stays listed even if a savepoint rollback
+        reverted every write to it (the overshoot only costs shared-cache
+        bypasses, never correctness).  Empty outside transactions.
+        """
+        return frozenset(self._txn.written_tables)
+
     # -- dispatch ------------------------------------------------------------------
 
     def _dispatch(self, stmt: Statement, params: tuple) -> ResultSet:
@@ -431,8 +448,20 @@ class Connection:
         if not self._txn.explicit:
             raise TransactionError("COMMIT without BEGIN")
         self._db.wal_commit(self._txn.wal_records)
+        # Invalidate read caches for exactly the tables this commit
+        # changed (savepoint rollbacks already truncated their records,
+        # so fully-reverted work publishes nothing).  Bumping *before*
+        # _finish_txn releases the write locks is what makes cache hits
+        # strictly consistent: until the locks drop, nobody else could
+        # read the new data anyway.
+        self._bump_generations()
         self._finish_txn()
         return ResultSet(rowcount=0)
+
+    def _bump_generations(self) -> None:
+        tables = {r["table"] for r in self._txn.wal_records if "table" in r}
+        if tables:
+            self._db.generations.bump(tables)
 
     def _rollback_txn(self) -> ResultSet:
         if not self._txn.explicit and not self._txn.held:
@@ -446,6 +475,7 @@ class Connection:
         self._txn.held.clear()
         self._txn.undo.clear()
         self._txn.wal_records.clear()
+        self._txn.written_tables.clear()
         self._txn.explicit = False
 
     def savepoint(self) -> tuple[int, int]:
@@ -498,8 +528,12 @@ class Connection:
             return
         if success:
             self._db.wal_commit(self._txn.wal_records)
+            # Autocommit: bump while still holding this statement's
+            # write locks (released just below), mirroring _commit_txn.
+            self._bump_generations()
         self._txn.wal_records.clear()
         self._txn.undo.clear()
+        self._txn.written_tables.clear()
         LockManager.release(self._txn, held)
 
     # -- SELECT ---------------------------------------------------------------------------
@@ -558,6 +592,7 @@ class Connection:
         table = self._db.catalog.table(stmt.table)  # early schema check
         read_tables = {fk.ref_table for fk in table.definition.foreign_keys}
         held = self._with_locks(read_tables, {stmt.table})
+        self._txn.written_tables.add(stmt.table)
         success = False
         lastrowids: list[int] = []
         inserted = 0
@@ -613,6 +648,7 @@ class Connection:
                 if fk.ref_table == stmt.table:
                     read_tables.add(other.name)
         held = self._with_locks(read_tables - {stmt.table}, {stmt.table})
+        self._txn.written_tables.add(stmt.table)
         success = False
         count = 0
         undo_mark = self._txn.undo.mark()
@@ -679,6 +715,7 @@ class Connection:
                 if fk.ref_table == stmt.table:
                     read_tables.add(other.name)
         held = self._with_locks(read_tables - {stmt.table}, {stmt.table})
+        self._txn.written_tables.add(stmt.table)
         success = False
         count = 0
         undo_mark = self._txn.undo.mark()
@@ -714,6 +751,7 @@ class Connection:
             raise TransactionError("DDL is not allowed inside an explicit transaction")
         owner = self._txn
         self._db.locks.schema_lock.acquire_write(owner, self._db.locks.timeout)
+        bump_table: Optional[str] = None
         try:
             if isinstance(stmt, CreateTable):
                 if stmt.if_not_exists and self._db.catalog.has_table(stmt.name):
@@ -734,6 +772,7 @@ class Connection:
                         }
                     ]
                 )
+                bump_table = stmt.name
             elif isinstance(stmt, CreateIndex):
                 table = self._db.catalog.table(stmt.table)
                 if stmt.if_not_exists and any(
@@ -759,11 +798,13 @@ class Connection:
                         }
                     ]
                 )
+                bump_table = stmt.table
             elif isinstance(stmt, DropTable):
                 if stmt.if_exists and not self._db.catalog.has_table(stmt.name):
                     return ResultSet(rowcount=0)
                 self._db.catalog.drop_table(stmt.name)
                 self._db.wal_commit([{"op": "drop_table", "table": stmt.name}])
+                bump_table = stmt.name
             elif isinstance(stmt, DropIndex):
                 table_name = stmt.table
                 if table_name is None:
@@ -782,6 +823,9 @@ class Connection:
                 self._db.wal_commit(
                     [{"op": "drop_index", "table": table_name, "name": stmt.name}]
                 )
+                bump_table = table_name
+            if bump_table is not None:
+                self._db.generations.bump((bump_table,))
             return ResultSet(rowcount=0)
         finally:
             self._db.locks.schema_lock.release(owner, True)

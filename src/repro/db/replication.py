@@ -77,6 +77,17 @@ class Replica:
         try:
             for record in records:
                 _apply_record(self.database.catalog, record)
+            # Invalidate the replica's read caches before readers can see
+            # the new rows (mirrors the primary's commit-time bump).
+            tables = set()
+            for record in records:
+                table = record.get("table")
+                if table is None:
+                    table = (record.get("def") or {}).get("name")
+                if table:
+                    tables.add(table)
+            if tables:
+                self.database.generations.bump(tables)
         finally:
             lock.release(owner, True)
         with self._apply_lock:

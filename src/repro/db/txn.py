@@ -296,6 +296,11 @@ class TransactionState:
         self.undo = UndoLog()
         self.held: list = []  # list of (RWLock, write) from LockManager
         self.wal_records: list[dict] = []
+        # Tables this transaction has issued writes against.  Unlike
+        # wal_records this set is NOT truncated by savepoint rollback —
+        # it gates shared-cache use (repro.cache), where overshooting
+        # only costs extra misses while undershooting would be unsound.
+        self.written_tables: set[str] = set()
 
     @property
     def active(self) -> bool:

@@ -35,6 +35,9 @@ class FederatedMCS:
         self, conditions: dict[str, Any]
     ) -> dict[str, list[str]]:
         """Conjunctive equality query; returns {catalog_id: names}."""
+        subquery = ObjectQuery()
+        for attr, value in conditions.items():
+            subquery.where(attr, "=", value)
         cond_list = [(attr, "=", value) for attr, value in conditions.items()]
         out: dict[str, list[str]] = {}
         for catalog_id in self.index.candidate_catalogs(cond_list):
@@ -42,7 +45,7 @@ class FederatedMCS:
             if member is None:
                 continue
             self.subqueries_issued += 1
-            names = member.client.query_files_by_attributes(conditions)
+            names = member.client.query(subquery)
             if names:
                 out[catalog_id] = names
         return out

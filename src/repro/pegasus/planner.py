@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.core.client import MCSClient
+from repro.core.query import ObjectQuery
 from repro.pegasus.abstract import AbstractJob, AbstractWorkflow
 from repro.pegasus.dag import DAG
 from repro.rls.client import RLSClient
@@ -104,7 +105,10 @@ class PegasusPlanner:
 
     def query_data_products(self, conditions: dict[str, Any]) -> list[str]:
         """Attribute-based discovery, as Pegasus issues on user requests."""
-        return self.mcs.query_files_by_attributes(conditions)
+        query = ObjectQuery()
+        for attr, value in conditions.items():
+            query.where(attr, "=", value)
+        return self.mcs.query(query)
 
     # -- reduction -------------------------------------------------------------
 

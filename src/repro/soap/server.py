@@ -261,6 +261,13 @@ class SoapServer:
             mapped = self._fault_mapper(exc)
             if mapped is not None:
                 return mapped
+        # Shared fault table (lazy: the soap layer must import without
+        # repro.core so the packages initialise in either order).
+        from repro.core.errors import fault_code_for
+
+        code = fault_code_for(exc)
+        if code is not None:
+            return SoapFault(code, str(exc))
         return SoapFault("Server", f"{type(exc).__name__}: {exc}")
 
     # -- lifecycle ----------------------------------------------------------

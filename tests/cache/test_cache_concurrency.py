@@ -1,0 +1,80 @@
+"""Concurrency stress: zero stale reads under reader/writer churn.
+
+One writer advances a monotonically increasing attribute value on a
+single file (each ``set_attributes`` replaces the value, so exactly one
+value matches at any instant) while reader threads hammer the same
+cached queries.  Before each probe a reader snapshots the writer's
+committed floor ``c``; since the value only ever grows, a query for any
+value ``< c`` must return nothing — a non-empty answer could only come
+from a stale cache entry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import MCSClient, MCSService, ObjectQuery
+
+pytestmark = pytest.mark.cache
+
+ROUNDS = 120
+READERS = 4
+
+
+def test_readers_never_see_stale_values_under_write_churn():
+    service = MCSService()
+    catalog = service.catalog
+    catalog.define_attribute("v", "int")
+    catalog.create_file("hot", attributes={"v": 0})
+
+    committed = [0]  # highest value whose write has returned
+    errors: list[BaseException] = []
+    done = threading.Event()
+
+    def writer() -> None:
+        client = MCSClient.in_process(service, caller="writer")
+        try:
+            for j in range(1, ROUNDS + 1):
+                client.set_attributes("file", "hot", {"v": j})
+                committed[0] = j  # publish after the commit returned
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+        finally:
+            done.set()
+
+    def reader(r: int) -> None:
+        client = MCSClient.in_process(service, caller=f"reader-{r}")
+        try:
+            while not done.is_set():
+                floor = committed[0]
+                if floor >= 1:
+                    stale = client.query(ObjectQuery().where("v", "=", floor - 1))
+                    # v was already > floor-1 before this query began and
+                    # never decreases: any hit is a stale cached read.
+                    assert stale == [], (
+                        f"stale read: v={floor - 1} still visible at "
+                        f"floor {floor}: {stale}"
+                    )
+                # Racing probe at the floor itself: [] (writer moved on)
+                # or ["hot"] are both legal; it exists to keep the cache
+                # hot on the exact entries the writer is invalidating.
+                client.query(ObjectQuery().where("v", "=", floor))
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader, args=(r,)) for r in range(READERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+        assert not t.is_alive(), "thread wedged (possible deadlock)"
+    assert not errors, f"failures under churn: {errors!r}"
+    assert committed[0] == ROUNDS
+
+    # The stress only proves anything if the cache actually served reads.
+    stats = catalog.cache.stats()["query"]
+    assert stats["hits"] > 0, "stress never exercised the cache"

@@ -1,0 +1,164 @@
+"""Stateful property test: cached catalog vs uncached ground truth.
+
+Two identical catalogs receive the same operation stream — single
+writes, deletes, bulk atomic and non-atomic batches (including poisoned
+batches that exercise whole-transaction rollback and per-item savepoint
+rollback) — but one runs with the read cache enabled and one with it
+disabled.  After every step, every query answer must match: the cache
+may only ever change performance, never results.
+
+Queries are issued inside the rules as well as the invariants so cache
+entries are hot (and therefore *could* serve stale data) at the moment
+each write lands.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import MetadataCatalog, ObjectQuery, ObjectType
+
+pytestmark = pytest.mark.cache
+
+STR_VALUES = ("x", "y", "z")
+INT_VALUES = (1, 2, 3)
+
+
+def _make_catalog(cache: bool) -> MetadataCatalog:
+    catalog = MetadataCatalog(cache=cache)
+    catalog.define_attribute("a_str", "string")
+    catalog.define_attribute("a_int", "int")
+    return catalog
+
+
+def _queries():
+    for s in STR_VALUES:
+        yield ObjectQuery().where("a_str", "=", s)
+    for i in INT_VALUES:
+        yield ObjectQuery().where("a_str", "=", "x").where("a_int", "=", i)
+    yield ObjectQuery().where_field("name", "=", "file-0001")
+    yield ObjectQuery().where("a_int", ">", 1).order_by("name")
+    yield ObjectQuery().where("a_int", ">=", 1).limit(3)
+
+
+class CachedEquivalenceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cached = _make_catalog(cache=True)
+        self.plain = _make_catalog(cache=False)
+        self.names: list[str] = []
+        self._counter = 0
+
+    def _fresh_name(self) -> str:
+        self._counter += 1
+        return f"file-{self._counter:04d}"
+
+    def _both(self, fn):
+        """Apply one operation to both catalogs; outcomes must agree."""
+        results = []
+        for catalog in (self.cached, self.plain):
+            try:
+                results.append((True, fn(catalog)))
+            except Exception as exc:  # noqa: BLE001 - equivalence oracle
+                results.append((False, type(exc)))
+        assert results[0][0] == results[1][0], (
+            f"cached ok={results[0]} plain ok={results[1]}"
+        )
+        return results[0]
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule(s=st.sampled_from(STR_VALUES), i=st.sampled_from(INT_VALUES))
+    def create_one(self, s, i):
+        name = self._fresh_name()
+        ok, _ = self._both(
+            lambda c: c.create_file(name, attributes={"a_str": s, "a_int": i})
+        )
+        if ok:
+            self.names.append(name)
+
+    @rule(s=st.sampled_from(STR_VALUES))
+    def set_attrs(self, s):
+        if not self.names:
+            return
+        name = self.names[len(self.names) // 2]
+        self._both(
+            lambda c: c.set_attributes(ObjectType.FILE, name, {"a_str": s})
+        )
+
+    @rule()
+    def delete_one(self):
+        if not self.names:
+            return
+        name = self.names.pop(0)
+        self._both(lambda c: c.delete_file(name))
+
+    @rule(
+        n=st.integers(min_value=1, max_value=5),
+        poison=st.booleans(),
+        atomic=st.booleans(),
+        s=st.sampled_from(STR_VALUES),
+    )
+    def bulk_create(self, n, poison, atomic, s):
+        entries = [
+            {"name": self._fresh_name(), "attributes": {"a_str": s}}
+            for _ in range(n)
+        ]
+        if poison and self.names:
+            # Duplicate mid-batch: atomic -> whole-transaction rollback,
+            # non-atomic -> savepoint rollback of just this item.  Either
+            # way the cache must not serve answers from the reverted rows.
+            entries.insert(
+                len(entries) // 2,
+                {"name": self.names[0], "attributes": {"a_str": s}},
+            )
+        ok, value = self._both(
+            lambda c: c.bulk_create_files(entries, atomic=atomic)
+        )
+        if ok:
+            for (item_ok, _), entry in zip(value, entries):
+                if item_ok and entry["name"] not in self.names:
+                    self.names.append(entry["name"])
+
+    @rule(poison=st.booleans(), atomic=st.booleans(),
+          i=st.sampled_from(INT_VALUES))
+    def bulk_set(self, poison, atomic, i):
+        if not self.names:
+            return
+        items = [
+            {"name": name, "attributes": {"a_int": i}}
+            for name in self.names[:3]
+        ]
+        if poison:
+            items.insert(1, {"name": "no-such-file", "attributes": {"a_int": i}})
+        self._both(lambda c: c.bulk_set_attributes(items, atomic=atomic))
+
+    @rule()
+    def warm_queries(self):
+        # Populate cache entries so later writes have something to
+        # invalidate; answers are checked by the invariant right after.
+        for query in _queries():
+            self.cached.query(query)
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def cached_equals_uncached(self):
+        for query in _queries():
+            got = self.cached.query(query)
+            want = self.plain.query(query)
+            assert got == want, f"cached {got} != uncached {want}"
+
+    @invariant()
+    def per_file_attributes_match(self):
+        for name in self.names[-3:]:
+            assert self.cached.get_attributes(
+                ObjectType.FILE, name
+            ) == self.plain.get_attributes(ObjectType.FILE, name)
+
+
+TestCachedEquivalence = CachedEquivalenceMachine.TestCase
+TestCachedEquivalence.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

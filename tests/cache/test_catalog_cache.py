@@ -1,0 +1,225 @@
+"""Behavioral tests for the generation-stamped catalog read cache.
+
+The contract under test is the paper's strict consistency (§4): a cached
+answer must be indistinguishable from re-running the query — across
+single writes, bulk transactions, savepoint rollbacks, runtime
+enable/disable, and replication apply.
+"""
+
+import pytest
+
+from repro.core import MetadataCatalog, ObjectQuery, ObjectType
+from repro.core.errors import DuplicateObjectError
+from repro.core.replicated import ReplicatedMCS
+
+pytestmark = pytest.mark.cache
+
+
+@pytest.fixture
+def cat():
+    cat = MetadataCatalog()
+    cat.define_attribute("exp", "string")
+    cat.define_attribute("run", "int")
+    cat.create_file("f1", attributes={"exp": "pulsar", "run": 1})
+    cat.create_file("f2", attributes={"exp": "pulsar", "run": 2})
+    return cat
+
+
+def _pulsar_query():
+    return ObjectQuery().where("exp", "=", "pulsar")
+
+
+class TestQueryCache:
+    def test_repeat_query_hits(self, cat):
+        first = cat.query(_pulsar_query())
+        before = cat.cache.stats()["query"]["hits"]
+        second = cat.query(_pulsar_query())
+        assert second == first == ["f1", "f2"]
+        assert cat.cache.stats()["query"]["hits"] == before + 1
+
+    def test_committed_write_invalidates(self, cat):
+        assert cat.query(_pulsar_query()) == ["f1", "f2"]
+        cat.query(_pulsar_query())  # warm: second call is a hit
+        cat.create_file("f3", attributes={"exp": "pulsar"})
+        assert cat.query(_pulsar_query()) == ["f1", "f2", "f3"]
+
+    def test_delete_invalidates(self, cat):
+        cat.query(_pulsar_query())
+        cat.query(_pulsar_query())
+        cat.delete_file("f1")
+        assert cat.query(_pulsar_query()) == ["f2"]
+
+    def test_attribute_change_invalidates(self, cat):
+        cat.query(_pulsar_query())
+        cat.set_attributes(ObjectType.FILE, "f2", {"exp": "burst"})
+        assert cat.query(_pulsar_query()) == ["f1"]
+
+    def test_unrelated_table_write_keeps_entry_valid(self, cat):
+        cat.query(_pulsar_query())
+        before = cat.cache.stats()["query"]["hits"]
+        # Annotations live in their own table; the query result does not
+        # depend on it, so the entry must survive.
+        cat.annotate(ObjectType.FILE, "f1", "still cached", creator="t")
+        cat.query(_pulsar_query())
+        assert cat.cache.stats()["query"]["hits"] == before + 1
+
+
+class TestAttrDefAndObjectCaches:
+    def test_attr_def_cache_hits_and_invalidates(self, cat):
+        cat.get_attribute_def("exp")
+        before = cat.cache.stats()["attr_def"]["hits"]
+        assert cat.get_attribute_def("exp").name == "exp"
+        assert cat.cache.stats()["attr_def"]["hits"] == before + 1
+        # A schema write bumps attribute_def; next read must re-miss.
+        cat.define_attribute("fresh", "float")
+        misses = cat.cache.stats()["attr_def"]["misses"]
+        assert cat.get_attribute_def("exp").value_type.value == "string"
+        assert cat.cache.stats()["attr_def"]["misses"] == misses + 1
+
+    def test_object_cache_survives_delete_recreate(self, cat):
+        # Warm the name -> id mapping, then delete and recreate the file;
+        # the stale id must not resurface.
+        cat.set_attributes(ObjectType.FILE, "f1", {"run": 7})
+        cat.delete_file("f1")
+        cat.create_file("f1", attributes={"exp": "burst"})
+        cat.set_attributes(ObjectType.FILE, "f1", {"run": 9})
+        assert cat.get_attributes(ObjectType.FILE, "f1") == {
+            "exp": "burst", "run": 9,
+        }
+
+
+class TestEnabledFlag:
+    def test_disabled_catalog_never_hits(self):
+        cat = MetadataCatalog(cache=False)
+        cat.define_attribute("exp", "string")
+        cat.create_file("f1", attributes={"exp": "x"})
+        q = ObjectQuery().where("exp", "=", "x")
+        assert cat.query(q) == ["f1"]
+        assert cat.query(q) == ["f1"]
+        stats = cat.cache.stats()
+        assert stats["enabled"] is False
+        assert stats["query"]["hits"] == 0
+        assert stats["query"]["bypasses"] >= 2
+
+    def test_runtime_toggle_revalidates(self, cat):
+        cat.query(_pulsar_query())
+        cat.cache.enabled = False
+        cat.create_file("f3", attributes={"exp": "pulsar"})
+        assert cat.query(_pulsar_query()) == ["f1", "f2", "f3"]
+        cat.cache.enabled = True
+        # The pre-toggle entry is stale; generations catch it.
+        assert cat.query(_pulsar_query()) == ["f1", "f2", "f3"]
+
+
+class TestTransactionSemantics:
+    def test_mid_transaction_reads_bypass_and_rollback_leaves_no_trace(self, cat):
+        baseline = cat.query(_pulsar_query())
+        conn = cat._conn
+        conn.begin()
+        try:
+            conn.lock_tables(
+                read=("logical_collection", "attribute_def"),
+                write=("logical_file", "attribute_value"),
+            )
+            cat.create_file("txn-file", attributes={"exp": "pulsar"})
+            bypasses = cat.cache.stats()["query"]["bypasses"]
+            # The transaction sees its own uncommitted write...
+            assert cat.query(_pulsar_query()) == ["f1", "f2", "txn-file"]
+            # ...via a bypass, never through the shared cache.
+            assert cat.cache.stats()["query"]["bypasses"] == bypasses + 1
+        finally:
+            conn.rollback()
+        assert cat.query(_pulsar_query()) == baseline
+
+    def test_atomic_bulk_failure_publishes_nothing(self, cat):
+        cat.query(_pulsar_query())
+        gen_before = cat.db.generations.get("logical_file")
+        hits_before = cat.cache.stats()["query"]["hits"]
+        with pytest.raises(DuplicateObjectError):
+            cat.bulk_create_files(
+                [
+                    {"name": "new-a", "attributes": {"exp": "pulsar"}},
+                    {"name": "f1"},  # duplicate: poisons the batch
+                ],
+                atomic=True,
+            )
+        assert cat.db.generations.get("logical_file") == gen_before
+        assert cat.query(_pulsar_query()) == ["f1", "f2"]
+        assert cat.cache.stats()["query"]["hits"] == hits_before + 1
+
+    def test_savepoint_rollback_publishes_no_invalidations(self, cat):
+        cat.query(_pulsar_query())
+        gen_before = cat.db.generations.get("logical_file")
+        outcomes = cat.bulk_create_files(
+            [{"name": "f1"}, {"name": "f2"}],  # every item a duplicate
+            atomic=False,
+        )
+        assert [ok for ok, _ in outcomes] == [False, False]
+        # All work was reverted via savepoints; the commit carries no
+        # records for logical_file, so no invalidation is published.
+        assert cat.db.generations.get("logical_file") == gen_before
+        hits_before = cat.cache.stats()["query"]["hits"]
+        assert cat.query(_pulsar_query()) == ["f1", "f2"]
+        assert cat.cache.stats()["query"]["hits"] == hits_before + 1
+
+    def test_partial_savepoint_rollback_publishes_survivors(self, cat):
+        cat.query(_pulsar_query())
+        outcomes = cat.bulk_create_files(
+            [
+                {"name": "f1"},  # duplicate: rolled back
+                {"name": "f3", "attributes": {"exp": "pulsar"}},  # survives
+            ],
+            atomic=False,
+        )
+        assert [ok for ok, _ in outcomes] == [False, True]
+        assert cat.query(_pulsar_query()) == ["f1", "f2", "f3"]
+
+
+class TestReplicaInvalidation:
+    def test_replica_cache_invalidated_on_apply(self):
+        cluster = ReplicatedMCS(replicas=1, synchronous=True)
+        try:
+            writer = cluster.write_client(caller="w")
+            reader = cluster.replica_client(0, caller="r")
+            writer.define_attribute("k", "int")
+            writer.create_logical_file("f1", attributes={"k": 1})
+            q = ObjectQuery().where("k", "=", 1)
+            assert reader.query(q) == ["f1"]
+            assert reader.query(q) == ["f1"]  # warm the replica cache
+            writer.create_logical_file("f2", attributes={"k": 1})
+            # Synchronous apply bumped the replica's generations.
+            assert reader.query(q) == ["f1", "f2"]
+        finally:
+            cluster.close()
+
+
+class TestStatsSurfaces:
+    def test_cache_stats_shape(self, cat):
+        cat.query(_pulsar_query())
+        stats = cat.cache.stats()
+        assert stats["enabled"] is True
+        for name in ("attr_def", "object", "query"):
+            section = stats[name]
+            assert set(section) == {
+                "hits", "misses", "bypasses", "hit_ratio", "entries",
+                "evictions",
+            }
+        assert stats["query"]["entries"] >= 1
+
+    def test_op_stats_exposes_cache_section(self, cat):
+        from repro.core.service import MCSService
+
+        service = MCSService(cat)
+        stats = service.handle("stats", {"caller": "t"})
+        assert stats["cache"]["enabled"] is True
+        assert "query" in stats["cache"]
+
+    def test_metrics_families_registered(self, cat):
+        from repro.obs.metrics import get_registry
+
+        cat.query(_pulsar_query())
+        cat.query(_pulsar_query())
+        snapshot = get_registry().snapshot()
+        assert "mcs_cache_requests_total" in snapshot
+        assert "mcs_cache_hit_ratio" in snapshot
+        assert "mcs_cache_invalidations_total" in snapshot

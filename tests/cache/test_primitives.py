@@ -1,0 +1,94 @@
+"""Unit tests for the cache building blocks: GenerationMap and LRUCache."""
+
+import threading
+
+import pytest
+
+from repro.cache import GenerationMap, LRUCache
+
+pytestmark = pytest.mark.cache
+
+
+class TestGenerationMap:
+    def test_unknown_table_is_generation_zero(self):
+        gens = GenerationMap()
+        assert gens.get("never_written") == 0
+        assert gens.snapshot(("a", "b")) == (0, 0)
+
+    def test_bump_is_monotonic_and_per_table(self):
+        gens = GenerationMap()
+        gens.bump(("a",))
+        gens.bump(("a", "b"))
+        assert gens.get("a") == 2
+        assert gens.get("b") == 1
+        assert gens.get("c") == 0
+
+    def test_snapshot_order_matches_tables(self):
+        gens = GenerationMap()
+        gens.bump(("x",))
+        assert gens.snapshot(("x", "y")) == (1, 0)
+        assert gens.snapshot(("y", "x")) == (0, 1)
+
+    def test_as_dict(self):
+        gens = GenerationMap()
+        gens.bump(("t1", "t2"))
+        gens.bump(("t1",))
+        assert gens.as_dict() == {"t1": 2, "t2": 1}
+
+    def test_concurrent_bumps_never_lose_updates(self):
+        gens = GenerationMap()
+        n_threads, n_bumps = 8, 200
+
+        def bump():
+            for _ in range(n_bumps):
+                gens.bump(("t",))
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gens.get("t") == n_threads * n_bumps
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        lru = LRUCache(4)
+        lru.put("k", 42)
+        assert lru.get("k") == 42
+        assert lru.get("missing") is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_eviction_is_least_recently_used(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh "a"; "b" is now LRU
+        lru.put("c", 3)
+        assert lru.get("b") is None
+        assert lru.get("a") == 1
+        assert lru.get("c") == 3
+        assert lru.evictions == 1
+
+    def test_overwrite_does_not_evict(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("a", 2)
+        lru.put("b", 3)
+        assert len(lru) == 2
+        assert lru.evictions == 0
+        assert lru.get("a") == 2
+
+    def test_discard_and_clear(self):
+        lru = LRUCache(4)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.discard("a")
+        lru.discard("a")  # idempotent
+        assert lru.get("a") is None
+        lru.clear()
+        assert len(lru) == 0
+        assert lru.get("b") is None

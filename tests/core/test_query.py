@@ -101,7 +101,7 @@ class TestPredefinedQueries:
         assert cat.query(q) == ["f2"]
 
     def test_limit(self, cat):
-        q = ObjectQuery(limit=1).where("experiment", "=", "pulsar")
+        q = ObjectQuery().limit(1).where("experiment", "=", "pulsar")
         assert len(cat.query(q)) == 1
 
     def test_unknown_predefined_field(self, cat):

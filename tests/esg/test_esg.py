@@ -31,7 +31,7 @@ class TestDublinCore:
 
     def test_date_element_is_date_typed(self, client):
         register_dublin_core(client)
-        defs = {d["name"]: d["value_type"] for d in client.list_attribute_defs()}
+        defs = {d.name: d.value_type.value for d in client.list_attribute_defs()}
         assert defs["dc_date"] == "date"
         assert defs["dc_title"] == "string"
 

@@ -23,7 +23,7 @@ class TestOntology:
     def test_registration(self, client):
         assert register_ligo_attributes(client) == 23
         assert register_ligo_attributes(client) == 0
-        defined = {d["name"] for d in client.list_attribute_defs()}
+        defined = {d.name for d in client.list_attribute_defs()}
         assert set(LIGO_ATTRIBUTES) <= defined
 
     def test_types_are_valid(self):
