@@ -118,7 +118,9 @@ def xml_backend_demo() -> None:
         backend.create_file(
             f"x-{i}", attributes={"model": f"M{i % 3}", "year": 1990 + i}
         )
-    hits = backend.query_files_by_attributes({"model": "M1", "year": 1994})
+    hits = backend.query(
+        ObjectQuery().where("model", "=", "M1").where("year", "=", 1994)
+    )
     print(f"  XPath-backed conjunctive query: {hits}")
     print("  (see benchmarks/test_ablation_xml_backend.py for the rate gap)")
 

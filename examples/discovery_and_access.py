@@ -15,7 +15,7 @@ per-object authorization enforced along the way:
     python examples/discovery_and_access.py
 """
 
-from repro.core import MCSClient, MCSService, ObjectType
+from repro.core import MCSClient, MCSService, ObjectQuery, ObjectType
 from repro.gridftp import GridFTPServer, StorageSite
 from repro.rls import LocalReplicaCatalog, ReplicaLocationIndex, RLSClient
 from repro.security import (
@@ -93,7 +93,9 @@ def main() -> None:
         client = MCSClient.connect(*soap.endpoint)
         client._gsi = GSIContext(proxy)
 
-        names = client.query_files_by_attributes({"variable": "precipitation"})
+        names = client.query(
+            ObjectQuery().where("variable", "=", "precipitation")
+        )
         print(f"(1)-(2) MCS discovery: {names}")
 
         target = names[-1]

@@ -33,7 +33,7 @@ def main() -> None:
           f"({sum(1 for d in defs if d.name.startswith('dc_'))} Dublin Core)")
 
     # -- Discovery the way ESG scientists used it ---------------------------
-    ccsm = client.query_files_by_attributes({"esg_model": "CCSM2"})
+    ccsm = client.query(ObjectQuery().where("esg_model", "=", "CCSM2"))
     print(f"CCSM2 datasets: {len(ccsm)}")
     for name in ccsm[:3]:
         attrs = client.get_attributes("file", name)

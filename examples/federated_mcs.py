@@ -9,8 +9,16 @@ pattern Giggle uses for replica location.
     python examples/federated_mcs.py
 """
 
+from repro.core import ObjectQuery
 from repro.federation import FederatedMCS, LocalMCS, MCSIndexNode
 from repro.ligo import generate_products, register_ligo_attributes
+
+
+def _equality_query(conditions: dict) -> ObjectQuery:
+    query = ObjectQuery()
+    for attr, value in conditions.items():
+        query.where(attr, "=", value)
+    return query
 
 
 def main() -> None:
@@ -42,7 +50,7 @@ def main() -> None:
         {"data_product": "frequency_spectrum"},
     ):
         before = federation.subqueries_issued
-        results = federation.query_files_by_attributes(request)
+        results = federation.query(_equality_query(request))
         issued = federation.subqueries_issued - before
         total = sum(len(v) for v in results.values())
         print(
@@ -57,7 +65,7 @@ def main() -> None:
     fast_index = MCSIndexNode(timeout=0.0)  # everything expires immediately
     stale_fed = FederatedMCS(fast_index, members)
     stale_fed.refresh_all()
-    results = stale_fed.query_files_by_attributes({"interferometer": "H1"})
+    results = stale_fed.query(ObjectQuery().where("interferometer", "=", "H1"))
     print(f"with expired soft state the index returns no candidates: {results}")
 
 

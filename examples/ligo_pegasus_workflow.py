@@ -13,7 +13,7 @@
     python examples/ligo_pegasus_workflow.py
 """
 
-from repro.core import MCSClient, MCSService
+from repro.core import MCSClient, MCSService, ObjectQuery
 from repro.gridftp import GridFTPServer, StorageSite
 from repro.ligo import generate_products, pulsar_search_workflow, register_ligo_attributes
 from repro.pegasus import PegasusPlanner, WorkflowExecutor
@@ -52,7 +52,10 @@ def main() -> None:
 
     # -- Discovery: the user asks for H1 time series ------------------------
     request = {"interferometer": "H1", "data_product": "time_series"}
-    frames = mcs.query_files_by_attributes(request)
+    query = ObjectQuery()
+    for attr, value in request.items():
+        query.where(attr, "=", value)
+    frames = mcs.query(query)
     print(f"MCS discovery for {request}: {len(frames)} matching frames")
     if not frames:
         # fall back to everything raw we published
@@ -77,8 +80,10 @@ def main() -> None:
     )
 
     # -- Derived products are now discoverable -------------------------------
-    results = mcs.query_files_by_attributes(
-        {"data_product": "pulsar_search", "pulsar_search_id": "ps-s1-0001"}
+    results = mcs.query(
+        ObjectQuery()
+        .where("data_product", "=", "pulsar_search")
+        .where("pulsar_search_id", "=", "ps-s1-0001")
     )
     print("pulsar search results in MCS:", results)
     for name in results:

@@ -35,7 +35,17 @@ Quickest start::
     client.query(ObjectQuery().where("experiment", "=", "pulsar"))
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# Opt-in runtime lock-order sanitizer: instrument the engine's RWLock
+# layer for the whole process when REPRO_SANITIZER is set (the
+# `pytest -m sanitizer` lane and ad-hoc sanitized runs use this).
+import os as _os
+
+if _os.environ.get("REPRO_SANITIZER", "") in ("1", "true", "yes", "on"):
+    from repro.analysis import sanitizer as _sanitizer
+
+    _sanitizer.install()
 __paper__ = (
     "Singh, Bharathi, Chervenak, Deelman, Kesselman, Manohar, Patil, "
     "Pearlman. A Metadata Catalog Service for Data Intensive Applications. "

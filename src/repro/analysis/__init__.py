@@ -1,0 +1,84 @@
+"""Static and runtime analysis for the repro codebase.
+
+Two halves:
+
+* :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` — the
+  AST-based project linter (``mcs lint`` / ``python -m repro.analysis``)
+  that machine-checks the codebase's concurrency and protocol
+  invariants;
+* :mod:`repro.analysis.sanitizer` — the runtime lock-order sanitizer
+  that instruments the engine's RWLock layer and raises on lock-order
+  inversions before they can deadlock (``REPRO_SANITIZER=1`` /
+  ``pytest -m sanitizer``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import (
+    DEFAULT_REGISTRY,
+    Finding,
+    Module,
+    Registry,
+    Rule,
+    render_report,
+    run_paths,
+)
+
+# Importing the rules module registers every project rule with
+# DEFAULT_REGISTRY as a side effect.
+from repro.analysis import rules as _rules  # noqa: F401  (registration)
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "Finding",
+    "Module",
+    "Registry",
+    "Rule",
+    "render_report",
+    "run_paths",
+    "main",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry shared by ``python -m repro.analysis`` and ``mcs lint``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="mcs lint",
+        description="Project-specific concurrency & protocol linter",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="list every rule and the invariant it guards, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        for rule in DEFAULT_REGISTRY.rules():
+            print(f"{rule.id} {rule.name}")
+            print(f"    {rule.invariant}")
+        return 0
+
+    findings = run_paths(args.paths, select=args.select)
+    print(render_report(findings, fmt=args.format))
+    return 1 if findings else 0

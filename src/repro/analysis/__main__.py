@@ -1,0 +1,10 @@
+"""``python -m repro.analysis [paths ...]`` — run the project linter."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import main
+
+if __name__ == "__main__":
+    sys.exit(main())

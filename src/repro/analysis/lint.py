@@ -1,0 +1,272 @@
+"""AST-based custom lint framework for the repro codebase.
+
+The protocols that make this reproduction correct — strict-2PL locking,
+commit-time generation bumps, the mid-transaction cache bypass, the
+centralized SOAP fault table — are invariants the type system cannot
+express.  This framework ossifies them as machine-checked rules instead
+of review lore:
+
+* a :class:`Rule` inspects one module's AST (plus a little cross-file
+  state for registry-style rules) and yields :class:`Finding`s;
+* the :class:`Registry` holds every rule; :func:`run_paths` walks the
+  requested files/directories, parses each module once, and fans the
+  shared AST out to all applicable rules;
+* findings carry ``rule_id``, ``file``, ``line`` and a message, render
+  one-per-line (``file:line: RULE-ID message``) and drive the process
+  exit code — ``mcs lint`` / ``python -m repro.analysis`` exit non-zero
+  iff any finding was produced.
+
+Rules live in :mod:`repro.analysis.rules`; importing that module
+populates the default registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a source location."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Module:
+    """One parsed source module handed to every rule."""
+
+    path: Path
+    #: Path relative to the scan root, with ``/`` separators — what
+    #: findings report.
+    relpath: str
+    #: Dotted module name rooted at the ``repro`` package when the file
+    #: lives under one (``repro.db.engine``); bare stem otherwise.  Rule
+    #: allowlists match against this, so results don't depend on whether
+    #: the scan was invoked on ``src``, ``src/repro`` or a single file.
+    dotted: str
+    source: str
+    tree: ast.Module
+
+    _type_checking_lines: Optional[set[int]] = None
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module is (or lives under) one of *prefixes*."""
+        return any(
+            self.dotted == p or self.dotted.startswith(p + ".") for p in prefixes
+        )
+
+    def in_type_checking_block(self, node: ast.AST) -> bool:
+        """True when *node* sits under an ``if TYPE_CHECKING:`` guard."""
+        if self._type_checking_lines is None:
+            lines: set[int] = set()
+            for stmt in ast.walk(self.tree):
+                if isinstance(stmt, ast.If) and _is_type_checking_test(stmt.test):
+                    for child in stmt.body:
+                        end = getattr(child, "end_lineno", child.lineno)
+                        lines.update(range(child.lineno, end + 1))
+            self._type_checking_lines = lines
+        return getattr(node, "lineno", -1) in self._type_checking_lines
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement :meth:`check`.
+
+    ``exempt_modules`` lists dotted module names (or package prefixes)
+    the rule skips entirely — the engine's own internals are allowed to
+    do what the rest of the tree is not.  ``exempt_globs`` additionally
+    matches the scan-root-relative path, for non-package trees.
+    """
+
+    id: str = ""
+    name: str = ""
+    #: One-line statement of the invariant the rule guards (shown by
+    #: ``mcs lint --explain`` and embedded in INTERNALS.md).
+    invariant: str = ""
+    #: When non-empty, the rule runs only on modules under these package
+    #: prefixes — e.g. ``("repro",)`` for library-only rules that should
+    #: ignore example scripts handed to the same lint run.
+    only_modules: Sequence[str] = ()
+    exempt_modules: Sequence[str] = ()
+    exempt_globs: Sequence[str] = ()
+
+    def applies_to(self, module: Module) -> bool:
+        if self.only_modules and not module.in_package(*self.only_modules):
+            return False
+        if module.in_package(*self.exempt_modules):
+            return False
+        return not any(
+            fnmatch.fnmatch(module.relpath, pat) for pat in self.exempt_globs
+        )
+
+    def check(self, module: Module) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- helpers shared by concrete rules -----------------------------------
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            file=module.relpath,
+            line=getattr(node, "lineno", 0),
+            rule_id=self.id,
+            message=message,
+        )
+
+
+class Registry:
+    """Ordered collection of rules, keyed by rule id."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule_cls: type[Rule]) -> type[Rule]:
+        """Class decorator: instantiate and add the rule (id must be new)."""
+        rule = rule_cls()
+        if not rule.id:
+            raise ValueError(f"{rule_cls.__name__} has no rule id")
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule_cls
+
+    def rules(self) -> list[Rule]:
+        return [self._rules[rule_id] for rule_id in sorted(self._rules)]
+
+    def get(self, rule_id: str) -> Optional[Rule]:
+        return self._rules.get(rule_id)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+#: The default registry `mcs lint` runs; populated by repro.analysis.rules.
+DEFAULT_REGISTRY = Registry()
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Register *rule_cls* with the default registry (class decorator)."""
+    return DEFAULT_REGISTRY.register(rule_cls)
+
+
+# --------------------------------------------------------------------------
+# Source discovery and the lint run
+# --------------------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[tuple[Path, Path]]:
+    """Yield ``(root, file)`` pairs for every ``.py`` under *paths*.
+
+    ``root`` is the requested path the file was found under, so relative
+    paths in findings stay stable regardless of the caller's CWD.
+    """
+    for requested in paths:
+        if requested.is_file():
+            yield requested.parent, requested
+            continue
+        for file in sorted(requested.rglob("*.py")):
+            yield requested, file
+
+
+def _dotted_name(path: Path) -> str:
+    """Dotted module name for *path*, rooted at its ``repro`` package."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return ".".join(parts[i:])
+    return parts[-1] if parts else ""
+
+
+def load_module(root: Path, path: Path) -> Module:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        rel = path
+    return Module(
+        path=path,
+        relpath=rel.as_posix(),
+        dotted=_dotted_name(path.resolve()),
+        source=source,
+        tree=tree,
+    )
+
+
+def run_paths(
+    paths: Sequence[str | Path],
+    registry: Optional[Registry] = None,
+    select: Optional[Iterable[str]] = None,
+    on_error: Optional[Callable[[Path, SyntaxError], None]] = None,
+) -> list[Finding]:
+    """Lint every Python file under *paths*; returns sorted findings.
+
+    ``select`` restricts the run to the given rule ids.  Unparseable
+    files produce a synthetic ``LINT-SYNTAX`` finding (a file the linter
+    cannot read is a finding, not a crash) and are reported through
+    ``on_error`` when provided.
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    wanted = set(select) if select is not None else None
+    rules = [r for r in registry.rules() if wanted is None or r.id in wanted]
+    findings: list[Finding] = []
+    for root, file in iter_python_files([Path(p) for p in paths]):
+        try:
+            module = load_module(root, file)
+        except SyntaxError as exc:
+            if on_error is not None:
+                on_error(file, exc)
+            findings.append(
+                Finding(
+                    file=str(file),
+                    line=exc.lineno or 0,
+                    rule_id="LINT-SYNTAX",
+                    message=f"could not parse: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            if rule.applies_to(module):
+                findings.extend(rule.check(module))
+    return sorted(findings)
+
+
+def render_report(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render findings as line-per-finding text or a JSON document."""
+    if fmt == "json":
+        return json.dumps([f.to_dict() for f in findings], indent=2)
+    lines = [f.render() for f in findings]
+    lines.append(
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+        if findings
+        else "clean: no findings"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,464 @@
+"""Project-specific lint rules: the codebase's invariants, ossified.
+
+Each rule guards one protocol the reproduction's correctness rests on.
+They are deliberately narrow — a rule that knows exactly one invariant
+can afford to have zero false positives on this tree, which is what
+lets CI fail the build on any finding.
+
+Rule ids are stable (``MCS0xx``); see ``docs/INTERNALS.md`` for the
+prose version of every invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis.lint import Finding, Module, Rule, register
+from repro.obs.metric_names import DECLARED_METRICS, METRIC_NAME_PATTERN
+
+# --------------------------------------------------------------------------
+# Shared AST helpers
+# --------------------------------------------------------------------------
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """Trailing name of the called object: ``a.b.c()`` → ``c``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` → ``["a", "b", "c"]`` (empty for non-name chains)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+# --------------------------------------------------------------------------
+# MCS001 — storage encapsulation
+# --------------------------------------------------------------------------
+
+
+@register
+class StorageEncapsulationRule(Rule):
+    """Row storage and B-trees are engine internals.
+
+    Every mutation must flow through ``db.engine``/``db.txn`` so it picks
+    up locking, undo logging, WAL records and generation bumps.  A module
+    outside ``repro.db`` that imports ``repro.db.storage`` or
+    ``repro.db.btree`` is reaching past all four — runtime imports are
+    forbidden (``TYPE_CHECKING``-only imports are fine).
+    """
+
+    id = "MCS001"
+    name = "storage-encapsulation"
+    invariant = (
+        "only repro.db itself may import the storage/btree internals; all "
+        "other mutation goes through the engine's locked, logged statement path"
+    )
+    exempt_modules = ("repro.db",)
+
+    _FORBIDDEN = ("repro.db.storage", "repro.db.btree")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            target: Optional[str] = None
+            if isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if mod in self._FORBIDDEN:
+                    target = mod
+                elif mod == "repro.db":
+                    for alias in node.names:
+                        if alias.name in ("storage", "btree"):
+                            target = f"repro.db.{alias.name}"
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in self._FORBIDDEN:
+                        target = alias.name
+            if target is None or module.in_type_checking_block(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"imports engine internal {target!r}; mutate through "
+                "db.engine/db.txn so locking, undo, WAL and generation "
+                "bumps all apply",
+            )
+
+
+# --------------------------------------------------------------------------
+# MCS002 — generation bump on every committed write path
+# --------------------------------------------------------------------------
+
+
+@register
+class GenerationBumpRule(Rule):
+    """Commits must invalidate the read caches before locks drop.
+
+    Any function that publishes WAL records (``wal_commit``) is a commit
+    path; it must bump the ``GenerationMap`` *after* the commit call (and
+    therefore before the write-lock release that makes the new rows
+    readable).  Missing the bump makes every strict-consistency cache a
+    stale-read machine.
+    """
+
+    id = "MCS002"
+    name = "generation-bump-after-commit"
+    invariant = (
+        "every function calling wal_commit() must bump GenerationMap "
+        "afterwards, while the commit's write locks are still held"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            commit_lines: list[int] = []
+            bump_lines: list[int] = []
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node)
+                if name == "wal_commit":
+                    commit_lines.append(node.lineno)
+                elif name == "_bump_generations":
+                    bump_lines.append(node.lineno)
+                elif name == "bump":
+                    chain = _attr_chain(node.func)
+                    if len(chain) >= 2 and chain[-2] == "generations":
+                        bump_lines.append(node.lineno)
+            if not commit_lines:
+                continue
+            last_commit = max(commit_lines)
+            if not any(line > last_commit for line in bump_lines):
+                yield self.finding(
+                    module,
+                    func,
+                    f"{func.name}() calls wal_commit() but never bumps "
+                    "GenerationMap afterwards; committed writes would stay "
+                    "invisible to cache invalidation",
+                )
+
+
+# --------------------------------------------------------------------------
+# MCS003 — mid-transaction cache bypass discipline
+# --------------------------------------------------------------------------
+
+
+@register
+class CacheConnThreadingRule(Rule):
+    """Shared-cache lookups must thread the live connection.
+
+    ``CatalogCache`` decides per-lookup whether to bypass — a connection
+    mid-transaction that already wrote table T must not hit or populate
+    entries depending on T (its uncommitted rows are visible to nobody
+    else).  That decision needs the connection: passing ``None`` (or
+    nothing) disables the discipline and reintroduces the torn-read bug
+    the bypass exists to prevent.
+    """
+
+    id = "MCS003"
+    name = "cache-bypass-discipline"
+    invariant = (
+        "CatalogCache.lookup_* callers must pass the executing Connection, "
+        "never None, so the written_tables bypass can trigger"
+    )
+    exempt_modules = ("repro.cache",)
+
+    _LOOKUPS = ("lookup_attr_def", "lookup_object_id", "lookup_query")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name == "_lookup" and isinstance(node.func, ast.Attribute):
+                chain = _attr_chain(node.func)
+                if chain[:1] != ["self"]:
+                    yield self.finding(
+                        module,
+                        node,
+                        "calls the private CatalogCache._lookup; use the "
+                        "typed lookup_* entry points",
+                    )
+                continue
+            if name not in self._LOOKUPS:
+                continue
+            conn_arg: Optional[ast.expr] = node.args[0] if node.args else None
+            for kw in node.keywords:
+                if kw.arg == "conn":
+                    conn_arg = kw.value
+            # A Connection is never a literal: a constant in the conn
+            # slot means the argument was omitted and something else
+            # shifted into its place (or None was passed outright).
+            if conn_arg is None or isinstance(conn_arg, ast.Constant):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() without the executing Connection: the "
+                    "mid-transaction written_tables bypass cannot trigger, "
+                    "so uncommitted state could leak through the shared cache",
+                )
+
+
+# --------------------------------------------------------------------------
+# MCS004 — centralized fault table
+# --------------------------------------------------------------------------
+
+
+@register
+class FaultTableRule(Rule):
+    """``MCS.*`` fault codes live in exactly one place.
+
+    The wire contract is the table in ``repro.core.errors``
+    (``fault_code_for`` / ``exception_from_fault``).  A fault-code string
+    literal minted anywhere else is a code the client cannot map back to
+    a typed error — it surfaces as a bare ``MCSError`` and drifts the
+    moment the table changes.
+    """
+
+    id = "MCS004"
+    name = "centralized-fault-table"
+    invariant = (
+        "MCS.* fault-code literals may appear only in repro.core.errors; "
+        "handlers raise typed errors or reference <Error>.fault_code"
+    )
+    exempt_modules = ("repro.core.errors",)
+
+    _CODE = re.compile(r"^MCS\.[A-Za-z][A-Za-z0-9_]*$")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and self._CODE.match(node.value)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"ad-hoc fault code {node.value!r}; add it to the "
+                    "repro.core.errors table and reference the error "
+                    "class's fault_code instead",
+                )
+
+
+# --------------------------------------------------------------------------
+# MCS005 — declared metric names only
+# --------------------------------------------------------------------------
+
+_METRIC_FACTORIES = (
+    "counter",
+    "gauge",
+    "histogram",
+    "_obs_counter",
+    "_obs_gauge",
+    "_obs_histogram",
+)
+
+_METRIC_NAME_RE = re.compile(METRIC_NAME_PATTERN)
+
+
+def iter_metric_declarations(tree: ast.Module) -> Iterator[tuple[int, str]]:
+    """Yield ``(line, name)`` for every literal metric-family creation."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node) not in _METRIC_FACTORIES:
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield node.lineno, first.value
+
+
+@register
+class MetricRegistryRule(Rule):
+    """Every emitted metric name must be declared.
+
+    ``/metrics``, the SOAP ``stats`` call and the bench reports key on
+    the names in ``repro.obs.metric_names.DECLARED_METRICS``.  A call
+    site minting an undeclared (or mis-shaped) name adds an unreviewed
+    series that no dashboard will ever query — the classic /metrics
+    drift.
+    """
+
+    id = "MCS005"
+    name = "declared-metric-names"
+    invariant = (
+        "metric families must use declared mcs_* names from "
+        "repro.obs.metric_names (no undeclared or mis-shaped series)"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for line, name in iter_metric_declarations(module.tree):
+            if not _METRIC_NAME_RE.match(name):
+                yield Finding(
+                    file=module.relpath,
+                    line=line,
+                    rule_id=self.id,
+                    message=(
+                        f"metric name {name!r} does not match "
+                        f"{METRIC_NAME_PATTERN!r}"
+                    ),
+                )
+            elif name not in DECLARED_METRICS:
+                yield Finding(
+                    file=module.relpath,
+                    line=line,
+                    rule_id=self.id,
+                    message=(
+                        f"metric name {name!r} is not declared in "
+                        "repro.obs.metric_names.DECLARED_METRICS"
+                    ),
+                )
+
+
+# --------------------------------------------------------------------------
+# MCS006 — no new callers of the deprecated query shims
+# --------------------------------------------------------------------------
+
+
+@register
+class DeprecatedQueryShimRule(Rule):
+    """The fluent ``query()`` API replaced the 2003-era shims.
+
+    ``simple_query`` and ``query_files_by_attributes`` survive only as
+    ``DeprecationWarning`` wrappers for wire compatibility.  In-repo
+    code must build an ``ObjectQuery`` — new callers of the shims are
+    how a deprecation stops being one.
+    """
+
+    id = "MCS006"
+    name = "no-deprecated-query-shims"
+    invariant = (
+        "no in-repo calls to the deprecated simple_query/"
+        "query_files_by_attributes shims; build an ObjectQuery instead"
+    )
+
+    _SHIMS = ("simple_query", "query_files_by_attributes")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in self._SHIMS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"call to deprecated shim {name}(); use the fluent "
+                        "ObjectQuery/query() API",
+                    )
+
+
+# --------------------------------------------------------------------------
+# MCS007 — lock acquisition stays inside the engine
+# --------------------------------------------------------------------------
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Raw lock acquisition is a deadlock looking for a reviewer.
+
+    The engine kills lock-order deadlocks structurally: ``LockManager``
+    acquires every statement's locks in sorted order, and transactions
+    pre-declare read→write upgrades via ``lock_tables``.  Code outside
+    ``repro.db`` calling ``acquire_read``/``acquire_write`` directly
+    sits outside that ordering — exactly the class of bug the runtime
+    sanitizer exists to catch.
+    """
+
+    id = "MCS007"
+    name = "lock-acquisition-discipline"
+    invariant = (
+        "RWLock.acquire_read/acquire_write may be called only inside "
+        "repro.db (LockManager ordering) and the sanitizer instrumentation"
+    )
+    exempt_modules = ("repro.db", "repro.analysis.sanitizer")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("acquire_read", "acquire_write")
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct {node.func.attr}() outside the engine bypasses "
+                    "LockManager's sorted acquisition order",
+                )
+
+
+# --------------------------------------------------------------------------
+# MCS008 — structured logging, not stdout
+# --------------------------------------------------------------------------
+
+
+@register
+class StructuredLoggingRule(Rule):
+    """Library code logs through ``repro.obs.log``, never ``print``.
+
+    Server-side stdout is invisible to operators; the structured logger
+    carries request ids and renders as JSON.  ``print`` belongs only to
+    the user-facing CLI and the bench report renderer.
+    """
+
+    id = "MCS008"
+    name = "structured-logging"
+    invariant = (
+        "no print() in library code; use repro.obs.log (print is CLI/"
+        "bench-report only)"
+    )
+    only_modules = ("repro",)
+    exempt_modules = ("repro.cli", "repro.bench.report", "repro.analysis")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in library code; route through repro.obs.log "
+                    "so output carries request context",
+                )
+
+
+# --------------------------------------------------------------------------
+# Registry cross-checks (used by tests, not a per-file rule)
+# --------------------------------------------------------------------------
+
+
+def collect_metric_names(paths: Sequence[str | Path]) -> dict[str, list[tuple[str, int]]]:
+    """All literal metric names under *paths* → their (file, line) sites.
+
+    The other direction of MCS005: tests compare the returned key set
+    against ``DECLARED_METRICS`` to flag stale declarations no call site
+    emits any more.
+    """
+    from repro.analysis.lint import iter_python_files, load_module
+
+    sites: dict[str, list[tuple[str, int]]] = {}
+    for root, file in iter_python_files([Path(p) for p in paths]):
+        module = load_module(root, file)
+        for line, name in iter_metric_declarations(module.tree):
+            sites.setdefault(name, []).append((module.relpath, line))
+    return sites

@@ -1,0 +1,279 @@
+"""Runtime lock-order sanitizer for the engine's RWLock/txn layer.
+
+The engine avoids deadlock *structurally*: ``LockManager.acquire`` takes
+every statement's table locks in sorted name order, and bulk
+transactions pre-declare their full lock set (``lock_tables``) so no
+read→write upgrade happens mid-transaction.  Those disciplines only hold
+as long as every code path keeps following them — which is exactly what
+this sanitizer checks while tests run, the way TSan checks a C++ build.
+
+When installed it wraps :meth:`RWLock.acquire_read` /
+:meth:`RWLock.acquire_write` / :meth:`RWLock.release` and maintains:
+
+* a **per-thread hold stack** — which locks this thread currently holds
+  (reentrancy-counted, so upgrades and re-entries don't self-report);
+* a global **lock-order graph** — an edge ``A → B`` is recorded the
+  first time any thread acquires ``B`` while holding ``A``.
+
+Before an acquisition is allowed to block, the sanitizer checks whether
+adding its edges would close a cycle in the order graph.  A cycle means
+two code paths take the same locks in opposite orders — a deadlock that
+needs only the right interleaving to fire — and raises
+:class:`LockOrderViolation` with both orders spelled out, *without*
+waiting for the actual deadlock.  Lock *timeouts* observed while the
+sanitizer is active are reported too (:func:`timeouts_observed`), since
+under sorted acquisition a timeout usually is a masked ordering bug.
+
+Usage::
+
+    from repro.analysis import sanitizer
+
+    with sanitizer.enabled():
+        ...                      # run the concurrency-sensitive code
+
+or process-wide via the environment: setting ``REPRO_SANITIZER=1``
+before ``import repro`` installs it for the whole run (the
+``pytest -m sanitizer`` lane re-runs the bulk/cache stress suites that
+way).  Overhead is one dict lookup plus one mutex per acquisition —
+fine for tests, not for production serving.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Any, Iterator, Optional
+
+from repro.db import txn as _txn
+from repro.db.errors import LockTimeoutError
+
+
+class LockOrderViolation(RuntimeError):
+    """Two code paths acquire the same locks in contradictory orders."""
+
+    def __init__(self, message: str, cycle: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+
+
+class _Holds(threading.local):
+    """Per-thread reentrancy-counted set of held lock keys."""
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.order: list[int] = []  # acquisition order, for reporting
+
+
+class LockOrderSanitizer:
+    """The order graph plus the RWLock instrumentation hooks."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        #: id(lock) → set of id(lock) acquired later by some thread.
+        self._edges: dict[int, set[int]] = {}
+        #: id(lock) → human name, for reports (ids are stable while the
+        #: lock object is referenced by the graph's keeper below).
+        self._names: dict[int, str] = {}
+        #: Keep instrumented locks alive so ids can't be recycled into
+        #: false edges.
+        self._pins: dict[int, Any] = {}
+        self._holds = _Holds()
+        self._violations = 0
+        self._timeouts = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _key(self, lock: Any) -> int:
+        key = id(lock)
+        if key not in self._names:
+            name = getattr(lock, "name", "") or f"<anonymous-{key:#x}>"
+            self._names[key] = name
+            self._pins[key] = lock
+        return key
+
+    def _name_path(self, path: tuple[int, ...]) -> tuple[str, ...]:
+        return tuple(self._names.get(k, "?") for k in path)
+
+    def _find_path(self, src: int, dst: int) -> Optional[tuple[int, ...]]:
+        """DFS: a path src → … → dst in the order graph, or None."""
+        stack: list[tuple[int, tuple[int, ...]]] = [(src, (src,))]
+        seen = {src}
+        while stack:
+            node, path = stack.pop()
+            if node == dst:
+                return path
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + (nxt,)))
+        return None
+
+    # -- the checks ----------------------------------------------------------
+
+    def before_acquire(self, lock: Any) -> None:
+        """Record + verify ordering before *lock* may be waited on."""
+        holds = self._holds
+        with self._guard:
+            key = self._key(lock)
+            if holds.counts.get(key):
+                return  # reentrant re-acquire / upgrade of a held lock
+            for held in holds.counts:
+                # Would edge held → key close a cycle?  A path key → held
+                # means some thread acquired `held` (or a chain towards
+                # it) *after* `key` — the opposite order.
+                path = self._find_path(key, held)
+                if path is not None:
+                    self._violations += 1
+                    cycle = self._name_path(path + (key,))
+                    raise LockOrderViolation(
+                        "lock-order inversion: acquiring "
+                        f"{self._names[key]!r} while holding "
+                        f"{self._names[held]!r}, but the established order "
+                        f"is {' -> '.join(self._name_path(path))}; "
+                        "cycle: " + " -> ".join(cycle),
+                        cycle=cycle,
+                    )
+            for held in holds.counts:
+                self._edges.setdefault(held, set()).add(key)
+
+    def after_acquire(self, lock: Any) -> None:
+        holds = self._holds
+        with self._guard:
+            key = self._key(lock)
+            count = holds.counts.get(key, 0)
+            holds.counts[key] = count + 1
+            if count == 0:
+                holds.order.append(key)
+
+    def on_release(self, lock: Any) -> None:
+        holds = self._holds
+        with self._guard:
+            key = id(lock)
+            count = holds.counts.get(key, 0)
+            if count <= 1:
+                holds.counts.pop(key, None)
+                if key in holds.order:
+                    holds.order.remove(key)
+            else:
+                holds.counts[key] = count - 1
+
+    def on_timeout(self, lock: Any) -> None:
+        with self._guard:
+            self._timeouts += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def held_by_current_thread(self) -> tuple[str, ...]:
+        with self._guard:
+            return self._name_path(tuple(self._holds.order))
+
+    def order_graph(self) -> dict[str, set[str]]:
+        """Name-keyed copy of the observed order graph."""
+        with self._guard:
+            return {
+                self._names[src]: {self._names[dst] for dst in dsts}
+                for src, dsts in self._edges.items()
+            }
+
+    @property
+    def violations(self) -> int:
+        return self._violations
+
+    @property
+    def timeouts_observed(self) -> int:
+        return self._timeouts
+
+    def reset(self) -> None:
+        with self._guard:
+            self._edges.clear()
+            self._names.clear()
+            self._pins.clear()
+            self._violations = 0
+            self._timeouts = 0
+
+
+# --------------------------------------------------------------------------
+# Installation: wrap RWLock's methods process-wide
+# --------------------------------------------------------------------------
+
+_install_guard = threading.Lock()
+_active: Optional[LockOrderSanitizer] = None
+_originals: dict[str, Any] = {}
+
+
+def active() -> Optional[LockOrderSanitizer]:
+    """The installed sanitizer, or None."""
+    return _active
+
+
+def install(sanitizer: Optional[LockOrderSanitizer] = None) -> LockOrderSanitizer:
+    """Instrument :class:`repro.db.txn.RWLock` process-wide (idempotent)."""
+    global _active
+    with _install_guard:
+        if _active is not None:
+            return _active
+        san = sanitizer if sanitizer is not None else LockOrderSanitizer()
+        _originals["acquire_read"] = _txn.RWLock.acquire_read
+        _originals["acquire_write"] = _txn.RWLock.acquire_write
+        _originals["release"] = _txn.RWLock.release
+
+        def acquire_read(self: Any, owner: Any, timeout: float) -> None:
+            san.before_acquire(self)
+            try:
+                _originals["acquire_read"](self, owner, timeout)
+            except LockTimeoutError:
+                san.on_timeout(self)
+                raise
+            san.after_acquire(self)
+
+        def acquire_write(self: Any, owner: Any, timeout: float) -> None:
+            san.before_acquire(self)
+            try:
+                _originals["acquire_write"](self, owner, timeout)
+            except LockTimeoutError:
+                san.on_timeout(self)
+                raise
+            san.after_acquire(self)
+
+        def release(self: Any, owner: Any, write: bool) -> None:
+            _originals["release"](self, owner, write)
+            san.on_release(self)
+
+        _txn.RWLock.acquire_read = acquire_read  # type: ignore[method-assign]
+        _txn.RWLock.acquire_write = acquire_write  # type: ignore[method-assign]
+        _txn.RWLock.release = release  # type: ignore[method-assign]
+        _active = san
+        return san
+
+
+def uninstall() -> None:
+    """Restore the pristine RWLock methods (idempotent)."""
+    global _active
+    with _install_guard:
+        if _active is None:
+            return
+        _txn.RWLock.acquire_read = _originals.pop("acquire_read")  # type: ignore[method-assign]
+        _txn.RWLock.acquire_write = _originals.pop("acquire_write")  # type: ignore[method-assign]
+        _txn.RWLock.release = _originals.pop("release")  # type: ignore[method-assign]
+        _active = None
+
+
+@contextlib.contextmanager
+def enabled() -> Iterator[LockOrderSanitizer]:
+    """Context manager: install on entry, uninstall on exit."""
+    san = install()
+    try:
+        yield san
+    finally:
+        uninstall()
+
+
+ENV_FLAG = "REPRO_SANITIZER"
+
+
+def install_from_env() -> Optional[LockOrderSanitizer]:
+    """Install iff ``REPRO_SANITIZER`` is set to a truthy value."""
+    if os.environ.get(ENV_FLAG, "") in ("1", "true", "yes", "on"):
+        return install()
+    return None

@@ -90,6 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--granularity", default="none",
                        choices=("none", "service", "object"))
 
+    lint = sub.add_parser(
+        "lint", help="run the project-specific concurrency/protocol linter"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint (default: src/repro)")
+    lint.add_argument("--select", action="append", metavar="RULE",
+                      help="run only these rule ids (repeatable)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="lint_format", help="report format")
+    lint.add_argument("--explain", action="store_true",
+                      help="list every rule and its invariant, then exit")
+
     sub.add_parser("ping", help="liveness check")
     stats = sub.add_parser(
         "stats", help="catalog object counts + server metrics snapshot"
@@ -184,10 +196,24 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint(args: argparse.Namespace) -> int:
+    from repro.analysis import main as lint_main
+
+    forwarded: list[str] = list(args.paths)
+    for rule in args.select or ():
+        forwarded += ["--select", rule]
+    forwarded += ["--format", args.lint_format]
+    if args.explain:
+        forwarded.append("--explain")
+    return lint_main(forwarded)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "lint":
+        return _lint(args)
 
     from repro.core import MCSClient, ObjectQuery
     from repro.core.errors import MCSError

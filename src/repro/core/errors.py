@@ -70,6 +70,18 @@ class NotAuthenticatedError(MCSError):
     fault_code = "MCS.NotAuthenticated"
 
 
+class NoSuchMethodError(MCSError):
+    """The request named an operation the service does not dispatch."""
+
+    fault_code = "MCS.NoSuchMethod"
+
+
+class BadRequestError(MCSError):
+    """The request's arguments do not fit the operation's signature."""
+
+    fault_code = "MCS.BadRequest"
+
+
 FAULT_CODE_TO_ERROR = {
     cls.fault_code: cls
     for cls in (
@@ -82,6 +94,8 @@ FAULT_CODE_TO_ERROR = {
         QueryError,
         PermissionDeniedError,
         NotAuthenticatedError,
+        NoSuchMethodError,
+        BadRequestError,
     )
 }
 

@@ -26,7 +26,9 @@ from typing import Any, Callable, Optional
 
 from repro.core.catalog import MetadataCatalog
 from repro.core.errors import (
+    BadRequestError,
     MCSError,
+    NoSuchMethodError,
     NotAuthenticatedError,
     PermissionDeniedError,
     QueryError,
@@ -222,7 +224,7 @@ class MCSService:
         catalog: Optional[MetadataCatalog] = None,
         granularity: str = "none",
         gsi_context: Optional[GSIContext] = None,
-        trusted_cas: tuple = (),
+        trusted_cas: tuple[Certificate, ...] = (),
         audit_default: bool = False,
     ) -> None:
         if granularity not in ("none", "service", "object"):
@@ -278,7 +280,9 @@ class MCSService:
     def _dispatch(self, method: str, args: dict[str, Any]) -> Any:
         handler = self._methods.get(method)
         if handler is None:
-            raise SoapFault("MCS.NoSuchMethod", f"unknown method {method!r}")
+            raise SoapFault(
+                NoSuchMethodError.fault_code, f"unknown method {method!r}"
+            )
         try:
             caller, assertion = self._authenticate(method, args)
         except (MCSError, SecurityError) as exc:
@@ -289,7 +293,7 @@ class MCSService:
         except (MCSError, SecurityError) as exc:
             raise SoapFault(fault_code_for(exc), str(exc)) from exc
         except TypeError as exc:
-            raise SoapFault("MCS.BadRequest", str(exc)) from exc
+            raise SoapFault(BadRequestError.fault_code, str(exc)) from exc
 
     def fault_mapper(self, exc: Exception) -> Optional[SoapFault]:
         """Shared fault translation (the table in :mod:`repro.core.errors`)."""
@@ -634,8 +638,13 @@ class MCSService:
         assertion: Optional[CapabilityAssertion],
         conditions: dict[str, Any],
     ) -> list[str]:
+        # Wire-compatible legacy operation, served by the fluent query
+        # path so the deprecated catalog shim has no in-tree callers.
         self._check(caller, Permission.READ, assertion=assertion)
-        return self.catalog.query_files_by_attributes(conditions)
+        query = ObjectQuery()
+        for name, value in conditions.items():
+            query.where(name, "=", value)
+        return self.catalog.query(query)
 
     def op_explain_query(
         self,

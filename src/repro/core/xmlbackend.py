@@ -24,7 +24,8 @@ import threading
 import xml.etree.ElementTree as ET
 from typing import Any, Optional
 
-from repro.core.errors import DuplicateObjectError, ObjectNotFoundError
+from repro.core.errors import DuplicateObjectError, ObjectNotFoundError, QueryError
+from repro.core.query import ObjectQuery
 from repro.xmldb.database import XMLDatabase
 from repro.xmldb.xpath import XPath
 
@@ -136,6 +137,33 @@ class XmlMetadataBackend:
                     self._xpath_cache.clear()
                 self._xpath_cache[key] = cached
         return cached
+
+    def query(self, query: ObjectQuery) -> list[str]:
+        """Fluent conjunctive equality query over the XPath store.
+
+        XPath predicates here are pure text matches, so only ``=`` on
+        user attributes translates; range operators, predefined-field
+        conditions, ordering and paging raise :class:`QueryError` rather
+        than silently returning wrong answers.
+        """
+        if (
+            query.predefined
+            or query.order
+            or query.collection
+            or query.max_results is not None
+            or query.skip_results is not None
+        ):
+            raise QueryError(
+                "the XML backend answers attribute equality conditions only"
+            )
+        expressions = []
+        for cond in query.conditions:
+            if cond.op != "=":
+                raise QueryError(
+                    f"the XML backend cannot evaluate operator {cond.op!r}"
+                )
+            expressions.append(self._xpath_for(cond.attribute, cond.value))
+        return self.db.query_names_all(expressions)
 
     def query_files_by_attributes(self, conditions: dict[str, Any]) -> list[str]:
         """Conjunctive equality query, like the relational backend's."""

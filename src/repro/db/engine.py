@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.db import wal as walmod
 from repro.db.errors import (
@@ -173,7 +173,7 @@ class Database:
         self._stmt_cache_guard = threading.Lock()
         self._wal_guard = threading.Lock()
         self._wal: Optional[walmod.WriteAheadLog] = None
-        self._commit_listeners: list = []
+        self._commit_listeners: list[Callable[[list[dict]], None]] = []
         if directory is not None:
             walmod.load_snapshot(self.catalog, directory)
             walmod.replay_wal(self.catalog, directory)
@@ -221,7 +221,7 @@ class Database:
             self._stmt_cache[sql] = stmt
         return stmt
 
-    def add_commit_listener(self, listener) -> None:
+    def add_commit_listener(self, listener: Callable[[list[dict]], None]) -> None:
         """Register a callable invoked with every committed record batch.
 
         Listeners receive the logical WAL records (insert/update/delete/
@@ -230,7 +230,7 @@ class Database:
         """
         self._commit_listeners.append(listener)
 
-    def remove_commit_listener(self, listener) -> None:
+    def remove_commit_listener(self, listener: Callable[[list[dict]], None]) -> None:
         self._commit_listeners.remove(listener)
 
     def wal_commit(self, records: list[dict]) -> None:
@@ -540,7 +540,7 @@ class Connection:
 
     def _execute_select(self, stmt: Select, params: tuple) -> ResultSet:
         bound = _bind_select(stmt, params)
-        read_tables = set()
+        read_tables: set[str] = set()
         if bound.table is not None:
             read_tables.add(bound.table.name)
         for join in bound.joins:
@@ -567,7 +567,7 @@ class Connection:
 
         assert isinstance(stmt.inner, Select)
         bound = _bind_select(stmt.inner, params)
-        read_tables = set()
+        read_tables: set[str] = set()
         if bound.table is not None:
             read_tables.add(bound.table.name)
         for join in bound.joins:
@@ -709,7 +709,7 @@ class Connection:
 
     def _execute_delete(self, stmt: Delete, params: tuple) -> ResultSet:
         table = self._db.catalog.table(stmt.table)
-        read_tables = set()
+        read_tables: set[str] = set()
         for other in self._db.catalog.tables.values():
             for fk in other.definition.foreign_keys:
                 if fk.ref_table == stmt.table:

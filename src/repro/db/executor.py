@@ -210,7 +210,7 @@ def execute_select(catalog: Catalog, plan: SelectPlan) -> tuple[tuple[str, ...],
         rows = [_project(plan, scope) for scope in scopes]
 
     if plan.distinct:
-        seen: set = set()
+        seen: set[tuple] = set()
         unique_rows: list[tuple] = []
         for row in rows:
             marker = tuple(sort_key(v) for v in row)

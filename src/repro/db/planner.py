@@ -458,7 +458,7 @@ def plan_select(catalog: Catalog, stmt: Select) -> SelectPlan:
     tables: list[tuple[str, str]] = [(stmt.table.effective_alias, stmt.table.name)]
     for join in stmt.joins:
         tables.append((join.table.effective_alias, join.table.name))
-    seen_aliases = set()
+    seen_aliases: set[str] = set()
     for alias, table_name in tables:
         catalog.table(table_name)  # raises SchemaError on missing table
         if alias in seen_aliases:

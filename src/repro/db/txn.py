@@ -294,7 +294,7 @@ class TransactionState:
     def __init__(self) -> None:
         self.explicit = False
         self.undo = UndoLog()
-        self.held: list = []  # list of (RWLock, write) from LockManager
+        self.held: list[tuple[RWLock, bool]] = []  # from LockManager.acquire
         self.wal_records: list[dict] = []
         # Tables this transaction has issued writes against.  Unlike
         # wal_records this set is NOT truncated by savepoint rollback —

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+import warnings
+from typing import Any, Mapping
 
 from repro.core.query import ObjectQuery
 from repro.federation.indexnode import MCSIndexNode
@@ -34,21 +35,14 @@ class FederatedMCS:
     def query_files_by_attributes(
         self, conditions: dict[str, Any]
     ) -> dict[str, list[str]]:
-        """Conjunctive equality query; returns {catalog_id: names}."""
-        subquery = ObjectQuery()
-        for attr, value in conditions.items():
-            subquery.where(attr, "=", value)
-        cond_list = [(attr, "=", value) for attr, value in conditions.items()]
-        out: dict[str, list[str]] = {}
-        for catalog_id in self.index.candidate_catalogs(cond_list):
-            member = self.catalogs.get(catalog_id)
-            if member is None:
-                continue
-            self.subqueries_issued += 1
-            names = member.client.query(subquery)
-            if names:
-                out[catalog_id] = names
-        return out
+        """Deprecated: build an :class:`ObjectQuery` and call :meth:`query`."""
+        warnings.warn(
+            "FederatedMCS.query_files_by_attributes() is deprecated; "
+            "build an ObjectQuery and call query() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(self._equality_query(conditions))
 
     def query(self, query: ObjectQuery) -> dict[str, list[str]]:
         """Full ObjectQuery across the federation."""
@@ -69,6 +63,13 @@ class FederatedMCS:
     def flat_query(self, conditions: dict[str, Any]) -> list[str]:
         """Merged, de-duplicated name list across all catalogs."""
         merged: set[str] = set()
-        for names in self.query_files_by_attributes(conditions).values():
+        for names in self.query(self._equality_query(conditions)).values():
             merged.update(names)
         return sorted(merged)
+
+    @staticmethod
+    def _equality_query(conditions: dict[str, Any]) -> ObjectQuery:
+        query = ObjectQuery()
+        for attr, value in conditions.items():
+            query.where(attr, "=", value)
+        return query

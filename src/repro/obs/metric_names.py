@@ -1,0 +1,71 @@
+"""The declared metric-name registry.
+
+Every metric family the process may emit — through ``/metrics``, the
+SOAP ``stats`` call, or bench reports — must be declared here, under the
+``mcs_`` prefix.  The declaration is what dashboards, alerts and the
+paper-reproduction reports key on, so drift in either direction is a
+bug:
+
+* a call site minting a name that is **not** declared silently adds an
+  unreviewed series to ``/metrics`` (lint rule ``MCS005`` catches it);
+* a declared name **no** call site emits any more is a dashboard query
+  that will never match again (``tests/analysis`` cross-checks the
+  declared set against the scanned tree).
+
+Keep the set sorted; add the declaration in the same commit as the call
+site.
+"""
+
+from __future__ import annotations
+
+#: Regex every emitted metric name must match.
+METRIC_NAME_PATTERN = r"^mcs_[a-z][a-z0-9_]*$"
+
+DECLARED_METRICS: frozenset[str] = frozenset(
+    {
+        # -- cache (repro.cache) ------------------------------------------
+        "mcs_cache_hit_ratio",
+        "mcs_cache_invalidations_total",
+        "mcs_cache_requests_total",
+        # -- catalog / service (repro.core) -------------------------------
+        "mcs_catalog_authz_seconds",
+        "mcs_catalog_bulk_batch_size",
+        "mcs_catalog_bulk_item_seconds",
+        "mcs_catalog_bulk_items_total",
+        "mcs_catalog_calls_total",
+        "mcs_catalog_op_seconds",
+        # -- database engine (repro.db) -----------------------------------
+        "mcs_db_index_probes_total",
+        "mcs_db_lock_timeouts_total",
+        "mcs_db_lock_wait_seconds",
+        "mcs_db_parse_seconds",
+        "mcs_db_plan_seconds",
+        "mcs_db_statement_seconds",
+        "mcs_db_stmt_cache_total",
+        "mcs_db_wal_append_seconds",
+        "mcs_db_wal_appends_total",
+        "mcs_db_wal_bytes_total",
+        "mcs_db_wal_fsyncs_total",
+        "mcs_db_wal_records_total",
+        # -- replication (repro.db.replication) ---------------------------
+        "mcs_repl_apply_seconds",
+        "mcs_repl_batches_applied_total",
+        "mcs_repl_batches_shipped_total",
+        "mcs_repl_lag_batches",
+        # -- SOAP stack (repro.soap) --------------------------------------
+        "mcs_soap_bulk_batch_size",
+        "mcs_soap_bulk_items_total",
+        "mcs_soap_client_keepalive_reuse_total",
+        "mcs_soap_client_reconnects_total",
+        "mcs_soap_client_requests_total",
+        "mcs_soap_codec_seconds",
+        "mcs_soap_faults_total",
+        "mcs_soap_queue_depth",
+        "mcs_soap_queue_wait_seconds",
+        "mcs_soap_request_seconds",
+        "mcs_soap_requests_total",
+        "mcs_soap_worker_saturation_total",
+        # -- tracing (repro.obs.trace) ------------------------------------
+        "mcs_span_seconds",
+    }
+)

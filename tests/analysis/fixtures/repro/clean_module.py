@@ -1,0 +1,8 @@
+"""A module every rule must leave alone (the zero-findings control)."""
+
+from repro.db import engine
+
+
+def well_behaved(client, query, log):
+    log.info("querying")
+    return client.query(query), engine

@@ -1,0 +1,12 @@
+"""MCS003 fixture: shared-cache lookups that defeat the bypass."""
+
+
+def probe(cache, conn, key):
+    cache.lookup_attr_def("exp")  # lint-expect: MCS003
+    cache.lookup_object_id(None, "file", "f1")  # lint-expect: MCS003
+    cache.lookup_query(conn=None, key=key)  # lint-expect: MCS003
+    cache._lookup("query", key)  # lint-expect: MCS003
+
+    cache.lookup_attr_def(conn, "exp")
+    cache.lookup_object_id(conn, "file", "f1")
+    cache.lookup_query(key, conn=conn)

@@ -1,0 +1,28 @@
+"""MCS002 fixture: commit paths that forget the generation bump.
+
+Findings anchor at the ``def`` line of the offending function.
+"""
+
+
+class FakeEngine:
+    def commit_without_bump(self, records):  # lint-expect: MCS002
+        self.wal.wal_commit(records)
+        self.release_locks()
+
+    def bump_before_commit(self, records):  # lint-expect: MCS002
+        # Bumping first is as wrong as not bumping: a reader between the
+        # bump and the commit re-caches the pre-commit state.
+        self.generations.bump(self.tables)
+        self.wal.wal_commit(records)
+
+    def commit_with_bump(self, records):
+        self.wal.wal_commit(records)
+        self.generations.bump(self.tables)
+        self.release_locks()
+
+    def commit_with_helper_bump(self, records):
+        self.wal.wal_commit(records)
+        self._bump_generations()
+
+    def no_commit_here(self):
+        self.release_locks()

@@ -1,0 +1,10 @@
+"""MCS004 fixture: fault-code literals minted outside the table."""
+
+
+def handle(request, SoapFault):
+    if request is None:
+        raise SoapFault("MCS.Oops", "boom")  # lint-expect: MCS004
+    code = "MCS.NotFound"  # lint-expect: MCS004
+    prefix = "MCS."  # bare prefix is not a code
+    label = "MCSomething"  # no dot: not a fault code
+    return code, prefix, label

@@ -1,0 +1,12 @@
+"""MCS005 fixture: metric families outside the declared registry."""
+
+
+def build(counter, gauge, histogram):
+    undeclared = counter(  # lint-expect: MCS005
+        "mcs_fixture_only_total", "never declared"
+    )
+    misshapen = histogram("request_seconds", "no mcs_ prefix")  # lint-expect: MCS005
+    shouting = gauge("mcs_UPPER_depth", "bad characters")  # lint-expect: MCS005
+    declared = counter("mcs_soap_requests_total", "fine: declared")
+    dynamic = counter(f"mcs_{build.__name__}_total", "non-literal: out of scope")
+    return undeclared, misshapen, shouting, declared, dynamic

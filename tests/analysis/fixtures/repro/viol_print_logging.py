@@ -1,0 +1,6 @@
+"""MCS008 fixture: stdout logging from library code."""
+
+
+def serve(request, log):
+    print("handling", request)  # lint-expect: MCS008
+    log.info("handling", request=request)

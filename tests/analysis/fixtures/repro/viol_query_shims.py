@@ -1,0 +1,11 @@
+"""MCS006 fixture: callers of the deprecated 2003-era query shims."""
+
+
+def discover(client):
+    hits = client.query_files_by_attributes({"a": 1})  # lint-expect: MCS006
+    more = client.simple_query("data_type", "gwf")  # lint-expect: MCS006
+    return hits + more
+
+
+def modern(client, query):
+    return client.query(query)

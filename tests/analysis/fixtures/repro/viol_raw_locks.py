@@ -1,0 +1,9 @@
+"""MCS007 fixture: raw lock acquisition outside the engine."""
+
+
+def grab(lock, owner):
+    lock.acquire_write(owner, 5.0)  # lint-expect: MCS007
+    try:
+        lock.acquire_read(owner, 5.0)  # lint-expect: MCS007
+    finally:
+        lock.release(owner, True)

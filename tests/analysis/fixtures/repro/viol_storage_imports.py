@@ -1,0 +1,23 @@
+"""MCS001 fixture: runtime imports of the engine's storage internals.
+
+Never imported — parsed by the lint tests only.  Lines tagged
+``lint-expect`` are the violations the rule must report, at exactly
+those lines; untagged lines must stay clean.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.db import storage  # lint-expect: MCS001
+from repro.db.btree import BTree  # lint-expect: MCS001
+
+import repro.db.storage  # lint-expect: MCS001
+
+if TYPE_CHECKING:
+    # Type-only imports are exempt: nothing runs through them.
+    from repro.db.storage import Table
+
+from repro.db import engine  # engine is the sanctioned entry point
+
+
+def touch() -> None:
+    storage, BTree, engine  # noqa: B018 - keep names referenced

@@ -1,0 +1,164 @@
+"""Framework mechanics: registry, discovery, reporting, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import main as lint_main
+from repro.analysis.lint import (
+    DEFAULT_REGISTRY,
+    Finding,
+    Module,
+    Registry,
+    Rule,
+    load_module,
+    render_report,
+    run_paths,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+
+class TestRegistry:
+    def test_default_registry_has_all_rules(self) -> None:
+        ids = [rule.id for rule in DEFAULT_REGISTRY.rules()]
+        assert ids == sorted(ids)
+        assert {f"MCS00{i}" for i in range(1, 9)} <= set(ids)
+
+    def test_every_rule_documents_its_invariant(self) -> None:
+        for rule in DEFAULT_REGISTRY.rules():
+            assert rule.id and rule.name and rule.invariant
+
+    def test_duplicate_rule_id_rejected(self) -> None:
+        registry = Registry()
+
+        class RuleA(Rule):
+            id = "X001"
+            name = "a"
+            invariant = "a"
+
+        registry.register(RuleA)
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            registry.register(RuleA)
+
+    def test_rule_without_id_rejected(self) -> None:
+        class Anonymous(Rule):
+            pass
+
+        with pytest.raises(ValueError, match="no rule id"):
+            Registry().register(Anonymous)
+
+
+class TestDiscovery:
+    def test_dotted_name_roots_at_repro(self, tmp_path: Path) -> None:
+        file = tmp_path / "src" / "repro" / "db" / "thing.py"
+        file.parent.mkdir(parents=True)
+        file.write_text("x = 1\n")
+        module = load_module(tmp_path, file)
+        assert module.dotted == "repro.db.thing"
+        assert module.in_package("repro.db")
+        assert module.in_package("repro")
+        assert not module.in_package("repro.dbx")
+
+    def test_package_init_drops_the_suffix(self, tmp_path: Path) -> None:
+        file = tmp_path / "repro" / "cache" / "__init__.py"
+        file.parent.mkdir(parents=True)
+        file.write_text("x = 1\n")
+        assert load_module(tmp_path, file).dotted == "repro.cache"
+
+    def test_non_package_file_uses_its_stem(self, tmp_path: Path) -> None:
+        file = tmp_path / "script.py"
+        file.write_text("x = 1\n")
+        assert load_module(tmp_path, file).dotted == "script"
+
+    def test_syntax_error_becomes_a_finding(self, tmp_path: Path) -> None:
+        broken = tmp_path / "broken.py"
+        broken.write_text("def nope(:\n")
+        reported: list[Path] = []
+        findings = run_paths(
+            [broken], on_error=lambda path, exc: reported.append(path)
+        )
+        assert len(findings) == 1
+        assert findings[0].rule_id == "LINT-SYNTAX"
+        assert reported == [broken]
+
+    def test_only_modules_gates_a_rule(self, tmp_path: Path) -> None:
+        class LibraryOnly(Rule):
+            id = "X100"
+            name = "library-only"
+            invariant = "x"
+            only_modules = ("repro",)
+
+            def check(self, module: Module):
+                yield self.finding(module, module.tree, "flagged")
+
+        registry = Registry()
+        registry.register(LibraryOnly)
+        inside = tmp_path / "repro" / "mod.py"
+        inside.parent.mkdir()
+        inside.write_text("x = 1\n")
+        outside = tmp_path / "script.py"
+        outside.write_text("x = 1\n")
+        findings = run_paths([tmp_path], registry=registry)
+        assert [f.file for f in findings] == ["repro/mod.py"]
+
+
+class TestReporting:
+    def test_text_report_lines_and_summary(self) -> None:
+        findings = [
+            Finding(file="a.py", line=3, rule_id="MCS001", message="bad"),
+            Finding(file="b.py", line=7, rule_id="MCS004", message="worse"),
+        ]
+        report = render_report(findings)
+        assert "a.py:3: MCS001 bad" in report
+        assert report.endswith("2 findings")
+        assert render_report(findings[:1]).endswith("1 finding")
+
+    def test_empty_report_says_clean(self) -> None:
+        assert render_report([]) == "clean: no findings"
+
+    def test_json_report_round_trips(self) -> None:
+        findings = [Finding(file="a.py", line=3, rule_id="MCS001", message="bad")]
+        payload = json.loads(render_report(findings, fmt="json"))
+        assert payload == [
+            {"file": "a.py", "line": 3, "rule": "MCS001", "message": "bad"}
+        ]
+
+    def test_findings_sort_by_location(self) -> None:
+        later = Finding(file="b.py", line=1, rule_id="MCS001", message="m")
+        early = Finding(file="a.py", line=9, rule_id="MCS009", message="m")
+        assert sorted([later, early]) == [early, later]
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, capsys: pytest.CaptureFixture) -> None:
+        code = lint_main([str(FIXTURES / "viol_query_shims.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MCS006" in out
+
+    def test_exit_zero_when_clean(self, capsys: pytest.CaptureFixture) -> None:
+        code = lint_main([str(FIXTURES / "clean_module.py")])
+        assert code == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_select_filters_rules(self, capsys: pytest.CaptureFixture) -> None:
+        code = lint_main([str(FIXTURES), "--select", "MCS007"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MCS007" in out and "MCS006" not in out
+
+    def test_json_output_parses(self, capsys: pytest.CaptureFixture) -> None:
+        lint_main([str(FIXTURES / "viol_raw_locks.py"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert all(item["rule"] == "MCS007" for item in payload)
+
+    def test_explain_lists_every_rule(self, capsys: pytest.CaptureFixture) -> None:
+        code = lint_main(["--explain"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule in DEFAULT_REGISTRY.rules():
+            assert rule.id in out

@@ -1,0 +1,38 @@
+"""Both directions of the MCS005 contract.
+
+The lint rule checks emission sites against the declared registry; these
+tests close the loop the rule cannot see per-file: every declared name
+must still be emitted somewhere (no stale declarations), and the whole
+emitted set must match the declared set exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.rules import collect_metric_names
+from repro.obs.metric_names import DECLARED_METRICS, METRIC_NAME_PATTERN
+
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def test_every_declared_name_matches_the_pattern() -> None:
+    pattern = re.compile(METRIC_NAME_PATTERN)
+    bad = sorted(name for name in DECLARED_METRICS if not pattern.match(name))
+    assert not bad, f"declared metric names violate the shape: {bad}"
+
+
+def test_emitted_and_declared_sets_match_exactly() -> None:
+    emitted = collect_metric_names([SRC])
+    undeclared = sorted(set(emitted) - DECLARED_METRICS)
+    stale = sorted(DECLARED_METRICS - set(emitted))
+    assert not undeclared, f"emitted but not declared: {undeclared}"
+    assert not stale, f"declared but no longer emitted anywhere: {stale}"
+
+
+def test_collect_reports_file_and_line_sites() -> None:
+    emitted = collect_metric_names([SRC])
+    sites = emitted["mcs_db_lock_wait_seconds"]
+    assert any(file.endswith("db/txn.py") for file, _ in sites)
+    assert all(isinstance(line, int) and line > 0 for _, line in sites)

