@@ -1,0 +1,44 @@
+"""Ablation: resilience-layer overhead on the fault-free hot path.
+
+The retry/deadline/breaker wrapper exists for the failure path; this
+bench makes sure the *success* path pays almost nothing for it.  Same
+in-process repeated-query workload, raw DirectTransport vs the full
+ResilientTransport stack, no faults active — the ratio is the pure
+bookkeeping cost (breaker admission, deadline checks, token minting on
+writes).  Target: under 2% on the query-dominated workload; the CI
+assertion is looser (10%) to absorb shared-runner noise, with the exact
+figure printed for the bench report.
+"""
+
+from repro.bench import print_series, sweep_resilience_ablation
+
+
+def test_ablation_resilience(benchmark, config):
+    rows = benchmark.pedantic(
+        lambda: sweep_resilience_ablation(config), rounds=1, iterations=1
+    )
+    print_series(
+        "Ablation: Repeated Complex Query Rate, Resilience Layer On vs Off",
+        "threads",
+        rows,
+    )
+    assert all(r["rate"] > 0 for r in rows)
+
+    # Peak throughput per (db_size, resilience) across the thread axis.
+    peak: dict[tuple, float] = {}
+    for row in rows:
+        key = (row["db_size"], row["resilience"])
+        peak[key] = max(peak.get(key, 0.0), row["rate"])
+    for size in sorted({s for s, _ in peak}):
+        raw, wrapped = peak[(size, False)], peak[(size, True)]
+        overhead = (raw - wrapped) / raw * 100.0
+        print(
+            f"db={size}: raw {raw:.0f}/s vs resilient {wrapped:.0f}/s "
+            f"({overhead:+.1f}% overhead)"
+        )
+
+    largest = max(s for s, _ in peak)
+    assert peak[(largest, True)] >= 0.90 * peak[(largest, False)], (
+        "resilience layer must cost <10% on the fault-free hot path "
+        "(<2% target; see printed overhead)"
+    )

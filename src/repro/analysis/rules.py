@@ -443,6 +443,69 @@ class StructuredLoggingRule(Rule):
 
 
 # --------------------------------------------------------------------------
+# MCS009 — transport failures must be handled, not swallowed
+# --------------------------------------------------------------------------
+
+
+def _names_in_handler_type(node: Optional[ast.expr]) -> list[str]:
+    """Exception-class names an ``except`` clause catches (last attr part)."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        names: list[str] = []
+        for element in node.elts:
+            names.extend(_names_in_handler_type(element))
+        return names
+    chain = _attr_chain(node)
+    return [chain[-1]] if chain else []
+
+
+@register
+class SwallowedTransportFaultRule(Rule):
+    """``except TransportError: pass`` turns a failure into silence.
+
+    The resilience layer (repro.resilience) exists so transport failures
+    are retried, recorded, or surfaced as partial results.  A handler
+    that catches TransportError and does nothing hides exactly the
+    events the chaos lane asserts are survivable — the operator sees a
+    healthy system while writes vanish.
+    """
+
+    id = "MCS009"
+    name = "no-swallowed-transport-faults"
+    invariant = (
+        "except TransportError handlers must retry, record, or re-raise "
+        "— a body of pass/continue swallows the failure"
+    )
+
+    _SILENT = (ast.Pass, ast.Continue)
+
+    def _swallows(self, body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, self._SILENT):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or bare ``...``
+            return False
+        return True
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if "TransportError" not in _names_in_handler_type(handler.type):
+                    continue
+                if self._swallows(handler.body):
+                    yield self.finding(
+                        module,
+                        handler,
+                        "TransportError caught and discarded; retry via "
+                        "RetryPolicy, record the failure, or re-raise",
+                    )
+
+
+# --------------------------------------------------------------------------
 # Registry cross-checks (used by tests, not a per-file rule)
 # --------------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.bench.sweeps import (
     sweep_figure9,
     sweep_figure10,
     sweep_figure11,
+    sweep_resilience_ablation,
 )
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "sweep_figure9",
     "sweep_figure10",
     "sweep_figure11",
+    "sweep_resilience_ablation",
     "format_series",
     "print_series",
 ]

@@ -59,17 +59,34 @@ class BenchEnvironment:
     # -- clients ---------------------------------------------------------------
 
     def make_client(self, mode: str) -> MCSClient:
-        if mode == "direct":
-            return MCSClient.in_process(self.service, caller="bench")
-        if mode == "soap":
+        """Build a client for ``mode``: ``direct`` or ``soap``, optionally
+        with a ``+resilience`` suffix wrapping the transport in the
+        retry/deadline/breaker layer (the resilience-overhead ablation)."""
+        base_mode, _, suffix = mode.partition("+")
+        if suffix not in ("", "resilience"):
+            raise ValueError(f"unknown mode suffix {suffix!r} in {mode!r}")
+        if base_mode == "direct":
+            client = MCSClient.in_process(self.service, caller="bench")
+        elif base_mode == "soap":
             from repro.soap.transport import HttpTransport
 
             host, port = self.server.endpoint
             transport = HttpTransport(
                 host, port, simulated_latency_s=self.soap_latency_s
             )
-            return MCSClient(transport, caller="bench")
-        raise ValueError(f"unknown mode {mode!r}")
+            client = MCSClient(transport, caller="bench")
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        if suffix == "resilience":
+            from repro.core.client import is_read_method
+            from repro.resilience.transport import ResilientTransport
+
+            client._transport = ResilientTransport(
+                client._transport,
+                endpoint=f"bench-{base_mode}",
+                is_idempotent=is_read_method,
+            )
+        return client
 
     # -- operation factories ------------------------------------------------------
 

@@ -173,6 +173,44 @@ def sweep_cache_ablation(
     return rows
 
 
+def sweep_resilience_ablation(
+    config: BenchConfig,
+    op_name: str = "repeated_complex_query_op",
+    db_sizes: Optional[tuple[int, ...]] = None,
+    threads: Optional[tuple[int, ...]] = None,
+) -> list[dict[str, Any]]:
+    """Resilience-layer overhead on the fault-free hot path.
+
+    Runs the same in-process workload with a raw DirectTransport and with
+    the full ResilientTransport wrapper (retry loop + breaker admission +
+    deadline bookkeeping + idempotency tokens) with **no faults active** —
+    so the ``resilience`` column isolates the pure bookkeeping cost the
+    wrapper adds when nothing goes wrong.  Target: <2% on the paper's
+    query-dominated workload.
+    """
+    rows: list[dict[str, Any]] = []
+    for mode in ("direct", "direct+resilience"):
+        for size in db_sizes or config.db_sizes[-1:]:
+            env = get_environment(config, size)
+            factory = getattr(env, op_name)
+            for n in threads or tuple(config.thread_counts):
+                result = run_closed_loop(
+                    env, mode, factory, n, config.duration,
+                    worker_prefix=f"{mode}-{size}-",
+                )
+                rows.append(
+                    {
+                        "db_size": size,
+                        "mode": mode,
+                        "resilience": mode.endswith("+resilience"),
+                        "x": n,
+                        "rate": result.rate,
+                        "operations": result.operations,
+                    }
+                )
+    return rows
+
+
 # --------------------------------------------------------------------------
 # Batched add-rate sweeps (figures 5/8 with a batch-size axis)
 # --------------------------------------------------------------------------

@@ -82,6 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT)
     parser.add_argument("--caller", default="/O=Grid/CN=cli")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transient transport failures up to N attempts "
+             "(reads always; writes via idempotency tokens)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline, propagated to the server",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     serve = sub.add_parser("serve", help="run an MCS SOAP server")
@@ -217,8 +226,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     from repro.core import MCSClient, ObjectQuery
     from repro.core.errors import MCSError
+    from repro.soap.errors import TransportError
 
-    client = MCSClient.connect(args.host, args.port, caller=args.caller)
+    retry_policy = None
+    if args.retries is not None:
+        from repro.resilience import RetryPolicy
+
+        retry_policy = RetryPolicy(max_attempts=max(args.retries, 1))
+    client = MCSClient.connect(
+        args.host,
+        args.port,
+        caller=args.caller,
+        retry_policy=retry_policy,
+        deadline_s=args.timeout,
+    )
     try:
         if args.command == "ping":
             _emit(client.ping())
@@ -292,7 +313,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _emit(client.get_annotations("file", args.name))
         else:  # pragma: no cover - argparse enforces choices
             raise SystemExit(f"unknown command {args.command!r}")
-    except MCSError as exc:
+    except (MCSError, TransportError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:

@@ -30,6 +30,60 @@ from repro.obs.trace import span as _span
 from repro.soap.envelope import BulkItem, SoapFault
 from repro.soap.transport import DirectTransport, HttpTransport, Transport
 
+#: Wire methods that are idempotent reads.  The resilience layer retries
+#: these freely; anything not listed is treated as a write and only
+#: retried under a server-deduplicated idempotency token.
+READ_METHODS = frozenset(
+    {
+        "audit_log",
+        "explain_query",
+        "get_annotations",
+        "get_attributes",
+        "get_logical_file",
+        "get_permissions",
+        "get_transformations",
+        "get_user",
+        "list_attribute_defs",
+        "list_collection",
+        "list_external_catalogs",
+        "list_subcollections",
+        "list_versions",
+        "list_view",
+        "ping",
+        "query",
+        "query_files_by_attributes",
+        "simple_query",
+        "stats",
+        "bulk_query",
+    }
+)
+
+
+def is_read_method(method: str) -> bool:
+    """True for idempotent (freely retryable) wire methods."""
+    return method in READ_METHODS
+
+
+def _wrap_resilient(
+    transport: Transport,
+    endpoint: str,
+    retry_policy: Optional[object],
+    deadline_s: Optional[float],
+    breaker: Optional[object],
+) -> Transport:
+    if retry_policy is None and deadline_s is None and breaker is None:
+        return transport
+    from repro.resilience.transport import ResilientTransport
+
+    return ResilientTransport(
+        transport,
+        policy=retry_policy,  # type: ignore[arg-type]
+        breaker=breaker,  # type: ignore[arg-type]
+        endpoint=endpoint,
+        is_idempotent=is_read_method,
+        deadline_s=deadline_s,
+    )
+
 
 class BulkResult:
     """Deferred outcome of one operation queued on :meth:`MCSClient.bulk`.
@@ -151,14 +205,56 @@ class MCSClient:
     # -- constructors ----------------------------------------------------------
 
     @classmethod
-    def in_process(cls, service: "object", caller: Optional[str] = None) -> "MCSClient":
-        """Bind directly to an MCSService — no SOAP, no socket."""
-        return cls(DirectTransport(service.handle), caller=caller)
+    def in_process(
+        cls,
+        service: "object",
+        caller: Optional[str] = None,
+        retry_policy: Optional[object] = None,
+        deadline_s: Optional[float] = None,
+        breaker: Optional[object] = None,
+    ) -> "MCSClient":
+        """Bind directly to an MCSService — no SOAP, no socket.
+
+        Resilience options mirror :meth:`connect`; useful under fault
+        injection, where even in-process calls can fail.
+        """
+        transport = _wrap_resilient(
+            DirectTransport(service.handle),
+            "inproc",
+            retry_policy,
+            deadline_s,
+            breaker,
+        )
+        return cls(transport, caller=caller)
 
     @classmethod
-    def connect(cls, host: str, port: int, caller: Optional[str] = None) -> "MCSClient":
-        """Connect over SOAP/HTTP."""
-        return cls(HttpTransport(host, port), caller=caller)
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        caller: Optional[str] = None,
+        retry_policy: Optional[object] = None,
+        deadline_s: Optional[float] = None,
+        breaker: Optional[object] = None,
+    ) -> "MCSClient":
+        """Connect over SOAP/HTTP.
+
+        ``retry_policy`` (a :class:`repro.resilience.RetryPolicy`),
+        ``deadline_s`` (a per-call time budget, propagated to the server
+        via the SOAP ``Deadline`` header) or ``breaker`` (a shared
+        :class:`repro.resilience.CircuitBreaker`) wrap the HTTP transport
+        in a :class:`~repro.resilience.transport.ResilientTransport`:
+        reads retry freely, writes retry under an idempotency token the
+        server deduplicates on.
+        """
+        transport = _wrap_resilient(
+            HttpTransport(host, port),
+            f"{host}:{port}",
+            retry_policy,
+            deadline_s,
+            breaker,
+        )
+        return cls(transport, caller=caller)
 
     def close(self) -> None:
         self._transport.close()

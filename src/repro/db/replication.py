@@ -25,9 +25,11 @@ import threading
 import time
 from typing import Optional
 
+from repro import faults as _faults
 from repro.db.engine import Database
 from repro.db.wal import _apply_record
 from repro.obs.metrics import OBS, counter as _obs_counter, gauge as _obs_gauge, histogram as _obs_histogram
+from repro.resilience.retry import RETRY_ATTEMPTS, RetryPolicy
 
 _REPL_SHIPPED = _obs_counter(
     "mcs_repl_batches_shipped_total",
@@ -54,10 +56,17 @@ class Replica:
     """One replica database plus its apply machinery."""
 
     def __init__(self, name: str, database: Optional[Database] = None,
-                 asynchronous: bool = False) -> None:
+                 asynchronous: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.name = name
         self.database = database if database is not None else Database()
         self.asynchronous = asynchronous
+        # Shipping a batch can fail (see the ``repl.ship`` injection
+        # layer); retries preserve commit order because they re-apply the
+        # *same* batch in place before the next one is touched.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy(
+            max_attempts=6, base_delay_s=0.001, max_delay_s=0.05
+        )
         self.applied_batches = 0
         self._pending: "queue.Queue[Optional[list[dict]]]" = queue.Queue()
         self._apply_lock = threading.Lock()
@@ -98,6 +107,36 @@ class Replica:
                 time.perf_counter() - start
             )
 
+    def _ship(self, records: list[dict], bounded: bool) -> None:
+        """Apply one shipped batch, retrying transient shipping faults.
+
+        The injection point sits *before* :meth:`_apply_batch`, so a
+        failed shipment never half-applies; a batch either lands whole or
+        not at all.  ``bounded`` (the synchronous path) gives up after
+        the policy's attempts and propagates to the commit hook; the
+        asynchronous path retries until the batch lands — dropping it
+        would silently diverge the replica forever.
+        """
+        from repro.soap.envelope import SoapFault
+        from repro.soap.errors import TransportError
+
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                inj = _faults.check("repl.ship", self.name)
+                if inj is not None:
+                    inj.fail()
+                self._apply_batch(records)
+                return
+            except (TransportError, SoapFault):
+                if bounded and attempt >= policy.max_attempts:
+                    RETRY_ATTEMPTS.labels(f"repl:{self.name}", "exhausted").inc()
+                    raise
+                RETRY_ATTEMPTS.labels(f"repl:{self.name}", "retried").inc()
+                time.sleep(policy.backoff(min(attempt, policy.max_attempts)))
+
     def _apply_loop(self) -> None:
         while True:
             batch = self._pending.get()
@@ -106,7 +145,7 @@ class Replica:
             with self._apply_lock:
                 self._in_flight += 1
             try:
-                self._apply_batch(batch)
+                self._ship(batch, bounded=False)
             finally:
                 with self._apply_lock:
                     self._in_flight -= 1
@@ -117,7 +156,7 @@ class Replica:
             self._pending.put(records)
             _REPL_LAG.labels(self.name).set(self.lag())
         else:
-            self._apply_batch(records)
+            self._ship(records, bounded=True)
 
     # -- management --------------------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""repro.faults: deterministic, seedable fault injection.
+
+See :mod:`repro.faults.plan` for the engine and the spec grammar, and
+``INTERNALS.md`` for the layer/op table.  Importing this package honours
+the ``REPRO_FAULTS`` environment hook.
+"""
+
+from repro.faults.plan import (
+    KINDS,
+    FaultPlan,
+    FaultRule,
+    Injection,
+    active,
+    check,
+    get_active,
+    install,
+    install_from_env,
+    uninstall,
+)
+
+__all__ = [
+    "KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "Injection",
+    "active",
+    "check",
+    "get_active",
+    "install",
+    "install_from_env",
+    "uninstall",
+]
+
+install_from_env()

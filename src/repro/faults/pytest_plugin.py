@@ -1,0 +1,52 @@
+"""Pytest fixtures for fault injection (the chaos lane's entry point).
+
+Load from a conftest with ``pytest_plugins = ["repro.faults.pytest_plugin"]``
+or import the fixtures directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+import pytest
+
+from repro.faults.plan import FaultPlan, active
+
+
+@pytest.fixture()
+def fault_plan() -> Iterator:
+    """Factory fixture: parse/activate a plan for the test's duration.
+
+    Usage::
+
+        def test_something(fault_plan):
+            plan = fault_plan("seed=7;soap.http:*=error@0.05")
+            ...  # faults active until the test ends
+    """
+    stack = []
+
+    def _activate(spec_or_plan: Union[str, FaultPlan]) -> FaultPlan:
+        plan = (
+            FaultPlan.parse(spec_or_plan)
+            if isinstance(spec_or_plan, str)
+            else spec_or_plan
+        )
+        manager = active(plan)
+        manager.__enter__()
+        stack.append(manager)
+        return plan
+
+    yield _activate
+    while stack:
+        stack.pop().__exit__(None, None, None)
+
+
+@pytest.fixture()
+def no_faults() -> Iterator[None]:
+    """Guarantee a clean run even if REPRO_FAULTS leaked into the env."""
+    from repro.faults import plan as _plan
+
+    previous = _plan.get_active()
+    _plan.uninstall()
+    yield
+    _plan.install(previous)

@@ -27,6 +27,10 @@ DECLARED_METRICS: frozenset[str] = frozenset(
         "mcs_cache_hit_ratio",
         "mcs_cache_invalidations_total",
         "mcs_cache_requests_total",
+        # -- circuit breakers (repro.resilience.breaker) ------------------
+        "mcs_breaker_rejections_total",
+        "mcs_breaker_state",
+        "mcs_breaker_transitions_total",
         # -- catalog / service (repro.core) -------------------------------
         "mcs_catalog_authz_seconds",
         "mcs_catalog_bulk_batch_size",
@@ -47,11 +51,16 @@ DECLARED_METRICS: frozenset[str] = frozenset(
         "mcs_db_wal_bytes_total",
         "mcs_db_wal_fsyncs_total",
         "mcs_db_wal_records_total",
+        # -- fault injection (repro.faults) -------------------------------
+        "mcs_faults_injected_total",
         # -- replication (repro.db.replication) ---------------------------
         "mcs_repl_apply_seconds",
         "mcs_repl_batches_applied_total",
         "mcs_repl_batches_shipped_total",
         "mcs_repl_lag_batches",
+        # -- retries (repro.resilience.retry) -----------------------------
+        "mcs_retry_attempts_total",
+        "mcs_retry_backoff_seconds",
         # -- SOAP stack (repro.soap) --------------------------------------
         "mcs_soap_bulk_batch_size",
         "mcs_soap_bulk_items_total",
@@ -60,6 +69,7 @@ DECLARED_METRICS: frozenset[str] = frozenset(
         "mcs_soap_client_requests_total",
         "mcs_soap_codec_seconds",
         "mcs_soap_faults_total",
+        "mcs_soap_idempotent_replays_total",
         "mcs_soap_queue_depth",
         "mcs_soap_queue_wait_seconds",
         "mcs_soap_request_seconds",

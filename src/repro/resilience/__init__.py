@@ -1,0 +1,39 @@
+"""repro.resilience: retries, deadlines, circuit breakers.
+
+The package root deliberately exports only the soap-free primitives
+(:mod:`retry`, :mod:`breaker`, :mod:`context`) so the soap transports can
+import resilience context without a cycle; :class:`ResilientTransport`
+(which *does* import repro.soap) is reachable lazily as
+``repro.resilience.ResilientTransport`` or directly from
+:mod:`repro.resilience.transport`.
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.context import (
+    current_idempotency_key,
+    deadline,
+    new_idempotency_key,
+    remaining,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ResilientTransport",
+    "current_idempotency_key",
+    "deadline",
+    "new_idempotency_key",
+    "remaining",
+]
+
+
+def __getattr__(name: str):
+    if name == "ResilientTransport":
+        from repro.resilience.transport import ResilientTransport
+
+        return ResilientTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,160 @@
+"""Per-endpoint circuit breaker: closed → open → half-open → closed.
+
+Classic three-state breaker guarding one endpoint:
+
+* **closed** — calls flow; ``failure_threshold`` *consecutive* failures
+  trip it open (any success resets the streak);
+* **open** — calls are rejected without touching the endpoint until
+  ``reset_timeout_s`` has elapsed;
+* **half-open** — up to ``half_open_probes`` in-flight probe calls are
+  admitted; the first success closes the breaker, the first failure
+  re-opens it (and restarts the reset clock).
+
+The clock is injectable so the state machine is unit-testable without
+sleeping, and every transition/rejection feeds the ``mcs_breaker_*``
+metric families.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.metrics import counter as _obs_counter, gauge as _obs_gauge
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding so dashboards can plot the state numerically.
+STATE_VALUES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+_TRANSITIONS = _obs_counter(
+    "mcs_breaker_transitions_total",
+    "Breaker state transitions, per endpoint and target state",
+    labels=("endpoint", "to"),
+)
+_REJECTIONS = _obs_counter(
+    "mcs_breaker_rejections_total",
+    "Calls rejected because the breaker was open",
+    labels=("endpoint",),
+)
+_STATE = _obs_gauge(
+    "mcs_breaker_state",
+    "Current breaker state (0=closed, 1=half_open, 2=open), per endpoint",
+    labels=("endpoint",),
+)
+
+
+class CircuitBreaker:
+    """Failure-rate guard for one endpoint; thread-safe."""
+
+    def __init__(
+        self,
+        endpoint: str = "default",
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.endpoint = endpoint
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.rejections = 0
+        # Resolve labelled children once; allow()/record_*() are hot.
+        self._m_rejections = _REJECTIONS.labels(endpoint)
+        self._m_state = _STATE.labels(endpoint)
+        self._m_state.set(STATE_VALUES[CLOSED])
+
+    # -- state machine -------------------------------------------------------
+
+    def _transition(self, to: str) -> None:
+        # Caller holds self._lock.
+        self._state = to
+        _TRANSITIONS.labels(self.endpoint, to).inc()
+        self._m_state.set(STATE_VALUES[to])
+        if to == OPEN:
+            self._opened_at = self._clock()
+            self._probes_in_flight = 0
+        elif to == HALF_OPEN:
+            self._probes_in_flight = 0
+        else:  # CLOSED
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """Admit or reject a call; half-open admissions count as probes."""
+        with self._lock:
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.reset_timeout_s:
+                    self._transition(HALF_OPEN)
+                else:
+                    self.rejections += 1
+                    self._m_rejections.inc()
+                    return False
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight >= self.half_open_probes:
+                    self.rejections += 1
+                    self._m_rejections.inc()
+                    return False
+                self._probes_in_flight += 1
+            return True
+
+    def record_success(self) -> None:
+        """Report that an admitted call succeeded."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(CLOSED)
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Report that an admitted call failed."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+            elif self._state == CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._transition(OPEN)
+            # OPEN: a straggler from before the trip; nothing to update.
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, reflecting reset-timeout expiry."""
+        with self._lock:
+            if (
+                self._state == OPEN
+                and self._clock() - self._opened_at >= self.reset_timeout_s
+            ):
+                return HALF_OPEN  # next allow() will transition for real
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    @property
+    def probes_in_flight(self) -> int:
+        with self._lock:
+            return self._probes_in_flight
+
+    def reset(self) -> None:
+        """Force-close (administrative reset)."""
+        with self._lock:
+            self._transition(CLOSED)

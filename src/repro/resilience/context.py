@@ -1,0 +1,94 @@
+"""Ambient resilience state: per-request deadlines and idempotency keys.
+
+Mirrors :mod:`repro.obs.trace`: the resilient client sets contextvars
+before invoking the wrapped transport, the transport copies them onto the
+SOAP header, and the server restores them into its own context so
+server-side work (notably :func:`repro.soap.transport.execute_bulk`) can
+bound itself by the caller's remaining budget.
+
+Deadlines are *absolute* points on :func:`time.monotonic`; only the
+*remaining* budget (a duration) crosses the wire, so client and server
+clocks never need to agree.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+_deadline_at: ContextVar[Optional[float]] = ContextVar(
+    "repro_resilience_deadline", default=None
+)
+_idempotency_key: ContextVar[Optional[str]] = ContextVar(
+    "repro_resilience_idempotency_key", default=None
+)
+
+
+# -- deadlines ---------------------------------------------------------------
+
+
+def set_deadline_at(at: Optional[float]):
+    """Install an absolute monotonic deadline; returns a reset token."""
+    return _deadline_at.set(at)
+
+
+def push_budget(budget_s: float):
+    """Install a deadline ``budget_s`` seconds from now; returns a token."""
+    return _deadline_at.set(time.monotonic() + budget_s)
+
+
+def reset_deadline(token) -> None:
+    _deadline_at.reset(token)
+
+
+def deadline_at() -> Optional[float]:
+    """The ambient absolute deadline, or None when unbounded."""
+    return _deadline_at.get()
+
+
+def remaining() -> Optional[float]:
+    """Seconds left in the ambient budget (may be negative), or None."""
+    at = _deadline_at.get()
+    if at is None:
+        return None
+    return at - time.monotonic()
+
+
+def expired() -> bool:
+    """True when an ambient deadline exists and has passed."""
+    at = _deadline_at.get()
+    return at is not None and time.monotonic() >= at
+
+
+@contextmanager
+def deadline(budget_s: float) -> Iterator[None]:
+    """Scope a time budget over a block of client calls."""
+    token = push_budget(budget_s)
+    try:
+        yield
+    finally:
+        _deadline_at.reset(token)
+
+
+# -- idempotency keys --------------------------------------------------------
+
+
+def new_idempotency_key() -> str:
+    """Mint a fresh per-request token for write deduplication."""
+    return uuid.uuid4().hex
+
+
+def set_idempotency_key(key: Optional[str]):
+    """Install the token the next transport call should carry; returns a token."""
+    return _idempotency_key.set(key)
+
+
+def reset_idempotency_key(token) -> None:
+    _idempotency_key.reset(token)
+
+
+def current_idempotency_key() -> Optional[str]:
+    return _idempotency_key.get()

@@ -1,0 +1,87 @@
+"""Retry policy: bounded exponential backoff with deterministic jitter.
+
+The backoff ladder is a pure function of ``(policy, attempt)`` — no
+global RNG, no wall clock — so a seeded chaos run schedules *exactly* the
+same sleeps every time.  Jitter is multiplicative on the pre-cap delay
+and the constructor enforces ``multiplier >= 1 + jitter``, which makes
+the ladder monotone non-decreasing per attempt (each step outgrows the
+worst jitter of the previous one) while staying bounded by
+``max_delay_s``; the hypothesis suite in ``tests/resilience`` holds the
+policy to those three properties.
+
+Idempotency-awareness lives in :meth:`RetryPolicy.can_retry`: reads are
+always retryable, writes only when the request carries an idempotency
+token the server can deduplicate on (see
+:mod:`repro.resilience.transport`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.obs.metrics import counter as _obs_counter, histogram as _obs_histogram
+
+#: Retry outcome counter, shared by every retry loop in the tree
+#: (resilient transport, replication shipping, federation fan-out).
+RETRY_ATTEMPTS = _obs_counter(
+    "mcs_retry_attempts_total",
+    "Retry-loop outcomes per call site",
+    labels=("site", "outcome"),
+)
+RETRY_BACKOFF_SECONDS = _obs_histogram(
+    "mcs_retry_backoff_seconds",
+    "Backoff delays actually slept before a retry",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between tries."""
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.005
+    multiplier: float = 2.0
+    max_delay_s: float = 0.5
+    jitter: float = 0.1
+    seed: int = 0
+    retry_reads: bool = True
+    retry_writes: bool = True  # with an idempotency token only
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.multiplier < 1.0 + self.jitter:
+            # The monotonicity guarantee: step growth must dominate the
+            # largest possible jitter swing between adjacent attempts.
+            raise ValueError("multiplier must be >= 1 + jitter")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry *attempt* (1 = first retry), in seconds.
+
+        Deterministic under ``seed``, bounded by ``max_delay_s``, and
+        monotone non-decreasing in ``attempt``.
+        """
+        if attempt < 1:
+            raise ValueError("attempt counts from 1")
+        raw = self.base_delay_s * self.multiplier ** (attempt - 1)
+        if self.jitter:
+            # Per-attempt deterministic draw; int tuples hash stably.
+            frac = Random(hash((self.seed, attempt))).random()
+            raw *= 1.0 + self.jitter * frac
+        return min(raw, self.max_delay_s)
+
+    def can_retry(self, idempotent: bool, has_token: bool) -> bool:
+        """Whether a failed operation may be re-issued at all.
+
+        Reads (idempotent by construction) retry whenever the policy
+        allows; writes must carry a server-deduplicated idempotency
+        token, or a retry could apply the write twice.
+        """
+        if idempotent:
+            return self.retry_reads
+        return self.retry_writes and has_token

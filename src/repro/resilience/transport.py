@@ -1,0 +1,188 @@
+"""ResilientTransport: retry + deadline + circuit breaker over any transport.
+
+Wraps a :class:`repro.soap.transport.Transport` and implements the same
+protocol, so :class:`~repro.core.client.MCSClient`, federation members
+and the bench harness can layer resilience over direct, loopback or HTTP
+transports without touching call sites.
+
+Per logical call:
+
+1. If a deadline budget is configured, pin the absolute deadline now —
+   retries and backoff all spend the *same* budget.
+2. Ask the endpoint's circuit breaker for admission; rejected calls
+   raise :class:`CircuitOpenError` without touching the endpoint.
+3. For non-idempotent (write) calls, mint one idempotency token — the
+   same token rides every retry, so the server's dedup cache collapses
+   duplicates (see the ``lost_reply`` hazard).
+4. On a retryable failure (transport error, torn response, or a fault
+   code in :data:`RETRYABLE_FAULT_CODES`) sleep the policy's backoff and
+   try again, unless the budget or attempt count is exhausted.
+
+Typed application faults (``MCS.*``) are *successes* from the breaker's
+point of view: the endpoint answered; the application said no.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import OBS
+from repro.resilience import context as _rctx
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.retry import RETRY_ATTEMPTS, RETRY_BACKOFF_SECONDS, RetryPolicy
+from repro.soap.envelope import BulkItem, SoapFault
+from repro.soap.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    EncodingError,
+    TransportError,
+)
+from repro.soap.transport import Operations, Transport
+
+#: Fault codes that signal a transient server-side condition worth
+#: retrying.  ``Server.Unavailable`` is what the fault-injection engine
+#: raises for the ``fault`` kind; ``Server.DeadlineExceeded`` is *not*
+#: here (the budget is spent) and ``MCS.*`` codes are application
+#: answers, not failures.
+RETRYABLE_FAULT_CODES = frozenset({"Server.Unavailable", "Server.Busy"})
+
+
+class ResilientTransport:
+    """Retry/deadline/breaker wrapper implementing the Transport protocol."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        endpoint: str = "inproc",
+        is_idempotent: Optional[Callable[[str], bool]] = None,
+        deadline_s: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker(endpoint)
+        )
+        self.endpoint = endpoint
+        # Conservative default: treat every method as a write unless told
+        # otherwise (writes still retry safely thanks to the token).
+        self._is_idempotent = is_idempotent or (lambda method: False)
+        self.deadline_s = deadline_s
+        self._sleep = sleep
+
+    # -- Transport protocol --------------------------------------------------
+
+    def call(self, method: str, args: dict[str, Any]) -> Any:
+        return self._invoke(
+            method,
+            lambda: self.inner.call(method, args),
+            idempotent=self._is_idempotent(method),
+        )
+
+    def call_bulk(self, operations: Operations) -> list[BulkItem]:
+        idempotent = all(self._is_idempotent(m) for m, _ in operations)
+        return self._invoke(
+            "__bulk__",
+            lambda: self.inner.call_bulk(operations),
+            idempotent=idempotent,
+        )
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # -- the retry loop ------------------------------------------------------
+
+    def _invoke(self, label: str, thunk: Callable[[], Any], idempotent: bool):
+        policy = self.policy
+        deadline_at = _rctx.deadline_at()
+        if self.deadline_s is not None:
+            mine = time.monotonic() + self.deadline_s
+            deadline_at = mine if deadline_at is None else min(deadline_at, mine)
+        token = None
+        if not idempotent and policy.retry_writes:
+            token = _rctx.new_idempotency_key()
+        can_retry = policy.can_retry(idempotent, token is not None)
+        attempt = 0
+        while True:
+            attempt += 1
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                self._count(label, "deadline")
+                raise DeadlineExceeded(
+                    f"deadline exhausted before attempt {attempt} of {label!r} "
+                    f"to {self.endpoint}"
+                )
+            if not self.breaker.allow():
+                self._count(label, "rejected")
+                raise CircuitOpenError(
+                    f"circuit open for {self.endpoint}; {label!r} not attempted"
+                )
+            dl_token = _rctx.set_deadline_at(deadline_at)
+            idem_token = _rctx.set_idempotency_key(token)
+            try:
+                result = thunk()
+            except SoapFault as fault:
+                if fault.code == "Server.DeadlineExceeded":
+                    # The server refused because *our* budget ran out en
+                    # route; fold it into the client-side deadline family.
+                    self.breaker.record_success()
+                    self._count(label, "deadline")
+                    raise DeadlineExceeded(fault.message) from fault
+                if fault.code in RETRYABLE_FAULT_CODES:
+                    self.breaker.record_failure()
+                    self._retry_or_raise(
+                        label, fault, attempt, can_retry, deadline_at
+                    )
+                    continue
+                # The server answered; the *application* refused.  That
+                # is endpoint health, not endpoint failure.
+                self.breaker.record_success()
+                raise
+            except TransportError as exc:
+                self.breaker.record_failure()
+                self._retry_or_raise(label, exc, attempt, can_retry, deadline_at)
+                continue
+            except EncodingError as exc:
+                # A torn/truncated response: the bytes are gone but the
+                # endpoint is reachable; retry like a transport error.
+                self.breaker.record_failure()
+                self._retry_or_raise(label, exc, attempt, can_retry, deadline_at)
+                continue
+            finally:
+                _rctx.reset_idempotency_key(idem_token)
+                _rctx.reset_deadline(dl_token)
+            self.breaker.record_success()
+            if attempt > 1:
+                self._count(label, "recovered")
+            return result
+
+    def _retry_or_raise(
+        self,
+        label: str,
+        exc: Exception,
+        attempt: int,
+        can_retry: bool,
+        deadline_at: Optional[float],
+    ) -> None:
+        """Sleep before the next attempt, or re-raise *exc* when done."""
+        if not can_retry:
+            self._count(label, "not_retryable")
+            raise exc
+        if attempt >= self.policy.max_attempts:
+            self._count(label, "exhausted")
+            raise exc
+        delay = self.policy.backoff(attempt)
+        if deadline_at is not None and time.monotonic() + delay >= deadline_at:
+            self._count(label, "deadline")
+            raise DeadlineExceeded(
+                f"deadline leaves no room to retry {label!r} to {self.endpoint}"
+            ) from exc
+        self._count(label, "retried")
+        if OBS.enabled:
+            RETRY_BACKOFF_SECONDS.observe(delay)
+        self._sleep(delay)
+
+    def _count(self, label: str, outcome: str) -> None:
+        RETRY_ATTEMPTS.labels(f"{self.endpoint}:{label}", outcome).inc()

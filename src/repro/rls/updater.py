@@ -12,12 +12,20 @@ from __future__ import annotations
 import threading
 from typing import Callable, Optional
 
+from repro import faults as _faults
+
 Producer = Callable[[], object]
 Consumer = Callable[[object], object]
 
 
 class PeriodicUpdater:
-    """Pushes ``consumer(producer())`` every *interval* seconds."""
+    """Pushes ``consumer(producer())`` every *interval* seconds.
+
+    Soft state self-heals: a failed tick only counts an error — the next
+    tick re-sends the full summary, so a lost update costs one interval
+    of staleness, never divergence.  ``name`` is the ``rls.update``
+    fault-injection op for this updater.
+    """
 
     def __init__(
         self,
@@ -25,6 +33,7 @@ class PeriodicUpdater:
         consumer: Consumer,
         interval: float = 30.0,
         on_error: Optional[Callable[[Exception], None]] = None,
+        name: str = "updater",
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -32,6 +41,7 @@ class PeriodicUpdater:
         self.consumer = consumer
         self.interval = interval
         self.on_error = on_error
+        self.name = name
         self.ticks = 0
         self.errors = 0
         self._stop = threading.Event()
@@ -43,6 +53,9 @@ class PeriodicUpdater:
     def tick(self) -> bool:
         """Run one update now; returns False if the producer/consumer failed."""
         try:
+            inj = _faults.check("rls.update", self.name)
+            if inj is not None:
+                inj.fail()
             self.consumer(self.producer())
         except Exception as exc:  # noqa: BLE001 - updates must not kill the loop
             with self._lock:
@@ -89,11 +102,19 @@ class PeriodicUpdater:
 
 def lrc_updater(lrc, rli, interval: float = 30.0) -> PeriodicUpdater:
     """Wire one LRC's soft-state updates to an RLI."""
-    return PeriodicUpdater(lrc.make_update, rli.receive_update, interval)
+    name = getattr(lrc, "lrc_id", None) or getattr(lrc, "name", None) or "lrc"
+    return PeriodicUpdater(
+        lrc.make_update, rli.receive_update, interval, name=str(name)
+    )
 
 
 def summary_updater(local_mcs, index_node, interval: float = 60.0) -> PeriodicUpdater:
     """Wire one LocalMCS's summaries to a federation index node."""
+    name = (
+        getattr(local_mcs, "catalog_id", None)
+        or getattr(local_mcs, "name", None)
+        or "summary"
+    )
     return PeriodicUpdater(
-        local_mcs.make_summary, index_node.receive_summary, interval
+        local_mcs.make_summary, index_node.receive_summary, interval, name=str(name)
     )

@@ -60,20 +60,43 @@ class SoapFault(Exception):
         return f"SoapFault({self.code!r}, {self.message!r})"
 
 
+def _emit_header(
+    envelope: ET.Element,
+    request_id: Optional[str],
+    header_fields: Optional[dict[str, str]],
+) -> None:
+    """Emit a ``<Header>`` when there is anything to carry.
+
+    ``header_fields`` carries out-of-band per-request metadata — today
+    the resilience layer's ``Deadline`` (remaining seconds budget) and
+    ``IdempotencyKey`` (write-deduplication token) elements.
+    """
+    if request_id is None and not header_fields:
+        return
+    header = ET.SubElement(envelope, "Header")
+    if request_id is not None:
+        rid = ET.SubElement(header, "RequestId")
+        rid.text = request_id
+    for name, value in (header_fields or {}).items():
+        element = ET.SubElement(header, name)
+        element.text = value
+
+
 def build_request(
-    method: str, args: dict[str, Any], request_id: Optional[str] = None
+    method: str,
+    args: dict[str, Any],
+    request_id: Optional[str] = None,
+    header_fields: Optional[dict[str, str]] = None,
 ) -> bytes:
     """Serialize a method call to a SOAP request document.
 
     ``request_id``, when given, travels in a ``<Header><RequestId>``
-    element for end-to-end trace correlation.
+    element for end-to-end trace correlation; ``header_fields`` adds
+    further header elements (see :func:`_emit_header`).
     """
     start = time.perf_counter() if OBS.enabled else 0.0
     envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
-    if request_id is not None:
-        header = ET.SubElement(envelope, "Header")
-        rid = ET.SubElement(header, "RequestId")
-        rid.text = request_id
+    _emit_header(envelope, request_id, header_fields)
     body = ET.SubElement(envelope, "Body")
     call = ET.SubElement(body, "Call")
     call.set("method", method)
@@ -149,19 +172,18 @@ class ParsedRequest:
     calls: list[tuple[str, dict[str, Any]]] = field(default_factory=list)
     bulk: bool = False
     request_id: Optional[str] = None
+    headers: dict[str, str] = field(default_factory=dict)
 
 
 def build_bulk_request(
     operations: Sequence[tuple[str, dict[str, Any]]],
     request_id: Optional[str] = None,
+    header_fields: Optional[dict[str, str]] = None,
 ) -> bytes:
     """Serialize N method calls into one ``<BulkRequest>`` document."""
     start = time.perf_counter() if OBS.enabled else 0.0
     envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
-    if request_id is not None:
-        header = ET.SubElement(envelope, "Header")
-        rid = ET.SubElement(header, "RequestId")
-        rid.text = request_id
+    _emit_header(envelope, request_id, header_fields)
     body = ET.SubElement(envelope, "Body")
     bulk = ET.SubElement(body, "BulkRequest")
     for method, args in operations:
@@ -199,11 +221,15 @@ def parse_any_request(data: bytes) -> ParsedRequest:
         raise EncodingError(f"malformed request envelope: {exc}") from exc
     body = _body(envelope)
     request_id = _header_request_id(envelope)
+    headers = _header_fields(envelope)
     for child in body:
         tag = _local(child.tag)
         if tag == "Call":
             parsed = ParsedRequest(
-                calls=[_parse_call(child)], bulk=False, request_id=request_id
+                calls=[_parse_call(child)],
+                bulk=False,
+                request_id=request_id,
+                headers=headers,
             )
             if OBS.enabled:
                 _DECODE_REQUEST.observe(time.perf_counter() - start)
@@ -216,7 +242,9 @@ def parse_any_request(data: bytes) -> ParsedRequest:
                         f"BulkRequest carries unexpected element {_local(sub.tag)!r}"
                     )
                 calls.append(_parse_call(sub))
-            parsed = ParsedRequest(calls=calls, bulk=True, request_id=request_id)
+            parsed = ParsedRequest(
+                calls=calls, bulk=True, request_id=request_id, headers=headers
+            )
             if OBS.enabled:
                 _DECODE_BULK_REQUEST.observe(time.perf_counter() - start)
             return parsed
@@ -233,10 +261,14 @@ def parse_bulk_request(
     return parsed.calls, parsed.request_id
 
 
-def build_bulk_response(items: Sequence[BulkItem]) -> bytes:
+def build_bulk_response(
+    items: Sequence[BulkItem],
+    header_fields: Optional[dict[str, str]] = None,
+) -> bytes:
     """Serialize per-operation outcomes into one ``<BulkResponse>``."""
     start = time.perf_counter() if OBS.enabled else 0.0
     envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
+    _emit_header(envelope, None, header_fields)
     body = ET.SubElement(envelope, "Body")
     bulk = ET.SubElement(body, "BulkResponse")
     for item in items:
@@ -301,10 +333,17 @@ def _parse_bulk_item(element: ET.Element) -> BulkItem:
     raise EncodingError("bulk item missing ok flag")
 
 
-def build_response(result: Any) -> bytes:
-    """Serialize a successful method result."""
+def build_response(
+    result: Any, header_fields: Optional[dict[str, str]] = None
+) -> bytes:
+    """Serialize a successful method result.
+
+    ``header_fields`` lets the server echo per-request metadata back —
+    notably the ``IdempotencyKey`` it deduplicated on.
+    """
     start = time.perf_counter() if OBS.enabled else 0.0
     envelope = ET.Element("Envelope", {"xmlns": ENVELOPE_NS})
+    _emit_header(envelope, None, header_fields)
     body = ET.SubElement(envelope, "Body")
     response = ET.SubElement(body, "Response")
     encode_value(response, result, "result")
@@ -339,6 +378,16 @@ def parse_response(data: bytes) -> Any:
         return _parse_response(data)
     finally:
         _DECODE_RESPONSE.observe(time.perf_counter() - start)
+
+
+def parse_response_full(data: bytes) -> tuple[Any, dict[str, str]]:
+    """Like :func:`parse_response`, but also returns the response headers
+    (e.g. the server's ``IdempotencyKey`` echo)."""
+    try:
+        envelope = ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise EncodingError(f"malformed response envelope: {exc}") from exc
+    return _parse_response(data), _header_fields(envelope)
 
 
 def _parse_response(data: bytes) -> Any:
@@ -380,6 +429,18 @@ def _header_request_id(envelope: ET.Element) -> Optional[str]:
                 if _local(sub.tag) == "RequestId":
                     return sub.text
     return None
+
+
+def _header_fields(envelope: ET.Element) -> dict[str, str]:
+    """All header elements except RequestId, as ``{localname: text}``."""
+    fields: dict[str, str] = {}
+    for child in envelope:
+        if _local(child.tag) == "Header":
+            for sub in child:
+                name = _local(sub.tag)
+                if name != "RequestId":
+                    fields[name] = sub.text or ""
+    return fields
 
 
 def _body(envelope: ET.Element) -> ET.Element:

@@ -13,3 +13,20 @@ class EncodingError(SoapError):
 
 class TransportError(SoapError):
     """The HTTP request could not be completed."""
+
+
+class DeadlineExceeded(TransportError):
+    """The per-request deadline expired before the call completed.
+
+    Subclasses :class:`TransportError` so legacy ``except TransportError``
+    sites keep working, but the resilience layer never retries it: the
+    time budget is spent.
+    """
+
+
+class CircuitOpenError(TransportError):
+    """The endpoint's circuit breaker is open; the call was not attempted.
+
+    Also a :class:`TransportError` subclass for compatibility, and also
+    never retried — callers should degrade (skip the endpoint) instead.
+    """

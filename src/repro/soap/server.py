@@ -14,10 +14,13 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Optional
 
+from repro import faults as _faults
 from repro.obs import trace as _trace
+from repro.resilience import context as _rctx
 from repro.obs.log import get_logger
 from repro.obs.metrics import (
     OBS,
@@ -39,6 +42,16 @@ from repro.soap.wsdl import ServiceDescription, generate_wsdl
 
 Handler = Callable[[str, dict[str, Any]], Any]
 FaultMapper = Callable[[Exception], Optional[SoapFault]]
+
+
+def _parse_budget(raw: Optional[str]) -> Optional[float]:
+    """Decode the ``Deadline`` header (remaining seconds, as text)."""
+    if raw is None:
+        return None
+    try:
+        return max(float(raw), 0.0)
+    except ValueError:
+        return None
 
 _log = get_logger("soap.server")
 
@@ -77,6 +90,10 @@ _BULK_ITEMS = _obs_counter(
     "Per-item outcomes inside <BulkRequest> batches",
     labels=("status",),
 )
+_IDEM_REPLAYS = _obs_counter(
+    "mcs_soap_idempotent_replays_total",
+    "Requests answered from the idempotency cache (duplicate suppressed)",
+)
 
 
 class SoapServer:
@@ -92,6 +109,7 @@ class SoapServer:
         fault_mapper: Optional[FaultMapper] = None,
         max_workers: int = 4,
         max_bulk_items: int = 1024,
+        idempotency_cache_size: int = 1024,
     ) -> None:
         self._handler = handler
         self._description = description
@@ -101,6 +119,12 @@ class SoapServer:
         # concurrent handler threads never race a shared int.
         self._requests_served = Counter()
         self._faults_served = Counter()
+        # Idempotency-token → successful response bytes, LRU-bounded.
+        # Only 200 responses are cached: a fault must not replay on
+        # retry, or transient failures would become sticky.
+        self._idem_cache: OrderedDict[str, bytes] = OrderedDict()
+        self._idem_cache_size = idempotency_cache_size
+        self._idem_lock = threading.Lock()
         # Bounded worker pool, like a servlet container's maxThreads: one
         # thread per connection still reads the request, but at most
         # max_workers requests are *processed* concurrently.  (Unbounded
@@ -144,6 +168,7 @@ class SoapServer:
                 method = "<malformed>"
                 request_id: Optional[str] = None
                 rid_token = None
+                deadline_token = None
                 is_fault = False
                 try:
                     try:
@@ -151,13 +176,44 @@ class SoapServer:
                         request_id = parsed.request_id
                         if request_id is not None:
                             rid_token = _trace.set_request_id(request_id)
-                        if parsed.bulk:
-                            method = "<bulk>"
-                            body = outer._handle_bulk(parsed.calls)
+                        method = "<bulk>" if parsed.bulk else parsed.calls[0][0]
+                        # Restore the caller's remaining budget into this
+                        # thread's context so dispatch (and execute_bulk
+                        # between items) can stop working once it lapses.
+                        budget = _parse_budget(parsed.headers.get("Deadline"))
+                        if budget is not None:
+                            deadline_token = _rctx.push_budget(budget)
+                        inj = _faults.check("soap.server", method)
+                        if inj is not None:
+                            inj.raise_as_fault()
+                        idem_key = parsed.headers.get("IdempotencyKey")
+                        replay = (
+                            outer._idem_get(idem_key)
+                            if idem_key is not None
+                            else None
+                        )
+                        if replay is not None:
+                            _IDEM_REPLAYS.inc()
+                            body = replay
                         else:
-                            ((method, args),) = parsed.calls
-                            result = outer._handler(method, args)
-                            body = build_response(result)
+                            if _rctx.expired():
+                                raise SoapFault(
+                                    "Server.DeadlineExceeded",
+                                    f"deadline expired before {method!r} ran",
+                                )
+                            echo = (
+                                {"IdempotencyKey": idem_key}
+                                if idem_key is not None
+                                else None
+                            )
+                            if parsed.bulk:
+                                body = outer._handle_bulk(parsed.calls, echo)
+                            else:
+                                ((method, args),) = parsed.calls
+                                result = outer._handler(method, args)
+                                body = build_response(result, echo)
+                            if idem_key is not None:
+                                outer._idem_put(idem_key, body)
                         status = 200
                     except SoapFault as fault:
                         body = build_fault(fault)
@@ -169,6 +225,8 @@ class SoapServer:
                         status = 500
                         is_fault = True
                 finally:
+                    if deadline_token is not None:
+                        _rctx.reset_deadline(deadline_token)
                     if rid_token is not None:
                         _trace.reset_request_id(rid_token)
                     outer._worker_slots.release()
@@ -232,7 +290,25 @@ class SoapServer:
             _SERVER_FAULTS.inc()
             self._faults_served.inc()
 
-    def _handle_bulk(self, calls: list[tuple[str, dict[str, Any]]]) -> bytes:
+    def _idem_get(self, key: str) -> Optional[bytes]:
+        with self._idem_lock:
+            body = self._idem_cache.get(key)
+            if body is not None:
+                self._idem_cache.move_to_end(key)
+            return body
+
+    def _idem_put(self, key: str, body: bytes) -> None:
+        with self._idem_lock:
+            self._idem_cache[key] = body
+            self._idem_cache.move_to_end(key)
+            while len(self._idem_cache) > self._idem_cache_size:
+                self._idem_cache.popitem(last=False)
+
+    def _handle_bulk(
+        self,
+        calls: list[tuple[str, dict[str, Any]]],
+        header_fields: Optional[dict[str, str]] = None,
+    ) -> bytes:
         """Run a ``<BulkRequest>`` batch; per-item faults stay inline.
 
         Raises :class:`SoapFault` (an envelope-level fault, HTTP 500) only
@@ -254,7 +330,7 @@ class SoapServer:
                 _BULK_ITEMS.labels("ok").inc(ok)
             if len(items) - ok:
                 _BULK_ITEMS.labels("fault").inc(len(items) - ok)
-        return build_bulk_response(items)
+        return build_bulk_response(items, header_fields)
 
     def _map_fault(self, exc: Exception) -> SoapFault:
         if self._fault_mapper is not None:

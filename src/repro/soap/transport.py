@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Protocol, Sequence
 
+from repro import faults as _faults
 from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _obs_counter
+from repro.resilience import context as _rctx
 from repro.soap.envelope import (
     BulkItem,
     SoapFault,
@@ -55,6 +57,19 @@ def execute_bulk(
     """
     items: list[BulkItem] = []
     for method, args in operations:
+        if _rctx.expired():
+            # The caller's deadline lapsed mid-batch: stop doing work on
+            # its behalf; remaining items fail fast with a typed fault.
+            items.append(
+                BulkItem(
+                    ok=False,
+                    fault=SoapFault(
+                        "Server.DeadlineExceeded",
+                        f"deadline expired before {method!r} ran",
+                    ),
+                )
+            )
+            continue
         try:
             items.append(BulkItem(ok=True, result=handler(method, args)))
         except SoapFault as fault:
@@ -65,6 +80,22 @@ def execute_bulk(
                 mapped = SoapFault("Server", f"{type(exc).__name__}: {exc}")
             items.append(BulkItem(ok=False, fault=mapped))
     return items
+
+
+def _wire_header_fields() -> Optional[dict[str, str]]:
+    """Resilience metadata to stamp on an outgoing request envelope.
+
+    Only the *remaining* deadline budget (a duration) crosses the wire,
+    so the server never needs the client's clock.
+    """
+    fields: dict[str, str] = {}
+    rem = _rctx.remaining()
+    if rem is not None:
+        fields["Deadline"] = f"{max(rem, 0.0):.6f}"
+    key = _rctx.current_idempotency_key()
+    if key is not None:
+        fields["IdempotencyKey"] = key
+    return fields or None
 
 _CLIENT_REQUESTS = _obs_counter(
     "mcs_soap_client_requests_total", "Requests issued by HttpTransport"
@@ -96,10 +127,28 @@ class DirectTransport:
         self._handler = handler
 
     def call(self, method: str, args: dict[str, Any]) -> Any:
-        return self._handler(method, args)
+        inj = _faults.check("soap.direct", method)
+        if inj is not None:
+            inj.pre()
+        result = self._handler(method, args)
+        if inj is not None and inj.kind in ("torn", "lost_reply"):
+            # No bytes to tear in-process: both kinds mean "the work ran
+            # but the caller never learned the outcome".
+            from repro.soap.errors import TransportError
+
+            raise TransportError(f"injected {inj.kind} at soap.direct:{method}")
+        return result
 
     def call_bulk(self, operations: Operations) -> list[BulkItem]:
-        return execute_bulk(self._handler, operations)
+        inj = _faults.check("soap.direct", "__bulk__")
+        if inj is not None:
+            inj.pre()
+        items = execute_bulk(self._handler, operations)
+        if inj is not None and inj.kind in ("torn", "lost_reply"):
+            from repro.soap.errors import TransportError
+
+            raise TransportError(f"injected {inj.kind} at soap.direct:__bulk__")
+        return items
 
     def close(self) -> None:  # pragma: no cover - nothing to release
         pass
@@ -117,19 +166,47 @@ class LoopbackCodecTransport:
         self._handler = handler
 
     def call(self, method: str, args: dict[str, Any]) -> Any:
-        request = build_request(method, args, _trace.current_request_id())
+        inj = _faults.check("soap.loopback", method)
+        if inj is not None:
+            inj.pre()
+        request = build_request(
+            method, args, _trace.current_request_id(), _wire_header_fields()
+        )
         parsed_method, parsed_args, _rid = parse_request_full(request)
         try:
             result = self._handler(parsed_method, parsed_args)
             response = build_response(result)
         except SoapFault as fault:
             response = build_fault(fault)
+        if inj is not None:
+            if inj.kind == "lost_reply":
+                from repro.soap.errors import TransportError
+
+                raise TransportError(
+                    f"injected lost_reply at soap.loopback:{method}"
+                )
+            if inj.kind == "torn":
+                response = inj.tear(response)
         return parse_response(response)
 
     def call_bulk(self, operations: Operations) -> list[BulkItem]:
-        request = build_bulk_request(operations, _trace.current_request_id())
+        inj = _faults.check("soap.loopback", "__bulk__")
+        if inj is not None:
+            inj.pre()
+        request = build_bulk_request(
+            operations, _trace.current_request_id(), _wire_header_fields()
+        )
         parsed_ops, _rid = parse_bulk_request(request)
         response = build_bulk_response(execute_bulk(self._handler, parsed_ops))
+        if inj is not None:
+            if inj.kind == "lost_reply":
+                from repro.soap.errors import TransportError
+
+                raise TransportError(
+                    "injected lost_reply at soap.loopback:__bulk__"
+                )
+            if inj.kind == "torn":
+                response = inj.tear(response)
         return parse_bulk_response(response)
 
     def close(self) -> None:  # pragma: no cover - nothing to release
@@ -145,6 +222,11 @@ class HttpTransport:
     loopback RTT is effectively zero, so without it one client host
     trivially saturates the server, hiding the paper's Figures 8–10
     behaviour (aggregate rate growing with the number of client hosts).
+
+    ``timeout`` historically bounded *both* the TCP connect and every
+    subsequent socket read with one value, so a slow response got the
+    generous connect budget.  ``connect_timeout`` / ``read_timeout``
+    split the two deadlines; either defaults to ``timeout``.
     """
 
     def __init__(
@@ -153,28 +235,69 @@ class HttpTransport:
         port: int,
         timeout: float = 30.0,
         simulated_latency_s: float = 0.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
     ) -> None:
         import http.client
         import socket
 
+        self.connect_timeout = timeout if connect_timeout is None else connect_timeout
+        self.read_timeout = timeout if read_timeout is None else read_timeout
+        read_timeout_s = self.read_timeout
+
         class _Connection(http.client.HTTPConnection):
             def connect(self) -> None:  # disable Nagle on the client side too
+                # self.timeout (the connect timeout) governs the TCP
+                # handshake inside super().connect(); once the socket is
+                # up, re-arm it with the read deadline.
                 super().connect()
                 self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self.sock.settimeout(read_timeout_s)
 
         self.simulated_latency_s = simulated_latency_s
-        self._factory = lambda: _Connection(host, port, timeout=timeout)
+        self._factory = lambda: _Connection(
+            host, port, timeout=self.connect_timeout
+        )
         self._conn = self._factory()
         self._conn_used = False
 
     def call(self, method: str, args: dict[str, Any]) -> Any:
-        payload = build_request(method, args, _trace.current_request_id())
-        return parse_response(self._post(payload, method))
+        inj = _faults.check("soap.http", method)
+        if inj is not None:
+            inj.pre()
+        payload = build_request(
+            method, args, _trace.current_request_id(), _wire_header_fields()
+        )
+        body = self._post(payload, method)
+        if inj is not None:
+            body = self._post_injection(inj, method, body)
+        return parse_response(body)
 
     def call_bulk(self, operations: Operations) -> list[BulkItem]:
         """Issue N operations in one HTTP round trip via ``<BulkRequest>``."""
-        payload = build_bulk_request(operations, _trace.current_request_id())
-        return parse_bulk_response(self._post(payload, "__bulk__"))
+        inj = _faults.check("soap.http", "__bulk__")
+        if inj is not None:
+            inj.pre()
+        payload = build_bulk_request(
+            operations, _trace.current_request_id(), _wire_header_fields()
+        )
+        body = self._post(payload, "__bulk__")
+        if inj is not None:
+            body = self._post_injection(inj, "__bulk__", body)
+        return parse_bulk_response(body)
+
+    @staticmethod
+    def _post_injection(inj: Any, method: str, body: bytes) -> bytes:
+        """Apply a post-call fault kind to the already-received response."""
+        if inj.kind == "lost_reply":
+            from repro.soap.errors import TransportError
+
+            raise TransportError(
+                f"injected lost_reply at soap.http:{method} (request executed)"
+            )
+        if inj.kind == "torn":
+            return inj.tear(body)
+        return body
 
     def _post(self, payload: bytes, soap_action: str) -> bytes:
         import http.client

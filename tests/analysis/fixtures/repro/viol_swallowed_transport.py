@@ -1,0 +1,42 @@
+"""MCS009 fixture: handlers that swallow TransportError silently."""
+
+from repro.soap.errors import TransportError
+
+
+def fire_and_forget(transport):
+    try:
+        transport.call("ping", {})
+    except TransportError:  # lint-expect: MCS009
+        pass
+
+
+def sweep(transports):
+    alive = []
+    for transport in transports:
+        try:
+            alive.append(transport.call("ping", {}))
+        except (ValueError, TransportError):  # lint-expect: MCS009
+            continue
+    return alive
+
+
+def documented_silence(transport):
+    try:
+        return transport.call("stats", {})
+    except TransportError:  # lint-expect: MCS009
+        """Failures here are fine, probably."""
+
+
+def recorded(transport, log):
+    try:
+        return transport.call("ping", {})
+    except TransportError as exc:
+        log.warning("ping failed", extra={"error": str(exc)})
+        return None
+
+
+def reraised(transport):
+    try:
+        return transport.call("ping", {})
+    except TransportError:
+        raise

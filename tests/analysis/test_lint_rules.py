@@ -28,6 +28,7 @@ RULE_FIXTURES = [
     ("MCS006", "viol_query_shims.py"),
     ("MCS007", "viol_raw_locks.py"),
     ("MCS008", "viol_print_logging.py"),
+    ("MCS009", "viol_swallowed_transport.py"),
 ]
 
 

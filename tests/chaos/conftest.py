@@ -1,0 +1,9 @@
+"""Fault-injection fixtures for the chaos lane.
+
+Each module here carries ``pytestmark = pytest.mark.chaos`` (run the
+lane alone with ``-m chaos``).  Plans are seeded and deterministic, so
+the lane is reproducible: a failure's seed is in the test source, not in
+the weather.
+"""
+
+from repro.faults.pytest_plugin import fault_plan, no_faults  # noqa: F401

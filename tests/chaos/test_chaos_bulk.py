@@ -1,0 +1,105 @@
+"""Chaos: bulk write workload over HTTP at a 5% transport-fault rate.
+
+The acceptance run for the fault engine: the same seeded workload runs
+fault-free and under a mixed 5% fault plan (errors, retryable server
+faults, torn responses, lost replies); the resilient client must absorb
+every injected failure — no TransportError escapes — and the catalog
+must converge to the fault-free end state with zero duplicate writes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core import MCSClient, MCSService, ObjectQuery
+from repro.faults import FaultPlan
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.soap.server import SoapServer
+
+pytestmark = pytest.mark.chaos
+
+#: The acceptance plan: ~5% of HTTP calls fail, spread over every
+#: client-visible failure mode (hard error, retryable server fault,
+#: torn response, lost reply).
+PLAN_SPEC = (
+    "seed=2003;"
+    "soap.http:*=error@0.02;"
+    "soap.http:*=fault@0.01,code=Server.Unavailable;"
+    "soap.http:*=torn@0.01;"
+    "soap.http:*=lost_reply@0.01"
+)
+
+
+def run_workload(client: MCSClient, rounds: int = 6, batch: int = 8) -> None:
+    """Deterministic bulk churn: create batches, tag them, delete half."""
+    for r in range(rounds):
+        names = [f"chaos-{r}-{i}" for i in range(batch)]
+        client.bulk_create_files(
+            [{"name": name, "attributes": {"round": r}} for name in names]
+        )
+        client.bulk_set_attributes(
+            [
+                {"object_type": "file", "name": name,
+                 "attributes": {"state": "tagged"}}
+                for name in names[::2]
+            ]
+        )
+        with client.bulk() as deletes:
+            for name in names[1::2]:
+                deletes.call("delete_logical_file", name=name)
+
+
+def snapshot(service: MCSService) -> list[tuple]:
+    """(name, attributes) for every surviving file, in name order."""
+    client = MCSClient.in_process(service, caller="/O=Grid/CN=snap")
+    names = sorted(client.query(ObjectQuery().where("round", ">=", 0)))
+    return [(n, client.get_attributes("file", n)) for n in names]
+
+
+def fresh_service() -> MCSService:
+    service = MCSService()
+    service.catalog.define_attribute("round", "int")
+    service.catalog.define_attribute("state", "string")
+    return service
+
+
+def test_bulk_chaos_converges_to_the_fault_free_state(no_faults):
+    baseline_service = fresh_service()
+    with SoapServer(
+        baseline_service.handle, fault_mapper=baseline_service.fault_mapper
+    ) as srv:
+        client = MCSClient.connect(*srv.endpoint, caller="/O=Grid/CN=base")
+        try:
+            run_workload(client)
+        finally:
+            client.close()
+    baseline = snapshot(baseline_service)
+    assert baseline, "baseline workload produced no files"
+
+    chaos_service = fresh_service()
+    plan = FaultPlan.parse(PLAN_SPEC)
+    with SoapServer(
+        chaos_service.handle, fault_mapper=chaos_service.fault_mapper
+    ) as srv:
+        client = MCSClient.connect(
+            *srv.endpoint,
+            caller="/O=Grid/CN=base",
+            retry_policy=RetryPolicy(
+                max_attempts=8, base_delay_s=0.001, max_delay_s=0.01, jitter=0.0
+            ),
+            # Generous threshold: the lane tests convergence, not tripping.
+            breaker=CircuitBreaker("chaos-bulk", failure_threshold=1000),
+        )
+        try:
+            with faults.active(plan):
+                # Zero unhandled TransportError: any escape fails the test.
+                run_workload(client)
+        finally:
+            client.close()
+
+    assert plan.injected > 0, "the 5% plan never fired; the run proved nothing"
+    # Convergence: same survivors, same attributes, no duplicates (a
+    # double-applied create would have raised AlreadyExists and escaped;
+    # a double delete would have raised NoSuchObject).
+    assert snapshot(chaos_service) == baseline

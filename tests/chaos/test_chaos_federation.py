@@ -1,0 +1,136 @@
+"""Chaos: federated scatter under per-member faults.
+
+Graceful degradation is the federation contract: a broken member is
+skipped and reported (``partial=True``) instead of sinking the whole
+scatter, the member's breaker stops hammering it, and a recovered
+member rejoins after the breaker's reset timeout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core import ObjectQuery
+from repro.faults import FaultPlan, FaultRule
+from repro.federation import FederatedMCS, LocalMCS, MCSIndexNode
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.soap.errors import TransportError
+
+pytestmark = pytest.mark.chaos
+
+
+def make_member(catalog_id, experiment, runs):
+    member = LocalMCS(catalog_id)
+    member.client.define_attribute("experiment", "string")
+    member.client.define_attribute("run", "int")
+    for run in runs:
+        member.client.create_logical_file(
+            f"{catalog_id}-{experiment}-r{run}",
+            attributes={"experiment": experiment, "run": run},
+        )
+    return member
+
+
+def build_federation(**kwargs):
+    members = {
+        "isi": make_member("isi", "pulsar", [1, 2, 3]),
+        "ncar": make_member("ncar", "climate", [10, 11]),
+        "cern": make_member("cern", "pulsar", [7]),
+    }
+    fed = FederatedMCS(MCSIndexNode(), members, **kwargs)
+    fed.refresh_all()
+    return fed
+
+
+PULSAR = ObjectQuery().where("experiment", "=", "pulsar")
+
+
+class TestGracefulDegradation:
+    def test_broken_member_is_skipped_and_flagged_partial(self, no_faults):
+        fed = build_federation(sleep=lambda s: None)
+        plan = FaultPlan([FaultRule("fed.query", op="cern", kind="error")])
+        with faults.active(plan):
+            outcome = fed.query_detailed(PULSAR)
+        assert outcome.partial
+        assert set(outcome.results) == {"isi"}
+        assert "cern" in outcome.skipped
+        assert "TransportError" in outcome.skipped["cern"]
+
+    def test_strict_query_still_raises(self, no_faults):
+        fed = build_federation(sleep=lambda s: None)
+        plan = FaultPlan([FaultRule("fed.query", op="cern", kind="error")])
+        with faults.active(plan):
+            with pytest.raises(TransportError):
+                fed.query(PULSAR)
+
+    def test_transient_member_fault_is_retried_to_success(self, no_faults):
+        fed = build_federation(
+            retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.0,
+                                     max_delay_s=0.0, jitter=0.0),
+            sleep=lambda s: None,
+        )
+        plan = FaultPlan([
+            FaultRule("fed.query", op="cern", kind="error", times=2),
+        ])
+        with faults.active(plan):
+            outcome = fed.query_detailed(PULSAR)
+        assert not outcome.partial
+        assert set(outcome.results) == {"isi", "cern"}
+        assert outcome.results["cern"] == ["cern-pulsar-r7"]
+
+    def test_seeded_five_percent_rate_matches_fault_free_results(self, no_faults):
+        baseline = build_federation(sleep=lambda s: None).query_detailed(PULSAR)
+        assert not baseline.partial
+
+        fed = build_federation(
+            retry_policy=RetryPolicy(max_attempts=6, base_delay_s=0.0,
+                                     max_delay_s=0.0, jitter=0.0),
+            breaker_factory=lambda cid: CircuitBreaker(
+                f"fed:{cid}", failure_threshold=1000
+            ),
+            sleep=lambda s: None,
+        )
+        plan = FaultPlan.parse("seed=31;fed.query:*=error@0.05")
+        with faults.active(plan):
+            for _ in range(40):
+                outcome = fed.query_detailed(PULSAR)
+                assert not outcome.partial
+                assert outcome.results == baseline.results
+        assert plan.injected > 0, "the plan never fired; the run proved nothing"
+
+
+class TestBreakerLifecycle:
+    def test_failing_member_trips_its_breaker_then_recovers(self, no_faults):
+        clock = [0.0]
+        fed = build_federation(
+            breaker_factory=lambda cid: CircuitBreaker(
+                f"fed:{cid}", failure_threshold=2, reset_timeout_s=5.0,
+                clock=lambda: clock[0],
+            ),
+            sleep=lambda s: None,
+        )
+        plan = FaultPlan([
+            FaultRule("fed.query", op="cern", kind="error", times=2),
+        ])
+        with faults.active(plan):
+            # Two scatters fail cern; the second trips its breaker.
+            for _ in range(2):
+                outcome = fed.query_detailed(PULSAR)
+                assert "cern" in outcome.skipped
+            # Open breaker: cern rejected without a subquery.
+            issued = fed.subqueries_issued
+            outcome = fed.query_detailed(PULSAR)
+            assert outcome.skipped.get("cern") == "circuit-open"
+            assert fed.subqueries_issued == issued + 1  # isi only
+            # Healthy members were never affected.
+            assert outcome.results["isi"] == [
+                "isi-pulsar-r1", "isi-pulsar-r2", "isi-pulsar-r3",
+            ]
+        # The fault budget is exhausted and the reset timeout elapses:
+        # the next scatter probes cern and it rejoins the federation.
+        clock[0] = 6.0
+        outcome = fed.query_detailed(PULSAR)
+        assert not outcome.partial
+        assert set(outcome.results) == {"isi", "cern"}
+        assert fed.breaker("cern").state == "closed"

@@ -1,0 +1,28 @@
+"""Chaos under the lock-order sanitizer: fault paths take no shortcuts.
+
+Retry loops, breaker bookkeeping and the server's idempotency cache all
+add locking to the hot path; this run replays the bulk chaos workload
+with the runtime sanitizer installed to prove the *failure* paths (which
+ordinary runs rarely exercise) acquire engine locks in consistent order
+and never time out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import sanitizer
+
+from tests.chaos.test_chaos_bulk import (
+    test_bulk_chaos_converges_to_the_fault_free_state as _bulk_chaos,
+)
+
+pytestmark = [pytest.mark.chaos, pytest.mark.sanitizer]
+
+
+def test_bulk_chaos_under_sanitizer(no_faults) -> None:
+    with sanitizer.enabled() as active:
+        _bulk_chaos(no_faults)
+    assert active.violations == 0
+    assert active.timeouts_observed == 0
+    assert active.order_graph(), "chaos run never touched instrumented locks"

@@ -1,0 +1,3 @@
+"""Fault-injection fixtures for the resilience unit suite."""
+
+from repro.faults.pytest_plugin import fault_plan, no_faults  # noqa: F401

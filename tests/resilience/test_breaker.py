@@ -1,0 +1,223 @@
+"""Circuit-breaker state machine: unit transitions plus a stateful model.
+
+The clock is injected everywhere so the reset timeout is driven by hand —
+no sleeping — and the stateful test mirrors the implementation with a
+trivial reference model to check every reachable transition.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(threshold=3, reset=10.0, probes=1):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        "test", failure_threshold=threshold, reset_timeout_s=reset,
+        half_open_probes=probes, clock=clock,
+    )
+    return breaker, clock
+
+
+class TestTransitions:
+    def test_starts_closed_and_admits(self):
+        breaker, _ = make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_open_after_consecutive_failures(self):
+        breaker, _ = make(threshold=3)
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 2
+
+    def test_open_rejects_until_reset_timeout(self):
+        breaker, clock = make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = make(threshold=1)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_probe_failure_reopens_and_restarts_clock(self):
+        breaker, clock = make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.0)  # clock restarted at re-open: still rejecting
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()
+
+    def test_half_open_admits_only_the_probe_quota(self):
+        breaker, clock = make(threshold=1, probes=2)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert breaker.probes_in_flight == 2
+        assert not breaker.allow()  # quota spent; rejected
+        before = breaker.rejections
+        assert not breaker.allow()
+        assert breaker.rejections == before + 1
+
+    def test_state_property_reflects_timeout_expiry_without_allow(self):
+        breaker, clock = make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN  # read-only view; allow() transitions
+
+    def test_straggler_failure_while_open_is_ignored(self):
+        breaker, clock = make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.record_failure()  # a call admitted before the trip, landing late
+        clock.advance(5.0)
+        assert breaker.allow()  # reset clock was NOT restarted by the straggler
+
+    def test_reset_forces_closed(self):
+        breaker, _ = make(threshold=1)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_constructor_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class BreakerModel(RuleBasedStateMachine):
+    """Drive the breaker against a reference state machine.
+
+    The model tracks (state, streak, probes, opened_at) with the same
+    transition rules the docstring promises; every rule cross-checks the
+    real breaker's observable state.
+    """
+
+    THRESHOLD = 3
+    RESET = 10.0
+    PROBES = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.clock = FakeClock()
+        self.breaker = CircuitBreaker(
+            "model", failure_threshold=self.THRESHOLD,
+            reset_timeout_s=self.RESET, half_open_probes=self.PROBES,
+            clock=self.clock,
+        )
+        self.state = CLOSED
+        self.streak = 0
+        self.probes = 0
+        self.opened_at = 0.0
+        self.admitted = 0  # calls admitted but not yet resolved
+
+    def _expired(self) -> bool:
+        return self.clock.now - self.opened_at >= self.RESET
+
+    @rule()
+    def allow(self):
+        admitted = self.breaker.allow()
+        if self.state == OPEN and self._expired():
+            self.state = HALF_OPEN
+            self.probes = 0
+        if self.state == CLOSED:
+            expected = True
+        elif self.state == OPEN:
+            expected = False
+        else:  # HALF_OPEN
+            expected = self.probes < self.PROBES
+            if expected:
+                self.probes += 1
+        assert admitted is expected
+        if admitted:
+            self.admitted += 1
+
+    @rule()
+    def succeed(self):
+        if self.admitted == 0:
+            return
+        self.admitted -= 1
+        self.breaker.record_success()
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+            self.probes = 0
+        self.streak = 0 if self.state == CLOSED else self.streak
+
+    @rule()
+    def fail(self):
+        if self.admitted == 0:
+            return
+        self.admitted -= 1
+        self.breaker.record_failure()
+        if self.state == HALF_OPEN:
+            self.state = OPEN
+            self.opened_at = self.clock.now
+        elif self.state == CLOSED:
+            self.streak += 1
+            if self.streak >= self.THRESHOLD:
+                self.state = OPEN
+                self.opened_at = self.clock.now
+
+    @rule()
+    def tick(self):
+        self.clock.advance(3.0)
+
+    @invariant()
+    def states_agree(self):
+        expected = self.state
+        if expected == OPEN and self._expired():
+            expected = HALF_OPEN  # the property reports expiry eagerly
+        assert self.breaker.state == expected
+
+
+TestBreakerModel = BreakerModel.TestCase
+TestBreakerModel.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,157 @@
+"""The fault-injection engine itself: grammar, matching, determinism.
+
+The chaos lane's guarantees are only as good as the engine's, so the
+spec grammar, the first-match-wins rule order, the ``times``/``after``
+budgets and the seeded-replay determinism each get pinned here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.soap.envelope import SoapFault
+from repro.soap.errors import TransportError
+
+
+class TestParseGrammar:
+    def test_full_example_from_the_docstring(self):
+        plan = FaultPlan.parse("seed=7;soap.http:*=error@0.05;repl.ship=latency,ms=2")
+        assert plan.seed == 7
+        assert len(plan.rules) == 2
+        first, second = plan.rules
+        assert (first.layer, first.op, first.kind, first.rate) == (
+            "soap.http", "*", "error", 0.05,
+        )
+        assert (second.layer, second.op, second.kind) == ("repl.ship", "*", "latency")
+        assert second.latency_ms == 2.0
+
+    def test_all_options(self):
+        plan = FaultPlan.parse(
+            "soap.server:delete_*=fault@0.5,code=Server.Busy,times=3,after=2"
+        )
+        rule = plan.rules[0]
+        assert rule.op == "delete_*"
+        assert rule.code == "Server.Busy"
+        assert rule.times == 3
+        assert rule.after == 2
+
+    def test_empty_clauses_ignored(self):
+        plan = FaultPlan.parse(";;seed=1;")
+        assert plan.seed == 1 and plan.rules == []
+
+    @pytest.mark.parametrize("spec", [
+        "soap.http",                    # no '='
+        "soap.http=explode",            # unknown kind
+        "soap.http=error@1.5",          # rate out of range
+        "soap.http=error,bogus=1",      # unknown option
+        "soap.http=error,times=-1",     # negative budget
+    ])
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+
+class TestMatchingAndBudgets:
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan([
+            FaultRule("soap.*", op="query", kind="latency"),
+            FaultRule("soap.*", kind="error"),
+        ])
+        assert plan.decide("soap.http", "query").kind == "latency"
+        assert plan.decide("soap.http", "ping").kind == "error"
+        assert plan.decide("repl.ship", "r0") is None
+
+    def test_after_skips_then_times_caps(self):
+        plan = FaultPlan([FaultRule("l", kind="error", after=2, times=2)])
+        kinds = [plan.decide("l", "op") for _ in range(6)]
+        assert [k.kind if k else None for k in kinds] == [
+            None, None, "error", "error", None, None,
+        ]
+        assert plan.injected == 2
+
+    def test_rate_is_deterministic_and_replayable(self):
+        spec = "seed=42;l=error@0.3"
+        plan = FaultPlan.parse(spec)
+        first = [plan.decide("l", "op") is not None for _ in range(50)]
+        # A fresh parse with the same seed replays the same decisions.
+        replay = FaultPlan.parse(spec)
+        second = [replay.decide("l", "op") is not None for _ in range(50)]
+        assert first == second
+        assert 0 < sum(first) < 50  # actually probabilistic, not all-or-nothing
+
+    def test_reset_rewinds_counters_and_rng(self):
+        plan = FaultPlan.parse("seed=9;l=error@0.5,times=5")
+        before = [plan.decide("l", "op") is not None for _ in range(20)]
+        assert plan.injected == 5
+        plan.reset()
+        assert plan.injected == 0
+        assert [plan.decide("l", "op") is not None for _ in range(20)] == before
+
+    def test_different_seeds_give_different_sequences(self):
+        def sequence(seed):
+            plan = FaultPlan.parse(f"seed={seed};l=error@0.5")
+            return tuple(plan.decide("l", "o") is not None for _ in range(40))
+
+        assert sequence(1) != sequence(2)
+
+
+class TestInjectionEffects:
+    def test_error_kind_raises_transport_error(self):
+        with pytest.raises(TransportError, match="injected error at l:op"):
+            FaultPlan([FaultRule("l")]).decide("l", "op").pre()
+
+    def test_fault_kind_raises_soap_fault_with_code(self):
+        inj = FaultPlan([FaultRule("l", kind="fault", code="Server.Busy")]).decide(
+            "l", "op"
+        )
+        with pytest.raises(SoapFault) as excinfo:
+            inj.pre()
+        assert excinfo.value.code == "Server.Busy"
+
+    def test_lost_reply_is_a_post_effect(self):
+        """pre() must NOT raise for lost_reply — the op runs first."""
+        inj = FaultPlan([FaultRule("l", kind="lost_reply")]).decide("l", "op")
+        inj.pre()  # no exception; the site drops the reply after the call
+
+    def test_fail_degrades_every_failing_kind_to_an_exception(self):
+        for kind in ("error", "torn", "lost_reply"):
+            inj = FaultPlan([FaultRule("l", kind=kind)]).decide("l", "op")
+            with pytest.raises(TransportError):
+                inj.fail()
+
+    def test_tear_truncates_but_never_empties(self):
+        inj = FaultPlan([FaultRule("l", kind="torn")]).decide("l", "op")
+        assert inj.tear(b"0123456789") == b"01234"
+        assert inj.tear(b"x") == b"x"
+
+
+class TestActivation:
+    def test_check_is_none_when_inactive(self, no_faults):
+        assert faults.check("soap.http", "query") is None
+
+    def test_active_context_restores_previous_plan(self, no_faults):
+        outer = FaultPlan([FaultRule("a")])
+        inner = FaultPlan([FaultRule("b")])
+        with faults.active(outer):
+            assert faults.check("a", "x") is not None
+            with faults.active(inner):
+                assert faults.check("a", "x") is None
+                assert faults.check("b", "x") is not None
+            assert faults.get_active() is outer
+        assert faults.get_active() is None
+
+    def test_install_from_env(self, no_faults):
+        plan = faults.install_from_env({"REPRO_FAULTS": "seed=3;l=error"})
+        try:
+            assert plan is not None and plan.seed == 3
+            assert faults.get_active() is plan
+        finally:
+            faults.uninstall()
+        assert faults.install_from_env({}) is None
+
+    def test_fault_plan_fixture_deactivates_on_teardown(self, fault_plan):
+        fault_plan("l=error")
+        assert faults.check("l", "x") is not None
+        # teardown asserted implicitly by test_check_is_none_when_inactive

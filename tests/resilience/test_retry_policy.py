@@ -1,0 +1,106 @@
+"""Property tests for RetryPolicy: the backoff ladder and retry gating.
+
+The resilient transport schedules sleeps straight off
+:meth:`RetryPolicy.backoff`, so the chaos lane's determinism rests on the
+three properties proven here: bounded by ``max_delay_s``, monotone
+non-decreasing in attempt, and a pure function of ``(policy, attempt)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import RetryPolicy
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=10),
+    base_delay_s=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    multiplier=st.floats(min_value=1.5, max_value=4.0, allow_nan=False),
+    max_delay_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+attempts = st.integers(min_value=1, max_value=12)
+
+
+class TestBackoffProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(policy=policies, attempt=attempts)
+    def test_bounded_and_non_negative(self, policy, attempt):
+        delay = policy.backoff(attempt)
+        assert 0.0 <= delay <= policy.max_delay_s
+
+    @settings(max_examples=100, deadline=None)
+    @given(policy=policies, attempt=st.integers(min_value=1, max_value=11))
+    def test_monotone_non_decreasing(self, policy, attempt):
+        assert policy.backoff(attempt) <= policy.backoff(attempt + 1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(policy=policies, attempt=attempts)
+    def test_deterministic_under_seed(self, policy, attempt):
+        """Same (policy, attempt) → same delay; equal policies agree."""
+        twin = RetryPolicy(**{
+            field: getattr(policy, field)
+            for field in policy.__dataclass_fields__
+        })
+        assert policy.backoff(attempt) == policy.backoff(attempt)
+        assert twin.backoff(attempt) == policy.backoff(attempt)
+
+    def test_jitter_zero_is_pure_exponential(self):
+        policy = RetryPolicy(base_delay_s=0.01, multiplier=2.0, jitter=0.0,
+                             max_delay_s=100.0)
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.02)
+        assert policy.backoff(4) == pytest.approx(0.08)
+
+    def test_different_seeds_change_jittered_delays(self):
+        a = RetryPolicy(seed=1, jitter=0.5, multiplier=2.0, max_delay_s=100.0)
+        b = RetryPolicy(seed=2, jitter=0.5, multiplier=2.0, max_delay_s=100.0)
+        assert any(a.backoff(i) != b.backoff(i) for i in range(1, 6))
+
+    def test_attempt_counts_from_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestConstructorValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_s": -0.1},
+        {"max_delay_s": -1.0},
+        {"jitter": -0.1},
+        {"jitter": 1.5},
+        # jitter swing would break monotonicity: multiplier < 1 + jitter
+        {"multiplier": 1.0, "jitter": 0.1},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCanRetry:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        retry_reads=st.booleans(),
+        retry_writes=st.booleans(),
+        has_token=st.booleans(),
+    )
+    def test_never_retries_tokenless_writes(self, retry_reads, retry_writes,
+                                            has_token):
+        """The idempotency invariant: a write without a server-deduplicated
+        token is never retried, whatever the policy flags say."""
+        policy = RetryPolicy(retry_reads=retry_reads, retry_writes=retry_writes)
+        allowed = policy.can_retry(idempotent=False, has_token=has_token)
+        if not has_token:
+            assert allowed is False
+        else:
+            assert allowed is retry_writes
+
+    @settings(max_examples=60, deadline=None)
+    @given(retry_reads=st.booleans(), has_token=st.booleans())
+    def test_reads_follow_retry_reads_flag(self, retry_reads, has_token):
+        policy = RetryPolicy(retry_reads=retry_reads)
+        assert policy.can_retry(idempotent=True, has_token=has_token) is retry_reads

@@ -1,0 +1,3 @@
+"""Fault-injection fixtures for the SOAP transport tests."""
+
+from repro.faults.pytest_plugin import fault_plan, no_faults  # noqa: F401

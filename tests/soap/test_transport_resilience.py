@@ -208,3 +208,51 @@ class TestWorkerPool:
             for c in clients:
                 c.close()
         assert peak[0] <= 2
+
+
+class TestTimeoutSplit:
+    """Regression: ``timeout`` used to arm *both* the TCP connect and every
+    socket read, so a slow response inherited the generous connect budget
+    (or a tight connect budget strangled legitimate slow responses)."""
+
+    def test_read_timeout_bounds_a_slow_response(self, fault_plan):
+        fault_plan("soap.server:slow=latency,ms=600")
+        with SoapServer(echo) as server:
+            transport = HttpTransport(
+                *server.endpoint, connect_timeout=5.0, read_timeout=0.15
+            )
+            t0 = time.perf_counter()
+            with pytest.raises(TransportError):
+                transport.call("slow", {})
+            elapsed = time.perf_counter() - t0
+            transport.close()
+        # Gave up on the read deadline (plus one reconnect attempt), far
+        # inside the 5 s connect budget the old conflated code would use.
+        assert elapsed < 2.0
+
+    def test_tight_connect_timeout_does_not_strangle_slow_reads(self, fault_plan):
+        fault_plan("soap.server:echo=latency,ms=300")
+        with SoapServer(echo) as server:
+            transport = HttpTransport(
+                *server.endpoint, connect_timeout=0.1, read_timeout=5.0
+            )
+            # Loopback connect is instant; the 300 ms response must ride
+            # the read deadline, not the 100 ms connect deadline.
+            assert transport.call("echo", {"n": 3}) == {"n": 3}
+            transport.close()
+
+    def test_both_default_to_the_legacy_timeout(self):
+        transport = HttpTransport("localhost", 1, timeout=7.5)
+        assert transport.connect_timeout == 7.5
+        assert transport.read_timeout == 7.5
+        transport.close()
+
+    def test_split_reaches_transport_through_connect_http(self):
+        with SoapServer(echo) as server:
+            client = SoapClient.connect_http(
+                *server.endpoint, connect_timeout=1.0, read_timeout=9.0
+            )
+            assert client._transport.connect_timeout == 1.0
+            assert client._transport.read_timeout == 9.0
+            assert client.call("echo", n=1) == {"n": 1}
+            client.close()
