@@ -425,7 +425,12 @@ class StructuredLoggingRule(Rule):
         "bench-report only)"
     )
     only_modules = ("repro",)
-    exempt_modules = ("repro.cli", "repro.bench.report", "repro.analysis")
+    exempt_modules = (
+        "repro.cli",
+        "repro.bench.report",
+        "repro.bench.__main__",
+        "repro.analysis",
+    )
 
     def check(self, module: Module) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -503,6 +508,81 @@ class SwallowedTransportFaultRule(Rule):
                         "TransportError caught and discarded; retry via "
                         "RetryPolicy, record the failure, or re-raise",
                     )
+
+
+# --------------------------------------------------------------------------
+# MCS010 — request dispatch and ship paths must execute under a span
+# --------------------------------------------------------------------------
+
+
+@register
+class UnspannedDispatchRule(Rule):
+    """Cross-process work must be visible to ``mcs trace``.
+
+    The distributed waterfall is only trustworthy if every hop records a
+    span: the SOAP server's operation dispatch, each federation member
+    subquery, each replication shipment, and each soft-state update
+    tick.  A hop without a span is a hole in every assembled trace — its
+    retries, faults and latency silently vanish from the one tool
+    operators use to explain an incident.
+    """
+
+    id = "MCS010"
+    name = "dispatch-under-span"
+    invariant = (
+        "SoapServer request dispatch (do_POST) and the federation/"
+        "replication/RLS ship paths must run inside a `with span(...)` "
+        "block so cross-process traces have no holes"
+    )
+
+    #: (class name or None for any, method name) pairs that must span.
+    _TARGETS = frozenset(
+        {
+            ("FederatedMCS", "_subquery"),
+            ("Replica", "_ship"),
+            ("PeriodicUpdater", "tick"),
+            (None, "do_POST"),
+        }
+    )
+
+    @staticmethod
+    def _opens_span(func: ast.FunctionDef) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call) and _call_name(expr) in (
+                    "span",
+                    "_span",
+                ):
+                    return True
+        return False
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        class_of: dict[ast.AST, Optional[str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    class_of[child] = node.name
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            owner = class_of.get(node)
+            if (owner, node.name) not in self._TARGETS and (
+                None,
+                node.name,
+            ) not in self._TARGETS:
+                continue
+            if not self._opens_span(node):
+                where = f"{owner}.{node.name}" if owner else node.name
+                yield self.finding(
+                    module,
+                    node,
+                    f"{where} dispatches cross-process work without opening "
+                    "a span; wrap the body in `with span(...)` so the hop "
+                    "appears in assembled traces",
+                )
 
 
 # --------------------------------------------------------------------------

@@ -5,7 +5,9 @@
   direct and SOAP transports;
 * :mod:`repro.bench.hosts` — multi-"host" (client-group) drivers;
 * :mod:`repro.bench.sweeps` — one runner per paper figure (5–11);
-* :mod:`repro.bench.report` — series printing in the paper's format.
+* :mod:`repro.bench.report` — series printing in the paper's format;
+* :mod:`repro.bench.record` — machine-readable bench records
+  (``python -m repro.bench --out BENCH.json``).
 """
 
 from repro.bench.driver import BenchEnvironment, run_closed_loop
@@ -23,6 +25,7 @@ from repro.bench.sweeps import (
     sweep_figure10,
     sweep_figure11,
     sweep_resilience_ablation,
+    sweep_tracing_ablation,
 )
 
 __all__ = [
@@ -40,6 +43,7 @@ __all__ = [
     "sweep_figure10",
     "sweep_figure11",
     "sweep_resilience_ablation",
+    "sweep_tracing_ablation",
     "format_series",
     "print_series",
 ]

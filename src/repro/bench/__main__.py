@@ -1,0 +1,40 @@
+"""``python -m repro.bench`` — run the bench suite, write a JSON record."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.bench.record import build_record, write_record
+from repro.bench.sweeps import BenchConfig
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the bench suite and write a machine-readable record",
+    )
+    parser.add_argument("--out", default="BENCH_PR6.json", metavar="FILE")
+    parser.add_argument("--db-size", type=int, default=400)
+    parser.add_argument("--threads", type=int, nargs="+", default=[1, 4])
+    parser.add_argument("--duration", type=float, default=0.4)
+    args = parser.parse_args(argv)
+
+    config = BenchConfig(
+        db_sizes=(args.db_size,),
+        thread_counts=tuple(args.threads),
+        duration=args.duration,
+    )
+    record = build_record(config)
+    write_record(args.out, record)
+    overhead = record["tracing_overhead"]
+    print(
+        f"wrote {args.out}: peak {overhead['peak_rate_off']:.0f} ops/s "
+        f"untraced, {overhead['peak_rate_on']:.0f} ops/s traced "
+        f"({overhead['overhead']:+.2%} overhead)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Machine-readable bench records (the committed ``BENCH_*.json`` files).
+
+:func:`build_record` runs the tracing-ablation sweep plus a short SOAP
+throughput run, then folds in the latency distribution (p50/p95/p99 of
+``mcs_soap_request_seconds`` recomputed from the live histogram buckets)
+and an observability snapshot (span-ring accounting, SLO status).  The
+result is one JSON document CI archives per PR, so throughput or tail
+latency regressions show up as a diff instead of an anecdote.
+
+Run with ``python -m repro.bench --out BENCH_PR6.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.bench.report import obs_breakdown
+from repro.bench.sweeps import (
+    BenchConfig,
+    clear_environments,
+    sweep_tracing_ablation,
+)
+from repro.obs.metrics import get_registry
+
+
+def _histogram_quantile(entry: dict[str, Any], q: float) -> float:
+    """Quantile from a snapshot histogram entry (bucket interpolation)."""
+    count = entry["count"]
+    if count == 0:
+        return 0.0
+    edges = entry["le"]
+    target = q * count
+    seen = 0
+    for i, c in enumerate(entry["buckets"]):
+        if seen + c >= target and c > 0:
+            lo = edges[i - 1] if i > 0 else 0.0
+            hi = edges[i] if i < len(edges) else edges[-1]
+            return lo + (hi - lo) * ((target - seen) / c)
+        seen += c
+    return edges[-1]
+
+
+def _merged_histogram(snapshot: dict[str, Any], name: str) -> Optional[dict]:
+    """Sum a histogram family's series into one bucket vector."""
+    family = snapshot.get(name)
+    if not family or family.get("type") != "histogram":
+        return None
+    merged: Optional[dict[str, Any]] = None
+    for entry in family["series"]:
+        if merged is None:
+            merged = {
+                "count": entry["count"],
+                "sum": entry["sum"],
+                "le": list(entry["le"]),
+                "buckets": list(entry["buckets"]),
+            }
+        else:
+            merged["count"] += entry["count"]
+            merged["sum"] += entry["sum"]
+            merged["buckets"] = [
+                a + b for a, b in zip(merged["buckets"], entry["buckets"])
+            ]
+    return merged
+
+
+def latency_summary(name: str = "mcs_soap_request_seconds") -> dict[str, Any]:
+    """p50/p95/p99/mean of one histogram family, all series merged."""
+    merged = _merged_histogram(get_registry().snapshot(), name)
+    if merged is None or merged["count"] == 0:
+        return {"count": 0}
+    return {
+        "count": merged["count"],
+        "mean_s": merged["sum"] / merged["count"],
+        "p50_s": _histogram_quantile(merged, 0.50),
+        "p95_s": _histogram_quantile(merged, 0.95),
+        "p99_s": _histogram_quantile(merged, 0.99),
+    }
+
+
+def _counter_total(snapshot: dict[str, Any], name: str) -> float:
+    family = snapshot.get(name)
+    if not family:
+        return 0.0
+    return sum(entry.get("value", 0.0) for entry in family["series"])
+
+
+def tracing_overhead(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """Peak-rate comparison of the tracing-off vs tracing-on series."""
+    peak: dict[bool, float] = {}
+    for row in rows:
+        flag = bool(row["tracing"])
+        peak[flag] = max(peak.get(flag, 0.0), row["rate"])
+    off, on = peak.get(False, 0.0), peak.get(True, 0.0)
+    overhead = 1.0 - (on / off) if off > 0 else 0.0
+    return {"peak_rate_off": off, "peak_rate_on": on, "overhead": overhead}
+
+
+def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
+    """Run the PR-6 bench suite and assemble the record document."""
+    from repro.obs import slo as _slo
+    from repro.obs import trace as _trace
+
+    if config is None:
+        config = BenchConfig(
+            db_sizes=(400,), thread_counts=(1, 4), duration=0.4
+        )
+    try:
+        ablation = sweep_tracing_ablation(config)
+    finally:
+        clear_environments()
+    snapshot = get_registry().snapshot()
+    return {
+        "bench": "PR6",
+        "config": {
+            "db_sizes": list(config.db_sizes),
+            "thread_counts": list(config.thread_counts),
+            "duration_s": config.duration,
+        },
+        "sweeps": {"tracing_ablation": ablation},
+        "tracing_overhead": tracing_overhead(ablation),
+        "soap_request_seconds": latency_summary(),
+        "layer_breakdown": obs_breakdown(snapshot),
+        "obs": {
+            "span_ring_capacity": _trace.span_ring_capacity(),
+            "spans_dropped_total": _counter_total(
+                snapshot, "mcs_obs_spans_dropped_total"
+            ),
+            "slo": _slo.SLO.snapshot(),
+        },
+    }
+
+
+def write_record(path: str, record: dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")

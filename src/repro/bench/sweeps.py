@@ -211,6 +211,54 @@ def sweep_resilience_ablation(
     return rows
 
 
+def sweep_tracing_ablation(
+    config: BenchConfig,
+    op_name: str = "repeated_complex_query_op",
+    db_sizes: Optional[tuple[int, ...]] = None,
+    threads: Optional[tuple[int, ...]] = None,
+) -> list[dict[str, Any]]:
+    """Span-machinery overhead on the SOAP hot path.
+
+    Runs the same SOAP workload with tracing off and on (metrics stay
+    enabled both ways — :func:`repro.obs.trace.set_tracing_enabled` is
+    the only knob toggled), over a zero-simulated-latency link so the
+    span cost is not hidden inside a fake network RTT.  The ``tracing``
+    column isolates what recording spans + propagating TraceParent adds
+    per request.  Target: <3% on the query-dominated workload.
+    """
+    import dataclasses
+
+    from repro.obs import trace as _trace
+
+    wire_config = dataclasses.replace(config, soap_latency_s=0.0)
+    rows: list[dict[str, Any]] = []
+    was_enabled = _trace.TRACING.enabled
+    try:
+        for tracing in (False, True):
+            _trace.set_tracing_enabled(tracing)
+            for size in db_sizes or wire_config.db_sizes[-1:]:
+                env = get_environment(wire_config, size)
+                factory = getattr(env, op_name)
+                for n in threads or tuple(wire_config.thread_counts):
+                    result = run_closed_loop(
+                        env, "soap", factory, n, wire_config.duration,
+                        worker_prefix=f"trace{int(tracing)}-{size}-",
+                    )
+                    rows.append(
+                        {
+                            "db_size": size,
+                            "mode": "soap+trace" if tracing else "soap",
+                            "tracing": tracing,
+                            "x": n,
+                            "rate": result.rate,
+                            "operations": result.operations,
+                        }
+                    )
+    finally:
+        _trace.set_tracing_enabled(was_enabled)
+    return rows
+
+
 # --------------------------------------------------------------------------
 # Batched add-rate sweeps (figures 5/8 with a batch-size axis)
 # --------------------------------------------------------------------------

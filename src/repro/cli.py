@@ -17,6 +17,12 @@ Client (all commands take ``--host``/``--port``; default localhost:8686)::
     mcs annotate NAME TEXT
     mcs annotations NAME
 
+Observability (scrape the server's collection endpoints over HTTP)::
+
+    mcs trace REQUEST_ID [--endpoint H:P ...] [--format waterfall|tree|chrome|jsonl]
+    mcs profile [--seconds S] [--interval S] [--out FILE]
+    mcs slo [--json]
+
 Attribute values given as ``k=v`` are parsed against the attribute's
 declared type (ints, floats, dates as YYYY-MM-DD, etc.).
 """
@@ -169,14 +175,140 @@ def build_parser() -> argparse.ArgumentParser:
     anns = sub.add_parser("annotations", help="annotations on a file")
     anns.add_argument("name")
 
+    trace = sub.add_parser(
+        "trace", help="assemble and render a cross-process trace"
+    )
+    trace.add_argument("request_id")
+    trace.add_argument(
+        "--endpoint", action="append", metavar="HOST:PORT",
+        help="additional /spans endpoints to scrape (repeatable); "
+             "--host/--port is always scraped",
+    )
+    trace.add_argument(
+        "--format", choices=("waterfall", "tree", "chrome", "jsonl"),
+        default="waterfall", dest="trace_format",
+    )
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write the rendering to FILE instead of stdout")
+
+    profile = sub.add_parser(
+        "profile", help="sample the server's stacks (folded flamegraph lines)"
+    )
+    profile.add_argument("--seconds", type=float, default=1.0)
+    profile.add_argument("--interval", type=float, default=0.005)
+    profile.add_argument("--out", default=None, metavar="FILE")
+
+    slo = sub.add_parser("slo", help="per-operation SLO burn-rate status")
+    slo.add_argument("--json", action="store_true",
+                     help="raw JSON snapshot instead of the table")
+
     return parser
+
+
+def _http_get(host: str, port: int, path: str, timeout: float = 30.0) -> bytes:
+    import urllib.request
+
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=timeout
+    ) as response:
+        return response.read()
+
+
+def _scrape_spans(
+    endpoints: Sequence[tuple[str, int]], query: str
+) -> list[dict[str, Any]]:
+    """Merge `/spans` scrapes from every endpoint, de-duplicated by id."""
+    spans: list[dict[str, Any]] = []
+    seen: set[str] = set()
+    for host, port in endpoints:
+        try:
+            batch = json.loads(_http_get(host, port, f"/spans?{query}"))
+        except OSError as exc:
+            print(f"warning: {host}:{port} unreachable: {exc}", file=sys.stderr)
+            continue
+        for span in batch:
+            if span["span_id"] not in seen:
+                seen.add(span["span_id"])
+                spans.append(span)
+    return spans
+
+
+def _trace_cmd(args: argparse.Namespace) -> int:
+    from repro.obs import trace as trace_mod
+    from urllib.parse import urlencode
+
+    endpoints: list[tuple[str, int]] = [(args.host, args.port)]
+    for spec in args.endpoint or ():
+        host, _, port = spec.rpartition(":")
+        endpoints.append((host or "127.0.0.1", int(port)))
+
+    spans = _scrape_spans(
+        endpoints, urlencode({"request_id": args.request_id})
+    )
+    # A second pass by trace id picks up spans recorded under a different
+    # request id (e.g. a server-side subtree that minted its own) and any
+    # process that only saw the trace via the TraceParent header.
+    trace_ids = {s["trace_id"] for s in spans if s.get("trace_id")}
+    for trace_id in sorted(trace_ids):
+        for span in _scrape_spans(endpoints, urlencode({"trace_id": trace_id})):
+            if span["span_id"] not in {s["span_id"] for s in spans}:
+                spans.append(span)
+    if not spans:
+        print(f"no spans found for request {args.request_id!r}", file=sys.stderr)
+        return 1
+
+    if args.trace_format == "waterfall":
+        rendering = trace_mod.format_waterfall(spans, title=args.request_id)
+    elif args.trace_format == "tree":
+        rendering = trace_mod.format_trace(args.request_id, spans)
+    elif args.trace_format == "chrome":
+        rendering = json.dumps(trace_mod.to_chrome_trace(spans), indent=2)
+    else:
+        rendering = trace_mod.to_jsonl(spans)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendering + "\n")
+        print(f"wrote {len(spans)} spans to {args.out}")
+    else:
+        print(rendering)
+    return 0
+
+
+def _profile_cmd(args: argparse.Namespace) -> int:
+    from urllib.parse import urlencode
+
+    query = urlencode({"seconds": args.seconds, "interval": args.interval})
+    report = _http_get(
+        args.host, args.port, f"/profile?{query}",
+        timeout=max(args.seconds * 2.0, 5.0) + 30.0,
+    ).decode("utf-8")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"wrote profile to {args.out}")
+    else:
+        print(report, end="")
+    return 0
+
+
+def _slo_cmd(args: argparse.Namespace) -> int:
+    snapshot = json.loads(_http_get(args.host, args.port, "/slo"))
+    if args.json:
+        _emit(snapshot)
+    else:
+        from repro.obs.slo import format_slo
+
+        print(format_slo(snapshot))
+    return 0
 
 
 def _serve(args: argparse.Namespace) -> int:
     from repro.core import MCSService, MetadataCatalog
     from repro.db import Database
+    from repro.obs import profiler as _profiler
     from repro.soap import SoapServer
 
+    _profiler.run_from_env()
     db = Database(directory=args.data_dir) if args.data_dir else None
     catalog = MetadataCatalog(db) if db is not None else None
     service = MCSService(catalog, granularity=args.granularity)
@@ -223,6 +355,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _serve(args)
     if args.command == "lint":
         return _lint(args)
+    if args.command in ("trace", "profile", "slo"):
+        handler = {
+            "trace": _trace_cmd, "profile": _profile_cmd, "slo": _slo_cmd
+        }[args.command]
+        try:
+            return handler(args)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     from repro.core import MCSClient, ObjectQuery
     from repro.core.errors import MCSError

@@ -250,10 +250,14 @@ class MCSService:
                 raise
             ok_calls.inc()
             return result
-        if _trace.has_active_span():
+        active = _trace.current_span()
+        if active is not None and active.name != "soap.server":
             # In-process caller (direct/loopback): its client.call span
             # already traces this request — a nested span would double the
             # hot-path cost for no extra information.  Keep the histogram.
+            # The server's own soap.server dispatch span does NOT suppress
+            # the catalog span: there the nesting is the point — it is what
+            # separates catalog time from codec/queue time in a waterfall.
             start = time.perf_counter()
             try:
                 result = self._dispatch(method, args)
@@ -264,17 +268,25 @@ class MCSService:
             ok_calls.inc()
             op_seconds.observe(time.perf_counter() - start)
             return result
+        # When tracing is toggled off the span records nothing and its
+        # duration stays None — keep the histogram fed either way.
         s = _trace.span(span_name)
+        start = time.perf_counter()
         try:
             with s:
                 result = self._dispatch(method, args)
         except Exception:
             fault_calls.inc()
-            if s.duration is not None:
-                op_seconds.observe(s.duration)
+            op_seconds.observe(
+                s.duration
+                if s.duration is not None
+                else time.perf_counter() - start
+            )
             raise
         ok_calls.inc()
-        op_seconds.observe(s.duration)
+        op_seconds.observe(
+            s.duration if s.duration is not None else time.perf_counter() - start
+        )
         return result
 
     def _dispatch(self, method: str, args: dict[str, Any]) -> Any:

@@ -28,6 +28,7 @@ from typing import Optional
 from repro import faults as _faults
 from repro.db.engine import Database
 from repro.db.wal import _apply_record
+from repro.obs import trace as _trace
 from repro.obs.metrics import OBS, counter as _obs_counter, gauge as _obs_gauge, histogram as _obs_histogram
 from repro.resilience.retry import RETRY_ATTEMPTS, RetryPolicy
 
@@ -122,20 +123,26 @@ class Replica:
 
         policy = self.retry_policy
         attempt = 0
-        while True:
-            attempt += 1
-            try:
-                inj = _faults.check("repl.ship", self.name)
-                if inj is not None:
-                    inj.fail()
-                self._apply_batch(records)
-                return
-            except (TransportError, SoapFault):
-                if bounded and attempt >= policy.max_attempts:
-                    RETRY_ATTEMPTS.labels(f"repl:{self.name}", "exhausted").inc()
-                    raise
-                RETRY_ATTEMPTS.labels(f"repl:{self.name}", "retried").inc()
-                time.sleep(policy.backoff(min(attempt, policy.max_attempts)))
+        with _trace.span("repl.ship", replica=self.name, n=str(len(records))):
+            while True:
+                attempt += 1
+                try:
+                    inj = _faults.check("repl.ship", self.name)
+                    if inj is not None:
+                        inj.fail()
+                    self._apply_batch(records)
+                    return
+                except (TransportError, SoapFault):
+                    if bounded and attempt >= policy.max_attempts:
+                        RETRY_ATTEMPTS.labels(
+                            f"repl:{self.name}", "exhausted"
+                        ).inc()
+                        raise
+                    RETRY_ATTEMPTS.labels(f"repl:{self.name}", "retried").inc()
+                    _trace.annotate(
+                        f"retry attempt={attempt} replica={self.name}"
+                    )
+                    time.sleep(policy.backoff(min(attempt, policy.max_attempts)))
 
     def _apply_loop(self) -> None:
         while True:

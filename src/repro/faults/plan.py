@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Iterator, Optional, Sequence
 
+from repro.obs import trace as _trace
 from repro.obs.metrics import counter as _obs_counter
 
 KINDS = ("error", "timeout", "latency", "torn", "lost_reply", "fault")
@@ -166,6 +167,7 @@ class FaultPlan:
         self._rngs = [Random(hash((seed, i))) for i in range(len(self.rules))]
         self._seen = [0] * len(self.rules)
         self._hits = [0] * len(self.rules)
+        self._events: list[str] = []
 
     def decide(self, layer: str, op: str) -> Optional[Injection]:
         """First matching rule that fires wins; None means run clean."""
@@ -181,7 +183,10 @@ class FaultPlan:
                 if rule.rate < 1.0 and self._rngs[i].random() >= rule.rate:
                     continue
                 self._hits[i] += 1
+                fid = f"{layer}:{op}#{self._hits[i]}"
+                self._events.append(fid)
             _FAULTS_INJECTED.labels(layer, rule.kind).inc()
+            _trace.annotate(f"fault {fid} kind={rule.kind}")
             return Injection(rule.kind, rule, layer, op)
         return None
 
@@ -191,12 +196,24 @@ class FaultPlan:
         with self._lock:
             return sum(self._hits)
 
+    @property
+    def events(self) -> list[str]:
+        """Every fault id injected so far, in injection order.
+
+        The ids are the same strings stamped onto span annotations
+        (``fault <id> kind=<kind>``), so a chaos test can assert that
+        each injected fault is visible in the assembled trace.
+        """
+        with self._lock:
+            return list(self._events)
+
     def reset(self) -> None:
         """Rewind counters and RNG streams to the freshly-parsed state."""
         with self._lock:
             self._rngs = [Random(hash((self.seed, i))) for i in range(len(self.rules))]
             self._seen = [0] * len(self.rules)
             self._hits = [0] * len(self.rules)
+            self._events = []
 
     def active(self):
         """Context manager installing this plan for the dynamic extent."""

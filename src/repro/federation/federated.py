@@ -9,6 +9,7 @@ from typing import Any, Callable, Mapping, Optional
 
 from repro import faults as _faults
 from repro.core.query import ObjectQuery
+from repro.obs import trace as _trace
 from repro.federation.indexnode import MCSIndexNode
 from repro.federation.localcatalog import LocalMCS
 from repro.resilience.breaker import CircuitBreaker
@@ -145,38 +146,48 @@ class FederatedMCS:
         policy = self.retry_policy
         guard = self.breaker(catalog_id)
         attempt = 0
-        while True:
-            attempt += 1
-            if not guard.allow():
-                raise CircuitOpenError(
-                    f"circuit open for federation member {catalog_id!r}"
-                )
-            self.subqueries_issued += 1
-            try:
-                inj = _faults.check("fed.query", catalog_id)
-                if inj is not None:
-                    inj.fail()
-                names = member.client.query(query)
-            except SoapFault as fault:
-                if fault.code not in RETRYABLE_FAULT_CODES:
-                    guard.record_success()  # the member answered
-                    raise
-                guard.record_failure()
-                if policy is None or attempt >= policy.max_attempts:
-                    raise
-                RETRY_ATTEMPTS.labels(f"fed:{catalog_id}", "retried").inc()
-                self._sleep(policy.backoff(attempt))
-                continue
-            except (TransportError, EncodingError):
-                guard.record_failure()
-                if policy is None or attempt >= policy.max_attempts:
-                    RETRY_ATTEMPTS.labels(f"fed:{catalog_id}", "exhausted").inc()
-                    raise
-                RETRY_ATTEMPTS.labels(f"fed:{catalog_id}", "retried").inc()
-                self._sleep(policy.backoff(attempt))
-                continue
-            guard.record_success()
-            return names
+        with _trace.span("fed.subquery", member=catalog_id):
+            while True:
+                attempt += 1
+                if not guard.allow():
+                    _trace.annotate(f"breaker open member={catalog_id}")
+                    raise CircuitOpenError(
+                        f"circuit open for federation member {catalog_id!r}"
+                    )
+                self.subqueries_issued += 1
+                try:
+                    inj = _faults.check("fed.query", catalog_id)
+                    if inj is not None:
+                        inj.fail()
+                    names = member.client.query(query)
+                except SoapFault as fault:
+                    if fault.code not in RETRYABLE_FAULT_CODES:
+                        guard.record_success()  # the member answered
+                        raise
+                    guard.record_failure()
+                    if policy is None or attempt >= policy.max_attempts:
+                        raise
+                    RETRY_ATTEMPTS.labels(f"fed:{catalog_id}", "retried").inc()
+                    _trace.annotate(
+                        f"retry attempt={attempt} member={catalog_id}"
+                    )
+                    self._sleep(policy.backoff(attempt))
+                    continue
+                except (TransportError, EncodingError):
+                    guard.record_failure()
+                    if policy is None or attempt >= policy.max_attempts:
+                        RETRY_ATTEMPTS.labels(
+                            f"fed:{catalog_id}", "exhausted"
+                        ).inc()
+                        raise
+                    RETRY_ATTEMPTS.labels(f"fed:{catalog_id}", "retried").inc()
+                    _trace.annotate(
+                        f"retry attempt={attempt} member={catalog_id}"
+                    )
+                    self._sleep(policy.backoff(attempt))
+                    continue
+                guard.record_success()
+                return names
 
     @staticmethod
     def _equality_query(conditions: dict[str, Any]) -> ObjectQuery:

@@ -1,12 +1,18 @@
-"""repro.obs — metrics, tracing, and structured logging.
+"""repro.obs — metrics, tracing, profiling, SLOs, and structured logging.
 
 The observability substrate for every layer of the MCS reproduction:
 
 * :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms
   (lock-free per-thread shards), a process-wide ``MetricsRegistry``,
   Prometheus text rendering, and snapshot pretty-printing;
-* :mod:`repro.obs.trace` — nested spans with request-id propagation
-  (contextvars in-process, a SOAP header across the wire);
+* :mod:`repro.obs.trace` — distributed spans with trace/span/parent ids,
+  request-id propagation (contextvars in-process, SOAP headers across
+  the wire), annotations, a bounded span ring, waterfall rendering and
+  Chrome-trace / JSONL exporters;
+* :mod:`repro.obs.profiler` — a wall-clock sampling profiler over
+  ``sys._current_frames()`` with folded-stack (flamegraph) output;
+* :mod:`repro.obs.slo` — sliding-window SLI tracking with multi-window
+  error-budget burn rates behind ``/healthz``–``/readyz``;
 * :mod:`repro.obs.log` — stdlib logging with a JSON formatter that
   stamps the current request id on every record.
 
@@ -15,7 +21,8 @@ Metric name convention: ``mcs_<layer>_<what>_<unit>`` with layers
 ("Observability") for the full name and label inventory.
 
 Everything is stdlib-only and can be disabled process-wide with
-``set_enabled(False)`` or ``REPRO_OBS_DISABLED=1``.
+``set_enabled(False)`` or ``REPRO_OBS_DISABLED=1``; span recording alone
+toggles with ``trace.set_tracing_enabled`` / ``REPRO_TRACE_DISABLED=1``.
 """
 
 from repro.obs.metrics import (
@@ -35,12 +42,22 @@ from repro.obs.metrics import (
     render_prometheus,
     set_enabled,
 )
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.slo import SLO, SLObjective, SLOTracker, format_slo
 from repro.obs.trace import (
+    annotate,
+    assemble_trace,
     current_request_id,
+    current_span,
+    current_traceparent,
     format_trace,
+    format_waterfall,
     new_request_id,
     recent_spans,
+    set_tracing_enabled,
     span,
+    to_chrome_trace,
+    to_jsonl,
 )
 
 __all__ = [
@@ -51,11 +68,21 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "OBS",
+    "SLO",
+    "SLObjective",
+    "SLOTracker",
+    "SamplingProfiler",
+    "annotate",
+    "assemble_trace",
     "counter",
     "current_request_id",
+    "current_span",
+    "current_traceparent",
     "enabled",
+    "format_slo",
     "format_snapshot",
     "format_trace",
+    "format_waterfall",
     "gauge",
     "get_registry",
     "histogram",
@@ -63,5 +90,8 @@ __all__ = [
     "recent_spans",
     "render_prometheus",
     "set_enabled",
+    "set_tracing_enabled",
     "span",
+    "to_chrome_trace",
+    "to_jsonl",
 ]

@@ -53,6 +53,8 @@ DECLARED_METRICS: frozenset[str] = frozenset(
         "mcs_db_wal_records_total",
         # -- fault injection (repro.faults) -------------------------------
         "mcs_faults_injected_total",
+        # -- profiler (repro.obs.profiler) --------------------------------
+        "mcs_profile_samples_total",
         # -- replication (repro.db.replication) ---------------------------
         "mcs_repl_apply_seconds",
         "mcs_repl_batches_applied_total",
@@ -61,6 +63,10 @@ DECLARED_METRICS: frozenset[str] = frozenset(
         # -- retries (repro.resilience.retry) -----------------------------
         "mcs_retry_attempts_total",
         "mcs_retry_backoff_seconds",
+        # -- SLOs (repro.obs.slo) -----------------------------------------
+        "mcs_slo_burn_rate",
+        "mcs_slo_error_budget_remaining",
+        "mcs_slo_events_total",
         # -- SOAP stack (repro.soap) --------------------------------------
         "mcs_soap_bulk_batch_size",
         "mcs_soap_bulk_items_total",
@@ -76,6 +82,7 @@ DECLARED_METRICS: frozenset[str] = frozenset(
         "mcs_soap_requests_total",
         "mcs_soap_worker_saturation_total",
         # -- tracing (repro.obs.trace) ------------------------------------
+        "mcs_obs_spans_dropped_total",
         "mcs_span_seconds",
     }
 )

@@ -1,0 +1,185 @@
+"""Stdlib-only wall-clock sampling profiler.
+
+A daemon thread samples every live thread's Python stack via
+``sys._current_frames()`` on a fixed interval and folds the stacks into
+``module:function`` counts — the input format flamegraph tooling eats
+(``flamegraph.pl``, speedscope, inferno).  No instrumentation, no
+``sys.settrace`` slowdown: the profiled code runs untouched and the
+profiler's own cost is *measured*, not guessed (see
+:attr:`SamplingProfiler.overhead_fraction`).
+
+Activation paths:
+
+* programmatic — ``with SamplingProfiler(interval_s=0.005): ...``;
+* per-endpoint — ``GET /profile?seconds=1`` on the SOAP server runs a
+  bounded capture and returns the folded stacks as text (the ``mcs
+  profile`` CLI wraps this);
+* environment — ``REPRO_PROFILE=<seconds>`` makes ``mcs serve`` run one
+  capture at startup and write it to ``REPRO_PROFILE_OUT`` (default
+  ``mcs-profile.folded``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from collections import Counter as _TallyCounter
+from typing import Optional
+
+from repro.obs.metrics import counter as _obs_counter
+
+_SAMPLES = _obs_counter(
+    "mcs_profile_samples_total",
+    "Stack samples captured by the wall-clock sampling profiler",
+)
+
+#: Frames whose module path contains these fragments are the profiler's
+#: own machinery and are elided from captured stacks.
+_SELF_MODULES = ("repro/obs/profiler",)
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    module = code.co_filename
+    # Compress the path to its last two components: enough to identify
+    # the module without leaking absolute build paths into reports.
+    parts = module.replace("\\", "/").rsplit("/", 2)
+    short = "/".join(parts[-2:]) if len(parts) > 1 else module
+    return f"{short}:{code.co_name}"
+
+
+class SamplingProfiler:
+    """Samples all threads' stacks on an interval; folds them for flamegraphs."""
+
+    def __init__(self, interval_s: float = 0.005) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.interval_s = interval_s
+        self.samples: _TallyCounter = _TallyCounter()
+        self.sample_count = 0
+        self._sampling_time = 0.0
+        self._started_at: Optional[float] = None
+        self._elapsed = 0.0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(5)
+            self._thread = None
+        if self._started_at is not None:
+            self._elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- sampling ------------------------------------------------------------
+
+    def _loop(self) -> None:
+        own_tid = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self._sample_once(own_tid)
+
+    def _sample_once(self, own_tid: int) -> None:
+        t0 = time.perf_counter()
+        frames = sys._current_frames()
+        tallies: list[tuple[str, ...]] = []
+        for tid, frame in frames.items():
+            if tid == own_tid:
+                continue
+            stack: list[str] = []
+            while frame is not None:
+                filename = frame.f_code.co_filename.replace("\\", "/")
+                if any(part in filename for part in _SELF_MODULES):
+                    stack.clear()  # a stack mid-profiler call is all noise
+                    break
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+            if stack:
+                tallies.append(tuple(reversed(stack)))
+        with self._lock:
+            for stack_key in tallies:
+                self.samples[stack_key] += 1
+            self.sample_count += 1
+            self._sampling_time += time.perf_counter() - t0
+        _SAMPLES.inc()
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Measured share of wall time the sampler itself consumed."""
+        elapsed = self._elapsed
+        if self._started_at is not None:
+            elapsed += time.perf_counter() - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        with self._lock:
+            return self._sampling_time / elapsed
+
+    def folded(self) -> str:
+        """Folded-stack output: ``frame;frame;frame count`` per line."""
+        with self._lock:
+            items = sorted(self.samples.items(), key=lambda kv: (-kv[1], kv[0]))
+        return "\n".join(f"{';'.join(stack)} {count}" for stack, count in items)
+
+    def report(self) -> str:
+        """Folded stacks plus a trailing self-overhead comment line."""
+        body = self.folded()
+        meta = (
+            f"# samples={self.sample_count} interval_s={self.interval_s} "
+            f"self_overhead={self.overhead_fraction:.4%}"
+        )
+        return f"{body}\n{meta}" if body else meta
+
+
+def capture(seconds: float, interval_s: float = 0.005) -> SamplingProfiler:
+    """Run a bounded capture and return the stopped profiler."""
+    profiler = SamplingProfiler(interval_s=interval_s).start()
+    time.sleep(max(seconds, 0.0))
+    return profiler.stop()
+
+
+def run_from_env(environ=None) -> Optional[str]:
+    """Honor ``REPRO_PROFILE=<seconds>``: capture once, write folded output.
+
+    Returns the output path when a capture ran, else None.  Used by
+    ``mcs serve`` so a server can be profiled without code changes.
+    """
+    env = environ if environ is not None else os.environ
+    spec = env.get("REPRO_PROFILE")
+    if not spec:
+        return None
+    try:
+        seconds = float(spec)
+    except ValueError:
+        return None
+    profiler = capture(seconds)
+    out_path = env.get("REPRO_PROFILE_OUT", "mcs-profile.folded")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write(profiler.report() + "\n")
+    return out_path

@@ -1,0 +1,300 @@
+"""Service-level objectives: sliding windows, error budgets, burn rates.
+
+An :class:`SLObjective` states what "good" means for an operation — a
+success-ratio target plus a latency threshold (a slow success is a bad
+event, exactly like an error).  The :class:`SLOTracker` records every
+request into per-operation sliding windows and computes **multi-window
+burn rates**: how fast the error budget (``1 - target``) is being spent
+over a fast window (paging signal — a sudden cliff) and a slow window
+(ticket signal — a simmering regression).  A burn rate of 1.0 spends
+exactly the budget; the conventional fast-burn page threshold is ~14
+(spending a month of budget in ~2 days).
+
+Surfaced three ways by the SOAP server: ``GET /slo`` (JSON snapshot,
+pretty-printed by ``mcs slo``), ``GET /readyz`` (503 while the fast
+window is burning past the threshold) and the ``mcs_slo_*`` gauge
+families on ``/metrics``.
+
+Objectives are configurable per operation — constructor arguments or the
+``REPRO_SLO`` environment spec (see :meth:`SLObjective.parse_spec`)::
+
+    REPRO_SLO="query=0.999@0.050;*=0.99@0.250"
+
+reads "queries: 99.9% good under 50 ms; everything else: 99% under
+250 ms".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import OBS, counter as _obs_counter, gauge as _obs_gauge
+
+_SLO_EVENTS = _obs_counter(
+    "mcs_slo_events_total",
+    "Requests recorded against an SLO, by operation and good/bad outcome",
+    labels=("operation", "outcome"),
+)
+_SLO_BURN = _obs_gauge(
+    "mcs_slo_burn_rate",
+    "Error-budget burn rate per operation and window (1.0 = on budget)",
+    labels=("operation", "window"),
+)
+_SLO_BUDGET = _obs_gauge(
+    "mcs_slo_error_budget_remaining",
+    "Share of the slow-window error budget still unspent, per operation",
+    labels=("operation",),
+)
+
+#: Fast-window burn rate above which ``/readyz`` reports not-ready.  The
+#: classic page threshold: budget for the whole slow window spent ~14x
+#: too fast.
+DEFAULT_FAST_BURN_THRESHOLD = 14.0
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """What "good" means for one operation (or the ``*`` default)."""
+
+    target: float = 0.99
+    """Required good-event ratio (0 < target < 1)."""
+    latency_s: float = 0.250
+    """A success slower than this is a *bad* event (latency SLI)."""
+    fast_window_s: float = 60.0
+    slow_window_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("SLO target must be in (0, 1)")
+        if self.latency_s <= 0:
+            raise ValueError("latency threshold must be positive")
+        if self.fast_window_s >= self.slow_window_s:
+            raise ValueError("fast window must be shorter than the slow window")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+    @staticmethod
+    def parse_spec(spec: str) -> dict[str, "SLObjective"]:
+        """Parse ``op=target@latency_s[/fast/slow];...`` into objectives.
+
+        ``*`` is the default objective applied to unlisted operations::
+
+            query=0.999@0.050;*=0.99@0.250/30/900
+        """
+        objectives: dict[str, SLObjective] = {}
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            op, _, rhs = clause.partition("=")
+            op = op.strip()
+            if not op or not rhs:
+                raise ValueError(f"malformed SLO clause {clause!r}")
+            target_part, _, latency_part = rhs.partition("@")
+            kwargs: dict[str, float] = {"target": float(target_part)}
+            if latency_part:
+                latency, *windows = latency_part.split("/")
+                kwargs["latency_s"] = float(latency)
+                if windows:
+                    kwargs["fast_window_s"] = float(windows[0])
+                if len(windows) > 1:
+                    kwargs["slow_window_s"] = float(windows[1])
+            objectives[op] = SLObjective(**kwargs)
+        return objectives
+
+
+class _OpWindow:
+    """Sliding window of (timestamp, good) events for one operation."""
+
+    __slots__ = ("events", "lock")
+
+    def __init__(self, max_events: int) -> None:
+        self.events: deque[tuple[float, bool]] = deque(maxlen=max_events)
+        self.lock = threading.Lock()
+
+    def record(self, now: float, good: bool) -> None:
+        with self.lock:
+            self.events.append((now, good))
+
+    def counts(self, now: float, window_s: float) -> tuple[int, int]:
+        """(total, bad) inside ``[now - window_s, now]``."""
+        cutoff = now - window_s
+        total = bad = 0
+        with self.lock:
+            for ts, good in reversed(self.events):
+                if ts < cutoff:
+                    break
+                total += 1
+                if not good:
+                    bad += 1
+        return total, bad
+
+
+class SLOTracker:
+    """Per-operation sliding-window SLI tracking and burn-rate math."""
+
+    def __init__(
+        self,
+        objectives: Optional[dict[str, SLObjective]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_events_per_op: int = 8192,
+        fast_burn_threshold: float = DEFAULT_FAST_BURN_THRESHOLD,
+    ) -> None:
+        self.objectives = dict(objectives or {})
+        self.objectives.setdefault("*", SLObjective())
+        self.clock = clock
+        self.max_events_per_op = max_events_per_op
+        self.fast_burn_threshold = fast_burn_threshold
+        self._windows: dict[str, _OpWindow] = {}
+        self._lock = threading.Lock()
+
+    def configure(self, objectives: dict[str, SLObjective]) -> None:
+        """Replace the objective table (the ``*`` default is preserved)."""
+        merged = {"*": self.objectives["*"], **objectives}
+        self.objectives = merged
+
+    def objective_for(self, operation: str) -> SLObjective:
+        return self.objectives.get(operation) or self.objectives["*"]
+
+    def _window(self, operation: str) -> _OpWindow:
+        window = self._windows.get(operation)
+        if window is None:
+            with self._lock:
+                window = self._windows.get(operation)
+                if window is None:
+                    window = _OpWindow(self.max_events_per_op)
+                    self._windows[operation] = window
+        return window
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, operation: str, duration_s: float, ok: bool) -> None:
+        """Record one request outcome against the operation's objective."""
+        objective = self.objective_for(operation)
+        good = ok and duration_s <= objective.latency_s
+        self._window(operation).record(self.clock(), good)
+        if OBS.enabled:
+            _SLO_EVENTS.labels(operation, "good" if good else "bad").inc()
+
+    # -- burn-rate math ------------------------------------------------------
+
+    def burn_rate(self, operation: str, window_s: float) -> float:
+        """Budget-normalized bad-event rate over the trailing window.
+
+        0 = no bad events; 1.0 = spending exactly the error budget;
+        >1 = overspending.  With no traffic in the window, 0.
+        """
+        objective = self.objective_for(operation)
+        total, bad = self._window(operation).counts(self.clock(), window_s)
+        if total == 0:
+            return 0.0
+        return (bad / total) / objective.budget
+
+    def status(self, operation: str) -> dict[str, Any]:
+        """Full SLI/burn/budget readout for one operation."""
+        objective = self.objective_for(operation)
+        now = self.clock()
+        window = self._window(operation)
+        fast_total, fast_bad = window.counts(now, objective.fast_window_s)
+        slow_total, slow_bad = window.counts(now, objective.slow_window_s)
+        fast_burn = (
+            (fast_bad / fast_total) / objective.budget if fast_total else 0.0
+        )
+        slow_burn = (
+            (slow_bad / slow_total) / objective.budget if slow_total else 0.0
+        )
+        # Budget spent so far in the slow window, as a share of the whole
+        # window's allowance; clamped — you cannot have less than none.
+        budget_remaining = max(0.0, 1.0 - slow_burn)
+        # The burn rate tops out at 1/budget (100% bad events), so for a
+        # loose objective the page threshold may be unreachable; clamp it
+        # so total failure always counts as breaching.
+        threshold = min(self.fast_burn_threshold, 1.0 / objective.budget)
+        return {
+            "objective": {
+                "target": objective.target,
+                "latency_s": objective.latency_s,
+                "fast_window_s": objective.fast_window_s,
+                "slow_window_s": objective.slow_window_s,
+            },
+            "fast": {"total": fast_total, "bad": fast_bad, "burn_rate": fast_burn},
+            "slow": {"total": slow_total, "bad": slow_bad, "burn_rate": slow_burn},
+            "budget_remaining": budget_remaining,
+            "breaching": fast_burn >= threshold and slow_burn >= 1.0,
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """Status for every operation seen; refreshes the slo gauges."""
+        with self._lock:
+            operations = sorted(self._windows)
+        out: dict[str, Any] = {
+            "fast_burn_threshold": self.fast_burn_threshold,
+            "operations": {},
+        }
+        for operation in operations:
+            status = self.status(operation)
+            out["operations"][operation] = status
+            if OBS.enabled:
+                _SLO_BURN.labels(operation, "fast").set(
+                    status["fast"]["burn_rate"]
+                )
+                _SLO_BURN.labels(operation, "slow").set(
+                    status["slow"]["burn_rate"]
+                )
+                _SLO_BUDGET.labels(operation).set(status["budget_remaining"])
+        return out
+
+    def healthy(self) -> bool:
+        """Readiness: no operation is multi-window-breaching its objective.
+
+        Breach requires *both* windows over threshold — the fast window
+        past the page threshold (it is really happening now) and the slow
+        window past 1.0 (it is not just a blip) — the standard
+        multi-window guard against flapping readiness.
+        """
+        with self._lock:
+            operations = sorted(self._windows)
+        return not any(self.status(op)["breaching"] for op in operations)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._windows.clear()
+
+
+def format_slo(snapshot: dict[str, Any]) -> str:
+    """Human-oriented rendering of :meth:`SLOTracker.snapshot` output."""
+    operations = snapshot.get("operations", {})
+    if not operations:
+        return "no SLO traffic recorded"
+    lines = [
+        f"{'operation':<24} {'target':>7} {'fast burn':>9} {'slow burn':>9} "
+        f"{'budget left':>11}  state"
+    ]
+    for op, status in operations.items():
+        state = "BREACH" if status["breaching"] else "ok"
+        lines.append(
+            f"{op:<24} {status['objective']['target']:>7.4f} "
+            f"{status['fast']['burn_rate']:>9.2f} "
+            f"{status['slow']['burn_rate']:>9.2f} "
+            f"{status['budget_remaining']:>10.0%}  {state}"
+        )
+    return "\n".join(lines)
+
+
+#: The process-wide tracker the SOAP server records into; objectives are
+#: taken from ``REPRO_SLO`` when set.
+def _tracker_from_env() -> SLOTracker:
+    import os
+
+    spec = os.environ.get("REPRO_SLO")
+    objectives = SLObjective.parse_spec(spec) if spec else None
+    return SLOTracker(objectives)
+
+
+SLO = _tracker_from_env()

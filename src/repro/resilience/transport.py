@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Optional
 
+from repro.obs import trace as _trace
 from repro.obs.metrics import OBS
 from repro.resilience import context as _rctx
 from repro.resilience.breaker import CircuitBreaker
@@ -116,6 +117,9 @@ class ResilientTransport:
                 )
             if not self.breaker.allow():
                 self._count(label, "rejected")
+                _trace.annotate(
+                    f"breaker open endpoint={self.endpoint} op={label}"
+                )
                 raise CircuitOpenError(
                     f"circuit open for {self.endpoint}; {label!r} not attempted"
                 )
@@ -180,6 +184,10 @@ class ResilientTransport:
                 f"deadline leaves no room to retry {label!r} to {self.endpoint}"
             ) from exc
         self._count(label, "retried")
+        _trace.annotate(
+            f"retry attempt={attempt} op={label} breaker={self.breaker.state} "
+            f"cause={type(exc).__name__}"
+        )
         if OBS.enabled:
             RETRY_BACKOFF_SECONDS.observe(delay)
         self._sleep(delay)

@@ -13,6 +13,7 @@ import threading
 from typing import Callable, Optional
 
 from repro import faults as _faults
+from repro.obs import trace as _trace
 
 Producer = Callable[[], object]
 Consumer = Callable[[object], object]
@@ -52,20 +53,22 @@ class PeriodicUpdater:
 
     def tick(self) -> bool:
         """Run one update now; returns False if the producer/consumer failed."""
-        try:
-            inj = _faults.check("rls.update", self.name)
-            if inj is not None:
-                inj.fail()
-            self.consumer(self.producer())
-        except Exception as exc:  # noqa: BLE001 - updates must not kill the loop
+        with _trace.span("rls.update", updater=self.name):
+            try:
+                inj = _faults.check("rls.update", self.name)
+                if inj is not None:
+                    inj.fail()
+                self.consumer(self.producer())
+            except Exception as exc:  # noqa: BLE001 - updates must not kill the loop
+                with self._lock:
+                    self.errors += 1
+                if self.on_error is not None:
+                    self.on_error(exc)
+                _trace.annotate(f"tick failed: {type(exc).__name__}")
+                return False
             with self._lock:
-                self.errors += 1
-            if self.on_error is not None:
-                self.on_error(exc)
-            return False
-        with self._lock:
-            self.ticks += 1
-        return True
+                self.ticks += 1
+            return True
 
     # -- background operation ------------------------------------------------
 

@@ -12,13 +12,16 @@ families, and the access log is emitted as DEBUG-level structured JSON
 
 from __future__ import annotations
 
+import json
 import threading
 import time
+import urllib.parse
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Optional
 
 from repro import faults as _faults
+from repro.obs import slo as _slo
 from repro.obs import trace as _trace
 from repro.resilience import context as _rctx
 from repro.obs.log import get_logger
@@ -168,14 +171,22 @@ class SoapServer:
                 method = "<malformed>"
                 request_id: Optional[str] = None
                 rid_token = None
+                tp_token = None
                 deadline_token = None
                 is_fault = False
+                slo_bad = False
                 try:
                     try:
                         parsed = parse_any_request(payload)
                         request_id = parsed.request_id
                         if request_id is not None:
                             rid_token = _trace.set_request_id(request_id)
+                        # Adopt the caller's trace context so the dispatch
+                        # span below parents onto the client's call span —
+                        # one cross-process trace, not two disjoint trees.
+                        traceparent = parsed.headers.get("TraceParent")
+                        if traceparent is not None:
+                            tp_token = _trace.set_remote_context(traceparent)
                         method = "<bulk>" if parsed.bulk else parsed.calls[0][0]
                         # Restore the caller's remaining budget into this
                         # thread's context so dispatch (and execute_bulk
@@ -183,50 +194,59 @@ class SoapServer:
                         budget = _parse_budget(parsed.headers.get("Deadline"))
                         if budget is not None:
                             deadline_token = _rctx.push_budget(budget)
-                        inj = _faults.check("soap.server", method)
-                        if inj is not None:
-                            inj.raise_as_fault()
-                        idem_key = parsed.headers.get("IdempotencyKey")
-                        replay = (
-                            outer._idem_get(idem_key)
-                            if idem_key is not None
-                            else None
-                        )
-                        if replay is not None:
-                            _IDEM_REPLAYS.inc()
-                            body = replay
-                        else:
-                            if _rctx.expired():
-                                raise SoapFault(
-                                    "Server.DeadlineExceeded",
-                                    f"deadline expired before {method!r} ran",
-                                )
-                            echo = (
-                                {"IdempotencyKey": idem_key}
+                        with _trace.span("soap.server", method=method):
+                            inj = _faults.check("soap.server", method)
+                            if inj is not None:
+                                inj.raise_as_fault()
+                            idem_key = parsed.headers.get("IdempotencyKey")
+                            replay = (
+                                outer._idem_get(idem_key)
                                 if idem_key is not None
                                 else None
                             )
-                            if parsed.bulk:
-                                body = outer._handle_bulk(parsed.calls, echo)
+                            if replay is not None:
+                                _IDEM_REPLAYS.inc()
+                                _trace.annotate("idempotent-replay")
+                                body = replay
                             else:
-                                ((method, args),) = parsed.calls
-                                result = outer._handler(method, args)
-                                body = build_response(result, echo)
-                            if idem_key is not None:
-                                outer._idem_put(idem_key, body)
+                                if _rctx.expired():
+                                    raise SoapFault(
+                                        "Server.DeadlineExceeded",
+                                        f"deadline expired before {method!r} ran",
+                                    )
+                                echo = (
+                                    {"IdempotencyKey": idem_key}
+                                    if idem_key is not None
+                                    else None
+                                )
+                                if parsed.bulk:
+                                    body = outer._handle_bulk(parsed.calls, echo)
+                                else:
+                                    ((method, args),) = parsed.calls
+                                    result = outer._handler(method, args)
+                                    body = build_response(result, echo)
+                                if idem_key is not None:
+                                    outer._idem_put(idem_key, body)
                         status = 200
                     except SoapFault as fault:
                         body = build_fault(fault)
                         status = 500
                         is_fault = True
+                        # Application faults (MCS.*: not-found, duplicate,
+                        # permission...) are the caller's problem, not the
+                        # service failing — they spend no error budget.
+                        slo_bad = not fault.code.startswith("MCS.")
                     except Exception as exc:  # noqa: BLE001 - fault boundary
                         fault = outer._map_fault(exc)
                         body = build_fault(fault)
                         status = 500
                         is_fault = True
+                        slo_bad = not fault.code.startswith("MCS.")
                 finally:
                     if deadline_token is not None:
                         _rctx.reset_deadline(deadline_token)
+                    if tp_token is not None:
+                        _trace.reset_remote_context(tp_token)
                     if rid_token is not None:
                         _trace.reset_request_id(rid_token)
                     outer._worker_slots.release()
@@ -234,6 +254,7 @@ class SoapServer:
                 if OBS.enabled:
                     elapsed = time.perf_counter() - start
                     _REQUEST_SECONDS.labels(method).observe(elapsed)
+                    _slo.SLO.record(method, elapsed, ok=not slo_bad)
                     if _log.isEnabledFor(10):  # logging.DEBUG
                         _log.debug(
                             "soap.request",
@@ -251,29 +272,86 @@ class SoapServer:
                 self.end_headers()
                 self.wfile.write(body)
 
+            def _send(
+                self, status: int, content_type: str, body: bytes
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
             def do_GET(self) -> None:
-                if self.path == "/metrics":
-                    body = render_prometheus().encode("utf-8")
-                    self.send_response(200)
-                    self.send_header(
-                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                parts = urllib.parse.urlsplit(self.path)
+                query = urllib.parse.parse_qs(parts.query)
+                path = parts.path
+                if path == "/metrics":
+                    self._send(
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        render_prometheus().encode("utf-8"),
                     )
-                    self.send_header("Content-Length", str(len(body)))
-                    self.end_headers()
-                    self.wfile.write(body)
                     return
-                if self.path != "/wsdl" or outer._description is None:
+                if path == "/spans":
+                    # The trace collection endpoint: this process's span
+                    # ring, filtered — what `mcs trace` scrapes from each
+                    # process to assemble the cross-process waterfall.
+                    spans = _trace.recent_spans(
+                        request_id=query.get("request_id", [None])[0],
+                        trace_id=query.get("trace_id", [None])[0],
+                        name=query.get("name", [None])[0],
+                    )
+                    self._send(
+                        200,
+                        "application/json; charset=utf-8",
+                        json.dumps(spans, default=str).encode("utf-8"),
+                    )
+                    return
+                if path == "/slo":
+                    self._send(
+                        200,
+                        "application/json; charset=utf-8",
+                        json.dumps(_slo.SLO.snapshot()).encode("utf-8"),
+                    )
+                    return
+                if path == "/healthz":
+                    # Liveness: answering at all is the check.
+                    self._send(200, "text/plain; charset=utf-8", b"ok\n")
+                    return
+                if path == "/readyz":
+                    ready = _slo.SLO.healthy()
+                    self._send(
+                        200 if ready else 503,
+                        "text/plain; charset=utf-8",
+                        b"ready\n" if ready else b"burn-rate breach\n",
+                    )
+                    return
+                if path == "/profile":
+                    try:
+                        seconds = float(query.get("seconds", ["0.5"])[0])
+                        interval = float(query.get("interval", ["0.005"])[0])
+                    except ValueError:
+                        self.send_error(400)
+                        return
+                    from repro.obs.profiler import capture
+
+                    # Bounded: this handler thread blocks for the capture,
+                    # so cap the request at something a curl won't regret.
+                    profiler = capture(min(max(seconds, 0.0), 30.0), interval)
+                    self._send(
+                        200,
+                        "text/plain; charset=utf-8",
+                        (profiler.report() + "\n").encode("utf-8"),
+                    )
+                    return
+                if path != "/wsdl" or outer._description is None:
                     self.send_error(404)
                     return
                 body = generate_wsdl(
                     outer._description,
                     endpoint=f"http://{outer.host}:{outer.port}/soap",
                 )
-                self.send_response(200)
-                self.send_header("Content-Type", "text/xml; charset=utf-8")
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+                self._send(200, "text/xml; charset=utf-8", body)
 
         class _Server(ThreadingHTTPServer):
             daemon_threads = True

@@ -83,10 +83,12 @@ def execute_bulk(
 
 
 def _wire_header_fields() -> Optional[dict[str, str]]:
-    """Resilience metadata to stamp on an outgoing request envelope.
+    """Resilience and trace metadata to stamp on an outgoing envelope.
 
     Only the *remaining* deadline budget (a duration) crosses the wire,
-    so the server never needs the client's clock.
+    so the server never needs the client's clock.  ``TraceParent``
+    carries the caller's trace context (``trace_id;span_id``) so the
+    server-side dispatch span parents onto the in-flight client span.
     """
     fields: dict[str, str] = {}
     rem = _rctx.remaining()
@@ -95,6 +97,9 @@ def _wire_header_fields() -> Optional[dict[str, str]]:
     key = _rctx.current_idempotency_key()
     if key is not None:
         fields["IdempotencyKey"] = key
+    traceparent = _trace.current_traceparent()
+    if traceparent is not None:
+        fields["TraceParent"] = traceparent
     return fields or None
 
 _CLIENT_REQUESTS = _obs_counter(

@@ -1,0 +1,40 @@
+"""MCS010 fixture: dispatch/ship paths that never open a span."""
+
+from repro.obs import trace as _trace
+
+
+class FederatedMCS:
+    def _subquery(self, catalog_id, member, query):  # lint-expect: MCS010
+        return member.client.query(query)
+
+
+class Replica:
+    def _ship(self, records, bounded):  # lint-expect: MCS010
+        self._apply_batch(records)
+
+    def _apply_batch(self, records):
+        return len(records)
+
+
+class PeriodicUpdater:
+    def tick(self):  # lint-expect: MCS010
+        self.consumer(self.producer())
+        return True
+
+
+class _RequestHandler:
+    def do_POST(self):  # lint-expect: MCS010
+        self.dispatch(self.read_body())
+
+
+class SpannedUpdater:
+    def tick(self):
+        with _trace.span("rls.update", updater="u"):
+            self.consumer(self.producer())
+            return True
+
+
+class SpannedHandler:
+    def do_POST(self):
+        with _trace.span("soap.server", method="m"):
+            self.dispatch(self.read_body())

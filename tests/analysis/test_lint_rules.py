@@ -29,6 +29,7 @@ RULE_FIXTURES = [
     ("MCS007", "viol_raw_locks.py"),
     ("MCS008", "viol_print_logging.py"),
     ("MCS009", "viol_swallowed_transport.py"),
+    ("MCS010", "viol_unspanned_dispatch.py"),
 ]
 
 

@@ -1,0 +1,118 @@
+"""Chaos x observability: a chaos run must be explainable from its trace.
+
+The contract under test: every fault the plan injects is stamped onto
+some span as a ``fault <id> kind=<kind>`` annotation, and the assembled
+trace of the whole run has no orphan spans — so an operator reading the
+waterfall of a rough ride sees *exactly* which calls were hit, where the
+retries happened, and nothing is missing from the story.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ObjectQuery
+from repro.core.catalog import MetadataCatalog
+from repro.core.client import MCSClient
+from repro.core.service import MCSService
+from repro.db import Database
+from repro.db.replication import Replica, ReplicationPublisher
+from repro.federation import FederatedMCS, LocalMCS, MCSIndexNode
+from repro.obs import trace
+from repro.resilience import RetryPolicy
+from repro.soap.server import SoapServer
+
+pytestmark = pytest.mark.chaos
+
+FLAT_RETRIES = RetryPolicy(
+    max_attempts=8, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0
+)
+
+
+def fault_ids_annotated(spans) -> set[str]:
+    """Every fault id stamped onto any span (``fault <id> kind=...``)."""
+    ids = set()
+    for s in spans:
+        for note in s["annotations"]:
+            if note.startswith("fault "):
+                ids.add(note.split()[1])
+    return ids
+
+
+def test_every_injected_fault_is_visible_in_the_assembled_trace(
+    no_faults, fault_plan
+):
+    original_ring = trace.span_ring_capacity()
+    trace.set_span_ring_size(8192)  # the run must not evict its own story
+    trace.clear_spans()
+
+    primary = Database()
+    publisher = ReplicationPublisher(primary)
+    replica = Replica("tr-replica", retry_policy=FLAT_RETRIES)
+    publisher.add_replica(replica)
+    service = MCSService(MetadataCatalog(primary))
+    server = SoapServer(
+        service.handle,
+        description=service.description(),
+        fault_mapper=service.fault_mapper,
+    )
+    server.start()
+
+    members = {}
+    for catalog_id in ("isi", "cern"):
+        member = LocalMCS(catalog_id)
+        member.client.define_attribute("experiment", "string")
+        member.client.create_logical_file(
+            f"{catalog_id}-f1", attributes={"experiment": "pulsar"}
+        )
+        members[catalog_id] = member
+    fed = FederatedMCS(
+        MCSIndexNode(), members,
+        retry_policy=FLAT_RETRIES, sleep=lambda s: None,
+    )
+    fed.refresh_all()
+
+    plan = fault_plan(
+        "seed=23"
+        ";soap.http:*=error@0.2"
+        ";repl.ship:tr-replica=error@0.4"
+        ";fed.query:*=error@0.3"
+    )
+    client = MCSClient.connect(
+        server.host, server.port, caller="chaos", retry_policy=FLAT_RETRIES
+    )
+    try:
+        with trace.span("chaos-run") as root:
+            for i in range(10):
+                client.create_logical_file(f"chaos-{i}")  # ships synchronously
+            pulsar = ObjectQuery().where("experiment", "=", "pulsar")
+            for _ in range(5):
+                assert set(fed.query(pulsar)) == {"isi", "cern"}
+
+        assert plan.injected > 0, "the plan never fired; the run proved nothing"
+
+        spans = trace.recent_spans(trace_id=root.trace_id)
+        annotated = fault_ids_annotated(spans)
+        for fid in plan.events:
+            assert fid in annotated, (
+                f"injected fault {fid} left no span annotation; "
+                f"annotated={sorted(annotated)}"
+            )
+        # Retried transport faults also left their retry breadcrumbs.
+        assert any(
+            note.startswith("retry attempt=")
+            for s in spans for note in s["annotations"]
+        )
+        # The run assembles into one complete tree: nothing orphaned, a
+        # single root, every hop reachable from it.
+        tree = trace.assemble_trace(spans)
+        assert tree["orphans"] == []
+        assert [s["name"] for s in tree["roots"]] == ["chaos-run"]
+        names = {s["name"] for s in spans}
+        assert {"client.call", "soap.server", "repl.ship", "fed.subquery"} <= names
+    finally:
+        client.close()
+        server.stop()
+        publisher.close()
+        trace.set_span_ring_size(original_ring)
+        trace.clear_spans()

@@ -1,0 +1,85 @@
+"""The wall-clock sampling profiler: folded output, overhead, env hook."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import SamplingProfiler, capture, run_from_env
+
+pytestmark = pytest.mark.obs
+
+
+def busy_wait(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(200))
+
+
+@pytest.fixture()
+def busy_thread():
+    stop = threading.Event()
+    thread = threading.Thread(target=busy_wait, args=(stop,), daemon=True)
+    thread.start()
+    yield
+    stop.set()
+    thread.join(5)
+
+
+class TestSampling:
+    def test_captures_stacks_of_other_threads(self, busy_thread):
+        profiler = capture(0.2, interval_s=0.002)
+        assert profiler.sample_count > 10
+        folded = profiler.folded()
+        assert "busy_wait" in folded
+
+    def test_folded_format(self, busy_thread):
+        profiler = capture(0.1, interval_s=0.002)
+        for line in profiler.folded().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+            # frame labels are path/file.py:function
+            assert all(":" in frame for frame in stack.split(";"))
+
+    def test_own_frames_are_elided(self, busy_thread):
+        profiler = capture(0.1, interval_s=0.002)
+        # Frame labels keep the last two path components, so the
+        # profiler's own frames would read ``obs/profiler.py:...``.
+        assert "obs/profiler.py:" not in profiler.folded()
+
+    def test_overhead_is_measured_and_small(self, busy_thread):
+        profiler = capture(0.2, interval_s=0.005)
+        assert 0.0 <= profiler.overhead_fraction < 0.5
+        assert f"{profiler.overhead_fraction:.4%}" in profiler.report()
+
+    def test_report_carries_metadata_even_with_no_samples(self):
+        profiler = SamplingProfiler(interval_s=0.01)
+        assert profiler.report().startswith("# samples=0")
+
+    def test_context_manager_lifecycle(self):
+        profiler = SamplingProfiler(interval_s=0.005)
+        with profiler:
+            assert profiler.running
+            time.sleep(0.03)
+        assert not profiler.running
+        with pytest.raises(RuntimeError):
+            profiler._thread = threading.Thread(target=lambda: None)
+            profiler.start()
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0.0)
+
+
+class TestEnvHook:
+    def test_disabled_without_env(self):
+        assert run_from_env({}) is None
+        assert run_from_env({"REPRO_PROFILE": "not-a-number"}) is None
+
+    def test_env_capture_writes_folded_file(self, tmp_path, busy_thread):
+        out = tmp_path / "server.folded"
+        written = run_from_env(
+            {"REPRO_PROFILE": "0.1", "REPRO_PROFILE_OUT": str(out)}
+        )
+        assert written == str(out)
+        content = out.read_text(encoding="utf-8")
+        assert "# samples=" in content

@@ -1,0 +1,160 @@
+"""SLO tracking: objectives, sliding windows, burn rates, readiness."""
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_FAST_BURN_THRESHOLD,
+    SLObjective,
+    SLOTracker,
+    format_slo,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracker(clock):
+    return SLOTracker(
+        {"query": SLObjective(target=0.9, latency_s=0.1,
+                              fast_window_s=60.0, slow_window_s=600.0)},
+        clock=clock,
+    )
+
+
+class TestObjectives:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLObjective(target=1.0)
+        with pytest.raises(ValueError):
+            SLObjective(latency_s=0.0)
+        with pytest.raises(ValueError):
+            SLObjective(fast_window_s=100.0, slow_window_s=100.0)
+
+    def test_budget(self):
+        assert SLObjective(target=0.99).budget == pytest.approx(0.01)
+
+    def test_parse_spec(self):
+        objectives = SLObjective.parse_spec(
+            "query=0.999@0.050;*=0.99@0.250/30/900"
+        )
+        assert objectives["query"].target == 0.999
+        assert objectives["query"].latency_s == 0.050
+        default = objectives["*"]
+        assert (default.fast_window_s, default.slow_window_s) == (30.0, 900.0)
+
+    def test_parse_spec_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            SLObjective.parse_spec("query")
+
+    def test_unlisted_operation_falls_back_to_default(self, tracker):
+        assert tracker.objective_for("query").target == 0.9
+        assert tracker.objective_for("anything").target == 0.99
+
+
+class TestBurnRates:
+    def test_no_traffic_means_zero_burn(self, tracker):
+        assert tracker.burn_rate("query", 60.0) == 0.0
+
+    def test_all_good_traffic_burns_nothing(self, tracker):
+        for _ in range(50):
+            tracker.record("query", 0.01, ok=True)
+        assert tracker.burn_rate("query", 60.0) == 0.0
+        assert tracker.status("query")["budget_remaining"] == 1.0
+
+    def test_slow_success_is_a_bad_event(self, tracker):
+        tracker.record("query", 5.0, ok=True)  # over the 100ms threshold
+        assert tracker.burn_rate("query", 60.0) == pytest.approx(10.0)
+
+    def test_burn_rate_is_budget_normalized(self, tracker):
+        # 10% bad on a 10% budget = burning at exactly 1.0.
+        for i in range(10):
+            tracker.record("query", 0.01, ok=(i != 0))
+        assert tracker.burn_rate("query", 60.0) == pytest.approx(1.0)
+
+    def test_events_age_out_of_the_window(self, tracker, clock):
+        tracker.record("query", 5.0, ok=False)
+        assert tracker.burn_rate("query", 60.0) > 0
+        clock.advance(61.0)
+        assert tracker.burn_rate("query", 60.0) == 0.0
+        # ... but the slow window still remembers.
+        assert tracker.burn_rate("query", 600.0) > 0
+
+
+class TestReadiness:
+    def test_healthy_with_no_traffic(self, tracker):
+        assert tracker.healthy()
+
+    def test_breach_requires_both_windows(self, tracker, clock):
+        # Saturate the fast window with failures: fast burn is huge but
+        # the slow window is padded with old successes, so no breach.
+        for _ in range(2000):
+            tracker.record("query", 0.01, ok=True)
+        clock.advance(120.0)
+        for _ in range(20):
+            tracker.record("query", 0.01, ok=False)
+        status = tracker.status("query")
+        # All-bad traffic burns at 1/budget — the effective page
+        # threshold (it is clamped there for loose objectives).
+        ceiling = 1.0 / tracker.objective_for("query").budget
+        assert status["fast"]["burn_rate"] == pytest.approx(ceiling)
+        assert status["slow"]["burn_rate"] < 1.0
+        assert not status["breaching"]
+        assert tracker.healthy()
+
+    def test_sustained_failure_breaches(self, tracker):
+        for _ in range(100):
+            tracker.record("query", 0.01, ok=False)
+        status = tracker.status("query")
+        assert status["breaching"]
+        assert status["budget_remaining"] == 0.0
+        assert not tracker.healthy()
+
+    def test_reset_restores_health(self, tracker):
+        for _ in range(100):
+            tracker.record("query", 0.01, ok=False)
+        assert not tracker.healthy()
+        tracker.reset()
+        assert tracker.healthy()
+
+
+class TestSnapshotAndFormat:
+    def test_snapshot_covers_every_operation(self, tracker):
+        tracker.record("query", 0.01, ok=True)
+        tracker.record("create", 0.01, ok=False)
+        snapshot = tracker.snapshot()
+        assert set(snapshot["operations"]) == {"create", "query"}
+        assert snapshot["fast_burn_threshold"] == DEFAULT_FAST_BURN_THRESHOLD
+
+    def test_format_slo_table(self, tracker):
+        tracker.record("query", 0.01, ok=True)
+        for _ in range(100):
+            tracker.record("create", 0.01, ok=False)
+        text = format_slo(tracker.snapshot())
+        lines = text.splitlines()
+        assert "operation" in lines[0]
+        assert any("query" in line and " ok" in line for line in lines)
+        assert any("create" in line and "BREACH" in line for line in lines)
+
+    def test_format_slo_empty(self):
+        assert "no SLO traffic" in format_slo({"operations": {}})
+
+    def test_configure_preserves_default(self, tracker):
+        tracker.configure({"stats": SLObjective(target=0.5)})
+        assert tracker.objective_for("stats").target == 0.5
+        assert tracker.objective_for("other").target == 0.99

@@ -1,0 +1,335 @@
+"""Cross-process trace assembly: wire propagation, the bounded ring,
+exporters, collection endpoints, and the federated-query waterfall."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.client import MCSClient
+from repro.core.service import MCSService
+from repro.db import Database
+from repro.db.replication import Replica, ReplicationPublisher
+from repro.federation import FederatedMCS, LocalMCS, MCSIndexNode
+from repro.obs import trace
+from repro.obs.metrics import get_registry
+from repro.soap.server import SoapServer
+
+pytestmark = pytest.mark.obs
+
+
+def make_server(service=None):
+    service = service or MCSService()
+    return SoapServer(
+        service.handle,
+        description=service.description(),
+        fault_mapper=service.fault_mapper,
+    )
+
+
+def http_get(server, path):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestWireContext:
+    def test_traceparent_round_trip(self):
+        assert trace.parse_traceparent("7at1;7as2") == ("7at1", "7as2")
+        assert trace.parse_traceparent("7at1") == ("7at1", None)
+
+    def test_current_traceparent_tracks_active_span(self):
+        assert trace.current_traceparent() is None
+        with trace.span("outer") as s:
+            assert trace.current_traceparent() == f"{s.trace_id};{s.span_id}"
+        assert trace.current_traceparent() is None
+
+    def test_remote_context_parents_new_roots(self):
+        token = trace.set_remote_context("remote-trace;remote-span")
+        try:
+            with trace.span("adopted") as s:
+                assert s.trace_id == "remote-trace"
+                assert s.parent_id == "remote-span"
+        finally:
+            trace.reset_remote_context(token)
+
+    def test_server_span_parents_onto_client_span(self):
+        trace.clear_spans()
+        with make_server() as server:
+            with MCSClient.connect(server.host, server.port, caller="a") as c:
+                c.ping()
+        client_span = trace.recent_spans(name="client.call")[-1]
+        server_span = trace.recent_spans(name="soap.server")[-1]
+        catalog_span = trace.recent_spans(name="catalog.ping")[-1]
+        assert server_span["trace_id"] == client_span["trace_id"]
+        assert server_span["parent_id"] == client_span["span_id"]
+        # And the catalog span nests under the dispatch span server-side.
+        assert catalog_span["parent_id"] == server_span["span_id"]
+
+    def test_tracing_switch_stops_recording_but_not_metrics(self):
+        trace.clear_spans()
+        trace.set_tracing_enabled(False)
+        try:
+            with trace.span("dark") as s:
+                pass
+            assert s.span_id is None and s.duration is None
+            assert trace.recent_spans(name="dark") == []
+        finally:
+            trace.set_tracing_enabled(True)
+
+
+class TestBoundedRing:
+    def test_sustained_load_stays_bounded_and_counts_drops(self):
+        """The regression gate for the span buffer: under sustained load
+        the ring never grows past its capacity and every eviction is
+        visible on ``mcs_obs_spans_dropped_total``."""
+        def dropped_total():
+            family = get_registry().snapshot().get(
+                "mcs_obs_spans_dropped_total", {"series": []}
+            )
+            return sum(e["value"] for e in family["series"])
+
+        original = trace.span_ring_capacity()
+        trace.set_span_ring_size(64)
+        trace.clear_spans()
+        before = dropped_total()
+        try:
+            for i in range(500):
+                with trace.span("flood", i=str(i)):
+                    pass
+            spans = trace.recent_spans(name="flood")
+            assert len(spans) == 64
+            # The survivors are the most recent, not the earliest.
+            assert spans[-1]["attrs"] == {"i": "499"}
+            assert spans[0]["attrs"] == {"i": "436"}
+            assert dropped_total() - before == 500 - 64
+        finally:
+            trace.set_span_ring_size(original)
+            trace.clear_spans()
+
+    def test_resize_preserves_recent_entries(self):
+        trace.clear_spans()
+        original = trace.span_ring_capacity()
+        try:
+            for i in range(10):
+                with trace.span("keep", i=str(i)):
+                    pass
+            trace.set_span_ring_size(4)
+            kept = trace.recent_spans(name="keep")
+            assert [s["attrs"]["i"] for s in kept] == ["6", "7", "8", "9"]
+        finally:
+            trace.set_span_ring_size(original)
+            trace.clear_spans()
+
+    def test_ring_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            trace.set_span_ring_size(0)
+
+
+class TestAssemblyAndExporters:
+    def make_family(self):
+        trace.clear_spans()
+        with trace.span("root") as root:
+            with trace.span("child-a"):
+                trace.annotate("note-a")
+            with trace.span("child-b"):
+                pass
+        return root, trace.recent_spans(request_id=root.request_id)
+
+    def test_assemble_identifies_roots_children_orphans(self):
+        root, spans = self.make_family()
+        tree = trace.assemble_trace(spans)
+        assert [s["name"] for s in tree["roots"]] == ["root"]
+        assert tree["orphans"] == []
+        kids = [s["name"] for s in tree["children"][root.span_id]]
+        assert kids == ["child-a", "child-b"]
+
+    def test_orphans_are_flagged_not_dropped(self):
+        _, spans = self.make_family()
+        # Simulate a lost parent (evicted ring / unscraped process).
+        spans = [s for s in spans if s["name"] != "root"]
+        tree = trace.assemble_trace(spans)
+        assert {s["name"] for s in tree["orphans"]} == {"child-a", "child-b"}
+        assert tree["roots"] == []
+
+    def test_waterfall_renders_all_spans_time_aligned(self):
+        root, spans = self.make_family()
+        text = trace.format_waterfall(spans, title=root.request_id)
+        assert f"waterfall {root.request_id} (3 spans)" in text
+        for name in ("root", "child-a", "child-b"):
+            assert name in text
+        assert "[note-a]" in text
+        assert "(orphan)" not in text
+
+    def test_waterfall_marks_orphans(self):
+        _, spans = self.make_family()
+        spans = [s for s in spans if s["name"] != "root"]
+        text = trace.format_waterfall(spans)
+        assert text.count("(orphan)") == 2
+
+    def test_chrome_trace_export(self):
+        root, spans = self.make_family()
+        doc = trace.to_chrome_trace(spans)
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        assert all(e["ph"] == "X" for e in events)
+        root_event = next(e for e in events if e["name"] == "root")
+        assert root_event["args"]["trace_id"] == root.trace_id
+        assert root_event["dur"] == pytest.approx(root.duration * 1e6)
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_jsonl_export_one_object_per_line(self):
+        _, spans = self.make_family()
+        lines = trace.to_jsonl(spans).splitlines()
+        assert len(lines) == 3
+        assert {json.loads(line)["name"] for line in lines} == {
+            "root", "child-a", "child-b",
+        }
+
+
+class TestCollectionEndpoints:
+    def test_spans_endpoint_filters_by_request_id(self):
+        trace.clear_spans()
+        with make_server() as server:
+            with MCSClient.connect(server.host, server.port, caller="a") as c:
+                c.ping()
+            rid = trace.recent_spans(name="client.call")[-1]["request_id"]
+            status, body = http_get(server, f"/spans?request_id={rid}")
+            assert status == 200
+            spans = json.loads(body)
+            assert {s["name"] for s in spans} >= {
+                "client.call", "soap.server", "catalog.ping",
+            }
+            assert all(s["request_id"] == rid for s in spans)
+            status, body = http_get(server, "/spans?request_id=nonexistent")
+            assert status == 200 and json.loads(body) == []
+
+    def test_healthz_and_readyz(self):
+        from repro.obs import slo as slo_mod
+
+        # Earlier tests may have burned the process-global tracker's
+        # budget (deliberate fault traffic); readiness is about *this*
+        # window, so start it clean.
+        slo_mod.SLO.reset()
+        with make_server() as server:
+            status, body = http_get(server, "/healthz")
+            assert status == 200 and body == b"ok\n"
+            status, _ = http_get(server, "/readyz")
+            assert status == 200
+
+    def test_slo_endpoint_reports_recorded_operations(self):
+        from repro.obs import slo as slo_mod
+
+        with make_server() as server:
+            with MCSClient.connect(server.host, server.port, caller="a") as c:
+                c.ping()
+            status, body = http_get(server, "/slo")
+            assert status == 200
+            snapshot = json.loads(body)
+            assert "ping" in snapshot["operations"]
+            assert snapshot["operations"]["ping"]["fast"]["total"] >= 1
+        assert slo_mod.SLO.status("ping")["fast"]["total"] >= 1
+
+    def test_profile_endpoint_returns_folded_stacks(self):
+        with make_server() as server:
+            status, body = http_get(server, "/profile?seconds=0.05")
+            assert status == 200
+            assert b"# samples=" in body
+            status, _ = http_get(server, "/profile?seconds=bogus")
+            assert status == 400
+
+
+class TestFederatedWaterfall:
+    """The acceptance scenario: one request id, one waterfall covering
+    client -> server -> two federation members + a replication shipment,
+    with no orphan spans."""
+
+    @pytest.fixture()
+    def topology(self):
+        primary = Database()
+        publisher = ReplicationPublisher(primary)
+        replica = Replica("wf-replica")  # synchronous: ships inline
+        publisher.add_replica(replica)
+        from repro.core.catalog import MetadataCatalog
+
+        main_service = MCSService(MetadataCatalog(primary))
+        main_server = make_server(main_service)
+        main_server.start()
+
+        members, member_servers = {}, []
+        for catalog_id in ("isi", "cern"):
+            member = LocalMCS(catalog_id)
+            server = make_server(member.service)
+            server.start()
+            member.client.close()
+            member.client = MCSClient.connect(
+                server.host, server.port, caller=f"site:{catalog_id}"
+            )
+            member.client.define_attribute("experiment", "string")
+            member.client.create_logical_file(
+                f"{catalog_id}-f1", attributes={"experiment": "pulsar"}
+            )
+            members[catalog_id] = member
+            member_servers.append(server)
+
+        fed = FederatedMCS(MCSIndexNode(), members)
+        fed.refresh_all()
+        try:
+            yield main_server, member_servers, fed
+        finally:
+            for member in members.values():
+                member.client.close()
+            for server in member_servers:
+                server.stop()
+            main_server.stop()
+            publisher.close()
+
+    def test_single_waterfall_across_all_hops(self, topology, capsys):
+        from repro.cli import main as cli_main
+        from repro.core import ObjectQuery
+
+        main_server, member_servers, fed = topology
+        trace.clear_spans()
+
+        with trace.span("scenario") as root:
+            with MCSClient.connect(
+                main_server.host, main_server.port, caller="wf"
+            ) as client:
+                client.create_logical_file("wf-file")  # ships to the replica
+            results = fed.query(
+                ObjectQuery().where("experiment", "=", "pulsar")
+            )
+        assert set(results) == {"isi", "cern"}
+
+        spans = trace.recent_spans(trace_id=root.trace_id)
+        names = [s["name"] for s in spans]
+        assert names.count("fed.subquery") == 2
+        for expected in (
+            "client.call", "soap.server",
+            "catalog.create_logical_file", "repl.ship", "catalog.query",
+        ):
+            assert expected in names, f"{expected} missing from {names}"
+        # Every hop shares the root's trace and nothing is orphaned.
+        assert all(s["trace_id"] == root.trace_id for s in spans)
+        tree = trace.assemble_trace(spans)
+        assert tree["orphans"] == []
+        assert [s["name"] for s in tree["roots"]] == ["scenario"]
+
+        # `mcs trace <request_id>` renders the same story end to end.
+        argv = [
+            "--host", main_server.host, "--port", str(main_server.port),
+            "trace", root.request_id,
+        ]
+        for server in member_servers:
+            argv += ["--endpoint", f"{server.host}:{server.port}"]
+        code = cli_main(argv)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"waterfall {root.request_id}" in out
+        for expected in ("scenario", "soap.server", "repl.ship", "fed.subquery"):
+            assert expected in out
+        assert "(orphan)" not in out
