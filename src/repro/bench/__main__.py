@@ -14,25 +14,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.bench",
         description="Run the bench suite and write a machine-readable record",
     )
-    parser.add_argument("--out", default="BENCH_PR6.json", metavar="FILE")
+    parser.add_argument("--out", default="BENCH_PR7.json", metavar="FILE")
     parser.add_argument("--db-size", type=int, default=400)
     parser.add_argument("--threads", type=int, nargs="+", default=[1, 4])
     parser.add_argument("--duration", type=float, default=0.4)
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4],
+        help="shard counts for the sharded add-rate sweeps",
+    )
     args = parser.parse_args(argv)
 
     config = BenchConfig(
         db_sizes=(args.db_size,),
         thread_counts=tuple(args.threads),
         duration=args.duration,
+        shard_counts=tuple(args.shards),
     )
     record = build_record(config)
     write_record(args.out, record)
     overhead = record["tracing_overhead"]
+    scaling = record["shard_scaling"]
     print(
         f"wrote {args.out}: peak {overhead['peak_rate_off']:.0f} ops/s "
         f"untraced, {overhead['peak_rate_on']:.0f} ops/s traced "
         f"({overhead['overhead']:+.2%} overhead)"
     )
+    if scaling:
+        print(
+            f"sharded add rate (emulated commit): "
+            + ", ".join(
+                f"{k} shard(s) {v:.0f}/s" for k, v in scaling["rates"].items()
+            )
+            + f" — {scaling['speedup']:.2f}x at {scaling['shards']} shards"
+        )
     return 0
 
 

@@ -29,14 +29,38 @@ OpFactory = Callable[[MCSClient, str], Callable[[int], None]]
 
 
 class BenchEnvironment:
-    """One populated MCS instance plus transports for benchmarking."""
+    """One populated MCS instance plus transports for benchmarking.
 
-    def __init__(self, spec: PopulationSpec, soap_latency_s: float = 0.015) -> None:
+    ``shards`` switches the backing store from a single in-memory
+    :class:`MetadataCatalog` to a :class:`repro.shard.ShardedCatalog` of
+    that many engines behind the same service — the PR-7 sharded sweeps.
+    With ``shard_dir`` set each shard is durable (own WAL + fsync), which
+    is the configuration whose commit parallelism the sharded add-rate
+    figures measure.
+    """
+
+    def __init__(
+        self,
+        spec: PopulationSpec,
+        soap_latency_s: float = 0.015,
+        shards: Optional[int] = None,
+        shard_dir: Optional[str] = None,
+    ) -> None:
         self.spec = spec
         # Simulated client↔server network distance for SOAP clients; see
         # HttpTransport.simulated_latency_s and DESIGN.md (substitutions).
         self.soap_latency_s = soap_latency_s
-        self.catalog = MetadataCatalog()
+        self.shards = shards
+        if shards is None:
+            self.catalog = MetadataCatalog()
+        else:
+            from repro.shard import build_sharded_catalog
+
+            self.catalog = build_sharded_catalog(
+                shards,
+                directory=shard_dir,
+                durable_sync=shard_dir is not None,
+            )
         populate_catalog(self.catalog, spec)
         self.service = MCSService(self.catalog)
         self._server: Optional[SoapServer] = None
@@ -55,6 +79,8 @@ class BenchEnvironment:
         if self._server is not None:
             self._server.stop()
             self._server = None
+        if self.shards is not None:
+            self.catalog.close()
 
     # -- clients ---------------------------------------------------------------
 
@@ -89,6 +115,22 @@ class BenchEnvironment:
         return client
 
     # -- operation factories ------------------------------------------------------
+
+    def add_op(self, client: MCSClient, worker_id: str) -> Callable[[int], None]:
+        """Pure add: register a fresh 10-attribute file per iteration.
+
+        Unlike :meth:`add_delete_op` nothing is deleted, so every
+        iteration is exactly one durable create — the op the sharded
+        add-rate sweeps scale across shard counts (deletes would add a
+        scatter locate per iteration and measure the router, not the
+        commit path)."""
+        workload = QueryWorkload(self.spec, seed=hash(worker_id) & 0xFFFF)
+
+        def op(_: int) -> None:
+            name, attributes = workload.add_args(worker_id)
+            client.create_logical_file(name, attributes=attributes)
+
+        return op
 
     def add_delete_op(self, client: MCSClient, worker_id: str) -> Callable[[int], None]:
         """The §7 add operation: add a file with 10 attributes, then

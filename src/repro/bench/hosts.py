@@ -25,8 +25,14 @@ def run_host_groups(
     hosts: int,
     threads_per_host: int = THREADS_PER_HOST,
     duration: float = 0.5,
+    worker_prefix: str = "",
 ) -> RateResult:
-    """Aggregate rate with *hosts* groups of *threads_per_host* clients."""
+    """Aggregate rate with *hosts* groups of *threads_per_host* clients.
+
+    ``worker_prefix`` disambiguates workload streams when one
+    environment serves several sweep series whose op draws fresh
+    logical names (otherwise two series would replay the same names).
+    """
     clients = []
     worker_fns = []
     try:
@@ -34,7 +40,7 @@ def run_host_groups(
             for thread in range(threads_per_host):
                 client = env.make_client(mode)
                 clients.append(client)
-                op = op_factory(client, f"h{host}t{thread}")
+                op = op_factory(client, f"{worker_prefix}h{host}t{thread}")
                 weight = getattr(op, "ops_per_iteration", 1)
                 worker_fns.append(
                     lambda stop, op=op, weight=weight: count_until_stopped(

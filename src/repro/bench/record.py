@@ -7,7 +7,7 @@ and an observability snapshot (span-ring accounting, SLO status).  The
 result is one JSON document CI archives per PR, so throughput or tail
 latency regressions show up as a diff instead of an anecdote.
 
-Run with ``python -m repro.bench --out BENCH_PR6.json``.
+Run with ``python -m repro.bench --out BENCH_PR7.json``.
 """
 
 from __future__ import annotations
@@ -19,6 +19,10 @@ from repro.bench.report import obs_breakdown
 from repro.bench.sweeps import (
     BenchConfig,
     clear_environments,
+    clear_sharded_environments,
+    shard_scaling_summary,
+    sweep_figure5_sharded,
+    sweep_figure8_sharded,
     sweep_tracing_ablation,
 )
 from repro.obs.metrics import get_registry
@@ -97,7 +101,14 @@ def tracing_overhead(rows: list[dict[str, Any]]) -> dict[str, Any]:
 
 
 def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
-    """Run the PR-6 bench suite and assemble the record document."""
+    """Run the PR-7 bench suite and assemble the record document.
+
+    On top of the PR-6 sections this adds the sharded add-rate sweeps
+    (figure 5/8 with a shard-count axis) and their scaling summary; the
+    headline number is the ``emulated`` series speedup at the largest
+    shard count (see ``BenchConfig.shard_commit_ms`` for the
+    disk-per-server emulation methodology).
+    """
     from repro.obs import slo as _slo
     from repro.obs import trace as _trace
 
@@ -109,15 +120,28 @@ def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
         ablation = sweep_tracing_ablation(config)
     finally:
         clear_environments()
+    try:
+        fig5_sharded = sweep_figure5_sharded(config)
+        fig8_sharded = sweep_figure8_sharded(config)
+    finally:
+        clear_sharded_environments()
     snapshot = get_registry().snapshot()
     return {
-        "bench": "PR6",
+        "bench": "PR7",
         "config": {
             "db_sizes": list(config.db_sizes),
             "thread_counts": list(config.thread_counts),
             "duration_s": config.duration,
+            "shard_counts": list(config.shard_counts),
+            "shard_threads": config.shard_threads,
+            "shard_commit_ms": config.shard_commit_ms,
         },
-        "sweeps": {"tracing_ablation": ablation},
+        "sweeps": {
+            "tracing_ablation": ablation,
+            "figure5_sharded": fig5_sharded,
+            "figure8_sharded": fig8_sharded,
+        },
+        "shard_scaling": shard_scaling_summary(fig5_sharded),
         "tracing_overhead": tracing_overhead(ablation),
         "soap_request_seconds": latency_summary(),
         "layer_breakdown": obs_breakdown(snapshot),

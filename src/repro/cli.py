@@ -3,6 +3,7 @@
 Server::
 
     mcs serve [--host H] [--port P] [--data-dir DIR] [--granularity G]
+              [--shards N]
 
 Client (all commands take ``--host``/``--port``; default localhost:8686)::
 
@@ -104,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="durable database directory (default: in-memory)")
     serve.add_argument("--granularity", default="none",
                        choices=("none", "service", "object"))
+    serve.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard the catalog across N engines behind one service "
+             "(with --data-dir: one shard-NNN subdirectory per engine)",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the project-specific concurrency/protocol linter"
@@ -309,8 +315,20 @@ def _serve(args: argparse.Namespace) -> int:
     from repro.soap import SoapServer
 
     _profiler.run_from_env()
-    db = Database(directory=args.data_dir) if args.data_dir else None
-    catalog = MetadataCatalog(db) if db is not None else None
+    db = None
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit("--shards must be at least 1")
+        from repro.shard import build_sharded_catalog
+
+        catalog = build_sharded_catalog(
+            args.shards,
+            directory=args.data_dir,
+            durable_sync=args.data_dir is not None,
+        )
+    else:
+        db = Database(directory=args.data_dir) if args.data_dir else None
+        catalog = MetadataCatalog(db) if db is not None else None
     service = MCSService(catalog, granularity=args.granularity)
     server = SoapServer(
         service.handle,
@@ -331,7 +349,10 @@ def _serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
-        if db is not None:
+        if args.shards is not None:
+            catalog.checkpoint()
+            catalog.close()
+        elif db is not None:
             db.checkpoint()
             db.close()
     return 0

@@ -235,6 +235,136 @@ class MetadataCatalog:
             (collection_id, modifier, _now(), file.id),
         )
 
+    def export_file_state(
+        self, name: str, version: Optional[int] = None
+    ) -> dict[str, Any]:
+        """Portable snapshot of a file and its dependent metadata.
+
+        Collections and views are referenced by *name* so the state can
+        be re-imported into another engine (a shard, a standby, an
+        export/import pipeline) where database ids differ.
+        """
+        file = self.get_file(name, version)
+        conn = self._conn
+        collection = None
+        if file.collection_id is not None:
+            collection = conn.execute(
+                "SELECT name FROM logical_collection WHERE id = ?",
+                (file.collection_id,),
+            ).scalar()
+        annotations = conn.execute(
+            "SELECT annotation, creator, created FROM annotation "
+            "WHERE object_type = 'file' AND object_id = ? ORDER BY id",
+            (file.id,),
+        ).fetchall()
+        transformations = conn.execute(
+            "SELECT description, created FROM transformation "
+            "WHERE file_id = ? ORDER BY id",
+            (file.id,),
+        ).fetchall()
+        acl = conn.execute(
+            "SELECT principal, permissions FROM acl_entry "
+            "WHERE object_type = 'file' AND object_id = ?",
+            (file.id,),
+        ).fetchall()
+        views = conn.execute(
+            "SELECT v.name FROM view_member m "
+            "JOIN logical_view v ON v.id = m.view_id "
+            "WHERE m.member_type = 'file' AND m.member_id = ?",
+            (file.id,),
+        ).fetchall()
+        return {
+            "file": {
+                "name": file.name,
+                "version": file.version,
+                "data_type": file.data_type,
+                "valid": file.valid,
+                "collection": collection,
+                "container_id": file.container_id,
+                "container_service": file.container_service,
+                "master_copy": file.master_copy,
+                "creator": file.creator,
+                "created": file.created,
+                "last_modifier": file.last_modifier,
+                "audit_enabled": file.audit_enabled,
+            },
+            "attributes": self.get_attributes(ObjectType.FILE, name, file.version),
+            "annotations": [list(row) for row in annotations],
+            "transformations": [list(row) for row in transformations],
+            "acl": [list(row) for row in acl],
+            "views": [row[0] for row in views],
+        }
+
+    def import_file_state(
+        self, state: dict[str, Any], modifier: Optional[str] = None
+    ) -> int:
+        """Recreate a file exported by :meth:`export_file_state`.
+
+        Creation metadata is preserved; the file gets a fresh database
+        id, ``modified`` is stamped now and ``last_modifier`` becomes
+        ``modifier`` (imports are modifications, e.g. cross-shard moves).
+        """
+        meta = state["file"]
+        conn = self._conn
+        collection_id = None
+        if meta.get("collection") is not None:
+            collection_id = self._collection_id(conn, meta["collection"])
+        try:
+            result = conn.execute(
+                "INSERT INTO logical_file (name, version, data_type, valid, "
+                "collection_id, container_id, container_service, master_copy, "
+                "creator, created, last_modifier, modified, audit_enabled) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    meta["name"],
+                    meta["version"],
+                    meta.get("data_type"),
+                    meta.get("valid", True),
+                    collection_id,
+                    meta.get("container_id"),
+                    meta.get("container_service"),
+                    meta.get("master_copy"),
+                    meta.get("creator"),
+                    meta.get("created"),
+                    modifier if modifier is not None else meta.get("last_modifier"),
+                    _now(),
+                    bool(meta.get("audit_enabled", False)),
+                ),
+            )
+        except IntegrityError as exc:
+            raise DuplicateObjectError(
+                f"logical file {meta['name']!r} version {meta['version']} "
+                "already exists"
+            ) from exc
+        file_id = result.lastrowid
+        if state.get("attributes"):
+            self._set_attributes(conn, ObjectType.FILE, file_id, state["attributes"])
+        for text, creator, created in state.get("annotations", ()):
+            conn.execute(
+                "INSERT INTO annotation (object_type, object_id, annotation, "
+                "creator, created) VALUES ('file', ?, ?, ?, ?)",
+                (file_id, text, creator, created),
+            )
+        for description, created in state.get("transformations", ()):
+            conn.execute(
+                "INSERT INTO transformation (file_id, description, created) "
+                "VALUES (?, ?, ?)",
+                (file_id, description, created),
+            )
+        for principal, bits in state.get("acl", ()):
+            conn.execute(
+                "INSERT INTO acl_entry (object_type, object_id, principal, "
+                "permissions) VALUES ('file', ?, ?, ?)",
+                (file_id, principal, bits),
+            )
+        for view_name in state.get("views", ()):
+            view_id = conn.execute(
+                "SELECT id FROM logical_view WHERE name = ?", (view_name,)
+            ).scalar()
+            if view_id is not None:
+                self._add_view_member(conn, view_id, ObjectType.FILE, file_id)
+        return file_id
+
     def delete_file(self, name: str, version: Optional[int] = None) -> None:
         """Delete a logical file and its dependent metadata."""
         file = self.get_file(name, version)
@@ -728,6 +858,29 @@ class MetadataCatalog:
         token.store(tuple(names))
         return names
 
+    def query_rows(self, query: ObjectQuery) -> list[tuple[Any, str]]:
+        """``(order_key, name)`` pairs for an ordered query.
+
+        The scatter/gather router needs each shard's sort key alongside
+        the name to k-way merge per-shard streams; cached under the same
+        strict-consistency contract as :meth:`query`.
+        """
+        if query.order is None:
+            return [(name, name) for name in self.query(query)]
+        conn = self._conn
+        tables = query.touched_tables()
+        generations = self.cache.generations.snapshot(tables)
+        sql, params = query.to_sql(self, select_key=True)
+        token = self.cache.lookup_query(
+            conn, (sql, params), tables, generations=generations
+        )
+        if token.hit:
+            return list(token.value)
+        rows = conn.execute(sql, params).fetchall()
+        pairs = [(row[1], row[0]) for row in rows]
+        token.store(tuple(pairs))
+        return pairs
+
     def explain_query(self, query: ObjectQuery) -> list[str]:
         """Physical plan of an attribute query (EXPLAIN), for tuning."""
         sql, params = query.to_sql(self)
@@ -1052,7 +1205,13 @@ class MetadataCatalog:
         action: str,
         detail: str,
         actor: str,
+        name: Optional[str] = None,
+        version: Optional[int] = None,
     ) -> None:
+        # ``name``/``version`` identify the object independently of its
+        # database id so routing layers (repro.shard) can place the
+        # record on the owning backend; a single engine ignores them.
+        del name, version
         self._conn.execute(
             "INSERT INTO audit_record (object_type, object_id, action, detail, "
             "actor, created) VALUES (?, ?, ?, ?, ?, ?)",

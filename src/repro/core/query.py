@@ -140,15 +140,27 @@ class ObjectQuery:
 
     # -- SQL generation -----------------------------------------------------
 
-    def to_sql(self, catalog: "MetadataCatalog") -> tuple[str, tuple]:
+    def to_sql(
+        self, catalog: "MetadataCatalog", select_key: bool = False
+    ) -> tuple[str, tuple]:
         """Translate to (sql, params).
 
         Join order matters for the physical plan: the first user-attribute
         condition is the base table (its (attr_id, value) index supplies
         the candidate set); the object table and remaining attribute
         conditions join against it.
+
+        ``select_key=True`` also selects the ``order_by`` column, so a
+        scatter/gather router can k-way merge per-shard streams on the
+        sort key.  (With DISTINCT the result is distinct over the
+        *(name, key)* pair — identical to name-distinct unless versions
+        of one name differ in the key column.)
         """
         table = _OBJECT_TABLE[self.object_type]
+        select_cols = "obj.name"
+        if select_key and self.order is not None:
+            order_col = _predefined_column(self.object_type, self.order[0])
+            select_cols = f"obj.name, obj.{order_col}"
         # Placeholders bind by lexical position, so parameters are collected
         # in textual order: JOIN clauses first, then the WHERE clause.
         join_params: list[Any] = []
@@ -168,7 +180,7 @@ class ObjectQuery:
 
         if attr_infos:
             first_cond, first_def = attr_infos[0]
-            sql = [f"SELECT DISTINCT obj.name FROM attribute_value a0"]
+            sql = [f"SELECT DISTINCT {select_cols} FROM attribute_value a0"]
             wheres.append("a0.attr_id = ?")
             where_params.append(first_def.id)
             wheres.append("a0.object_type = ?")
@@ -193,7 +205,7 @@ class ObjectQuery:
                 join_params.append(definition.id)
                 join_params.extend(cond_params)
         else:
-            sql = [f"SELECT obj.name FROM {table} obj"]
+            sql = [f"SELECT {select_cols} FROM {table} obj"]
 
         for condition in self.predefined:
             column = _predefined_column(self.object_type, condition.attribute)

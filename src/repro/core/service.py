@@ -410,9 +410,16 @@ class MCSService:
         action: str,
         detail: str,
         caller: str,
+        name: Optional[str] = None,
+        version: Optional[int] = None,
     ) -> None:
         if enabled or self.audit_default:
-            self.catalog.record_audit(object_type, object_id, action, detail, caller)
+            # name/version let a sharded catalog place the record on the
+            # object's owning backend; a single engine ignores them.
+            self.catalog.record_audit(
+                object_type, object_id, action, detail, caller,
+                name=name, version=version,
+            )
 
     # -- method registration ---------------------------------------------------------
 
@@ -462,7 +469,8 @@ class MCSService:
             attributes=attributes,
         )
         self._audit(
-            ObjectType.FILE, file_id, audit_enabled, "create", f"name={name}", caller
+            ObjectType.FILE, file_id, audit_enabled, "create", f"name={name}",
+            caller, name=name, version=version,
         )
         return {"id": file_id, "name": name, "version": version}
 
@@ -478,7 +486,8 @@ class MCSService:
         )
         file = self.catalog.get_file(name, version)
         self._audit(
-            ObjectType.FILE, file.id, file.audit_enabled, "read", "", caller
+            ObjectType.FILE, file.id, file.audit_enabled, "read", "", caller,
+            name=name, version=file.version,
         )
         return {
             "id": file.id,
@@ -533,7 +542,8 @@ class MCSService:
         file = self.catalog.get_file(name, version)
         self.catalog.delete_file(name, version)
         self._audit(
-            ObjectType.FILE, file.id, file.audit_enabled, "delete", "", caller
+            ObjectType.FILE, file.id, file.audit_enabled, "delete", "", caller,
+            name=name,
         )
         return True
 
@@ -835,7 +845,7 @@ class MCSService:
         )
         self._audit(
             ObjectType.COLLECTION, collection_id, audit_enabled, "create",
-            f"name={name}", caller,
+            f"name={name}", caller, name=name,
         )
         return collection_id
 
@@ -896,7 +906,8 @@ class MCSService:
             audit_enabled=audit_enabled, attributes=attributes,
         )
         self._audit(
-            ObjectType.VIEW, view_id, audit_enabled, "create", f"name={name}", caller
+            ObjectType.VIEW, view_id, audit_enabled, "create", f"name={name}",
+            caller, name=name,
         )
         return view_id
 

@@ -22,6 +22,7 @@ import os
 import time
 from typing import Any, Optional
 
+from repro import faults
 from repro.db.errors import RecoveryError
 from repro.db.schema import Column, ForeignKey, IndexDef, TableDef
 from repro.db.storage import Catalog
@@ -208,9 +209,19 @@ class WriteAheadLog:
         self._txn_counter = 0
 
     def append_commit(self, records: list[dict]) -> None:
-        """Durably append one committed transaction."""
+        """Durably append one committed transaction.
+
+        Injection site ``db.wal:append`` (see :mod:`repro.faults`): a
+        ``latency`` rule emulates a slower commit device — the sharded
+        benchmarks use it to model one-disk-per-shard deployments — and
+        an ``error`` rule models a write failure before anything reaches
+        the log.
+        """
         if not records:
             return
+        injection = faults.check("db.wal", "append")
+        if injection is not None:
+            injection.fail()
         start = time.perf_counter() if OBS.enabled else 0.0
         self._txn_counter += 1
         txn_id = self._txn_counter

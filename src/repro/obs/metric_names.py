@@ -63,6 +63,10 @@ DECLARED_METRICS: frozenset[str] = frozenset(
         # -- retries (repro.resilience.retry) -----------------------------
         "mcs_retry_attempts_total",
         "mcs_retry_backoff_seconds",
+        # -- sharding (repro.shard) ---------------------------------------
+        "mcs_shard_2pc_total",
+        "mcs_shard_merge_seconds",
+        "mcs_shard_ops_total",
         # -- SLOs (repro.obs.slo) -----------------------------------------
         "mcs_slo_burn_rate",
         "mcs_slo_error_budget_remaining",

@@ -1,0 +1,46 @@
+"""Stable hash routing: which shard owns a logical object.
+
+Routing must be a pure function of the object's identity — every router
+process (and every restart) has to agree without coordination, so Python's
+randomised ``hash()`` is out; we use CRC-32 of the UTF-8 name.
+
+Placement rule (collection affinity): a file that lives in a collection
+hashes by its *collection* name, so all files of a collection co-locate
+on one shard — ``list_collection`` and collection-scoped queries stay
+single-shard.  A file outside any collection hashes by its own name.
+Nested subcollections hash independently (re-parenting a collection must
+not strand its files), so affinity is per-collection, not per-subtree.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+
+class ShardMap:
+    """Deterministic name → shard routing for an N-shard catalog."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+
+    def shard_for_name(self, name: str) -> int:
+        """Stable shard index for a bare logical name."""
+        return zlib.crc32(name.encode("utf-8")) % self.n_shards
+
+    def shard_for_collection(self, collection: str) -> int:
+        """Shard owning a collection's files (the collection row itself
+        is replicated to every shard)."""
+        return self.shard_for_name(collection)
+
+    def shard_for_file(self, name: str, collection: Optional[str]) -> int:
+        """Owning shard of a file: its collection's shard when it has
+        one (affinity), otherwise its own name's shard."""
+        if collection is not None:
+            return self.shard_for_collection(collection)
+        return self.shard_for_name(name)
+
+    def all_shards(self) -> range:
+        return range(self.n_shards)

@@ -1,0 +1,54 @@
+"""K-way merge for scatter/gather queries.
+
+Each shard answers an ordered query with its local rows already sorted
+by the order column; the router rewrites the per-shard query to
+``LIMIT offset+limit OFFSET 0`` (every shard must over-fetch, because
+the global offset may fall entirely inside one shard) and this module
+merges the streams and applies the *global* offset/limit.
+
+Tie-breaking: shards sort only by the order key, so rows with equal keys
+arrive in engine order within a shard.  The merge is stable across
+inputs (``heapq.merge`` yields from earlier iterables first on ties),
+which makes the combined order deterministic given the per-shard
+streams: equal keys come out in (shard index, shard-local position)
+order.  Single-engine SQL leaves equal-key order unspecified too, so
+this is exactly as strong a contract — and property tests pin it down.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional, Sequence
+
+
+def _null_last_key(pair: tuple[Any, Any]) -> tuple[int, Any]:
+    # SQL NULLs sort before values in the engine's ORDER BY; mirror that
+    # so a NULL order column merges the same way it sorts locally.
+    key = pair[0]
+    return (0, "") if key is None else (1, key)
+
+
+def merge_sorted(
+    shard_results: Sequence[Sequence[tuple[Any, Any]]],
+    descending: bool = False,
+    offset: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> list[Any]:
+    """Merge per-shard ``(order_key, name)`` streams into one name list.
+
+    Every input sequence must already be sorted by ``order_key`` in the
+    requested direction.  Returns names with the global ``offset`` and
+    ``limit`` applied after the merge.
+    """
+    if limit is not None and limit <= 0:
+        return []
+    merged = heapq.merge(*shard_results, key=_null_last_key, reverse=descending)
+    skip = offset or 0
+    out: list[Any] = []
+    for position, (_key, name) in enumerate(merged):
+        if position < skip:
+            continue
+        out.append(name)
+        if limit is not None and len(out) >= limit:
+            break
+    return out

@@ -1,0 +1,288 @@
+"""Two-phase commit for cross-shard writes, layered on the per-shard WAL.
+
+A cross-shard write (a file move between collections on different
+shards, or a multi-shard atomic bulk batch) must not leave the catalog
+half-applied when a process dies between the per-shard steps.  The
+protocol reuses the durability the engine already has:
+
+* **Prepare** — each participant shard gets a row in its local
+  ``shard_prepare`` table holding the full operation list for that shard
+  (method name + JSON-encoded kwargs).  The insert is an ordinary
+  committed write, so it reaches the shard's WAL and survives restart.
+* **Decision** — the coordinator appends ``{"txn": ..., "decision":
+  "commit"}`` to its own append-only decision log (``twopc.log`` in the
+  shard root) and fsyncs.  This is the commit point.
+* **Apply** — each shard executes its prepared operations and deletes
+  its prepare row.  Non-transactional ("plain") operations are wrapped
+  in one local engine transaction *together with* the prepare-row
+  delete, so apply-then-forget is atomic per shard; bulk operations
+  manage their own transaction and the prepare row is deleted after
+  (replaying a completed bulk raises ``DuplicateObjectError``, which
+  recovery treats as already-applied).
+
+**Recovery** (run when a ``ShardedCatalog`` opens over existing shard
+directories): scan every shard's ``shard_prepare`` table and consult the
+decision log.  Presumed abort — a prepare record whose transaction has
+no ``commit`` decision is discarded; one with a decision is re-applied.
+Either way no prepare records remain, so recovery converges in one pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import uuid
+from typing import Any, Callable, Optional
+
+from repro import faults as _faults
+from repro.core.catalog import MetadataCatalog
+from repro.core.errors import DuplicateObjectError
+from repro.db.schema import Column, TableDef
+from repro.db.types import ColumnType
+from repro.db.wal import decode_value, encode_value
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_2PC_TOTAL = _metrics.counter(
+    "mcs_shard_2pc_total",
+    "Two-phase commits by outcome",
+    labels=("outcome",),
+)
+
+PREPARE_TABLE = TableDef(
+    "shard_prepare",
+    [
+        Column("id", ColumnType.INTEGER, nullable=False, autoincrement=True),
+        Column("txn", ColumnType.STRING, nullable=False),
+        Column("ops", ColumnType.STRING, nullable=False),
+    ],
+    primary_key=("id",),
+    unique=[("txn",)],
+)
+
+# Methods that open their own engine transaction; they cannot run inside
+# the apply-phase wrapper transaction.
+_SELF_TRANSACTIONAL = frozenset({"bulk_create_files", "bulk_set_attributes"})
+
+# Lock set covering every operation the apply phase may replay; acquired
+# up front (sorted, via lock_tables) so apply never upgrades read → write
+# mid-transaction — same discipline as the catalog's bulk handlers.
+_APPLY_READ_TABLES = ("attribute_def", "logical_collection", "logical_view")
+_APPLY_WRITE_TABLES = (
+    "acl_entry",
+    "annotation",
+    "attribute_value",
+    "audit_record",
+    "logical_file",
+    "shard_prepare",
+    "transformation",
+    "view_member",
+)
+
+
+def encode_tree(value: Any) -> Any:
+    """JSON-safe deep encoding of op kwargs (WAL value tags at leaves)."""
+    if isinstance(value, dict):
+        return {k: encode_tree(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_tree(v) for v in value]
+    return encode_value(value)
+
+
+def decode_tree(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "t" in value and "v" in value and len(value) == 2:
+            return decode_value(value)
+        return {k: decode_tree(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_tree(v) for v in value]
+    return value
+
+
+class ShardOp:
+    """One prepared operation: a MetadataCatalog method call by name."""
+
+    __slots__ = ("method", "kwargs")
+
+    def __init__(self, method: str, kwargs: dict[str, Any]) -> None:
+        self.method = method
+        self.kwargs = kwargs
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"m": self.method, "k": encode_tree(self.kwargs)}
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> "ShardOp":
+        return cls(data["m"], decode_tree(data["k"]))
+
+
+class TwoPhaseCoordinator:
+    """Coordinates prepare/decide/apply across participant shards."""
+
+    def __init__(
+        self,
+        shards: list[MetadataCatalog],
+        directory: Optional[str] = None,
+    ) -> None:
+        self.shards = shards
+        self.directory = directory
+        self._log_lock = threading.Lock()
+        self._decisions: dict[str, str] = {}
+        if directory is not None:
+            self._log_path: Optional[str] = os.path.join(directory, "twopc.log")
+            self._load_decisions()
+        else:
+            self._log_path = None
+        for catalog in shards:
+            catalog.db.create_table(PREPARE_TABLE, if_not_exists=True)
+
+    # -- decision log ------------------------------------------------------
+
+    def _load_decisions(self) -> None:
+        if self._log_path is None or not os.path.exists(self._log_path):
+            return
+        with open(self._log_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                self._decisions[record["txn"]] = record["decision"]
+
+    def _record_decision(self, txn: str, decision: str) -> None:
+        with self._log_lock:
+            self._decisions[txn] = decision
+            if self._log_path is not None:
+                with open(self._log_path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps({"txn": txn, "decision": decision}) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+
+    # -- the protocol ------------------------------------------------------
+
+    def run(
+        self,
+        ops_by_shard: dict[int, list[ShardOp]],
+        validate: Optional[Callable[[], None]] = None,
+    ) -> dict[int, list[Any]]:
+        """Run one distributed transaction; returns per-shard op results.
+
+        ``validate`` runs before any prepare record is written — a
+        dry-run hook so doomed transactions abort without touching disk.
+        """
+        txn = uuid.uuid4().hex
+        participants = sorted(ops_by_shard)
+        with _trace.span("shard.2pc", txn=txn, shards=len(participants)):
+            if validate is not None:
+                validate()
+            prepared: list[int] = []
+            try:
+                for idx in participants:
+                    injection = _faults.check("shard.2pc", f"prepare:{idx}")
+                    if injection is not None:
+                        injection.fail()
+                    self._write_prepare(idx, txn, ops_by_shard[idx])
+                    prepared.append(idx)
+                injection = _faults.check("shard.2pc", "decide")
+                if injection is not None:
+                    injection.fail()
+            except Exception:
+                # No commit decision was recorded: presumed abort.  Clean
+                # up best-effort; recovery discards whatever remains.
+                self._abort(txn, prepared)
+                raise
+            self._record_decision(txn, "commit")
+            results: dict[int, list[Any]] = {}
+            for idx in participants:
+                injection = _faults.check("shard.2pc", f"apply:{idx}")
+                if injection is not None:
+                    injection.fail()
+                results[idx] = self._apply(idx, txn, ops_by_shard[idx])
+            _2PC_TOTAL.labels("committed").inc()
+            return results
+
+    def _abort(self, txn: str, prepared: list[int]) -> None:
+        self._record_decision(txn, "abort")
+        for idx in prepared:
+            try:
+                self._delete_prepare(idx, txn)
+            except Exception:  # noqa: BLE001 - recovery will discard it
+                pass
+        _2PC_TOTAL.labels("aborted").inc()
+
+    # -- participant-side steps -------------------------------------------
+
+    def _write_prepare(self, idx: int, txn: str, ops: list[ShardOp]) -> None:
+        payload = json.dumps([op.to_wire() for op in ops])
+        conn = self.shards[idx]._conn
+        conn.execute(
+            "INSERT INTO shard_prepare (txn, ops) VALUES (?, ?)", (txn, payload)
+        )
+
+    def _delete_prepare(self, idx: int, txn: str) -> None:
+        self.shards[idx]._conn.execute(
+            "DELETE FROM shard_prepare WHERE txn = ?", (txn,)
+        )
+
+    def _apply(self, idx: int, txn: str, ops: list[ShardOp]) -> list[Any]:
+        """Execute a shard's prepared ops and retire the prepare row."""
+        catalog = self.shards[idx]
+        if any(op.method in _SELF_TRANSACTIONAL for op in ops):
+            # Bulk ops manage their own transaction; run them as-is and
+            # retire the record afterwards.  A replay that finds the work
+            # already done surfaces as DuplicateObjectError below.
+            results = [getattr(catalog, op.method)(**op.kwargs) for op in ops]
+            self._delete_prepare(idx, txn)
+            return results
+        conn = catalog._conn
+        conn.begin()
+        try:
+            conn.lock_tables(read=_APPLY_READ_TABLES, write=_APPLY_WRITE_TABLES)
+            results = [getattr(catalog, op.method)(**op.kwargs) for op in ops]
+            conn.execute("DELETE FROM shard_prepare WHERE txn = ?", (txn,))
+            conn.commit()
+            return results
+        except Exception:
+            conn.rollback()
+            raise
+
+    def pending(self) -> dict[int, list[str]]:
+        """Outstanding prepare-record txn ids per shard (normally empty).
+
+        Anything still here after :meth:`recover` is a bug — the chaos
+        lane asserts on it."""
+        out: dict[int, list[str]] = {}
+        for idx, catalog in enumerate(self.shards):
+            rows = catalog._conn.execute(
+                "SELECT txn FROM shard_prepare"
+            ).fetchall()
+            if rows:
+                out[idx] = sorted(row[0] for row in rows)
+        return out
+
+    # -- restart recovery --------------------------------------------------
+
+    def recover(self) -> dict[str, int]:
+        """Replay or discard leftover prepare records; returns counts."""
+        replayed = discarded = 0
+        for idx, catalog in enumerate(self.shards):
+            rows = catalog._conn.execute(
+                "SELECT txn, ops FROM shard_prepare"
+            ).fetchall()
+            for txn, payload in rows:
+                if self._decisions.get(txn) == "commit":
+                    ops = [ShardOp.from_wire(d) for d in json.loads(payload)]
+                    try:
+                        self._apply(idx, txn, ops)
+                    except DuplicateObjectError:
+                        # The apply completed before the crash but the
+                        # prepare row's delete did not (bulk path only).
+                        self._delete_prepare(idx, txn)
+                    replayed += 1
+                    _2PC_TOTAL.labels("recovered_commit").inc()
+                else:
+                    self._delete_prepare(idx, txn)
+                    discarded += 1
+                    _2PC_TOTAL.labels("recovered_abort").inc()
+        return {"replayed": replayed, "discarded": discarded}

@@ -54,6 +54,13 @@ def execute_bulk(
     batch behaves identically in-process and over the wire — each item
     runs in order, and a failing item becomes an inline fault instead of
     aborting its successors.
+
+    Reply item *i* always describes operation *i* of the request — the
+    submission-order contract.  Layers that split a batch into
+    sub-batches (the shard router fans a ``BulkRequest`` out per shard)
+    must reassemble their per-item results back into the caller's
+    positions so this invariant survives end to end;
+    ``tests/shard/test_bulk_reassembly.py`` pins it.
     """
     items: list[BulkItem] = []
     for method, args in operations:

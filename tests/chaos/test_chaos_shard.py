@@ -1,0 +1,221 @@
+"""Chaos: 2PC coordinator/participant kills with crash-restart recovery.
+
+Cross-shard writes (file moves between collections on different shards,
+atomic multi-shard bulks) run a two-phase commit over durable shard
+directories.  This lane kills the protocol at each step with seeded
+fault plans, then reopens the catalog over the same directories and
+asserts the recovery invariants:
+
+* a kill *before* the decision is a presumed abort — the write never
+  happened, no prepare records survive restart;
+* a kill *after* the decision is replayed on restart — the write lands
+  exactly once, with every attribute intact;
+* a same-shard move never engages 2PC, so even a kill-everything plan
+  cannot touch it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, active
+from repro.core import ObjectType
+from repro.shard import build_sharded_catalog
+from repro.shard.twopc import ShardOp
+from repro.soap.errors import TransportError
+
+pytestmark = pytest.mark.chaos
+
+COLLECTIONS = tuple(f"col{i}" for i in range(6))
+ATTRS = {"owner": "chaos", "size": 42}
+
+
+def open_catalog(directory, shards):
+    catalog = build_sharded_catalog(
+        shards, directory=str(directory), durable_sync=True
+    )
+    return catalog
+
+
+def prepare(catalog):
+    catalog.define_attribute("owner", "string")
+    catalog.define_attribute("size", "int")
+    for name in COLLECTIONS:
+        catalog.create_collection(name)
+    return catalog
+
+
+def cross_shard_pair(catalog):
+    """A (name, collection) whose move is guaranteed to cross shards."""
+    for i in range(64):
+        name = f"mv-{i:02d}"
+        home = catalog.map.shard_for_file(name, None)
+        for coll in COLLECTIONS:
+            if catalog.map.shard_for_file(name, coll) != home:
+                return name, coll
+    raise AssertionError("no cross-shard (name, collection) pair found")
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_coordinator_killed_before_decision_presumed_abort(
+    tmp_path, no_faults, shards
+):
+    catalog = prepare(open_catalog(tmp_path, shards))
+    name, coll = cross_shard_pair(catalog)
+    catalog.create_file(name, attributes=ATTRS)
+
+    plan = FaultPlan.parse("seed=11;shard.2pc:decide=error@1.0")
+    with active(plan):
+        with pytest.raises(TransportError):
+            catalog.move_file_to_collection(name, coll)
+
+    # No decision was logged: the move never happened.
+    assert name not in catalog.list_collection(coll)
+    assert catalog.get_attributes(ObjectType.FILE, name) == ATTRS
+    catalog.close()
+
+    reopened = open_catalog(tmp_path, shards)
+    try:
+        assert reopened.recovery_stats == {"replayed": 0, "discarded": 0}
+        assert reopened.coordinator.pending() == {}
+        assert name not in reopened.list_collection(coll)
+        assert reopened.get_attributes(ObjectType.FILE, name) == ATTRS
+    finally:
+        reopened.close()
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_participant_killed_mid_prepare_aborts_cleanly(
+    tmp_path, no_faults, shards
+):
+    catalog = prepare(open_catalog(tmp_path, shards))
+    name, coll = cross_shard_pair(catalog)
+    catalog.create_file(name, attributes=ATTRS)
+    source = catalog.map.shard_for_file(name, None)
+    target = catalog.map.shard_for_file(name, coll)
+    # Kill the *second* prepare: the first participant has already
+    # durably prepared, so abort must clean its record up.
+    later = max(source, target)
+
+    plan = FaultPlan.parse(f"seed=12;shard.2pc:prepare:{later}=error@1.0")
+    with active(plan):
+        with pytest.raises(TransportError):
+            catalog.move_file_to_collection(name, coll)
+    assert catalog.coordinator.pending() == {}
+    assert catalog.get_attributes(ObjectType.FILE, name) == ATTRS
+    catalog.close()
+
+    reopened = open_catalog(tmp_path, shards)
+    try:
+        assert reopened.recovery_stats == {"replayed": 0, "discarded": 0}
+        assert name not in reopened.list_collection(coll)
+        assert reopened.file_exists(name)
+    finally:
+        reopened.close()
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_participant_killed_after_decision_is_replayed_on_restart(
+    tmp_path, no_faults, shards
+):
+    catalog = prepare(open_catalog(tmp_path, shards))
+    name, coll = cross_shard_pair(catalog)
+    catalog.create_file(name, attributes=ATTRS)
+    source = catalog.map.shard_for_file(name, None)
+    target = catalog.map.shard_for_file(name, coll)
+    # Participants apply in index order; killing the larger index leaves
+    # exactly one prepared-but-unapplied shard behind the commit decision.
+    later = max(source, target)
+
+    plan = FaultPlan.parse(f"seed=13;shard.2pc:apply:{later}=error@1.0")
+    with active(plan):
+        with pytest.raises(TransportError):
+            catalog.move_file_to_collection(name, coll)
+    catalog.close()
+
+    reopened = open_catalog(tmp_path, shards)
+    try:
+        # The commit decision survived, so recovery finishes the move.
+        assert reopened.recovery_stats == {"replayed": 1, "discarded": 0}
+        assert reopened.coordinator.pending() == {}
+        assert name in reopened.list_collection(coll)
+        assert reopened.get_attributes(ObjectType.FILE, name) == ATTRS
+        # Exactly one copy: the source shard's delete was applied too.
+        assert sum(
+            1 for shard in reopened.shards if shard.file_exists(name)
+        ) == 1
+    finally:
+        reopened.close()
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_orphaned_prepare_without_decision_is_discarded(
+    tmp_path, no_faults, shards
+):
+    """A prepare record that never reached a decision (crash between the
+    participant insert and the coordinator log append) is thrown away."""
+    catalog = prepare(open_catalog(tmp_path, shards))
+    catalog.create_file("orphan-src", attributes=ATTRS)
+    catalog.coordinator._write_prepare(
+        0,
+        "txn-never-decided",
+        [ShardOp("create_file", {"name": "orphan-new"})],
+    )
+    assert catalog.coordinator.pending() == {0: ["txn-never-decided"]}
+    catalog.close()
+
+    reopened = open_catalog(tmp_path, shards)
+    try:
+        assert reopened.recovery_stats == {"replayed": 0, "discarded": 1}
+        assert reopened.coordinator.pending() == {}
+        assert not reopened.file_exists("orphan-new")
+        assert reopened.file_exists("orphan-src")
+    finally:
+        reopened.close()
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_atomic_cross_shard_bulk_killed_at_decision_commits_nothing(
+    tmp_path, no_faults, shards
+):
+    catalog = prepare(open_catalog(tmp_path, shards))
+    # Enough fresh names to guarantee the batch spans shards.
+    entries = [
+        {"name": f"blk-{i:02d}", "attributes": {"owner": "chaos"}}
+        for i in range(8)
+    ]
+    homes = {catalog.map.shard_for_file(e["name"], None) for e in entries}
+    assert len(homes) > 1, "batch routed to one shard; widen the name set"
+
+    plan = FaultPlan.parse("seed=14;shard.2pc:decide=error@1.0")
+    with active(plan):
+        with pytest.raises(TransportError):
+            catalog.bulk_create_files(entries, atomic=True)
+    for entry in entries:
+        assert not catalog.file_exists(entry["name"])
+    catalog.close()
+
+    reopened = open_catalog(tmp_path, shards)
+    try:
+        assert reopened.recovery_stats == {"replayed": 0, "discarded": 0}
+        for entry in entries:
+            assert not reopened.file_exists(entry["name"])
+    finally:
+        reopened.close()
+
+
+def test_same_shard_move_never_engages_2pc(tmp_path, no_faults):
+    """With one shard every move is local: a kill-everything 2PC plan
+    cannot touch it because the protocol never runs."""
+    catalog = prepare(open_catalog(tmp_path, 1))
+    catalog.create_file("local", attributes=ATTRS)
+
+    plan = FaultPlan.parse("seed=15;shard.2pc:*=error@1.0")
+    with active(plan):
+        catalog.move_file_to_collection("local", "col0")
+    try:
+        assert "local" in catalog.list_collection("col0")
+        assert catalog.get_attributes(ObjectType.FILE, "local") == ATTRS
+        assert catalog.coordinator.pending() == {}
+    finally:
+        catalog.close()

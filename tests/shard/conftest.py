@@ -1,0 +1,7 @@
+"""Sharded-equivalence lane (run alone with ``-m shard``).
+
+Every module here carries ``pytestmark = pytest.mark.shard``.  The lane
+proves the tentpole contract of ``repro.shard``: N engines behind one
+:class:`ShardedCatalog` are observationally indistinguishable from a
+single :class:`MetadataCatalog` given the same operation sequence.
+"""

@@ -1,0 +1,195 @@
+"""Submission-order reassembly of sharded bulk batches.
+
+The shard router splits one bulk batch into per-shard sub-batches, runs
+them independently, and must put every per-item result back at the
+caller's position — reply item *i* always describes entry *i*, exactly
+as :func:`repro.soap.transport.execute_bulk` documents.  These tests pin
+that contract at both layers:
+
+* catalog level — ``ShardedCatalog.bulk_create_files`` vs the single
+  engine, with failures planted at known submission positions so a
+  mis-reassembled router would visibly shift them;
+* service level — the same batch through ``MCSClient.in_process`` over
+  an ``MCSService`` wrapping the sharded catalog (``bulk_create_files``
+  and a mixed ``client.bulk()`` pipeline), so the wire items and the
+  resolved ``BulkResult`` handles keep the same positions end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MCSClient, MCSService, MetadataCatalog, ObjectType
+from repro.core.errors import (
+    DuplicateObjectError,
+    InvalidAttributeError,
+    ObjectNotFoundError,
+)
+from repro.shard import build_sharded_catalog
+
+pytestmark = pytest.mark.shard
+
+SHARDS = 4
+
+
+def _prepare(catalog):
+    catalog.define_attribute("tag", "string")
+    for name in ("colA", "colB"):
+        catalog.create_collection(name)
+    catalog.create_file("dup-early", collection="colA")
+    catalog.create_file("dup-late", collection="colB")
+    return catalog
+
+
+def _entries():
+    """Twelve entries with four failures at fixed submission positions.
+
+    Position 2 and 10 are duplicates of pre-existing files, position 5
+    names a collection that does not exist, position 8 uses an undefined
+    attribute.  The successful names are spread by hash across shards,
+    so reassembly genuinely crosses sub-batch boundaries.
+    """
+    entries = [
+        {"name": f"bulk-{i:02d}", "collection": ("colA", "colB", None)[i % 3],
+         "attributes": {"tag": f"t{i}"}}
+        for i in range(12)
+    ]
+    entries[2] = {"name": "dup-early", "collection": "colA"}
+    entries[5] = {"name": "bulk-05", "collection": "no-such-coll"}
+    entries[8] = {"name": "bulk-08", "attributes": {"bogus": 1}}
+    entries[10] = {"name": "dup-late", "collection": "colB"}
+    return entries
+
+
+FAILING_POSITIONS = {
+    2: DuplicateObjectError,
+    5: ObjectNotFoundError,
+    8: InvalidAttributeError,
+    10: DuplicateObjectError,
+}
+
+
+@pytest.fixture()
+def sharded():
+    catalog = _prepare(build_sharded_catalog(SHARDS))
+    yield catalog
+    catalog.close()
+
+
+def test_entries_actually_span_shards(sharded):
+    """The fixture batch must fan out, or the tests prove nothing."""
+    homes = {
+        sharded.map.shard_for_file(e["name"], e.get("collection"))
+        for e in _entries()
+    }
+    assert len(homes) > 1, f"batch routed to a single shard: {homes}"
+
+
+def test_nonatomic_outcomes_keep_submission_positions(sharded):
+    single = _prepare(MetadataCatalog())
+    entries = _entries()
+    got = sharded.bulk_create_files(entries, atomic=False)
+    expected = single.bulk_create_files(entries, atomic=False)
+    assert len(got) == len(entries)
+
+    for position, (ok, value) in enumerate(got):
+        if position in FAILING_POSITIONS:
+            assert not ok, f"position {position} should have failed"
+            assert isinstance(value, FAILING_POSITIONS[position]), (
+                f"position {position}: {type(value).__name__}"
+            )
+        else:
+            assert ok, f"position {position} failed: {value!r}"
+
+    # Same ok/error-type vector as the single engine (ids are
+    # shard-local and deliberately not compared).
+    vector = [(ok, None if ok else type(v).__name__) for ok, v in got]
+    base = [(ok, None if ok else type(v).__name__) for ok, v in expected]
+    assert vector == base
+
+    # Every successful item landed as *its* entry: right collection
+    # membership, right attributes, findable through the router.
+    for (ok, _), entry in zip(got, entries):
+        if not ok:
+            continue
+        assert sharded.file_exists(entry["name"])
+        coll = entry.get("collection")
+        if coll is not None:
+            assert entry["name"] in sharded.list_collection(coll)
+        attrs = sharded.get_attributes(ObjectType.FILE, entry["name"])
+        for attr, value in entry.get("attributes", {}).items():
+            assert attrs.get(attr) == value
+
+
+def test_within_batch_duplicate_fails_at_the_later_position(sharded):
+    single = _prepare(MetadataCatalog())
+    entries = [
+        {"name": "twin", "collection": "colA"},
+        {"name": "solo-a"},
+        {"name": "twin", "collection": "colB"},
+        {"name": "solo-b"},
+    ]
+    got = sharded.bulk_create_files(entries, atomic=False)
+    expected = single.bulk_create_files(entries, atomic=False)
+    assert [ok for ok, _ in got] == [ok for ok, _ in expected] == [
+        True, True, False, True,
+    ]
+    assert isinstance(got[2][1], DuplicateObjectError)
+    # The surviving twin is the first submission: it kept colA.
+    assert "twin" in sharded.list_collection("colA")
+    assert "twin" not in sharded.list_collection("colB")
+
+
+def test_atomic_cross_shard_failure_commits_nothing(sharded):
+    entries = _entries()
+    with pytest.raises(DuplicateObjectError):
+        sharded.bulk_create_files(entries, atomic=True)
+    for entry in entries:
+        name = entry["name"]
+        if name.startswith("bulk-"):
+            assert not sharded.file_exists(name), f"{name} leaked"
+
+
+# -- through the service and client -------------------------------------------
+
+
+@pytest.fixture()
+def client(sharded):
+    service = MCSService(catalog=sharded)
+    c = MCSClient.in_process(service, caller="/O=Grid/CN=bulk")
+    yield c
+    c.close()
+
+
+def test_wire_items_keep_submission_positions(client):
+    reply = client.bulk_create_files(_entries(), atomic=False)
+    items = reply["items"]
+    assert len(items) == 12
+    assert reply["ok"] == 8
+    for position, item in enumerate(items):
+        if position in FAILING_POSITIONS:
+            assert not item["ok"]
+            assert item["code"] == FAILING_POSITIONS[position].fault_code
+        else:
+            assert item["ok"]
+            assert isinstance(item["result"]["id"], int)
+
+
+def test_mixed_pipeline_resolves_handles_in_order(client):
+    client.create_logical_file("seeded", collection="colA")
+    with client.bulk() as batch:
+        handles = [
+            batch.call("delete_logical_file", name="seeded"),
+            batch.call("delete_logical_file", name="never-existed"),
+            batch.call("create_logical_file", name="piped-a"),
+            batch.call("create_logical_file", name="piped-a"),
+            batch.call("create_logical_file", name="piped-b",
+                       collection="no-such-coll"),
+            batch.call("get_attributes", object_type="file", name="piped-a"),
+        ]
+    assert [h.ok for h in handles] == [True, False, True, False, False, True]
+    assert isinstance(handles[1].error, ObjectNotFoundError)
+    assert isinstance(handles[3].error, DuplicateObjectError)
+    assert isinstance(handles[4].error, ObjectNotFoundError)
+    with pytest.raises(ObjectNotFoundError):
+        client.get_logical_file("piped-b")

@@ -1,0 +1,248 @@
+"""Stateful property test: sharded catalogs vs one single-engine catalog.
+
+The headline suite of the sharding PR.  Four catalogs run side by side —
+a plain :class:`MetadataCatalog` and :class:`ShardedCatalog` instances
+over 1, 2 and 4 engines — and receive the identical randomized sequence
+of creates, moves, deletes, attribute writes, bulk batches and queries.
+After every step all four must agree on
+
+* success/failure of the operation (same exception type on failure),
+* per-item bulk outcomes in submission order,
+* query answers, including ``order_by``/``limit``/``offset`` paging,
+* observable aggregate state (file counts, per-file attributes,
+  collection listings).
+
+Shard-local row ids and timestamps are the documented divergences and
+are deliberately never compared.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+import pytest
+
+from repro.core import MetadataCatalog, ObjectType
+from repro.core.query import ObjectQuery
+from repro.shard import build_sharded_catalog
+
+pytestmark = pytest.mark.shard
+
+SHARD_COUNTS = (1, 2, 4)
+COLLECTIONS = ("colA", "colB", "colC", "colD", "colE", "colF")
+STR_VALUES = ("x", "y", "z")
+INT_VALUES = (1, 2, 3)
+
+
+def _prepare(catalog):
+    catalog.define_attribute("a_str", "string")
+    catalog.define_attribute("a_int", "int")
+    for name in COLLECTIONS:
+        catalog.create_collection(name)
+    return catalog
+
+
+class ShardedEquivalenceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.single = _prepare(MetadataCatalog())
+        self.sharded = [
+            _prepare(build_sharded_catalog(n)) for n in SHARD_COUNTS
+        ]
+        self.names: list[str] = []
+        self._counter = 0
+
+    def teardown(self):
+        for catalog in self.sharded:
+            catalog.close()
+
+    @property
+    def catalogs(self):
+        return [self.single, *self.sharded]
+
+    def _fresh_name(self) -> str:
+        self._counter += 1
+        return f"file-{self._counter:04d}"
+
+    def _pick(self, data_index: int) -> str:
+        """An existing name, or a never-created one on an empty pool."""
+        if not self.names:
+            return "no-such-file"
+        return self.names[data_index % len(self.names)]
+
+    def _all_agree(self, op, fn):
+        """Run ``fn(catalog)`` everywhere; all outcomes must match.
+
+        Returns the single-engine outcome ``(ok, value_or_exc)``.
+        """
+        outcomes = []
+        for catalog in self.catalogs:
+            try:
+                outcomes.append((True, fn(catalog)))
+            except Exception as exc:  # noqa: BLE001 - oracle comparison
+                outcomes.append((False, exc))
+        ok0, value0 = outcomes[0]
+        for shards, (ok, value) in zip(SHARD_COUNTS, outcomes[1:]):
+            assert ok == ok0, (
+                f"{op}: single ok={ok0} but {shards}-shard ok={ok} "
+                f"({value0!r} vs {value!r})"
+            )
+            if not ok0:
+                assert type(value) is type(value0), (
+                    f"{op}: single raised {type(value0).__name__} but "
+                    f"{shards}-shard raised {type(value).__name__}"
+                )
+            elif isinstance(value0, (list, tuple, dict, str, int, bool)):
+                assert value == value0, (
+                    f"{op}: single returned {value0!r} but "
+                    f"{shards}-shard returned {value!r}"
+                )
+        return outcomes[0]
+
+    # -- rules --------------------------------------------------------------
+
+    @rule(
+        fresh=st.booleans(),
+        coll=st.sampled_from(COLLECTIONS + (None,)),
+        s=st.sampled_from(STR_VALUES),
+        i=st.sampled_from(INT_VALUES),
+        pick=st.integers(min_value=0),
+    )
+    def create(self, fresh, coll, s, i, pick):
+        name = self._fresh_name() if fresh or not self.names else self._pick(pick)
+        ok, _ = self._all_agree(
+            f"create {name!r}",
+            lambda c: bool(
+                c.create_file(
+                    name,
+                    collection=coll,
+                    attributes={"a_str": s, "a_int": i},
+                )
+            ),
+        )
+        if ok:
+            self.names.append(name)
+
+    @rule(pick=st.integers(min_value=0), coll=st.sampled_from(COLLECTIONS + (None,)))
+    def move(self, pick, coll):
+        name = self._pick(pick)
+        self._all_agree(
+            f"move {name!r} -> {coll!r}",
+            lambda c: c.move_file_to_collection(name, coll),
+        )
+
+    @rule(pick=st.integers(min_value=0))
+    def delete(self, pick):
+        name = self._pick(pick)
+        ok, _ = self._all_agree(
+            f"delete {name!r}", lambda c: c.delete_file(name)
+        )
+        if ok and name in self.names:
+            self.names.remove(name)
+
+    @rule(
+        pick=st.integers(min_value=0),
+        s=st.sampled_from(STR_VALUES),
+        i=st.sampled_from(INT_VALUES),
+    )
+    def set_attrs(self, pick, s, i):
+        name = self._pick(pick)
+        self._all_agree(
+            f"set_attributes {name!r}",
+            lambda c: c.set_attributes(
+                ObjectType.FILE, name, {"a_str": s, "a_int": i}
+            ),
+        )
+
+    @rule(
+        n=st.integers(min_value=1, max_value=5),
+        poison=st.booleans(),
+        coll=st.sampled_from(COLLECTIONS),
+        s=st.sampled_from(STR_VALUES),
+    )
+    def bulk_create(self, n, poison, coll, s):
+        """Non-atomic bulk with interleaved failures: the per-item ok
+        vector (in submission order) must match the single engine's."""
+        entries = [
+            {
+                "name": self._fresh_name(),
+                "collection": COLLECTIONS[(k + n) % len(COLLECTIONS)],
+                "attributes": {"a_str": s},
+            }
+            for k in range(n)
+        ]
+        if poison and self.names:
+            entries.insert(
+                len(entries) // 2,
+                {"name": self.names[0], "collection": coll,
+                 "attributes": {"a_str": s}},
+            )
+        per_catalog = [
+            c.bulk_create_files(entries, atomic=False) for c in self.catalogs
+        ]
+        base = [(ok, type(val).__name__ if not ok else None)
+                for ok, val in per_catalog[0]]
+        for shards, outcomes in zip(SHARD_COUNTS, per_catalog[1:]):
+            got = [(ok, type(val).__name__ if not ok else None)
+                   for ok, val in outcomes]
+            assert got == base, (
+                f"bulk outcomes diverge on {shards} shards: {got} != {base}"
+            )
+        for (ok, _), entry in zip(per_catalog[0], entries):
+            if ok:
+                self.names.append(entry["name"])
+
+    @rule(
+        s=st.sampled_from(STR_VALUES + (None,)),
+        descending=st.booleans(),
+        limit=st.sampled_from((None, 1, 2, 3, 10)),
+        offset=st.sampled_from((None, 1, 2, 5)),
+    )
+    def ordered_query(self, s, descending, limit, offset):
+        def run(catalog):
+            query = ObjectQuery().order_by("name", descending=descending)
+            if s is not None:
+                query = query.where("a_str", "=", s)
+            return catalog.query(query.limit(limit).offset(offset))
+
+        self._all_agree(f"ordered query a_str={s!r}", run)
+
+    @rule(s=st.sampled_from(STR_VALUES), coll=st.sampled_from(COLLECTIONS))
+    def unordered_query(self, s, coll):
+        self._all_agree(
+            f"collection query {coll!r}",
+            lambda c: sorted(
+                c.query(
+                    ObjectQuery(collection=coll).where("a_str", "=", s)
+                )
+            ),
+        )
+
+    @rule(coll=st.sampled_from(COLLECTIONS))
+    def list_collection(self, coll):
+        self._all_agree(
+            f"list_collection {coll!r}", lambda c: c.list_collection(coll)
+        )
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def same_file_count(self):
+        counts = [c.stats()["files"] for c in self.catalogs]
+        assert len(set(counts)) == 1, f"file counts diverge: {counts}"
+
+    @invariant()
+    def same_attributes(self):
+        for name in self.names[-3:]:
+            base = self.single.get_attributes(ObjectType.FILE, name)
+            for shards, catalog in zip(SHARD_COUNTS, self.sharded):
+                got = catalog.get_attributes(ObjectType.FILE, name)
+                assert got == base, (
+                    f"{name!r} attrs diverge on {shards} shards: "
+                    f"{got} != {base}"
+                )
+
+
+TestShardedEquivalence = ShardedEquivalenceMachine.TestCase
+TestShardedEquivalence.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)

@@ -131,3 +131,49 @@ class TestParser:
         args = build_parser().parse_args(["serve", "--granularity", "object"])
         assert args.command == "serve"
         assert args.granularity == "object"
+
+    def test_serve_shards_option(self):
+        args = build_parser().parse_args(["serve", "--shards", "4"])
+        assert args.shards == 4
+        assert build_parser().parse_args(["serve"]).shards is None
+
+
+class TestShardedServe:
+    """The `mcs serve --shards N` stack: CLI client against a SOAP
+    server whose service wraps a sharded catalog."""
+
+    @pytest.fixture(scope="class")
+    def sharded_server(self):
+        from repro.shard import build_sharded_catalog
+
+        catalog = build_sharded_catalog(4)
+        service = MCSService(catalog)
+        with SoapServer(
+            service.handle, fault_mapper=service.fault_mapper
+        ) as srv:
+            yield srv
+        catalog.close()
+
+    def test_lifecycle_spans_shards(self, sharded_server, capsys):
+        code, _ = run_cli(
+            sharded_server, capsys, "create-collection", "sh-coll"
+        )
+        assert code == 0
+        names = [f"sh-f{i}" for i in range(8)]
+        for name in names:
+            code, _ = run_cli(
+                sharded_server, capsys, "add-file", name,
+                "--collection", "sh-coll", "--data-type", "hdf",
+            )
+            assert code == 0
+        code, members = run_cli(
+            sharded_server, capsys, "list-collection", "sh-coll"
+        )
+        assert code == 0 and sorted(members) == names
+        code, record = run_cli(sharded_server, capsys, "get-file", "sh-f3")
+        assert code == 0 and record["name"] == "sh-f3"
+        code, found = run_cli(
+            sharded_server, capsys, "query", "--field", "data_type=hdf",
+            "--order-by", "name",
+        )
+        assert code == 0 and found == names
