@@ -9,7 +9,7 @@ over SOAP/HTTP, demonstrating the whole public API surface in one script.
 
 import datetime as dt
 
-from repro.core import MCSClient, MCSService, ObjectQuery
+from repro.core import ClientConfig, MCSClient, MCSService, ObjectQuery
 from repro.soap import SoapServer
 
 
@@ -92,7 +92,8 @@ def main() -> None:
     # 8. The same service over SOAP/HTTP (the paper's deployment model).
     # ------------------------------------------------------------------
     with SoapServer(service.handle, fault_mapper=service.fault_mapper) as server:
-        remote = MCSClient.connect(*server.endpoint, caller="/O=Grid/CN=Bob")
+        config = ClientConfig(caller="/O=Grid/CN=Bob", timeout_s=10.0)
+        remote = MCSClient.connect(*server.endpoint, config)
         print("over SOAP:",
               remote.query(ObjectQuery().where("experiment", "=", "science")))
         print("stats:", remote.stats())

@@ -530,9 +530,10 @@ class UnspannedDispatchRule(Rule):
     id = "MCS010"
     name = "dispatch-under-span"
     invariant = (
-        "SoapServer request dispatch (do_POST) and the federation/"
-        "replication/RLS ship paths must run inside a `with span(...)` "
-        "block so cross-process traces have no holes"
+        "SOAP request dispatch (SoapDispatcher.dispatch, shared by the "
+        "threaded and asyncio front ends) and the federation/replication/"
+        "RLS ship paths must run inside a `with span(...)` block so "
+        "cross-process traces have no holes"
     )
 
     #: (class name or None for any, method name) pairs that must span.
@@ -541,7 +542,7 @@ class UnspannedDispatchRule(Rule):
             ("FederatedMCS", "_subquery"),
             ("Replica", "_ship"),
             ("PeriodicUpdater", "tick"),
-            (None, "do_POST"),
+            ("SoapDispatcher", "dispatch"),
         }
     )
 
@@ -583,6 +584,88 @@ class UnspannedDispatchRule(Rule):
                     "a span; wrap the body in `with span(...)` so the hop "
                     "appears in assembled traces",
                 )
+
+
+# --------------------------------------------------------------------------
+# MCS011 — no blocking calls inside coroutine code
+# --------------------------------------------------------------------------
+
+
+@register
+class BlockingInCoroutineRule(Rule):
+    """One blocking call in a coroutine stalls every connection.
+
+    The asyncio front end multiplexes thousands of connections on one
+    event loop; anything that blocks the loop — ``time.sleep``, a
+    synchronous ``open``/``socket`` dial, an ``RWLock`` acquisition —
+    freezes all of them at once.  Blocking work belongs on the worker
+    pool (``run_in_executor``); coroutines await ``asyncio.sleep`` and
+    the stream APIs.  Nested ``def``/``lambda`` bodies are excluded:
+    they are how work is handed to the executor.
+    """
+
+    id = "MCS011"
+    name = "no-blocking-in-coroutine"
+    invariant = (
+        "coroutine bodies must not call time.sleep, synchronous open/"
+        "socket I/O, or RWLock acquire_read/acquire_write — blocking "
+        "work goes through run_in_executor, waiting through asyncio.sleep"
+    )
+
+    #: Attribute-chain suffixes of known loop-blocking calls.
+    _BLOCKING_CHAINS = (
+        ("time", "sleep"),
+        ("socket", "socket"),
+        ("socket", "create_connection"),
+        ("socket", "create_server"),
+    )
+    #: Attribute names that block regardless of the receiver.
+    _BLOCKING_ATTRS = ("acquire_read", "acquire_write")
+
+    @staticmethod
+    def _iter_coroutine_nodes(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Nodes executed *by the coroutine itself* — nested function and
+        lambda bodies run elsewhere (typically on the executor) and are
+        each checked on their own if they are coroutines."""
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _blocking_call(self, node: ast.Call) -> Optional[str]:
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            return "open()"
+        chain = _attr_chain(node.func)
+        if not chain:
+            return None
+        if chain[-1] in self._BLOCKING_ATTRS:
+            return f"{chain[-1]}()"
+        for suffix in self._BLOCKING_CHAINS:
+            if tuple(chain[-len(suffix):]) == suffix:
+                return ".".join(suffix) + "()"
+        return None
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in self._iter_coroutine_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                what = self._blocking_call(node)
+                if what is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"blocking {what} inside coroutine {func.name}(); "
+                        "it stalls the event loop for every connection — "
+                        "use asyncio equivalents or run_in_executor",
+                    )
 
 
 # --------------------------------------------------------------------------

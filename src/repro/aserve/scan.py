@@ -1,0 +1,225 @@
+"""Hot-path envelope codecs: a streaming scanner and response templates.
+
+The generic SOAP codec builds a full ElementTree for every envelope.
+For the request shapes that dominate real traffic — one ``<Call>`` with
+scalar arguments, produced by our own clients — that tree is pure
+overhead: the grammar is fixed, so a single left-to-right scan over the
+bytes recovers the same :class:`~repro.soap.envelope.ParsedRequest`
+without allocating a tree.  Symmetrically, the responses hot operations
+produce (``None``/bool/int/str results, lists of names from ``query``)
+serialize into byte templates that skip ElementTree entirely.
+
+Both paths are **accelerators, not a second protocol**: they handle a
+deliberately narrow grammar and return ``None`` for anything else, and
+the dispatcher falls back to the full codec.  Anything that could parse
+differently from ElementTree — entity escapes (``&``), carriage returns
+(whose text expat normalizes), nested values, foreign namespaces — is a
+bail-out, so the fast path can never *disagree* with the slow path, only
+decline.  ``tests/aserve/test_scan.py`` fuzzes that equivalence, and the
+template side asserts byte-equality with ``build_response``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from repro.obs.metrics import OBS, counter as _obs_counter
+from repro.soap.envelope import ParsedRequest
+
+_SCANS = _obs_counter(
+    "mcs_aserve_scan_total",
+    "Envelope-scanner outcomes (hit = full-tree XML parse avoided)",
+    labels=("outcome",),
+)
+_SCAN_HIT = _SCANS.labels("hit")
+_SCAN_MISS = _SCANS.labels("miss")
+_TEMPLATES = _obs_counter(
+    "mcs_aserve_template_responses_total",
+    "Responses serialized from a pre-built template (no ElementTree)",
+)
+
+_ENVELOPE_OPEN = b'<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">'
+_HEADER_ELEMENT = re.compile(
+    rb"<([A-Za-z][A-Za-z0-9]*)(?: />|>([^<]*)</([A-Za-z][A-Za-z0-9]*)>)"
+)
+_CALL_OPEN = re.compile(rb'<Call method="([^"<>\n\t]*)"(?:( />)|>)')
+_ARG_OPEN = re.compile(rb'<arg name="([^"<>\n\t]*)">')
+_VALUE = re.compile(
+    rb'<value t="(null|boolean|int|double|string)"(?: />|>([^<]*)</value>)'
+)
+
+
+def _decode_scalar(kind: bytes, text: Optional[bytes]) -> Any:
+    raw = text or b""
+    if kind == b"null":
+        return None
+    if kind == b"boolean":
+        return raw == b"1"
+    if kind == b"int":
+        return int(raw)  # ValueError bails to the full parse
+    if kind == b"double":
+        return float(raw)
+    return raw.decode("utf-8")
+
+
+def scan_request(payload: bytes) -> Optional[ParsedRequest]:
+    """Decode a single-``<Call>``, scalar-args envelope without a tree.
+
+    Returns ``None`` whenever the payload strays from the narrow grammar
+    our own clients emit — the caller then runs the full XML parse.
+    """
+    try:
+        parsed = _scan(payload)
+    except (ValueError, UnicodeDecodeError):
+        parsed = None
+    if OBS.enabled:
+        (_SCAN_HIT if parsed is not None else _SCAN_MISS).inc()
+    return parsed
+
+
+def _scan(payload: bytes) -> Optional[ParsedRequest]:
+    # Entities would need unescaping; expat normalizes \r out of text.
+    # Either would make the scan disagree with the tree parse: bail.
+    if b"&" in payload or b"\r" in payload:
+        return None
+    if not payload.startswith(_ENVELOPE_OPEN):
+        return None
+    pos = len(_ENVELOPE_OPEN)
+    request_id: Optional[str] = None
+    headers: dict[str, str] = {}
+    if payload.startswith(b"<Header>", pos):
+        pos += len(b"<Header>")
+        while not payload.startswith(b"</Header>", pos):
+            match = _HEADER_ELEMENT.match(payload, pos)
+            if match is None:
+                return None
+            name_b, text, close = match.group(1), match.group(2), match.group(3)
+            if close is not None and close != name_b:
+                return None
+            name = name_b.decode("ascii")
+            if name == "RequestId":
+                request_id = None if text is None else text.decode("utf-8")
+            else:
+                headers[name] = (text or b"").decode("utf-8")
+            pos = match.end()
+        pos += len(b"</Header>")
+    if not payload.startswith(b"<Body>", pos):
+        return None
+    pos += len(b"<Body>")
+    call = _CALL_OPEN.match(payload, pos)
+    if call is None:
+        return None
+    method = call.group(1).decode("utf-8")
+    if not method:
+        return None
+    pos = call.end()
+    args: dict[str, Any] = {}
+    if call.group(2) is None:  # open tag: scan <arg> children
+        while not payload.startswith(b"</Call>", pos):
+            arg = _ARG_OPEN.match(payload, pos)
+            if arg is None:
+                return None
+            pos = arg.end()
+            value = _VALUE.match(payload, pos)
+            if value is None:
+                return None
+            args[arg.group(1).decode("utf-8")] = _decode_scalar(
+                value.group(1), value.group(2)
+            )
+            pos = value.end()
+            if not payload.startswith(b"</arg>", pos):
+                return None
+            pos += len(b"</arg>")
+        pos += len(b"</Call>")
+    if payload[pos:] != b"</Body></Envelope>":
+        return None
+    return ParsedRequest(
+        calls=[(method, args)],
+        bulk=False,
+        request_id=request_id,
+        headers=headers,
+    )
+
+
+# --------------------------------------------------------------------------
+# Pre-serialized response templates
+# --------------------------------------------------------------------------
+
+_RESP_PREFIX = (
+    b'<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">'
+    b"<Body><Response>"
+)
+_RESP_SUFFIX = b"</Response></Body></Envelope>"
+
+_NONE_RESPONSE = _RESP_PREFIX + b'<result t="null" />' + _RESP_SUFFIX
+_TRUE_RESPONSE = _RESP_PREFIX + b'<result t="boolean">1</result>' + _RESP_SUFFIX
+_FALSE_RESPONSE = _RESP_PREFIX + b'<result t="boolean">0</result>' + _RESP_SUFFIX
+_EMPTY_STR_RESPONSE = _RESP_PREFIX + b'<result t="string" />' + _RESP_SUFFIX
+_EMPTY_LIST_RESPONSE = _RESP_PREFIX + b'<result t="array" />' + _RESP_SUFFIX
+
+#: Characters ElementTree would escape in text — a string containing any
+#: of them takes the generic path so template bytes stay identical to
+#: ``build_response`` output.
+_UNSAFE_TEXT = re.compile(r"[&<>\r]")
+
+
+def _safe_text(value: str) -> bool:
+    return _UNSAFE_TEXT.search(value) is None
+
+
+def fast_response(result: Any) -> Optional[bytes]:
+    """Template-serialize a hot result shape; ``None`` → generic codec.
+
+    Byte-for-byte identical to
+    :func:`repro.soap.envelope.build_response` for every shape it
+    accepts (pinned by ``tests/aserve/test_scan.py``).
+    """
+    body = _render(result)
+    if body is not None and OBS.enabled:
+        _TEMPLATES.inc()
+    return body
+
+
+def _render(result: Any) -> Optional[bytes]:
+    if result is None:
+        return _NONE_RESPONSE
+    if result is True:
+        return _TRUE_RESPONSE
+    if result is False:
+        return _FALSE_RESPONSE
+    if isinstance(result, int):
+        return (
+            _RESP_PREFIX
+            + b'<result t="int">'
+            + str(result).encode("ascii")
+            + b"</result>"
+            + _RESP_SUFFIX
+        )
+    if isinstance(result, str):
+        if not result:
+            return _EMPTY_STR_RESPONSE
+        if not _safe_text(result):
+            return None
+        return (
+            _RESP_PREFIX
+            + b'<result t="string">'
+            + result.encode("utf-8")
+            + b"</result>"
+            + _RESP_SUFFIX
+        )
+    if isinstance(result, list):
+        if not result:
+            return _EMPTY_LIST_RESPONSE
+        parts = [_RESP_PREFIX, b'<result t="array">']
+        for item in result:
+            # The hot list shape is query()'s list of logical names.
+            if not isinstance(item, str) or isinstance(item, bool):
+                return None
+            if not item or not _safe_text(item):
+                return None
+            parts.append(b'<item t="string">' + item.encode("utf-8") + b"</item>")
+        parts.append(b"</result>")
+        parts.append(_RESP_SUFFIX)
+        return b"".join(parts)
+    return None

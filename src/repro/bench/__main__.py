@@ -14,13 +14,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.bench",
         description="Run the bench suite and write a machine-readable record",
     )
-    parser.add_argument("--out", default="BENCH_PR7.json", metavar="FILE")
+    parser.add_argument("--out", default="BENCH_PR8.json", metavar="FILE")
     parser.add_argument("--db-size", type=int, default=400)
     parser.add_argument("--threads", type=int, nargs="+", default=[1, 4])
     parser.add_argument("--duration", type=float, default=0.4)
     parser.add_argument(
         "--shards", type=int, nargs="+", default=[1, 2, 4],
         help="shard counts for the sharded add-rate sweeps",
+    )
+    parser.add_argument(
+        "--conn-base", type=int, default=50,
+        help="idle keep-alive herd against the threaded server "
+        "(the asyncio front end carries 10x this)",
     )
     args = parser.parse_args(argv)
 
@@ -29,6 +34,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         thread_counts=tuple(args.threads),
         duration=args.duration,
         shard_counts=tuple(args.shards),
+        conn_base=args.conn_base,
     )
     record = build_record(config)
     write_record(args.out, record)
@@ -46,6 +52,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{k} shard(s) {v:.0f}/s" for k, v in scaling["rates"].items()
             )
             + f" — {scaling['speedup']:.2f}x at {scaling['shards']} shards"
+        )
+    conn = record["connection_scaling"]
+    if conn:
+        print(
+            f"connection scaling: async holds {conn['async_connections']} "
+            f"keep-alive conns vs {conn['threaded_connections']} threaded "
+            f"({conn['connection_ratio']:.0f}x) at p99 "
+            f"{conn['async_p99_ms']:.2f}ms vs {conn['threaded_p99_ms']:.2f}ms "
+            f"({conn['p99_ratio']:.2f}x)"
         )
     return 0
 

@@ -7,7 +7,7 @@ and an observability snapshot (span-ring accounting, SLO status).  The
 result is one JSON document CI archives per PR, so throughput or tail
 latency regressions show up as a diff instead of an anecdote.
 
-Run with ``python -m repro.bench --out BENCH_PR7.json``.
+Run with ``python -m repro.bench --out BENCH_PR8.json``.
 """
 
 from __future__ import annotations
@@ -20,7 +20,9 @@ from repro.bench.sweeps import (
     BenchConfig,
     clear_environments,
     clear_sharded_environments,
+    connection_scaling_summary,
     shard_scaling_summary,
+    sweep_connection_scaling,
     sweep_figure5_sharded,
     sweep_figure8_sharded,
     sweep_tracing_ablation,
@@ -101,13 +103,14 @@ def tracing_overhead(rows: list[dict[str, Any]]) -> dict[str, Any]:
 
 
 def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
-    """Run the PR-7 bench suite and assemble the record document.
+    """Run the PR-8 bench suite and assemble the record document.
 
-    On top of the PR-6 sections this adds the sharded add-rate sweeps
-    (figure 5/8 with a shard-count axis) and their scaling summary; the
-    headline number is the ``emulated`` series speedup at the largest
-    shard count (see ``BenchConfig.shard_commit_ms`` for the
-    disk-per-server emulation methodology).
+    On top of the PR-7 sections this adds the connection-scaling sweep:
+    an idle keep-alive herd parked on each front end (thread-per-
+    connection vs asyncio) while the same closed-loop ops mix measures
+    tail latency.  The headline is the ``connection_scaling`` summary —
+    the asyncio front end must hold ``conn_scale``x the connections at a
+    p99 within 1.2x of the threaded server's.
     """
     from repro.obs import slo as _slo
     from repro.obs import trace as _trace
@@ -118,6 +121,7 @@ def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
         )
     try:
         ablation = sweep_tracing_ablation(config)
+        conn_rows = sweep_connection_scaling(config)
     finally:
         clear_environments()
     try:
@@ -127,7 +131,7 @@ def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
         clear_sharded_environments()
     snapshot = get_registry().snapshot()
     return {
-        "bench": "PR7",
+        "bench": "PR8",
         "config": {
             "db_sizes": list(config.db_sizes),
             "thread_counts": list(config.thread_counts),
@@ -135,12 +139,18 @@ def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
             "shard_counts": list(config.shard_counts),
             "shard_threads": config.shard_threads,
             "shard_commit_ms": config.shard_commit_ms,
+            "conn_base": config.conn_base,
+            "conn_scale": config.conn_scale,
+            "conn_active_threads": config.conn_active_threads,
+            "conn_duration_s": config.conn_duration,
         },
         "sweeps": {
             "tracing_ablation": ablation,
+            "connection_scaling": conn_rows,
             "figure5_sharded": fig5_sharded,
             "figure8_sharded": fig8_sharded,
         },
+        "connection_scaling": connection_scaling_summary(conn_rows),
         "shard_scaling": shard_scaling_summary(fig5_sharded),
         "tracing_overhead": tracing_overhead(ablation),
         "soap_request_seconds": latency_summary(),

@@ -11,6 +11,7 @@ from __future__ import annotations
 import contextlib
 import os
 import shutil
+import socket
 import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -48,6 +49,18 @@ class BenchConfig:
     """Shard-count axis for the sharded add-rate sweeps (PR 7)."""
     shard_threads: int = 8
     """Closed-loop client threads against the sharded service."""
+    conn_base: int = 50
+    """Idle keep-alive connections held against the threaded server in
+    the connection-scaling sweep (PR 8)."""
+    conn_scale: int = 10
+    """Multiplier for the asyncio front end's herd: it must carry
+    ``conn_base * conn_scale`` connections at comparable tail latency."""
+    conn_active_threads: int = 4
+    """Closed-loop requester threads measured while the idle herd is
+    parked on the server."""
+    conn_duration: float = 2.0
+    """Measurement window for the connection-scaling sweep — longer than
+    :attr:`duration` because p99 needs a deeper sample."""
     shard_commit_ms: float = 2.0
     """Emulated per-commit device latency for the sharded sweeps.
 
@@ -541,6 +554,211 @@ def shard_scaling_summary(rows: list[dict[str, Any]]) -> dict[str, Any]:
         "rates": {str(k): v for k, v in sorted(by_shards.items())},
         "shards": top,
         "speedup": (by_shards[top] / base) if base > 0 else 0.0,
+    }
+
+
+# --------------------------------------------------------------------------
+# Connection-scaling sweep (PR 8): asyncio front end vs thread-per-connection
+# --------------------------------------------------------------------------
+
+
+def _percentile(sorted_ms: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample, in ms."""
+    if not sorted_ms:
+        return 0.0
+    idx = min(len(sorted_ms) - 1, int(round(q * (len(sorted_ms) - 1))))
+    return sorted_ms[idx]
+
+
+def _open_idle_herd(
+    endpoint: tuple[str, int], count: int
+) -> list["socket.socket"]:
+    """Open *count* keep-alive connections, one warm request each.
+
+    Every socket completes a single ``ping`` POST (so the server has
+    parsed a request and committed to keep-alive framing) and is then
+    left open and silent — the parked herd whose cost per connection is
+    what the sweep compares across front ends.
+    """
+    from repro.soap.envelope import build_request
+
+    payload = build_request("ping", {})
+    request = (
+        b"POST /soap HTTP/1.1\r\n"
+        b"Host: bench\r\n"
+        b"Content-Type: text/xml; charset=utf-8\r\n"
+        b"Content-Length: %d\r\n"
+        b"Connection: keep-alive\r\n\r\n" % len(payload)
+    ) + payload
+    herd: list[socket.socket] = []
+    try:
+        for _ in range(count):
+            sock = socket.create_connection(endpoint, timeout=30)
+            sock.sendall(request)
+            fh = sock.makefile("rb")
+            status = fh.readline()
+            if not status.startswith(b"HTTP/1.1 200"):
+                raise RuntimeError(f"herd warmup failed: {status!r}")
+            length = 0
+            while True:
+                line = fh.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.partition(b":")
+                if name.strip().lower() == b"content-length":
+                    length = int(value.strip())
+            fh.read(length)
+            fh.close()
+            herd.append(sock)
+    except BaseException:
+        _close_herd(herd)
+        raise
+    return herd
+
+
+def _close_herd(herd: list["socket.socket"]) -> None:
+    for sock in herd:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def _measure_latencies(
+    env: BenchEnvironment,
+    endpoint: tuple[str, int],
+    threads: int,
+    duration: float,
+) -> tuple[Any, list[float]]:
+    """Closed-loop requesters against *endpoint*; per-op latencies in ms.
+
+    Each worker alternates ``ping`` and a simple attribute query — the
+    same mix for every front end, so the p99 columns are comparable.
+    """
+    from repro.core.client import MCSClient
+    from repro.core.query import ObjectQuery
+    from repro.soap.transport import HttpTransport
+    from repro.workloads.queries import QueryWorkload
+
+    import time as _time
+
+    host, port = endpoint
+    samples: list[list[float]] = [[] for _ in range(threads)]
+
+    def make_fn(idx: int):
+        def fn(stop) -> int:
+            client = MCSClient(
+                HttpTransport(host, port), caller="bench-conn"
+            )
+            workload = QueryWorkload(env.spec, seed=idx + 1)
+            out = samples[idx]
+            count = 0
+            try:
+                while not stop.is_set():
+                    field, value = workload.simple_query_args()
+                    query = ObjectQuery().where_field(field, "=", value)
+                    for op in (client.ping, lambda: client.query(query)):
+                        started = _time.perf_counter()
+                        op()
+                        out.append(
+                            (_time.perf_counter() - started) * 1000.0
+                        )
+                        count += 1
+            finally:
+                client.close()
+            return count
+
+        return fn
+
+    from repro.bench.timing import run_workers as _run_workers
+
+    result = _run_workers([make_fn(i) for i in range(threads)], duration)
+    merged = sorted(ms for worker in samples for ms in worker)
+    return result, merged
+
+
+def sweep_connection_scaling(
+    config: BenchConfig,
+    db_sizes: Optional[tuple[int, ...]] = None,
+) -> list[dict[str, Any]]:
+    """PR 8: tail latency under an idle keep-alive herd, per front end.
+
+    The thread-per-connection :class:`SoapServer` carries
+    ``config.conn_base`` parked connections; the asyncio
+    :class:`~repro.aserve.AsyncSoapServer` carries ``conn_scale`` times
+    as many.  With the herd in place, ``conn_active_threads`` closed-loop
+    clients run the same ping/simple-query mix over a zero-latency
+    loopback link and every per-op latency is recorded — the headline
+    acceptance is the async p99 staying within 1.2x of the threaded p99
+    while holding 10x the connections.
+    """
+    from repro.aserve import AsyncSoapServer
+    from repro.soap.server import SoapServer
+
+    rows: list[dict[str, Any]] = []
+    for size in db_sizes or config.db_sizes[:1]:
+        env = get_environment(config, size)
+        flavors = (
+            ("threaded", SoapServer, config.conn_base),
+            ("async", AsyncSoapServer, config.conn_base * config.conn_scale),
+        )
+        for flavor, server_cls, conns in flavors:
+            server = server_cls(
+                env.service.handle, fault_mapper=env.service.fault_mapper
+            )
+            server.start()
+            herd: list[socket.socket] = []
+            try:
+                herd = _open_idle_herd(server.endpoint, conns)
+                # Start each flavor from a cold read cache so ordering
+                # doesn't gift the second run warmed queries.
+                env.catalog.cache.clear()
+                result, latencies = _measure_latencies(
+                    env,
+                    server.endpoint,
+                    config.conn_active_threads,
+                    config.conn_duration,
+                )
+            finally:
+                _close_herd(herd)
+                server.stop()
+            rows.append(
+                {
+                    "db_size": size,
+                    "server": flavor,
+                    "connections": conns,
+                    "active_threads": config.conn_active_threads,
+                    "operations": result.operations,
+                    "rate": result.rate,
+                    "p50_ms": _percentile(latencies, 0.50),
+                    "p95_ms": _percentile(latencies, 0.95),
+                    "p99_ms": _percentile(latencies, 0.99),
+                }
+            )
+    return rows
+
+
+def connection_scaling_summary(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """Headline ratios: connections carried and p99 paid, async/threaded."""
+    threaded = next((r for r in rows if r["server"] == "threaded"), None)
+    async_row = next((r for r in rows if r["server"] == "async"), None)
+    if threaded is None or async_row is None:
+        return {}
+    return {
+        "threaded_connections": threaded["connections"],
+        "async_connections": async_row["connections"],
+        "connection_ratio": (
+            async_row["connections"] / threaded["connections"]
+            if threaded["connections"]
+            else 0.0
+        ),
+        "threaded_p99_ms": threaded["p99_ms"],
+        "async_p99_ms": async_row["p99_ms"],
+        "p99_ratio": (
+            async_row["p99_ms"] / threaded["p99_ms"]
+            if threaded["p99_ms"] > 0
+            else 0.0
+        ),
     }
 
 

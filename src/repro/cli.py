@@ -110,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the catalog across N engines behind one service "
              "(with --data-dir: one shard-NNN subdirectory per engine)",
     )
+    serve.add_argument(
+        "--async", dest="async_server", action="store_true",
+        help="serve on the asyncio front end (event-loop sockets, "
+             "pipelined keep-alive, same dispatch pipeline)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="dispatch worker threads (both front ends; default 4)",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the project-specific concurrency/protocol linter"
@@ -330,16 +339,24 @@ def _serve(args: argparse.Namespace) -> int:
         db = Database(directory=args.data_dir) if args.data_dir else None
         catalog = MetadataCatalog(db) if db is not None else None
     service = MCSService(catalog, granularity=args.granularity)
-    server = SoapServer(
+    if args.async_server:
+        from repro.aserve import AsyncSoapServer
+
+        server_cls = AsyncSoapServer
+    else:
+        server_cls = SoapServer
+    server = server_cls(
         service.handle,
         host=args.host,
         port=args.port,
         description=service.description(),
         fault_mapper=service.fault_mapper,
+        max_workers=args.workers,
     )
     server.start()
+    flavor = "asyncio" if args.async_server else "threaded"
     print(f"MCS listening on http://{server.host}:{server.port}/soap "
-          f"(WSDL at /wsdl); Ctrl-C to stop", flush=True)
+          f"({flavor} front end, WSDL at /wsdl); Ctrl-C to stop", flush=True)
     try:
         import time
 
@@ -386,7 +403,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
 
-    from repro.core import MCSClient, ObjectQuery
+    from repro.core import ClientConfig, MCSClient, ObjectQuery
     from repro.core.errors import MCSError
     from repro.soap.errors import TransportError
 
@@ -398,9 +415,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     client = MCSClient.connect(
         args.host,
         args.port,
-        caller=args.caller,
-        retry_policy=retry_policy,
-        deadline_s=args.timeout,
+        ClientConfig(
+            caller=args.caller,
+            retry_policy=retry_policy,
+            deadline_s=args.timeout,
+        ),
     )
     try:
         if args.command == "ping":

@@ -13,10 +13,14 @@ Layers, bottom-up:
   over SOAP.
 * :mod:`repro.core.client` — :class:`MCSClient`, the synchronous client
   API of §5 ("MCS Query Mechanisms and APIs"), transport-agnostic.
+* :mod:`repro.core.aclient` — :class:`AsyncMCSClient`, the same surface
+  as coroutines over asyncio transports; both consume one
+  :class:`ClientConfig`.
 """
 
+from repro.core.aclient import AsyncBulkContext, AsyncMCSClient
 from repro.core.catalog import MetadataCatalog
-from repro.core.client import BulkContext, BulkResult, MCSClient
+from repro.core.client import BulkContext, BulkResult, ClientConfig, MCSClient
 from repro.core.errors import (
     CycleError,
     DuplicateObjectError,
@@ -45,6 +49,9 @@ __all__ = [
     "MetadataCatalog",
     "MCSService",
     "MCSClient",
+    "AsyncMCSClient",
+    "AsyncBulkContext",
+    "ClientConfig",
     "BulkContext",
     "BulkResult",
     "ObjectQuery",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import warnings
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Any, Optional, Sequence
 
 from repro.core.errors import exception_from_fault
@@ -62,6 +63,98 @@ READ_METHODS = frozenset(
 def is_read_method(method: str) -> bool:
     """True for idempotent (freely retryable) wire methods."""
     return method in READ_METHODS
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Everything about how a client talks to a catalog, in one value.
+
+    Both client flavors consume the same config —
+    ``MCSClient.connect(host, port, ClientConfig(...))`` and
+    ``AsyncMCSClient.connect(host, port, ClientConfig(...))`` — so a
+    deployment describes its retry/deadline/breaker posture once and
+    hands it to whichever client a call site needs.  The resilience trio
+    (``retry_policy``/``deadline_s``/``breaker``) is interpreted exactly
+    as the old per-kwarg API did: configuring any of them wraps the
+    transport in a resilient layer where reads retry freely and writes
+    retry under a server-deduplicated idempotency token.
+
+    ``pool_size`` sizes the async transport's keep-alive connection
+    pool; the sync transport holds a single pooled connection and
+    ignores it.  Instances are frozen — derive variants with
+    :meth:`with_options`.
+    """
+
+    caller: Optional[str] = None
+    retry_policy: Optional[object] = None
+    deadline_s: Optional[float] = None
+    breaker: Optional[object] = None
+    pool_size: int = 2
+    timeout_s: float = 30.0
+    simulated_latency_s: float = 0.0
+
+    def with_options(self, **changes: Any) -> "ClientConfig":
+        """A copy with the given fields replaced."""
+        return _dc_replace(self, **changes)
+
+    @property
+    def resilient(self) -> bool:
+        return (
+            self.retry_policy is not None
+            or self.deadline_s is not None
+            or self.breaker is not None
+        )
+
+
+def _resolve_config(
+    config: Optional["ClientConfig | str"],
+    caller: Optional[str],
+    retry_policy: Optional[object],
+    deadline_s: Optional[float],
+    breaker: Optional[object],
+) -> ClientConfig:
+    """Fold the legacy per-kwarg surface into one :class:`ClientConfig`.
+
+    The resilience trio keeps working but warns: it predates
+    ``ClientConfig`` and every new option would have meant another
+    kwarg copied across four constructors.  ``caller=`` alone stays a
+    silently-supported convenience — identity is per-client-instance in
+    a way retry posture is not.
+    """
+    if isinstance(config, str):
+        # Positional caller from the pre-config signature
+        # (``connect(host, port, "cn=...")``).
+        warnings.warn(
+            "passing caller positionally is deprecated; use "
+            "connect(host, port, caller=...) or ClientConfig(caller=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        config = ClientConfig(caller=config)
+    if retry_policy is not None or deadline_s is not None or breaker is not None:
+        warnings.warn(
+            "the retry_policy=/deadline_s=/breaker= kwargs are deprecated; "
+            "pass ClientConfig(retry_policy=..., deadline_s=..., breaker=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if config is None:
+        return ClientConfig(
+            caller=caller,
+            retry_policy=retry_policy,
+            deadline_s=deadline_s,
+            breaker=breaker,
+        )
+    changes: dict[str, Any] = {}
+    if caller is not None:
+        changes["caller"] = caller
+    if retry_policy is not None:
+        changes["retry_policy"] = retry_policy
+    if deadline_s is not None:
+        changes["deadline_s"] = deadline_s
+    if breaker is not None:
+        changes["breaker"] = breaker
+    return config.with_options(**changes) if changes else config
 
 
 def _wrap_resilient(
@@ -208,6 +301,8 @@ class MCSClient:
     def in_process(
         cls,
         service: "object",
+        config: Optional["ClientConfig | str"] = None,
+        *,
         caller: Optional[str] = None,
         retry_policy: Optional[object] = None,
         deadline_s: Optional[float] = None,
@@ -218,20 +313,23 @@ class MCSClient:
         Resilience options mirror :meth:`connect`; useful under fault
         injection, where even in-process calls can fail.
         """
+        cfg = _resolve_config(config, caller, retry_policy, deadline_s, breaker)
         transport = _wrap_resilient(
             DirectTransport(service.handle),
             "inproc",
-            retry_policy,
-            deadline_s,
-            breaker,
+            cfg.retry_policy,
+            cfg.deadline_s,
+            cfg.breaker,
         )
-        return cls(transport, caller=caller)
+        return cls(transport, caller=cfg.caller)
 
     @classmethod
     def connect(
         cls,
         host: str,
         port: int,
+        config: Optional["ClientConfig | str"] = None,
+        *,
         caller: Optional[str] = None,
         retry_policy: Optional[object] = None,
         deadline_s: Optional[float] = None,
@@ -239,22 +337,30 @@ class MCSClient:
     ) -> "MCSClient":
         """Connect over SOAP/HTTP.
 
+        All construction options travel in one :class:`ClientConfig`:
         ``retry_policy`` (a :class:`repro.resilience.RetryPolicy`),
         ``deadline_s`` (a per-call time budget, propagated to the server
         via the SOAP ``Deadline`` header) or ``breaker`` (a shared
         :class:`repro.resilience.CircuitBreaker`) wrap the HTTP transport
         in a :class:`~repro.resilience.transport.ResilientTransport`:
         reads retry freely, writes retry under an idempotency token the
-        server deduplicates on.
+        server deduplicates on.  The legacy per-kwarg resilience options
+        still work but emit :class:`DeprecationWarning`.
         """
+        cfg = _resolve_config(config, caller, retry_policy, deadline_s, breaker)
         transport = _wrap_resilient(
-            HttpTransport(host, port),
+            HttpTransport(
+                host,
+                port,
+                timeout=cfg.timeout_s,
+                simulated_latency_s=cfg.simulated_latency_s,
+            ),
             f"{host}:{port}",
-            retry_policy,
-            deadline_s,
-            breaker,
+            cfg.retry_policy,
+            cfg.deadline_s,
+            cfg.breaker,
         )
-        return cls(transport, caller=caller)
+        return cls(transport, caller=cfg.caller)
 
     def close(self) -> None:
         self._transport.close()

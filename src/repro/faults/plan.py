@@ -124,6 +124,28 @@ class Injection:
         elif self.kind == "fault":
             raise SoapFault(self.rule.code, self._message())
 
+    async def pre_async(self) -> None:
+        """:meth:`pre` for coroutine injection sites.
+
+        Identical semantics, but latency is spent in ``asyncio.sleep``
+        so an injected delay parks one task instead of stalling the
+        event loop (and every other connection on it).
+        """
+        import asyncio
+
+        from repro.soap.envelope import SoapFault
+        from repro.soap.errors import TransportError
+
+        if self.kind == "latency":
+            await asyncio.sleep(self.rule.latency_ms / 1000.0)
+        elif self.kind == "error":
+            raise TransportError(self._message())
+        elif self.kind == "timeout":
+            await asyncio.sleep(self.rule.latency_ms / 1000.0)
+            raise TransportError(self._message())
+        elif self.kind == "fault":
+            raise SoapFault(self.rule.code, self._message())
+
     def fail(self) -> None:
         """Apply at a non-envelope site (replication, RLS, federation):
         every failing kind degrades to an exception, latency to a sleep."""

@@ -23,6 +23,14 @@ METRIC_NAME_PATTERN = r"^mcs_[a-z][a-z0-9_]*$"
 
 DECLARED_METRICS: frozenset[str] = frozenset(
     {
+        # -- asyncio front end (repro.aserve) -----------------------------
+        "mcs_aserve_connections_open",
+        "mcs_aserve_connections_total",
+        "mcs_aserve_inflight_requests",
+        "mcs_aserve_parse_errors_total",
+        "mcs_aserve_pipeline_depth",
+        "mcs_aserve_scan_total",
+        "mcs_aserve_template_responses_total",
         # -- cache (repro.cache) ------------------------------------------
         "mcs_cache_hit_ratio",
         "mcs_cache_invalidations_total",

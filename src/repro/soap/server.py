@@ -1,8 +1,17 @@
-"""Threaded HTTP server hosting a SOAP endpoint.
+"""SOAP endpoint hosting: the shared dispatch path and the threaded server.
 
-One handler thread per connection (ThreadingHTTPServer), like a servlet
-container's worker pool.  Application exceptions are mapped to SOAP
-faults; registered fault mappers let services expose typed errors.
+:class:`SoapDispatcher` is the transport-independent POST ``/soap``
+pipeline — envelope parsing, idempotency replay, deadline restoration,
+TraceParent adoption, fault mapping, SLO accounting — shared verbatim by
+the thread-per-connection :class:`SoapServer` here and the asyncio front
+end (:class:`repro.aserve.AsyncSoapServer`).  Hosting semantics (chaos
+injection sites, obs metrics, span parenting) therefore hold unchanged
+whichever front end terminates the connection.
+
+:class:`SoapServer` keeps the servlet-container shape the paper measured:
+one handler thread per connection (ThreadingHTTPServer) with a bounded
+worker pool.  Application exceptions are mapped to SOAP faults;
+registered fault mappers let services expose typed errors.
 
 Observability: ``GET /metrics`` renders the process metrics registry in
 Prometheus text format, every request feeds the ``mcs_soap_*`` metric
@@ -17,6 +26,7 @@ import threading
 import time
 import urllib.parse
 from collections import OrderedDict
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Optional
 
@@ -34,6 +44,7 @@ from repro.obs.metrics import (
     render_prometheus,
 )
 from repro.soap.envelope import (
+    ParsedRequest,
     SoapFault,
     build_bulk_response,
     build_fault,
@@ -45,6 +56,12 @@ from repro.soap.wsdl import ServiceDescription, generate_wsdl
 
 Handler = Callable[[str, dict[str, Any]], Any]
 FaultMapper = Callable[[Exception], Optional[SoapFault]]
+#: Optional fast-path envelope decoder: returns a ParsedRequest for the
+#: shapes it understands, or None to fall back to the full XML parse.
+Scanner = Callable[[bytes], Optional[ParsedRequest]]
+#: Optional fast-path response encoder: returns pre-serialized bytes for
+#: the result shapes it has templates for, or None for the generic path.
+Responder = Callable[[Any], Optional[bytes]]
 
 
 def _parse_budget(raw: Optional[str]) -> Optional[float]:
@@ -99,6 +116,350 @@ _IDEM_REPLAYS = _obs_counter(
 )
 
 
+@dataclass
+class DispatchResult:
+    """Outcome of one POST ``/soap`` dispatch, ready for HTTP framing."""
+
+    status: int
+    body: bytes
+    method: str
+    is_fault: bool
+    request_id: Optional[str] = None
+
+
+def collection_get(
+    path: str,
+    query: dict[str, list[str]],
+    description: Optional[ServiceDescription] = None,
+    endpoint: Optional[tuple[str, int]] = None,
+) -> Optional[tuple[int, str, bytes]]:
+    """Route the shared GET endpoints; returns ``(status, ctype, body)``.
+
+    Both front ends expose the same collection surface — ``/metrics``,
+    ``/spans``, ``/slo``, ``/healthz``, ``/readyz``, ``/profile`` and
+    ``/wsdl`` — through this one router, so operators' scrape configs do
+    not care which server terminates the socket.  Returns ``None`` for
+    unknown paths (the caller answers 404).  May block (``/profile``
+    samples for up to 30 s): run it on a worker thread, never an event
+    loop.
+    """
+    if path == "/metrics":
+        return (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus().encode("utf-8"),
+        )
+    if path == "/spans":
+        # The trace collection endpoint: this process's span ring,
+        # filtered — what `mcs trace` scrapes from each process to
+        # assemble the cross-process waterfall.
+        spans = _trace.recent_spans(
+            request_id=query.get("request_id", [None])[0],
+            trace_id=query.get("trace_id", [None])[0],
+            name=query.get("name", [None])[0],
+        )
+        return (
+            200,
+            "application/json; charset=utf-8",
+            json.dumps(spans, default=str).encode("utf-8"),
+        )
+    if path == "/slo":
+        return (
+            200,
+            "application/json; charset=utf-8",
+            json.dumps(_slo.SLO.snapshot()).encode("utf-8"),
+        )
+    if path == "/healthz":
+        # Liveness: answering at all is the check.
+        return (200, "text/plain; charset=utf-8", b"ok\n")
+    if path == "/readyz":
+        ready = _slo.SLO.healthy()
+        return (
+            200 if ready else 503,
+            "text/plain; charset=utf-8",
+            b"ready\n" if ready else b"burn-rate breach\n",
+        )
+    if path == "/profile":
+        try:
+            seconds = float(query.get("seconds", ["0.5"])[0])
+            interval = float(query.get("interval", ["0.005"])[0])
+        except ValueError:
+            return (400, "text/plain; charset=utf-8", b"bad query\n")
+        from repro.obs.profiler import capture
+
+        # Bounded: this worker thread blocks for the capture, so cap the
+        # request at something a curl won't regret.
+        profiler = capture(min(max(seconds, 0.0), 30.0), interval)
+        return (
+            200,
+            "text/plain; charset=utf-8",
+            (profiler.report() + "\n").encode("utf-8"),
+        )
+    if path == "/wsdl" and description is not None and endpoint is not None:
+        host, port = endpoint
+        body = generate_wsdl(
+            description, endpoint=f"http://{host}:{port}/soap"
+        )
+        return (200, "text/xml; charset=utf-8", body)
+    return None
+
+
+class SoapDispatcher:
+    """The transport-independent POST ``/soap`` pipeline.
+
+    Owns everything about handling one request body that does not depend
+    on how the bytes arrived: envelope decoding, trace/deadline context
+    restoration, idempotency replay, bulk fan-out, fault mapping, and
+    the request/SLO accounting.  The threaded and asyncio front ends both
+    call :meth:`dispatch` from worker threads, so chaos and obs semantics
+    are identical under either server.
+
+    ``scanner`` / ``responder`` are the asyncio front end's hot-path
+    hooks: a streaming envelope scanner that skips the full-tree XML
+    parse for common request shapes, and pre-serialized response
+    templates for hot operations.  Either may decline (return ``None``)
+    and the generic codec path runs instead — they are accelerators, not
+    a second protocol implementation.
+    """
+
+    def __init__(
+        self,
+        handler: Handler,
+        fault_mapper: Optional[FaultMapper] = None,
+        max_bulk_items: int = 1024,
+        idempotency_cache_size: int = 1024,
+        scanner: Optional[Scanner] = None,
+        responder: Optional[Responder] = None,
+    ) -> None:
+        self._handler = handler
+        self._fault_mapper = fault_mapper
+        self.max_bulk_items = max_bulk_items
+        # Sharded counters (lock-free increments merged on read) so
+        # concurrent handler threads never race a shared int.
+        self._requests_served = Counter()
+        self._faults_served = Counter()
+        # Idempotency-token → successful response bytes, LRU-bounded.
+        # Only 200 responses are cached: a fault must not replay on
+        # retry, or transient failures would become sticky.
+        self._idem_cache: OrderedDict[str, bytes] = OrderedDict()
+        self._idem_cache_size = idempotency_cache_size
+        self._idem_lock = threading.Lock()
+        self._scanner = scanner
+        self._responder = responder
+
+    # -- accounting ----------------------------------------------------------
+
+    def count_request(self, fault: bool) -> None:
+        _SERVER_REQUESTS.inc()
+        self._requests_served.inc()
+        if fault:
+            _SERVER_FAULTS.inc()
+            self._faults_served.inc()
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests_served.value
+
+    @property
+    def faults_served(self) -> int:
+        return self._faults_served.value
+
+    # -- idempotency cache ---------------------------------------------------
+
+    def _idem_get(self, key: str) -> Optional[bytes]:
+        with self._idem_lock:
+            body = self._idem_cache.get(key)
+            if body is not None:
+                self._idem_cache.move_to_end(key)
+            return body
+
+    def _idem_put(self, key: str, body: bytes) -> None:
+        with self._idem_lock:
+            self._idem_cache[key] = body
+            self._idem_cache.move_to_end(key)
+            while len(self._idem_cache) > self._idem_cache_size:
+                self._idem_cache.popitem(last=False)
+
+    # -- the dispatch path ---------------------------------------------------
+
+    def _parse(self, payload: bytes) -> ParsedRequest:
+        if self._scanner is not None:
+            parsed = self._scanner(payload)
+            if parsed is not None:
+                return parsed
+        return parse_any_request(payload)
+
+    def _encode_response(
+        self, result: Any, echo: Optional[dict[str, str]]
+    ) -> bytes:
+        if self._responder is not None and echo is None:
+            body = self._responder(result)
+            if body is not None:
+                return body
+        return build_response(result, echo)
+
+    def dispatch(
+        self,
+        payload: bytes,
+        client: Optional[str] = None,
+        start: Optional[float] = None,
+    ) -> DispatchResult:
+        """Run one request body through the full dispatch path.
+
+        ``start`` lets the caller charge connection-level time (payload
+        read, worker-pool queueing) to the request's latency histogram;
+        when omitted the clock starts here.
+        """
+        if start is None:
+            start = time.perf_counter() if OBS.enabled else 0.0
+        method = "<malformed>"
+        request_id: Optional[str] = None
+        rid_token = None
+        tp_token = None
+        deadline_token = None
+        is_fault = False
+        slo_bad = False
+        try:
+            try:
+                parsed = self._parse(payload)
+                request_id = parsed.request_id
+                if request_id is not None:
+                    rid_token = _trace.set_request_id(request_id)
+                # Adopt the caller's trace context so the dispatch span
+                # below parents onto the client's call span — one
+                # cross-process trace, not two disjoint trees.
+                traceparent = parsed.headers.get("TraceParent")
+                if traceparent is not None:
+                    tp_token = _trace.set_remote_context(traceparent)
+                method = "<bulk>" if parsed.bulk else parsed.calls[0][0]
+                # Restore the caller's remaining budget into this
+                # thread's context so dispatch (and execute_bulk between
+                # items) can stop working once it lapses.
+                budget = _parse_budget(parsed.headers.get("Deadline"))
+                if budget is not None:
+                    deadline_token = _rctx.push_budget(budget)
+                with _trace.span("soap.server", method=method):
+                    inj = _faults.check("soap.server", method)
+                    if inj is not None:
+                        inj.raise_as_fault()
+                    idem_key = parsed.headers.get("IdempotencyKey")
+                    replay = (
+                        self._idem_get(idem_key)
+                        if idem_key is not None
+                        else None
+                    )
+                    if replay is not None:
+                        _IDEM_REPLAYS.inc()
+                        _trace.annotate("idempotent-replay")
+                        body = replay
+                    else:
+                        if _rctx.expired():
+                            raise SoapFault(
+                                "Server.DeadlineExceeded",
+                                f"deadline expired before {method!r} ran",
+                            )
+                        echo = (
+                            {"IdempotencyKey": idem_key}
+                            if idem_key is not None
+                            else None
+                        )
+                        if parsed.bulk:
+                            body = self._handle_bulk(parsed.calls, echo)
+                        else:
+                            ((method, args),) = parsed.calls
+                            result = self._handler(method, args)
+                            body = self._encode_response(result, echo)
+                        if idem_key is not None:
+                            self._idem_put(idem_key, body)
+                status = 200
+            except SoapFault as fault:
+                body = build_fault(fault)
+                status = 500
+                is_fault = True
+                # Application faults (MCS.*: not-found, duplicate,
+                # permission...) are the caller's problem, not the
+                # service failing — they spend no error budget.
+                slo_bad = not fault.code.startswith("MCS.")
+            except Exception as exc:  # noqa: BLE001 - fault boundary
+                fault = self.map_fault(exc)
+                body = build_fault(fault)
+                status = 500
+                is_fault = True
+                slo_bad = not fault.code.startswith("MCS.")
+        finally:
+            if deadline_token is not None:
+                _rctx.reset_deadline(deadline_token)
+            if tp_token is not None:
+                _trace.reset_remote_context(tp_token)
+            if rid_token is not None:
+                _trace.reset_request_id(rid_token)
+        self.count_request(fault=is_fault)
+        if OBS.enabled:
+            elapsed = time.perf_counter() - start
+            _REQUEST_SECONDS.labels(method).observe(elapsed)
+            _slo.SLO.record(method, elapsed, ok=not slo_bad)
+            if _log.isEnabledFor(10):  # logging.DEBUG
+                _log.debug(
+                    "soap.request",
+                    extra={
+                        "operation": method,
+                        "status": status,
+                        "duration_ms": round(elapsed * 1000, 3),
+                        "rid": request_id,
+                        "client": client,
+                    },
+                )
+        return DispatchResult(
+            status=status,
+            body=body,
+            method=method,
+            is_fault=is_fault,
+            request_id=request_id,
+        )
+
+    def _handle_bulk(
+        self,
+        calls: list[tuple[str, dict[str, Any]]],
+        header_fields: Optional[dict[str, str]] = None,
+    ) -> bytes:
+        """Run a ``<BulkRequest>`` batch; per-item faults stay inline.
+
+        Raises :class:`SoapFault` (an envelope-level fault, HTTP 500) only
+        for batch-shape problems — an oversized batch — never for an
+        individual operation failing.
+        """
+        if len(calls) > self.max_bulk_items:
+            raise SoapFault(
+                "Client.BatchTooLarge",
+                f"batch of {len(calls)} operations exceeds "
+                f"max_bulk_items={self.max_bulk_items}",
+            )
+        if OBS.enabled:
+            _BULK_BATCH_SIZE.observe(len(calls))
+        items = execute_bulk(self._handler, calls, self.map_fault)
+        if OBS.enabled:
+            ok = sum(1 for item in items if item.ok)
+            if ok:
+                _BULK_ITEMS.labels("ok").inc(ok)
+            if len(items) - ok:
+                _BULK_ITEMS.labels("fault").inc(len(items) - ok)
+        return build_bulk_response(items, header_fields)
+
+    def map_fault(self, exc: Exception) -> SoapFault:
+        if self._fault_mapper is not None:
+            mapped = self._fault_mapper(exc)
+            if mapped is not None:
+                return mapped
+        # Shared fault table (lazy: the soap layer must import without
+        # repro.core so the packages initialise in either order).
+        from repro.core.errors import fault_code_for
+
+        code = fault_code_for(exc)
+        if code is not None:
+            return SoapFault(code, str(exc))
+        return SoapFault("Server", f"{type(exc).__name__}: {exc}")
+
+
 class SoapServer:
     """Hosts one dispatch handler at ``POST /soap`` (WSDL at ``GET /wsdl``,
     metrics at ``GET /metrics``)."""
@@ -114,20 +475,13 @@ class SoapServer:
         max_bulk_items: int = 1024,
         idempotency_cache_size: int = 1024,
     ) -> None:
-        self._handler = handler
         self._description = description
-        self._fault_mapper = fault_mapper
-        self.max_bulk_items = max_bulk_items
-        # Sharded counters (lock-free increments merged on read) so
-        # concurrent handler threads never race a shared int.
-        self._requests_served = Counter()
-        self._faults_served = Counter()
-        # Idempotency-token → successful response bytes, LRU-bounded.
-        # Only 200 responses are cached: a fault must not replay on
-        # retry, or transient failures would become sticky.
-        self._idem_cache: OrderedDict[str, bytes] = OrderedDict()
-        self._idem_cache_size = idempotency_cache_size
-        self._idem_lock = threading.Lock()
+        self._dispatcher = SoapDispatcher(
+            handler,
+            fault_mapper=fault_mapper,
+            max_bulk_items=max_bulk_items,
+            idempotency_cache_size=idempotency_cache_size,
+        )
         # Bounded worker pool, like a servlet container's maxThreads: one
         # thread per connection still reads the request, but at most
         # max_workers requests are *processed* concurrently.  (Unbounded
@@ -152,7 +506,7 @@ class SoapServer:
 
             def do_POST(self) -> None:
                 if self.path != "/soap":
-                    outer._count_request(fault=False)
+                    outer._dispatcher.count_request(fault=False)
                     self.send_error(404)
                     return
                 start = time.perf_counter() if OBS.enabled else 0.0
@@ -168,109 +522,17 @@ class SoapServer:
                         _QUEUE_WAIT_SECONDS.observe(
                             time.perf_counter() - wait_start
                         )
-                method = "<malformed>"
-                request_id: Optional[str] = None
-                rid_token = None
-                tp_token = None
-                deadline_token = None
-                is_fault = False
-                slo_bad = False
                 try:
-                    try:
-                        parsed = parse_any_request(payload)
-                        request_id = parsed.request_id
-                        if request_id is not None:
-                            rid_token = _trace.set_request_id(request_id)
-                        # Adopt the caller's trace context so the dispatch
-                        # span below parents onto the client's call span —
-                        # one cross-process trace, not two disjoint trees.
-                        traceparent = parsed.headers.get("TraceParent")
-                        if traceparent is not None:
-                            tp_token = _trace.set_remote_context(traceparent)
-                        method = "<bulk>" if parsed.bulk else parsed.calls[0][0]
-                        # Restore the caller's remaining budget into this
-                        # thread's context so dispatch (and execute_bulk
-                        # between items) can stop working once it lapses.
-                        budget = _parse_budget(parsed.headers.get("Deadline"))
-                        if budget is not None:
-                            deadline_token = _rctx.push_budget(budget)
-                        with _trace.span("soap.server", method=method):
-                            inj = _faults.check("soap.server", method)
-                            if inj is not None:
-                                inj.raise_as_fault()
-                            idem_key = parsed.headers.get("IdempotencyKey")
-                            replay = (
-                                outer._idem_get(idem_key)
-                                if idem_key is not None
-                                else None
-                            )
-                            if replay is not None:
-                                _IDEM_REPLAYS.inc()
-                                _trace.annotate("idempotent-replay")
-                                body = replay
-                            else:
-                                if _rctx.expired():
-                                    raise SoapFault(
-                                        "Server.DeadlineExceeded",
-                                        f"deadline expired before {method!r} ran",
-                                    )
-                                echo = (
-                                    {"IdempotencyKey": idem_key}
-                                    if idem_key is not None
-                                    else None
-                                )
-                                if parsed.bulk:
-                                    body = outer._handle_bulk(parsed.calls, echo)
-                                else:
-                                    ((method, args),) = parsed.calls
-                                    result = outer._handler(method, args)
-                                    body = build_response(result, echo)
-                                if idem_key is not None:
-                                    outer._idem_put(idem_key, body)
-                        status = 200
-                    except SoapFault as fault:
-                        body = build_fault(fault)
-                        status = 500
-                        is_fault = True
-                        # Application faults (MCS.*: not-found, duplicate,
-                        # permission...) are the caller's problem, not the
-                        # service failing — they spend no error budget.
-                        slo_bad = not fault.code.startswith("MCS.")
-                    except Exception as exc:  # noqa: BLE001 - fault boundary
-                        fault = outer._map_fault(exc)
-                        body = build_fault(fault)
-                        status = 500
-                        is_fault = True
-                        slo_bad = not fault.code.startswith("MCS.")
+                    result = outer._dispatcher.dispatch(
+                        payload, client=self.address_string(), start=start
+                    )
                 finally:
-                    if deadline_token is not None:
-                        _rctx.reset_deadline(deadline_token)
-                    if tp_token is not None:
-                        _trace.reset_remote_context(tp_token)
-                    if rid_token is not None:
-                        _trace.reset_request_id(rid_token)
                     outer._worker_slots.release()
-                outer._count_request(fault=is_fault)
-                if OBS.enabled:
-                    elapsed = time.perf_counter() - start
-                    _REQUEST_SECONDS.labels(method).observe(elapsed)
-                    _slo.SLO.record(method, elapsed, ok=not slo_bad)
-                    if _log.isEnabledFor(10):  # logging.DEBUG
-                        _log.debug(
-                            "soap.request",
-                            extra={
-                                "operation": method,
-                                "status": status,
-                                "duration_ms": round(elapsed * 1000, 3),
-                                "rid": request_id,
-                                "client": self.address_string(),
-                            },
-                        )
-                self.send_response(status)
+                self.send_response(result.status)
                 self.send_header("Content-Type", "text/xml; charset=utf-8")
-                self.send_header("Content-Length", str(len(body)))
+                self.send_header("Content-Length", str(len(result.body)))
                 self.end_headers()
-                self.wfile.write(body)
+                self.wfile.write(result.body)
 
             def _send(
                 self, status: int, content_type: str, body: bytes
@@ -284,74 +546,16 @@ class SoapServer:
             def do_GET(self) -> None:
                 parts = urllib.parse.urlsplit(self.path)
                 query = urllib.parse.parse_qs(parts.query)
-                path = parts.path
-                if path == "/metrics":
-                    self._send(
-                        200,
-                        "text/plain; version=0.0.4; charset=utf-8",
-                        render_prometheus().encode("utf-8"),
-                    )
-                    return
-                if path == "/spans":
-                    # The trace collection endpoint: this process's span
-                    # ring, filtered — what `mcs trace` scrapes from each
-                    # process to assemble the cross-process waterfall.
-                    spans = _trace.recent_spans(
-                        request_id=query.get("request_id", [None])[0],
-                        trace_id=query.get("trace_id", [None])[0],
-                        name=query.get("name", [None])[0],
-                    )
-                    self._send(
-                        200,
-                        "application/json; charset=utf-8",
-                        json.dumps(spans, default=str).encode("utf-8"),
-                    )
-                    return
-                if path == "/slo":
-                    self._send(
-                        200,
-                        "application/json; charset=utf-8",
-                        json.dumps(_slo.SLO.snapshot()).encode("utf-8"),
-                    )
-                    return
-                if path == "/healthz":
-                    # Liveness: answering at all is the check.
-                    self._send(200, "text/plain; charset=utf-8", b"ok\n")
-                    return
-                if path == "/readyz":
-                    ready = _slo.SLO.healthy()
-                    self._send(
-                        200 if ready else 503,
-                        "text/plain; charset=utf-8",
-                        b"ready\n" if ready else b"burn-rate breach\n",
-                    )
-                    return
-                if path == "/profile":
-                    try:
-                        seconds = float(query.get("seconds", ["0.5"])[0])
-                        interval = float(query.get("interval", ["0.005"])[0])
-                    except ValueError:
-                        self.send_error(400)
-                        return
-                    from repro.obs.profiler import capture
-
-                    # Bounded: this handler thread blocks for the capture,
-                    # so cap the request at something a curl won't regret.
-                    profiler = capture(min(max(seconds, 0.0), 30.0), interval)
-                    self._send(
-                        200,
-                        "text/plain; charset=utf-8",
-                        (profiler.report() + "\n").encode("utf-8"),
-                    )
-                    return
-                if path != "/wsdl" or outer._description is None:
+                routed = collection_get(
+                    parts.path,
+                    query,
+                    description=outer._description,
+                    endpoint=(outer.host, outer.port),
+                )
+                if routed is None:
                     self.send_error(404)
                     return
-                body = generate_wsdl(
-                    outer._description,
-                    endpoint=f"http://{outer.host}:{outer.port}/soap",
-                )
-                self._send(200, "text/xml; charset=utf-8", body)
+                self._send(*routed)
 
         class _Server(ThreadingHTTPServer):
             daemon_threads = True
@@ -360,69 +564,6 @@ class SoapServer:
         self._httpd = _Server((host, port), _RequestHandler)
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
-
-    def _count_request(self, fault: bool) -> None:
-        _SERVER_REQUESTS.inc()
-        self._requests_served.inc()
-        if fault:
-            _SERVER_FAULTS.inc()
-            self._faults_served.inc()
-
-    def _idem_get(self, key: str) -> Optional[bytes]:
-        with self._idem_lock:
-            body = self._idem_cache.get(key)
-            if body is not None:
-                self._idem_cache.move_to_end(key)
-            return body
-
-    def _idem_put(self, key: str, body: bytes) -> None:
-        with self._idem_lock:
-            self._idem_cache[key] = body
-            self._idem_cache.move_to_end(key)
-            while len(self._idem_cache) > self._idem_cache_size:
-                self._idem_cache.popitem(last=False)
-
-    def _handle_bulk(
-        self,
-        calls: list[tuple[str, dict[str, Any]]],
-        header_fields: Optional[dict[str, str]] = None,
-    ) -> bytes:
-        """Run a ``<BulkRequest>`` batch; per-item faults stay inline.
-
-        Raises :class:`SoapFault` (an envelope-level fault, HTTP 500) only
-        for batch-shape problems — an oversized batch — never for an
-        individual operation failing.
-        """
-        if len(calls) > self.max_bulk_items:
-            raise SoapFault(
-                "Client.BatchTooLarge",
-                f"batch of {len(calls)} operations exceeds "
-                f"max_bulk_items={self.max_bulk_items}",
-            )
-        if OBS.enabled:
-            _BULK_BATCH_SIZE.observe(len(calls))
-        items = execute_bulk(self._handler, calls, self._map_fault)
-        if OBS.enabled:
-            ok = sum(1 for item in items if item.ok)
-            if ok:
-                _BULK_ITEMS.labels("ok").inc(ok)
-            if len(items) - ok:
-                _BULK_ITEMS.labels("fault").inc(len(items) - ok)
-        return build_bulk_response(items, header_fields)
-
-    def _map_fault(self, exc: Exception) -> SoapFault:
-        if self._fault_mapper is not None:
-            mapped = self._fault_mapper(exc)
-            if mapped is not None:
-                return mapped
-        # Shared fault table (lazy: the soap layer must import without
-        # repro.core so the packages initialise in either order).
-        from repro.core.errors import fault_code_for
-
-        code = fault_code_for(exc)
-        if code is not None:
-            return SoapFault(code, str(exc))
-        return SoapFault("Server", f"{type(exc).__name__}: {exc}")
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -450,12 +591,12 @@ class SoapServer:
     @property
     def requests_served(self) -> int:
         """Every request handled, successes and faults alike."""
-        return self._requests_served.value
+        return self._dispatcher.requests_served
 
     @property
     def faults_served(self) -> int:
         """Requests answered with a SOAP fault (mapped or explicit)."""
-        return self._faults_served.value
+        return self._dispatcher.faults_served
 
     @property
     def endpoint(self) -> tuple[str, int]:

@@ -270,8 +270,29 @@ class HttpTransport:
         self._factory = lambda: _Connection(
             host, port, timeout=self.connect_timeout
         )
-        self._conn = self._factory()
+        self._conn: Optional[Any] = self._factory()
         self._conn_used = False
+
+    def _ensure_conn(self) -> None:
+        if self._conn is None:
+            _CLIENT_RECONNECTS.inc()
+            self._conn = self._factory()
+            self._conn_used = False
+
+    def _invalidate(self) -> None:
+        """Drop the pooled connection; the next call dials fresh.
+
+        Called on *every* transport failure: after a timeout or a torn
+        reply the connection's framing state is unknown (a late response
+        could be misread as the answer to the next request), so the
+        socket must never be reused.
+        """
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+            self._conn = None
 
     def call(self, method: str, args: dict[str, Any]) -> Any:
         inj = _faults.check("soap.http", method)
@@ -311,6 +332,42 @@ class HttpTransport:
             return inj.tear(body)
         return body
 
+    @staticmethod
+    def _safe_to_resend(exc: Exception) -> bool:
+        """May the request be resent on a fresh connection?
+
+        Only for the stale keep-alive race: the server recycled an idle
+        persistent connection, so the request was torn down before it
+        executed (clean close → ``RemoteDisconnected``; racing RST →
+        reset/abort/broken-pipe during the send).  Never after a
+        **timeout** (the server may still be executing; a resend would
+        run a non-idempotent write twice) and never after a **torn
+        reply** (``IncompleteRead`` — the request already executed, only
+        the answer was lost).  Those surface as :class:`TransportError`
+        for the resilience layer, whose retry policy knows which methods
+        are idempotent and stamps ``IdempotencyKey`` on the rest.
+        """
+        import http.client
+
+        if isinstance(exc, (TimeoutError, http.client.IncompleteRead)):
+            return False
+        return isinstance(
+            exc,
+            (
+                http.client.RemoteDisconnected,
+                ConnectionResetError,
+                ConnectionAbortedError,
+                BrokenPipeError,
+            ),
+        )
+
+    def _roundtrip(self, payload: bytes, headers: dict[str, str]) -> Any:
+        assert self._conn is not None
+        self._conn.request("POST", "/soap", body=payload, headers=headers)
+        response = self._conn.getresponse()
+        response_body = response.read()
+        return response, response_body
+
     def _post(self, payload: bytes, soap_action: str) -> bytes:
         import http.client
         import time
@@ -324,24 +381,23 @@ class HttpTransport:
             "SOAPAction": soap_action,
         }
         _CLIENT_REQUESTS.inc()
+        self._ensure_conn()
         reused = self._conn_used
         try:
-            self._conn.request("POST", "/soap", body=payload, headers=headers)
-            response = self._conn.getresponse()
-            body = response.read()
+            response, body = self._roundtrip(payload, headers)
             if reused:
                 _CLIENT_REUSE.inc()
-        except (ConnectionError, OSError, http.client.HTTPException):
-            # One reconnect attempt (the server may have recycled the
-            # keep-alive connection).
-            _CLIENT_RECONNECTS.inc()
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            self._invalidate()
+            if not (reused and self._safe_to_resend(exc)):
+                raise TransportError(f"HTTP request failed: {exc}") from exc
+            # Stale keep-alive: the server hung up the idle connection
+            # before our request ran.  One resend on a fresh socket.
+            self._ensure_conn()
             try:
-                self._conn.close()
-                self._conn = self._factory()
-                self._conn.request("POST", "/soap", body=payload, headers=headers)
-                response = self._conn.getresponse()
-                body = response.read()
+                response, body = self._roundtrip(payload, headers)
             except (ConnectionError, OSError, http.client.HTTPException) as exc2:
+                self._invalidate()
                 raise TransportError(f"HTTP request failed: {exc2}") from exc2
         self._conn_used = True
         if response.status not in (200, 500):
@@ -349,4 +405,5 @@ class HttpTransport:
         return body
 
     def close(self) -> None:
-        self._conn.close()
+        if self._conn is not None:
+            self._conn.close()

@@ -1,0 +1,53 @@
+"""MCS011 fixture: blocking calls inside coroutine bodies.
+
+Only the calls executed by the coroutine itself are violations; blocking
+work wrapped in a nested ``def`` (the executor-handoff idiom) and plain
+synchronous functions are fine.
+"""
+
+import asyncio
+import socket
+import time
+
+
+async def bad_sleep():
+    time.sleep(0.1)  # lint-expect: MCS011
+
+
+async def bad_file_read(path):
+    fh = open(path)  # lint-expect: MCS011
+    return fh.read()
+
+
+async def bad_dial(host, port):
+    return socket.create_connection((host, port))  # lint-expect: MCS011
+
+
+async def bad_listen():
+    return socket.create_server(("127.0.0.1", 0))  # lint-expect: MCS011
+
+
+async def bad_raw_socket():
+    return socket.socket(socket.AF_INET, socket.SOCK_STREAM)  # lint-expect: MCS011
+
+
+async def good_sleep():
+    await asyncio.sleep(0.1)
+
+
+async def good_executor_handoff(loop, path):
+    def read():
+        with open(path) as fh:
+            return fh.read()
+
+    return await loop.run_in_executor(None, read)
+
+
+async def good_lambda_handoff(loop):
+    return await loop.run_in_executor(None, lambda: time.sleep(0.0))
+
+
+def sync_callers_are_fine(path):
+    time.sleep(0.0)
+    with open(path) as fh:
+        return fh.read()

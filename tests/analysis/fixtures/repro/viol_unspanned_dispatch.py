@@ -22,9 +22,9 @@ class PeriodicUpdater:
         return True
 
 
-class _RequestHandler:
-    def do_POST(self):  # lint-expect: MCS010
-        self.dispatch(self.read_body())
+class SoapDispatcher:
+    def dispatch(self, payload):  # lint-expect: MCS010
+        return self.run(self.parse(payload))
 
 
 class SpannedUpdater:
@@ -34,7 +34,7 @@ class SpannedUpdater:
             return True
 
 
-class SpannedHandler:
-    def do_POST(self):
+class SpannedDispatcher(SoapDispatcher):
+    def dispatch(self, payload):
         with _trace.span("soap.server", method="m"):
-            self.dispatch(self.read_body())
+            return self.run(self.parse(payload))

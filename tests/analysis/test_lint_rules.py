@@ -30,6 +30,7 @@ RULE_FIXTURES = [
     ("MCS008", "viol_print_logging.py"),
     ("MCS009", "viol_swallowed_transport.py"),
     ("MCS010", "viol_unspanned_dispatch.py"),
+    ("MCS011", "viol_blocking_in_coroutine.py"),
 ]
 
 
@@ -74,6 +75,26 @@ def test_select_restricts_to_requested_rules() -> None:
     findings = run_paths([FIXTURES], select=["MCS006"])
     assert findings
     assert {f.rule_id for f in findings} == {"MCS006"}
+
+
+def test_mcs011_flags_rwlock_acquire_in_coroutine(tmp_path: Path) -> None:
+    """RWLock acquisition in a coroutine is MCS011 territory too.
+
+    Not part of the fixture tree because the same line would also trip
+    MCS007 (raw lock acquisition outside the engine), and the fixture
+    tests assert exactly one rule per fixture.
+    """
+    module = tmp_path / "coroutine_locks.py"
+    module.write_text(
+        "async def bad(lock):\n"
+        "    lock.acquire_read()\n"
+        "    try:\n"
+        "        return 1\n"
+        "    finally:\n"
+        "        lock.release_read()\n"
+    )
+    findings = run_paths([module], select=["MCS011"])
+    assert [(f.line, f.rule_id) for f in findings] == [(2, "MCS011")]
 
 
 def test_src_tree_is_clean() -> None:

@@ -1,0 +1,3 @@
+"""Fixtures for the asyncio front-end lane (``-m aserve``)."""
+
+from repro.faults.pytest_plugin import fault_plan, no_faults  # noqa: F401

@@ -1,0 +1,184 @@
+"""AsyncMCSClient: the same §5 surface as coroutines.
+
+Every combination of client and front end must agree: async client
+in-process, async client over the asyncio server, and async client over
+the *threaded* server (the transports are independent of which front
+end answers).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.aserve import AsyncSoapServer
+from repro.core import (
+    AsyncMCSClient,
+    ClientConfig,
+    MCSClient,
+    MCSService,
+    ObjectNotFoundError,
+)
+from repro.core.query import ObjectQuery
+from repro.resilience import RetryPolicy
+from repro.soap.server import SoapServer
+
+pytestmark = pytest.mark.aserve
+
+CALLER = "/O=Grid/CN=async"
+
+
+def fresh_service() -> MCSService:
+    service = MCSService()
+    service.catalog.define_attribute("idx", "int")
+    return service
+
+
+async def run_workload(client: AsyncMCSClient) -> list:
+    """The §5 tour: files, attributes, queries, bulk, collections."""
+    assert await client.ping() == "pong"
+    await client.create_collection("a-col")
+    for i in range(5):
+        await client.create_logical_file(
+            f"a-{i}", collection="a-col", attributes={"idx": i}
+        )
+    await client.delete_logical_file("a-1")
+    with pytest.raises(ObjectNotFoundError):
+        await client.get_logical_file("a-1")
+    async with client.bulk() as batch:
+        handles = [
+            batch.call("set_attributes", object_type="file", name="a-2",
+                       attributes={"idx": 20}),
+            batch.call("get_logical_file", name="a-4"),
+        ]
+    assert all(h.ok for h in handles)
+    assert handles[1].result["name"] == "a-4"
+    names = await client.query(ObjectQuery().where("idx", ">=", 2))
+    listing = await client.list_collection("a-col")
+    attrs = await client.get_attributes("file", "a-2")
+    return [sorted(names), sorted(listing), attrs["idx"]]
+
+
+class TestInProcess:
+    def test_workload_and_creator_stamp(self):
+        service = fresh_service()
+
+        async def main():
+            async with AsyncMCSClient.in_process(service, caller=CALLER) as client:
+                result = await run_workload(client)
+                info = await client.get_logical_file("a-0")
+                assert info["creator"] == CALLER
+                return result
+
+        result = asyncio.run(main())
+        assert result[2] == 20
+
+    def test_matches_sync_client(self):
+        sync_service, async_service = fresh_service(), fresh_service()
+
+        async def main():
+            async with AsyncMCSClient.in_process(
+                async_service, caller=CALLER
+            ) as client:
+                return await run_workload(client)
+
+        async_result = asyncio.run(main())
+
+        # Equivalent sync workload against an identical service.
+        client = MCSClient.in_process(sync_service, caller=CALLER)
+        client.create_collection("a-col")
+        for i in range(5):
+            client.create_logical_file(
+                f"a-{i}", collection="a-col", attributes={"idx": i}
+            )
+        client.delete_logical_file("a-1")
+        client.set_attributes("file", "a-2", {"idx": 20})
+        sync_result = [
+            sorted(client.query(ObjectQuery().where("idx", ">=", 2))),
+            sorted(client.list_collection("a-col")),
+            client.get_attributes("file", "a-2")["idx"],
+        ]
+        client.close()
+        assert async_result == sync_result
+
+
+class TestOverSockets:
+    def test_async_client_against_async_server(self):
+        service = fresh_service()
+
+        async def main():
+            async with AsyncMCSClient.connect(
+                *srv.endpoint, ClientConfig(caller=CALLER)
+            ) as client:
+                return await run_workload(client)
+
+        with AsyncSoapServer(
+            service.handle, fault_mapper=service.fault_mapper
+        ) as srv:
+            result = asyncio.run(main())
+        assert result[2] == 20
+
+    def test_async_client_against_threaded_server(self):
+        service = fresh_service()
+
+        async def main():
+            async with AsyncMCSClient.connect(
+                *srv.endpoint, ClientConfig(caller=CALLER)
+            ) as client:
+                return await run_workload(client)
+
+        with SoapServer(
+            service.handle, fault_mapper=service.fault_mapper
+        ) as srv:
+            result = asyncio.run(main())
+        assert result[2] == 20
+
+    def test_concurrent_tasks_share_a_bounded_pool(self):
+        service = fresh_service()
+
+        async def main():
+            config = ClientConfig(caller=CALLER, pool_size=3)
+            async with AsyncMCSClient.connect(*srv.endpoint, config) as client:
+                await client.create_collection("c")
+
+                async def one(i: int) -> list[str]:
+                    await client.create_logical_file(
+                        f"c-{i}", collection="c", attributes={"idx": i}
+                    )
+                    return await client.query(
+                        ObjectQuery().where("idx", "=", i)
+                    )
+
+                results = await asyncio.gather(*(one(i) for i in range(20)))
+                assert [r for rs in results for r in rs] == [
+                    f"c-{i}" for i in range(20)
+                ]
+                return await client.list_collection("c")
+
+        with AsyncSoapServer(
+            service.handle, fault_mapper=service.fault_mapper, max_workers=4
+        ) as srv:
+            listing = asyncio.run(main())
+        assert len(listing) == 20
+
+    def test_resilient_config_round_trips(self):
+        service = fresh_service()
+        config = ClientConfig(
+            caller=CALLER,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay_s=0.001, max_delay_s=0.01, jitter=0.0
+            ),
+            deadline_s=10.0,
+        )
+
+        async def main():
+            async with AsyncMCSClient.connect(*srv.endpoint, config) as client:
+                await client.create_logical_file("r-1")
+                return await client.get_logical_file("r-1")
+
+        with AsyncSoapServer(
+            service.handle, fault_mapper=service.fault_mapper
+        ) as srv:
+            info = asyncio.run(main())
+        assert info["creator"] == CALLER

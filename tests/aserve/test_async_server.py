@@ -1,0 +1,253 @@
+"""End-to-end tests of the asyncio front end.
+
+The sync SOAP/MCS clients drive :class:`AsyncSoapServer` exactly as they
+drive the threaded server — same envelopes, same faults, same
+collection endpoints — plus the connection mechanics only this front
+end has: pipelining, bounded framing, and slowloris deadlines.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.aserve import AsyncSoapServer
+from repro.core import MCSClient, MCSService
+from repro.core.query import ObjectQuery
+from repro.soap import SoapClient, SoapFault
+from repro.soap.envelope import build_request, parse_response
+from repro.soap.server import SoapServer
+from repro.soap.wsdl import ServiceDescription
+
+pytestmark = pytest.mark.aserve
+
+
+def echo_handler(method, args):
+    if method == "echo":
+        return args
+    if method == "fail":
+        raise SoapFault("Test.Fail", "requested failure", {"n": 1})
+    raise SoapFault("Test.NoMethod", f"no method {method}")
+
+
+@pytest.fixture(scope="module")
+def server():
+    desc = ServiceDescription("Echo")
+    desc.add("echo", ("value",), doc="echo the arguments")
+    with AsyncSoapServer(echo_handler, description=desc) as srv:
+        yield srv
+
+
+def read_http_response(fh) -> tuple[int, dict[str, str], bytes]:
+    status_line = fh.readline()
+    assert status_line.startswith(b"HTTP/1.1 "), status_line
+    status = int(status_line.split()[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = fh.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = fh.read(int(headers.get("content-length", "0")))
+    return status, headers, body
+
+
+def post_soap(payload: bytes, keep: bool = True) -> bytes:
+    connection = "keep-alive" if keep else "close"
+    return (
+        b"POST /soap HTTP/1.1\r\n"
+        b"Content-Type: text/xml; charset=utf-8\r\n"
+        b"Content-Length: %d\r\n"
+        b"Connection: %s\r\n\r\n" % (len(payload), connection.encode())
+    ) + payload
+
+
+class TestSyncClientRoundTrip:
+    def test_call_and_fault(self, server):
+        with SoapClient.connect_http(*server.endpoint) as client:
+            assert client.call("echo", value=42) == {"value": 42}
+            with pytest.raises(SoapFault) as excinfo:
+                client.call("fail")
+            assert excinfo.value.code == "Test.Fail"
+
+    def test_keep_alive_reuse(self, server):
+        before = server.requests_served
+        with SoapClient.connect_http(*server.endpoint) as client:
+            for i in range(20):
+                assert client.call("echo", value=i) == {"value": i}
+        assert server.requests_served == before + 20
+
+    def test_many_concurrent_sync_clients(self, server):
+        errors: list[Exception] = []
+
+        def worker(n: int) -> None:
+            try:
+                with SoapClient.connect_http(*server.endpoint) as client:
+                    for i in range(5):
+                        value = n * 100 + i
+                        assert client.call("echo", value=value) == {"value": value}
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert errors == []
+
+
+class TestPipelining:
+    def test_back_to_back_requests_answered_in_order(self, server):
+        payloads = [build_request("echo", {"value": i}) for i in range(5)]
+        with socket.create_connection(server.endpoint, timeout=10) as sock:
+            sock.sendall(b"".join(post_soap(p) for p in payloads))
+            fh = sock.makefile("rb")
+            for i in range(5):
+                status, headers, body = read_http_response(fh)
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                assert parse_response(body) == {"value": i}
+
+    def test_connection_close_honored_mid_pipeline(self, server):
+        first = post_soap(build_request("echo", {"value": 1}))
+        second = post_soap(build_request("echo", {"value": 2}), keep=False)
+        with socket.create_connection(server.endpoint, timeout=10) as sock:
+            sock.sendall(first + second)
+            fh = sock.makefile("rb")
+            status, _, _ = read_http_response(fh)
+            assert status == 200
+            status, headers, _ = read_http_response(fh)
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert fh.read() == b""  # server hung up
+
+
+class TestRoutingAndBounds:
+    def test_post_elsewhere_is_404(self, server):
+        with socket.create_connection(server.endpoint, timeout=10) as sock:
+            sock.sendall(
+                b"POST /nope HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+            )
+            status, _, _ = read_http_response(sock.makefile("rb"))
+        assert status == 404
+
+    def test_unknown_method_is_501(self, server):
+        with socket.create_connection(server.endpoint, timeout=10) as sock:
+            sock.sendall(b"PUT /soap HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            status, _, _ = read_http_response(sock.makefile("rb"))
+        assert status == 501
+
+    def test_get_collection_endpoints(self, server):
+        with socket.create_connection(server.endpoint, timeout=10) as sock:
+            fh = sock.makefile("rb")
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n\r\n")
+            status, _, body = read_http_response(fh)
+            assert (status, body) == (200, b"ok\n")
+            sock.sendall(b"GET /metrics HTTP/1.1\r\n\r\n")
+            status, _, body = read_http_response(fh)
+            assert status == 200
+            assert b"mcs_aserve_connections_open" in body
+            sock.sendall(b"GET /wsdl HTTP/1.1\r\n\r\n")
+            status, _, body = read_http_response(fh)
+            assert status == 200
+            assert b"definitions" in body
+
+    def test_oversized_body_rejected_cleanly(self):
+        with AsyncSoapServer(echo_handler, max_body_bytes=256) as srv:
+            with socket.create_connection(srv.endpoint, timeout=10) as sock:
+                sock.sendall(
+                    b"POST /soap HTTP/1.1\r\nContent-Length: 300\r\n\r\n"
+                )
+                fh = sock.makefile("rb")
+                status, headers, _ = read_http_response(fh)
+                assert status == 413
+                assert headers["connection"] == "close"
+                assert fh.read() == b""
+
+    def test_oversized_headers_rejected_cleanly(self):
+        with AsyncSoapServer(echo_handler, max_header_bytes=128) as srv:
+            with socket.create_connection(srv.endpoint, timeout=10) as sock:
+                sock.sendall(
+                    b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 256 + b"\r\n\r\n"
+                )
+                status, _, _ = read_http_response(sock.makefile("rb"))
+                assert status == 431
+
+    def test_malformed_request_line_is_400(self, server):
+        with socket.create_connection(server.endpoint, timeout=10) as sock:
+            sock.sendall(b"GARBAGE\r\n\r\n")
+            status, _, _ = read_http_response(sock.makefile("rb"))
+        assert status == 400
+
+
+class TestSlowloris:
+    def test_stalled_request_gets_408_not_a_hung_server(self):
+        with AsyncSoapServer(echo_handler, header_timeout_s=0.3) as srv:
+            with socket.create_connection(srv.endpoint, timeout=10) as sock:
+                sock.sendall(b"POST /soap HTTP/1.1\r\nContent-Le")  # ...stall
+                fh = sock.makefile("rb")
+                status, headers, _ = read_http_response(fh)
+                assert status == 408
+                assert headers["connection"] == "close"
+                assert fh.read() == b""
+            # The server is still healthy for the next client.
+            with SoapClient.connect_http(*srv.endpoint) as client:
+                assert client.call("echo", value=1) == {"value": 1}
+
+    def test_idle_keep_alive_connection_outlives_header_timeout(self):
+        import time
+
+        with AsyncSoapServer(echo_handler, header_timeout_s=0.2) as srv:
+            with socket.create_connection(srv.endpoint, timeout=10) as sock:
+                fh = sock.makefile("rb")
+                sock.sendall(post_soap(build_request("echo", {"value": 1})))
+                assert read_http_response(fh)[0] == 200
+                # Idle (no bytes in flight) is not slowloris: the timer
+                # only arms mid-request.
+                time.sleep(0.5)
+                sock.sendall(post_soap(build_request("echo", {"value": 2})))
+                status, _, body = read_http_response(fh)
+                assert status == 200
+                assert parse_response(body) == {"value": 2}
+
+
+class TestFrontEndEquivalence:
+    """The same MCS workload through both front ends must agree."""
+
+    @staticmethod
+    def run_workload(endpoint) -> list:
+        client = MCSClient.connect(*endpoint, caller="/O=Grid/CN=eq")
+        try:
+            client.create_collection("eq-col")
+            for i in range(6):
+                client.create_logical_file(
+                    f"eq-{i}", collection="eq-col", attributes={"idx": i}
+                )
+            client.delete_logical_file("eq-3")
+            names = client.query(ObjectQuery().where("idx", ">=", 2))
+            listing = client.list_collection("eq-col")
+            attrs = client.get_attributes("file", "eq-5")
+            return [sorted(names), sorted(listing), attrs]
+        finally:
+            client.close()
+
+    def test_threaded_and_async_agree(self):
+        def service():
+            svc = MCSService()
+            svc.catalog.define_attribute("idx", "int")
+            return svc
+
+        threaded_svc, async_svc = service(), service()
+        with SoapServer(
+            threaded_svc.handle, fault_mapper=threaded_svc.fault_mapper
+        ) as srv:
+            threaded_result = self.run_workload(srv.endpoint)
+        with AsyncSoapServer(
+            async_svc.handle, fault_mapper=async_svc.fault_mapper
+        ) as srv:
+            async_result = self.run_workload(srv.endpoint)
+        assert async_result == threaded_result

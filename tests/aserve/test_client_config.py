@@ -1,0 +1,123 @@
+"""ClientConfig: one construction surface, legacy kwargs shimmed.
+
+Both client flavors consume the same frozen config; the pre-config
+kwarg trio keeps working behind a DeprecationWarning so existing
+callers migrate on their own schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro.core import AsyncMCSClient, ClientConfig, MCSClient, MCSService
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.resilience.transport import ResilientTransport
+
+pytestmark = pytest.mark.aserve
+
+
+class TestConfigValue:
+    def test_frozen_with_options_derivation(self):
+        base = ClientConfig(caller="/O=Grid/CN=a", timeout_s=5.0)
+        derived = base.with_options(deadline_s=2.0)
+        assert derived.caller == "/O=Grid/CN=a"
+        assert derived.deadline_s == 2.0
+        assert base.deadline_s is None  # original untouched
+        with pytest.raises(Exception):
+            base.caller = "mutated"  # frozen dataclass
+
+    def test_resilient_flag(self):
+        assert ClientConfig().resilient is False
+        assert ClientConfig(retry_policy=RetryPolicy()).resilient is True
+        assert ClientConfig(deadline_s=1.0).resilient is True
+        assert ClientConfig(breaker=CircuitBreaker("t")).resilient is True
+
+
+class TestSyncClientConstruction:
+    def test_config_flows_to_transport(self):
+        client = MCSClient.connect(
+            "127.0.0.1", 1, ClientConfig(caller="/O=Grid/CN=c", timeout_s=7.5)
+        )
+        assert client.caller == "/O=Grid/CN=c"
+        assert client._transport.read_timeout == 7.5
+        client.close()
+
+    def test_resilience_config_wraps_transport(self):
+        client = MCSClient.connect(
+            "127.0.0.1", 1, ClientConfig(retry_policy=RetryPolicy())
+        )
+        assert isinstance(client._transport, ResilientTransport)
+        client.close()
+
+    def test_caller_kwarg_stays_silent(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            client = MCSClient.in_process(MCSService(), caller="/O=Grid/CN=x")
+        assert [w for w in caught if issubclass(w.category, DeprecationWarning)] == []
+        assert client.caller == "/O=Grid/CN=x"
+
+    def test_legacy_resilience_kwargs_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="ClientConfig"):
+            client = MCSClient.connect(
+                "127.0.0.1", 1, retry_policy=RetryPolicy(), deadline_s=4.0
+            )
+        assert isinstance(client._transport, ResilientTransport)
+        assert client._transport.deadline_s == 4.0
+        client.close()
+
+    def test_legacy_positional_caller_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            client = MCSClient.connect("127.0.0.1", 1, "/O=Grid/CN=legacy")
+        assert client.caller == "/O=Grid/CN=legacy"
+        client.close()
+
+    def test_kwargs_override_config_fields(self):
+        config = ClientConfig(caller="/O=Grid/CN=base", deadline_s=9.0)
+        with pytest.warns(DeprecationWarning):
+            client = MCSClient.connect(
+                "127.0.0.1", 1, config, deadline_s=1.0
+            )
+        assert client.caller == "/O=Grid/CN=base"
+        assert client._transport.deadline_s == 1.0
+        client.close()
+
+
+class TestAsyncClientConstruction:
+    def test_pool_size_flows_to_async_transport(self):
+        async def main():
+            client = AsyncMCSClient.connect(
+                "127.0.0.1", 1, ClientConfig(pool_size=7, caller="/O=Grid/CN=a")
+            )
+            assert client.caller == "/O=Grid/CN=a"
+            assert client._transport.pool_size == 7
+            await client.close()
+
+        asyncio.run(main())
+
+    def test_async_resilience_wrapping(self):
+        from repro.resilience.atransport import AsyncResilientTransport
+
+        async def main():
+            client = AsyncMCSClient.connect(
+                "127.0.0.1", 1, ClientConfig(retry_policy=RetryPolicy())
+            )
+            assert isinstance(client._transport, AsyncResilientTransport)
+            await client.close()
+
+        asyncio.run(main())
+
+    def test_same_config_value_drives_both_flavors(self):
+        config = ClientConfig(caller="/O=Grid/CN=both", deadline_s=3.0)
+        sync_client = MCSClient.connect("127.0.0.1", 1, config)
+        assert sync_client.caller == "/O=Grid/CN=both"
+        sync_client.close()
+
+        async def main():
+            client = AsyncMCSClient.connect("127.0.0.1", 1, config)
+            assert client.caller == "/O=Grid/CN=both"
+            await client.close()
+
+        asyncio.run(main())

@@ -1,0 +1,150 @@
+"""Equivalence of the hot-path envelope codecs with the full XML codec.
+
+The scanner and the response templates are accelerators: for every
+payload they accept they must produce exactly what the ElementTree codec
+produces (fields for the scanner, bytes for the templates), and they
+must *decline* — never guess — anything outside their grammar.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aserve.scan import fast_response, scan_request
+from repro.soap.envelope import (
+    build_bulk_request,
+    build_request,
+    build_response,
+    parse_any_request,
+)
+
+pytestmark = pytest.mark.aserve
+
+#: (method, args) shapes covering every scalar type our clients emit.
+CALL_CORPUS = [
+    ("ping", {}),
+    ("get_logical_file", {"name": "f-001"}),
+    ("create_logical_file", {"name": "f", "collection": None}),
+    ("set_flag", {"value": True}),
+    ("clear_flag", {"value": False}),
+    ("count", {"n": 0}),
+    ("count", {"n": -12345}),
+    ("scale", {"x": 1.5}),
+    ("scale", {"x": -0.25}),
+    ("note", {"text": ""}),
+    ("note", {"text": "plain words with spaces"}),
+    ("note", {"text": "unicode: éü☃"}),
+    ("note", {"text": "tabs\tand\nnewlines"}),
+    ("many", {"a": 1, "b": "two", "c": None, "d": 2.5, "e": False}),
+]
+
+HEADER_CORPUS = [
+    (None, None),
+    ("rid-123", None),
+    ("", None),
+    (None, {"TraceParent": "00-abc-def-01"}),
+    ("rid", {"TraceParent": "00-abc-def-01", "DeadlineMs": "1500"}),
+]
+
+
+class TestScannerEquivalence:
+    @pytest.mark.parametrize("method,args", CALL_CORPUS)
+    @pytest.mark.parametrize("request_id,header_fields", HEADER_CORPUS)
+    def test_accepted_payloads_match_the_full_parse(
+        self, method, args, request_id, header_fields
+    ):
+        payload = build_request(
+            method, args, request_id=request_id, header_fields=header_fields
+        )
+        fast = scan_request(payload)
+        assert fast is not None, f"scanner declined its own grammar: {payload!r}"
+        full = parse_any_request(payload)
+        assert fast.calls == full.calls
+        assert fast.bulk == full.bulk
+        assert fast.request_id == full.request_id
+        assert fast.headers == full.headers
+
+    @pytest.mark.parametrize(
+        "payload_args",
+        [
+            {"text": "an & entity"},
+            {"text": "a < bracket"},
+            {"text": "carriage\rreturn"},
+            {"items": ["a", "b"]},
+            {"mapping": {"k": "v"}},
+        ],
+    )
+    def test_non_scalar_or_escaped_args_decline(self, payload_args):
+        payload = build_request("op", payload_args)
+        assert scan_request(payload) is None
+        # ...but the full codec handles them: declining must never mean
+        # the request fails, only that it takes the slow path.
+        parsed = parse_any_request(payload)
+        assert parsed.calls[0][0] == "op"
+
+    def test_bulk_requests_decline(self):
+        payload = build_bulk_request([("ping", {}), ("ping", {})])
+        assert scan_request(payload) is None
+        assert parse_any_request(payload).bulk is True
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"not xml at all",
+            b"<Envelope>wrong ns</Envelope>",
+            b'<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">'
+            b"<Body><Call method=\"x\"><junk /></Call></Body></Envelope>",
+            b'<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">'
+            b"<Body></Body></Envelope>trailing",
+        ],
+    )
+    def test_junk_declines_without_raising(self, payload):
+        assert scan_request(payload) is None
+
+
+#: Result shapes the templates must serialize byte-identically.
+TEMPLATE_HITS = [
+    None,
+    True,
+    False,
+    0,
+    42,
+    -7,
+    10**15,
+    "",
+    "logical-file-0001",
+    "unicode é☃",
+    [],
+    ["a"],
+    ["f-1", "f-2", "f-3"],
+]
+
+#: Shapes the templates must decline (generic codec handles them).
+TEMPLATE_MISSES = [
+    1.5,
+    {"k": "v"},
+    "has & entity",
+    "has < bracket",
+    "has\rreturn",
+    ["ok", ""],
+    ["ok", "bad & item"],
+    ["ok", 3],
+    [True],
+    (1, 2),
+]
+
+
+class TestResponseTemplates:
+    @pytest.mark.parametrize("result", TEMPLATE_HITS, ids=repr)
+    def test_byte_equal_to_build_response(self, result):
+        assert fast_response(result) == build_response(result)
+
+    @pytest.mark.parametrize("result", TEMPLATE_MISSES, ids=repr)
+    def test_out_of_grammar_shapes_decline(self, result):
+        assert fast_response(result) is None
+
+    def test_bool_is_not_treated_as_int(self):
+        # bool subclasses int; the template must keep the boolean tag.
+        assert b't="boolean"' in fast_response(True)
+        assert b't="int"' in fast_response(1)

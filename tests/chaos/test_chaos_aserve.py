@@ -1,0 +1,157 @@
+"""Chaos: the asyncio front end under the 5% transport-fault plan.
+
+Substitutes :class:`AsyncSoapServer` into the bulk-chaos acceptance run,
+for both client flavors: the resilient sync client (threaded transport,
+asyncio server) and the resilient async client (coroutine transport,
+asyncio server).  In both pairings the seeded plan must fire, no
+transport error may escape, and the catalog must converge to the
+fault-free end state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.aserve import AsyncSoapServer
+from repro.core import (
+    AsyncMCSClient,
+    ClientConfig,
+    MCSClient,
+    MCSService,
+    ObjectQuery,
+)
+from repro.faults import FaultPlan
+from repro.resilience import CircuitBreaker, RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+#: Same mix as the threaded acceptance run in test_chaos_bulk.py.
+PLAN_SPEC = (
+    "seed=2003;"
+    "soap.http:*=error@0.02;"
+    "soap.http:*=fault@0.01,code=Server.Unavailable;"
+    "soap.http:*=torn@0.01;"
+    "soap.http:*=lost_reply@0.01"
+)
+
+RESILIENT = ClientConfig(
+    caller="/O=Grid/CN=chaos-aserve",
+    retry_policy=RetryPolicy(
+        max_attempts=8, base_delay_s=0.001, max_delay_s=0.01, jitter=0.0
+    ),
+    # Generous threshold: the lane tests convergence, not tripping.
+    breaker=CircuitBreaker("chaos-aserve", failure_threshold=1000),
+)
+
+
+def fresh_service() -> MCSService:
+    service = MCSService()
+    service.catalog.define_attribute("round", "int")
+    service.catalog.define_attribute("state", "string")
+    return service
+
+
+def run_workload(client: MCSClient, rounds: int = 6, batch: int = 8) -> None:
+    """Deterministic bulk churn: create batches, tag them, delete half."""
+    for r in range(rounds):
+        names = [f"chaos-{r}-{i}" for i in range(batch)]
+        client.bulk_create_files(
+            [{"name": name, "attributes": {"round": r}} for name in names]
+        )
+        client.bulk_set_attributes(
+            [
+                {"object_type": "file", "name": name,
+                 "attributes": {"state": "tagged"}}
+                for name in names[::2]
+            ]
+        )
+        with client.bulk() as deletes:
+            for name in names[1::2]:
+                deletes.call("delete_logical_file", name=name)
+
+
+async def run_workload_async(
+    client: AsyncMCSClient, rounds: int = 6, batch: int = 8
+) -> None:
+    """The same churn, awaited."""
+    for r in range(rounds):
+        names = [f"chaos-{r}-{i}" for i in range(batch)]
+        await client.bulk_create_files(
+            [{"name": name, "attributes": {"round": r}} for name in names]
+        )
+        await client.bulk_set_attributes(
+            [
+                {"object_type": "file", "name": name,
+                 "attributes": {"state": "tagged"}}
+                for name in names[::2]
+            ]
+        )
+        async with client.bulk() as deletes:
+            for name in names[1::2]:
+                deletes.call("delete_logical_file", name=name)
+
+
+def snapshot(service: MCSService) -> list[tuple]:
+    """(name, attributes) for every surviving file, in name order."""
+    client = MCSClient.in_process(service, caller="/O=Grid/CN=snap")
+    names = sorted(client.query(ObjectQuery().where("round", ">=", 0)))
+    return [(n, client.get_attributes("file", n)) for n in names]
+
+
+def baseline_snapshot() -> list[tuple]:
+    service = fresh_service()
+    with AsyncSoapServer(
+        service.handle, fault_mapper=service.fault_mapper
+    ) as srv:
+        client = MCSClient.connect(
+            *srv.endpoint, ClientConfig(caller="/O=Grid/CN=chaos-aserve")
+        )
+        try:
+            run_workload(client)
+        finally:
+            client.close()
+    baseline = snapshot(service)
+    assert baseline, "baseline workload produced no files"
+    return baseline
+
+
+def test_sync_client_converges_through_the_async_front_end(no_faults):
+    baseline = baseline_snapshot()
+
+    chaos_service = fresh_service()
+    plan = FaultPlan.parse(PLAN_SPEC)
+    with AsyncSoapServer(
+        chaos_service.handle, fault_mapper=chaos_service.fault_mapper
+    ) as srv:
+        client = MCSClient.connect(*srv.endpoint, RESILIENT)
+        try:
+            with faults.active(plan):
+                run_workload(client)
+        finally:
+            client.close()
+
+    assert plan.injected > 0, "the 5% plan never fired; the run proved nothing"
+    assert snapshot(chaos_service) == baseline
+
+
+def test_async_client_converges_through_the_async_front_end(no_faults):
+    baseline = baseline_snapshot()
+
+    chaos_service = fresh_service()
+    plan = FaultPlan.parse(PLAN_SPEC)
+
+    async def main() -> None:
+        async with AsyncMCSClient.connect(*srv.endpoint, RESILIENT) as client:
+            await run_workload_async(client)
+
+    with AsyncSoapServer(
+        chaos_service.handle, fault_mapper=chaos_service.fault_mapper
+    ) as srv:
+        with faults.active(plan):
+            asyncio.run(main())
+
+    assert plan.injected > 0, "the 5% plan never fired; the run proved nothing"
+    assert snapshot(chaos_service) == baseline

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro import faults
-from repro.core import MCSClient, MCSService, ObjectQuery
+from repro.core import ClientConfig, MCSClient, MCSService, ObjectQuery
 from repro.faults import FaultPlan
 from repro.resilience import CircuitBreaker, RetryPolicy
 from repro.soap.server import SoapServer
@@ -82,15 +82,14 @@ def test_bulk_chaos_converges_to_the_fault_free_state(no_faults):
     with SoapServer(
         chaos_service.handle, fault_mapper=chaos_service.fault_mapper
     ) as srv:
-        client = MCSClient.connect(
-            *srv.endpoint,
+        client = MCSClient.connect(*srv.endpoint, ClientConfig(
             caller="/O=Grid/CN=base",
             retry_policy=RetryPolicy(
                 max_attempts=8, base_delay_s=0.001, max_delay_s=0.01, jitter=0.0
             ),
             # Generous threshold: the lane tests convergence, not tripping.
             breaker=CircuitBreaker("chaos-bulk", failure_threshold=1000),
-        )
+        ))
         try:
             with faults.active(plan):
                 # Zero unhandled TransportError: any escape fails the test.

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro import faults
-from repro.core import MCSClient, MCSService, ObjectQuery
+from repro.core import ClientConfig, MCSClient, MCSService, ObjectQuery
 from repro.faults import FaultPlan
 from repro.resilience import CircuitBreaker, RetryPolicy
 from repro.core.client import is_read_method
@@ -40,14 +40,13 @@ def test_reads_stay_strictly_consistent_under_faults(no_faults):
     for i in range(4):
         setup.create_logical_file(f"cc-{i}", attributes={"state": 0})
 
-    client = MCSClient.in_process(
-        service,
+    client = MCSClient.in_process(service, ClientConfig(
         caller="/O=Grid/CN=chaos",
         retry_policy=RetryPolicy(
             max_attempts=8, base_delay_s=0.0005, max_delay_s=0.005, jitter=0.0
         ),
         breaker=CircuitBreaker("chaos-cache", failure_threshold=1000),
-    )
+    ))
     plan = FaultPlan.parse(PLAN_SPEC)
     with faults.active(plan):
         for step in range(1, 41):

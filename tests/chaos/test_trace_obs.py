@@ -13,7 +13,7 @@ import pytest
 
 from repro.core import ObjectQuery
 from repro.core.catalog import MetadataCatalog
-from repro.core.client import MCSClient
+from repro.core.client import ClientConfig, MCSClient
 from repro.core.service import MCSService
 from repro.db import Database
 from repro.db.replication import Replica, ReplicationPublisher
@@ -79,7 +79,8 @@ def test_every_injected_fault_is_visible_in_the_assembled_trace(
         ";fed.query:*=error@0.3"
     )
     client = MCSClient.connect(
-        server.host, server.port, caller="chaos", retry_policy=FLAT_RETRIES
+        server.host, server.port,
+        ClientConfig(caller="chaos", retry_policy=FLAT_RETRIES),
     )
     try:
         with trace.span("chaos-run") as root:

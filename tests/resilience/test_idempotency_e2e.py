@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MCSClient, MCSService
+from repro.core import ClientConfig, MCSClient, MCSService
 from repro.faults import FaultPlan, FaultRule
 from repro.resilience import RetryPolicy
 from repro.soap.envelope import SoapFault, build_request, parse_response_full
@@ -50,10 +50,10 @@ class TestLostReplyDeduplication:
                       kind="lost_reply", times=1),
         ]))
         replays_before = _IDEM_REPLAYS.value
-        client = MCSClient.connect(
-            *server.endpoint, caller="/O=Grid/CN=chaos",
+        client = MCSClient.connect(*server.endpoint, ClientConfig(
+            caller="/O=Grid/CN=chaos",
             retry_policy=RetryPolicy(base_delay_s=0.001, jitter=0.0),
-        )
+        ))
         try:
             # The first attempt executes server-side but the reply is
             # dropped; the retry carries the same token and must succeed
@@ -165,8 +165,8 @@ class TestIdempotencyCacheEviction:
                         "ping", {}, token, {"IdempotencyKey": token}
                     )
                     transport._post(payload, "ping")
-                assert len(srv._idem_cache) == 2
-                assert "t1" not in srv._idem_cache  # oldest evicted
-                assert {"t2", "t3"} <= set(srv._idem_cache)
+                assert len(srv._dispatcher._idem_cache) == 2
+                assert "t1" not in srv._dispatcher._idem_cache  # oldest evicted
+                assert {"t2", "t3"} <= set(srv._dispatcher._idem_cache)
             finally:
                 transport.close()
