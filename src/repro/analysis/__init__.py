@@ -62,7 +62,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format",
     )
@@ -71,14 +71,80 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="list every rule and the invariant it guards, then exit",
     )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="also run the interprocedural rules (MCS012+) over the call "
+        "graph of the scanned tree",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings listed (with a justification) in this "
+        "baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the run's findings as a baseline file (justifications "
+        "left empty for humans to fill in), then exit 0",
+    )
     args = parser.parse_args(argv)
 
+    from repro.analysis import wprules as _wprules  # noqa: F401
+    from repro.analysis.flow import WHOLE_PROGRAM_REGISTRY, run_whole_program
+    from repro.analysis.lint import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+
+    all_rules = DEFAULT_REGISTRY.rules() + WHOLE_PROGRAM_REGISTRY.rules()
+
     if args.explain:
-        for rule in DEFAULT_REGISTRY.rules():
+        for rule in all_rules:
             print(f"{rule.id} {rule.name}")
             print(f"    {rule.invariant}")
         return 0
 
     findings = run_paths(args.paths, select=args.select)
-    print(render_report(findings, fmt=args.format))
+    if args.whole_program:
+        findings = sorted(
+            findings + run_whole_program(args.paths, select=args.select)
+        )
+
+    if args.write_baseline:
+        from pathlib import Path
+
+        write_baseline(findings, Path(args.write_baseline))
+        print(
+            f"wrote {len(findings)} baseline entr"
+            f"{'ies' if len(findings) != 1 else 'y'} to {args.write_baseline}"
+            " (fill in every justification before using it)"
+        )
+        return 0
+
+    if args.baseline:
+        import sys
+        from pathlib import Path
+
+        try:
+            entries = load_baseline(Path(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed, unused = apply_baseline(findings, entries)
+        if suppressed:
+            print(
+                f"note: {suppressed} finding(s) suppressed by baseline",
+                file=sys.stderr,
+            )
+        for entry in unused:
+            print(
+                f"note: baseline entry no longer matches anything "
+                f"({entry['rule']} in {entry['file']}) — delete it",
+                file=sys.stderr,
+            )
+
+    print(render_report(findings, fmt=args.format, rules=all_rules))
     return 1 if findings else 0

@@ -1,0 +1,1517 @@
+"""Project-wide symbol table and call graph for whole-program lint rules.
+
+The per-module rules (MCS001–MCS011) go blind the moment a violation is
+one function call away: a coroutine that calls a sync helper which calls
+``time.sleep`` two frames down is invisible to MCS011, a lock-order
+inversion split across two modules is invisible to MCS007, an exception
+minted in the db engine and leaking untyped out of a SOAP op is invisible
+to MCS004.  This module builds the structure those rules need:
+
+* a **symbol table** over every module handed to :func:`build_program` —
+  functions (any nesting depth), classes with a linearised base order,
+  per-module import aliases, module-level globals (including which of
+  them are mutable containers and which are locks), and per-class
+  ``self.attr`` type facts inferred from assignments;
+* a **call graph** — for every function, the resolved project-internal
+  call edges with the *context* each whole-program rule needs: the line,
+  whether the call site sits under a ``with span(...)``, which
+  ``threading`` locks are lexically held, which ``except`` handlers
+  enclose it (and whether they silently swallow), and the edge kind;
+* **async/sync coloring** with explicit color boundaries: calls handed
+  to a thread pool (``run_in_executor``, ``asyncio.to_thread``,
+  ``executor.submit``, ``threading.Thread(target=...)``) are
+  :data:`HANDOFF` edges — blocking is legal on the far side.
+
+Resolution strategy (documented in INTERNALS.md, "Whole-program
+analysis"):
+
+1. direct names resolve through the local scope chain, then module
+   functions/classes, then import aliases (``from x import y as z``);
+2. method calls resolve the receiver first — ``self``/``cls``, annotated
+   parameters, locals assigned from constructors, ``self.attr`` via the
+   class attribute table, module aliases, ``super()`` — then look the
+   attribute up through the class's linearised bases;
+3. receivers that resolve to something *external* (stdlib modules,
+   builtin containers, non-project annotations) produce **no** edge;
+4. anything else falls back to **conservative dynamic dispatch**: edges
+   to every project function with that method name (kind
+   :data:`DYNAMIC`), capped at :data:`DYNAMIC_FANOUT_LIMIT` candidates.
+
+Decorated functions resolve to themselves — decorators (including
+``functools.wraps`` wrappers) are assumed to preserve the wrapped
+callable's behaviour and color; ``@property`` getters additionally get
+edges from bare attribute *accesses* of their name on a resolved
+receiver.
+
+The graph is intentionally an over-approximation: rules that cannot
+tolerate dynamic-dispatch noise filter on ``Edge.kind``, and residual
+imprecision is suppressed inline with ``# wp-ok: MCS0xx reason`` (see
+:func:`Program.suppressed`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis.lint import Module, iter_python_files, load_module
+
+# -- edge kinds -------------------------------------------------------------
+
+#: Resolved call through a known symbol (direct, method, super, property).
+CALL = "call"
+#: Name-based dynamic-dispatch fallback: receiver type unknown.
+DYNAMIC = "dynamic"
+#: Callable handed to another thread (executor/thread target): a color
+#: boundary — blocking is legal on the far side, locks are not held there.
+HANDOFF = "handoff"
+
+#: Dynamic fallback gives up past this many same-named candidates: a name
+#: like ``close`` matching dozens of methods says nothing about the call.
+DYNAMIC_FANOUT_LIMIT = 8
+
+#: ``(module, attr)`` call chains that hand their callable argument to a
+#: worker thread.  The position of the callable argument follows.
+_HANDOFF_CALLS: dict[str, int] = {
+    "run_in_executor": 1,  # loop.run_in_executor(executor, fn, *args)
+    "to_thread": 0,  # asyncio.to_thread(fn, *args)
+    "submit": 0,  # executor.submit(fn, *args)
+}
+
+#: Lock-object factories: an attribute or global assigned one of these is
+#: a *lock* for MCS013/MCS015 purposes.  RWLock is deliberately absent —
+#: the engine's LockManager acquires table locks in sorted order, which a
+#: static pairwise rule cannot see (the runtime sanitizer covers it).
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Builtin container constructors: a receiver holding one is *external*
+#: (its methods are not project methods) but *mutable* (for MCS015).
+_CONTAINER_FACTORIES = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "OrderedDict",
+        "defaultdict",
+        "deque",
+        "Counter",  # collections.Counter — repro's Counter is resolved first
+    }
+)
+
+#: Known-blocking primitives: (attribute-chain suffix) → label.  The
+#: whole-program closure of MCS011's table, plus the primitives a helper
+#: two frames down is likely to hide (sqlite3, subprocess, select).
+BLOCKING_CHAINS: dict[tuple[str, ...], str] = {
+    ("time", "sleep"): "time.sleep()",
+    ("socket", "socket"): "socket.socket()",
+    ("socket", "create_connection"): "socket.create_connection()",
+    ("socket", "create_server"): "socket.create_server()",
+    ("sqlite3", "connect"): "sqlite3.connect()",
+    ("subprocess", "run"): "subprocess.run()",
+    ("subprocess", "check_output"): "subprocess.check_output()",
+    ("select", "select"): "select.select()",
+}
+
+#: Attribute names that block regardless of receiver (RWLock + socket).
+BLOCKING_ATTRS: dict[str, str] = {
+    "acquire_read": "acquire_read()",
+    "acquire_write": "acquire_write()",
+    "recv": "socket.recv()",
+    "sendall": "socket.sendall()",
+    "accept": "socket.accept()",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*wp-ok:\s*(MCS\d+)\s+(\S.*)$")
+
+
+# -- data model -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Handler:
+    """One ``except`` clause lexically enclosing a call/raise site."""
+
+    caught: tuple[str, ...]  # exception-type names ("Exception" for bare)
+    silent: bool  # body is pass/continue/docstring only
+    reraises: bool  # body contains a raise
+    line: int
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call edge, with the caller-side context rules need."""
+
+    caller: str
+    callee: str
+    line: int
+    kind: str  # CALL | DYNAMIC | HANDOFF
+    under_span: bool
+    locks_held: tuple[str, ...]
+    handlers: tuple[Handler, ...]
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """A ``raise`` statement and the handlers lexically above it."""
+
+    line: int
+    exc: str  # resolved class name (last attr part)
+    bare: bool  # bare ``raise`` (re-raise)
+    handlers: tuple[Handler, ...]
+
+
+@dataclass(frozen=True)
+class BlockSite:
+    line: int
+    label: str
+
+
+@dataclass(frozen=True)
+class AcquireSite:
+    """A ``with <lock>:`` acquisition, with the locks already held."""
+
+    line: int
+    lock: str
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class GlobalWrite:
+    """A mutation of a module-level mutable object."""
+
+    line: int
+    target: str  # qualified global name ("repro.obs.trace._span_hist")
+    locks_held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """A ``faults.check(...)`` injection-site call."""
+
+    line: int
+    label: str
+    under_span: bool
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str
+    module: str
+    relpath: str
+    name: str
+    lineno: int
+    is_async: bool
+    class_qual: Optional[str]
+    node: ast.AST = field(repr=False)
+    decorators: tuple[str, ...] = ()
+    is_property: bool = False
+    # local facts, filled by the body analysis
+    edges: list[Edge] = field(default_factory=list)
+    blocking: list[BlockSite] = field(default_factory=list)
+    raises: list[RaiseSite] = field(default_factory=list)
+    acquires: list[AcquireSite] = field(default_factory=list)
+    global_writes: list[GlobalWrite] = field(default_factory=list)
+    fault_sites: list[FaultSite] = field(default_factory=list)
+    opens_span: bool = False
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    name: str
+    lineno: int
+    base_exprs: list[ast.expr] = field(default_factory=list, repr=False)
+    bases: list[str] = field(default_factory=list)  # resolved qualnames
+    methods: dict[str, str] = field(default_factory=dict)  # name → func qual
+    properties: set[str] = field(default_factory=set)
+    #: self.attr → ("class", qualname) | ("lock", lock_id) | ("external",)
+    attr_types: dict[str, tuple] = field(default_factory=dict)
+
+    def mro(self, program: "Program") -> Iterator["ClassInfo"]:
+        """Linearised project-internal base order (DFS, de-duplicated)."""
+        seen: set[str] = set()
+        stack = [self.qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = program.classes.get(qual)
+            if info is None:
+                continue
+            yield info
+            stack.extend(info.bases)
+
+    def find_method(self, program: "Program", name: str) -> Optional[str]:
+        for cls in self.mro(program):
+            if name in cls.methods:
+                return cls.methods[name]
+        return None
+
+    def is_subclass_of(self, program: "Program", name: str) -> bool:
+        """True when *name* (bare class name) appears in the MRO."""
+        return any(cls.name == name for cls in self.mro(program))
+
+
+@dataclass
+class ModuleScope:
+    module: Module
+    #: import alias → dotted target ("_trace" → "repro.obs.trace")
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, str] = field(default_factory=dict)  # name → qual
+    classes: dict[str, str] = field(default_factory=dict)  # name → qual
+    #: module-global name → ("mutable", line) | ("lock", lock_id)
+    #:                    | ("instance", class_qual) | ("other",)
+    globals: dict[str, tuple] = field(default_factory=dict)
+
+
+class Program:
+    """The whole program: symbols, classes, functions and the call graph."""
+
+    def __init__(self) -> None:
+        self.scopes: dict[str, ModuleScope] = {}  # dotted module → scope
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: method name → [function qualnames] (dynamic-dispatch fallback)
+        self.methods_by_name: dict[str, list[str]] = {}
+        #: (relpath, line) → {rule_id: reason}
+        self.suppressions: dict[tuple[str, int], dict[str, str]] = {}
+        #: functions used as thread/executor targets or request handlers.
+        self.thread_entry_points: set[str] = set()
+        self._ancestor_cache: dict[str, set[str]] = {}
+
+    # -- queries ------------------------------------------------------------
+
+    def edges_from(self, qualname: str) -> list[Edge]:
+        info = self.functions.get(qualname)
+        return info.edges if info is not None else []
+
+    def suppressed(self, relpath: str, line: int, rule_id: str) -> bool:
+        return rule_id in self.suppressions.get((relpath, line), {})
+
+    def exception_ancestors(self, name: str) -> set[str]:
+        """Bare names of *name* and every base class we can see.
+
+        Project classes walk their resolved bases; a small builtin
+        hierarchy covers the stdlib exceptions the tree raises.
+        """
+        cached = self._ancestor_cache.get(name)
+        if cached is not None:
+            return set(cached)
+        out = {name}
+        for cls in self.classes.values():
+            if cls.name != name:
+                continue
+            for base in cls.mro(self):
+                out.add(base.name)
+                # continue past project knowledge into builtins below
+                out.update(_BUILTIN_BASES.get(base.name, ()))
+            for base_qual in _unresolved_base_names(cls):
+                out.add(base_qual)
+        out.update(_BUILTIN_BASES.get(name, ()))
+        frontier = set(out)
+        while frontier:
+            nxt: set[str] = set()
+            for n in frontier:
+                for extra in _BUILTIN_BASES.get(n, ()):
+                    if extra not in out:
+                        out.add(extra)
+                        nxt.add(extra)
+                for cls in self.classes.values():
+                    if cls.name == n:
+                        for b in _unresolved_base_names(cls):
+                            if b not in out:
+                                out.add(b)
+                                nxt.add(b)
+                        for base in cls.mro(self):
+                            if base.name not in out:
+                                out.add(base.name)
+                                nxt.add(base.name)
+            frontier = nxt
+        self._ancestor_cache[name] = set(out)
+        return out
+
+    def catches(self, handler_names: Sequence[str], exc_name: str) -> bool:
+        """Would an ``except (<handler_names>)`` clause catch *exc_name*?"""
+        ancestors = self.exception_ancestors(exc_name)
+        ancestors.update({"Exception", "BaseException"})
+        return any(name in ancestors for name in handler_names)
+
+    # -- SCC machinery ------------------------------------------------------
+
+    def sccs(self) -> list[list[str]]:
+        """Tarjan's strongly connected components, iterative form."""
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        out: list[list[str]] = []
+        counter = [0]
+
+        adjacency = {
+            qual: [e.callee for e in info.edges if e.callee in self.functions]
+            for qual, info in self.functions.items()
+        }
+
+        for root in self.functions:
+            if root in index:
+                continue
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, pos = work[-1]
+                if pos == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                advanced = False
+                neighbours = adjacency[node]
+                while pos < len(neighbours):
+                    succ = neighbours[pos]
+                    pos += 1
+                    if succ not in index:
+                        work[-1] = (node, pos)
+                        work.append((succ, 0))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work[-1] = (node, pos)
+                if pos >= len(neighbours):
+                    work.pop()
+                    if low[node] == index[node]:
+                        component: list[str] = []
+                        while True:
+                            member = stack.pop()
+                            on_stack.discard(member)
+                            component.append(member)
+                            if member == node:
+                                break
+                        out.append(component)
+                    if work:
+                        parent = work[-1][0]
+                        low[parent] = min(low[parent], low[node])
+        return out
+
+    def condensation(self) -> tuple[list[list[str]], dict[int, set[int]]]:
+        """SCCs (reverse-topological: callees before callers) + DAG edges."""
+        components = self.sccs()
+        comp_of: dict[str, int] = {}
+        for i, comp in enumerate(components):
+            for member in comp:
+                comp_of[member] = i
+        dag: dict[int, set[int]] = {i: set() for i in range(len(components))}
+        for qual, info in self.functions.items():
+            for edge in info.edges:
+                if edge.callee in comp_of:
+                    a, b = comp_of[qual], comp_of[edge.callee]
+                    if a != b:
+                        dag[a].add(b)
+        return components, dag
+
+
+# -- exception hierarchy knowledge ------------------------------------------
+
+#: Builtin exception → direct bases the raises-analysis must know about.
+_BUILTIN_BASES: dict[str, tuple[str, ...]] = {
+    "ValueError": ("Exception",),
+    "TypeError": ("Exception",),
+    "KeyError": ("LookupError",),
+    "IndexError": ("LookupError",),
+    "LookupError": ("Exception",),
+    "RuntimeError": ("Exception",),
+    "NotImplementedError": ("RuntimeError",),
+    "OSError": ("Exception",),
+    "ConnectionError": ("OSError",),
+    "ConnectionResetError": ("ConnectionError",),
+    "BrokenPipeError": ("ConnectionError",),
+    "TimeoutError": ("OSError",),
+    "StopIteration": ("Exception",),
+    "ArithmeticError": ("Exception",),
+    "ZeroDivisionError": ("ArithmeticError",),
+    "AttributeError": ("Exception",),
+    "Exception": ("BaseException",),
+    "KeyboardInterrupt": ("BaseException",),
+    "SystemExit": ("BaseException",),
+}
+
+
+def _unresolved_base_names(cls: ClassInfo) -> list[str]:
+    """Bare names of base expressions that did not resolve to a project
+    class (e.g. ``Exception`` itself, or an aliased stdlib base)."""
+    out = []
+    for expr in cls.base_exprs:
+        chain = _attr_chain(expr)
+        if chain and chain[-1] not in {c.split(".")[-1] for c in cls.bases}:
+            out.append(chain[-1])
+    return out
+
+
+# -- small AST helpers ------------------------------------------------------
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    if isinstance(node, ast.Call):
+        inner = _attr_chain(node.func)
+        if inner:
+            return inner + ["()"] + list(reversed(parts))
+    return []
+
+
+def _trailing_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _decorator_names(node: ast.AST) -> tuple[str, ...]:
+    names = []
+    for dec in getattr(node, "decorator_list", []):
+        expr = dec.func if isinstance(dec, ast.Call) else dec
+        name = _trailing_name(expr)
+        if name:
+            names.append(name)
+    return tuple(names)
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _trailing_name(node.func)
+        return name in _CONTAINER_FACTORIES
+    return False
+
+
+def _lock_factory(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    return _trailing_name(node.func) in _LOCK_FACTORIES
+
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "setdefault",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "popleft",
+        "move_to_end",
+    }
+)
+
+
+# -- the builder ------------------------------------------------------------
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.program = Program()
+
+    # ---- pass 1: symbols ---------------------------------------------------
+
+    def collect_module(self, module: Module) -> None:
+        scope = ModuleScope(module=module)
+        self.program.scopes[module.dotted] = scope
+        self._collect_suppressions(module)
+        self._collect_scope(
+            module, scope, module.tree.body, prefix=module.dotted, class_qual=None
+        )
+
+    def _collect_suppressions(self, module: Module) -> None:
+        for lineno, line in enumerate(module.source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                self.program.suppressions.setdefault(
+                    (module.relpath, lineno), {}
+                )[match.group(1)] = match.group(2).strip()
+
+    def _collect_scope(
+        self,
+        module: Module,
+        scope: ModuleScope,
+        body: Sequence[ast.stmt],
+        prefix: str,
+        class_qual: Optional[str],
+        local_names: Optional[dict[str, str]] = None,
+    ) -> None:
+        """Register defs/classes/imports/globals in *body*.
+
+        ``local_names`` maps names visible in this lexical scope to
+        function/class qualnames (the scope chain for call resolution is
+        rebuilt in pass 3; here we only register symbols).
+        """
+        at_module_level = prefix == module.dotted and class_qual is None
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{stmt.name}"
+                info = FunctionInfo(
+                    qualname=qual,
+                    module=module.dotted,
+                    relpath=module.relpath,
+                    name=stmt.name,
+                    lineno=stmt.lineno,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                    class_qual=class_qual,
+                    node=stmt,
+                    decorators=_decorator_names(stmt),
+                )
+                info.is_property = "property" in info.decorators or (
+                    "cached_property" in info.decorators
+                )
+                self.program.functions[qual] = info
+                if class_qual is not None:
+                    cls = self.program.classes[class_qual]
+                    cls.methods.setdefault(stmt.name, qual)
+                    if info.is_property:
+                        cls.properties.add(stmt.name)
+                    self.program.methods_by_name.setdefault(
+                        stmt.name, []
+                    ).append(qual)
+                elif at_module_level:
+                    scope.functions[stmt.name] = qual
+                # nested defs inside this function
+                self._collect_scope(
+                    module, scope, stmt.body, prefix=qual, class_qual=None
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{prefix}.{stmt.name}"
+                cls = ClassInfo(
+                    qualname=qual,
+                    module=module.dotted,
+                    name=stmt.name,
+                    lineno=stmt.lineno,
+                    base_exprs=list(stmt.bases),
+                )
+                self.program.classes[qual] = cls
+                if at_module_level:
+                    scope.classes[stmt.name] = qual
+                self._collect_scope(
+                    module, scope, stmt.body, prefix=qual, class_qual=qual
+                )
+                # class-level attribute assignments (locks, containers)
+                for sub in stmt.body:
+                    self._record_attr_assign(cls, sub, qual)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    scope.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        scope.imports[alias.asname] = alias.name
+            elif isinstance(stmt, ast.ImportFrom) and stmt.level == 0:
+                base = stmt.module or ""
+                for alias in stmt.names:
+                    scope.imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)) and at_module_level:
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                value = stmt.value
+                for target in targets:
+                    if not isinstance(target, ast.Name) or value is None:
+                        continue
+                    if _lock_factory(value):
+                        scope.globals[target.id] = (
+                            "lock",
+                            f"{module.dotted}.{target.id}",
+                        )
+                    elif _is_mutable_literal(value):
+                        scope.globals[target.id] = ("mutable", target.lineno)
+                    elif isinstance(value, ast.Call):
+                        name = _trailing_name(value.func)
+                        scope.globals[target.id] = ("call", name or "")
+                    else:
+                        scope.globals[target.id] = ("other",)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # symbols defined under module-level guards still count
+                for sub_body in _sub_bodies(stmt):
+                    self._collect_scope(
+                        module, scope, sub_body, prefix=prefix, class_qual=class_qual
+                    )
+
+    def _record_attr_assign(
+        self, cls: ClassInfo, stmt: ast.stmt, class_qual: str
+    ) -> None:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        value = stmt.value
+        if value is None:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if _lock_factory(value):
+                    cls.attr_types[target.id] = (
+                        "lock",
+                        f"{class_qual}.{target.id}",
+                    )
+                elif _is_mutable_literal(value):
+                    cls.attr_types[target.id] = ("external",)
+
+    # ---- pass 2: resolve class bases and self-attr types -------------------
+
+    def link(self) -> None:
+        for cls in self.program.classes.values():
+            scope = self.program.scopes[cls.module]
+            for expr in cls.base_exprs:
+                resolved = self._resolve_symbol(scope, expr)
+                if resolved and resolved[0] == "class":
+                    cls.bases.append(resolved[1])
+        for cls in self.program.classes.values():
+            for method_qual in list(cls.methods.values()):
+                info = self.program.functions[method_qual]
+                self._infer_attr_types(cls, info)
+
+    def _infer_attr_types(self, cls: ClassInfo, info: FunctionInfo) -> None:
+        scope = self.program.scopes[info.module]
+        args = info.node.args
+        param_classes: dict[str, str] = {}
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            resolved = self._annotation_class(scope, arg.annotation)
+            if resolved and not resolved.startswith("<external:"):
+                param_classes[arg.arg] = resolved
+
+        def value_class(value: ast.expr) -> Optional[str]:
+            if isinstance(value, ast.IfExp):
+                # `x if x is not None else Fallback()` — either branch
+                return value_class(value.body) or value_class(value.orelse)
+            if isinstance(value, (ast.BoolOp,)):
+                for operand in value.values:
+                    resolved = value_class(operand)
+                    if resolved:
+                        return resolved
+                return None
+            if isinstance(value, ast.Call):
+                resolved = self._resolve_symbol(scope, value.func)
+                if resolved and resolved[0] == "class":
+                    return resolved[1]
+                return None
+            if isinstance(value, ast.Name):
+                if value.id == "self":
+                    return cls.qualname
+                return param_classes.get(value.id)
+            return None
+
+        for node in ast.walk(info.node):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            value = node.value
+            if value is None:
+                continue
+            for target in targets:
+                if (
+                    not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id not in ("self", "cls")
+                ):
+                    continue
+                attr = target.attr
+                if _lock_factory(value):
+                    cls.attr_types.setdefault(
+                        attr, ("lock", f"{cls.qualname}.{attr}")
+                    )
+                elif _is_mutable_literal(value):
+                    cls.attr_types.setdefault(attr, ("external",))
+                else:
+                    resolved_cls = value_class(value)
+                    if resolved_cls:
+                        cls.attr_types.setdefault(attr, ("class", resolved_cls))
+                    elif isinstance(node, ast.AnnAssign):
+                        ann = self._annotation_class(scope, node.annotation)
+                        if ann and not ann.startswith("<external:"):
+                            cls.attr_types.setdefault(attr, ("class", ann))
+
+    # ---- symbol resolution -------------------------------------------------
+
+    def _resolve_symbol(
+        self, scope: ModuleScope, expr: ast.expr
+    ) -> Optional[tuple]:
+        """Resolve a name/attribute chain to a project symbol.
+
+        Returns ``("func", qual)``, ``("class", qual)``,
+        ``("module", dotted)``, ``("external", dotted)`` or ``None``.
+        """
+        chain = _attr_chain(expr)
+        if not chain or "()" in chain:
+            return None
+        return self._resolve_chain(scope, chain)
+
+    def _resolve_chain(
+        self, scope: ModuleScope, chain: list[str]
+    ) -> Optional[tuple]:
+        head, rest = chain[0], chain[1:]
+        target: Optional[tuple] = None
+        if head in scope.functions:
+            target = ("func", scope.functions[head])
+        elif head in scope.classes:
+            target = ("class", scope.classes[head])
+        elif head in scope.imports:
+            dotted = scope.imports[head]
+            target = self._imported_target(dotted)
+        elif head in scope.globals:
+            info = scope.globals[head]
+            if info[0] == "call":
+                # module-global assigned from a call; resolve the factory
+                factory = self._resolve_chain(scope, [info[1]]) if info[1] else None
+                if factory and factory[0] == "class":
+                    target = ("instance", factory[1])
+                else:
+                    return None
+            else:
+                return None
+        else:
+            return None
+        for part in rest:
+            if target is None:
+                return None
+            kind, qual = target[0], target[1]
+            if kind in ("module", "external"):
+                target = self._imported_target(f"{qual}.{part}")
+            elif kind == "class":
+                sub = self.program.classes.get(f"{qual}.{part}")
+                fn = self.program.classes[qual].find_method(self.program, part) if qual in self.program.classes else None
+                if sub is not None:
+                    target = ("class", sub.qualname)
+                elif fn is not None:
+                    target = ("func", fn)
+                else:
+                    return None
+            else:
+                return None
+        return target
+
+    def _module_global_type(self, dotted: str) -> Optional[tuple]:
+        """Type of another module's global named by *dotted*.
+
+        ``from repro.locks import lock_store`` must give the importing
+        module the same lock identity the defining module has — lock
+        ordering (MCS013) is meaningless if each importer sees a fresh
+        anonymous lock.
+        """
+        module, _, name = dotted.rpartition(".")
+        scope = self.program.scopes.get(module)
+        if scope is None or not name:
+            return None
+        info = scope.globals.get(name)
+        if info is None:
+            return None
+        if info[0] == "lock":
+            return ("lock", info[1])
+        if info[0] == "mutable":
+            return ("external",)
+        return None
+
+    def _imported_target(self, dotted: str) -> Optional[tuple]:
+        """What a dotted import path denotes, if it is project-internal."""
+        if dotted in self.program.scopes:
+            return ("module", dotted)
+        if dotted in self.program.classes:
+            return ("class", dotted)
+        if dotted in self.program.functions:
+            return ("func", dotted)
+        # repro.* that we did not scan is still "project-ish" but unknown;
+        # anything else is external (stdlib, third-party).
+        if dotted.split(".")[0] in ("repro",) and any(
+            dotted.startswith(m + ".") for m in self.program.scopes
+        ):
+            # submodule attribute that is not a known symbol
+            return None
+        if dotted.split(".")[0] not in ("repro",):
+            return ("external", dotted)
+        return None
+
+    def _annotation_class(
+        self, scope: ModuleScope, annotation: Optional[ast.expr]
+    ) -> Optional[str]:
+        """Project class qualname named by a parameter/attr annotation."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(annotation, ast.Subscript):
+            # Optional[X] / Union[X, None] / list[X]: look inside
+            name = _trailing_name(annotation.value)
+            inner = annotation.slice
+            if name in ("Optional", "Union"):
+                parts = (
+                    inner.elts if isinstance(inner, ast.Tuple) else [inner]
+                )
+                for part in parts:
+                    resolved = self._annotation_class(scope, part)
+                    if resolved:
+                        return resolved
+            return None
+        if isinstance(annotation, (ast.Name, ast.Attribute)):
+            resolved = self._resolve_symbol(scope, annotation)
+            if resolved and resolved[0] == "class":
+                return resolved[1]
+            if resolved and resolved[0] == "external":
+                return f"<external:{resolved[1]}>"
+        return None
+
+    # ---- pass 3: function bodies -------------------------------------------
+
+    def analyze_bodies(self) -> None:
+        for info in list(self.program.functions.values()):
+            _BodyAnalyzer(self, info).run()
+
+
+def _sub_bodies(stmt: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+    for name in ("body", "orelse", "finalbody"):
+        body = getattr(stmt, name, None)
+        if body:
+            yield body
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body
+
+
+class _BodyAnalyzer:
+    """Single-function pass: local facts + resolved call edges.
+
+    Walks the function body *excluding* nested def/lambda bodies (those
+    are separate graph nodes) while tracking the lexical context stacks:
+    span regions, held locks, and enclosing try-handlers.
+    """
+
+    def __init__(self, builder: _Builder, info: FunctionInfo) -> None:
+        self.b = builder
+        self.program = builder.program
+        self.info = info
+        self.scope = builder.program.scopes[info.module]
+        self.cls = (
+            builder.program.classes.get(info.class_qual)
+            if info.class_qual
+            else None
+        )
+        self.locals: dict[str, tuple] = {}
+        self.span_depth = 0
+        self.lock_stack: list[str] = []
+        self.handler_stack: list[Handler] = []
+        # caught-type names of the except-body currently being visited,
+        # so a bare ``raise`` resolves to what it re-raises
+        self.caught_stack: list[tuple[str, ...]] = []
+
+    # -- local type environment ---------------------------------------------
+
+    def _seed_locals(self) -> None:
+        node = self.info.node
+        args = node.args
+        all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in all_args:
+            if arg.arg in ("self", "cls") and self.cls is not None:
+                self.locals[arg.arg] = ("class", self.cls.qualname)
+                continue
+            resolved = self.b._annotation_class(self.scope, arg.annotation)
+            if resolved:
+                if resolved.startswith("<external:"):
+                    self.locals[arg.arg] = ("external",)
+                else:
+                    self.locals[arg.arg] = ("class", resolved)
+
+    def run(self) -> None:
+        self._seed_locals()
+        for stmt in self.info.node.body:
+            self._visit(stmt)
+
+    # -- receiver typing -----------------------------------------------------
+
+    def _expr_type(self, expr: ast.expr) -> Optional[tuple]:
+        """("class", qual) | ("external",) | ("lock", id) | None."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self.locals:
+                return self.locals[expr.id]
+            if expr.id in self.scope.globals:
+                info = self.scope.globals[expr.id]
+                if info[0] == "lock":
+                    return ("lock", info[1])
+                if info[0] == "mutable":
+                    return ("external",)
+                if info[0] == "call":
+                    resolved = (
+                        self.b._resolve_chain(self.scope, [info[1]])
+                        if info[1]
+                        else None
+                    )
+                    if resolved and resolved[0] == "class":
+                        return ("class", resolved[1])
+                return None
+            if expr.id in self.scope.imports:
+                imported = self.b._module_global_type(
+                    self.scope.imports[expr.id]
+                )
+                if imported is not None:
+                    return imported
+            resolved = self.b._resolve_symbol(self.scope, expr)
+            if resolved and resolved[0] == "external":
+                return ("external",)
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self._expr_type(expr.value)
+            if base is None:
+                resolved = self.b._resolve_symbol(self.scope, expr)
+                if resolved:
+                    if resolved[0] == "class":
+                        return ("class", resolved[1])
+                    if resolved[0] == "external":
+                        return ("external",)
+                chain = _attr_chain(expr)
+                if chain and "()" not in chain and chain[0] in self.scope.imports:
+                    dotted = ".".join(
+                        [self.scope.imports[chain[0]], *chain[1:]]
+                    )
+                    imported = self.b._module_global_type(dotted)
+                    if imported is not None:
+                        return imported
+                return None
+            if base[0] == "class":
+                cls = self.program.classes.get(base[1])
+                if cls is not None and expr.attr in cls.attr_types:
+                    return cls.attr_types[expr.attr]
+                return None
+            if base[0] == "external":
+                return ("external",)
+            return None
+        if isinstance(expr, ast.Call):
+            # x = Foo() / chained call: type is the constructed class
+            resolved = self.b._resolve_symbol(self.scope, expr.func)
+            if resolved and resolved[0] == "class":
+                return ("class", resolved[1])
+            name = _trailing_name(expr.func)
+            if name in _CONTAINER_FACTORIES or _lock_factory(expr):
+                return ("external",)
+            if name == "super" and self.cls is not None:
+                return ("super", self.cls.qualname)
+            return None
+        if isinstance(expr, ast.Await):
+            return self._expr_type(expr.value)
+        return None
+
+    def _track_assign(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        else:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            inferred: Optional[tuple] = None
+            if value is not None:
+                inferred = self._expr_type(value)
+                if inferred is None and _is_mutable_literal(value):
+                    inferred = ("external",)
+            if inferred is None and isinstance(stmt, ast.AnnAssign):
+                resolved = self.b._annotation_class(self.scope, stmt.annotation)
+                if resolved:
+                    inferred = (
+                        ("external",)
+                        if resolved.startswith("<external:")
+                        else ("class", resolved)
+                    )
+            if inferred is not None:
+                self.locals[target.id] = inferred
+            else:
+                self.locals.pop(target.id, None)
+
+    # -- the walk ------------------------------------------------------------
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # separate graph node / opaque
+        if isinstance(node, ast.ClassDef):
+            return  # methods are separate graph nodes
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            self._check_global_write_assign(node)
+            if node.value is not None:
+                self._visit(node.value)
+            self._track_assign(node)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._check_global_write_target(node.target)
+            self._visit(node.value)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._check_global_write_target(target)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.Try) or node.__class__.__name__ == "TryStar":
+            self._visit_try(node)
+            return
+        if isinstance(node, ast.Raise):
+            self._record_raise(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node)
+            return
+        if isinstance(node, ast.Attribute):
+            self._maybe_property_edge(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_with(self, node) -> None:
+        opened: list[str] = []
+        spans = 0
+        for item in node.items:
+            expr = item.context_expr
+            name = (
+                _trailing_name(expr.func)
+                if isinstance(expr, ast.Call)
+                else None
+            )
+            if name in ("span", "_span"):
+                spans += 1
+                self.info.opens_span = True
+            lock = self._lock_id(expr)
+            if lock is not None:
+                self.info.acquires.append(
+                    AcquireSite(
+                        line=expr.lineno,
+                        lock=lock,
+                        held=tuple(self.lock_stack),
+                    )
+                )
+                self.lock_stack.append(lock)
+                opened.append(lock)
+            self._visit(expr)
+            inferred = self._expr_type(expr)
+            # the with-protocol calls __enter__/__exit__ implicitly
+            if inferred is not None and inferred[0] == "class":
+                cls = self.program.classes.get(inferred[1])
+                if cls is not None:
+                    names = (
+                        ("__aenter__", "__aexit__")
+                        if isinstance(node, ast.AsyncWith)
+                        else ("__enter__", "__exit__")
+                    )
+                    for dunder in names:
+                        target = cls.find_method(self.program, dunder)
+                        if target is not None:
+                            self._add_edge(target, expr.lineno, CALL)
+            if item.optional_vars is not None and isinstance(
+                item.optional_vars, ast.Name
+            ):
+                if inferred is not None:
+                    self.locals[item.optional_vars.id] = inferred
+        self.span_depth += spans
+        for stmt in node.body:
+            self._visit(stmt)
+        self.span_depth -= spans
+        for _ in opened:
+            self.lock_stack.pop()
+
+    def _lock_id(self, expr: ast.expr) -> Optional[str]:
+        typed = self._expr_type(expr)
+        if typed is not None and typed[0] == "lock":
+            return typed[1]
+        return None
+
+    def _visit_try(self, node) -> None:
+        handlers = []
+        for handler in node.handlers:
+            handlers.append(
+                Handler(
+                    caught=tuple(_handler_names(handler.type)) or ("BaseException",),
+                    silent=_is_silent(handler.body),
+                    reraises=_reraises(handler.body),
+                    line=handler.lineno,
+                )
+            )
+        self.handler_stack.extend(handlers)
+        for stmt in node.body:
+            self._visit(stmt)
+        del self.handler_stack[len(self.handler_stack) - len(handlers):]
+        for handler, meta in zip(node.handlers, handlers):
+            self.caught_stack.append(meta.caught)
+            for stmt in handler.body:
+                self._visit(stmt)
+            self.caught_stack.pop()
+        for stmt in list(node.orelse):
+            # else runs when the body did not raise; its raises see the
+            # same *outer* handlers only
+            self._visit(stmt)
+        for stmt in list(node.finalbody):
+            self._visit(stmt)
+
+    def _record_raise(self, node: ast.Raise) -> None:
+        if node.exc is None:
+            # bare raise: re-raises whatever the enclosing handler caught
+            if self.caught_stack:
+                for name in self.caught_stack[-1]:
+                    self.info.raises.append(
+                        RaiseSite(
+                            line=node.lineno,
+                            exc=name,
+                            bare=True,
+                            handlers=tuple(self.handler_stack),
+                        )
+                    )
+            return
+        expr = node.exc
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        name = _trailing_name(expr)
+        if name is None:
+            return
+        self.info.raises.append(
+            RaiseSite(
+                line=node.lineno,
+                exc=name,
+                bare=False,
+                handlers=tuple(self.handler_stack),
+            )
+        )
+
+    # -- calls ---------------------------------------------------------------
+
+    def _add_edge(self, callee: str, line: int, kind: str) -> None:
+        self.info.edges.append(
+            Edge(
+                caller=self.info.qualname,
+                callee=callee,
+                line=line,
+                kind=kind,
+                under_span=self.span_depth > 0,
+                locks_held=tuple(self.lock_stack),
+                handlers=tuple(self.handler_stack),
+            )
+        )
+
+    def _callable_ref_target(self, expr: ast.expr) -> Optional[str]:
+        """Function qualname for a bare callable reference (no call)."""
+        resolved = self.b._resolve_symbol(self.scope, expr)
+        if resolved and resolved[0] == "func":
+            return resolved[1]
+        if isinstance(expr, ast.Attribute):
+            base = self._expr_type(expr.value)
+            if base is not None and base[0] == "class":
+                cls = self.program.classes.get(base[1])
+                if cls is not None:
+                    return cls.find_method(self.program, expr.attr)
+        if isinstance(expr, ast.Name) and expr.id in self.scope.functions:
+            return self.scope.functions[expr.id]
+        return None
+
+    def _visit_call(self, node: ast.Call) -> None:
+        func = node.func
+        name = _trailing_name(func)
+        line = node.lineno
+
+        # blocking primitives (receiver-independent table first)
+        chain = _attr_chain(func)
+        if isinstance(func, ast.Name) and func.id == "open":
+            self.info.blocking.append(BlockSite(line=line, label="open()"))
+        elif name in BLOCKING_ATTRS and not self._external_receiver_ok(func):
+            self.info.blocking.append(
+                BlockSite(line=line, label=BLOCKING_ATTRS[name])
+            )
+        else:
+            for suffix, label in BLOCKING_CHAINS.items():
+                if tuple(chain[-len(suffix):]) == suffix:
+                    self.info.blocking.append(BlockSite(line=line, label=label))
+                    break
+
+        # fault-injection sites: faults.check("layer", op)
+        if name == "check" and chain[:1] in (["_faults"], ["faults"]):
+            label = ""
+            if node.args and isinstance(node.args[0], ast.Constant):
+                label = str(node.args[0].value)
+            self.info.fault_sites.append(
+                FaultSite(
+                    line=line, label=label, under_span=self.span_depth > 0
+                )
+            )
+
+        # executor/thread handoffs
+        if name in _HANDOFF_CALLS:
+            idx = _HANDOFF_CALLS[name]
+            if name == "run_in_executor" and len(node.args) > idx:
+                target = self._callable_ref_target(node.args[idx])
+            elif len(node.args) > idx:
+                target = self._callable_ref_target(node.args[idx])
+            else:
+                target = None
+            if target is not None:
+                self._add_edge(target, line, HANDOFF)
+                self.program.thread_entry_points.add(target)
+            for arg in node.args:
+                self._visit(arg)
+            return
+        if name == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    target = self._callable_ref_target(kw.value)
+                    if target is not None:
+                        self._add_edge(target, line, HANDOFF)
+                        self.program.thread_entry_points.add(target)
+
+        self._resolve_call(node, name, line)
+
+        for child in ast.iter_child_nodes(node):
+            if child is not func or isinstance(func, (ast.Call, ast.Subscript)):
+                self._visit(child)
+        # visit the receiver expression of attribute calls (for nested
+        # calls like a(b()).c())
+        if isinstance(func, ast.Attribute):
+            self._visit(func.value)
+
+    def _external_receiver_ok(self, func: ast.expr) -> bool:
+        """True when the receiver is known-external, so a blocking-ish
+        attribute name (``recv``) cannot be the stdlib primitive AND
+        cannot be a project method — not blocking evidence."""
+        if not isinstance(func, ast.Attribute):
+            return False
+        base = self._expr_type(func.value)
+        if base is None:
+            # socket.recv via unknown receiver: keep as blocking evidence
+            # only when the chain starts from something socket-ish
+            chain = _attr_chain(func)
+            return not (chain and chain[0] in ("sock", "conn", "socket", "s"))
+        return base[0] == "external" or base[0] == "class"
+
+    def _resolve_call(
+        self, node: ast.Call, name: Optional[str], line: int
+    ) -> None:
+        func = node.func
+        # super().m()
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Call)
+            and _trailing_name(func.value.func) == "super"
+            and self.cls is not None
+        ):
+            mro = list(self.cls.mro(self.program))
+            for cls in mro[1:]:
+                if func.attr in cls.methods:
+                    self._add_edge(cls.methods[func.attr], line, CALL)
+                    return
+            return
+        if isinstance(func, ast.Name):
+            # scope chain: locals (callables not tracked) → module defs →
+            # imports → classes (constructor)
+            resolved = self.b._resolve_chain(self.scope, [func.id])
+            if resolved is None:
+                return
+            kind, qual = resolved[0], resolved[1]
+            if kind == "func":
+                self._add_edge(qual, line, CALL)
+            elif kind == "class":
+                init = None
+                cls = self.program.classes.get(qual)
+                if cls is not None:
+                    init = cls.find_method(self.program, "__init__")
+                if init is not None:
+                    self._add_edge(init, line, CALL)
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        base = self._expr_type(func.value)
+        if base is not None and base[0] == "class":
+            cls = self.program.classes.get(base[1])
+            if cls is not None:
+                target = cls.find_method(self.program, attr)
+                if target is not None:
+                    self._add_edge(target, line, CALL)
+                    return
+                if attr in cls.attr_types and cls.attr_types[attr][0] in (
+                    "external",
+                    "lock",
+                ):
+                    return
+            # known class, unknown method: instance attr holding a
+            # callable, __getattr__, etc. — fall through to dynamic
+        elif base is not None and base[0] in ("external", "lock"):
+            return
+        else:
+            # unknown receiver: maybe a module alias chain (mod.func())
+            resolved = self.b._resolve_symbol(self.scope, func)
+            if resolved is not None:
+                kind, qual = resolved[0], resolved[1]
+                if kind == "func":
+                    self._add_edge(qual, line, CALL)
+                    return
+                if kind == "class":
+                    cls = self.program.classes.get(qual)
+                    init = (
+                        cls.find_method(self.program, "__init__")
+                        if cls is not None
+                        else None
+                    )
+                    if init is not None:
+                        self._add_edge(init, line, CALL)
+                    return
+                if kind in ("external", "module"):
+                    return
+        # conservative dynamic-dispatch fallback
+        candidates = self.program.methods_by_name.get(attr, [])
+        if candidates and len(candidates) <= DYNAMIC_FANOUT_LIMIT:
+            for qual in candidates:
+                self._add_edge(qual, line, DYNAMIC)
+
+    def _maybe_property_edge(self, node: ast.Attribute) -> None:
+        base = self._expr_type(node.value)
+        if base is None or base[0] != "class":
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            return
+        cls = self.program.classes.get(base[1])
+        if cls is not None:
+            for mro_cls in cls.mro(self.program):
+                if node.attr in mro_cls.properties:
+                    self._add_edge(
+                        mro_cls.methods[node.attr], node.lineno, CALL
+                    )
+                    break
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    # -- module-global mutation ----------------------------------------------
+
+    def _check_global_write_assign(self, node) -> None:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                self._check_global_write_target(target)
+            elif isinstance(target, ast.Name):
+                # rebinding a module global requires `global`; cheap check
+                if target.id in self.scope.globals and self._declares_global(
+                    target.id
+                ):
+                    self._record_global_write(target.id, target.lineno)
+
+    def _declares_global(self, name: str) -> bool:
+        for stmt in ast.walk(self.info.node):
+            if isinstance(stmt, ast.Global) and name in stmt.names:
+                return True
+        return False
+
+    def _check_global_write_target(self, target: ast.expr) -> None:
+        # G[...] = / del G[...] / G += where G is a module-level mutable
+        expr = target
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            info = self.scope.globals.get(expr.id)
+            if (
+                info is not None
+                and info[0] == "mutable"
+                and expr.id not in self.locals
+            ):
+                self._record_global_write(expr.id, target.lineno)
+
+    def _record_global_write(self, name: str, line: int) -> None:
+        self.info.global_writes.append(
+            GlobalWrite(
+                line=line,
+                target=f"{self.info.module}.{name}",
+                locks_held=tuple(self.lock_stack),
+            )
+        )
+
+
+def _handler_names(node: Optional[ast.expr]) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        out: list[str] = []
+        for element in node.elts:
+            out.extend(_handler_names(element))
+        return out
+    name = _trailing_name(node)
+    return [name] if name else []
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+def _reraises(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+    return False
+
+
+# -- mutating-call detection (needs the analyzer's type env, so it lives
+#    in the analyzer; this is the shared method-name table) ----------------
+
+
+def is_mutating_method(name: str) -> bool:
+    return name in _MUTATING_METHODS
+
+
+# -- public entry -----------------------------------------------------------
+
+
+def build_program(paths: Sequence[str | Path]) -> Program:
+    """Parse every Python file under *paths* and build the call graph."""
+    builder = _Builder()
+    modules: list[Module] = []
+    seen: set[Path] = set()
+    for root, file in iter_python_files([Path(p) for p in paths]):
+        resolved = file.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        try:
+            modules.append(load_module(root, file))
+        except SyntaxError:
+            continue  # per-module lint reports LINT-SYNTAX already
+    for module in modules:
+        builder.collect_module(module)
+    builder.link()
+    builder.analyze_bodies()
+    return builder.program

@@ -1,0 +1,381 @@
+"""Fixed-point interprocedural summaries over the call graph.
+
+Each function gets a :class:`Summary` — the facts a caller needs without
+re-reading the callee's body:
+
+* ``blocks`` — blocking primitives reachable from the function, with a
+  witness call path.  Propagation cuts at :data:`callgraph.HANDOFF`
+  edges (the far side runs on a worker thread, blocking is legal there)
+  and skips :data:`callgraph.DYNAMIC` edges (name-based fallback is for
+  reachability questions, not blocking evidence).
+* ``acquires`` / ``pairs`` — which locks the function (transitively)
+  takes, and every ordered pair *(held, then-acquired)* it witnesses,
+  including pairs that only exist interprocedurally: the caller holds
+  ``A`` across a call whose callee eventually takes ``B``.
+* ``raises`` — exception type names that can propagate out, after
+  filtering through the ``except`` clauses lexically above each raise
+  or call site.  A handler absorbing a type removes it; the handler
+  body's own ``raise`` statements (including bare re-raises, resolved
+  to the caught types) were recorded separately by the callgraph pass.
+  Raises cross :data:`HANDOFF` edges too — an awaited
+  ``run_in_executor`` future re-raises in the caller.
+* ``uncovered`` — "required" sites (fault-injection checks, WAL/2PC
+  mutations) reachable without any enclosing ``with span(...)`` on the
+  path.  An edge that sits lexically under a span covers the entire
+  callee subtree; a required callee that opens a span of its own counts
+  as self-covered.
+
+Summaries are computed over the call graph's SCC condensation: Tarjan
+emits components in reverse topological order (callees before callers),
+so a single sweep with an inner fix-point loop per component converges —
+every merge only ever *adds* keys, the lattice is finite, and witness
+paths are frozen the first time a fact appears (first-witness semantics
+keeps reports stable run-to-run).
+
+:func:`held_at_entry` runs the opposite direction — a forward
+must-analysis from concurrency entry points computing the set of locks
+*definitely* held whenever a function is entered (intersection over all
+call sites), which is what lets MCS015 accept a lock taken two frames
+above the write it guards.
+
+The :class:`WholeProgramRule` base and :data:`WHOLE_PROGRAM_REGISTRY`
+live here as well; concrete rules are in :mod:`repro.analysis.wprules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path as _Path
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis import callgraph
+from repro.analysis.callgraph import (
+    CALL,
+    DYNAMIC,
+    HANDOFF,
+    Edge,
+    FunctionInfo,
+    Program,
+)
+from repro.analysis.lint import Finding, Registry
+
+#: Witness paths are truncated here — past this depth the report is
+#: noise, and the cycle guard below needs a bound anyway.
+MAX_PATH = 16
+
+#: WAL / 2PC mutation points whose execution must be observable: calls
+#: to these functions are "required sites" for span-coverage closure.
+REQUIRED_MUTATIONS: tuple[tuple[str, str], ...] = (
+    ("repro.db.wal", "append_commit"),
+    ("repro.shard.twopc", "_record_decision"),
+    ("repro.shard.twopc", "_write_prepare"),
+    ("repro.shard.twopc", "_delete_prepare"),
+)
+
+Path = tuple[str, ...]
+
+
+@dataclass
+class Summary:
+    """Interprocedural facts about one function, with witness paths."""
+
+    blocks: dict[str, Path] = field(default_factory=dict)
+    #: labels that block *in this function's own body* (MCS011 territory;
+    #: MCS012 reports only facts that arrived through a call edge)
+    direct_blocks: set[str] = field(default_factory=set)
+    acquires: dict[str, Path] = field(default_factory=dict)
+    pairs: dict[tuple[str, str], Path] = field(default_factory=dict)
+    raises: dict[str, Path] = field(default_factory=dict)
+    uncovered: dict[str, Path] = field(default_factory=dict)
+
+    def size(self) -> int:
+        return (
+            len(self.blocks)
+            + len(self.acquires)
+            + len(self.pairs)
+            + len(self.raises)
+            + len(self.uncovered)
+        )
+
+
+def _step(qual: str, line: int, note: str = "") -> str:
+    return f"{qual}:{line}" + (f" ({note})" if note else "")
+
+
+def _extend(qual: str, line: int, path: Path) -> Path:
+    if len(path) >= MAX_PATH:
+        return path
+    return (_step(qual, line),) + path
+
+
+def _own_summary(
+    program: Program,
+    info: FunctionInfo,
+    required: set[str],
+) -> Summary:
+    s = Summary()
+    qual = info.qualname
+    for site in info.blocking:
+        s.blocks.setdefault(site.label, (_step(qual, site.line, site.label),))
+        s.direct_blocks.add(site.label)
+    for acq in info.acquires:
+        short = acq.lock.rsplit(".", 2)
+        short_name = ".".join(short[-2:])
+        s.acquires.setdefault(
+            acq.lock, (_step(qual, acq.line, f"acquires {short_name}"),)
+        )
+        for held in acq.held:
+            s.pairs.setdefault(
+                (held, acq.lock),
+                (_step(qual, acq.line, f"acquires {short_name} while holding"),),
+            )
+    for site in info.raises:
+        if not site.exc:
+            continue
+        if any(program.catches(h.caught, site.exc) for h in site.handlers):
+            continue  # absorbed locally; handler-body raises recorded apart
+        s.raises.setdefault(
+            site.exc, (_step(qual, site.line, f"raises {site.exc}"),)
+        )
+    for fs in info.fault_sites:
+        if not fs.under_span:
+            key = f"fault-site {fs.label or '?'} at {qual}:{fs.line}"
+            s.uncovered.setdefault(key, (_step(qual, fs.line, "fault site"),))
+    for edge in info.edges:
+        if edge.callee in required and edge.kind is not HANDOFF:
+            callee_info = program.functions.get(edge.callee)
+            if callee_info is not None and callee_info.opens_span:
+                continue  # the mutation wraps itself in a span
+            if not edge.under_span:
+                key = f"mutation {edge.callee} called at {qual}:{edge.line}"
+                s.uncovered.setdefault(
+                    key, (_step(qual, edge.line, f"calls {edge.callee}"),)
+                )
+    return s
+
+
+def _merge(
+    program: Program,
+    caller: Summary,
+    callee: Summary,
+    edge: Edge,
+) -> bool:
+    """Fold *callee*'s summary into *caller* across *edge*.
+
+    Returns True when any new fact appeared (fix-point detection).
+    """
+    before = caller.size()
+    q, ln = edge.caller, edge.line
+
+    if edge.kind == CALL:
+        for label, path in callee.blocks.items():
+            caller.blocks.setdefault(label, _extend(q, ln, path))
+        for lock, path in callee.acquires.items():
+            caller.acquires.setdefault(lock, _extend(q, ln, path))
+        for pair, path in callee.pairs.items():
+            caller.pairs.setdefault(pair, _extend(q, ln, path))
+        # interprocedural ordering: locks held at this call site come
+        # before everything the callee will acquire
+        for held in edge.locks_held:
+            for lock, path in callee.acquires.items():
+                if held != lock:
+                    caller.pairs.setdefault((held, lock), _extend(q, ln, path))
+        if not edge.under_span:
+            for key, path in callee.uncovered.items():
+                caller.uncovered.setdefault(key, _extend(q, ln, path))
+
+    if edge.kind in (CALL, HANDOFF):
+        # exceptions re-raise across awaited executor futures as well
+        for exc, path in callee.raises.items():
+            if any(program.catches(h.caught, exc) for h in edge.handlers):
+                continue
+            caller.raises.setdefault(exc, _extend(q, ln, path))
+
+    return caller.size() != before
+
+
+def summarize(
+    program: Program,
+    required_mutations: Sequence[tuple[str, str]] = REQUIRED_MUTATIONS,
+) -> dict[str, Summary]:
+    """Compute every function's summary over the SCC condensation."""
+    required = {
+        info.qualname
+        for info in program.functions.values()
+        if (info.module, info.name) in set(required_mutations)
+    }
+    summaries: dict[str, Summary] = {}
+    for component in program.sccs():  # reverse topo: callees first
+        for qual in component:
+            summaries[qual] = _own_summary(
+                program, program.functions[qual], required
+            )
+        changed = True
+        while changed:
+            changed = False
+            for qual in component:
+                for edge in program.functions[qual].edges:
+                    callee = summaries.get(edge.callee)
+                    if callee is None or edge.callee == qual:
+                        continue
+                    if _merge(program, summaries[qual], callee, edge):
+                        changed = True
+    return summaries
+
+
+def held_at_entry(
+    program: Program, roots: set[str]
+) -> dict[str, Optional[frozenset[str]]]:
+    """Locks definitely held whenever each function is entered.
+
+    Forward must-analysis from *roots* (the concurrency entry points,
+    which start with nothing held): ``H(f)`` is the intersection over
+    every reachable CALL edge into ``f`` of ``H(caller) ∪ locks held at
+    the call site``.  ``None`` means "not reachable from any root" —
+    rules should skip such functions rather than assume anything.
+    """
+    held: dict[str, Optional[frozenset[str]]] = {
+        qual: None for qual in program.functions
+    }
+    for root in roots:
+        if root in held:
+            held[root] = frozenset()
+    changed = True
+    while changed:
+        changed = False
+        for qual, info in program.functions.items():
+            h_caller = held[qual]
+            if h_caller is None:
+                continue
+            for edge in info.edges:
+                if edge.callee not in held:
+                    continue
+                if edge.kind == HANDOFF:
+                    incoming: frozenset[str] = frozenset()  # new thread
+                else:
+                    incoming = h_caller | frozenset(edge.locks_held)
+                current = held[edge.callee]
+                new = incoming if current is None else current & incoming
+                if new != current:
+                    held[edge.callee] = new
+                    changed = True
+    return held
+
+
+def reachable(
+    program: Program,
+    roots: Sequence[str],
+    kinds: Sequence[str] = (CALL, DYNAMIC),
+) -> set[str]:
+    """Functions reachable from *roots* over the given edge kinds."""
+    seen: set[str] = set()
+    stack = [r for r in roots if r in program.functions]
+    kindset = set(kinds)
+    while stack:
+        qual = stack.pop()
+        if qual in seen:
+            continue
+        seen.add(qual)
+        for edge in program.functions[qual].edges:
+            if edge.kind in kindset and edge.callee in program.functions:
+                if edge.callee not in seen:
+                    stack.append(edge.callee)
+    return seen
+
+
+# --------------------------------------------------------------------------
+# Whole-program rule machinery
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ProgramContext:
+    """Everything a whole-program rule gets to look at."""
+
+    program: Program
+    summaries: dict[str, Summary]
+
+
+class WholeProgramRule:
+    """Base class for interprocedural rules (MCS012+).
+
+    Unlike :class:`repro.analysis.lint.Rule`, these see the whole
+    :class:`ProgramContext` at once instead of one module's AST, and are
+    registered with :data:`WHOLE_PROGRAM_REGISTRY` so the fast per-module
+    pass never pays for them.
+    """
+
+    id: str = ""
+    name: str = ""
+    invariant: str = ""
+
+    def check_program(
+        self, ctx: ProgramContext
+    ) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self,
+        info_or_file,
+        line: int,
+        message: str,
+        trace: Path = (),
+    ) -> Finding:
+        file = (
+            info_or_file.relpath
+            if isinstance(info_or_file, FunctionInfo)
+            else info_or_file
+        )
+        return Finding(
+            file=file,
+            line=line,
+            rule_id=self.id,
+            message=message,
+            trace=tuple(trace),
+        )
+
+
+#: Registry the ``--whole-program`` phase runs; populated by
+#: repro.analysis.wprules at import time.
+WHOLE_PROGRAM_REGISTRY = Registry()
+
+
+def register_whole_program(rule_cls):
+    """Class decorator twin of :func:`repro.analysis.lint.register`."""
+    return WHOLE_PROGRAM_REGISTRY.register(rule_cls)
+
+
+def run_whole_program(
+    paths: Sequence[str | _Path],
+    registry: Optional[Registry] = None,
+    select: Optional[Sequence[str]] = None,
+) -> list[Finding]:
+    """Build the program, summarize, and run every whole-program rule.
+
+    Findings suppressed by an inline ``# wp-ok: MCS0xx reason`` comment
+    (on the finding's line or the line above it) are dropped here, so
+    individual rules never need to know about suppressions.
+    """
+    from repro.analysis import wprules  # registration side effect
+
+    registry = registry if registry is not None else WHOLE_PROGRAM_REGISTRY
+    wanted = set(select) if select is not None else None
+    rules = [
+        r for r in registry.rules() if wanted is None or r.id in wanted
+    ]
+    if not rules:
+        return []
+    program = callgraph.build_program(paths)
+    wprules.wire_dispatch(program)
+    ctx = ProgramContext(program=program, summaries=summarize(program))
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check_program(ctx):
+            if program.suppressed(
+                finding.file, finding.line, finding.rule_id
+            ) or program.suppressed(
+                finding.file, finding.line - 1, finding.rule_id
+            ):
+                continue
+            findings.append(finding)
+    return sorted(findings)

@@ -32,23 +32,38 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation, pinned to a source location."""
+    """One rule violation, pinned to a source location.
+
+    Whole-program rules attach a ``trace`` — the call path that makes an
+    interprocedural violation real, one ``module.func:line`` step per
+    frame.  Per-module findings leave it empty and serialize exactly as
+    before.
+    """
 
     file: str
     line: int
     rule_id: str
     message: str
+    trace: tuple[str, ...] = ()
 
     def render(self) -> str:
         return f"{self.file}:{self.line}: {self.rule_id} {self.message}"
 
+    def render_with_trace(self) -> str:
+        lines = [self.render()]
+        lines.extend(f"    via {step}" for step in self.trace)
+        return "\n".join(lines)
+
     def to_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "file": self.file,
             "line": self.line,
             "rule": self.rule_id,
             "message": self.message,
         }
+        if self.trace:
+            out["trace"] = list(self.trace)
+        return out
 
 
 @dataclass
@@ -259,14 +274,159 @@ def run_paths(
     return sorted(findings)
 
 
-def render_report(findings: Sequence[Finding], fmt: str = "text") -> str:
-    """Render findings as line-per-finding text or a JSON document."""
+def render_report(
+    findings: Sequence[Finding],
+    fmt: str = "text",
+    rules: Sequence[Rule] = (),
+) -> str:
+    """Render findings as text, a JSON document, or a SARIF 2.1.0 log.
+
+    ``rules`` feeds the SARIF tool metadata (rule ids + invariants); the
+    other formats ignore it.
+    """
     if fmt == "json":
         return json.dumps([f.to_dict() for f in findings], indent=2)
-    lines = [f.render() for f in findings]
+    if fmt == "sarif":
+        return render_sarif(findings, rules)
+    lines = [f.render_with_trace() for f in findings]
     lines.append(
         f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
         if findings
         else "clean: no findings"
     )
     return "\n".join(lines)
+
+
+def render_sarif(findings: Sequence[Finding], rules: Sequence[Rule] = ()) -> str:
+    """SARIF 2.1.0 log for code-scanning upload.
+
+    One run, one result per finding; interprocedural traces ride along
+    in the message text (one ``via`` line per frame) so alerts stay
+    readable without SARIF codeFlow viewers.
+    """
+    rule_meta = [
+        {
+            "id": rule.id,
+            "name": rule.name or rule.id,
+            "shortDescription": {"text": rule.invariant or rule.name or rule.id},
+        }
+        for rule in rules
+    ]
+    known_ids = {meta["id"] for meta in rule_meta}
+    results = []
+    for finding in findings:
+        text = finding.message
+        if finding.trace:
+            text += "".join(f"\nvia {step}" for step in finding.trace)
+        result: dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": text},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.file},
+                        "region": {"startLine": max(finding.line, 1)},
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in known_ids:
+            result["ruleIndex"] = next(
+                i for i, meta in enumerate(rule_meta) if meta["id"] == finding.rule_id
+            )
+        results.append(result)
+    log = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "mcs-lint",
+                        "informationUri": "https://example.invalid/mcs-lint",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+# --------------------------------------------------------------------------
+# Baselines: accept a known finding, but never silently
+# --------------------------------------------------------------------------
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Write a baseline file accepting the given findings.
+
+    Every entry is written with an *empty* ``justification``;
+    :func:`load_baseline` refuses to use an entry until someone fills it
+    in, so accepting a finding always leaves a human-written reason in
+    the diff.
+    """
+    entries = [
+        {
+            "rule": f.rule_id,
+            "file": f.file,
+            "message": f.message,
+            "justification": "",
+        }
+        for f in sorted(findings)
+    ]
+    path.write_text(
+        json.dumps({"entries": entries}, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: Path) -> list[dict[str, str]]:
+    """Load and validate a baseline file.
+
+    Raises ``ValueError`` for malformed entries or — deliberately — for
+    entries whose ``justification`` is empty: a baseline is a list of
+    *argued* exceptions, not a mute button.
+    """
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline must contain an 'entries' list")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: entry {i} is not an object")
+        for key in ("rule", "file", "message", "justification"):
+            if not isinstance(entry.get(key), str):
+                raise ValueError(f"{path}: entry {i} is missing {key!r}")
+        if not entry["justification"].strip():
+            raise ValueError(
+                f"{path}: entry {i} ({entry['rule']} in {entry['file']}) has an "
+                "empty justification — explain why this finding is accepted"
+            )
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[dict[str, str]]
+) -> tuple[list[Finding], int, list[dict[str, str]]]:
+    """Drop findings matched by the baseline.
+
+    Matching ignores line numbers (code above a finding moves constantly;
+    the finding itself is identified by rule + file + message).  Returns
+    ``(kept, suppressed_count, unused_entries)`` — unused entries signal
+    a fixed finding whose baseline entry should now be deleted.
+    """
+    keys = {(e["rule"], e["file"], e["message"]) for e in entries}
+    kept: list[Finding] = []
+    used: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        key = (finding.rule_id, finding.file, finding.message)
+        if key in keys:
+            used.add(key)
+        else:
+            kept.append(finding)
+    unused = [
+        e for e in entries if (e["rule"], e["file"], e["message"]) not in used
+    ]
+    return kept, len(findings) - len(kept), unused

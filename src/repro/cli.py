@@ -127,10 +127,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories to lint (default: src/repro)")
     lint.add_argument("--select", action="append", metavar="RULE",
                       help="run only these rule ids (repeatable)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      dest="lint_format", help="report format")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", dest="lint_format", help="report format")
     lint.add_argument("--explain", action="store_true",
                       help="list every rule and its invariant, then exit")
+    lint.add_argument("--whole-program", action="store_true",
+                      help="also run the interprocedural rules (MCS012-MCS016)"
+                           " over the project call graph")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="suppress findings recorded (and justified) in"
+                           " this baseline file")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="write current findings to FILE as a baseline"
+                           " and exit")
 
     sub.add_parser("ping", help="liveness check")
     stats = sub.add_parser(
@@ -384,6 +393,12 @@ def _lint(args: argparse.Namespace) -> int:
     forwarded += ["--format", args.lint_format]
     if args.explain:
         forwarded.append("--explain")
+    if args.whole_program:
+        forwarded.append("--whole-program")
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.write_baseline:
+        forwarded += ["--write-baseline", args.write_baseline]
     return lint_main(forwarded)
 
 

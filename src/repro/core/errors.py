@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.db.errors import DatabaseError, LockTimeoutError, ProgrammingError
 from repro.security.errors import SecurityError
 
 
@@ -82,6 +83,28 @@ class BadRequestError(MCSError):
     fault_code = "MCS.BadRequest"
 
 
+class ServiceBusyError(MCSError):
+    """The server could not take a required lock in time; retry later.
+
+    Wire face of :class:`repro.db.errors.LockTimeoutError` — contention
+    is an operational condition the client can back off from, not an
+    internal failure.
+    """
+
+    fault_code = "MCS.Busy"
+
+
+class StorageError(MCSError):
+    """The backend database failed while serving the request.
+
+    Wire face of the remaining :class:`repro.db.errors.DatabaseError`
+    family (schema, integrity, transaction, recovery): the request was
+    understood but the storage layer could not complete it.
+    """
+
+    fault_code = "MCS.Storage"
+
+
 FAULT_CODE_TO_ERROR = {
     cls.fault_code: cls
     for cls in (
@@ -96,6 +119,8 @@ FAULT_CODE_TO_ERROR = {
         NotAuthenticatedError,
         NoSuchMethodError,
         BadRequestError,
+        ServiceBusyError,
+        StorageError,
     )
 }
 
@@ -116,6 +141,17 @@ def fault_code_for(exc: BaseException) -> Optional[str]:
         return exc.fault_code
     if isinstance(exc, SecurityError):
         return PermissionDeniedError.fault_code
+    # Database failures map by operational meaning, most specific first:
+    # lock contention is retryable (Busy), bad SQL reached the engine
+    # (Query), anything else is a storage-layer failure (Storage).  The
+    # whole-program pass (MCS014) parses these isinstance arms to learn
+    # which exception families the table covers.
+    if isinstance(exc, LockTimeoutError):
+        return ServiceBusyError.fault_code
+    if isinstance(exc, ProgrammingError):
+        return QueryError.fault_code
+    if isinstance(exc, DatabaseError):
+        return StorageError.fault_code
     return None
 
 

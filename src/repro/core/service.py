@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -41,6 +42,7 @@ from repro.core.model import (
     UserInfo,
 )
 from repro.core.query import AttributeCondition, ObjectQuery
+from repro.db.errors import DatabaseError
 from repro.security.acl import AccessControlList, Permission, effective_permissions
 from repro.security.cas import CapabilityAssertion, PolicyRule, verify_assertion
 from repro.security.errors import (
@@ -96,20 +98,25 @@ _BULK_ITEM_SECONDS = _obs_histogram(
 )
 
 # Per-operation metric children + span name, resolved once per method name
-# (the dispatch path is the service's hot path).
+# (the dispatch path is the service's hot path).  Hits stay lock-free;
+# only the one-time insert per method takes the guard (MCS015).
 _OP_METRICS: dict[str, tuple] = {}
+_OP_METRICS_GUARD = threading.Lock()
 
 
 def _op_metrics(method: str) -> tuple:
     entry = _OP_METRICS.get(method)
     if entry is None:
-        entry = (
-            f"catalog.{method}",
-            _CATALOG_OP_SECONDS.labels(method),
-            _CATALOG_CALLS.labels(method, "ok"),
-            _CATALOG_CALLS.labels(method, "fault"),
-        )
-        _OP_METRICS[method] = entry
+        with _OP_METRICS_GUARD:
+            entry = _OP_METRICS.get(method)
+            if entry is None:
+                entry = (
+                    f"catalog.{method}",
+                    _CATALOG_OP_SECONDS.labels(method),
+                    _CATALOG_CALLS.labels(method, "ok"),
+                    _CATALOG_CALLS.labels(method, "fault"),
+                )
+                _OP_METRICS[method] = entry
     return entry
 
 
@@ -297,12 +304,14 @@ class MCSService:
             )
         try:
             caller, assertion = self._authenticate(method, args)
-        except (MCSError, SecurityError) as exc:
+        except (MCSError, SecurityError, DatabaseError) as exc:
             raise SoapFault(fault_code_for(exc), str(exc)) from exc
         call_args = {k: v for k, v in args.items() if k not in ("auth", "cas", "caller")}
         try:
             return handler(caller=caller, assertion=assertion, **call_args)
-        except (MCSError, SecurityError) as exc:
+        except (MCSError, SecurityError, DatabaseError) as exc:
+            # DatabaseError rides the same central table: LockTimeout →
+            # MCS.Busy, ProgrammingError → MCS.Query, rest → MCS.Storage
             raise SoapFault(fault_code_for(exc), str(exc)) from exc
         except TypeError as exc:
             raise SoapFault(BadRequestError.fault_code, str(exc)) from exc

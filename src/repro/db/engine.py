@@ -65,13 +65,19 @@ _STATEMENT_SECONDS = _obs_histogram(
     labels=("kind",),
 )
 _STATEMENT_KINDS: dict[type, Any] = {}
+_STATEMENT_KINDS_GUARD = threading.Lock()
 
 
 def _statement_timer(stmt: Statement):
     child = _STATEMENT_KINDS.get(type(stmt))
     if child is None:
-        child = _STATEMENT_SECONDS.labels(type(stmt).__name__.lower())
-        _STATEMENT_KINDS[type(stmt)] = child
+        # lock-free on hit; the guard only covers the one-time insert
+        # per statement class (MCS015)
+        with _STATEMENT_KINDS_GUARD:
+            child = _STATEMENT_KINDS.get(type(stmt))
+            if child is None:
+                child = _STATEMENT_SECONDS.labels(type(stmt).__name__.lower())
+                _STATEMENT_KINDS[type(stmt)] = child
     return child
 
 
@@ -85,6 +91,7 @@ _timer_tick = 0
 
 def _sample_tick() -> bool:
     global _timer_tick
+    # wp-ok: MCS015 deliberately racy tick; lost updates only shift the sampling phase
     _timer_tick = (_timer_tick + 1) & _TIMER_MASK
     return _timer_tick == 0
 

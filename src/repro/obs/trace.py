@@ -73,7 +73,9 @@ _SPANS_DROPPED = counter(
     "Finished spans evicted from the bounded in-memory ring",
 )
 # Per-name histogram children, resolved once — spans are hot-path.
+# Hits stay lock-free; the guard covers the one-time insert (MCS015).
 _span_hist: dict = {}
+_span_hist_guard = threading.Lock()
 
 
 class _TracingSwitch:
@@ -102,7 +104,10 @@ def set_tracing_enabled(flag: bool) -> None:
 def _hist_for(name: str):
     child = _span_hist.get(name)
     if child is None:
-        child = _span_hist[name] = _SPAN_SECONDS.labels(name)
+        with _span_hist_guard:
+            child = _span_hist.get(name)
+            if child is None:
+                child = _span_hist[name] = _SPAN_SECONDS.labels(name)
     return child
 
 

@@ -316,6 +316,7 @@ class ShardedCatalog:
                 raise ShardUnavailableError(
                     f"shard {idx} unavailable (circuit open) for 'file_exists'"
                 )
+            # wp-ok: MCS016 hot-path probe skips span ceremony by design (see docstring)
             injection = _faults.check("shard.call", f"file_exists@{idx}")
             try:
                 if injection is not None:

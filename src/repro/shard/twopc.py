@@ -266,23 +266,27 @@ class TwoPhaseCoordinator:
     def recover(self) -> dict[str, int]:
         """Replay or discard leftover prepare records; returns counts."""
         replayed = discarded = 0
-        for idx, catalog in enumerate(self.shards):
-            rows = catalog._conn.execute(
-                "SELECT txn, ops FROM shard_prepare"
-            ).fetchall()
-            for txn, payload in rows:
-                if self._decisions.get(txn) == "commit":
-                    ops = [ShardOp.from_wire(d) for d in json.loads(payload)]
-                    try:
-                        self._apply(idx, txn, ops)
-                    except DuplicateObjectError:
-                        # The apply completed before the crash but the
-                        # prepare row's delete did not (bulk path only).
+        # Recovery rewrites the prepare log and replays committed work:
+        # exactly the mutations an operator needs to see in a trace when
+        # a restart goes wrong (MCS016).
+        with _trace.span("shard.2pc.recover", shards=len(self.shards)):
+            for idx, catalog in enumerate(self.shards):
+                rows = catalog._conn.execute(
+                    "SELECT txn, ops FROM shard_prepare"
+                ).fetchall()
+                for txn, payload in rows:
+                    if self._decisions.get(txn) == "commit":
+                        ops = [ShardOp.from_wire(d) for d in json.loads(payload)]
+                        try:
+                            self._apply(idx, txn, ops)
+                        except DuplicateObjectError:
+                            # The apply completed before the crash but the
+                            # prepare row's delete did not (bulk path only).
+                            self._delete_prepare(idx, txn)
+                        replayed += 1
+                        _2PC_TOTAL.labels("recovered_commit").inc()
+                    else:
                         self._delete_prepare(idx, txn)
-                    replayed += 1
-                    _2PC_TOTAL.labels("recovered_commit").inc()
-                else:
-                    self._delete_prepare(idx, txn)
-                    discarded += 1
-                    _2PC_TOTAL.labels("recovered_abort").inc()
+                        discarded += 1
+                        _2PC_TOTAL.labels("recovered_abort").inc()
         return {"replayed": replayed, "discarded": discarded}

@@ -1,0 +1,8 @@
+"""Whole-program fixture package (MCS012–MCS016).
+
+Unlike the flat per-module fixtures next door, these modules form one
+small program: every violation here needs facts from *at least two*
+functions (usually two modules) before it becomes visible, which is
+exactly what the interprocedural rules exist to prove.  Flagged lines
+carry lint-expect markers consumed by the shared harness.
+"""

@@ -1,0 +1,20 @@
+"""MCS012: the blocking call sits two sync frames below the coroutine.
+
+No single module shows the bug: ``refresh`` looks clean in isolation
+(it just calls a helper) and ``workers`` looks clean in isolation (no
+coroutine in sight).  Only the call chain condemns it.  The offloaded
+twin proves the thread handoff cuts the propagation.
+"""
+
+import asyncio
+
+from repro import workers
+
+
+async def refresh():
+    return workers.warm_cache()  # lint-expect: MCS012
+
+
+async def refresh_offloaded():
+    # clean: to_thread is a color boundary — blocking is legal over there
+    return await asyncio.to_thread(workers.warm_cache)

@@ -1,0 +1,9 @@
+"""The other half of the MCS013 cycle: store before index."""
+
+from repro.locks import lock_index, lock_store
+
+
+def compact():
+    with lock_store:
+        with lock_index:
+            pass

@@ -1,0 +1,29 @@
+"""Mini central fault table for the whole-program fixtures.
+
+MCS014 parses ``fault_code_for``'s isinstance arms to learn which
+exception families are registered, so this module doubles as the
+fixture's registration surface: ``KnownError`` is mapped, everything
+else is not.
+"""
+
+
+class KnownError(Exception):
+    """Registered in the fault table below — ops may let it escape."""
+
+
+class UnmappedError(Exception):
+    """Never registered: an op letting it escape trips MCS014."""
+
+
+class TransportError(Exception):
+    """Wire-level failure; silently swallowing it trips MCS014."""
+
+
+class WireTimeout(TransportError):
+    """Concrete transport failure raised by the storage shim."""
+
+
+def fault_code_for(exc):
+    if isinstance(exc, KnownError):
+        return "WP.Known"
+    return "WP.Server"

@@ -1,0 +1,5 @@
+"""Fault-injection shim: ``faults.check(...)`` calls are MCS016 sites."""
+
+
+def check(layer, op):
+    return False

@@ -1,0 +1,21 @@
+"""One half of an MCS013 lock-order cycle.
+
+``reindex`` acquires the index lock, then *calls into* a helper that
+takes the store lock — the (index, store) ordering only exists
+interprocedurally, via the call edge's held-locks set.
+"""
+
+import threading
+
+lock_index = threading.Lock()
+lock_store = threading.Lock()
+
+
+def reindex():
+    with lock_index:
+        _flush_store()  # lint-expect: MCS013
+
+
+def _flush_store():
+    with lock_store:
+        pass

@@ -1,0 +1,8 @@
+"""Tracing shim — just enough span surface for the analyzer to see."""
+
+import contextlib
+
+
+@contextlib.contextmanager
+def span(name, **attrs):
+    yield name

@@ -1,0 +1,27 @@
+"""MCS014: exception flow from the storage shim to the SOAP boundary.
+
+``op_fetch`` leaks an unregistered exception minted two modules away;
+``op_guarded`` maps the same exception into the fault table and stays
+clean; ``op_relay`` swallows a transport error its callee raises.
+"""
+
+from repro import storage
+from repro.core.errors import KnownError, TransportError, UnmappedError
+
+
+class SoapService:
+    def op_fetch(self, key):
+        return storage.read_blob(key)  # lint-expect: MCS014
+
+    def op_guarded(self, key):
+        try:
+            return storage.read_blob(key)
+        except UnmappedError as exc:
+            raise KnownError(str(exc))  # clean: KnownError is in the table
+
+    def op_relay(self, frame):
+        try:
+            return storage.relay(frame)
+        except TransportError:  # lint-expect: MCS014
+            pass
+        return 0

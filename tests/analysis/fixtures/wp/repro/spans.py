@@ -1,0 +1,27 @@
+"""MCS016: a fault site reachable from dispatch with no span anywhere.
+
+``dispatch`` opens no span and ``_probe`` opens none either, so the
+fault site is invisible to tracing; ``_probe_covered`` wraps the same
+site and stays clean.
+"""
+
+from repro import obs
+from repro.core import faults
+
+
+class SoapDispatcher:
+    def __init__(self, handler):
+        self._handler = handler
+
+    def dispatch(self, name):
+        _probe(name)
+        _probe_covered(name)
+
+
+def _probe(name):
+    return faults.check("wp.dispatch", name)  # lint-expect: MCS016
+
+
+def _probe_covered(name):
+    with obs.span("wp.dispatch", op=name):
+        return faults.check("wp.dispatch", name)  # clean: spanned

@@ -1,0 +1,26 @@
+"""MCS015: a module global mutated below a thread entry point.
+
+``run`` is an entry point; ``_tally`` writes the shared dict with no
+lock anywhere on the path, ``_tally_locked`` does the same write under
+the guard.  Neither helper is suspicious on its own — reachability from
+``run`` is what makes the first one a data race.
+"""
+
+import threading
+
+_counters = {}
+_guard = threading.Lock()
+
+
+def run():
+    _tally("requests")
+    _tally_locked("requests")
+
+
+def _tally(name):
+    _counters[name] = _counters.get(name, 0) + 1  # lint-expect: MCS015
+
+
+def _tally_locked(name):
+    with _guard:
+        _counters[name] = _counters.get(name, 0) + 1  # clean: guarded

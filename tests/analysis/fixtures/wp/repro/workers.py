@@ -1,0 +1,12 @@
+"""Sync helpers whose blocking only matters two frames up (MCS012)."""
+
+import time
+
+
+def warm_cache():
+    return _load()
+
+
+def _load():
+    time.sleep(0.01)
+    return True

@@ -1,0 +1,65 @@
+"""Shared ``# lint-expect`` fixture harness.
+
+A fixture marks every line the linter must flag with a trailing
+``# lint-expect: MCS0xx`` comment.  The helpers here diff a finding set
+against those markers, so every fixture test asserts rule id, file *and*
+line exactly — and, just as important, that unmarked lines stay clean.
+
+Both the per-module rule tests (``test_lint_rules``) and the
+whole-program tests (``test_whole_program``) share this module instead
+of re-implementing the marker scan and the set diff per rule.  A fixture
+line may carry several markers (``# lint-expect: MCS014 MCS016``) when
+two rules legitimately flag the same site.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.lint import Finding
+
+#: Trailing marker; ``findall`` picks up every rule id on the line.
+MARKER = re.compile(r"MCS\d+")
+_MARKER_LINE = re.compile(r"#\s*lint-expect:\s*((?:MCS\d+\s*)+)")
+
+
+def expected_markers(path: Path) -> set[tuple[int, str]]:
+    """``(line, rule_id)`` pairs for every marker in *path*."""
+    out: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for group in _MARKER_LINE.findall(line):
+            for rule_id in MARKER.findall(group):
+                out.add((lineno, rule_id))
+    return out
+
+
+def expected_tree_markers(root: Path) -> set[tuple[str, int, str]]:
+    """``(relpath, line, rule_id)`` for every marker under *root*.
+
+    Recursive, unlike the single-directory glob the rule tests used to
+    copy around — whole-program fixtures are packages, not flat files.
+    """
+    out: set[tuple[str, int, str]] = set()
+    for file in sorted(root.rglob("*.py")):
+        rel = file.relative_to(root).as_posix()
+        for lineno, rule_id in expected_markers(file):
+            out.add((rel, lineno, rule_id))
+    return out
+
+
+def assert_findings_match(
+    findings: Iterable[Finding], expected: set[tuple[str, int, str]]
+) -> None:
+    """Exact diff with a readable message naming misses and extras."""
+    got = {(f.file, f.line, f.rule_id) for f in findings}
+    missing = expected - got
+    extra = got - expected
+    assert not missing and not extra, (
+        "lint-expect mismatch:\n"
+        + "".join(f"  missing: {m}\n" for m in sorted(missing))
+        + "".join(f"  extra:   {e}\n" for e in sorted(extra))
+    )

@@ -1,0 +1,255 @@
+"""Unit tests for the call-graph builder's resolution rules.
+
+Each test writes a minimal ``repro`` package into ``tmp_path`` and
+asserts on the edges ``build_program`` produces — methods through
+``self``, properties, decorators, ``super()``, aliased imports, and the
+``asyncio.to_thread`` color boundary.  A hypothesis property test at
+the bottom checks two structural invariants over random programs:
+every CALL edge corresponds to a real call site on its recorded line,
+and the SCC condensation is a DAG.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.callgraph import CALL, HANDOFF, build_program
+from repro.analysis.flow import summarize
+
+
+def build_tree(tmp_path: Path, files: dict[str, str]):
+    """Write *files* (relpath → source) under a ``repro`` package."""
+    for rel, source in files.items():
+        path = tmp_path / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    init = tmp_path / "repro" / "__init__.py"
+    if not init.exists():
+        init.write_text("")
+    return build_program([tmp_path])
+
+
+def edges_of(program, qual):
+    return {(e.callee, e.kind) for e in program.functions[qual].edges}
+
+
+def test_method_call_through_self(tmp_path):
+    program = build_tree(tmp_path, {
+        "svc.py": (
+            "class Service:\n"
+            "    def outer(self):\n"
+            "        return self.inner()\n"
+            "\n"
+            "    def inner(self):\n"
+            "        return 1\n"
+        ),
+    })
+    assert ("repro.svc.Service.inner", CALL) in edges_of(
+        program, "repro.svc.Service.outer"
+    )
+
+
+def test_property_access_is_an_edge(tmp_path):
+    program = build_tree(tmp_path, {
+        "svc.py": (
+            "class Box:\n"
+            "    @property\n"
+            "    def size(self):\n"
+            "        return 3\n"
+            "\n"
+            "    def report(self):\n"
+            "        return self.size + 1\n"
+        ),
+    })
+    assert ("repro.svc.Box.size", CALL) in edges_of(
+        program, "repro.svc.Box.report"
+    )
+
+
+def test_decorated_function_still_resolves(tmp_path):
+    program = build_tree(tmp_path, {
+        "deco.py": (
+            "import functools\n"
+            "\n"
+            "\n"
+            "def logged(fn):\n"
+            "    @functools.wraps(fn)\n"
+            "    def wrapper(*a, **k):\n"
+            "        return fn(*a, **k)\n"
+            "    return wrapper\n"
+            "\n"
+            "\n"
+            "@logged\n"
+            "def target():\n"
+            "    return 1\n"
+            "\n"
+            "\n"
+            "def caller():\n"
+            "    return target()\n"
+        ),
+    })
+    info = program.functions["repro.deco.target"]
+    assert "logged" in info.decorators
+    assert ("repro.deco.target", CALL) in edges_of(program, "repro.deco.caller")
+
+
+def test_super_call_resolves_through_mro(tmp_path):
+    program = build_tree(tmp_path, {
+        "svc.py": (
+            "class Base:\n"
+            "    def ping(self):\n"
+            "        return 0\n"
+            "\n"
+            "\n"
+            "class Child(Base):\n"
+            "    def ping(self):\n"
+            "        return super().ping() + 1\n"
+        ),
+    })
+    assert ("repro.svc.Base.ping", CALL) in edges_of(
+        program, "repro.svc.Child.ping"
+    )
+
+
+def test_aliased_imports_resolve(tmp_path):
+    program = build_tree(tmp_path, {
+        "util.py": "def helper():\n    return 1\n",
+        "a.py": (
+            "from repro.util import helper as h\n"
+            "\n"
+            "\n"
+            "def caller_a():\n"
+            "    return h()\n"
+        ),
+        "b.py": (
+            "import repro.util as u\n"
+            "\n"
+            "\n"
+            "def caller_b():\n"
+            "    return u.helper()\n"
+        ),
+    })
+    assert ("repro.util.helper", CALL) in edges_of(program, "repro.a.caller_a")
+    assert ("repro.util.helper", CALL) in edges_of(program, "repro.b.caller_b")
+
+
+def test_to_thread_is_a_color_boundary(tmp_path):
+    """The handoff edge exists, the target becomes a thread entry point,
+    and — the point of the edge kind — blocking does NOT propagate back
+    into the coroutine's summary."""
+    program = build_tree(tmp_path, {
+        "aio.py": (
+            "import asyncio\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "def work():\n"
+            "    time.sleep(1)\n"
+            "\n"
+            "\n"
+            "async def offload():\n"
+            "    await asyncio.to_thread(work)\n"
+        ),
+    })
+    assert ("repro.aio.work", HANDOFF) in edges_of(program, "repro.aio.offload")
+    assert "repro.aio.work" in program.thread_entry_points
+    summaries = summarize(program)
+    assert summaries["repro.aio.work"].blocks
+    assert not summaries["repro.aio.offload"].blocks
+
+
+def test_imported_lock_keeps_its_identity(tmp_path):
+    """``from repro.locks import guard`` must acquire the *same* lock id
+    the defining module uses, or MCS013 cannot see cross-module cycles."""
+    program = build_tree(tmp_path, {
+        "locks.py": (
+            "import threading\n"
+            "\n"
+            "guard = threading.Lock()\n"
+            "\n"
+            "\n"
+            "def local_use():\n"
+            "    with guard:\n"
+            "        pass\n"
+        ),
+        "far.py": (
+            "from repro.locks import guard\n"
+            "\n"
+            "\n"
+            "def remote_use():\n"
+            "    with guard:\n"
+            "        pass\n"
+        ),
+    })
+    local = program.functions["repro.locks.local_use"].acquires
+    remote = program.functions["repro.far.remote_use"].acquires
+    assert local and remote
+    assert local[0].lock == remote[0].lock
+
+
+# --------------------------------------------------------------------------
+# structural invariants over random programs
+# --------------------------------------------------------------------------
+
+_calls = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    max_size=18,
+)
+
+
+def _render(n: int, calls: list[tuple[int, int]]) -> str:
+    bodies: dict[int, list[str]] = {i: [] for i in range(n)}
+    for caller, callee in calls:
+        if caller < n and callee < n:
+            bodies[caller].append(f"    f{callee}()")
+    lines: list[str] = []
+    for i in range(n):
+        lines.append(f"def f{i}():")
+        lines.extend(bodies[i] or ["    pass"])
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 6), _calls)
+def test_edges_are_real_call_sites_and_condensation_is_a_dag(
+    tmp_path_factory, n, calls
+):
+    tmp = tmp_path_factory.mktemp("prog")
+    source = _render(n, calls)
+    (tmp / "prog.py").write_text(source, encoding="utf-8")
+    program = build_program([tmp])
+    lines = source.splitlines()
+
+    # every CALL edge corresponds to a call expression on its line
+    for qual, info in program.functions.items():
+        for edge in info.edges:
+            short = edge.callee.rsplit(".", 1)[1]
+            assert f"{short}()" in lines[edge.line - 1], (qual, edge)
+
+    # the condensation is a DAG covering every function exactly once
+    components, dag = program.condensation()
+    flat = [q for comp in components for q in comp]
+    assert sorted(flat) == sorted(program.functions)
+    state: dict[int, int] = {}
+
+    def cyclic(node: int) -> bool:
+        state[node] = 1
+        for succ in dag[node]:
+            if state.get(succ) == 1:
+                return True
+            if state.get(succ) is None and cyclic(succ):
+                return True
+        state[node] = 2
+        return False
+
+    assert not any(cyclic(i) for i in dag if state.get(i) is None)
+
+    # reverse-topological order: a callee's component precedes its caller's
+    comp_of = {q: i for i, comp in enumerate(components) for q in comp}
+    for qual, info in program.functions.items():
+        for edge in info.edges:
+            if comp_of[qual] != comp_of[edge.callee]:
+                assert comp_of[edge.callee] < comp_of[qual]

@@ -1,14 +1,13 @@
 """Every rule flags its fixture at exactly the marked lines.
 
 Each fixture under ``fixtures/repro/`` tags its violations with a
-trailing ``# lint-expect: MCS0xx`` comment; the tests diff the linter's
-findings against those markers, so rule id, file *and* line are all
-asserted exactly (and unmarked lines are asserted clean).
+trailing ``# lint-expect: MCS0xx`` comment; the shared harness diffs
+the linter's findings against those markers, so rule id, file *and*
+line are all asserted exactly (and unmarked lines are asserted clean).
 """
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
 
 import pytest
@@ -16,8 +15,13 @@ import pytest
 from repro.analysis import rules as _rules  # noqa: F401 - populates registry
 from repro.analysis.lint import run_paths
 
+from tests.analysis.harness import (
+    assert_findings_match,
+    expected_markers,
+    expected_tree_markers,
+)
+
 FIXTURES = Path(__file__).parent / "fixtures" / "repro"
-MARKER = re.compile(r"#\s*lint-expect:\s*(MCS\d+)")
 
 RULE_FIXTURES = [
     ("MCS001", "viol_storage_imports.py"),
@@ -34,37 +38,24 @@ RULE_FIXTURES = [
 ]
 
 
-def expected_markers(path: Path) -> set[tuple[int, str]]:
-    out: set[tuple[int, str]] = set()
-    for lineno, line in enumerate(
-        path.read_text(encoding="utf-8").splitlines(), start=1
-    ):
-        for rule_id in MARKER.findall(line):
-            out.add((lineno, rule_id))
-    return out
-
-
 @pytest.mark.parametrize("rule_id,fixture", RULE_FIXTURES)
 def test_rule_flags_fixture_at_exact_lines(rule_id: str, fixture: str) -> None:
     path = FIXTURES / fixture
     expected = expected_markers(path)
     assert expected, f"fixture {fixture} carries no lint-expect markers"
     findings = run_paths([path], select=[rule_id])
-    assert {(f.line, f.rule_id) for f in findings} == expected
-    assert all(f.file == fixture for f in findings)
+    assert_findings_match(
+        findings, {(fixture, line, rule) for line, rule in expected}
+    )
 
 
 def test_full_registry_run_matches_every_marker() -> None:
     """All rules together over the whole fixture tree: the union of the
     markers, nothing more (no rule bleeds onto another's fixture) and
     nothing less."""
-    expected = {
-        (fixture.name, line, rule_id)
-        for fixture in FIXTURES.glob("*.py")
-        for line, rule_id in expected_markers(fixture)
-    }
-    findings = run_paths([FIXTURES])
-    assert {(f.file, f.line, f.rule_id) for f in findings} == expected
+    assert_findings_match(
+        run_paths([FIXTURES]), expected_tree_markers(FIXTURES)
+    )
 
 
 def test_clean_fixture_has_no_findings() -> None:

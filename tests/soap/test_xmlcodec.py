@@ -68,11 +68,14 @@ class TestErrors:
             loads(b'<value t="quux">x</value>')
 
 
-# XML 1.0 cannot carry control characters; \r is normalized by parsers.
-_xml_text = st.text(
-    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
-    max_size=40,
+# XML 1.0 cannot carry control characters, surrogates, or the noncharacters
+# U+FFFE/U+FFFF (they are outside the Char production even when escaped);
+# \r is normalized by parsers.
+_xml_chars = st.characters(
+    blacklist_categories=("Cs", "Cc"),
+    blacklist_characters="\ufffe\uffff",
 )
+_xml_text = st.text(alphabet=_xml_chars, max_size=40)
 
 json_like = st.recursive(
     st.one_of(
@@ -86,11 +89,7 @@ json_like = st.recursive(
     lambda children: st.one_of(
         st.lists(children, max_size=4),
         st.dictionaries(
-            st.text(
-                alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
-                min_size=1,
-                max_size=10,
-            ),
+            st.text(alphabet=_xml_chars, min_size=1, max_size=10),
             children,
             max_size=4,
         ),
