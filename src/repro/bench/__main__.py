@@ -14,7 +14,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.bench",
         description="Run the bench suite and write a machine-readable record",
     )
-    parser.add_argument("--out", default="BENCH_PR8.json", metavar="FILE")
+    parser.add_argument("--out", default="BENCH_PR10.json", metavar="FILE")
     parser.add_argument("--db-size", type=int, default=400)
     parser.add_argument("--threads", type=int, nargs="+", default=[1, 4])
     parser.add_argument("--duration", type=float, default=0.4)
@@ -38,6 +38,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     record = build_record(config)
     write_record(args.out, record)
+    mql = record["mql_index"]
+    if mql:
+        print(
+            f"mql index ablation: {mql['index_rate']:.0f} q/s indexed vs "
+            f"{mql['scan_rate']:.0f} q/s scan at "
+            f"{mql['attribute_count']} attributes "
+            f"({mql['speedup']:.1f}x)"
+        )
     overhead = record["tracing_overhead"]
     scaling = record["shard_scaling"]
     print(

@@ -191,6 +191,34 @@ class BenchEnvironment:
 
         return op
 
+    def mql_query_op(
+        self, client: MCSClient, worker_id: str, num_attributes: int = 10
+    ) -> Callable[[int], None]:
+        """Figure-11-shaped conjunctions expressed as MQL text.
+
+        Each iteration rebuilds the statement through the canonical
+        printer, so the measured path is the full pipeline — parse, plan
+        (or plan-cache hit), execute — under whatever execution strategy
+        the catalog currently forces (the MQL ablation axis).
+        """
+        from repro.mql import to_mql
+        from repro.mql.ast import And, Condition, Query, Statement
+
+        workload = QueryWorkload(self.spec, seed=hash(worker_id) & 0xFFFF)
+
+        def op(_: int) -> None:
+            conditions = workload.complex_query_conditions(num_attributes)
+            parts = tuple(
+                Condition(attr, "=", value)
+                for attr, value in conditions.items()
+            )
+            where = parts[0] if len(parts) == 1 else And(parts)
+            client.query_mql(
+                to_mql(Statement(source=Query(object_type="file", where=where)))
+            )
+
+        return op
+
     def repeated_complex_query_op(
         self, client: MCSClient, worker_id: str, num_attributes: int = 10,
         distinct: int = 8,

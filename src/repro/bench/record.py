@@ -7,7 +7,7 @@ and an observability snapshot (span-ring accounting, SLO status).  The
 result is one JSON document CI archives per PR, so throughput or tail
 latency regressions show up as a diff instead of an anecdote.
 
-Run with ``python -m repro.bench --out BENCH_PR8.json``.
+Run with ``python -m repro.bench --out BENCH_PR10.json``.
 """
 
 from __future__ import annotations
@@ -21,10 +21,12 @@ from repro.bench.sweeps import (
     clear_environments,
     clear_sharded_environments,
     connection_scaling_summary,
+    mql_index_summary,
     shard_scaling_summary,
     sweep_connection_scaling,
     sweep_figure5_sharded,
     sweep_figure8_sharded,
+    sweep_mql_index_ablation,
     sweep_tracing_ablation,
 )
 from repro.obs.metrics import get_registry
@@ -103,14 +105,14 @@ def tracing_overhead(rows: list[dict[str, Any]]) -> dict[str, Any]:
 
 
 def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
-    """Run the PR-8 bench suite and assemble the record document.
+    """Run the PR-10 bench suite and assemble the record document.
 
-    On top of the PR-7 sections this adds the connection-scaling sweep:
-    an idle keep-alive herd parked on each front end (thread-per-
-    connection vs asyncio) while the same closed-loop ops mix measures
-    tail latency.  The headline is the ``connection_scaling`` summary —
-    the asyncio front end must hold ``conn_scale``x the connections at a
-    p99 within 1.2x of the threaded server's.
+    On top of the PR-8 sections this adds the MQL index ablation: the
+    same conjunctive statements executed with the attribute secondary
+    indexes (``index`` strategy) and without them (``scan``), over the
+    figure-11 attribute-count axis.  The headline is the ``mql_index``
+    summary — the indexed series must beat the scan series by at least
+    3x at the largest attribute count.
     """
     from repro.obs import slo as _slo
     from repro.obs import trace as _trace
@@ -120,6 +122,7 @@ def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
             db_sizes=(400,), thread_counts=(1, 4), duration=0.4
         )
     try:
+        mql_rows = sweep_mql_index_ablation(config)
         ablation = sweep_tracing_ablation(config)
         conn_rows = sweep_connection_scaling(config)
     finally:
@@ -131,7 +134,7 @@ def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
         clear_sharded_environments()
     snapshot = get_registry().snapshot()
     return {
-        "bench": "PR8",
+        "bench": "PR10",
         "config": {
             "db_sizes": list(config.db_sizes),
             "thread_counts": list(config.thread_counts),
@@ -145,11 +148,13 @@ def build_record(config: Optional[BenchConfig] = None) -> dict[str, Any]:
             "conn_duration_s": config.conn_duration,
         },
         "sweeps": {
+            "mql_index_ablation": mql_rows,
             "tracing_ablation": ablation,
             "connection_scaling": conn_rows,
             "figure5_sharded": fig5_sharded,
             "figure8_sharded": fig8_sharded,
         },
+        "mql_index": mql_index_summary(mql_rows),
         "connection_scaling": connection_scaling_summary(conn_rows),
         "shard_scaling": shard_scaling_summary(fig5_sharded),
         "tracing_overhead": tracing_overhead(ablation),

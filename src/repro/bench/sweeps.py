@@ -762,6 +762,76 @@ def connection_scaling_summary(rows: list[dict[str, Any]]) -> dict[str, Any]:
     }
 
 
+def sweep_mql_index_ablation(
+    config: BenchConfig,
+    attribute_counts: tuple[int, ...] = (1, 2, 4, 6, 8, 10),
+    db_sizes: Optional[tuple[int, ...]] = None,
+    threads: int = 2,
+) -> list[dict[str, Any]]:
+    """MQL execution-strategy ablation over the figure-11 attribute axis.
+
+    The same conjunctive MQL statements (``num_attributes`` equality
+    conditions matching an existing file) run twice per point with the
+    catalog's strategy override pinned: ``index`` probes the attribute
+    secondary indexes and intersects id sets; ``scan`` walks every EAV
+    row of the object type and evaluates the predicate in Python.  The
+    gap between the two series is what the secondary indexes buy —
+    growing with both database size and condition count.  Statistics are
+    refreshed once up front so the recorded plans match what the
+    cost-based planner would see.
+    """
+    rows: list[dict[str, Any]] = []
+    for size in db_sizes or config.db_sizes[:1]:
+        env = get_environment(config, size)
+        env.catalog.analyze_attributes()
+        prior = env.catalog.mql_strategy
+        try:
+            for strategy in ("index", "scan"):
+                env.catalog.mql_strategy = strategy
+                for count in attribute_counts:
+                    def factory(client, worker_id, count=count):
+                        return env.mql_query_op(
+                            client, worker_id, num_attributes=count
+                        )
+
+                    result = run_closed_loop(
+                        env, "direct", factory, threads, config.duration,
+                        worker_prefix=f"mql-{strategy}-{size}-a{count}-",
+                    )
+                    rows.append(
+                        {
+                            "db_size": size,
+                            "mode": "direct",
+                            "strategy": strategy,
+                            "x": count,
+                            "rate": result.rate,
+                            "operations": result.operations,
+                        }
+                    )
+        finally:
+            env.catalog.mql_strategy = prior
+    return rows
+
+
+def mql_index_summary(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """Indexed-vs-scan speedup at the largest attribute count."""
+    by_count: dict[int, dict[str, float]] = {}
+    for row in rows:
+        slot = by_count.setdefault(row["x"], {})
+        slot[row["strategy"]] = max(slot.get(row["strategy"], 0.0), row["rate"])
+    if not by_count:
+        return {}
+    top = max(by_count)
+    index_rate = by_count[top].get("index", 0.0)
+    scan_rate = by_count[top].get("scan", 0.0)
+    return {
+        "attribute_count": top,
+        "index_rate": index_rate,
+        "scan_rate": scan_rate,
+        "speedup": (index_rate / scan_rate) if scan_rate > 0 else 0.0,
+    }
+
+
 def sweep_figure11(
     config: BenchConfig,
     attribute_counts: tuple[int, ...] = (1, 2, 4, 6, 8, 10),

@@ -13,6 +13,8 @@ Client (all commands take ``--host``/``--port``; default localhost:8686)::
     mcs add-file NAME [--collection C] [--data-type T] [--attr k=v ...]
     mcs get-file NAME
     mcs query [--attr k=v ...] [--field k=v ...]
+    mcs query "files where run = 7 and site like \\"ligo-%\\" limit 10"
+    mcs analyze-attributes
     mcs create-collection NAME [--parent P]
     mcs list-collection NAME
     mcs annotate NAME TEXT
@@ -171,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
     delete.add_argument("--version", type=int, default=None)
 
     query = sub.add_parser("query", help="attribute-based discovery")
+    query.add_argument(
+        "mql", nargs="?", default=None, metavar="MQL",
+        help="an MQL statement (files/collections/views where ..., with "
+             "union/intersect/minus, order by, limit); when given, the "
+             "--attr/--field flags are rejected",
+    )
     query.add_argument("--attr", action="append", metavar="K=V",
                        help="user-attribute equality condition")
     query.add_argument("--field", action="append", metavar="K=V",
@@ -183,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="descending order (with --order-by)")
     query.add_argument("--explain", action="store_true",
                        help="show the physical query plan instead of results")
+
+    sub.add_parser(
+        "analyze-attributes",
+        help="recompute the MQL planner's attribute statistics exactly",
+    )
 
     coll = sub.add_parser("create-collection", help="create a collection")
     coll.add_argument("name")
@@ -486,6 +499,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _emit(record)
         elif args.command == "delete-file":
             _emit(client.delete_logical_file(args.name, version=args.version))
+        elif args.command == "query" and args.mql is not None:
+            if args.attr or args.field or args.order_by:
+                raise SystemExit(
+                    "an MQL statement already carries its conditions and "
+                    "modifiers; drop --attr/--field/--order-by"
+                )
+            if args.explain:
+                for line in client.explain_mql(args.mql):
+                    print(line)
+            else:
+                _emit(client.query_mql(args.mql))
+        elif args.command == "analyze-attributes":
+            _emit(client.analyze_attributes())
         elif args.command == "query":
             query = ObjectQuery().limit(args.limit).offset(args.offset)
             if args.order_by:

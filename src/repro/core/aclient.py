@@ -387,6 +387,18 @@ class AsyncMCSClient:
         """The physical plan the query would execute (one line per step)."""
         return await self._call("explain_query", query=_query_to_dict(query))
 
+    async def query_mql(self, text: str) -> list[str]:
+        """Run one MQL statement (see :meth:`MCSClient.query_mql`)."""
+        return await self._call("query_mql", text=text)
+
+    async def explain_mql(self, text: str) -> list[str]:
+        """Strategy choice, cost model and algebra for an MQL statement."""
+        return await self._call("explain_mql", text=text)
+
+    async def analyze_attributes(self) -> int:
+        """Recompute MQL planner statistics exactly (like SQL ANALYZE)."""
+        return await self._call("analyze_attributes")
+
     # ======================================================================
     # Collections
     # ======================================================================

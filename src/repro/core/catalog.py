@@ -13,9 +13,12 @@ from __future__ import annotations
 
 import datetime as _dt
 import threading
+import time as _time
+from contextlib import contextmanager
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.cache import CatalogCache
+from repro.cache.lru import LRUCache
 from repro.core.errors import (
     CycleError,
     DuplicateObjectError,
@@ -41,7 +44,19 @@ from repro.core.query import ObjectQuery
 from repro.core.schema_def import install_schema
 from repro.db import Database, IntegrityError
 from repro.db.engine import Connection
+from repro.mql import stats as _attr_stats
+from repro.obs.metrics import counter as _obs_counter, histogram as _obs_histogram
 from repro.security.acl import AccessControlList, Permission
+
+_MQL_QUERIES = _obs_counter(
+    "mcs_mql_queries_total",
+    "MQL statements processed, by operation (query / explain)",
+    labels=("op",),
+)
+_MQL_PARSE = _obs_histogram(
+    "mcs_mql_parse_seconds",
+    "Wall time to parse + compile + plan one MQL statement (cache misses)",
+)
 
 
 def _now() -> _dt.datetime:
@@ -73,6 +88,12 @@ class MetadataCatalog:
         # generation bumps.  ``cache=False`` (or flipping
         # ``self.cache.enabled``) disables lookups — the bench ablation.
         self.cache = CatalogCache(self.db, enabled=cache)
+        # MQL: optional strategy override (None = cost-based, or one of
+        # "index" / "join" / "scan" — the bench ablation axis), plus the
+        # compiled-plan LRU keyed by (text, attribute_def generation,
+        # override) so attribute (re)definitions invalidate every plan.
+        self.mql_strategy: Optional[str] = None
+        self._mql_plans: LRUCache[Any, Any] = LRUCache(128)
 
     # -- connection pooling ------------------------------------------------
 
@@ -83,6 +104,29 @@ class MetadataCatalog:
             conn = self.db.connect()
             self._local.conn = conn
         return conn
+
+    @contextmanager
+    def _atomic(self, conn: Connection, read=(), write=()):
+        """One engine transaction around a multi-statement write path.
+
+        Passthrough when the caller already holds a transaction (the
+        bulk operations begin their own with wider lock sets); otherwise
+        begin / lock / commit, rolling back completely on any failure so
+        a refused WAL commit can never leave a torn write — the EAV row,
+        its secondary-index entries and the incremental ``attribute_stats``
+        row land together or not at all.
+        """
+        if conn.in_transaction:
+            yield
+            return
+        conn.begin()
+        try:
+            conn.lock_tables(read=read, write=write)
+            yield
+            conn.commit()
+        except Exception:
+            conn.rollback()
+            raise
 
     # ======================================================================
     # Logical files
@@ -107,39 +151,44 @@ class MetadataCatalog:
         defined first via :meth:`define_attribute`) to values.
         """
         conn = self._conn
-        collection_id = None
-        if collection is not None:
-            collection_id = self._collection_id(conn, collection)
-        now = _now()
-        try:
-            result = conn.execute(
-                "INSERT INTO logical_file (name, version, data_type, valid, "
-                "collection_id, container_id, container_service, master_copy, "
-                "creator, created, last_modifier, modified, audit_enabled) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    name,
-                    version,
-                    data_type,
-                    True,
-                    collection_id,
-                    container_id,
-                    container_service,
-                    master_copy,
-                    creator,
-                    now,
-                    creator,
-                    now,
-                    audit_enabled,
-                ),
-            )
-        except IntegrityError as exc:
-            raise DuplicateObjectError(
-                f"logical file {name!r} version {version} already exists"
-            ) from exc
-        file_id = result.lastrowid
-        if attributes:
-            self._set_attributes(conn, ObjectType.FILE, file_id, attributes)
+        with self._atomic(
+            conn,
+            read=("logical_collection", "attribute_def"),
+            write=("logical_file", "attribute_value", "attribute_stats"),
+        ):
+            collection_id = None
+            if collection is not None:
+                collection_id = self._collection_id(conn, collection)
+            now = _now()
+            try:
+                result = conn.execute(
+                    "INSERT INTO logical_file (name, version, data_type, valid, "
+                    "collection_id, container_id, container_service, master_copy, "
+                    "creator, created, last_modifier, modified, audit_enabled) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        name,
+                        version,
+                        data_type,
+                        True,
+                        collection_id,
+                        container_id,
+                        container_service,
+                        master_copy,
+                        creator,
+                        now,
+                        creator,
+                        now,
+                        audit_enabled,
+                    ),
+                )
+            except IntegrityError as exc:
+                raise DuplicateObjectError(
+                    f"logical file {name!r} version {version} already exists"
+                ) from exc
+            file_id = result.lastrowid
+            if attributes:
+                self._set_attributes(conn, ObjectType.FILE, file_id, attributes)
         return file_id
 
     def get_file(self, name: str, version: Optional[int] = None) -> LogicalFile:
@@ -367,26 +416,42 @@ class MetadataCatalog:
 
     def delete_file(self, name: str, version: Optional[int] = None) -> None:
         """Delete a logical file and its dependent metadata."""
-        file = self.get_file(name, version)
         conn = self._conn
-        conn.execute(
-            "DELETE FROM attribute_value WHERE object_type = 'file' AND object_id = ?",
-            (file.id,),
-        )
-        conn.execute(
-            "DELETE FROM annotation WHERE object_type = 'file' AND object_id = ?",
-            (file.id,),
-        )
-        conn.execute("DELETE FROM transformation WHERE file_id = ?", (file.id,))
-        conn.execute(
-            "DELETE FROM view_member WHERE member_type = 'file' AND member_id = ?",
-            (file.id,),
-        )
-        conn.execute(
-            "DELETE FROM acl_entry WHERE object_type = 'file' AND object_id = ?",
-            (file.id,),
-        )
-        conn.execute("DELETE FROM logical_file WHERE id = ?", (file.id,))
+        with self._atomic(
+            conn,
+            read=("attribute_def",),
+            write=(
+                "logical_file",
+                "attribute_value",
+                "attribute_stats",
+                "annotation",
+                "transformation",
+                "view_member",
+                "acl_entry",
+            ),
+        ):
+            file = self.get_file(name, version)
+            _attr_stats.note_object_delete(conn, ObjectType.FILE, file.id)
+            conn.execute(
+                "DELETE FROM attribute_value WHERE object_type = 'file' "
+                "AND object_id = ?",
+                (file.id,),
+            )
+            conn.execute(
+                "DELETE FROM annotation WHERE object_type = 'file' AND object_id = ?",
+                (file.id,),
+            )
+            conn.execute("DELETE FROM transformation WHERE file_id = ?", (file.id,))
+            conn.execute(
+                "DELETE FROM view_member WHERE member_type = 'file' "
+                "AND member_id = ?",
+                (file.id,),
+            )
+            conn.execute(
+                "DELETE FROM acl_entry WHERE object_type = 'file' AND object_id = ?",
+                (file.id,),
+            )
+            conn.execute("DELETE FROM logical_file WHERE id = ?", (file.id,))
 
     # ======================================================================
     # Logical collections
@@ -471,6 +536,7 @@ class MetadataCatalog:
                 f"collection {name!r} still has {n_files} files and "
                 f"{n_children} subcollections"
             )
+        _attr_stats.note_object_delete(conn, ObjectType.COLLECTION, collection.id)
         for table in ("attribute_value", "annotation", "acl_entry"):
             conn.execute(
                 f"DELETE FROM {table} WHERE object_type = 'collection' AND object_id = ?",
@@ -689,6 +755,7 @@ class MetadataCatalog:
                 f"view {name!r} is a member of {referencing} other view(s)"
             )
         conn.execute("DELETE FROM view_member WHERE view_id = ?", (view_obj.id,))
+        _attr_stats.note_object_delete(conn, ObjectType.VIEW, view_obj.id)
         for table in ("attribute_value", "annotation", "acl_entry"):
             conn.execute(
                 f"DELETE FROM {table} WHERE object_type = 'view' AND object_id = ?",
@@ -766,8 +833,18 @@ class MetadataCatalog:
     ) -> None:
         """Set (insert or replace) user-defined attribute values."""
         conn = self._conn
-        object_id = self._object_id(conn, object_type, name, version)
-        self._set_attributes(conn, object_type, object_id, attributes)
+        with self._atomic(
+            conn,
+            read=(
+                "logical_file",
+                "logical_collection",
+                "logical_view",
+                "attribute_def",
+            ),
+            write=("attribute_value", "attribute_stats"),
+        ):
+            object_id = self._object_id(conn, object_type, name, version)
+            self._set_attributes(conn, object_type, object_id, attributes)
 
     def _set_attributes(
         self,
@@ -795,6 +872,9 @@ class MetadataCatalog:
                     f"object_id, {column}) VALUES (?, ?, ?, ?)",
                     (definition.id, object_type.value, object_id, coerced),
                 )
+                _attr_stats.note_insert(conn, definition, object_type, coerced)
+            else:
+                _attr_stats.note_update(conn, definition, object_type, coerced)
 
     def get_attributes(
         self,
@@ -827,13 +907,24 @@ class MetadataCatalog:
         version: Optional[int] = None,
     ) -> None:
         conn = self._conn
-        object_id = self._object_id(conn, object_type, name, version)
-        definition = self.get_attribute_def(attr_name)
-        conn.execute(
-            "DELETE FROM attribute_value WHERE attr_id = ? AND object_type = ? "
-            "AND object_id = ?",
-            (definition.id, object_type.value, object_id),
-        )
+        with self._atomic(
+            conn,
+            read=(
+                "logical_file",
+                "logical_collection",
+                "logical_view",
+                "attribute_def",
+            ),
+            write=("attribute_value", "attribute_stats"),
+        ):
+            object_id = self._object_id(conn, object_type, name, version)
+            definition = self.get_attribute_def(attr_name)
+            removed = conn.execute(
+                "DELETE FROM attribute_value WHERE attr_id = ? AND "
+                "object_type = ? AND object_id = ?",
+                (definition.id, object_type.value, object_id),
+            ).rowcount
+            _attr_stats.note_remove(conn, definition.id, object_type, removed)
 
     # ======================================================================
     # Attribute-based query (discovery)
@@ -901,6 +992,104 @@ class MetadataCatalog:
         return self.query(query)
 
     # ======================================================================
+    # MQL: the parsed metadata query language
+    # ======================================================================
+
+    def query_mql(self, text: str) -> list[str]:
+        """Run one MQL statement; returns the ordered name list.
+
+        Parsing, compilation and cost-based planning are cached per
+        (text, attribute_def generation, strategy override); execution
+        routes each conjunctive leaf through the planner's chosen
+        strategy (see :mod:`repro.mql.executor`).
+        """
+        from repro.mql import executor as mql_executor
+
+        _MQL_QUERIES.labels("query").inc()
+        plan = self._mql_plan(text)
+        return mql_executor.execute_compiled(
+            plan.compiled,
+            lambda leaf: mql_executor.run_leaf(
+                self, leaf, plan.plan_for(leaf).strategy
+            ),
+        )
+
+    def explain_mql(self, text: str) -> list[str]:
+        """Physical plan of an MQL statement, one line per plan element.
+
+        Join-strategy leaves also include the engine's ``EXPLAIN`` of
+        their generated SQL (indented), so the whole path down to the
+        B-tree access method is visible from one call.
+        """
+        from repro.mql import planner as mql_planner
+
+        _MQL_QUERIES.labels("explain").inc()
+        plan = self._mql_plan(text)
+        lines = mql_planner.explain_lines(plan)
+        out: list[str] = []
+        for line in lines:
+            out.append(line)
+            if line.startswith("leaf ") and " strategy=join " in line:
+                index = int(line.split()[1])
+                for sql_line in self.explain_query(plan.compiled.leaves[index].query):
+                    out.append(f"    {sql_line}")
+        return out
+
+    def mql_leaf_rows(
+        self, leaf: Any, strategy: Optional[str] = None
+    ) -> list[tuple[Any, str]]:
+        """``(sort key, name)`` pairs for one compiled MQL leaf.
+
+        The scatter/gather router calls this per shard; with no forced
+        strategy each shard plans the leaf against its *own* statistics
+        (strategies are answer-equivalent, so heterogeneous choices
+        across shards cannot skew the merged result).
+        """
+        from repro.mql import executor as mql_executor
+        from repro.mql import planner as mql_planner
+
+        chosen = strategy if strategy is not None else self.mql_strategy
+        leaf_plan = mql_planner.plan_leaf(self, leaf, chosen, reorder=False)
+        return mql_executor.run_leaf(self, leaf, leaf_plan.strategy)
+
+    def analyze_attributes(self) -> int:
+        """Exactly recompute ``attribute_stats`` (repairs drift)."""
+        conn = self._conn
+        conn.begin()
+        try:
+            conn.lock_tables(
+                read=("attribute_def", "attribute_value"),
+                write=("attribute_stats",),
+            )
+            written = _attr_stats.analyze(conn)
+        except Exception:
+            conn.rollback()
+            raise
+        conn.commit()
+        return written
+
+    def _mql_plan(self, text: str):
+        """Parse + compile + plan, through the compiled-plan LRU."""
+        from repro import mql
+        from repro.mql import compiler as mql_compiler
+        from repro.mql import planner as mql_planner
+
+        generation = self.cache.generations.snapshot(("attribute_def",))
+        key = (text, generation, self.mql_strategy)
+        plan = self._mql_plans.get(key)
+        if plan is not None:
+            mql_planner.record_plan_cache(True)
+            return plan
+        mql_planner.record_plan_cache(False)
+        started = _time.perf_counter()
+        statement = mql.parse(text)
+        compiled = mql_compiler.compile_statement(statement)
+        plan = mql_planner.plan_statement(self, compiled, strategy=self.mql_strategy)
+        _MQL_PARSE.observe(_time.perf_counter() - started)
+        self._mql_plans.put(key, plan)
+        return plan
+
+    # ======================================================================
     # Bulk operations
     # ======================================================================
     #
@@ -936,7 +1125,7 @@ class MetadataCatalog:
         try:
             conn.lock_tables(
                 read=("logical_collection", "attribute_def"),
-                write=("logical_file", "attribute_value"),
+                write=("logical_file", "attribute_value", "attribute_stats"),
             )
             if atomic:
                 results = self._bulk_create_files_atomic(conn, entries, creator)
@@ -1011,6 +1200,7 @@ class MetadataCatalog:
         # suffices (no UPDATE-then-INSERT); group rows per value column
         # so each type needs only one multi-row statement.
         attr_rows: dict[str, list[tuple]] = {}
+        stat_notes: list[tuple[Any, Any]] = []
         for file_id, entry in zip(file_ids, entries):
             for attr_name, value in (entry.get("attributes") or {}).items():
                 definition = self.get_attribute_def(attr_name)
@@ -1024,12 +1214,20 @@ class MetadataCatalog:
                 ).append(
                     (definition.id, ObjectType.FILE.value, file_id, coerced)
                 )
+                stat_notes.append((definition, coerced))
         for column, rows in attr_rows.items():
             conn.executemany(
                 f"INSERT INTO attribute_value (attr_id, object_type, "
                 f"object_id, {column}) VALUES (?, ?, ?, ?)",
                 rows,
             )
+        # Stats after the batch insert, aggregated per attribute: one
+        # novelty probe per distinct inserted value instead of three
+        # statements per row.
+        _attr_stats.note_insert_batch(
+            conn,
+            [(d, ObjectType.FILE, v) for d, v in stat_notes],
+        )
         return [(True, file_id) for file_id in file_ids]
 
     @staticmethod
@@ -1085,7 +1283,7 @@ class MetadataCatalog:
                     "logical_view",
                     "attribute_def",
                 ),
-                write=("attribute_value",),
+                write=("attribute_value", "attribute_stats"),
             )
             results: list[tuple[bool, Any]] = []
             for item in items:

@@ -52,6 +52,8 @@ READ_METHODS = frozenset(
         "list_view",
         "ping",
         "query",
+        "query_mql",
+        "explain_mql",
         "query_files_by_attributes",
         "simple_query",
         "stats",
@@ -604,6 +606,23 @@ class MCSClient:
     def explain_query(self, query: ObjectQuery) -> list[str]:
         """The physical plan the query would execute (one line per step)."""
         return self._call("explain_query", query=_query_to_dict(query))
+
+    def query_mql(self, text: str) -> list[str]:
+        """Run one MQL statement, e.g. ``files where run = 7 limit 10``.
+
+        The full language (dataset algebra included) is documented in
+        INTERNALS.md; syntax errors raise :class:`repro.core.errors.QueryError`
+        subclasses carrying line/column and a caret snippet.
+        """
+        return self._call("query_mql", text=text)
+
+    def explain_mql(self, text: str) -> list[str]:
+        """Strategy choice, cost model and algebra for an MQL statement."""
+        return self._call("explain_mql", text=text)
+
+    def analyze_attributes(self) -> int:
+        """Recompute MQL planner statistics exactly (like SQL ANALYZE)."""
+        return self._call("analyze_attributes")
 
     # ======================================================================
     # Collections

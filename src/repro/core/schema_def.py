@@ -138,6 +138,25 @@ def install_schema(db: Database) -> None:
             foreign_keys=[ForeignKey(("attr_id",), "attribute_def", ("id",))],
         ),
         TableDef(
+            # Incrementally maintained planner statistics for the MQL
+            # cost model (repro.mql.stats): one row per (attribute,
+            # object type).  min/max are canonical strings (str() /
+            # isoformat) so one column pair covers every value type.
+            "attribute_stats",
+            [
+                _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
+                _col("attr_id", ColumnType.INTEGER, nullable=False),
+                _col("object_type", ColumnType.STRING, nullable=False),
+                _col("row_count", ColumnType.INTEGER, nullable=False, default=0),
+                _col("distinct_count", ColumnType.INTEGER, nullable=False, default=0),
+                _col("min_value", ColumnType.STRING),
+                _col("max_value", ColumnType.STRING),
+            ],
+            primary_key=("id",),
+            unique=[("attr_id", "object_type")],
+            foreign_keys=[ForeignKey(("attr_id",), "attribute_def", ("id",))],
+        ),
+        TableDef(
             "annotation",
             [
                 _col("id", ColumnType.INTEGER, autoincrement=True, nullable=False),
@@ -232,6 +251,8 @@ def install_schema(db: Database) -> None:
         IndexDef("av_date", "attribute_value", ("attr_id", "value_date")),
         IndexDef("av_time", "attribute_value", ("attr_id", "value_time")),
         IndexDef("av_datetime", "attribute_value", ("attr_id", "value_datetime")),
+        IndexDef("as_attr", "attribute_stats", ("attr_id", "object_type")),
+        IndexDef("as_object_type", "attribute_stats", ("object_type",)),
         IndexDef("ann_object", "annotation", ("object_type", "object_id")),
         IndexDef("audit_object", "audit_record", ("object_type", "object_id")),
         IndexDef("tr_file", "transformation", ("file_id",)),

@@ -687,6 +687,33 @@ class MCSService:
         self._check(caller, Permission.READ, assertion=assertion)
         return self.catalog.explain_query(_query_from_dict(query))
 
+    def op_query_mql(
+        self,
+        caller: str,
+        assertion: Optional[CapabilityAssertion],
+        text: str,
+    ) -> list[str]:
+        """Run one MQL statement; syntax errors fault as MCS.Query."""
+        self._check(caller, Permission.READ, assertion=assertion)
+        return self.catalog.query_mql(text)
+
+    def op_explain_mql(
+        self,
+        caller: str,
+        assertion: Optional[CapabilityAssertion],
+        text: str,
+    ) -> list[str]:
+        """Per-leaf strategy choice + costs for one MQL statement."""
+        self._check(caller, Permission.READ, assertion=assertion)
+        return self.catalog.explain_mql(text)
+
+    def op_analyze_attributes(
+        self, caller: str, assertion: Optional[CapabilityAssertion]
+    ) -> int:
+        """Exact recompute of the MQL planner statistics (ANALYZE)."""
+        self._check(caller, Permission.WRITE, assertion=assertion)
+        return self.catalog.analyze_attributes()
+
     # ======================================================================
     # Bulk operations
     # ======================================================================

@@ -160,6 +160,11 @@ class Database:
         Seconds to wait for a table lock before LockTimeoutError.
     durable_sync:
         fsync the WAL on every commit (slow, crash-safe).
+    cost_stats:
+        Let the planner consult live table/index cardinalities
+        (:class:`repro.db.planner.TableStats`) and consider index
+        intersections or cost-based seq-scan fallbacks.  Off by default:
+        the rule-based plans stay exactly as they always were.
     """
 
     def __init__(
@@ -167,8 +172,10 @@ class Database:
         directory: Optional[str] = None,
         lock_timeout: float = 5.0,
         durable_sync: bool = False,
+        cost_stats: bool = False,
     ) -> None:
         self.catalog = Catalog()
+        self.catalog.cost_stats = cost_stats
         self.locks = LockManager(lock_timeout)
         self.fk = ForeignKeyEnforcer(self.catalog)
         # Per-table commit generations: the invalidation signal for the
@@ -534,7 +541,21 @@ class Connection:
                 self._txn.held.extend(held)
             return
         if success:
-            self._db.wal_commit(self._txn.wal_records)
+            try:
+                self._db.wal_commit(self._txn.wal_records)
+            except Exception:
+                # The log refused the commit: the statement never
+                # happened.  Revert the in-memory rows before releasing
+                # the locks — leaving them would acknowledge unlogged
+                # state, and leaving the staged records would hand them
+                # to the next statement's commit (double-apply after
+                # replay).
+                self._txn.undo.rollback_to(self._db.catalog, 0)
+                self._txn.wal_records.clear()
+                self._txn.undo.clear()
+                self._txn.written_tables.clear()
+                LockManager.release(self._txn, held)
+                raise
             # Autocommit: bump while still holding this statement's
             # write locks (released just below), mirroring _commit_txn.
             self._bump_generations()

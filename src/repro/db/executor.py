@@ -7,6 +7,7 @@ into output tuples.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Iterator, Optional
 
 from repro.db.errors import ProgrammingError
@@ -26,6 +27,17 @@ def iter_rowids(table: Table, path: AccessPath) -> Iterator[int]:
     """Candidate rowids for an access path (before residual filtering)."""
     if path.kind == "seq":
         yield from list(table.rows.keys())
+        return
+    if path.kind == "index_and":
+        # Intersect the posting sets of every subpath, cheapest first
+        # (the planner pre-sorted them); bail as soon as it empties.
+        surviving: Optional[set[int]] = None
+        for sub in path.subpaths:
+            rowids = set(iter_rowids(table, sub))
+            surviving = rowids if surviving is None else (surviving & rowids)
+            if not surviving:
+                break
+        yield from sorted(surviving or ())
         return
     assert path.index is not None
     tree = table.indexes[path.index]
@@ -207,6 +219,12 @@ def execute_select(catalog: Catalog, plan: SelectPlan) -> tuple[tuple[str, ...],
                 )
             )
             scopes = iter(materialized)
+        elif plan.limit is not None and not plan.distinct:
+            # No ordering means any N matching rows are a valid page, so
+            # stop pulling from the (lazy) scan as soon as it is full —
+            # existence probes like ``... LIMIT 2`` stay O(limit) instead
+            # of O(matches).
+            scopes = islice(scopes, plan.limit + (plan.offset or 0))
         rows = [_project(plan, scope) for scope in scopes]
 
     if plan.distinct:

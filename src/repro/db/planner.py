@@ -54,7 +54,7 @@ class AccessPath:
 
     table: str
     alias: str
-    kind: str  # "seq" | "index_eq" | "index_range" | "index_in"
+    kind: str  # "seq" | "index_eq" | "index_range" | "index_in" | "index_and"
     index: Optional[str] = None
     eq_values: tuple = ()          # literal prefix values for index_eq / index_range
     in_values: tuple = ()          # values for index_in (single column)
@@ -63,6 +63,31 @@ class AccessPath:
     low_inclusive: bool = True
     high_inclusive: bool = True
     residual: Optional[Expr] = None  # post-access filter
+    subpaths: tuple = ()           # index_and: single-index paths to intersect
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Cheap cardinality statistics driving cost-based access choice.
+
+    ``row_count`` is the live row count; ``index_key_counts`` maps index
+    name to its number of distinct keys (``rows / keys`` approximates the
+    posting-list length of one equality probe).  Only consulted when the
+    database opted in via ``Database(cost_stats=True)`` — the default
+    planner stays purely rule-based.
+    """
+
+    row_count: int
+    index_key_counts: dict[str, int]
+
+    @classmethod
+    def from_table(cls, table: Table) -> "TableStats":
+        return cls(
+            row_count=len(table.rows),
+            index_key_counts={
+                name: tree.key_count for name, tree in table.indexes.items()
+            },
+        )
 
 
 @dataclass
@@ -302,12 +327,21 @@ def choose_access_path(
     table: Table,
     alias: str,
     where_parts: list[Expr],
+    stats: Optional[TableStats] = None,
 ) -> AccessPath:
-    """Pick the best access path for *table* given conjuncts on it."""
+    """Pick the best access path for *table* given conjuncts on it.
+
+    Without *stats* the choice is purely rule-based (the historical
+    behaviour, bit-for-bit).  With *stats* the rule-based winner is
+    re-examined against a simple cost model that can instead pick an
+    ``index_and`` intersection of several fully-covered equality indexes,
+    or fall back to a sequential scan when every index is unselective.
+    """
     equalities, ranges, in_lists, leftovers = _split_sargable(where_parts, alias)
 
     best: Optional[AccessPath] = None
     best_score: tuple = ()
+    eq_candidates: list[AccessPath] = []
     for index_def in table.index_defs():
         cols = index_def.columns
         prefix_len = 0
@@ -334,6 +368,18 @@ def choose_access_path(
         # covers the whole index: a fully-covered (attr, value) index is
         # far more selective than the same-length prefix of a wider one.
         fully_covered = 1 if prefix_len == len(cols) else 0
+        if fully_covered and not has_range:
+            # Every fully-covered equality probe is an intersection
+            # candidate for the cost-based pass below.
+            eq_candidates.append(
+                AccessPath(
+                    table=table.name,
+                    alias=alias,
+                    kind="index_eq",
+                    index=index_def.name,
+                    eq_values=tuple(equalities[c] for c in cols),
+                )
+            )
         score = (
             3 if full_unique else 2,
             prefix_len,
@@ -366,11 +412,101 @@ def choose_access_path(
             )
         best_score = score
 
+    if stats is not None:
+        refined = _cost_refine(table, alias, where_parts, best, eq_candidates, stats)
+        if refined is not None:
+            return refined
+
     residual = _combine(where_parts) if best is None else _residual_for(best, where_parts, table)
     if best is None:
         return AccessPath(table=table.name, alias=alias, kind="seq", residual=residual)
     best.residual = residual
     return best
+
+
+def _estimate_path(path: AccessPath, stats: TableStats) -> float:
+    """Modeled candidate-row count for one single-index access path."""
+    rows = float(stats.row_count)
+    if path.kind == "seq" or path.index is None:
+        return rows
+    keys = float(stats.index_key_counts.get(path.index, 0))
+    per_key = rows / keys if keys else rows
+    if path.kind == "index_eq":
+        return per_key
+    if path.kind == "index_in":
+        return per_key * max(len(path.in_values), 1)
+    if path.kind == "index_range":
+        # A range touches a fraction of the key space; without histograms
+        # assume a third, but never better than one equality probe.
+        return max(rows / 3.0, per_key)
+    return rows
+
+
+#: An index whose probe still yields more than this fraction of the table
+#: is not worth the lookup overhead — fall back to the sequential scan.
+_SEQ_FALLBACK_FRACTION = 0.5
+
+#: Intersecting posting lists handles rowids only (no row fetch), so a
+#: probe inside an index_and costs roughly half a row-producing probe.
+_INTERSECT_PROBE_FACTOR = 0.5
+
+
+def _cost_refine(
+    table: Table,
+    alias: str,
+    where_parts: list[Expr],
+    best: Optional[AccessPath],
+    eq_candidates: list[AccessPath],
+    stats: TableStats,
+) -> Optional[AccessPath]:
+    """Cost-based second opinion on the rule-based choice.
+
+    Returns a complete replacement path (residual attached) when the
+    model prefers an ``index_and`` intersection or a sequential scan;
+    ``None`` keeps the rule-based winner untouched.
+    """
+    rows = float(stats.row_count)
+    # A single-index path fetches and residual-filters every candidate
+    # row: probe plus per-row work.
+    best_est = _estimate_path(best, stats) if best is not None else rows
+    best_cost = 2.0 * best_est
+
+    # Intersecting >= 2 distinct fully-covered equality indexes: the
+    # probes stream rowids only (cheap), and row fetch + residual runs
+    # on the multiplied-selectivity survivor set.
+    distinct = []
+    seen: set[str] = set()
+    for candidate in eq_candidates:
+        if candidate.index not in seen:
+            seen.add(candidate.index)  # type: ignore[arg-type]
+            distinct.append(candidate)
+    if len(distinct) >= 2:
+        distinct.sort(key=lambda p: _estimate_path(p, stats))
+        estimates = [_estimate_path(p, stats) for p in distinct]
+        survivors = rows
+        for estimate in estimates:
+            survivors *= estimate / rows if rows else 0.0
+        and_cost = (
+            _INTERSECT_PROBE_FACTOR * sum(estimates) + 2.0 * survivors
+        )
+        if and_cost < best_cost:
+            return AccessPath(
+                table=table.name,
+                alias=alias,
+                kind="index_and",
+                subpaths=tuple(distinct),
+                # Conservative: re-apply every conjunct to the survivors.
+                residual=_combine(where_parts),
+            )
+
+    if best is not None and best_est > _SEQ_FALLBACK_FRACTION * rows:
+        return AccessPath(
+            table=table.name,
+            alias=alias,
+            kind="seq",
+            residual=_combine(where_parts),
+        )
+    return None
 
 
 def _residual_for(path: AccessPath, parts: list[Expr], table: Table) -> Optional[Expr]:
@@ -476,7 +612,9 @@ def plan_select(catalog: Catalog, stmt: Select) -> SelectPlan:
     consumed = set(id(p) for p in base_parts)
 
     base_table = catalog.table(tables[0][1])
-    base = choose_access_path(base_table, tables[0][0], base_parts)
+    base = choose_access_path(
+        base_table, tables[0][0], base_parts, stats=_stats_for(catalog, base_table)
+    )
 
     join_steps: list[JoinStep] = []
     for join in stmt.joins:
@@ -493,14 +631,19 @@ def plan_select(catalog: Catalog, stmt: Select) -> SelectPlan:
         ]
         for p in newly:
             consumed.add(id(p))
+        inner_stats = _stats_for(catalog, inner_table)
         if join.kind == "left":
             # WHERE predicates filter the padded result, not the match
             # (x LEFT JOIN y ... WHERE y.c IS NULL must see the padding).
-            step = _plan_join(inner_table, alias, cond_parts, set(available), join.kind)
+            step = _plan_join(
+                inner_table, alias, cond_parts, set(available), join.kind,
+                stats=inner_stats,
+            )
             step.post_filter = _combine(newly)
         else:
             step = _plan_join(
-                inner_table, alias, cond_parts + newly, set(available), join.kind
+                inner_table, alias, cond_parts + newly, set(available), join.kind,
+                stats=inner_stats,
             )
         join_steps.append(step)
         available.append(alias)
@@ -599,12 +742,20 @@ def _parts_for(parts: list[Expr], aliases: set[str]) -> list[Expr]:
     return [p for p in parts if _aliases_of(p) <= aliases and _aliases_of(p)]
 
 
+def _stats_for(catalog: Catalog, table: Table) -> Optional[TableStats]:
+    """Live statistics when the database opted into cost-based planning."""
+    if not getattr(catalog, "cost_stats", False):
+        return None
+    return TableStats.from_table(table)
+
+
 def _plan_join(
     inner: Table,
     alias: str,
     parts: list[Expr],
     outer_aliases: set[str],
     kind: str,
+    stats: Optional[TableStats] = None,
 ) -> JoinStep:
     """Plan one join of *inner* against the already-joined aliases."""
     left_outer = kind == "left"
@@ -689,7 +840,7 @@ def _plan_join(
         )
 
     if equi:
-        access = choose_access_path(inner, alias, local_parts)
+        access = choose_access_path(inner, alias, local_parts, stats=stats)
         return JoinStep(
             kind="hash",
             access=access,
@@ -699,7 +850,7 @@ def _plan_join(
             condition=_combine(residual),
         )
 
-    access = choose_access_path(inner, alias, local_parts)
+    access = choose_access_path(inner, alias, local_parts, stats=stats)
     return JoinStep(
         kind="nested",
         access=access,
@@ -729,7 +880,9 @@ def plan_mutation(catalog: Catalog, table_name: str, where: Optional[Expr]) -> M
     resolver = _Resolver(catalog, [(table_name, table_name)])
     resolved = resolver.resolve(where) if where is not None else None
     parts = conjuncts(resolved)
-    access = choose_access_path(table, table_name, parts)
+    access = choose_access_path(
+        table, table_name, parts, stats=_stats_for(catalog, table)
+    )
     return MutationPlan(access=access)
 
 
@@ -758,6 +911,11 @@ def describe_access(path: AccessPath) -> str:
             f"INDEX IN-LIST {path.table} AS {path.alias} "
             f"USING {path.index} VALUES {path.in_values!r}"
         )
+    elif path.kind == "index_and":
+        probes = " & ".join(
+            f"{sub.index} ON {sub.eq_values!r}" for sub in path.subpaths
+        )
+        base = f"INDEX INTERSECT {path.table} AS {path.alias} USING {probes}"
     else:  # pragma: no cover - exhaustive
         base = f"? {path.kind}"
     if path.residual is not None:

@@ -216,6 +216,9 @@ class Catalog:
 
     def __init__(self) -> None:
         self.tables: dict[str, Table] = {}
+        # Opt-in flag set by Database(cost_stats=True): lets the planner
+        # consult live cardinalities (see repro.db.planner.TableStats).
+        self.cost_stats = False
 
     def create_table(self, definition: TableDef) -> Table:
         if definition.name in self.tables:

@@ -1,0 +1,49 @@
+"""MQL error types.
+
+:class:`MQLSyntaxError` subclasses the core :class:`QueryError`, so the
+centralized fault table (``repro.core.errors.fault_code_for``) maps a
+bad MQL string to the existing ``MCS.Query`` wire fault with no new
+table entries — and no call site can ever raise a bare ``ValueError``
+for a syntax problem.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import QueryError
+
+
+class MQLSyntaxError(QueryError):
+    """A lexing or parsing failure, located in the source text.
+
+    Carries ``line`` and ``column`` (1-based) plus the offending source
+    line; ``str()`` renders a caret snippet::
+
+        MQL syntax error at line 1, column 13: expected a value
+          files where = 7
+                      ^
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int,
+        column: int,
+        source_line: Optional[str] = None,
+    ) -> None:
+        self.reason = message
+        self.line = line
+        self.column = column
+        self.source_line = source_line
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        text = (
+            f"MQL syntax error at line {self.line}, column {self.column}: "
+            f"{self.reason}"
+        )
+        if self.source_line is not None:
+            caret = " " * (self.column - 1) + "^"
+            text += f"\n  {self.source_line}\n  {caret}"
+        return text

@@ -1,0 +1,368 @@
+"""MQL execution: three answer-equivalent leaf strategies + set algebra.
+
+**The equivalence contract.**  Every strategy returns a leaf's matches
+as ``(sort key, name)`` pairs — the key is the statement's ``order by``
+column.  Downstream, results are reduced to a mapping ``name →
+representative key`` (the smallest key under the engine's total order,
+:func:`repro.db.types.sort_key`, so multi-version files dedup
+identically everywhere), combined with set algebra over names, then
+ordered by a stable two-pass sort: name ascending first, then a stable
+sort on the key.  Offset/limit slice last.  Because each stage is
+deterministic given the *set* of pairs, indexed vs join vs scan — and
+one shard vs a scatter over many — produce byte-identical answers; the
+``-m mql`` and ``-m shard`` lanes enforce exactly that.
+
+Leaf limits are deliberately **not** pushed down: a per-leaf ``LIMIT n``
+under SQL's unspecified tie order could keep different name sets per
+strategy.  Pagination is only applied after the global sort.
+
+Index and scan leaf results are cached through the catalog's
+generation-stamped query cache under a synthetic key, giving them the
+same strict-consistency story as the join strategy's SQL results.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.core.errors import QueryError
+from repro.core.model import AttributeType, ObjectType
+from repro.core.query import AttributeCondition
+from repro.db.expr import Between, Comparison, ColumnRef, Like, Literal
+from repro.db.types import sort_key
+from repro.mql.compiler import Algebra, CompiledStatement, Leaf
+from repro.mql.planner import StatementPlan
+from repro.obs.metrics import counter as _obs_counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.catalog import MetadataCatalog
+
+_LEAVES = _obs_counter(
+    "mcs_mql_leaves_total",
+    "MQL leaf executions by chosen strategy",
+    labels=("strategy",),
+)
+_INTERSECTIONS = _obs_counter(
+    "mcs_index_intersections_total",
+    "Secondary-index probe-set intersections performed",
+)
+
+_OBJECT_TABLE = {
+    ObjectType.FILE: "logical_file",
+    ObjectType.COLLECTION: "logical_collection",
+    ObjectType.VIEW: "logical_view",
+}
+
+#: IN-list chunk size for the index strategy's final fetch.
+_FETCH_CHUNK = 400
+
+#: A leaf result: list of (order-key value, object name) pairs.
+LeafRows = list  # list[tuple[Any, str]]
+
+#: Pluggable leaf evaluation — the shard router swaps in scatter/gather.
+LeafRunner = Callable[[Leaf], LeafRows]
+
+
+# --------------------------------------------------------------------------
+# Statement-level evaluation (shared by single catalog and shard router)
+# --------------------------------------------------------------------------
+
+
+def execute_compiled(
+    compiled: CompiledStatement, leaf_runner: LeafRunner
+) -> list[str]:
+    """Run the algebra tree and return the final ordered name list."""
+    table = _eval_node(compiled.root, leaf_runner)
+    items = sorted(table.items())  # name ascending
+    # Stable second pass on the key keeps the name order for equal keys,
+    # in both directions — the cross-strategy/cross-shard tiebreak.
+    items.sort(key=lambda kv: sort_key(kv[1]), reverse=compiled.descending)
+    names = [name for name, _key in items]
+    start = compiled.offset or 0
+    if start:
+        names = names[start:]
+    if compiled.limit is not None:
+        names = names[: compiled.limit]
+    return names
+
+
+def _eval_node(node: Any, leaf_runner: LeafRunner) -> dict[str, Any]:
+    if isinstance(node, Leaf):
+        return _reduce_pairs(leaf_runner(node))
+    if isinstance(node, Algebra):
+        left = _eval_node(node.left, leaf_runner)
+        right = _eval_node(node.right, leaf_runner)
+        if node.op == "union":
+            for name, key in right.items():
+                if name not in left or sort_key(key) < sort_key(left[name]):
+                    left[name] = key
+            return left
+        if node.op == "intersect":
+            return {
+                name: min((key, right[name]), key=sort_key)
+                for name, key in left.items()
+                if name in right
+            }
+        if node.op == "minus":
+            return {
+                name: key for name, key in left.items() if name not in right
+            }
+        raise QueryError(f"unknown set operation {node.op!r}")
+    raise QueryError(f"unsupported MQL plan node {type(node).__name__!r}")
+
+
+def _reduce_pairs(pairs: LeafRows) -> dict[str, Any]:
+    """name → representative (minimal) sort key."""
+    table: dict[str, Any] = {}
+    for key, name in pairs:
+        if name not in table or sort_key(key) < sort_key(table[name]):
+            table[name] = key
+    return table
+
+
+# --------------------------------------------------------------------------
+# Leaf strategies
+# --------------------------------------------------------------------------
+
+
+def run_leaf(
+    catalog: "MetadataCatalog", leaf: Leaf, strategy: str
+) -> LeafRows:
+    """Answer one conjunctive leaf with the given strategy."""
+    _LEAVES.labels(strategy).inc()
+    if strategy == "join":
+        return catalog.query_rows(leaf.query)
+    if strategy == "index":
+        return _cached(catalog, leaf, "index", _index_leaf)
+    if strategy == "scan":
+        return _cached(catalog, leaf, "scan", _scan_leaf)
+    raise QueryError(f"unknown MQL strategy {strategy!r}")
+
+
+def _cached(
+    catalog: "MetadataCatalog",
+    leaf: Leaf,
+    strategy: str,
+    compute: Callable[["MetadataCatalog", Leaf], LeafRows],
+) -> LeafRows:
+    """Serve a leaf through the generation-stamped result cache."""
+    conn = catalog._conn
+    tables = leaf.query.touched_tables()
+    generations = catalog.cache.generations.snapshot(tables)
+    key = ("mql-leaf", strategy, _leaf_key(leaf))
+    token = catalog.cache.lookup_query(conn, key, tables, generations=generations)
+    if token.hit:
+        return list(token.value)
+    rows = compute(catalog, leaf)
+    token.store(tuple(rows))
+    return rows
+
+
+def _leaf_key(leaf: Leaf) -> tuple:
+    query = leaf.query
+    return (
+        query.object_type.value,
+        tuple((c.attribute, c.op, _hashable(c.value)) for c in query.conditions),
+        tuple((c.attribute, c.op, _hashable(c.value)) for c in query.predefined),
+        query.order,
+    )
+
+
+def _hashable(value: Any) -> Any:
+    return tuple(value) if isinstance(value, list) else value
+
+
+def _index_leaf(catalog: "MetadataCatalog", leaf: Leaf) -> LeafRows:
+    """Probe the av_<type> index per condition, intersect, then fetch."""
+    query = leaf.query
+    # Resolve definitions before opening the read transaction — lookups
+    # are cached and must not race the lock acquisition below.
+    definitions = [
+        catalog.get_attribute_def(c.attribute) for c in query.conditions
+    ]
+    for condition, definition in zip(query.conditions, definitions):
+        if query.object_type not in definition.object_types:
+            raise QueryError(
+                f"attribute {condition.attribute!r} does not apply to "
+                f"{query.object_type.value}s"
+            )
+    table = _OBJECT_TABLE[query.object_type]
+    conn = catalog._conn
+    # One read transaction around every probe: the intersection must see
+    # a single snapshot, or a concurrent writer could tear the result.
+    conn.begin()
+    try:
+        conn.lock_tables(read=("attribute_value", table))
+        candidate_ids: Optional[set[int]] = None
+        result: LeafRows = []
+        for condition, definition in zip(query.conditions, definitions):
+            clause, params = _value_clause(definition.value_type, condition)
+            rows = conn.execute(
+                "SELECT object_id FROM attribute_value WHERE attr_id = ? "
+                f"AND object_type = ? AND {clause}",
+                (definition.id, query.object_type.value, *params),
+            ).fetchall()
+            ids = {row[0] for row in rows}
+            if candidate_ids is None:
+                candidate_ids = ids
+            else:
+                candidate_ids &= ids
+                _INTERSECTIONS.inc()
+            if not candidate_ids:
+                break
+        if candidate_ids is None:
+            raise QueryError(
+                "index strategy requires at least one user-attribute condition"
+            )
+        if candidate_ids:
+            result = _fetch_rows(conn, table, leaf, sorted(candidate_ids))
+    except Exception:
+        conn.rollback()
+        raise
+    conn.commit()
+    return result
+
+
+def _fetch_rows(
+    conn, table: str, leaf: Leaf, object_ids: list[int]
+) -> LeafRows:
+    """(key, name) rows for the surviving ids, predefined filters applied."""
+    query = leaf.query
+    assert query.order is not None  # the compiler always sets the sort key
+    from repro.core.query import _predefined_column
+
+    key_column = _predefined_column(query.object_type, query.order[0])
+    filters: list[str] = []
+    filter_params: list[Any] = []
+    for condition in query.predefined:
+        column = _predefined_column(query.object_type, condition.attribute)
+        clause, params = _value_clause(None, condition, column=column)
+        filters.append(clause)
+        filter_params.extend(params)
+    out: LeafRows = []
+    for start in range(0, len(object_ids), _FETCH_CHUNK):
+        chunk = object_ids[start : start + _FETCH_CHUNK]
+        placeholders = ", ".join("?" for _ in chunk)
+        sql = (
+            f"SELECT obj.name, obj.{key_column} FROM {table} obj "
+            f"WHERE obj.id IN ({placeholders})"
+        )
+        if filters:
+            sql += " AND " + " AND ".join(filters)
+        rows = conn.execute(sql, (*chunk, *filter_params)).fetchall()
+        out.extend((row[1], row[0]) for row in rows)
+    return out
+
+
+def _value_clause(
+    value_type: Optional[AttributeType],
+    condition: AttributeCondition,
+    column: Optional[str] = None,
+) -> tuple[str, list]:
+    target = column if column is not None else value_type.value_column
+    if condition.op == "between":
+        low, high = condition.value
+        return f"{target} BETWEEN ? AND ?", [low, high]
+    if condition.op == "like":
+        return f"{target} LIKE ?", [condition.value]
+    return f"{target} {condition.op} ?", [condition.value]
+
+
+_VALUE_COLUMNS = ("string", "int", "float", "date", "time", "datetime")
+
+
+def _scan_leaf(catalog: "MetadataCatalog", leaf: Leaf) -> LeafRows:
+    """Full EAV + object-table pass, evaluated with engine semantics.
+
+    Deliberately WHERE-free SQL: this is the cost baseline the paper's
+    complex-query figures describe and the oracle the equivalence lane
+    trusts — every predicate is applied in Python via
+    :mod:`repro.db.expr`, the engine's own three-valued evaluator.
+    """
+    query = leaf.query
+    condition_defs = [
+        catalog.get_attribute_def(c.attribute) for c in query.conditions
+    ]
+    definitions = {definition.id: definition for definition in condition_defs}
+    for definition in condition_defs:
+        if query.object_type not in definition.object_types:
+            raise QueryError(
+                f"attribute {definition.name!r} does not apply to "
+                f"{query.object_type.value}s"
+            )
+    table = _OBJECT_TABLE[query.object_type]
+    from repro.core.query import _predefined_column
+
+    assert query.order is not None
+    key_column = _predefined_column(query.object_type, query.order[0])
+    predefined_columns = [
+        _predefined_column(query.object_type, c.attribute)
+        for c in query.predefined
+    ]
+    select_cols = ["id", "name", key_column, *predefined_columns]
+
+    conn = catalog._conn
+    conn.begin()
+    try:
+        conn.lock_tables(read=("attribute_value", table))
+        # The genuine full scan: every attribute_value row, no WHERE.
+        value_rows = conn.execute(
+            "SELECT attr_id, object_type, object_id, value_string, "
+            "value_int, value_float, value_date, value_time, value_datetime "
+            "FROM attribute_value"
+        ).fetchall()
+        object_rows = conn.execute(
+            f"SELECT {', '.join(select_cols)} FROM {table}"
+        ).fetchall()
+    except Exception:
+        conn.rollback()
+        raise
+    conn.commit()
+
+    by_object: dict[int, dict[int, Any]] = {}
+    for row in value_rows:
+        attr_id, object_type_text = row[0], row[1]
+        if object_type_text != query.object_type.value or attr_id not in definitions:
+            continue
+        value_type = definitions[attr_id].value_type
+        value = row[3 + _VALUE_COLUMNS.index(value_type.value)]
+        by_object.setdefault(row[2], {})[attr_id] = value
+
+    user_exprs = [
+        (definition.id, _condition_expr(condition))
+        for condition, definition in zip(query.conditions, condition_defs)
+    ]
+    predefined_exprs = [
+        _condition_expr(condition) for condition in query.predefined
+    ]
+
+    out: LeafRows = []
+    for row in object_rows:
+        object_id, name, key = row[0], row[1], row[2]
+        attrs = by_object.get(object_id, {})
+        ok = True
+        for attr_id, expr in user_exprs:
+            # Missing attribute → NULL → three-valued "unknown" → reject,
+            # exactly like the join's inner-join-on-missing-row.
+            if expr.eval({"v": attrs.get(attr_id)}) is not True:
+                ok = False
+                break
+        if ok:
+            for position, expr in enumerate(predefined_exprs):
+                if expr.eval({"v": row[3 + position]}) is not True:
+                    ok = False
+                    break
+        if ok:
+            out.append((key, name))
+    return out
+
+
+def _condition_expr(condition: AttributeCondition):
+    """Engine expression for one condition over scope key ``v``."""
+    ref = ColumnRef("v")
+    if condition.op == "between":
+        low, high = condition.value
+        return Between(ref, Literal(low), Literal(high))
+    if condition.op == "like":
+        return Like(ref, Literal(condition.value))
+    return Comparison(condition.op, ref, Literal(condition.value))

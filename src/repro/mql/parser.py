@@ -1,0 +1,256 @@
+"""Recursive-descent MQL parser.
+
+Grammar (EBNF; keywords are case-insensitive)::
+
+    statement   = expr [ "order" "by" ident [ "asc" | "desc" ] ]
+                       [ "limit" int ] [ "offset" int ] ;
+    expr        = term { ( "union" | "minus" ) term } ;          (* left-assoc *)
+    term        = factor { "intersect" factor } ;                (* left-assoc *)
+    factor      = "(" statement ")" | query ;
+    query       = ( "files" | "collections" | "views" ) [ "where" pred ] ;
+    pred        = conj { "or" conj } ;
+    conj        = unary { "and" unary } ;
+    unary       = "not" unary | "(" pred ")" | condition ;
+    condition   = ident comparator value
+                | ident "like" string
+                | ident "between" value "and" value
+                | ident ;                                 (* sugar: = true *)
+    comparator  = "=" | "!=" | "<" | "<=" | ">" | ">=" ;
+    value       = string | [ "-" ] number | "true" | "false"
+                | "date" string | "time" string | "datetime" string ;
+
+A parenthesized sub-statement with no order/limit/offset unwraps to its
+bare source, so ``(files where a = 1) union files`` builds a plain
+:class:`SetOp` over two :class:`Query` nodes.  Ordering and pagination
+are syntactically legal on nested statements; the *compiler* restricts
+them to the top level.
+
+Every failure raises :class:`repro.mql.errors.MQLSyntaxError` with the
+offending line/column and a caret snippet — never a bare ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Optional
+
+from repro.mql.ast import (
+    And,
+    Condition,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    SetOp,
+    Statement,
+)
+from repro.mql.errors import MQLSyntaxError
+from repro.mql.lexer import Token, tokenize
+
+_OBJECT_TYPES = {"files": "file", "collections": "collection", "views": "view"}
+_COMPARATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _at_keyword(self, *words: str) -> bool:
+        return self.current.kind == "keyword" and self.current.value in words
+
+    def _at_symbol(self, *symbols: str) -> bool:
+        return self.current.kind == "symbol" and self.current.value in symbols
+
+    def _take_keyword(self, word: str) -> Token:
+        if not self._at_keyword(word):
+            raise self._error(f"expected {word!r}")
+        return self._advance()
+
+    def _take_symbol(self, symbol: str) -> Token:
+        if not self._at_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _error(self, message: str, token: Optional[Token] = None) -> MQLSyntaxError:
+        token = token if token is not None else self.current
+        shown = token.text or "end of input"
+        lines = self.source.splitlines()
+        source_line = (
+            lines[token.line - 1] if 1 <= token.line <= len(lines) else None
+        )
+        return MQLSyntaxError(
+            f"{message} (found {shown!r})", token.line, token.column, source_line
+        )
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_statement(self, top_level: bool = False) -> Statement:
+        source = self._parse_expr()
+        order_by: Optional[str] = None
+        descending = False
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+        if self._at_keyword("order"):
+            self._advance()
+            self._take_keyword("by")
+            if self.current.kind != "ident":
+                raise self._error("expected a field name after 'order by'")
+            order_by = str(self._advance().value)
+            if self._at_keyword("asc", "desc"):
+                descending = self._advance().value == "desc"
+        if self._at_keyword("limit"):
+            self._advance()
+            limit = self._parse_count("limit")
+        if self._at_keyword("offset"):
+            self._advance()
+            offset = self._parse_count("offset")
+        if top_level and self.current.kind != "eof":
+            raise self._error("unexpected trailing input")
+        return Statement(
+            source=source,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_count(self, keyword: str) -> int:
+        if self.current.kind != "int":
+            raise self._error(f"expected a non-negative integer after {keyword!r}")
+        return int(self._advance().value)
+
+    def _parse_expr(self) -> Any:
+        node = self._parse_term()
+        while self._at_keyword("union", "minus"):
+            op = str(self._advance().value)
+            node = SetOp(op=op, left=node, right=self._parse_term())
+        return node
+
+    def _parse_term(self) -> Any:
+        node = self._parse_factor()
+        while self._at_keyword("intersect"):
+            self._advance()
+            node = SetOp(op="intersect", left=node, right=self._parse_factor())
+        return node
+
+    def _parse_factor(self) -> Any:
+        if self._at_symbol("("):
+            self._advance()
+            inner = self.parse_statement()
+            self._take_symbol(")")
+            if inner.has_modifiers():
+                return inner
+            return inner.source
+        if self.current.kind == "keyword" and self.current.value in _OBJECT_TYPES:
+            object_type = _OBJECT_TYPES[str(self._advance().value)]
+            where: Optional[Predicate] = None
+            if self._at_keyword("where"):
+                self._advance()
+                where = self._parse_pred()
+            return Query(object_type=object_type, where=where)
+        raise self._error("expected 'files', 'collections', 'views' or '('")
+
+    def _parse_pred(self) -> Predicate:
+        parts = [self._parse_conj()]
+        while self._at_keyword("or"):
+            self._advance()
+            parts.append(self._parse_conj())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _parse_conj(self) -> Predicate:
+        parts = [self._parse_unary()]
+        while self._at_keyword("and"):
+            self._advance()
+            parts.append(self._parse_unary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _parse_unary(self) -> Predicate:
+        if self._at_keyword("not"):
+            self._advance()
+            return Not(self._parse_unary())
+        if self._at_symbol("("):
+            self._advance()
+            inner = self._parse_pred()
+            self._take_symbol(")")
+            return inner
+        return self._parse_condition()
+
+    def _parse_condition(self) -> Condition:
+        if self.current.kind != "ident":
+            raise self._error("expected a field name")
+        fieldname = str(self._advance().value)
+        if self._at_symbol(*_COMPARATORS):
+            op = str(self._advance().value)
+            return Condition(fieldname, op, self._parse_value())
+        if self._at_keyword("like"):
+            self._advance()
+            if self.current.kind != "string":
+                raise self._error("expected a string pattern after 'like'")
+            return Condition(fieldname, "like", self._advance().value)
+        if self._at_keyword("between"):
+            self._advance()
+            low = self._parse_value()
+            self._take_keyword("and")
+            high = self._parse_value()
+            return Condition(fieldname, "between", (low, high))
+        # Bare identifier: boolean sugar for ``<field> = true``.
+        return Condition(fieldname, "=", True)
+
+    def _parse_value(self) -> Any:
+        token = self.current
+        if token.kind == "string":
+            self._advance()
+            return token.value
+        if token.kind in ("int", "float"):
+            self._advance()
+            return token.value
+        if self._at_symbol("-"):
+            self._advance()
+            number = self.current
+            if number.kind not in ("int", "float"):
+                raise self._error("expected a number after '-'")
+            self._advance()
+            return -number.value  # type: ignore[operator]
+        if self._at_keyword("true"):
+            self._advance()
+            return True
+        if self._at_keyword("false"):
+            self._advance()
+            return False
+        if self._at_keyword("date", "time", "datetime"):
+            kind = str(self._advance().value)
+            literal = self.current
+            if literal.kind != "string":
+                raise self._error(f"expected a quoted ISO {kind} literal")
+            self._advance()
+            return self._temporal(kind, str(literal.value), literal)
+        raise self._error("expected a value")
+
+    def _temporal(self, kind: str, text: str, token: Token) -> Any:
+        try:
+            if kind == "date":
+                return _dt.date.fromisoformat(text)
+            if kind == "time":
+                return _dt.time.fromisoformat(text)
+            return _dt.datetime.fromisoformat(text)
+        except ValueError:
+            raise self._error(f"invalid ISO {kind} literal {text!r}", token) from None
+
+
+def parse(source: str) -> Statement:
+    """Parse one MQL statement; raises :class:`MQLSyntaxError` on failure."""
+    return _Parser(source).parse_statement(top_level=True)

@@ -1,0 +1,254 @@
+"""Cost-based strategy selection for compiled MQL leaves.
+
+Each conjunctive leaf can be answered three ways, all returning the
+same ``(sort key, name)`` pairs:
+
+* **index** — probe the ``av_<type>`` secondary index once per user
+  condition (``attr_id`` prefix plus the value clause), intersect the
+  object-id sets smallest-first, then fetch the surviving rows;
+* **join** — the classic EAV self-join SQL from
+  :meth:`repro.core.query.ObjectQuery.to_sql`, served through the
+  generation-stamped query result cache;
+* **scan** — a genuine full pass over ``attribute_value`` plus the
+  object table, evaluated in Python with the engine's own expression
+  semantics (the equivalence-lane oracle and the ablation baseline).
+
+Costs come from the incrementally maintained ``attribute_stats`` table
+(:mod:`repro.mql.stats`).  Selectivity model, deliberately simple:
+
+* equality → ``rows / distinct``;
+* range / between / prefix-``like`` → ``rows / 3``;
+* ``!=`` and wildcard-leading ``like`` → ``rows`` (probe-able via the
+  attr_id prefix, but unselective).
+
+``cost(index) = Σ probe estimates + |conditions| · min estimate``,
+``cost(join) = best estimate · |conditions|`` (the best condition
+drives the join as base table), ``cost(scan) = all EAV rows of the
+object type``.  Ties break index → join → scan.  Statistics are
+advisory: a bad estimate costs time, never correctness.
+
+Compiled plans land in a small per-catalog LRU keyed by (MQL text,
+``attribute_def`` generation, strategy override) — any attribute
+(re)definition bumps the generation and naturally invalidates every
+cached plan, mirroring the PR-3 result-cache protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import QueryError
+from repro.mql import stats as mql_stats
+from repro.mql.compiler import CompiledStatement, Leaf
+from repro.obs.metrics import counter as _obs_counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.catalog import MetadataCatalog
+
+STRATEGIES = ("index", "join", "scan")
+
+_PLAN_CACHE = _obs_counter(
+    "mcs_mql_plan_cache_total",
+    "Compiled-MQL plan cache lookups by result",
+    labels=("result",),
+)
+
+#: Estimate divisor for range-shaped predicates (between, < > <= >=,
+#: prefix LIKE) when no finer information exists.
+_RANGE_FRACTION = 3.0
+
+
+@dataclass(frozen=True)
+class ConditionEstimate:
+    attribute: str
+    op: str
+    rows: float
+    probe_able: bool  # sargable enough to drive an index probe cheaply
+
+
+@dataclass(frozen=True)
+class LeafPlan:
+    """The chosen strategy (and its reasoning) for one leaf."""
+
+    strategy: str
+    cost: float
+    costs: tuple[tuple[str, float], ...]  # every strategy's modeled cost
+    estimates: tuple[ConditionEstimate, ...]
+
+
+@dataclass
+class StatementPlan:
+    """A compiled statement plus one :class:`LeafPlan` per leaf."""
+
+    compiled: CompiledStatement
+    leaf_plans: list[LeafPlan] = dc_field(default_factory=list)
+
+    def plan_for(self, leaf: Leaf) -> LeafPlan:
+        return self.leaf_plans[leaf.index]
+
+
+def plan_statement(
+    catalog: "MetadataCatalog",
+    compiled: CompiledStatement,
+    strategy: Optional[str] = None,
+) -> StatementPlan:
+    """Choose a strategy per leaf (or force *strategy* everywhere)."""
+    if strategy is not None and strategy not in STRATEGIES:
+        raise QueryError(
+            f"unknown MQL strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    plan = StatementPlan(compiled=compiled)
+    for leaf in compiled.leaves:
+        plan.leaf_plans.append(plan_leaf(catalog, leaf, strategy))
+    return plan
+
+
+def plan_leaf(
+    catalog: "MetadataCatalog",
+    leaf: Leaf,
+    forced: Optional[str] = None,
+    reorder: bool = True,
+) -> LeafPlan:
+    """Pick a strategy for one leaf.
+
+    ``reorder=True`` (statement planning) re-sorts the leaf's conditions
+    most-selective-first in place — it benefits the index strategy
+    (drive the intersection from the smallest set) and the join strategy
+    (the first condition is ``to_sql``'s base table).  The shard router
+    passes ``reorder=False``: its leaves are shared across concurrent
+    scatter calls and must not be mutated mid-flight.
+    """
+    estimates = _estimate_conditions(catalog, leaf)
+    if reorder:
+        # Stable by attribute name so plans are deterministic under
+        # equal estimates.
+        order = sorted(
+            range(len(estimates)),
+            key=lambda i: (estimates[i].rows, estimates[i].attribute),
+        )
+        leaf.query.conditions[:] = [leaf.query.conditions[i] for i in order]
+        estimates = [estimates[i] for i in order]
+    estimates = tuple(estimates)
+
+    conn = catalog._conn
+    eav_total = float(mql_stats.total_rows(conn, leaf.object_type))
+    costs: list[tuple[str, float]] = []
+    if estimates and any(e.probe_able for e in estimates):
+        probe_total = sum(e.rows for e in estimates)
+        candidates = min(e.rows for e in estimates)
+        costs.append(("index", probe_total + len(estimates) * candidates))
+    if estimates:
+        costs.append(("join", estimates[0].rows * len(estimates)))
+    else:
+        # No user conditions: the "join" SQL degenerates to a plain
+        # object-table query; there is nothing for probes to intersect.
+        costs.append(("join", eav_total))
+    costs.append(("scan", eav_total + max(eav_total, 1.0)))
+
+    available = [name for name, _ in costs]
+    if forced is not None:
+        if forced == "index" and "index" not in available:
+            # Forcing indexes on a leaf with nothing to probe falls back
+            # to the join shape — still index-backed at the SQL layer.
+            strategy = "join"
+        else:
+            strategy = forced
+        cost = dict(costs).get(strategy, 0.0)
+    else:
+        rank = {name: pos for pos, name in enumerate(STRATEGIES)}
+        strategy, cost = min(costs, key=lambda item: (item[1], rank[item[0]]))
+    return LeafPlan(
+        strategy=strategy,
+        cost=cost,
+        costs=tuple(costs),
+        estimates=estimates,
+    )
+
+
+def _estimate_conditions(
+    catalog: "MetadataCatalog", leaf: Leaf
+) -> list[ConditionEstimate]:
+    conn = catalog._conn
+    out: list[ConditionEstimate] = []
+    for condition in leaf.query.conditions:
+        definition = catalog.get_attribute_def(condition.attribute)
+        if leaf.object_type not in definition.object_types:
+            raise QueryError(
+                f"attribute {condition.attribute!r} does not apply to "
+                f"{leaf.object_type.value}s"
+            )
+        stat = mql_stats.read_stats(conn, definition.id, leaf.object_type)
+        rows = float(stat.row_count) if stat else 0.0
+        distinct = float(stat.distinct_count) if stat else 0.0
+        if condition.op == "=":
+            est = rows / distinct if distinct else rows
+            probe_able = True
+        elif condition.op in ("<", "<=", ">", ">=", "between"):
+            est = rows / _RANGE_FRACTION
+            probe_able = True
+        elif condition.op == "like":
+            prefix = isinstance(condition.value, str) and not condition.value[
+                :1
+            ] in ("%", "_")
+            est = rows / _RANGE_FRACTION if prefix else rows
+            probe_able = True
+        else:  # != — still probe-able via the attr_id prefix, not selective
+            est = rows
+            probe_able = True
+        out.append(
+            ConditionEstimate(
+                attribute=condition.attribute,
+                op=condition.op,
+                rows=max(est, 0.0),
+                probe_able=probe_able,
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# EXPLAIN rendering
+# --------------------------------------------------------------------------
+
+
+def explain_lines(plan: StatementPlan) -> list[str]:
+    """Human-readable physical plan, stable enough for golden tests."""
+    compiled = plan.compiled
+    lines = [f"MQL: {compiled.text}"]
+    for leaf, leaf_plan in zip(compiled.leaves, plan.leaf_plans):
+        conds = len(leaf.query.conditions)
+        pre = len(leaf.query.predefined)
+        lines.append(
+            f"leaf {leaf.index} [{leaf.object_type.value}]: "
+            f"strategy={leaf_plan.strategy} cost={leaf_plan.cost:.1f} "
+            f"(conditions={conds} predefined={pre})"
+        )
+        for estimate in leaf_plan.estimates:
+            lines.append(
+                f"  {estimate.attribute} {estimate.op} ? "
+                f"(est {estimate.rows:.1f} rows)"
+            )
+        alternatives = ", ".join(
+            f"{name}={cost:.1f}" for name, cost in leaf_plan.costs
+        )
+        lines.append(f"  costs: {alternatives}")
+    lines.append(f"algebra: {_algebra_text(compiled.root)}")
+    direction = "desc" if compiled.descending else "asc"
+    modifiers = f"order by {compiled.order_field} {direction}"
+    if compiled.limit is not None:
+        modifiers += f" limit {compiled.limit}"
+    if compiled.offset is not None:
+        modifiers += f" offset {compiled.offset}"
+    lines.append(modifiers)
+    return lines
+
+
+def _algebra_text(node) -> str:
+    if isinstance(node, Leaf):
+        return f"leaf{node.index}"
+    return f"{node.op}({_algebra_text(node.left)}, {_algebra_text(node.right)})"
+
+
+def record_plan_cache(hit: bool) -> None:
+    _PLAN_CACHE.labels("hit" if hit else "miss").inc()

@@ -61,6 +61,13 @@ DECLARED_METRICS: frozenset[str] = frozenset(
         "mcs_db_wal_records_total",
         # -- fault injection (repro.faults) -------------------------------
         "mcs_faults_injected_total",
+        # -- MQL + attribute secondary indexes (repro.mql) ----------------
+        "mcs_index_intersections_total",
+        "mcs_index_stats_updates_total",
+        "mcs_mql_leaves_total",
+        "mcs_mql_parse_seconds",
+        "mcs_mql_plan_cache_total",
+        "mcs_mql_queries_total",
         # -- profiler (repro.obs.profiler) --------------------------------
         "mcs_profile_samples_total",
         # -- replication (repro.db.replication) ---------------------------

@@ -44,6 +44,7 @@ from repro.core.errors import (
     DuplicateObjectError,
     InvalidAttributeError,
     ObjectNotFoundError,
+    QueryError,
 )
 from repro.core.model import (
     AttributeDef,
@@ -149,6 +150,9 @@ class ShardedCatalog:
         # Owning-shard hints (name → shard index) to short-circuit the
         # scatter locate; purely advisory, verified before use.
         self._hints: LRUCache[str, int] = LRUCache(capacity=4096)
+        # Router-side compiled MQL statements (parse + compile only; leaf
+        # planning is per shard, against each shard's own statistics).
+        self._mql_compiled: LRUCache[str, Any] = LRUCache(capacity=128)
         self.cache = _ShardedCacheView(self.shards)
 
     # -- lifecycle ---------------------------------------------------------
@@ -833,6 +837,112 @@ class ShardedCatalog:
         return self._replicated_read(
             "explain_query", lambda s: s.explain_query(query)
         )
+
+    # -- MQL (scatter/gather over compiled leaves) -------------------------
+
+    @property
+    def mql_strategy(self) -> Optional[str]:
+        """Forced per-leaf strategy (None / "index" / "join" / "scan"),
+        forwarded to every shard so equivalence harnesses can pin the
+        whole fleet to one execution strategy at once."""
+        return self.shards[0].mql_strategy
+
+    @mql_strategy.setter
+    def mql_strategy(self, value: Optional[str]) -> None:
+        for shard in self.shards:
+            shard.mql_strategy = value
+
+    def _compile_mql(self, text: str) -> Any:
+        """Parse + compile once on the router.
+
+        Compilation is purely syntactic (predefined-vs-user attribute
+        split is by static name sets), so the cache needs no
+        attribute-def generation key — per-shard *planning* carries the
+        generation-sensitive state and happens inside each shard's own
+        plan cache.  Mixed object types cannot scatter coherently (files
+        are partitioned, collections/views replicated) and are rejected
+        the way a single engine rejects unknown fields: as a QueryError.
+        """
+        compiled = self._mql_compiled.get(text)
+        if compiled is None:
+            from repro import mql
+            from repro.mql import compiler as mql_compiler
+
+            compiled = mql_compiler.compile_statement(mql.parse(text))
+            self._mql_compiled.put(text, compiled)
+        if len(compiled.object_types) > 1:
+            names = ", ".join(sorted(t.value for t in compiled.object_types))
+            raise QueryError(
+                f"sharded MQL statements must stay within one object type; "
+                f"this one mixes {names}"
+            )
+        return compiled
+
+    def query_mql(self, text: str) -> list[str]:
+        """Run one MQL statement across the fleet.
+
+        FILE statements scatter per compiled leaf: every shard answers
+        ``mql_leaf_rows(leaf)`` with its own planner choice (the three
+        strategies are answer-equivalent, so heterogeneous per-shard
+        choices cannot skew the result), and the router re-runs the
+        dataset algebra, dedup, ordering and pagination over the
+        concatenated ``(sort key, name)`` streams.  Collection/view
+        statements run whole on any replica.
+        """
+        from repro.mql import executor as mql_executor
+
+        compiled = self._compile_mql(text)
+        if ObjectType.FILE not in compiled.object_types:
+            return self._replicated_read("query_mql", lambda s: s.query_mql(text))
+
+        def leaf_runner(leaf: Any) -> list[tuple[Any, str]]:
+            rows: list[tuple[Any, str]] = []
+            for idx in self.map.all_shards():
+                rows.extend(
+                    self._call(
+                        idx,
+                        "mql_leaf_rows",
+                        lambda s: s.mql_leaf_rows(leaf),
+                        kind="scatter",
+                        idempotent=True,
+                    )
+                )
+            return rows
+
+        started = time.perf_counter()
+        names = mql_executor.execute_compiled(compiled, leaf_runner)
+        _MERGE_SECONDS.observe(time.perf_counter() - started)
+        return names
+
+    def explain_mql(self, text: str) -> list[str]:
+        """Fleet plan: a scatter header plus shard 0's physical plan
+        (replicas share schema and statistics shape; per-shard row counts
+        may of course differ)."""
+        compiled = self._compile_mql(text)
+        if ObjectType.FILE not in compiled.object_types:
+            return self._replicated_read(
+                "explain_mql", lambda s: s.explain_mql(text)
+            )
+        plan = self._call(
+            0, "explain_mql", lambda s: s.explain_mql(text), idempotent=True
+        )
+        header = (
+            f"Scatter [shards={self.shard_count}, "
+            f"merge on {compiled.order_field}, per-leaf]"
+        )
+        return [header] + plan
+
+    def analyze_attributes(self) -> int:
+        """Recompute ``attribute_stats`` on every shard; total rows written."""
+        written = 0
+        for idx in self.map.all_shards():
+            written += self._call(
+                idx,
+                "analyze_attributes",
+                lambda s: s.analyze_attributes(),
+                kind="scatter",
+            )
+        return written
 
     def query_files_by_attributes(self, conditions: dict[str, Any]) -> list[str]:
         return self.query(

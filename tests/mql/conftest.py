@@ -1,0 +1,14 @@
+"""MQL lane (run alone with ``-m mql``).
+
+Every module here carries ``pytestmark = pytest.mark.mql``.  The lane
+proves the two contracts of the MQL tentpole:
+
+* the canonical printer and the parser are exact inverses (Hypothesis
+  round-trip over generated ASTs), and every syntax failure is a
+  located :class:`repro.mql.errors.MQLSyntaxError` with a caret
+  snippet — never a bare ``ValueError``;
+* the three leaf execution strategies — secondary-index intersection,
+  the EAV join, and the full scan — are answer-equivalent under random
+  interleavings of writes and queries, including savepoint-rolled-back
+  bulk items and post-crash WAL replay.
+"""

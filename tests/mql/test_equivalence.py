@@ -1,0 +1,286 @@
+"""Stateful equivalence: index-forced vs join-forced vs scan-forced MQL.
+
+Three identical catalogs receive the same randomized interleaving of
+creates, attribute writes, deletes, invalidations and non-atomic bulk
+batches with poisoned items (exercising savepoint rollback).  After
+every step, a pool of MQL statements — conjunctions, disjunctions,
+negation, ``like``, ``between``, boolean sugar, dataset algebra and
+paging — must return *identical ordered answers* on all three, with the
+execution strategy pinned to a different one on each catalog.
+
+A separate seeded test crashes a durable catalog (abandoning it without
+checkpoint), reopens the directory through WAL replay, and asserts the
+three strategies still agree with an in-memory oracle that saw the same
+successful operations.
+"""
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import MetadataCatalog, ObjectType
+from repro.db import Database
+
+pytestmark = pytest.mark.mql
+
+STRATEGIES = ("index", "join", "scan")
+STR_VALUES = ("x", "y", "z")
+INT_VALUES = (1, 2, 3)
+
+#: MQL statements stressing every leaf shape and the dataset algebra.
+STATEMENTS = (
+    "files",
+    "files where a_int = 1",
+    "files where a_int = 2 and a_str = \"y\"",
+    "files where a_int = 3 or a_str = \"z\" order by name desc",
+    "files where a_str like \"x%\" order by name limit 4",
+    "files where a_int between 1 and 2 order by name limit 5 offset 1",
+    "files where not (a_int = 1 or a_str = \"y\")",
+    "files where valid and a_int != 2",
+    "files where a_int < 3 and not a_str = \"x\" order by name",
+    "(files where a_int = 1) union (files where a_str = \"y\") order by name",
+    "(files where a_int != 3) minus (files where a_str = \"z\")",
+    "(files where a_int = 1) intersect (files where valid)",
+    "(files where a_int = 1) union ((files where a_int = 2) "
+    "intersect (files where a_str = \"x\")) order by name limit 6",
+)
+
+
+def _prepare(catalog, strategy):
+    catalog.define_attribute("a_str", "string")
+    catalog.define_attribute("a_int", "int")
+    catalog.mql_strategy = strategy
+    return catalog
+
+
+class MQLEquivalenceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.catalogs = [
+            _prepare(MetadataCatalog(), strategy) for strategy in STRATEGIES
+        ]
+        self.names: list[str] = []
+        self._counter = 0
+
+    def teardown(self):
+        for catalog in self.catalogs:
+            catalog.db.close()
+
+    def _fresh_name(self) -> str:
+        self._counter += 1
+        return f"file-{self._counter:04d}"
+
+    def _pick(self, data_index: int) -> str:
+        if not self.names:
+            return "no-such-file"
+        return self.names[data_index % len(self.names)]
+
+    def _all_agree(self, op, fn):
+        outcomes = []
+        for catalog in self.catalogs:
+            try:
+                outcomes.append((True, fn(catalog)))
+            except Exception as exc:  # noqa: BLE001 - oracle comparison
+                outcomes.append((False, exc))
+        ok0, value0 = outcomes[0]
+        for strategy, (ok, value) in zip(STRATEGIES[1:], outcomes[1:]):
+            assert ok == ok0, (
+                f"{op}: {STRATEGIES[0]} ok={ok0} but {strategy} ok={ok} "
+                f"({value0!r} vs {value!r})"
+            )
+            if not ok0:
+                assert type(value) is type(value0)
+            elif isinstance(value0, (list, tuple, dict, str, int, bool)):
+                assert value == value0, (
+                    f"{op}: {STRATEGIES[0]} returned {value0!r} but "
+                    f"{strategy} returned {value!r}"
+                )
+        return outcomes[0]
+
+    # -- write rules --------------------------------------------------------
+
+    @rule(
+        s=st.sampled_from(STR_VALUES),
+        i=st.sampled_from(INT_VALUES),
+        bare=st.booleans(),
+    )
+    def create(self, s, i, bare):
+        name = self._fresh_name()
+        attrs = None if bare else {"a_str": s, "a_int": i}
+        ok, _ = self._all_agree(
+            f"create {name!r}",
+            lambda c: bool(c.create_file(name, attributes=attrs)),
+        )
+        if ok:
+            self.names.append(name)
+
+    @rule(
+        pick=st.integers(min_value=0),
+        s=st.sampled_from(STR_VALUES),
+        i=st.sampled_from(INT_VALUES),
+    )
+    def set_attrs(self, pick, s, i):
+        name = self._pick(pick)
+        self._all_agree(
+            f"set_attributes {name!r}",
+            lambda c: c.set_attributes(
+                ObjectType.FILE, name, {"a_str": s, "a_int": i}
+            ),
+        )
+
+    @rule(pick=st.integers(min_value=0), attr=st.sampled_from(("a_str", "a_int")))
+    def remove_attr(self, pick, attr):
+        name = self._pick(pick)
+        self._all_agree(
+            f"remove_attribute {name!r}.{attr}",
+            lambda c: c.remove_attribute(ObjectType.FILE, name, attr),
+        )
+
+    @rule(pick=st.integers(min_value=0))
+    def invalidate(self, pick):
+        name = self._pick(pick)
+        self._all_agree(
+            f"invalidate {name!r}", lambda c: c.invalidate_file(name)
+        )
+
+    @rule(pick=st.integers(min_value=0))
+    def delete(self, pick):
+        name = self._pick(pick)
+        ok, _ = self._all_agree(f"delete {name!r}", lambda c: c.delete_file(name))
+        if ok and name in self.names:
+            self.names.remove(name)
+
+    @rule(
+        n=st.integers(min_value=1, max_value=4),
+        poison=st.booleans(),
+        s=st.sampled_from(STR_VALUES),
+        i=st.sampled_from(INT_VALUES),
+    )
+    def bulk_set(self, n, poison, s, i):
+        """Non-atomic bulk attribute writes; a poisoned item (unknown
+        attribute) exercises the per-item savepoint rollback while the
+        rest of the batch commits — index maintenance must follow."""
+        items = [
+            {
+                "name": self._pick(k),
+                "attributes": {"a_str": s, "a_int": (i + k) % 3 + 1},
+            }
+            for k in range(n)
+        ]
+        if poison:
+            items.insert(
+                n // 2,
+                {"name": self._pick(0), "attributes": {"nope": 1, "a_int": i}},
+            )
+        per_catalog = [
+            c.bulk_set_attributes(items, atomic=False) for c in self.catalogs
+        ]
+        base = [(ok, type(val).__name__ if not ok else None)
+                for ok, val in per_catalog[0]]
+        for strategy, outcomes in zip(STRATEGIES[1:], per_catalog[1:]):
+            got = [(ok, type(val).__name__ if not ok else None)
+                   for ok, val in outcomes]
+            assert got == base, (
+                f"bulk outcomes diverge under {strategy}: {got} != {base}"
+            )
+
+    @rule()
+    def analyze(self):
+        """Exact statistics recompute; never changes any answer."""
+        self._all_agree("analyze", lambda c: bool(c.analyze_attributes()))
+
+    # -- query rules --------------------------------------------------------
+
+    @rule(statement=st.sampled_from(STATEMENTS))
+    def mql_query(self, statement):
+        self._all_agree(
+            f"mql {statement!r}", lambda c: c.query_mql(statement)
+        )
+
+    # -- invariants ---------------------------------------------------------
+
+    @invariant()
+    def full_listing_agrees(self):
+        answers = [c.query_mql("files order by name") for c in self.catalogs]
+        assert answers[0] == answers[1] == answers[2], (
+            f"full listings diverge: {answers}"
+        )
+
+
+TestMQLEquivalence = MQLEquivalenceMachine.TestCase
+TestMQLEquivalence.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)
+
+
+# -- post-crash WAL replay ---------------------------------------------------
+
+
+def _apply_random_ops(rng, catalog, oracle):
+    """The same seeded op stream against the durable catalog and the
+    in-memory oracle; returns nothing — both see identical writes."""
+    names = []
+    for step in range(60):
+        action = rng.randrange(5)
+        if action <= 1 or not names:
+            name = f"f-{step:03d}"
+            attrs = {
+                "a_str": rng.choice(STR_VALUES),
+                "a_int": rng.choice(INT_VALUES),
+            }
+            for c in (catalog, oracle):
+                c.create_file(name, attributes=attrs)
+            names.append(name)
+        elif action == 2:
+            name = rng.choice(names)
+            attrs = {"a_int": rng.choice(INT_VALUES)}
+            for c in (catalog, oracle):
+                c.set_attributes(ObjectType.FILE, name, attrs)
+        elif action == 3:
+            name = names.pop(rng.randrange(len(names)))
+            for c in (catalog, oracle):
+                c.delete_file(name)
+        else:
+            # Poisoned non-atomic bulk: middle item rolls back under a
+            # savepoint, neighbours commit.
+            items = [
+                {"name": rng.choice(names),
+                 "attributes": {"a_str": rng.choice(STR_VALUES)}},
+                {"name": "missing", "attributes": {"a_str": "x"}},
+                {"name": rng.choice(names),
+                 "attributes": {"a_int": rng.choice(INT_VALUES)}},
+            ]
+            for c in (catalog, oracle):
+                outcomes = c.bulk_set_attributes(items, atomic=False)
+                assert [ok for ok, _ in outcomes] == [True, False, True]
+
+
+@pytest.mark.parametrize("seed", (7, 23))
+def test_strategies_agree_after_crash_and_wal_replay(tmp_path, seed):
+    durable = _prepare(
+        MetadataCatalog(Database(directory=str(tmp_path), durable_sync=True)),
+        None,
+    )
+    oracle = _prepare(MetadataCatalog(), "scan")
+    _apply_random_ops(random.Random(seed), durable, oracle)
+    expected = {s: oracle.query_mql(s) for s in STATEMENTS}
+    # Crash: abandon the durable catalog without checkpoint or close —
+    # recovery below rebuilds every table (attribute_stats included)
+    # from the WAL alone.
+    del durable
+
+    reopened = MetadataCatalog(Database(directory=str(tmp_path)))
+    try:
+        for statement in STATEMENTS:
+            for strategy in STRATEGIES:
+                reopened.mql_strategy = strategy
+                assert reopened.query_mql(statement) == expected[statement], (
+                    f"{strategy} diverges from oracle after replay "
+                    f"for {statement!r}"
+                )
+    finally:
+        reopened.db.close()
+        oracle.db.close()

@@ -1,0 +1,253 @@
+"""Planner-choice regressions: fixed statistics → fixed access paths.
+
+Three layers, matching the cost pipeline:
+
+* ``repro.db.planner.choose_access_path`` with hand-built
+  :class:`TableStats` fixtures — index-intersection vs single-index vs
+  sequential scan, plus the guarantee that ``stats=None`` keeps the
+  rule-based default byte-identical;
+* the engine end to end: ``Database(cost_stats=True)`` EXPLAIN output
+  flips to ``INDEX INTERSECT`` / ``SEQ SCAN`` on the same data where the
+  default engine keeps its rule-based ``INDEX LOOKUP``;
+* the MQL leaf planner: strategy choice under controlled
+  ``attribute_stats``, forced-strategy overrides, the compiled-plan LRU
+  (hit identity + generation invalidation), and an ``explain_mql``
+  golden text.
+"""
+
+import pytest
+
+from repro.core import MetadataCatalog
+from repro.core.errors import QueryError
+from repro.db import Database
+from repro.db.expr import conjuncts
+from repro.db.planner import TableStats, choose_access_path, describe_access
+from repro.db.sql.parser import parse_statement
+
+pytestmark = pytest.mark.mql
+
+
+# -- choose_access_path with fixed TableStats fixtures -----------------------
+
+
+@pytest.fixture
+def table():
+    db = Database()
+    conn = db.connect()
+    conn.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)"
+    )
+    conn.execute("CREATE INDEX t_a ON t (a)")
+    conn.execute("CREATE INDEX t_b ON t (b)")
+    return db.catalog.table("t")
+
+
+def _parts(sql):
+    return conjuncts(parse_statement(sql).where)
+
+
+def _choose(table, sql, stats):
+    return choose_access_path(table, "t", _parts(sql), stats=stats)
+
+
+def test_two_selective_equalities_pick_index_intersection(table):
+    stats = TableStats(
+        row_count=10_000, index_key_counts={"t_a": 100, "t_b": 50}
+    )
+    path = _choose(table, "SELECT id FROM t WHERE t.a = 1 AND t.b = 2", stats)
+    assert path.kind == "index_and"
+    assert {sub.index for sub in path.subpaths} == {"t_a", "t_b"}
+    # The conservative residual re-applies every conjunct.
+    assert path.residual is not None
+    assert "INDEX INTERSECT" in describe_access(path)
+
+
+def test_single_equality_keeps_single_index(table):
+    stats = TableStats(
+        row_count=10_000, index_key_counts={"t_a": 100, "t_b": 50}
+    )
+    path = _choose(table, "SELECT id FROM t WHERE t.a = 1", stats)
+    assert path.kind == "index_eq"
+    assert path.index == "t_a"
+
+
+def test_unselective_equality_falls_back_to_seq(table):
+    # One distinct key: the probe would fetch every row anyway, and the
+    # cost model prefers the straight scan past the 50% threshold.
+    stats = TableStats(row_count=10_000, index_key_counts={"t_a": 1, "t_b": 1})
+    path = _choose(table, "SELECT id FROM t WHERE t.a = 1", stats)
+    assert path.kind == "seq"
+    assert path.residual is not None
+
+
+def test_lopsided_intersection_keeps_the_selective_index(table):
+    # t_b barely discriminates; intersecting through it costs more than
+    # probing t_a alone and filtering.
+    stats = TableStats(
+        row_count=10_000, index_key_counts={"t_a": 5_000, "t_b": 2}
+    )
+    path = _choose(table, "SELECT id FROM t WHERE t.a = 1 AND t.b = 2", stats)
+    assert path.kind == "index_eq"
+    assert path.index == "t_a"
+
+
+def test_no_stats_keeps_the_rule_based_default(table):
+    for sql in (
+        "SELECT id FROM t WHERE t.a = 1 AND t.b = 2",
+        "SELECT id FROM t WHERE t.a = 1",
+    ):
+        path = _choose(table, sql, None)
+        assert path.kind == "index_eq"
+        assert not path.subpaths
+
+
+# -- engine end to end: EXPLAIN with and without cost statistics -------------
+
+
+def _filled(cost_stats):
+    db = Database(cost_stats=cost_stats)
+    conn = db.connect()
+    conn.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, c INTEGER)"
+    )
+    conn.execute("CREATE INDEX t_a ON t (a)")
+    conn.execute("CREATE INDEX t_b ON t (b)")
+    conn.execute("CREATE INDEX t_c ON t (c)")
+    for i in range(500):
+        conn.execute(
+            "INSERT INTO t (id, a, b, c) VALUES (?, ?, ?, ?)",
+            (i, i % 10, i % 7, 1),
+        )
+    return conn
+
+
+def _plan(conn, sql):
+    return [row[0] for row in conn.execute("EXPLAIN " + sql)]
+
+
+def test_explain_shows_index_intersect_with_cost_stats():
+    sql = "SELECT id FROM t WHERE a = 3 AND b = 4"
+    with_stats = _plan(_filled(True), sql)
+    assert with_stats[0].startswith("INDEX INTERSECT t AS t")
+    assert "t_a" in with_stats[0] and "t_b" in with_stats[0]
+    default = _plan(_filled(False), sql)
+    assert default[0].startswith("INDEX LOOKUP t")
+
+
+def test_explain_falls_back_to_seq_scan_on_constant_column():
+    sql = "SELECT id FROM t WHERE c = 1"
+    with_stats = _plan(_filled(True), sql)
+    assert with_stats[0].startswith("SEQ SCAN t")
+    default = _plan(_filled(False), sql)
+    assert default[0].startswith("INDEX LOOKUP t")
+
+
+def test_cost_stats_results_match_default_engine():
+    for sql in (
+        "SELECT id FROM t WHERE a = 3 AND b = 4 ORDER BY id",
+        "SELECT id FROM t WHERE c = 1 AND a = 2 ORDER BY id",
+    ):
+        rows_stats = list(_filled(True).execute(sql))
+        rows_plain = list(_filled(False).execute(sql))
+        assert rows_stats == rows_plain
+
+
+# -- MQL leaf strategy choice ------------------------------------------------
+
+
+@pytest.fixture
+def catalog():
+    cat = MetadataCatalog()
+    cat.define_attribute("run", "int")
+    cat.define_attribute("site", "string")
+    for i in range(10):
+        cat.create_file(f"f{i}", attributes={"run": i % 5, "site": f"s{i % 2}"})
+    cat.analyze_attributes()
+    return cat
+
+
+def _leaf_plans(cat, text):
+    plan = cat._mql_plan(text)
+    return [leaf_plan.strategy for leaf_plan in plan.leaf_plans]
+
+
+def test_selective_equality_leaf_prefers_join(catalog):
+    assert _leaf_plans(catalog, "files where run = 2") == ["join"]
+
+
+def test_unselective_conjunction_prefers_scan(catalog):
+    # Five != conditions: the join model pays est·n ≈ 5·rows (50), the
+    # scan pays 2·(all EAV rows) (40) — cheaper once the estimates stop
+    # helping.
+    strategies = _leaf_plans(
+        catalog,
+        "files where run != 1 and run != 2 and run != 3 "
+        "and run != 4 and run != 0",
+    )
+    assert strategies == ["scan"]
+
+
+def test_forced_strategy_wins_over_cost(catalog):
+    catalog.mql_strategy = "scan"
+    assert _leaf_plans(catalog, "files where run = 2") == ["scan"]
+    catalog.mql_strategy = "index"
+    assert _leaf_plans(catalog, "files where run = 2") == ["index"]
+    catalog.mql_strategy = None
+
+
+def test_unknown_strategy_is_a_query_error(catalog):
+    catalog.mql_strategy = "turbo"
+    with pytest.raises(QueryError):
+        catalog.query_mql("files where run = 2")
+    catalog.mql_strategy = None
+
+
+def test_plan_cache_identity_and_generation_invalidation(catalog):
+    text = "files where run = 2 order by name"
+    first = catalog._mql_plan(text)
+    assert catalog._mql_plan(text) is first
+    # Any attribute (re)definition bumps the generation and must drop
+    # every cached plan for the old statistics.
+    catalog.define_attribute("fresh", "int")
+    assert catalog._mql_plan(text) is not first
+    # A strategy override is part of the cache key too.
+    catalog.mql_strategy = "scan"
+    forced = catalog._mql_plan(text)
+    assert forced.leaf_plans[0].strategy == "scan"
+    catalog.mql_strategy = None
+
+
+# -- explain_mql golden text -------------------------------------------------
+
+
+def test_explain_mql_golden(catalog):
+    got = catalog.explain_mql(
+        'files where run = 2 and site like "s%" order by name limit 3'
+    )
+    assert got == [
+        'MQL: files where run = 2 and site like "s%" order by name limit 3',
+        "leaf 0 [file]: strategy=join cost=4.0 (conditions=2 predefined=0)",
+        "    INDEX LOOKUP attribute_value AS a0 USING av_int ON (1, 2) "
+        "FILTER (a0.object_type = 'file')",
+        "    INDEX NESTED LOOP JOIN -> INDEX LOOKUP logical_file AS obj "
+        "USING __pk_logical_file ON () KEYS (a0.object_id)",
+        "    INDEX NESTED LOOP JOIN -> INDEX LOOKUP attribute_value AS a1 "
+        "USING __uq_attribute_value_0 ON () KEYS (2, 'file', obj.id) "
+        "ON (a1.value_string LIKE 's%')",
+        "    DISTINCT",
+        "    SORT BY obj.name",
+        "    PROJECT name",
+        "  run = ? (est 2.0 rows)",
+        "  site like ? (est 3.3 rows)",
+        "  costs: index=9.3, join=4.0, scan=40.0",
+        "algebra: leaf0",
+        "order by name asc limit 3",
+    ]
+
+
+def test_explain_mql_algebra_golden(catalog):
+    got = catalog.explain_mql('(files where run = 0) union (files where site = "s1")')
+    assert got[0] == 'MQL: files where run = 0 union files where site = "s1"'
+    assert got[-2] == "algebra: union(leaf0, leaf1)"
+    assert got[-1] == "order by name asc"
+    assert sum(1 for line in got if line.startswith("leaf ")) == 2

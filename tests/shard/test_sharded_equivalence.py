@@ -32,6 +32,20 @@ COLLECTIONS = ("colA", "colB", "colC", "colD", "colE", "colF")
 STR_VALUES = ("x", "y", "z")
 INT_VALUES = (1, 2, 3)
 
+#: MQL statements the router must scatter per-leaf and merge back into
+#: the exact single-engine answer — conjunctions, disjunctions, ``like``,
+#: dataset algebra over parenthesized subqueries, and paging.
+MQL_STATEMENTS = (
+    "files order by name",
+    "files where a_int = 1",
+    "files where a_int = 2 and a_str = \"y\" order by name",
+    "files where a_str like \"x%\" or a_int = 3 order by name limit 4",
+    "files where not (a_int = 2) order by name desc limit 5 offset 1",
+    "(files where a_int = 1) union (files where a_str = \"y\") order by name",
+    "(files where a_int != 3) minus (files where a_str = \"z\")",
+    "(files where a_int = 1) intersect (files where valid) order by name",
+)
+
 
 def _prepare(catalog):
     catalog.define_attribute("a_str", "string")
@@ -222,6 +236,17 @@ class ShardedEquivalenceMachine(RuleBasedStateMachine):
         self._all_agree(
             f"list_collection {coll!r}", lambda c: c.list_collection(coll)
         )
+
+    @rule(statement=st.sampled_from(MQL_STATEMENTS))
+    def mql_query(self, statement):
+        self._all_agree(
+            f"mql {statement!r}", lambda c: c.query_mql(statement)
+        )
+
+    @rule()
+    def analyze(self):
+        """Exact per-shard statistics recompute; answers must not move."""
+        self._all_agree("analyze", lambda c: bool(c.analyze_attributes()))
 
     # -- invariants ----------------------------------------------------------
 
